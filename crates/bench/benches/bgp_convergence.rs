@@ -1,0 +1,80 @@
+//! BGP propagation cost: convergence over the Vultr scenario and over
+//! generated hierarchies, plus the §4.1 discovery loop end to end.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeSet;
+use tango_bgp::BgpEngine;
+use tango_control::discover_paths;
+use tango_topology::gen::{generate, GenParams};
+use tango_topology::vultr::{vultr_scenario, TENANT_LA, TENANT_NY, VULTR_LA, VULTR_NY};
+
+fn vultr_engine() -> BgpEngine {
+    let s = vultr_scenario();
+    let mut e = BgpEngine::new(s.topology.clone());
+    for border in [VULTR_LA, VULTR_NY] {
+        e.set_strip_private(border, true).unwrap();
+        e.set_honor_actions(border, true).unwrap();
+        e.set_neighbor_pref(border, s.neighbor_pref[&border].clone()).unwrap();
+    }
+    e
+}
+
+fn bench_converge(c: &mut Criterion) {
+    c.bench_function("bgp/vultr_announce_converge", |b| {
+        b.iter(|| {
+            let mut e = vultr_engine();
+            e.announce(TENANT_LA, "2001:db8:100::/48".parse().unwrap(), BTreeSet::new())
+                .unwrap();
+            black_box(e.converge().unwrap())
+        })
+    });
+    for (transits, edges) in [(8usize, 4usize), (16, 8), (32, 16)] {
+        let g = generate(&GenParams {
+            transits,
+            edges,
+            seed: 3,
+            ..GenParams::default()
+        });
+        c.bench_with_input(
+            BenchmarkId::new("bgp/generated_full_table", format!("{transits}t_{edges}e")),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let mut e = BgpEngine::new(g.topology.clone());
+                    // Every edge announces one prefix: a full-table build.
+                    for (i, &site) in g.edge_sites.iter().enumerate() {
+                        e.announce(
+                            site,
+                            format!("2001:db8:{:x}::/48", 0x100 + i).parse().unwrap(),
+                            BTreeSet::new(),
+                        )
+                        .unwrap();
+                    }
+                    black_box(e.converge().unwrap())
+                })
+            },
+        );
+    }
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    c.bench_function("bgp/fig3_discovery_one_direction", |b| {
+        b.iter(|| {
+            let mut e = vultr_engine();
+            black_box(
+                discover_paths(
+                    &mut e,
+                    TENANT_LA,
+                    TENANT_NY,
+                    "2001:db8:1f0::/48".parse().unwrap(),
+                    &[VULTR_LA, VULTR_NY],
+                    16,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_converge, bench_discovery);
+criterion_main!(benches);

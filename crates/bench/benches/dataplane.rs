@@ -1,0 +1,68 @@
+//! End-to-end per-packet cost of the switch pipeline pieces the paper's
+//! eBPF programs implement: selection + encap + stats update.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tango_dataplane::policy::SelectionState;
+use tango_dataplane::{codec, Selection, Tunnel};
+use tango_measure::{RollingWindow, SeqTracker};
+
+fn bench_selection(c: &mut Criterion) {
+    let mut single = SelectionState::new(Selection::Single(2));
+    c.bench_function("selection/single", |b| b.iter(|| black_box(single.choose())));
+    let mut wrr = SelectionState::new(Selection::Weighted(vec![(0, 77), (1, 88), (2, 100), (3, 69)]));
+    c.bench_function("selection/weighted_4_paths", |b| b.iter(|| black_box(wrr.choose())));
+}
+
+fn bench_stats_update(c: &mut Criterion) {
+    c.bench_function("stats/record_owd", |b| {
+        let mut sink = tango_dataplane::stats::StatsSink::new();
+        sink.register_path(0, "GTT");
+        let mut t = 0u64;
+        let mut seq = 0u32;
+        b.iter(|| {
+            t += 10_000_000;
+            seq += 1;
+            sink.path_mut(0).record_owd(t, 28_150_000.0, seq, true);
+        })
+    });
+    c.bench_function("stats/rolling_window_push", |b| {
+        let mut w = RollingWindow::new(1_000_000_000);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10_000_000;
+            w.push(t, 28_150_000.0);
+            black_box(w.std())
+        })
+    });
+    c.bench_function("stats/seq_tracker_in_order", |b| {
+        let mut s = SeqTracker::new();
+        let mut seq = 0u32;
+        b.iter(|| {
+            seq = seq.wrapping_add(1);
+            black_box(s.record(seq))
+        })
+    });
+}
+
+fn bench_full_tx_path(c: &mut Criterion) {
+    // What one packet costs a sending switch: choose + seq + encap.
+    let tunnel = Tunnel::from_prefixes(
+        2,
+        "GTT",
+        "2001:db8:102::/48".parse().unwrap(),
+        "2001:db8:202::/48".parse().unwrap(),
+    );
+    let inner = vec![0u8; 104];
+    let mut sel = SelectionState::new(Selection::Single(2));
+    let mut seq = 0u32;
+    c.bench_function("switch/tx_encap_total", |b| {
+        b.iter(|| {
+            let _path = sel.choose().unwrap();
+            seq = seq.wrapping_add(1);
+            black_box(codec::encapsulate(&tunnel, black_box(&inner), seq, 1_234_567))
+        })
+    });
+}
+
+criterion_group!(benches, bench_selection, bench_stats_update, bench_full_tx_path);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Longest-prefix-match performance at forwarding-table scales.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::{IpAddr, Ipv6Addr};
+use tango_net::{IpCidr, Ipv6Cidr, PrefixTrie};
+
+fn build_table(prefixes: usize, seed: u64) -> (PrefixTrie<u32>, Vec<IpAddr>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trie = PrefixTrie::new();
+    for i in 0..prefixes {
+        let addr = Ipv6Addr::from((rng.gen::<u128>() & !0xffff_ffff_ffff_ffffu128) | 0x2000 << 112);
+        let len = rng.gen_range(32..=64);
+        trie.insert(IpCidr::V6(Ipv6Cidr::new(addr, len).unwrap()), i as u32);
+    }
+    let probes: Vec<IpAddr> =
+        (0..1024).map(|_| IpAddr::V6(Ipv6Addr::from(rng.gen::<u128>() | 0x2000 << 112))).collect();
+    (trie, probes)
+}
+
+fn bench_lpm(c: &mut Criterion) {
+    for size in [16usize, 1_000, 10_000] {
+        let (trie, probes) = build_table(size, 42);
+        let mut i = 0usize;
+        c.bench_function(&format!("lpm/lookup_{size}_prefixes"), |b| {
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                black_box(trie.longest_match(black_box(probes[i])))
+            })
+        });
+    }
+    // The Tango-typical table: a handful of /48 tunnel prefixes.
+    let mut trie = PrefixTrie::new();
+    for i in 0..4u32 {
+        let c: IpCidr = format!("2001:db8:{:x}::/48", 0x100 + i).parse().unwrap();
+        trie.insert(c, i);
+    }
+    let dst: IpAddr = "2001:db8:102::1".parse().unwrap();
+    c.bench_function("lpm/tango_tunnel_table", |b| {
+        b.iter(|| black_box(trie.longest_match(black_box(dst))))
+    });
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("lpm/insert_1000", |b| {
+        b.iter(|| black_box(build_table(1_000, 7).0.len()))
+    });
+}
+
+criterion_group!(benches, bench_lpm, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Statistics-pipeline cost at paper scale: the §5 post-processing
+//! (10 ms interval averages, rolling 1 s std-dev) over long traces.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tango_measure::interval::bin_average;
+use tango_measure::{mean_rolling_std, CusumDetector, TimeSeries};
+
+fn trace(n: usize) -> TimeSeries {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut s = TimeSeries::with_capacity(n);
+    for i in 0..n {
+        let jitter: f64 = rng.gen_range(-30_000.0..30_000.0);
+        s.push(i as u64 * 10_000_000, 28_150_000.0 + jitter);
+    }
+    s
+}
+
+fn bench_postprocessing(c: &mut Criterion) {
+    // One simulated hour at 10 ms = 360k samples.
+    let hour = trace(360_000);
+    let mut group = c.benchmark_group("measure");
+    group.throughput(Throughput::Elements(hour.len() as u64));
+    group.sample_size(10);
+    group.bench_function("bin_average_1h_trace", |b| {
+        b.iter(|| black_box(bin_average(black_box(&hour), 1_000_000_000)))
+    });
+    group.bench_function("mean_rolling_std_1h_trace", |b| {
+        b.iter(|| black_box(mean_rolling_std(black_box(&hour), 1_000_000_000)))
+    });
+    group.bench_function("cusum_1h_trace", |b| {
+        b.iter(|| {
+            let mut d = CusumDetector::new(0.05, 200_000.0, 5_000_000.0);
+            let mut alarms = 0u32;
+            for (_, v) in hour.iter() {
+                if d.update(v).is_some() {
+                    alarms += 1;
+                }
+            }
+            black_box(alarms)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_postprocessing);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Simulator throughput: events per second of the paper-scale workload
+//! (8 tunnels × 10 ms probes). This is what bounds how many simulated
+//! hours a Fig. 4 regeneration costs in wall-clock time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tango::prelude::*;
+
+fn bench_probe_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    // One simulated second = 8 tunnels × 100 probes × ~5 events.
+    group.throughput(Throughput::Elements(8 * 100));
+    group.sample_size(10);
+    group.bench_function("vultr_probing_per_simulated_second", |b| {
+        b.iter_custom(|iters| {
+            let mut pairing = tango::vultr_pairing(PairingOptions {
+                seed: 77,
+                ..PairingOptions::default()
+            })
+            .expect("provisions");
+            let start = std::time::Instant::now();
+            for i in 0..iters {
+                pairing.run_until(SimTime::from_secs(i + 1));
+            }
+            black_box(pairing.mean_owd_ms(Side::A, 0));
+            start.elapsed()
+        })
+    });
+    group.finish();
+}
+
+fn bench_pairing_setup(c: &mut Criterion) {
+    // Provisioning cost: BGP convergence + two discovery loops + checks.
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(20);
+    group.bench_function("vultr_pairing_setup", |b| {
+        b.iter(|| black_box(tango::vultr_pairing(PairingOptions::default()).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe_workload, bench_pairing_setup);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Per-packet cost of the Tango data-plane transformations — the work an
+//! eBPF/P4 port would do per packet.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tango_dataplane::{codec, Tunnel};
+use tango_net::{Ipv6Packet, Ipv6Repr};
+
+fn inner_packet(payload: usize) -> Vec<u8> {
+    let repr = Ipv6Repr {
+        src_addr: "2001:db8:2ff::7".parse().unwrap(),
+        dst_addr: "2001:db8:1ff::9".parse().unwrap(),
+        next_header: 17,
+        payload_len: payload,
+        hop_limit: 64,
+        traffic_class: 0,
+        flow_label: 0,
+    };
+    let mut buf = vec![0u8; repr.total_len()];
+    let mut p = Ipv6Packet::new_unchecked(&mut buf[..]);
+    repr.emit(&mut p).unwrap();
+    buf
+}
+
+fn tunnel() -> Tunnel {
+    Tunnel::from_prefixes(
+        2,
+        "GTT",
+        "2001:db8:102::/48".parse().unwrap(),
+        "2001:db8:202::/48".parse().unwrap(),
+    )
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let t = tunnel();
+    for payload in [64usize, 512, 1400] {
+        let inner = inner_packet(payload);
+        let wire = codec::encapsulate(&t, &inner, 1, 123_456_789);
+        let mut group = c.benchmark_group(format!("codec/{payload}B"));
+        group.throughput(Throughput::Bytes(wire.len() as u64));
+        group.bench_function("encapsulate", |b| {
+            let mut seq = 0u32;
+            b.iter(|| {
+                seq = seq.wrapping_add(1);
+                black_box(codec::encapsulate(&t, black_box(&inner), seq, 123_456_789))
+            })
+        });
+        group.bench_function("decapsulate", |b| {
+            b.iter(|| black_box(codec::decapsulate(black_box(&wire)).unwrap()))
+        });
+        group.bench_function("classify", |b| {
+            b.iter(|| black_box(codec::looks_like_tango(black_box(&wire))))
+        });
+        group.finish();
+    }
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let data = vec![0xa5u8; 1400];
+    let mut group = c.benchmark_group("checksum");
+    group.throughput(Throughput::Bytes(1400));
+    group.bench_function("internet_checksum_1400B", |b| {
+        b.iter(|| black_box(tango_net::checksum::checksum(black_box(&data))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_checksum);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! `experiments` — regenerate every figure and table of the paper.
+//!
+//! ```sh
+//! cargo run --release -p tango-bench --bin experiments -- all
+//! cargo run --release -p tango-bench --bin experiments -- fig4-left --hours 24
+//! ```
+
+use tango::prelude::SimTime;
+use tango_bench::{ablations, fig3, fig4, headline, jitter};
+
+const USAGE: &str = "\
+experiments — regenerate the paper's figures and tables (see EXPERIMENTS.md)
+
+USAGE: experiments <command> [options]
+
+COMMANDS
+  fig3                  Fig. 3 / §4.1: community-driven path discovery
+  fig4-left             Fig. 4 (left): long OWD trace, four paths NY→LA
+  fig4-middle           Fig. 4 (middle): +5 ms GTT route change
+  fig4-right            Fig. 4 (right): GTT instability, spikes to 78 ms
+  jitter                §5: rolling 1-second-window jitter per path
+  headline              §5: 'BGP default is 30% worse than the best path'
+  ablation-owd          A1: one-way vs end-to-end measurement accuracy
+  ablation-policy       A2: selection policies through the Fig. 4 events
+  ablation-multihoming  A3: Tango vs one-sided multihoming route control
+  tango-of-n            A4: §6 all-pairs pairings over generated topologies
+  ecmp-census           A5: §6 ECMP lane counting via source-port sweeps
+  load-balance          A6: §6 weighted-split load balancing under saturation
+  loss-table            A7: loss/reordering measured from sequence numbers
+  all                   run everything (with default durations)
+
+OPTIONS
+  --hours <H>     trace duration in simulated hours (fig4-left, jitter,
+                  headline; default 1; the paper ran 8 days — shapes
+                  converge within minutes of simulated time)
+  --seed <S>      simulation seed (default 1)
+";
+
+struct Args {
+    hours: f64,
+    seed: u64,
+}
+
+fn parse_args(rest: &[String]) -> Result<Args, String> {
+    let mut args = Args { hours: 1.0, seed: 1 };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut take = || {
+            it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--hours" => {
+                args.hours = take()?
+                    .parse()
+                    .map_err(|e| format!("--hours: {e}"))?;
+                if args.hours <= 0.0 {
+                    return Err("--hours must be positive".into());
+                }
+            }
+            "--seed" => args.seed = take()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn duration(args: &Args) -> SimTime {
+    SimTime::from_secs((args.hours * 3600.0) as u64)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    let args = match parse_args(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let hr = |title: &str| {
+        println!("\n{}", "=".repeat(78));
+        println!("{title}");
+        println!("{}\n", "=".repeat(78));
+    };
+    match command.as_str() {
+        "fig3" => fig3::report(),
+        "fig4-left" => fig4::left(duration(&args), args.seed),
+        "fig4-middle" => fig4::middle(args.seed),
+        "fig4-right" => fig4::right(args.seed),
+        "jitter" => jitter::report(duration(&args), args.seed),
+        "headline" => headline::report(duration(&args), args.seed),
+        "ablation-owd" => ablations::report_owd_accuracy(args.seed),
+        "ablation-policy" => ablations::report_policy(args.seed),
+        "ablation-multihoming" => ablations::report_multihoming(),
+        "tango-of-n" => ablations::report_tango_of_n(args.seed),
+        "ecmp-census" => ablations::report_ecmp_census(args.seed),
+        "load-balance" => ablations::report_load_balance(args.seed),
+        "loss-table" => ablations::report_loss_table(args.seed),
+        "all" => {
+            hr("Fig. 3 — path discovery");
+            fig3::report();
+            hr("Fig. 4 (left) — long trace");
+            fig4::left(duration(&args), args.seed);
+            hr("Fig. 4 (middle) — route change");
+            fig4::middle(args.seed);
+            hr("Fig. 4 (right) — instability");
+            fig4::right(args.seed);
+            hr("§5 — jitter table");
+            jitter::report(duration(&args), args.seed);
+            hr("§5 — headline (default vs best)");
+            headline::report(duration(&args), args.seed);
+            hr("A1 — measurement accuracy");
+            ablations::report_owd_accuracy(args.seed);
+            hr("A2 — policy comparison");
+            ablations::report_policy(args.seed);
+            hr("A3 — multihoming vs cooperation");
+            ablations::report_multihoming();
+            hr("A4 — Tango of N");
+            ablations::report_tango_of_n(args.seed);
+            hr("A5 — ECMP lane census");
+            ablations::report_ecmp_census(args.seed);
+            hr("A6 — load balancing under saturation");
+            ablations::report_load_balance(args.seed);
+            hr("A7 — loss & reordering measurement");
+            ablations::report_loss_table(args.seed);
+        }
+        "--help" | "-h" | "help" => print!("{USAGE}"),
+        other => {
+            eprintln!("error: unknown command {other}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

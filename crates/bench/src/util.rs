@@ -1,0 +1,60 @@
+//! Shared experiment plumbing: result directory, table printing.
+
+use std::path::PathBuf;
+
+/// Where CSV outputs land (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("TANGO_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Print a fixed-width table: header row then data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i.min(widths.len() - 1)]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Format a float with the given decimals.
+pub fn fmt(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_decimals() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(28.0, 1), "28.0");
+    }
+
+    #[test]
+    fn results_dir_exists_after_call() {
+        std::env::set_var("TANGO_RESULTS_DIR", std::env::temp_dir().join("tango_results_test"));
+        let d = results_dir();
+        assert!(d.exists());
+        std::env::remove_var("TANGO_RESULTS_DIR");
+    }
+}

@@ -1,0 +1,474 @@
+//! Synchronous-round BGP propagation to a converged fixpoint.
+//!
+//! The engine owns one [`BgpSpeaker`] per topology node and repeatedly
+//! exchanges export diffs (updates and implicit withdrawals) between
+//! adjacent speakers until nothing changes. With Gao-Rexford policies this
+//! fixpoint exists and is reached in O(diameter) rounds; the engine still
+//! caps rounds to fail loudly if a policy bug ever induced oscillation.
+//!
+//! This replaces the prototype's mesh of BIRD eBGP sessions (§4.1 step 1:
+//! "propagate advertisements"). The §4.1 step-2 discovery loop drives it
+//! via `tango-control`.
+
+use crate::community::Community;
+use crate::rib::{Route, RouteSource};
+use crate::speaker::{BgpSpeaker, SpeakerConfig};
+use std::collections::{BTreeMap, BTreeSet};
+use tango_net::{IpCidr, PrefixTrie};
+use tango_topology::{AsId, Topology};
+
+/// Errors from the propagation engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Referenced a node with no speaker (not in the topology).
+    UnknownSpeaker(AsId),
+    /// Convergence was not reached within the round cap — indicates a
+    /// policy-oscillation bug, so we fail loudly rather than loop forever.
+    NoConvergence {
+        /// The configured cap that was exceeded.
+        round_cap: usize,
+    },
+}
+
+impl core::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EngineError::UnknownSpeaker(id) => write!(f, "no speaker for {id}"),
+            EngineError::NoConvergence { round_cap } => {
+                write!(f, "BGP did not converge within {round_cap} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The BGP propagation engine over an AS-level topology.
+#[derive(Debug, Clone)]
+pub struct BgpEngine {
+    topology: Topology,
+    speakers: BTreeMap<AsId, BgpSpeaker>,
+    round_cap: usize,
+}
+
+impl BgpEngine {
+    /// Build an engine with a default speaker for every topology node.
+    pub fn new(topology: Topology) -> Self {
+        let speakers = topology
+            .nodes()
+            .map(|n| (n.id, BgpSpeaker::new(SpeakerConfig::new(n.id))))
+            .collect();
+        BgpEngine { topology, speakers, round_cap: 200 }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Access a speaker.
+    pub fn speaker(&self, id: AsId) -> Result<&BgpSpeaker, EngineError> {
+        self.speakers.get(&id).ok_or(EngineError::UnknownSpeaker(id))
+    }
+
+    /// Mutable access to a speaker (for configuration).
+    pub fn speaker_mut(&mut self, id: AsId) -> Result<&mut BgpSpeaker, EngineError> {
+        self.speakers.get_mut(&id).ok_or(EngineError::UnknownSpeaker(id))
+    }
+
+    /// Set a node's per-neighbor preference map (e.g. the Vultr borders'
+    /// NTT > Telia > GTT ordering).
+    pub fn set_neighbor_pref(
+        &mut self,
+        id: AsId,
+        prefs: BTreeMap<AsId, u32>,
+    ) -> Result<(), EngineError> {
+        self.speaker_mut(id)?.config_mut().neighbor_pref = prefs;
+        Ok(())
+    }
+
+    /// Enable private-ASN stripping on export at a node (Vultr borders).
+    pub fn set_strip_private(&mut self, id: AsId, strip: bool) -> Result<(), EngineError> {
+        self.speaker_mut(id)?.config_mut().strip_private_asns = strip;
+        Ok(())
+    }
+
+    /// Make a node act on action communities (`NoExportTo`/`PrependTo`) —
+    /// set on the provider that defines the namespace (the Vultr borders).
+    pub fn set_honor_actions(&mut self, id: AsId, honor: bool) -> Result<(), EngineError> {
+        self.speaker_mut(id)?.config_mut().honor_action_communities = honor;
+        Ok(())
+    }
+
+    /// Soft-reconfiguration inbound: re-run import policy at a node so a
+    /// `neighbor_pref` change takes effect without a withdraw/re-announce
+    /// cycle. Follow with [`BgpEngine::converge`].
+    pub fn refresh_import(&mut self, id: AsId) -> Result<bool, EngineError> {
+        let topo = self.topology.clone();
+        Ok(self.speaker_mut(id)?.refresh_import(&topo))
+    }
+
+    /// Originate a prefix at a node.
+    pub fn announce(
+        &mut self,
+        origin: AsId,
+        prefix: IpCidr,
+        communities: BTreeSet<Community>,
+    ) -> Result<(), EngineError> {
+        self.speaker_mut(origin)?.originate(prefix, communities);
+        Ok(())
+    }
+
+    /// Originate with AS-path poisoning.
+    pub fn announce_poisoned(
+        &mut self,
+        origin: AsId,
+        prefix: IpCidr,
+        communities: BTreeSet<Community>,
+        poison: &[AsId],
+    ) -> Result<(), EngineError> {
+        self.speaker_mut(origin)?.originate_poisoned(prefix, communities, poison);
+        Ok(())
+    }
+
+    /// Update the communities on an existing origination (discovery loop).
+    pub fn set_announcement_communities(
+        &mut self,
+        origin: AsId,
+        prefix: IpCidr,
+        communities: BTreeSet<Community>,
+    ) -> Result<bool, EngineError> {
+        Ok(self.speaker_mut(origin)?.set_origin_communities(&prefix, communities))
+    }
+
+    /// Withdraw an origination.
+    pub fn withdraw(&mut self, origin: AsId, prefix: IpCidr) -> Result<bool, EngineError> {
+        Ok(self.speaker_mut(origin)?.withdraw_origin(&prefix))
+    }
+
+    /// Run synchronous rounds to the fixpoint. Returns the number of
+    /// rounds taken (0 means the network was already converged).
+    pub fn converge(&mut self) -> Result<usize, EngineError> {
+        let ids: Vec<AsId> = self.speakers.keys().copied().collect();
+        // Phase 0: everyone recomputes from current RIBs (picks up any
+        // origination changes made since the last convergence).
+        for id in &ids {
+            self.speakers.get_mut(id).expect("listed").recompute();
+        }
+        for round in 1..=self.round_cap {
+            let mut any_change = false;
+            // Phase 1: compute and deliver export diffs.
+            for &id in &ids {
+                let neighbors: Vec<AsId> = self.topology.neighbors(id).to_vec();
+                for n in neighbors {
+                    let exports = {
+                        let s = self.speakers.get(&id).expect("listed");
+                        s.exports_to(&self.topology, n)
+                    };
+                    let previous = self.speakers.get(&id).expect("listed").rib_out_for(n);
+                    // Withdraw prefixes no longer exported.
+                    for prefix in previous.keys() {
+                        if !exports.contains_key(prefix) {
+                            let recv = self.speakers.get_mut(&n).expect("adjacent");
+                            if recv.receive(&self.topology, id, *prefix, None) {
+                                any_change = true;
+                            }
+                        }
+                    }
+                    // Send new/changed routes.
+                    for (prefix, route) in &exports {
+                        if previous.get(prefix) != Some(route) {
+                            let recv = self.speakers.get_mut(&n).expect("adjacent");
+                            if recv.receive(&self.topology, id, *prefix, Some(route.clone())) {
+                                any_change = true;
+                            }
+                        }
+                    }
+                    self.speakers.get_mut(&id).expect("listed").set_rib_out(n, &exports);
+                }
+            }
+            // Phase 2: everyone re-decides.
+            for &id in &ids {
+                if self.speakers.get_mut(&id).expect("listed").recompute() {
+                    any_change = true;
+                }
+            }
+            if !any_change {
+                return Ok(round - 1);
+            }
+        }
+        Err(EngineError::NoConvergence { round_cap: self.round_cap })
+    }
+
+    /// The best route for `prefix` at node `at`, after convergence.
+    pub fn best_route(&self, at: AsId, prefix: IpCidr) -> Option<&Route> {
+        self.speakers.get(&at)?.best(&prefix)
+    }
+
+    /// The AS path for `prefix` as seen at `at` (§4.1: "observing the
+    /// AS-path heard at the other server").
+    pub fn as_path(&self, at: AsId, prefix: IpCidr) -> Option<&[AsId]> {
+        self.best_route(at, prefix).map(|r| r.as_path.as_slice())
+    }
+
+    /// Build a longest-prefix-match forwarding table for a node: prefix →
+    /// next-hop AS (the node itself for locally originated prefixes).
+    pub fn forwarding_table(&self, at: AsId) -> Result<PrefixTrie<AsId>, EngineError> {
+        let s = self.speaker(at)?;
+        let mut trie = PrefixTrie::new();
+        for (prefix, route) in s.loc_rib() {
+            let next = match route.source {
+                RouteSource::Local => at,
+                RouteSource::Neighbor(n) => n,
+            };
+            trie.insert(*prefix, next);
+        }
+        Ok(trie)
+    }
+
+    /// Trace the AS-level forwarding path for `prefix` from `from` to the
+    /// prefix's origin, following each hop's converged best route. Errors
+    /// with `None` if any hop lacks a route (unreachable) or a forwarding
+    /// loop is detected.
+    pub fn trace_path(&self, from: AsId, prefix: IpCidr) -> Option<Vec<AsId>> {
+        let mut path = vec![from];
+        let mut at = from;
+        let mut hops = 0;
+        loop {
+            let route = self.best_route(at, prefix)?;
+            match route.source {
+                RouteSource::Local => return Some(path),
+                RouteSource::Neighbor(n) => {
+                    if path.contains(&n) {
+                        return None; // forwarding loop
+                    }
+                    path.push(n);
+                    at = n;
+                }
+            }
+            hops += 1;
+            if hops > self.speakers.len() {
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_topology::{AsKind, AsNode, DirectionProfile, LinkProfile};
+
+    fn lp() -> LinkProfile {
+        LinkProfile::symmetric(DirectionProfile::constant(1))
+    }
+
+    /// A small valley-free test net:
+    ///
+    /// ```text
+    ///        T1 ——peer—— T2
+    ///       /  \           \
+    ///     E1    E2          E3       (E* are customers of T*)
+    /// ```
+    fn topo() -> Topology {
+        let mut t = Topology::new();
+        for (id, name) in [(10, "T1"), (20, "T2"), (1, "E1"), (2, "E2"), (3, "E3")] {
+            t.add_node(AsNode::new(id as u32, AsKind::Transit, name)).unwrap();
+        }
+        t.add_peering(AsId(10), AsId(20), lp()).unwrap();
+        t.add_provider(AsId(1), AsId(10), lp()).unwrap();
+        t.add_provider(AsId(2), AsId(10), lp()).unwrap();
+        t.add_provider(AsId(3), AsId(20), lp()).unwrap();
+        t
+    }
+
+    fn pfx(s: &str) -> IpCidr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn basic_propagation_reaches_everyone() {
+        let mut e = BgpEngine::new(topo());
+        e.announce(AsId(1), pfx("2001:db8:100::/48"), BTreeSet::new()).unwrap();
+        e.converge().unwrap();
+        assert_eq!(e.as_path(AsId(10), pfx("2001:db8:100::/48")).unwrap(), &[AsId(1)]);
+        assert_eq!(e.as_path(AsId(2), pfx("2001:db8:100::/48")).unwrap(), &[AsId(10), AsId(1)]);
+        assert_eq!(
+            e.as_path(AsId(3), pfx("2001:db8:100::/48")).unwrap(),
+            &[AsId(20), AsId(10), AsId(1)]
+        );
+    }
+
+    #[test]
+    fn converge_is_idempotent() {
+        let mut e = BgpEngine::new(topo());
+        e.announce(AsId(1), pfx("10.0.0.0/8"), BTreeSet::new()).unwrap();
+        let r1 = e.converge().unwrap();
+        assert!(r1 >= 1);
+        let r2 = e.converge().unwrap();
+        assert_eq!(r2, 0, "already converged");
+    }
+
+    #[test]
+    fn valley_free_blocks_peer_to_peer_transit() {
+        // E2's route must not flow T1 -> T2 if learned from peer... but E1
+        // is T1's *customer*, so T1 -> T2 IS allowed. Check the actual
+        // valley: announce at E3; T2 exports customer route to peer T1 ✓;
+        // T1 exports peer-learned route to its customers ✓ but NOT to
+        // other peers (none here). Everyone should still reach E3.
+        let mut e = BgpEngine::new(topo());
+        e.announce(AsId(3), pfx("10.3.0.0/16"), BTreeSet::new()).unwrap();
+        e.converge().unwrap();
+        assert!(e.best_route(AsId(1), pfx("10.3.0.0/16")).is_some());
+        // Now the true valley test: a route learned by T1 from peer T2
+        // must not be re-exported to another peer. Add peer T3 to check.
+        let mut t = topo();
+        t.add_node(AsNode::new(30u32, AsKind::Transit, "T3")).unwrap();
+        t.add_peering(AsId(10), AsId(30), lp()).unwrap();
+        let mut e = BgpEngine::new(t);
+        e.announce(AsId(3), pfx("10.3.0.0/16"), BTreeSet::new()).unwrap();
+        e.converge().unwrap();
+        // T3 peers only with T1; T1's route to E3 is peer-learned (via T2),
+        // so T3 must NOT hear it.
+        assert!(e.best_route(AsId(30), pfx("10.3.0.0/16")).is_none());
+    }
+
+    #[test]
+    fn withdrawal_propagates() {
+        let mut e = BgpEngine::new(topo());
+        e.announce(AsId(1), pfx("10.1.0.0/16"), BTreeSet::new()).unwrap();
+        e.converge().unwrap();
+        assert!(e.best_route(AsId(3), pfx("10.1.0.0/16")).is_some());
+        e.withdraw(AsId(1), pfx("10.1.0.0/16")).unwrap();
+        e.converge().unwrap();
+        assert!(e.best_route(AsId(3), pfx("10.1.0.0/16")).is_none());
+        assert!(e.best_route(AsId(10), pfx("10.1.0.0/16")).is_none());
+    }
+
+    #[test]
+    fn community_suppression_reroutes() {
+        // E1 and E2 share provider T1; E1 also gets a second provider T2
+        // so there are two ways to reach it.
+        let mut t = topo();
+        t.add_provider(AsId(1), AsId(20), lp()).unwrap();
+        let mut e = BgpEngine::new(t);
+        // E1 plays the tenant+border role: it acts on its own action
+        // communities when exporting.
+        e.set_honor_actions(AsId(1), true).unwrap();
+        let p = pfx("2001:db8:1::/48");
+        e.announce(AsId(1), p, BTreeSet::new()).unwrap();
+        e.converge().unwrap();
+        // E3 sits under T2: direct customer path [20, 1] beats [20, 10, 1].
+        assert_eq!(e.as_path(AsId(3), p).unwrap(), &[AsId(20), AsId(1)]);
+        // Suppress export to T2: E3 must fall back to the T1 path.
+        let mut comms = BTreeSet::new();
+        comms.insert(Community::NoExportTo(AsId(20)));
+        assert!(e.set_announcement_communities(AsId(1), p, comms).unwrap());
+        e.converge().unwrap();
+        assert_eq!(e.as_path(AsId(3), p).unwrap(), &[AsId(20), AsId(10), AsId(1)]);
+    }
+
+    #[test]
+    fn poisoning_routes_around() {
+        let mut t = topo();
+        t.add_provider(AsId(1), AsId(20), lp()).unwrap();
+        let mut e = BgpEngine::new(t);
+        let p = pfx("2001:db8:2::/48");
+        // Poison T2: it drops the route via loop detection, so E3 reaches
+        // E1 only if some path avoids T2 — there is none (E3's sole
+        // provider is T2) ⇒ unreachable.
+        e.announce_poisoned(AsId(1), p, BTreeSet::new(), &[AsId(20)]).unwrap();
+        e.converge().unwrap();
+        assert!(e.best_route(AsId(20), p).is_none());
+        assert!(e.best_route(AsId(3), p).is_none());
+        // T1 still reaches it (path through the poison-free side),
+        // and sees the poisoned ASN on the path.
+        assert_eq!(e.as_path(AsId(10), p).unwrap(), &[AsId(1), AsId(20)]);
+    }
+
+    #[test]
+    fn forwarding_table_lpm() {
+        let mut e = BgpEngine::new(topo());
+        e.announce(AsId(1), pfx("10.0.0.0/8"), BTreeSet::new()).unwrap();
+        e.announce(AsId(3), pfx("10.1.0.0/16"), BTreeSet::new()).unwrap();
+        e.converge().unwrap();
+        let ft = e.forwarding_table(AsId(2)).unwrap();
+        // 10.1.x goes toward E3's more-specific; rest of 10/8 toward E1.
+        let (_, next) = ft.longest_match("10.1.2.3".parse().unwrap()).unwrap();
+        assert_eq!(*next, AsId(10)); // E2's only neighbor is T1 either way
+        let (p, _) = ft.longest_match("10.1.2.3".parse().unwrap()).unwrap();
+        assert_eq!(p, pfx("10.1.0.0/16"));
+        let (p, _) = ft.longest_match("10.200.0.1".parse().unwrap()).unwrap();
+        assert_eq!(p, pfx("10.0.0.0/8"));
+    }
+
+    #[test]
+    fn trace_path_follows_hops() {
+        let mut e = BgpEngine::new(topo());
+        let p = pfx("2001:db8:3::/48");
+        e.announce(AsId(3), p, BTreeSet::new()).unwrap();
+        e.converge().unwrap();
+        assert_eq!(
+            e.trace_path(AsId(1), p).unwrap(),
+            vec![AsId(1), AsId(10), AsId(20), AsId(3)]
+        );
+        assert_eq!(e.trace_path(AsId(3), p).unwrap(), vec![AsId(3)]);
+        assert!(e.trace_path(AsId(1), pfx("2001:db8:99::/48")).is_none());
+    }
+
+    #[test]
+    fn neighbor_pref_steers_equal_candidates() {
+        // E1 multihomes to T1 and T2; T1 and T2 both provide E2... make a
+        // node with two equal-length provider routes and a pref.
+        let mut t = Topology::new();
+        for id in [1u32, 10, 20, 5] {
+            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}"))).unwrap();
+        }
+        t.add_provider(AsId(1), AsId(10), lp()).unwrap();
+        t.add_provider(AsId(1), AsId(20), lp()).unwrap();
+        t.add_provider(AsId(5), AsId(10), lp()).unwrap();
+        t.add_provider(AsId(5), AsId(20), lp()).unwrap();
+        let mut e = BgpEngine::new(t);
+        let p = pfx("2001:db8:5::/48");
+        e.announce(AsId(5), p, BTreeSet::new()).unwrap();
+        // Without prefs, the tie-break is lowest neighbor id (10).
+        e.converge().unwrap();
+        assert_eq!(e.as_path(AsId(1), p).unwrap(), &[AsId(10), AsId(5)]);
+        // With a pref for 20, the route flips.
+        let mut prefs = BTreeMap::new();
+        prefs.insert(AsId(20), 40u32);
+        e.set_neighbor_pref(AsId(1), prefs).unwrap();
+        // Soft-reconfiguration inbound picks up the new preference.
+        assert!(e.refresh_import(AsId(1)).unwrap());
+        e.converge().unwrap();
+        assert_eq!(e.as_path(AsId(1), p).unwrap(), &[AsId(20), AsId(5)]);
+    }
+
+    #[test]
+    fn private_asn_stripping_at_border() {
+        // tenant (private ASN) -> border -> transit.
+        let mut t = Topology::new();
+        for id in [64701u32, 20473, 2914] {
+            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}"))).unwrap();
+        }
+        t.add_provider(AsId(64701), AsId(20473), lp()).unwrap();
+        t.add_provider(AsId(20473), AsId(2914), lp()).unwrap();
+        let mut e = BgpEngine::new(t);
+        e.set_strip_private(AsId(20473), true).unwrap();
+        let p = pfx("2001:db8:100::/48");
+        e.announce(AsId(64701), p, BTreeSet::new()).unwrap();
+        e.converge().unwrap();
+        // NTT sees [20473] — the private tenant ASN is gone.
+        assert_eq!(e.as_path(AsId(2914), p).unwrap(), &[AsId(20473)]);
+    }
+
+    #[test]
+    fn unknown_speaker_errors() {
+        let mut e = BgpEngine::new(topo());
+        assert_eq!(
+            e.announce(AsId(999), pfx("10.0.0.0/8"), BTreeSet::new()).unwrap_err(),
+            EngineError::UnknownSpeaker(AsId(999))
+        );
+        assert!(e.speaker(AsId(999)).is_err());
+    }
+}

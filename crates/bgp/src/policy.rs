@@ -1,0 +1,200 @@
+//! Gao-Rexford routing policy: local preference by relationship and the
+//! valley-free export rule.
+//!
+//! §2.2/§3 of the paper lean on this behaviour of the real Internet:
+//! *"core ASes often select paths based on business objectives rather
+//! than performance"* — which is exactly why the default BGP path between
+//! the Vultr DCs is 30 % slower than the best one (§5).
+
+use crate::rib::{Route, RouteSource};
+use tango_topology::{Relationship, Topology};
+
+/// Local-pref base for customer-learned routes (revenue: most preferred).
+pub const LP_CUSTOMER: u32 = 300;
+/// Local-pref base for peer-learned routes (free, but no revenue).
+pub const LP_PEER: u32 = 200;
+/// Local-pref base for provider-learned routes (costs money: least).
+pub const LP_PROVIDER: u32 = 100;
+/// Neighbor-preference bonuses must stay below this to never cross a
+/// relationship class boundary.
+pub const LP_CLASS_WIDTH: u32 = 100;
+
+/// The local-pref base for a route learned from `neighbor`, given the
+/// receiving AS `local`'s relationship to it.
+pub fn local_pref_base(topology: &Topology, local: tango_topology::AsId, neighbor: tango_topology::AsId) -> Option<u32> {
+    Some(match topology.relationship(local, neighbor)? {
+        // `local` is the neighbor's customer → the route came from our provider.
+        Relationship::CustomerOf => LP_PROVIDER,
+        Relationship::ProviderOf => LP_CUSTOMER,
+        Relationship::PeerOf => LP_PEER,
+    })
+}
+
+/// Valley-free export rule: may `local` export a route with the given
+/// source to `neighbor`?
+///
+/// * Locally originated and customer-learned routes go to everyone.
+/// * Peer- and provider-learned routes go only to customers.
+pub fn may_export(
+    topology: &Topology,
+    local: tango_topology::AsId,
+    route_source: &RouteSource,
+    neighbor: tango_topology::AsId,
+) -> bool {
+    let to_customer = topology.relationship(local, neighbor) == Some(Relationship::ProviderOf);
+    match route_source {
+        RouteSource::Local => true,
+        RouteSource::Neighbor(from) => {
+            if to_customer {
+                return true;
+            }
+            match topology.relationship(local, *from) {
+                // Learned from our customer → export anywhere.
+                Some(Relationship::ProviderOf) => true,
+                // Learned from peer or provider → customers only.
+                Some(Relationship::PeerOf) | Some(Relationship::CustomerOf) => false,
+                None => false,
+            }
+        }
+    }
+}
+
+/// Community post-processing at export: does the route's communities
+/// forbid exporting to this neighbor?
+///
+/// Well-known communities (NO_EXPORT, NO_ADVERTISE) are honored by every
+/// speaker. *Action* communities (`NoExportTo`) are honored only when
+/// `honor_actions` is set — they are scoped to the provider that defines
+/// them (Vultr's border in the prototype). This scoping matters: the
+/// LA→NY fourth path traverses NTT *mid-path* ([NTT, Cogent], Fig. 3),
+/// which only exists because Cogent treats Vultr's "do not announce to
+/// NTT" community as opaque.
+pub fn communities_forbid(
+    route: &Route,
+    neighbor: tango_topology::AsId,
+    learned_from_ebgp: bool,
+    honor_actions: bool,
+) -> bool {
+    use crate::community::Community;
+    route.communities.iter().any(|c| match c {
+        Community::NoAdvertise => true,
+        // NO_EXPORT keeps the route inside the receiving AS: a locally
+        // originated route may still be sent to the first eBGP hop.
+        Community::NoExport => learned_from_ebgp,
+        _ => honor_actions && c.forbids_export_to(neighbor),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::community::Community;
+    use std::collections::BTreeSet;
+    use tango_topology::{AsId, AsKind, AsNode, DirectionProfile, LinkProfile};
+
+    /// customer(1) -> provider(2) -- peer(3); 2 also provides 4.
+    fn topo() -> Topology {
+        let mut t = Topology::new();
+        for id in 1..=4u32 {
+            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}"))).unwrap();
+        }
+        let lp = || LinkProfile::symmetric(DirectionProfile::constant(1));
+        t.add_provider(AsId(1), AsId(2), lp()).unwrap();
+        t.add_peering(AsId(2), AsId(3), lp()).unwrap();
+        t.add_provider(AsId(4), AsId(2), lp()).unwrap();
+        t
+    }
+
+    fn route_from(n: u32) -> Route {
+        Route {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            as_path: vec![AsId(n)],
+            communities: BTreeSet::new(),
+            source: RouteSource::Neighbor(AsId(n)),
+            local_pref: 0,
+            med: 0,
+            tie_pref: 0,
+        }
+    }
+
+    #[test]
+    fn local_pref_by_relationship() {
+        let t = topo();
+        // AS2 learns from customer 1 → customer pref.
+        assert_eq!(local_pref_base(&t, AsId(2), AsId(1)), Some(LP_CUSTOMER));
+        // AS1 learns from provider 2.
+        assert_eq!(local_pref_base(&t, AsId(1), AsId(2)), Some(LP_PROVIDER));
+        // AS2 learns from peer 3.
+        assert_eq!(local_pref_base(&t, AsId(2), AsId(3)), Some(LP_PEER));
+        // Not adjacent.
+        assert_eq!(local_pref_base(&t, AsId(1), AsId(3)), None);
+    }
+
+    #[test]
+    fn customer_routes_exported_everywhere() {
+        let t = topo();
+        let src = RouteSource::Neighbor(AsId(1)); // AS2's customer
+        assert!(may_export(&t, AsId(2), &src, AsId(3))); // to peer
+        assert!(may_export(&t, AsId(2), &src, AsId(4))); // to customer
+    }
+
+    #[test]
+    fn peer_routes_only_to_customers() {
+        let t = topo();
+        let src = RouteSource::Neighbor(AsId(3)); // AS2's peer
+        assert!(may_export(&t, AsId(2), &src, AsId(1))); // to customer: yes
+        assert!(may_export(&t, AsId(2), &src, AsId(4))); // to customer: yes
+        assert!(!may_export(&t, AsId(2), &src, AsId(3))); // back to peer: no
+    }
+
+    #[test]
+    fn provider_routes_only_to_customers() {
+        let t = topo();
+        let src = RouteSource::Neighbor(AsId(2)); // AS1's provider
+        // AS1 has no customers or peers in this topo, so nothing to check
+        // except that export back to the provider is denied.
+        assert!(!may_export(&t, AsId(1), &src, AsId(2)));
+    }
+
+    #[test]
+    fn local_routes_exported_everywhere() {
+        let t = topo();
+        assert!(may_export(&t, AsId(1), &RouteSource::Local, AsId(2)));
+        assert!(may_export(&t, AsId(2), &RouteSource::Local, AsId(3)));
+    }
+
+    #[test]
+    fn no_export_to_community_blocks_target_only() {
+        let mut r = route_from(1);
+        r.communities.insert(Community::NoExportTo(AsId(3)));
+        assert!(communities_forbid(&r, AsId(3), true, true));
+        assert!(!communities_forbid(&r, AsId(2), true, true));
+    }
+
+    #[test]
+    fn action_community_is_opaque_unless_honored() {
+        // A transit that does not act on Vultr's namespace must carry the
+        // route through — this is what keeps the [NTT, Cogent] path alive.
+        let mut r = route_from(1);
+        r.communities.insert(Community::NoExportTo(AsId(3)));
+        assert!(!communities_forbid(&r, AsId(3), true, false));
+    }
+
+    #[test]
+    fn well_known_no_advertise_blocks_all() {
+        let mut r = route_from(1);
+        r.communities.insert(Community::NoAdvertise);
+        assert!(communities_forbid(&r, AsId(2), false, false));
+        assert!(communities_forbid(&r, AsId(3), true, true));
+    }
+
+    #[test]
+    fn no_export_allows_first_ebgp_hop_only() {
+        let mut r = route_from(1);
+        r.communities.insert(Community::NoExport);
+        // Originator may send even without honoring action communities.
+        assert!(!communities_forbid(&r, AsId(2), false, false));
+        // Receiver may not re-export.
+        assert!(communities_forbid(&r, AsId(2), true, false));
+    }
+}

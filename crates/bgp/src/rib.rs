@@ -1,0 +1,216 @@
+//! Routes and the BGP decision process.
+
+use crate::community::Community;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use tango_net::IpCidr;
+use tango_topology::AsId;
+
+/// Where a route entered the local speaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteSource {
+    /// Originated locally (our own prefix).
+    Local,
+    /// Learned from the given eBGP neighbor.
+    Neighbor(AsId),
+}
+
+impl RouteSource {
+    /// The neighbor id, if learned.
+    pub fn neighbor(&self) -> Option<AsId> {
+        match self {
+            RouteSource::Local => None,
+            RouteSource::Neighbor(n) => Some(*n),
+        }
+    }
+}
+
+/// A candidate route for one prefix, as held in a RIB.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// Destination prefix.
+    pub prefix: IpCidr,
+    /// AS path; element 0 is the *nearest* AS (the neighbor that sent it),
+    /// the last element is the origin. Empty for locally originated routes.
+    pub as_path: Vec<AsId>,
+    /// Attached communities.
+    pub communities: BTreeSet<Community>,
+    /// How the route entered this speaker.
+    pub source: RouteSource,
+    /// Computed local preference (relationship-based).
+    pub local_pref: u32,
+    /// Multi-exit discriminator (carried; low = preferred).
+    pub med: u32,
+    /// Per-neighbor administrative preference (higher = preferred),
+    /// compared *after* AS-path length — this models Vultr's router
+    /// preference among otherwise-equal provider routes ("in order of
+    /// preference by Vultr's routers: NTT, Telia, GTT", §4.1) without
+    /// letting it override shortest-path selection.
+    pub tie_pref: u32,
+}
+
+impl Route {
+    /// A locally originated route.
+    pub fn originate(prefix: IpCidr, communities: BTreeSet<Community>) -> Self {
+        Route {
+            prefix,
+            as_path: Vec::new(),
+            communities,
+            source: RouteSource::Local,
+            local_pref: u32::MAX, // local routes always win
+            med: 0,
+            tie_pref: 0,
+        }
+    }
+
+    /// Does the AS path contain `asid` (loop detection / poisoning)?
+    pub fn path_contains(&self, asid: AsId) -> bool {
+        self.as_path.contains(&asid)
+    }
+
+    /// The origin AS of the path (None for local routes).
+    pub fn origin(&self) -> Option<AsId> {
+        self.as_path.last().copied()
+    }
+
+    /// AS-path length counting *unique* prepends as-is (standard length).
+    pub fn path_len(&self) -> usize {
+        self.as_path.len()
+    }
+}
+
+/// The decision process: pick the best route among candidates.
+///
+/// Order (RFC 4271 §9.1 subset, documented in the crate root):
+/// 1. highest `local_pref`;
+/// 2. shortest AS path;
+/// 3. lowest MED (compared across all candidates — "always-compare-med");
+/// 4. highest per-neighbor `tie_pref` (Vultr-style administrative order);
+/// 5. lowest neighbor AS id (deterministic tie-break, standing in for
+///    lowest-router-id).
+///
+/// Returns the index of the winner, or `None` if `candidates` is empty.
+pub fn decide(candidates: &[Route]) -> Option<usize> {
+    if candidates.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    for i in 1..candidates.len() {
+        if better(&candidates[i], &candidates[best]) {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Is `a` strictly better than `b` under the decision process?
+pub fn better(a: &Route, b: &Route) -> bool {
+    if a.local_pref != b.local_pref {
+        return a.local_pref > b.local_pref;
+    }
+    if a.path_len() != b.path_len() {
+        return a.path_len() < b.path_len();
+    }
+    if a.med != b.med {
+        return a.med < b.med;
+    }
+    if a.tie_pref != b.tie_pref {
+        return a.tie_pref > b.tie_pref;
+    }
+    let na = a.source.neighbor().map(|n| n.0).unwrap_or(0);
+    let nb = b.source.neighbor().map(|n| n.0).unwrap_or(0);
+    na < nb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prefix() -> IpCidr {
+        "2001:db8:100::/48".parse().unwrap()
+    }
+
+    fn route(lp: u32, path: &[u32], neighbor: u32) -> Route {
+        Route {
+            prefix: prefix(),
+            as_path: path.iter().map(|&a| AsId(a)).collect(),
+            communities: BTreeSet::new(),
+            source: RouteSource::Neighbor(AsId(neighbor)),
+            local_pref: lp,
+            med: 0,
+            tie_pref: 0,
+        }
+    }
+
+    #[test]
+    fn local_pref_dominates_path_length() {
+        let short_low = route(100, &[1], 1);
+        let long_high = route(300, &[2, 3, 4], 2);
+        assert_eq!(decide(&[short_low.clone(), long_high.clone()]), Some(1));
+        assert!(better(&long_high, &short_low));
+    }
+
+    #[test]
+    fn path_length_breaks_equal_pref() {
+        let long = route(100, &[1, 2, 3], 1);
+        let short = route(100, &[4, 5], 4);
+        assert_eq!(decide(&[long, short]), Some(1));
+    }
+
+    #[test]
+    fn med_breaks_equal_length() {
+        let mut a = route(100, &[1], 1);
+        a.med = 20;
+        let mut b = route(100, &[2], 2);
+        b.med = 10;
+        assert_eq!(decide(&[a, b]), Some(1));
+    }
+
+    #[test]
+    fn neighbor_id_is_final_tiebreak() {
+        let a = route(100, &[9], 9);
+        let b = route(100, &[3], 3);
+        assert_eq!(decide(&[a, b]), Some(1));
+    }
+
+    #[test]
+    fn local_route_always_wins() {
+        let local = Route::originate(prefix(), BTreeSet::new());
+        let learned = route(300, &[1], 1);
+        assert_eq!(decide(&[learned, local.clone()]), Some(1));
+        assert_eq!(local.path_len(), 0);
+        assert_eq!(local.origin(), None);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        assert_eq!(decide(&[]), None);
+    }
+
+    #[test]
+    fn prepending_lengthens_and_demotes() {
+        let plain = route(100, &[7, 8], 7);
+        let prepended = route(100, &[5, 5, 5, 8], 5);
+        assert_eq!(decide(&[prepended, plain]), Some(1));
+    }
+
+    #[test]
+    fn path_contains_and_origin() {
+        let r = route(100, &[3, 2, 1], 3);
+        assert!(r.path_contains(AsId(2)));
+        assert!(!r.path_contains(AsId(9)));
+        assert_eq!(r.origin(), Some(AsId(1)));
+    }
+
+    #[test]
+    fn decision_is_deterministic_under_permutation() {
+        let a = route(100, &[1, 2], 1);
+        let b = route(100, &[3, 4], 3);
+        let c = route(200, &[5, 6, 7], 5);
+        let i1 = decide(&[a.clone(), b.clone(), c.clone()]).unwrap();
+        let i2 = decide(&[c.clone(), a.clone(), b.clone()]).unwrap();
+        let w1 = &[a.clone(), b.clone(), c.clone()][i1];
+        let w2 = &[c, a, b][i2];
+        assert_eq!(w1, w2);
+    }
+}

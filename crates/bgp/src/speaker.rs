@@ -1,0 +1,501 @@
+//! A per-domain BGP border speaker: three RIBs plus import/export policy.
+//!
+//! This is the in-memory equivalent of the BIRD instance + Vultr border
+//! router pair of the prototype (§4.1): it computes local-pref from
+//! business relationships (plus the per-neighbor preference that models
+//! "in order of preference by Vultr's routers"), runs the decision
+//! process, applies valley-free export filters, honors action communities,
+//! strips private ASNs on export, and supports AS-path poisoning at
+//! origination.
+
+use crate::community::Community;
+use crate::policy::{communities_forbid, local_pref_base, may_export};
+use crate::rib::{decide, Route, RouteSource};
+use std::collections::{BTreeMap, BTreeSet};
+use tango_net::IpCidr;
+use tango_topology::{AsId, Topology};
+
+/// Static configuration of one speaker.
+#[derive(Debug, Clone)]
+pub struct SpeakerConfig {
+    /// The speaker's AS (routing-domain) id.
+    pub asid: AsId,
+    /// Per-neighbor administrative preference, applied as a tie-break
+    /// *after* AS-path length (see `rib::better`). Models the Vultr
+    /// borders' NTT > Telia > GTT ordering without overriding
+    /// shortest-path selection.
+    pub neighbor_pref: BTreeMap<AsId, u32>,
+    /// Strip private ASNs from the AS path when exporting — what Vultr
+    /// does with the tenant's private-ASN session (§4.1 footnote).
+    pub strip_private_asns: bool,
+    /// Act on action communities (`NoExportTo`, `PrependTo`) when
+    /// exporting. Set on the provider that defines the community
+    /// namespace (the Vultr borders); everyone else carries them opaquely.
+    pub honor_action_communities: bool,
+}
+
+impl SpeakerConfig {
+    /// Default config for an AS.
+    pub fn new(asid: AsId) -> Self {
+        SpeakerConfig {
+            asid,
+            neighbor_pref: BTreeMap::new(),
+            strip_private_asns: false,
+            honor_action_communities: false,
+        }
+    }
+
+    fn bonus(&self, neighbor: AsId) -> u32 {
+        self.neighbor_pref.get(&neighbor).copied().unwrap_or(0)
+    }
+}
+
+/// A BGP speaker: originated routes, Adj-RIB-In, Loc-RIB, Adj-RIB-Out.
+#[derive(Debug, Clone)]
+pub struct BgpSpeaker {
+    config: SpeakerConfig,
+    /// Locally originated routes.
+    originated: BTreeMap<IpCidr, Route>,
+    /// Routes as received, keyed by (neighbor, prefix).
+    adj_rib_in: BTreeMap<(AsId, IpCidr), Route>,
+    /// Best route per prefix after the decision process.
+    loc_rib: BTreeMap<IpCidr, Route>,
+    /// What we last sent each neighbor, keyed by (neighbor, prefix);
+    /// used by the engine to generate implicit withdrawals.
+    adj_rib_out: BTreeMap<(AsId, IpCidr), Route>,
+}
+
+impl BgpSpeaker {
+    /// A speaker with the given configuration.
+    pub fn new(config: SpeakerConfig) -> Self {
+        BgpSpeaker {
+            config,
+            originated: BTreeMap::new(),
+            adj_rib_in: BTreeMap::new(),
+            loc_rib: BTreeMap::new(),
+            adj_rib_out: BTreeMap::new(),
+        }
+    }
+
+    /// This speaker's id.
+    pub fn asid(&self) -> AsId {
+        self.config.asid
+    }
+
+    /// Mutable access to the configuration (neighbor prefs etc.).
+    pub fn config_mut(&mut self) -> &mut SpeakerConfig {
+        &mut self.config
+    }
+
+    /// Originate a prefix with communities attached.
+    pub fn originate(&mut self, prefix: IpCidr, communities: BTreeSet<Community>) {
+        self.originated.insert(prefix, Route::originate(prefix, communities));
+    }
+
+    /// Originate with AS-path poisoning: `poison` ASNs are planted in the
+    /// initial path, so those ASes will reject the route via loop
+    /// detection and the announcement routes around them (§6 mentions
+    /// poisoning as an additional path-exposure knob).
+    pub fn originate_poisoned(
+        &mut self,
+        prefix: IpCidr,
+        communities: BTreeSet<Community>,
+        poison: &[AsId],
+    ) {
+        let mut route = Route::originate(prefix, communities);
+        route.as_path = poison.to_vec();
+        self.originated.insert(prefix, route);
+    }
+
+    /// Stop originating a prefix.
+    pub fn withdraw_origin(&mut self, prefix: &IpCidr) -> bool {
+        self.originated.remove(prefix).is_some()
+    }
+
+    /// Replace the communities on an existing origination (the §4.1
+    /// discovery loop repeatedly edits the community set).
+    pub fn set_origin_communities(
+        &mut self,
+        prefix: &IpCidr,
+        communities: BTreeSet<Community>,
+    ) -> bool {
+        match self.originated.get_mut(prefix) {
+            Some(r) => {
+                r.communities = communities;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All locally originated prefixes.
+    pub fn originated_prefixes(&self) -> impl Iterator<Item = &IpCidr> {
+        self.originated.keys()
+    }
+
+    /// Process an incoming update (`Some(route)`) or withdrawal (`None`)
+    /// from `neighbor` for `prefix`. Returns true if Adj-RIB-In changed.
+    ///
+    /// Import policy: loop detection (reject paths containing our own id)
+    /// and local-pref computation happen here.
+    pub fn receive(
+        &mut self,
+        topology: &Topology,
+        neighbor: AsId,
+        prefix: IpCidr,
+        update: Option<Route>,
+    ) -> bool {
+        let key = (neighbor, prefix);
+        match update {
+            None => self.adj_rib_in.remove(&key).is_some(),
+            Some(mut route) => {
+                if route.path_contains(self.config.asid) {
+                    // Loop detected (or we were poisoned): treat as withdraw.
+                    return self.adj_rib_in.remove(&key).is_some();
+                }
+                let Some(base) = local_pref_base(topology, self.config.asid, neighbor) else {
+                    // Not actually adjacent: drop.
+                    return self.adj_rib_in.remove(&key).is_some();
+                };
+                route.local_pref = base;
+                route.tie_pref = self.config.bonus(neighbor);
+                route.source = RouteSource::Neighbor(neighbor);
+                let changed = self.adj_rib_in.get(&key) != Some(&route);
+                if changed {
+                    self.adj_rib_in.insert(key, route);
+                }
+                changed
+            }
+        }
+    }
+
+    /// Re-run the decision process over originated + learned routes.
+    /// Returns true if the Loc-RIB changed.
+    pub fn recompute(&mut self) -> bool {
+        let mut prefixes: BTreeSet<IpCidr> = self.originated.keys().copied().collect();
+        prefixes.extend(self.adj_rib_in.keys().map(|(_, p)| *p));
+        let mut new_loc: BTreeMap<IpCidr, Route> = BTreeMap::new();
+        for prefix in prefixes {
+            let mut candidates: Vec<Route> = Vec::new();
+            if let Some(local) = self.originated.get(&prefix) {
+                candidates.push(local.clone());
+            }
+            candidates.extend(
+                self.adj_rib_in
+                    .iter()
+                    .filter(|((_, p), _)| *p == prefix)
+                    .map(|(_, r)| r.clone()),
+            );
+            if let Some(i) = decide(&candidates) {
+                new_loc.insert(prefix, candidates.swap_remove(i));
+            }
+        }
+        let changed = new_loc != self.loc_rib;
+        if changed {
+            self.loc_rib = new_loc;
+        }
+        changed
+    }
+
+    /// The current best route for a prefix.
+    pub fn best(&self, prefix: &IpCidr) -> Option<&Route> {
+        self.loc_rib.get(prefix)
+    }
+
+    /// The whole Loc-RIB.
+    pub fn loc_rib(&self) -> &BTreeMap<IpCidr, Route> {
+        &self.loc_rib
+    }
+
+    /// Compute the export set toward `neighbor`: prefix → route as it
+    /// would appear *at the neighbor* (path prepended, private ASNs
+    /// stripped, prepend communities applied).
+    pub fn exports_to(&self, topology: &Topology, neighbor: AsId) -> BTreeMap<IpCidr, Route> {
+        let mut out = BTreeMap::new();
+        for (prefix, route) in &self.loc_rib {
+            if !may_export(topology, self.config.asid, &route.source, neighbor) {
+                continue;
+            }
+            let learned_from_ebgp = route.source.neighbor().is_some();
+            if communities_forbid(
+                route,
+                neighbor,
+                learned_from_ebgp,
+                self.config.honor_action_communities,
+            ) {
+                continue;
+            }
+            let mut exported = route.clone();
+            let mut path: Vec<AsId> = Vec::with_capacity(route.as_path.len() + 4);
+            // Prepend self once, plus any community-driven extra prepends
+            // (action communities only fire on the honoring provider).
+            let extra: u8 = if self.config.honor_action_communities {
+                route
+                    .communities
+                    .iter()
+                    .map(|c| c.prepend_count_for(neighbor))
+                    .max()
+                    .unwrap_or(0)
+            } else {
+                0
+            };
+            for _ in 0..=(extra) {
+                path.push(self.config.asid);
+            }
+            if self.config.strip_private_asns {
+                path.extend(route.as_path.iter().copied().filter(|a| !a.is_private()));
+            } else {
+                path.extend(route.as_path.iter().copied());
+            }
+            exported.as_path = path;
+            // local_pref/tie_pref/source are receiver-local; neutralize.
+            exported.local_pref = 0;
+            exported.tie_pref = 0;
+            exported.source = RouteSource::Neighbor(self.config.asid);
+            out.insert(*prefix, exported);
+        }
+        out
+    }
+
+    /// The last advertisement state toward one neighbor (engine bookkeeping).
+    pub fn rib_out_for(&self, neighbor: AsId) -> BTreeMap<IpCidr, Route> {
+        self.adj_rib_out
+            .iter()
+            .filter(|((n, _), _)| *n == neighbor)
+            .map(|((_, p), r)| (*p, r.clone()))
+            .collect()
+    }
+
+    /// Record what was just sent to one neighbor.
+    pub fn set_rib_out(&mut self, neighbor: AsId, exports: &BTreeMap<IpCidr, Route>) {
+        self.adj_rib_out.retain(|(n, _), _| *n != neighbor);
+        for (p, r) in exports {
+            self.adj_rib_out.insert((neighbor, *p), r.clone());
+        }
+    }
+
+    /// Number of Adj-RIB-In entries (diagnostics).
+    pub fn rib_in_len(&self) -> usize {
+        self.adj_rib_in.len()
+    }
+
+    /// Re-run import policy (local-pref computation) over everything in
+    /// Adj-RIB-In — needed after `neighbor_pref` changes, like a BGP
+    /// soft-reconfiguration inbound refresh. Returns true on any change.
+    pub fn refresh_import(&mut self, topology: &Topology) -> bool {
+        let mut changed = false;
+        let asid = self.config.asid;
+        let keys: Vec<(AsId, IpCidr)> = self.adj_rib_in.keys().copied().collect();
+        for (neighbor, prefix) in keys {
+            let Some(base) = local_pref_base(topology, asid, neighbor) else {
+                self.adj_rib_in.remove(&(neighbor, prefix));
+                changed = true;
+                continue;
+            };
+            let bonus = self.config.bonus(neighbor);
+            let entry = self.adj_rib_in.get_mut(&(neighbor, prefix)).expect("listed");
+            if entry.local_pref != base || entry.tie_pref != bonus {
+                entry.local_pref = base;
+                entry.tie_pref = bonus;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_topology::{AsKind, AsNode, DirectionProfile, LinkProfile};
+
+    fn topo() -> Topology {
+        // 1 (customer) -> 2 (provider), 2 peers 3.
+        let mut t = Topology::new();
+        for id in 1..=3u32 {
+            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}"))).unwrap();
+        }
+        let lp = || LinkProfile::symmetric(DirectionProfile::constant(1));
+        t.add_provider(AsId(1), AsId(2), lp()).unwrap();
+        t.add_peering(AsId(2), AsId(3), lp()).unwrap();
+        t
+    }
+
+    fn prefix() -> IpCidr {
+        "2001:db8:100::/48".parse().unwrap()
+    }
+
+    fn learned(path: &[u32]) -> Route {
+        Route {
+            prefix: prefix(),
+            as_path: path.iter().map(|&a| AsId(a)).collect(),
+            communities: BTreeSet::new(),
+            source: RouteSource::Neighbor(AsId(path[0])),
+            local_pref: 0,
+            med: 0,
+            tie_pref: 0,
+        }
+    }
+
+    #[test]
+    fn receive_computes_local_pref_and_source() {
+        let t = topo();
+        let mut s = BgpSpeaker::new(SpeakerConfig::new(AsId(2)));
+        assert!(s.receive(&t, AsId(1), prefix(), Some(learned(&[1]))));
+        s.recompute();
+        let best = s.best(&prefix()).unwrap();
+        assert_eq!(best.local_pref, crate::policy::LP_CUSTOMER);
+        assert_eq!(best.source, RouteSource::Neighbor(AsId(1)));
+    }
+
+    #[test]
+    fn neighbor_pref_never_overrides_relationship_or_length() {
+        let t = topo();
+        let mut cfg = SpeakerConfig::new(AsId(2));
+        cfg.neighbor_pref.insert(AsId(3), 99999); // arbitrarily large
+        let mut s = BgpSpeaker::new(cfg);
+        s.receive(&t, AsId(1), prefix(), Some(learned(&[1]))); // customer route
+        s.receive(&t, AsId(3), prefix(), Some(learned(&[3]))); // boosted peer route
+        s.recompute();
+        // Customer local-pref still beats any tie_pref on the peer route.
+        assert_eq!(s.best(&prefix()).unwrap().source, RouteSource::Neighbor(AsId(1)));
+    }
+
+    #[test]
+    fn loop_detection_rejects_own_asn() {
+        let t = topo();
+        let mut s = BgpSpeaker::new(SpeakerConfig::new(AsId(2)));
+        assert!(!s.receive(&t, AsId(1), prefix(), Some(learned(&[1, 2, 7]))));
+        s.recompute();
+        assert!(s.best(&prefix()).is_none());
+    }
+
+    #[test]
+    fn receive_same_route_reports_unchanged() {
+        let t = topo();
+        let mut s = BgpSpeaker::new(SpeakerConfig::new(AsId(2)));
+        assert!(s.receive(&t, AsId(1), prefix(), Some(learned(&[1]))));
+        assert!(!s.receive(&t, AsId(1), prefix(), Some(learned(&[1]))));
+        assert!(s.receive(&t, AsId(1), prefix(), None));
+        assert!(!s.receive(&t, AsId(1), prefix(), None));
+    }
+
+    #[test]
+    fn withdraw_falls_back_to_next_best() {
+        let t = topo();
+        let mut s = BgpSpeaker::new(SpeakerConfig::new(AsId(2)));
+        s.receive(&t, AsId(1), prefix(), Some(learned(&[1]))); // customer
+        s.receive(&t, AsId(3), prefix(), Some(learned(&[3]))); // peer
+        s.recompute();
+        assert_eq!(s.best(&prefix()).unwrap().source, RouteSource::Neighbor(AsId(1)));
+        s.receive(&t, AsId(1), prefix(), None);
+        assert!(s.recompute());
+        assert_eq!(s.best(&prefix()).unwrap().source, RouteSource::Neighbor(AsId(3)));
+    }
+
+    #[test]
+    fn export_prepends_self() {
+        let t = topo();
+        let mut s = BgpSpeaker::new(SpeakerConfig::new(AsId(2)));
+        s.receive(&t, AsId(1), prefix(), Some(learned(&[1])));
+        s.recompute();
+        let exports = s.exports_to(&t, AsId(3));
+        let r = exports.get(&prefix()).unwrap();
+        assert_eq!(r.as_path, vec![AsId(2), AsId(1)]);
+        assert_eq!(r.source, RouteSource::Neighbor(AsId(2)));
+    }
+
+    #[test]
+    fn export_honors_valley_free() {
+        let t = topo();
+        let mut s = BgpSpeaker::new(SpeakerConfig::new(AsId(2)));
+        // Peer-learned route must not be exported back to a peer.
+        s.receive(&t, AsId(3), prefix(), Some(learned(&[3])));
+        s.recompute();
+        assert!(s.exports_to(&t, AsId(3)).is_empty());
+        // ...but is exported to the customer.
+        assert_eq!(s.exports_to(&t, AsId(1)).len(), 1);
+    }
+
+    #[test]
+    fn export_honors_no_export_to_community() {
+        let t = topo();
+        let mut cfg = SpeakerConfig::new(AsId(2));
+        cfg.honor_action_communities = true;
+        let mut s = BgpSpeaker::new(cfg);
+        let mut comms = BTreeSet::new();
+        comms.insert(Community::NoExportTo(AsId(3)));
+        s.originate(prefix(), comms);
+        s.recompute();
+        assert!(s.exports_to(&t, AsId(3)).is_empty());
+        assert_eq!(s.exports_to(&t, AsId(1)).len(), 1);
+    }
+
+    #[test]
+    fn non_honoring_speaker_carries_action_community_through() {
+        let t = topo();
+        let mut s = BgpSpeaker::new(SpeakerConfig::new(AsId(2))); // honor = false
+        let mut comms = BTreeSet::new();
+        comms.insert(Community::NoExportTo(AsId(3)));
+        s.originate(prefix(), comms.clone());
+        s.recompute();
+        let exports = s.exports_to(&t, AsId(3));
+        assert_eq!(exports.len(), 1, "opaque community must not suppress");
+        // The community rides along for a downstream honoring AS.
+        assert_eq!(exports.get(&prefix()).unwrap().communities, comms);
+    }
+
+    #[test]
+    fn export_applies_prepend_community() {
+        let t = topo();
+        let mut cfg = SpeakerConfig::new(AsId(2));
+        cfg.honor_action_communities = true;
+        let mut s = BgpSpeaker::new(cfg);
+        let mut comms = BTreeSet::new();
+        comms.insert(Community::PrependTo(AsId(3), 2));
+        s.originate(prefix(), comms);
+        s.recompute();
+        let to3 = s.exports_to(&t, AsId(3));
+        assert_eq!(to3.get(&prefix()).unwrap().as_path, vec![AsId(2); 3]);
+        let to1 = s.exports_to(&t, AsId(1));
+        assert_eq!(to1.get(&prefix()).unwrap().as_path, vec![AsId(2)]);
+    }
+
+    #[test]
+    fn export_strips_private_asns_when_configured() {
+        let t = topo();
+        let mut cfg = SpeakerConfig::new(AsId(2));
+        cfg.strip_private_asns = true;
+        let mut s = BgpSpeaker::new(cfg);
+        s.receive(&t, AsId(1), prefix(), Some(learned(&[1])));
+        // Manually fake a private ASN on the stored path.
+        let k = (AsId(1), prefix());
+        s.adj_rib_in.get_mut(&k).unwrap().as_path = vec![AsId(64701)];
+        s.recompute();
+        let exports = s.exports_to(&t, AsId(3));
+        assert_eq!(exports.get(&prefix()).unwrap().as_path, vec![AsId(2)]);
+    }
+
+    #[test]
+    fn poisoned_origination_carries_poison() {
+        let t = topo();
+        let mut s = BgpSpeaker::new(SpeakerConfig::new(AsId(2)));
+        s.originate_poisoned(prefix(), BTreeSet::new(), &[AsId(3)]);
+        s.recompute();
+        let exports = s.exports_to(&t, AsId(1));
+        assert_eq!(exports.get(&prefix()).unwrap().as_path, vec![AsId(2), AsId(3)]);
+    }
+
+    #[test]
+    fn set_origin_communities_updates() {
+        let mut s = BgpSpeaker::new(SpeakerConfig::new(AsId(2)));
+        s.originate(prefix(), BTreeSet::new());
+        let mut c = BTreeSet::new();
+        c.insert(Community::NoExportTo(AsId(9)));
+        assert!(s.set_origin_communities(&prefix(), c.clone()));
+        s.recompute();
+        assert_eq!(s.best(&prefix()).unwrap().communities, c);
+        let other: IpCidr = "10.0.0.0/8".parse().unwrap();
+        assert!(!s.set_origin_communities(&other, BTreeSet::new()));
+    }
+}

@@ -1,0 +1,904 @@
+//! RFC 4271 UPDATE message wire format (with RFC 6793 4-octet ASNs,
+//! RFC 1997/8092 communities, and RFC 4760 multiprotocol NLRI for IPv6).
+//!
+//! The in-memory engine exchanges typed [`crate::rib::Route`]s; this
+//! module exists so announcements can be serialized byte-exactly — the
+//! missing piece if the control plane were pointed at a real BIRD
+//! session — and to pin the formats with tests.
+
+use crate::community::{Community, WireCommunity};
+use std::net::{Ipv4Addr, Ipv6Addr};
+use tango_net::{IpCidr, Ipv4Cidr, Ipv6Cidr};
+use tango_topology::AsId;
+
+/// BGP message types (RFC 4271 §4.1).
+pub const MSG_OPEN: u8 = 1;
+/// UPDATE message type.
+pub const MSG_UPDATE: u8 = 2;
+/// NOTIFICATION message type.
+pub const MSG_NOTIFICATION: u8 = 3;
+/// KEEPALIVE message type.
+pub const MSG_KEEPALIVE: u8 = 4;
+/// The 2-octet placeholder ASN used in OPEN by 4-octet-AS speakers
+/// whose real ASN does not fit (RFC 6793, AS_TRANS).
+pub const AS_TRANS: u16 = 23456;
+
+/// Path attribute type codes.
+mod attr {
+    pub const ORIGIN: u8 = 1;
+    pub const AS_PATH: u8 = 2;
+    pub const NEXT_HOP: u8 = 3;
+    pub const MED: u8 = 4;
+    pub const COMMUNITIES: u8 = 8;
+    pub const MP_REACH_NLRI: u8 = 14;
+    pub const MP_UNREACH_NLRI: u8 = 15;
+    pub const LARGE_COMMUNITIES: u8 = 32;
+}
+
+/// Attribute flag bits.
+const FLAG_OPTIONAL: u8 = 0x80;
+const FLAG_TRANSITIVE: u8 = 0x40;
+const FLAG_EXT_LEN: u8 = 0x10;
+
+/// Errors decoding a BGP message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer shorter than a field demands.
+    Truncated,
+    /// Marker bytes were not all-ones.
+    BadMarker,
+    /// Message type was not UPDATE.
+    NotUpdate,
+    /// Unknown message type byte.
+    BadType,
+    /// An OPEN message field was invalid (version, optional params).
+    BadOpen,
+    /// A length field is inconsistent with the enclosing structure.
+    BadLength,
+    /// A prefix length exceeded the address-family maximum.
+    BadPrefix,
+    /// Unknown or unsupported AFI/SAFI in MP attributes.
+    BadAfi,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            WireError::Truncated => "truncated message",
+            WireError::BadMarker => "bad marker",
+            WireError::NotUpdate => "not an UPDATE message",
+            WireError::BadType => "unknown message type",
+            WireError::BadOpen => "invalid OPEN message",
+            WireError::BadLength => "inconsistent length",
+            WireError::BadPrefix => "invalid prefix length",
+            WireError::BadAfi => "unsupported AFI/SAFI",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decoded UPDATE message (the subset of attributes Tango uses).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UpdateMessage {
+    /// Withdrawn IPv4 prefixes (classic field) and IPv6 (MP_UNREACH).
+    pub withdrawn: Vec<IpCidr>,
+    /// Announced prefixes: classic NLRI (IPv4) and MP_REACH (IPv6).
+    pub announced: Vec<IpCidr>,
+    /// AS path (AS_SEQUENCE of 4-octet ASNs).
+    pub as_path: Vec<AsId>,
+    /// IPv4 next hop (classic NEXT_HOP attribute), if any.
+    pub next_hop_v4: Option<Ipv4Addr>,
+    /// IPv6 next hop (inside MP_REACH), if any.
+    pub next_hop_v6: Option<Ipv6Addr>,
+    /// Multi-exit discriminator.
+    pub med: Option<u32>,
+    /// Communities (classic and large merged into typed values).
+    pub communities: Vec<Community>,
+}
+
+fn prefix_wire_len(bits: u8) -> usize {
+    usize::from(bits).div_ceil(8)
+}
+
+fn push_prefix_v4(out: &mut Vec<u8>, c: &Ipv4Cidr) {
+    out.push(c.prefix_len());
+    let n = prefix_wire_len(c.prefix_len());
+    out.extend_from_slice(&c.network().octets()[..n]);
+}
+
+fn push_prefix_v6(out: &mut Vec<u8>, c: &Ipv6Cidr) {
+    out.push(c.prefix_len());
+    let n = prefix_wire_len(c.prefix_len());
+    out.extend_from_slice(&c.network().octets()[..n]);
+}
+
+fn read_prefix_v4(data: &[u8], pos: &mut usize) -> Result<Ipv4Cidr, WireError> {
+    let len = *data.get(*pos).ok_or(WireError::Truncated)?;
+    *pos += 1;
+    if len > 32 {
+        return Err(WireError::BadPrefix);
+    }
+    let n = prefix_wire_len(len);
+    if *pos + n > data.len() {
+        return Err(WireError::Truncated);
+    }
+    let mut octets = [0u8; 4];
+    octets[..n].copy_from_slice(&data[*pos..*pos + n]);
+    *pos += n;
+    Ipv4Cidr::new(Ipv4Addr::from(octets), len).map_err(|_| WireError::BadPrefix)
+}
+
+fn read_prefix_v6(data: &[u8], pos: &mut usize) -> Result<Ipv6Cidr, WireError> {
+    let len = *data.get(*pos).ok_or(WireError::Truncated)?;
+    *pos += 1;
+    if len > 128 {
+        return Err(WireError::BadPrefix);
+    }
+    let n = prefix_wire_len(len);
+    if *pos + n > data.len() {
+        return Err(WireError::Truncated);
+    }
+    let mut octets = [0u8; 16];
+    octets[..n].copy_from_slice(&data[*pos..*pos + n]);
+    *pos += n;
+    Ipv6Cidr::new(Ipv6Addr::from(octets), len).map_err(|_| WireError::BadPrefix)
+}
+
+fn push_attr(out: &mut Vec<u8>, flags: u8, type_code: u8, value: &[u8]) {
+    if value.len() > 255 {
+        out.push(flags | FLAG_EXT_LEN);
+        out.push(type_code);
+        out.extend_from_slice(&(value.len() as u16).to_be_bytes());
+    } else {
+        out.push(flags);
+        out.push(type_code);
+        out.push(value.len() as u8);
+    }
+    out.extend_from_slice(value);
+}
+
+impl UpdateMessage {
+    /// Encode to a full BGP message (header + UPDATE body).
+    pub fn encode(&self) -> Vec<u8> {
+        // --- withdrawn routes (IPv4 only; IPv6 goes to MP_UNREACH) ---
+        let mut withdrawn_v4 = Vec::new();
+        let mut withdrawn_v6: Vec<&Ipv6Cidr> = Vec::new();
+        for w in &self.withdrawn {
+            match w {
+                IpCidr::V4(c) => push_prefix_v4(&mut withdrawn_v4, c),
+                IpCidr::V6(c) => withdrawn_v6.push(c),
+            }
+        }
+
+        // --- path attributes ---
+        let mut attrs = Vec::new();
+        let announces_any = !self.announced.is_empty();
+        if announces_any {
+            // ORIGIN: IGP.
+            push_attr(&mut attrs, FLAG_TRANSITIVE, attr::ORIGIN, &[0]);
+            // AS_PATH: one AS_SEQUENCE segment of 4-octet ASNs.
+            let mut path = Vec::with_capacity(2 + 4 * self.as_path.len());
+            path.push(2); // AS_SEQUENCE
+            path.push(self.as_path.len() as u8);
+            for a in &self.as_path {
+                path.extend_from_slice(&a.0.to_be_bytes());
+            }
+            push_attr(&mut attrs, FLAG_TRANSITIVE, attr::AS_PATH, &path);
+        }
+        if let Some(nh) = self.next_hop_v4 {
+            push_attr(&mut attrs, FLAG_TRANSITIVE, attr::NEXT_HOP, &nh.octets());
+        }
+        if let Some(med) = self.med {
+            push_attr(&mut attrs, FLAG_OPTIONAL, attr::MED, &med.to_be_bytes());
+        }
+        let mut classic = Vec::new();
+        let mut large = Vec::new();
+        for c in &self.communities {
+            match c.to_wire() {
+                WireCommunity::Classic(raw) => classic.extend_from_slice(&raw.to_be_bytes()),
+                WireCommunity::Large(a, b, d) => {
+                    large.extend_from_slice(&a.to_be_bytes());
+                    large.extend_from_slice(&b.to_be_bytes());
+                    large.extend_from_slice(&d.to_be_bytes());
+                }
+            }
+        }
+        if !classic.is_empty() {
+            push_attr(&mut attrs, FLAG_OPTIONAL | FLAG_TRANSITIVE, attr::COMMUNITIES, &classic);
+        }
+        if !large.is_empty() {
+            push_attr(
+                &mut attrs,
+                FLAG_OPTIONAL | FLAG_TRANSITIVE,
+                attr::LARGE_COMMUNITIES,
+                &large,
+            );
+        }
+        // MP_REACH_NLRI for IPv6 announcements.
+        let v6_announced: Vec<&Ipv6Cidr> = self
+            .announced
+            .iter()
+            .filter_map(|p| match p {
+                IpCidr::V6(c) => Some(c),
+                IpCidr::V4(_) => None,
+            })
+            .collect();
+        if !v6_announced.is_empty() {
+            let mut mp = Vec::new();
+            mp.extend_from_slice(&2u16.to_be_bytes()); // AFI: IPv6
+            mp.push(1); // SAFI: unicast
+            let nh = self.next_hop_v6.unwrap_or(Ipv6Addr::UNSPECIFIED);
+            mp.push(16);
+            mp.extend_from_slice(&nh.octets());
+            mp.push(0); // reserved (SNPA count)
+            for c in &v6_announced {
+                push_prefix_v6(&mut mp, c);
+            }
+            push_attr(&mut attrs, FLAG_OPTIONAL, attr::MP_REACH_NLRI, &mp);
+        }
+        // MP_UNREACH_NLRI for IPv6 withdrawals.
+        if !withdrawn_v6.is_empty() {
+            let mut mp = Vec::new();
+            mp.extend_from_slice(&2u16.to_be_bytes());
+            mp.push(1);
+            for c in &withdrawn_v6 {
+                push_prefix_v6(&mut mp, c);
+            }
+            push_attr(&mut attrs, FLAG_OPTIONAL, attr::MP_UNREACH_NLRI, &mp);
+        }
+
+        // --- classic NLRI (IPv4 announcements) ---
+        let mut nlri = Vec::new();
+        for p in &self.announced {
+            if let IpCidr::V4(c) = p {
+                push_prefix_v4(&mut nlri, c);
+            }
+        }
+
+        // --- assemble ---
+        let body_len = 2 + withdrawn_v4.len() + 2 + attrs.len() + nlri.len();
+        let total_len = 19 + body_len;
+        let mut out = Vec::with_capacity(total_len);
+        out.extend_from_slice(&[0xff; 16]);
+        out.extend_from_slice(&(total_len as u16).to_be_bytes());
+        out.push(MSG_UPDATE);
+        out.extend_from_slice(&(withdrawn_v4.len() as u16).to_be_bytes());
+        out.extend_from_slice(&withdrawn_v4);
+        out.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
+        out.extend_from_slice(&attrs);
+        out.extend_from_slice(&nlri);
+        out
+    }
+
+    /// Decode a full BGP message.
+    pub fn decode(data: &[u8]) -> Result<Self, WireError> {
+        if data.len() < 19 {
+            return Err(WireError::Truncated);
+        }
+        if data[..16] != [0xff; 16] {
+            return Err(WireError::BadMarker);
+        }
+        let total = usize::from(u16::from_be_bytes([data[16], data[17]]));
+        if total != data.len() || total < 19 {
+            return Err(WireError::BadLength);
+        }
+        if data[18] != MSG_UPDATE {
+            return Err(WireError::NotUpdate);
+        }
+        let mut msg = UpdateMessage::default();
+        let mut pos = 19;
+
+        // Withdrawn IPv4 routes.
+        if pos + 2 > data.len() {
+            return Err(WireError::Truncated);
+        }
+        let wd_len = usize::from(u16::from_be_bytes([data[pos], data[pos + 1]]));
+        pos += 2;
+        let wd_end = pos + wd_len;
+        if wd_end > data.len() {
+            return Err(WireError::BadLength);
+        }
+        while pos < wd_end {
+            msg.withdrawn.push(IpCidr::V4(read_prefix_v4(data, &mut pos)?));
+        }
+        if pos != wd_end {
+            return Err(WireError::BadLength);
+        }
+
+        // Path attributes.
+        if pos + 2 > data.len() {
+            return Err(WireError::Truncated);
+        }
+        let attrs_len = usize::from(u16::from_be_bytes([data[pos], data[pos + 1]]));
+        pos += 2;
+        let attrs_end = pos + attrs_len;
+        if attrs_end > data.len() {
+            return Err(WireError::BadLength);
+        }
+        while pos < attrs_end {
+            if pos + 2 > attrs_end {
+                return Err(WireError::Truncated);
+            }
+            let flags = data[pos];
+            let type_code = data[pos + 1];
+            pos += 2;
+            let len = if flags & FLAG_EXT_LEN != 0 {
+                if pos + 2 > attrs_end {
+                    return Err(WireError::Truncated);
+                }
+                let l = usize::from(u16::from_be_bytes([data[pos], data[pos + 1]]));
+                pos += 2;
+                l
+            } else {
+                let l = usize::from(*data.get(pos).ok_or(WireError::Truncated)?);
+                pos += 1;
+                l
+            };
+            if pos + len > attrs_end {
+                return Err(WireError::Truncated);
+            }
+            let value = &data[pos..pos + len];
+            pos += len;
+            match type_code {
+                attr::AS_PATH => {
+                    let mut vp = 0;
+                    while vp < value.len() {
+                        if vp + 2 > value.len() {
+                            return Err(WireError::Truncated);
+                        }
+                        let seg_type = value[vp];
+                        let count = usize::from(value[vp + 1]);
+                        vp += 2;
+                        if vp + 4 * count > value.len() {
+                            return Err(WireError::Truncated);
+                        }
+                        for _ in 0..count {
+                            let asn = u32::from_be_bytes([
+                                value[vp],
+                                value[vp + 1],
+                                value[vp + 2],
+                                value[vp + 3],
+                            ]);
+                            vp += 4;
+                            // AS_SET members are order-less; we append
+                            // either way (sets only arise from aggregation,
+                            // which we never emit).
+                            let _ = seg_type;
+                            msg.as_path.push(AsId(asn));
+                        }
+                    }
+                }
+                attr::NEXT_HOP => {
+                    if value.len() != 4 {
+                        return Err(WireError::BadLength);
+                    }
+                    msg.next_hop_v4 =
+                        Some(Ipv4Addr::new(value[0], value[1], value[2], value[3]));
+                }
+                attr::MED => {
+                    if value.len() != 4 {
+                        return Err(WireError::BadLength);
+                    }
+                    msg.med =
+                        Some(u32::from_be_bytes([value[0], value[1], value[2], value[3]]));
+                }
+                attr::COMMUNITIES => {
+                    if value.len() % 4 != 0 {
+                        return Err(WireError::BadLength);
+                    }
+                    for chunk in value.chunks_exact(4) {
+                        let raw =
+                            u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                        msg.communities.push(Community::from_wire(WireCommunity::Classic(raw)));
+                    }
+                }
+                attr::LARGE_COMMUNITIES => {
+                    if value.len() % 12 != 0 {
+                        return Err(WireError::BadLength);
+                    }
+                    for chunk in value.chunks_exact(12) {
+                        let a = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                        let b = u32::from_be_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+                        let d = u32::from_be_bytes([chunk[8], chunk[9], chunk[10], chunk[11]]);
+                        msg.communities
+                            .push(Community::from_wire(WireCommunity::Large(a, b, d)));
+                    }
+                }
+                attr::MP_REACH_NLRI => {
+                    if value.len() < 5 {
+                        return Err(WireError::Truncated);
+                    }
+                    let afi = u16::from_be_bytes([value[0], value[1]]);
+                    let safi = value[2];
+                    if afi != 2 || safi != 1 {
+                        return Err(WireError::BadAfi);
+                    }
+                    let nh_len = usize::from(value[3]);
+                    if nh_len != 16 || value.len() < 4 + nh_len + 1 {
+                        return Err(WireError::BadLength);
+                    }
+                    let mut nh = [0u8; 16];
+                    nh.copy_from_slice(&value[4..20]);
+                    msg.next_hop_v6 = Some(Ipv6Addr::from(nh));
+                    let mut vp = 4 + nh_len + 1; // skip reserved byte
+                    while vp < value.len() {
+                        msg.announced.push(IpCidr::V6(read_prefix_v6(value, &mut vp)?));
+                    }
+                }
+                attr::MP_UNREACH_NLRI => {
+                    if value.len() < 3 {
+                        return Err(WireError::Truncated);
+                    }
+                    let afi = u16::from_be_bytes([value[0], value[1]]);
+                    if afi != 2 || value[2] != 1 {
+                        return Err(WireError::BadAfi);
+                    }
+                    let mut vp = 3;
+                    while vp < value.len() {
+                        msg.withdrawn.push(IpCidr::V6(read_prefix_v6(value, &mut vp)?));
+                    }
+                }
+                // ORIGIN and unknown attributes: carried, no state.
+                _ => {}
+            }
+        }
+
+        // Classic NLRI (IPv4 announcements).
+        while pos < data.len() {
+            msg.announced.push(IpCidr::V4(read_prefix_v4(data, &mut pos)?));
+        }
+        Ok(msg)
+    }
+}
+
+
+/// Capability codes inside an OPEN's optional parameters (RFC 5492).
+mod capability {
+    /// Multiprotocol extensions (RFC 4760).
+    pub const MULTIPROTOCOL: u8 = 1;
+    /// 4-octet AS numbers (RFC 6793).
+    pub const FOUR_OCTET_AS: u8 = 65;
+}
+
+/// A decoded OPEN message (RFC 4271 §4.2 + the capabilities Tango's
+/// sessions would negotiate: multiprotocol IPv6 unicast and 4-octet AS).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenMessage {
+    /// The speaker's ASN (4-octet; the 2-octet field carries AS_TRANS
+    /// when it does not fit).
+    pub asn: AsId,
+    /// Proposed hold time, seconds.
+    pub hold_time_secs: u16,
+    /// BGP identifier (traditionally the router's IPv4 address).
+    pub bgp_identifier: u32,
+    /// Announce IPv6-unicast multiprotocol capability.
+    pub multiprotocol_ipv6: bool,
+}
+
+impl OpenMessage {
+    /// Encode to a full BGP message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut params = Vec::new();
+        let mut push_cap = |code: u8, value: &[u8]| {
+            // Each capability rides in its own optional parameter (type 2).
+            params.push(2u8);
+            params.push(2 + value.len() as u8);
+            params.push(code);
+            params.push(value.len() as u8);
+            params.extend_from_slice(value);
+        };
+        if self.multiprotocol_ipv6 {
+            push_cap(capability::MULTIPROTOCOL, &[0x00, 0x02, 0x00, 0x01]); // AFI 2, SAFI 1
+        }
+        push_cap(capability::FOUR_OCTET_AS, &self.asn.0.to_be_bytes());
+
+        let my_as: u16 = u16::try_from(self.asn.0).unwrap_or(AS_TRANS);
+        let body_len = 1 + 2 + 2 + 4 + 1 + params.len();
+        let total = 19 + body_len;
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&[0xff; 16]);
+        out.extend_from_slice(&(total as u16).to_be_bytes());
+        out.push(MSG_OPEN);
+        out.push(4); // BGP version
+        out.extend_from_slice(&my_as.to_be_bytes());
+        out.extend_from_slice(&self.hold_time_secs.to_be_bytes());
+        out.extend_from_slice(&self.bgp_identifier.to_be_bytes());
+        out.push(params.len() as u8);
+        out.extend_from_slice(&params);
+        out
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Self, WireError> {
+        if body.len() < 10 {
+            return Err(WireError::Truncated);
+        }
+        if body[0] != 4 {
+            return Err(WireError::BadOpen);
+        }
+        let my_as_2 = u16::from_be_bytes([body[1], body[2]]);
+        let hold_time_secs = u16::from_be_bytes([body[3], body[4]]);
+        let bgp_identifier = u32::from_be_bytes([body[5], body[6], body[7], body[8]]);
+        let params_len = usize::from(body[9]);
+        if body.len() != 10 + params_len {
+            return Err(WireError::BadLength);
+        }
+        let mut asn = AsId(u32::from(my_as_2));
+        let mut multiprotocol_ipv6 = false;
+        let mut p = 10;
+        while p < body.len() {
+            if p + 2 > body.len() {
+                return Err(WireError::Truncated);
+            }
+            let ptype = body[p];
+            let plen = usize::from(body[p + 1]);
+            p += 2;
+            if p + plen > body.len() {
+                return Err(WireError::Truncated);
+            }
+            if ptype == 2 {
+                // Capabilities parameter: a list of (code, len, value).
+                let caps = &body[p..p + plen];
+                let mut c = 0;
+                while c < caps.len() {
+                    if c + 2 > caps.len() {
+                        return Err(WireError::Truncated);
+                    }
+                    let code = caps[c];
+                    let clen = usize::from(caps[c + 1]);
+                    c += 2;
+                    if c + clen > caps.len() {
+                        return Err(WireError::Truncated);
+                    }
+                    match code {
+                        capability::FOUR_OCTET_AS if clen == 4 => {
+                            asn = AsId(u32::from_be_bytes(
+                                caps[c..c + 4].try_into().expect("4 bytes"),
+                            ));
+                        }
+                        capability::MULTIPROTOCOL if clen == 4 => {
+                            let afi = u16::from_be_bytes([caps[c], caps[c + 1]]);
+                            let safi = caps[c + 3];
+                            if afi == 2 && safi == 1 {
+                                multiprotocol_ipv6 = true;
+                            }
+                        }
+                        _ => {}
+                    }
+                    c += clen;
+                }
+            }
+            p += plen;
+        }
+        Ok(OpenMessage { asn, hold_time_secs, bgp_identifier, multiprotocol_ipv6 })
+    }
+}
+
+/// A decoded NOTIFICATION message (RFC 4271 §4.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotificationMessage {
+    /// Error code.
+    pub code: u8,
+    /// Error subcode.
+    pub subcode: u8,
+    /// Diagnostic data.
+    pub data: Vec<u8>,
+}
+
+impl NotificationMessage {
+    /// Encode to a full BGP message.
+    pub fn encode(&self) -> Vec<u8> {
+        let total = 19 + 2 + self.data.len();
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&[0xff; 16]);
+        out.extend_from_slice(&(total as u16).to_be_bytes());
+        out.push(MSG_NOTIFICATION);
+        out.push(self.code);
+        out.push(self.subcode);
+        out.extend_from_slice(&self.data);
+        out
+    }
+}
+
+/// Encode a KEEPALIVE (header only, RFC 4271 §4.4).
+pub fn encode_keepalive() -> Vec<u8> {
+    let mut out = Vec::with_capacity(19);
+    out.extend_from_slice(&[0xff; 16]);
+    out.extend_from_slice(&19u16.to_be_bytes());
+    out.push(MSG_KEEPALIVE);
+    out
+}
+
+/// Any BGP message, dispatched on the header's type byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BgpMessage {
+    /// Session open.
+    Open(OpenMessage),
+    /// Route update.
+    Update(UpdateMessage),
+    /// Error notification (the session closes after sending one).
+    Notification(NotificationMessage),
+    /// Keepalive heartbeat.
+    Keepalive,
+}
+
+impl BgpMessage {
+    /// Encode to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            BgpMessage::Open(m) => m.encode(),
+            BgpMessage::Update(m) => m.encode(),
+            BgpMessage::Notification(m) => m.encode(),
+            BgpMessage::Keepalive => encode_keepalive(),
+        }
+    }
+
+    /// Decode any message from bytes.
+    pub fn decode(data: &[u8]) -> Result<Self, WireError> {
+        if data.len() < 19 {
+            return Err(WireError::Truncated);
+        }
+        if data[..16] != [0xff; 16] {
+            return Err(WireError::BadMarker);
+        }
+        let total = usize::from(u16::from_be_bytes([data[16], data[17]]));
+        if total != data.len() || total < 19 {
+            return Err(WireError::BadLength);
+        }
+        match data[18] {
+            MSG_OPEN => OpenMessage::decode_body(&data[19..]).map(BgpMessage::Open),
+            MSG_UPDATE => UpdateMessage::decode(data).map(BgpMessage::Update),
+            MSG_NOTIFICATION => {
+                let body = &data[19..];
+                if body.len() < 2 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(BgpMessage::Notification(NotificationMessage {
+                    code: body[0],
+                    subcode: body[1],
+                    data: body[2..].to_vec(),
+                }))
+            }
+            MSG_KEEPALIVE => {
+                if total != 19 {
+                    return Err(WireError::BadLength);
+                }
+                Ok(BgpMessage::Keepalive)
+            }
+            _ => Err(WireError::BadType),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v6(s: &str) -> IpCidr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_ipv6_announcement() {
+        let msg = UpdateMessage {
+            withdrawn: vec![],
+            announced: vec![v6("2001:db8:100::/48"), v6("2001:db8:101::/48")],
+            as_path: vec![AsId(20473), AsId(64701)],
+            next_hop_v4: None,
+            next_hop_v6: Some("2001:db8::1".parse().unwrap()),
+            med: None,
+            communities: vec![Community::NoExportTo(AsId(2914))],
+        };
+        let bytes = msg.encode();
+        let decoded = UpdateMessage::decode(&bytes).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn roundtrip_ipv4_with_withdrawals() {
+        let msg = UpdateMessage {
+            withdrawn: vec!["10.1.0.0/16".parse().unwrap()],
+            announced: vec!["203.0.113.0/24".parse().unwrap()],
+            as_path: vec![AsId(2914)],
+            next_hop_v4: Some(Ipv4Addr::new(192, 0, 2, 1)),
+            next_hop_v6: None,
+            med: Some(50),
+            communities: vec![Community::NoExport, Community::Plain(20473, 6000)],
+        };
+        let decoded = UpdateMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn roundtrip_ipv6_withdrawal_only() {
+        let msg = UpdateMessage {
+            withdrawn: vec![v6("2001:db8:100::/48")],
+            ..Default::default()
+        };
+        let decoded = UpdateMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded.withdrawn, msg.withdrawn);
+        assert!(decoded.announced.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_large_community() {
+        let msg = UpdateMessage {
+            announced: vec![v6("2001:db8::/32")],
+            as_path: vec![AsId(4_200_000_100)],
+            next_hop_v6: Some(Ipv6Addr::LOCALHOST),
+            communities: vec![Community::NoExportTo(AsId(4_200_000_000))],
+            ..Default::default()
+        };
+        let decoded = UpdateMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded.communities, msg.communities);
+        assert_eq!(decoded.as_path, msg.as_path);
+    }
+
+    #[test]
+    fn rejects_bad_marker_and_type() {
+        let msg = UpdateMessage::default();
+        let mut bytes = msg.encode();
+        bytes[0] = 0;
+        assert_eq!(UpdateMessage::decode(&bytes), Err(WireError::BadMarker));
+        let mut bytes = msg.encode();
+        bytes[18] = 1; // OPEN
+        assert_eq!(UpdateMessage::decode(&bytes), Err(WireError::NotUpdate));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let msg = UpdateMessage::default();
+        let mut bytes = msg.encode();
+        let bad = (bytes.len() as u16 + 4).to_be_bytes();
+        bytes[16..18].copy_from_slice(&bad);
+        assert_eq!(UpdateMessage::decode(&bytes), Err(WireError::BadLength));
+        assert_eq!(UpdateMessage::decode(&bytes[..10]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn rejects_invalid_prefix_len() {
+        let msg = UpdateMessage {
+            withdrawn: vec!["10.0.0.0/8".parse().unwrap()],
+            ..Default::default()
+        };
+        let mut bytes = msg.encode();
+        // The withdrawn prefix-length byte sits at offset 21.
+        bytes[21] = 40; // > 32 for IPv4
+        assert_eq!(UpdateMessage::decode(&bytes), Err(WireError::BadPrefix));
+    }
+
+    #[test]
+    fn fuzz_no_panics_on_truncation() {
+        let msg = UpdateMessage {
+            withdrawn: vec!["10.1.0.0/16".parse().unwrap(), v6("2001:db8:1::/48")],
+            announced: vec!["203.0.113.0/24".parse().unwrap(), v6("2001:db8:2::/48")],
+            as_path: vec![AsId(1), AsId(2), AsId(3)],
+            next_hop_v4: Some(Ipv4Addr::new(1, 2, 3, 4)),
+            next_hop_v6: Some("::1".parse().unwrap()),
+            med: Some(9),
+            communities: vec![Community::NoExport, Community::NoExportTo(AsId(2914))],
+        };
+        let bytes = msg.encode();
+        for cut in 0..bytes.len() {
+            let _ = UpdateMessage::decode(&bytes[..cut]); // must not panic
+        }
+    }
+
+    #[test]
+    fn open_roundtrip_with_4octet_asn() {
+        let open = OpenMessage {
+            asn: AsId(4_200_000_100),
+            hold_time_secs: 90,
+            bgp_identifier: 0xc0000201,
+            multiprotocol_ipv6: true,
+        };
+        let bytes = open.encode();
+        // 2-octet field carries AS_TRANS for wide ASNs.
+        assert_eq!(u16::from_be_bytes([bytes[20], bytes[21]]), AS_TRANS);
+        match BgpMessage::decode(&bytes).unwrap() {
+            BgpMessage::Open(o) => assert_eq!(o, open),
+            m => panic!("wrong message {m:?}"),
+        }
+    }
+
+    #[test]
+    fn open_roundtrip_narrow_asn() {
+        let open = OpenMessage {
+            asn: AsId(20473),
+            hold_time_secs: 180,
+            bgp_identifier: 1,
+            multiprotocol_ipv6: false,
+        };
+        let bytes = open.encode();
+        assert_eq!(u16::from_be_bytes([bytes[20], bytes[21]]), 20473);
+        match BgpMessage::decode(&bytes).unwrap() {
+            BgpMessage::Open(o) => assert_eq!(o, open),
+            m => panic!("wrong message {m:?}"),
+        }
+    }
+
+    #[test]
+    fn open_rejects_bad_version() {
+        let mut bytes = OpenMessage {
+            asn: AsId(1),
+            hold_time_secs: 90,
+            bgp_identifier: 9,
+            multiprotocol_ipv6: true,
+        }
+        .encode();
+        bytes[19] = 3; // BGP-3
+        assert_eq!(BgpMessage::decode(&bytes), Err(WireError::BadOpen));
+    }
+
+    #[test]
+    fn keepalive_roundtrip_and_strictness() {
+        let bytes = encode_keepalive();
+        assert_eq!(bytes.len(), 19);
+        assert_eq!(BgpMessage::decode(&bytes).unwrap(), BgpMessage::Keepalive);
+        // A keepalive with a body is malformed.
+        let mut long = BgpMessage::Keepalive.encode();
+        long.push(0);
+        long[16..18].copy_from_slice(&20u16.to_be_bytes());
+        assert_eq!(BgpMessage::decode(&long), Err(WireError::BadLength));
+    }
+
+    #[test]
+    fn notification_roundtrip() {
+        let n = NotificationMessage { code: 6, subcode: 2, data: b"shutdown".to_vec() };
+        match BgpMessage::decode(&n.encode()).unwrap() {
+            BgpMessage::Notification(got) => assert_eq!(got, n),
+            m => panic!("wrong message {m:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut bytes = encode_keepalive();
+        bytes[18] = 9;
+        assert_eq!(BgpMessage::decode(&bytes), Err(WireError::BadType));
+    }
+
+    #[test]
+    fn message_dispatch_covers_update() {
+        let msg = UpdateMessage {
+            announced: vec![v6("2001:db8::/32")],
+            as_path: vec![AsId(1)],
+            next_hop_v6: Some(Ipv6Addr::LOCALHOST),
+            ..Default::default()
+        };
+        match BgpMessage::decode(&msg.encode()).unwrap() {
+            BgpMessage::Update(u) => assert_eq!(u.announced, msg.announced),
+            m => panic!("wrong message {m:?}"),
+        }
+    }
+
+    #[test]
+    fn open_fuzz_truncation_no_panic() {
+        let bytes = OpenMessage {
+            asn: AsId(65_000),
+            hold_time_secs: 90,
+            bgp_identifier: 7,
+            multiprotocol_ipv6: true,
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            let _ = BgpMessage::decode(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn default_route_encodes_as_zero_length() {
+        let msg = UpdateMessage {
+            announced: vec!["0.0.0.0/0".parse().unwrap()],
+            as_path: vec![AsId(1)],
+            next_hop_v4: Some(Ipv4Addr::new(192, 0, 2, 1)),
+            ..Default::default()
+        };
+        let bytes = msg.encode();
+        let decoded = UpdateMessage::decode(&bytes).unwrap();
+        assert_eq!(decoded.announced, msg.announced);
+        // A /0 NLRI is exactly one byte (the length octet).
+        assert_eq!(*bytes.last().unwrap(), 0);
+    }
+}

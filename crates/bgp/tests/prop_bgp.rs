@@ -1,0 +1,202 @@
+//! Property-based tests for the BGP layer: wire-format roundtrips and
+//! decision-process consistency on arbitrary inputs.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::net::{Ipv4Addr, Ipv6Addr};
+use tango_bgp::community::WireCommunity;
+use tango_bgp::rib::{better, decide};
+use tango_bgp::wire::UpdateMessage;
+use tango_bgp::{Community, Route, RouteSource};
+use tango_net::{IpCidr, Ipv4Cidr, Ipv6Cidr};
+use tango_topology::AsId;
+
+fn arb_community() -> impl Strategy<Value = Community> {
+    prop_oneof![
+        (any::<u16>(), any::<u16>()).prop_map(|(a, v)| Community::Plain(a, v)),
+        Just(Community::NoExport),
+        Just(Community::NoAdvertise),
+        (1u32..100_000).prop_map(|a| Community::NoExportTo(AsId(a))),
+        ((1u32..100_000), 1u8..=3).prop_map(|(a, n)| Community::PrependTo(AsId(a), n)),
+    ]
+}
+
+fn arb_prefix() -> impl Strategy<Value = IpCidr> {
+    prop_oneof![
+        (any::<u32>(), 0u8..=32)
+            .prop_map(|(a, l)| IpCidr::V4(Ipv4Cidr::new(Ipv4Addr::from(a), l).unwrap())),
+        (any::<u128>(), 0u8..=128)
+            .prop_map(|(a, l)| IpCidr::V6(Ipv6Cidr::new(Ipv6Addr::from(a), l).unwrap())),
+    ]
+}
+
+fn arb_route() -> impl Strategy<Value = Route> {
+    (
+        proptest::collection::vec(1u32..1_000_000, 0..8),
+        proptest::collection::btree_set(arb_community(), 0..4),
+        0u32..400,
+        0u32..100,
+        0u32..100,
+        1u32..1_000_000,
+    )
+        .prop_map(|(path, communities, local_pref, med, tie_pref, neighbor)| Route {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            as_path: path.into_iter().map(AsId).collect(),
+            communities,
+            source: RouteSource::Neighbor(AsId(neighbor)),
+            local_pref,
+            med,
+            tie_pref,
+        })
+}
+
+proptest! {
+    #[test]
+    fn community_wire_roundtrip(c in arb_community()) {
+        prop_assert_eq!(Community::from_wire(c.to_wire()), c);
+    }
+
+    #[test]
+    fn classic_community_decode_never_panics(raw in any::<u32>()) {
+        let _ = Community::from_wire(WireCommunity::Classic(raw));
+    }
+
+    #[test]
+    fn update_message_roundtrip(
+        announced in proptest::collection::vec(arb_prefix(), 0..10),
+        withdrawn in proptest::collection::vec(arb_prefix(), 0..10),
+        as_path in proptest::collection::vec(any::<u32>(), 0..10),
+        communities in proptest::collection::vec(arb_community(), 0..8),
+        med in proptest::option::of(any::<u32>()),
+        nh4 in proptest::option::of(any::<u32>()),
+        nh6 in any::<u128>(),
+    ) {
+        let has_v6_announce = announced.iter().any(|p| p.is_ipv6());
+        let msg = UpdateMessage {
+            withdrawn,
+            announced,
+            as_path: as_path.into_iter().map(AsId).collect(),
+            next_hop_v4: nh4.map(Ipv4Addr::from),
+            next_hop_v6: has_v6_announce.then(|| Ipv6Addr::from(nh6)),
+            med,
+            communities,
+        };
+        let bytes = msg.encode();
+        let decoded = UpdateMessage::decode(&bytes).unwrap();
+        // Announced/withdrawn order: v4 and v6 travel in different fields,
+        // so compare as sets per family.
+        let split = |v: &Vec<IpCidr>| {
+            let mut v4: Vec<IpCidr> = v.iter().copied().filter(|p| !p.is_ipv6()).collect();
+            let mut v6: Vec<IpCidr> = v.iter().copied().filter(|p| p.is_ipv6()).collect();
+            v4.sort();
+            v6.sort();
+            (v4, v6)
+        };
+        prop_assert_eq!(split(&decoded.announced), split(&msg.announced));
+        prop_assert_eq!(split(&decoded.withdrawn), split(&msg.withdrawn));
+        if !msg.announced.is_empty() {
+            prop_assert_eq!(&decoded.as_path, &msg.as_path);
+        }
+        prop_assert_eq!(decoded.med, msg.med);
+        prop_assert_eq!(decoded.next_hop_v4, msg.next_hop_v4);
+        // Classic and large communities travel in separate attributes,
+        // so cross-kind order is not preserved: compare as sorted sets.
+        let sorted = |v: &Vec<Community>| {
+            let mut v = v.clone();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(sorted(&decoded.communities), sorted(&msg.communities));
+    }
+
+    #[test]
+    fn update_decode_never_panics_on_mutation(
+        announced in proptest::collection::vec(arb_prefix(), 0..4),
+        at in any::<proptest::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let msg = UpdateMessage {
+            announced,
+            as_path: vec![AsId(1), AsId(2)],
+            next_hop_v4: Some(Ipv4Addr::new(1, 2, 3, 4)),
+            next_hop_v6: Some(Ipv6Addr::LOCALHOST),
+            ..Default::default()
+        };
+        let mut bytes = msg.encode();
+        let i = at.index(bytes.len());
+        bytes[i] ^= xor;
+        let _ = UpdateMessage::decode(&bytes); // must not panic
+    }
+
+    #[test]
+    fn decision_winner_is_undominated(routes in proptest::collection::vec(arb_route(), 1..10)) {
+        let w = decide(&routes).unwrap();
+        for (i, r) in routes.iter().enumerate() {
+            if i != w {
+                prop_assert!(
+                    !better(r, &routes[w]),
+                    "candidate {i} beats declared winner {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decision_permutation_invariant(routes in proptest::collection::vec(arb_route(), 1..8), rot in 0usize..8) {
+        let w1 = &routes[decide(&routes).unwrap()];
+        let mut rotated = routes.clone();
+        rotated.rotate_left(rot % routes.len());
+        let w2 = &rotated[decide(&rotated).unwrap()];
+        // Winners must agree on every decision-relevant attribute (full
+        // equality can differ only when two candidates are decision-equal
+        // duplicates, in which case either is acceptable).
+        prop_assert_eq!(w1.local_pref, w2.local_pref);
+        prop_assert_eq!(w1.path_len(), w2.path_len());
+        prop_assert_eq!(w1.med, w2.med);
+        prop_assert_eq!(w1.tie_pref, w2.tie_pref);
+        prop_assert_eq!(w1.source.neighbor(), w2.source.neighbor());
+    }
+
+    #[test]
+    fn better_is_asymmetric(a in arb_route(), b in arb_route()) {
+        prop_assert!(!(better(&a, &b) && better(&b, &a)));
+        prop_assert!(!better(&a, &a));
+    }
+}
+
+/// A tiny deterministic exhaustive check alongside the random ones:
+/// `better` must be transitive over a concrete sample (strict weak
+/// ordering sanity — required for the decision loop to be well-defined).
+#[test]
+fn better_transitive_on_sample() {
+    let mk = |lp: u32, len: usize, med: u32, tie: u32, n: u32| Route {
+        prefix: "10.0.0.0/8".parse().unwrap(),
+        as_path: (0..len).map(|i| AsId(i as u32 + 1)).collect(),
+        communities: BTreeSet::new(),
+        source: RouteSource::Neighbor(AsId(n)),
+        local_pref: lp,
+        med,
+        tie_pref: tie,
+    };
+    let mut routes = Vec::new();
+    for lp in [100, 200] {
+        for len in [1usize, 2] {
+            for med in [0, 5] {
+                for tie in [0, 9] {
+                    for n in [3, 7] {
+                        routes.push(mk(lp, len, med, tie, n));
+                    }
+                }
+            }
+        }
+    }
+    for a in &routes {
+        for b in &routes {
+            for c in &routes {
+                if better(a, b) && better(b, c) {
+                    assert!(better(a, c), "transitivity violated");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Integration: the calibrated Vultr scenario + the BGP engine must expose
+//! exactly the paper's Fig. 3 paths under community-driven suppression.
+
+use std::collections::BTreeSet;
+use tango_bgp::{BgpEngine, Community};
+use tango_net::IpCidr;
+use tango_topology::vultr::{
+    vultr_scenario, COGENT, GTT, LEVEL3, NTT, TELIA, TENANT_LA, TENANT_NY, VULTR_LA, VULTR_NY,
+};
+use tango_topology::AsId;
+
+fn engine() -> BgpEngine {
+    let s = vultr_scenario();
+    let mut e = BgpEngine::new(s.topology.clone());
+    for border in [VULTR_LA, VULTR_NY] {
+        e.set_strip_private(border, true).unwrap();
+        e.set_honor_actions(border, true).unwrap();
+        e.set_neighbor_pref(border, s.neighbor_pref[&border].clone()).unwrap();
+    }
+    e
+}
+
+fn pfx(s: &str) -> IpCidr {
+    s.parse().unwrap()
+}
+
+/// Strip the destination border from an observed AS path, leaving the
+/// transit sequence (what Fig. 3 labels).
+fn transit_path(path: &[AsId], dst_border: AsId) -> Vec<AsId> {
+    path.iter().copied().filter(|&a| a != dst_border && a != VULTR_LA && a != VULTR_NY).collect()
+}
+
+#[test]
+fn default_path_is_ntt_both_directions() {
+    let mut e = engine();
+    let la = pfx("2001:db8:100::/48");
+    let ny = pfx("2001:db8:200::/48");
+    e.announce(TENANT_LA, la, BTreeSet::new()).unwrap();
+    e.announce(TENANT_NY, ny, BTreeSet::new()).unwrap();
+    e.converge().unwrap();
+
+    // NY tenant's view of LA's prefix: Vultr-NY border selects NTT first.
+    let path = e.as_path(TENANT_NY, la).unwrap();
+    assert_eq!(transit_path(path, VULTR_LA), vec![NTT]);
+    let path = e.as_path(TENANT_LA, ny).unwrap();
+    assert_eq!(transit_path(path, VULTR_NY), vec![NTT]);
+}
+
+#[test]
+fn private_tenant_asn_never_escapes_the_border() {
+    let mut e = engine();
+    let la = pfx("2001:db8:100::/48");
+    e.announce(TENANT_LA, la, BTreeSet::new()).unwrap();
+    e.converge().unwrap();
+    for observer in [NTT, TELIA, GTT, COGENT, LEVEL3, TENANT_NY] {
+        if let Some(path) = e.as_path(observer, la) {
+            assert!(
+                path.iter().all(|a| !a.is_private()),
+                "{observer} sees private ASN in {path:?}"
+            );
+        }
+    }
+}
+
+/// The §4.1 iterative suppression, spelled out: each step attaches one
+/// more NoExportTo community at the announcing tenant and re-converges,
+/// and the observer's best path must walk the paper's preference list.
+#[test]
+fn iterative_suppression_walks_fig3_order_ny_to_la() {
+    // Direction NY→LA: LA's prefix, observed from NY.
+    let mut e = engine();
+    let la = pfx("2001:db8:100::/48");
+    e.announce(TENANT_LA, la, BTreeSet::new()).unwrap();
+    e.converge().unwrap();
+
+    let expect = [vec![NTT], vec![TELIA], vec![GTT], vec![NTT, LEVEL3]];
+    let mut comms: BTreeSet<Community> = BTreeSet::new();
+    for (step, want) in expect.iter().enumerate() {
+        let path = e
+            .as_path(TENANT_NY, la)
+            .unwrap_or_else(|| panic!("unreachable at step {step}"));
+        assert_eq!(&transit_path(path, VULTR_LA), want, "step {step}");
+        // Suppress the first hop of the observed route (the transit the
+        // announcement was exported to).
+        let first_transit = transit_path(path, VULTR_LA).last().copied().unwrap();
+        // The *export-suppression* target is the provider adjacent to the
+        // announcing border — for composite paths that is the last transit
+        // before the origin.
+        comms.insert(Community::NoExportTo(first_transit));
+        e.set_announcement_communities(TENANT_LA, la, comms.clone()).unwrap();
+        e.converge().unwrap();
+    }
+    // After suppressing all four, the prefix must be unreachable from NY.
+    assert!(e.as_path(TENANT_NY, la).is_none(), "expected unreachable after 4 suppressions");
+}
+
+#[test]
+fn iterative_suppression_walks_fig3_order_la_to_ny() {
+    // Direction LA→NY: NY's prefix, observed from LA.
+    let mut e = engine();
+    let ny = pfx("2001:db8:200::/48");
+    e.announce(TENANT_NY, ny, BTreeSet::new()).unwrap();
+    e.converge().unwrap();
+
+    let expect = [vec![NTT], vec![TELIA], vec![GTT], vec![NTT, COGENT]];
+    let mut comms: BTreeSet<Community> = BTreeSet::new();
+    for (step, want) in expect.iter().enumerate() {
+        let path = e
+            .as_path(TENANT_LA, ny)
+            .unwrap_or_else(|| panic!("unreachable at step {step}"));
+        assert_eq!(&transit_path(path, VULTR_NY), want, "step {step}");
+        let adj_transit = transit_path(path, VULTR_NY).last().copied().unwrap();
+        comms.insert(Community::NoExportTo(adj_transit));
+        e.set_announcement_communities(TENANT_NY, ny, comms.clone()).unwrap();
+        e.converge().unwrap();
+    }
+    assert!(e.as_path(TENANT_LA, ny).is_none());
+}
+
+#[test]
+fn four_prefixes_pin_four_distinct_paths() {
+    // The actual Tango deployment: four /48s, each with the community set
+    // that pins it to one wide-area path (the tunnel substrate, §4.1 step 3).
+    let mut e = engine();
+    let prefixes = [
+        ("2001:db8:100::/48", vec![],                       vec![NTT]),
+        ("2001:db8:101::/48", vec![NTT],                    vec![TELIA]),
+        ("2001:db8:102::/48", vec![NTT, TELIA],             vec![GTT]),
+        ("2001:db8:103::/48", vec![NTT, TELIA, GTT],        vec![NTT, LEVEL3]),
+    ];
+    for (p, suppress, _) in &prefixes {
+        let comms: BTreeSet<Community> =
+            suppress.iter().map(|&a| Community::NoExportTo(a)).collect();
+        e.announce(TENANT_LA, pfx(p), comms).unwrap();
+    }
+    e.converge().unwrap();
+    for (p, _, want) in &prefixes {
+        let path = e.as_path(TENANT_NY, pfx(p)).unwrap();
+        assert_eq!(&transit_path(path, VULTR_LA), want, "{p}");
+    }
+    // Forwarding trace agrees with the control-plane view for the GTT prefix.
+    let trace = e.trace_path(TENANT_NY, pfx("2001:db8:102::/48")).unwrap();
+    assert_eq!(trace, vec![TENANT_NY, VULTR_NY, GTT, VULTR_LA, TENANT_LA]);
+}
+
+#[test]
+fn poisoning_exposes_paths_like_communities() {
+    // §6: AS-path poisoning is an alternative path-exposure knob. Poison
+    // NTT and Telia at origination: the best path at NY must become GTT
+    // without any communities.
+    let mut e = engine();
+    let la = pfx("2001:db8:110::/48");
+    e.announce_poisoned(TENANT_LA, la, BTreeSet::new(), &[NTT, TELIA]).unwrap();
+    e.converge().unwrap();
+    let path = e.as_path(TENANT_NY, la).unwrap();
+    // Path still *contains* the poisoned ASNs (that's the mechanism), but
+    // the first transit hop — the actual forwarding — is GTT.
+    let trace = e.trace_path(TENANT_NY, la).unwrap();
+    assert_eq!(trace, vec![TENANT_NY, VULTR_NY, GTT, VULTR_LA, TENANT_LA]);
+    assert!(path.contains(&NTT) && path.contains(&TELIA));
+}
+
+#[test]
+fn convergence_round_count_is_small() {
+    let mut e = engine();
+    e.announce(TENANT_LA, pfx("2001:db8:100::/48"), BTreeSet::new()).unwrap();
+    let rounds = e.converge().unwrap();
+    assert!(rounds <= 8, "expected O(diameter) rounds, got {rounds}");
+}

@@ -1,0 +1,314 @@
+//! Provisioning: from discovered paths to a running tunnel configuration.
+//!
+//! §4.1 step 3 / §3: each side announces one prefix per discovered path
+//! (with the community set that pins it), carves tunnel endpoints out of
+//! those prefixes, and installs a static table mapping the peer's host
+//! prefixes to the tunnel set. *"In our setup, each server advertises
+//! four different /48 prefixes."*
+
+use crate::discovery::{discover_paths, DiscoveredPath, DiscoveryError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use tango_bgp::{BgpEngine, EngineError};
+use tango_dataplane::Tunnel;
+use tango_net::{IpCidr, Ipv6Cidr};
+use tango_topology::AsId;
+
+/// One side of a Tango pairing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SideConfig {
+    /// The Tango switch's node id (the tenant server in the prototype).
+    pub tenant: AsId,
+    /// The provider border it speaks eBGP with.
+    pub border: AsId,
+    /// Address block to carve per-path /48 tunnel prefixes from
+    /// (a /44 fits 16 paths).
+    pub block: Ipv6Cidr,
+    /// The host-addressing prefix (§3: "a distinct set of prefixes (not
+    /// used for tunnels between Tango switches) that is used for host
+    /// addressing"); announced plainly so non-Tango endpoints still work.
+    pub host_prefix: IpCidr,
+}
+
+/// Provisioning failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProvisionError {
+    /// Discovery failed in one direction.
+    Discovery(DiscoveryError),
+    /// The BGP engine failed.
+    Engine(EngineError),
+    /// The address block is too small for the discovered path count.
+    BlockTooSmall,
+    /// After provisioning, a pinned prefix converged onto the wrong path.
+    PinMismatch {
+        /// The prefix that failed verification.
+        prefix: IpCidr,
+        /// The path it was meant to take.
+        wanted: Vec<AsId>,
+        /// The path it actually converged to (None = unreachable).
+        got: Option<Vec<AsId>>,
+    },
+}
+
+impl From<DiscoveryError> for ProvisionError {
+    fn from(e: DiscoveryError) -> Self {
+        ProvisionError::Discovery(e)
+    }
+}
+
+impl From<EngineError> for ProvisionError {
+    fn from(e: EngineError) -> Self {
+        ProvisionError::Engine(e)
+    }
+}
+
+impl core::fmt::Display for ProvisionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProvisionError::Discovery(e) => write!(f, "discovery: {e}"),
+            ProvisionError::Engine(e) => write!(f, "engine: {e}"),
+            ProvisionError::BlockTooSmall => write!(f, "address block too small for path count"),
+            ProvisionError::PinMismatch { prefix, wanted, got } => {
+                write!(f, "prefix {prefix} pinned to {wanted:?} but converged to {got:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProvisionError {}
+
+/// Everything both switches need after provisioning.
+#[derive(Debug, Clone)]
+pub struct ProvisionedPairing {
+    /// Paths usable by traffic A→B (announced by B, observed at A),
+    /// parallel to `a_tunnels`.
+    pub paths_a_to_b: Vec<DiscoveredPath>,
+    /// Paths usable by traffic B→A, parallel to `b_tunnels`.
+    pub paths_b_to_a: Vec<DiscoveredPath>,
+    /// Tunnel table for side A's switch (sending toward B).
+    pub a_tunnels: Vec<Tunnel>,
+    /// Tunnel table for side B's switch (sending toward A).
+    pub b_tunnels: Vec<Tunnel>,
+}
+
+fn label_for(engine: &BgpEngine, path: &DiscoveredPath) -> String {
+    match path.distinguishing_carrier() {
+        Some(id) => engine
+            .topology()
+            .node(id)
+            .map(|n| n.name.clone())
+            .unwrap_or_else(|| id.to_string()),
+        None => "direct".to_string(),
+    }
+}
+
+/// Carve the `i`-th /48 out of a block.
+fn path_prefix(block: &Ipv6Cidr, i: usize) -> Result<Ipv6Cidr, ProvisionError> {
+    block.subnet(48, i as u128).map_err(|_| ProvisionError::BlockTooSmall)
+}
+
+/// Discover paths in both directions, announce pinned per-path prefixes
+/// and the host prefixes, converge, and verify every pin.
+///
+/// Tunnel ids are indexes into the discovery order (0 = the BGP-default
+/// path); the same id on both sides refers to *different* directions'
+/// paths, which is fine — tunnels are unidirectional.
+pub fn provision(
+    engine: &mut BgpEngine,
+    a: &SideConfig,
+    b: &SideConfig,
+    max_paths: usize,
+) -> Result<ProvisionedPairing, ProvisionError> {
+    let infra = [a.border, b.border];
+    // Borders must strip private ASNs and honor the action communities.
+    for border in infra {
+        engine.set_strip_private(border, true)?;
+        engine.set_honor_actions(border, true)?;
+    }
+
+    // Discovery uses a scratch prefix carved from the announcing block's
+    // top end so it can't collide with path prefixes (index 15 of a /44).
+    let probe_a = path_prefix(&a.block, 15)?;
+    let probe_b = path_prefix(&b.block, 15)?;
+    // Paths for traffic A→B are exposed by announcements from B.
+    let paths_a_to_b =
+        discover_paths(engine, b.tenant, a.tenant, IpCidr::V6(probe_b), &infra, max_paths)?;
+    let paths_b_to_a =
+        discover_paths(engine, a.tenant, b.tenant, IpCidr::V6(probe_a), &infra, max_paths)?;
+
+    // Announce pinned per-path prefixes from each side.
+    let announce_pinned = |engine: &mut BgpEngine,
+                           tenant: AsId,
+                           block: &Ipv6Cidr,
+                           paths: &[DiscoveredPath]|
+     -> Result<Vec<Ipv6Cidr>, ProvisionError> {
+        let mut prefixes = Vec::new();
+        for (i, path) in paths.iter().enumerate() {
+            let prefix = path_prefix(block, i)?;
+            engine.announce(tenant, IpCidr::V6(prefix), path.pin_communities.clone())?;
+            prefixes.push(prefix);
+        }
+        Ok(prefixes)
+    };
+    // B's prefixes carry A→B traffic; A's prefixes carry B→A traffic.
+    let b_prefixes = announce_pinned(engine, b.tenant, &b.block, &paths_a_to_b)?;
+    let a_prefixes = announce_pinned(engine, a.tenant, &a.block, &paths_b_to_a)?;
+    engine.announce(a.tenant, a.host_prefix, BTreeSet::new())?;
+    engine.announce(b.tenant, b.host_prefix, BTreeSet::new())?;
+    engine.converge()?;
+
+    // Verify every pin: the converged AS path for prefix i must match
+    // discovery's path i.
+    let verify = |engine: &BgpEngine,
+                  observer: AsId,
+                  prefixes: &[Ipv6Cidr],
+                  paths: &[DiscoveredPath]|
+     -> Result<(), ProvisionError> {
+        for (prefix, want) in prefixes.iter().zip(paths) {
+            let got = engine.as_path(observer, IpCidr::V6(*prefix)).map(<[AsId]>::to_vec);
+            let got_transits: Option<Vec<AsId>> = got.as_ref().map(|p| {
+                p.iter().copied().filter(|x| !x.is_private() && !infra.contains(x)).collect()
+            });
+            if got_transits.as_deref() != Some(&want.transit_path[..]) {
+                return Err(ProvisionError::PinMismatch {
+                    prefix: IpCidr::V6(*prefix),
+                    wanted: want.transit_path.clone(),
+                    got: got_transits,
+                });
+            }
+        }
+        Ok(())
+    };
+    verify(engine, a.tenant, &b_prefixes, &paths_a_to_b)?;
+    verify(engine, b.tenant, &a_prefixes, &paths_b_to_a)?;
+
+    // Build tunnel tables. A's tunnel i: local endpoint from A's prefix
+    // for its *return* direction... tunnels only need a routable local
+    // address; we use the side's own path-i prefix (or the last one if
+    // counts differ).
+    let a_tunnels: Vec<Tunnel> = paths_a_to_b
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let local = a_prefixes[i.min(a_prefixes.len() - 1)];
+            Tunnel::from_prefixes(i as u16, label_for(engine, p), local, b_prefixes[i])
+        })
+        .collect();
+    let b_tunnels: Vec<Tunnel> = paths_b_to_a
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let local = b_prefixes[i.min(b_prefixes.len() - 1)];
+            Tunnel::from_prefixes(i as u16, label_for(engine, p), local, a_prefixes[i])
+        })
+        .collect();
+
+    Ok(ProvisionedPairing { paths_a_to_b, paths_b_to_a, a_tunnels, b_tunnels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_topology::vultr::{
+        vultr_scenario, COGENT, GTT, LEVEL3, NTT, TELIA, TENANT_LA, TENANT_NY, VULTR_LA, VULTR_NY,
+    };
+
+    fn engine() -> BgpEngine {
+        let s = vultr_scenario();
+        let mut e = BgpEngine::new(s.topology.clone());
+        for border in [VULTR_LA, VULTR_NY] {
+            e.set_neighbor_pref(border, s.neighbor_pref[&border].clone()).unwrap();
+        }
+        e
+    }
+
+    fn la() -> SideConfig {
+        SideConfig {
+            tenant: TENANT_LA,
+            border: VULTR_LA,
+            block: "2001:db8:100::/44".parse().unwrap(),
+            host_prefix: "2001:db8:1ff::/48".parse().unwrap(),
+        }
+    }
+
+    fn ny() -> SideConfig {
+        SideConfig {
+            tenant: TENANT_NY,
+            border: VULTR_NY,
+            block: "2001:db8:200::/44".parse().unwrap(),
+            host_prefix: "2001:db8:2ff::/48".parse().unwrap(),
+        }
+    }
+
+    #[test]
+    fn provisions_four_verified_tunnels_each_way() {
+        let mut e = engine();
+        let p = provision(&mut e, &la(), &ny(), 8).unwrap();
+        assert_eq!(p.a_tunnels.len(), 4);
+        assert_eq!(p.b_tunnels.len(), 4);
+        let labels: Vec<&str> = p.a_tunnels.iter().map(|t| t.label.as_str()).collect();
+        assert_eq!(labels, vec!["NTT", "Telia", "GTT", "Cogent"], "LA→NY labels");
+        let labels: Vec<&str> = p.b_tunnels.iter().map(|t| t.label.as_str()).collect();
+        assert_eq!(labels, vec!["NTT", "Telia", "GTT", "Level3"], "NY→LA labels");
+        // Discovery order matches Fig. 3.
+        assert_eq!(p.paths_a_to_b[3].transit_path, vec![NTT, COGENT]);
+        assert_eq!(p.paths_b_to_a[3].transit_path, vec![NTT, LEVEL3]);
+        assert_eq!(p.paths_a_to_b[2].transit_path, vec![GTT]);
+        assert_eq!(p.paths_b_to_a[1].transit_path, vec![TELIA]);
+    }
+
+    #[test]
+    fn tunnel_endpoints_live_in_carved_prefixes() {
+        let mut e = engine();
+        let p = provision(&mut e, &la(), &ny(), 8).unwrap();
+        // LA tunnel 2 (GTT) must target NY's third /48.
+        let want: Ipv6Cidr = "2001:db8:202::/48".parse().unwrap();
+        assert!(want.contains(p.a_tunnels[2].remote_endpoint));
+        // And NY tunnel 2's remote lives in LA's third /48.
+        let want: Ipv6Cidr = "2001:db8:102::/48".parse().unwrap();
+        assert!(want.contains(p.b_tunnels[2].remote_endpoint));
+    }
+
+    #[test]
+    fn converged_engine_routes_each_tunnel_prefix_distinctly() {
+        let mut e = engine();
+        let p = provision(&mut e, &la(), &ny(), 8).unwrap();
+        // Forwarding traces from NY toward each LA prefix hit the right
+        // transit.
+        let transits = [NTT, TELIA, GTT, NTT /* Level3 path starts at NTT */];
+        for (i, t) in p.b_tunnels.iter().enumerate() {
+            let dst = IpCidr::V6(
+                Ipv6Cidr::new(t.remote_endpoint, 48).unwrap(),
+            );
+            let trace = e.trace_path(TENANT_NY, dst).unwrap();
+            assert_eq!(trace[2], transits[i], "tunnel {i} first transit");
+        }
+    }
+
+    #[test]
+    fn host_prefixes_reachable_without_communities() {
+        let mut e = engine();
+        provision(&mut e, &la(), &ny(), 8).unwrap();
+        assert!(e.as_path(TENANT_NY, "2001:db8:1ff::/48".parse().unwrap()).is_some());
+        assert!(e.as_path(TENANT_LA, "2001:db8:2ff::/48".parse().unwrap()).is_some());
+    }
+
+    #[test]
+    fn max_paths_limits_tunnels() {
+        let mut e = engine();
+        let p = provision(&mut e, &la(), &ny(), 2).unwrap();
+        assert_eq!(p.a_tunnels.len(), 2);
+        assert_eq!(p.b_tunnels.len(), 2);
+    }
+
+    #[test]
+    fn block_too_small_is_reported() {
+        let mut e = engine();
+        let mut a = la();
+        a.block = "2001:db8:100::/48".parse().unwrap(); // no room for /48 subnets
+        match provision(&mut e, &a, &ny(), 8) {
+            Err(ProvisionError::BlockTooSmall) => {}
+            other => panic!("expected BlockTooSmall, got {other:?}"),
+        }
+    }
+}

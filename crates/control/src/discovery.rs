@@ -1,0 +1,258 @@
+//! The iterative path-discovery algorithm of §4.1 (step 2).
+//!
+//! > *"1) We observed the best BGP route for the destination exported by
+//! > Vultr to our server at the source DC. 2) We configured our BIRD
+//! > instance at the destination DC to attach a BGP community that would
+//! > suppress this route. 3) We waited for BGP to propagate and confirmed
+//! > that the source DC now sees an alternate route. 4) We recorded the
+//! > communities and routes involved and repeated the process... This was
+//! > repeated until suppressing the used route caused the prefix to
+//! > become unreachable by the other endpoint."*
+//!
+//! The function below runs that loop against a [`BgpEngine`]. It probes
+//! one *direction*: paths for traffic `observer → announcer` (the
+//! announcer's prefix, observed at the other edge).
+
+use std::collections::BTreeSet;
+use tango_bgp::{BgpEngine, Community, EngineError};
+use tango_net::IpCidr;
+use tango_topology::AsId;
+
+/// One discovered wide-area path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveredPath {
+    /// The transit sequence, source side first (e.g. `[NTT, COGENT]`),
+    /// with borders and private ASNs stripped.
+    pub transit_path: Vec<AsId>,
+    /// The full AS path as observed at the source edge.
+    pub as_path: Vec<AsId>,
+    /// The community set that, attached at the announcer, pins an
+    /// announcement onto this path (suppressing all preferred routes).
+    pub pin_communities: BTreeSet<Community>,
+}
+
+impl DiscoveredPath {
+    /// The distinguishing carrier: the transit adjacent to the announcing
+    /// edge. The paper labels paths by it ("NTT and Cogent ... we refer
+    /// to this as Cogent").
+    pub fn distinguishing_carrier(&self) -> Option<AsId> {
+        self.transit_path.last().copied()
+    }
+}
+
+/// Discovery failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiscoveryError {
+    /// The underlying BGP engine failed.
+    Engine(EngineError),
+    /// The prefix was unreachable before any path was found.
+    NoPathAtAll,
+    /// The observed best path had no transit hop to suppress (the two
+    /// edges are directly connected — nothing for Tango to do).
+    DegeneratePath,
+}
+
+impl From<EngineError> for DiscoveryError {
+    fn from(e: EngineError) -> Self {
+        DiscoveryError::Engine(e)
+    }
+}
+
+impl core::fmt::Display for DiscoveryError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DiscoveryError::Engine(e) => write!(f, "BGP engine: {e}"),
+            DiscoveryError::NoPathAtAll => write!(f, "prefix unreachable before discovery"),
+            DiscoveryError::DegeneratePath => {
+                write!(f, "observed path has no transit hop to suppress")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiscoveryError {}
+
+/// Run the discovery loop.
+///
+/// * `announcer` originates `probe_prefix` (it is announced and finally
+///   withdrawn by this function);
+/// * `observer` is the other edge, whose best-route view drives the loop;
+/// * `infrastructure` lists node ids to strip when extracting the transit
+///   path (the two borders; private tenant ASNs are stripped
+///   automatically);
+/// * at most `max_paths` paths are probed (a safety bound — the loop
+///   normally ends when the prefix becomes unreachable).
+pub fn discover_paths(
+    engine: &mut BgpEngine,
+    announcer: AsId,
+    observer: AsId,
+    probe_prefix: IpCidr,
+    infrastructure: &[AsId],
+    max_paths: usize,
+) -> Result<Vec<DiscoveredPath>, DiscoveryError> {
+    let mut discovered = Vec::new();
+    let mut communities: BTreeSet<Community> = BTreeSet::new();
+    engine.announce(announcer, probe_prefix, communities.clone())?;
+    engine.converge()?;
+
+    while discovered.len() < max_paths {
+        let Some(as_path) = engine.as_path(observer, probe_prefix).map(<[AsId]>::to_vec) else {
+            break; // unreachable: the loop's natural end
+        };
+        let transit_path: Vec<AsId> = as_path
+            .iter()
+            .copied()
+            .filter(|a| !a.is_private() && !infrastructure.contains(a))
+            .collect();
+        let Some(&adjacent_transit) = transit_path.last() else {
+            engine.withdraw(announcer, probe_prefix)?;
+            engine.converge()?;
+            return Err(DiscoveryError::DegeneratePath);
+        };
+        discovered.push(DiscoveredPath {
+            transit_path,
+            as_path,
+            pin_communities: communities.clone(),
+        });
+        // Suppress the transit the announcement currently exits through.
+        communities.insert(Community::NoExportTo(adjacent_transit));
+        engine.set_announcement_communities(announcer, probe_prefix, communities.clone())?;
+        engine.converge()?;
+    }
+
+    // Clean up the probe announcement.
+    engine.withdraw(announcer, probe_prefix)?;
+    engine.converge()?;
+
+    if discovered.is_empty() {
+        return Err(DiscoveryError::NoPathAtAll);
+    }
+    Ok(discovered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_topology::vultr::{
+        vultr_scenario, COGENT, GTT, LEVEL3, NTT, TELIA, TENANT_LA, TENANT_NY, VULTR_LA, VULTR_NY,
+    };
+
+    fn engine() -> BgpEngine {
+        let s = vultr_scenario();
+        let mut e = BgpEngine::new(s.topology.clone());
+        for border in [VULTR_LA, VULTR_NY] {
+            e.set_strip_private(border, true).unwrap();
+            e.set_honor_actions(border, true).unwrap();
+            e.set_neighbor_pref(border, s.neighbor_pref[&border].clone()).unwrap();
+        }
+        e
+    }
+
+    fn pfx(s: &str) -> IpCidr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn discovers_fig3_paths_ny_to_la() {
+        let mut e = engine();
+        let paths = discover_paths(
+            &mut e,
+            TENANT_LA,
+            TENANT_NY,
+            pfx("2001:db8:fe::/48"),
+            &[VULTR_LA, VULTR_NY],
+            8,
+        )
+        .unwrap();
+        let transits: Vec<Vec<AsId>> = paths.iter().map(|p| p.transit_path.clone()).collect();
+        assert_eq!(
+            transits,
+            vec![vec![NTT], vec![TELIA], vec![GTT], vec![NTT, LEVEL3]],
+            "Fig. 3 NY→LA order"
+        );
+        // Pin sets are cumulative suppressions.
+        assert!(paths[0].pin_communities.is_empty());
+        assert_eq!(paths[2].pin_communities.len(), 2);
+        assert_eq!(paths[3].distinguishing_carrier(), Some(LEVEL3));
+    }
+
+    #[test]
+    fn discovers_fig3_paths_la_to_ny() {
+        let mut e = engine();
+        let paths = discover_paths(
+            &mut e,
+            TENANT_NY,
+            TENANT_LA,
+            pfx("2001:db8:fd::/48"),
+            &[VULTR_LA, VULTR_NY],
+            8,
+        )
+        .unwrap();
+        let transits: Vec<Vec<AsId>> = paths.iter().map(|p| p.transit_path.clone()).collect();
+        assert_eq!(
+            transits,
+            vec![vec![NTT], vec![TELIA], vec![GTT], vec![NTT, COGENT]],
+            "Fig. 3 LA→NY order, 4th labeled Cogent"
+        );
+        assert_eq!(paths[3].distinguishing_carrier(), Some(COGENT));
+    }
+
+    #[test]
+    fn discovery_cleans_up_probe_prefix() {
+        let mut e = engine();
+        let p = pfx("2001:db8:fc::/48");
+        discover_paths(&mut e, TENANT_LA, TENANT_NY, p, &[VULTR_LA, VULTR_NY], 8).unwrap();
+        assert!(e.best_route(TENANT_NY, p).is_none(), "probe must be withdrawn");
+        assert!(e.best_route(VULTR_NY, p).is_none());
+    }
+
+    #[test]
+    fn max_paths_bounds_the_loop() {
+        let mut e = engine();
+        let paths = discover_paths(
+            &mut e,
+            TENANT_LA,
+            TENANT_NY,
+            pfx("2001:db8:fb::/48"),
+            &[VULTR_LA, VULTR_NY],
+            2,
+        )
+        .unwrap();
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].transit_path, vec![NTT]);
+        assert_eq!(paths[1].transit_path, vec![TELIA]);
+    }
+
+    #[test]
+    fn observer_without_route_errors() {
+        // Announce from a node the observer can't reach: poison every
+        // transit so nothing propagates.
+        let mut e = engine();
+        let p = pfx("2001:db8:fa::/48");
+        // Pre-poison: originate with all transits in the path, so every
+        // transit drops it. Discovery then sees no path at all.
+        e.announce_poisoned(TENANT_LA, p, Default::default(), &[NTT, TELIA, GTT, LEVEL3, COGENT])
+            .unwrap();
+        e.converge().unwrap();
+        // discover_paths would re-announce over the poisoned origination;
+        // emulate by checking the observer's view directly.
+        assert!(e.as_path(TENANT_NY, p).is_none());
+    }
+
+    #[test]
+    fn as_paths_are_private_free() {
+        let mut e = engine();
+        let paths = discover_paths(
+            &mut e,
+            TENANT_LA,
+            TENANT_NY,
+            pfx("2001:db8:f9::/48"),
+            &[VULTR_LA, VULTR_NY],
+            8,
+        )
+        .unwrap();
+        for p in &paths {
+            assert!(p.as_path.iter().all(|a| !a.is_private()), "{:?}", p.as_path);
+        }
+    }
+}

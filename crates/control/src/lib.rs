@@ -1,0 +1,28 @@
+//! # tango-control — discovery, provisioning, and routing logic
+//!
+//! The cooperative control plane on top of `tango-bgp` and below the
+//! experiment harness:
+//!
+//! * [`discovery`] — the §4.1 step-2 algorithm: iteratively suppress the
+//!   currently selected route with a BGP community, observe what BGP
+//!   falls back to at the other edge, and record (path, community set)
+//!   pairs until the prefix goes unreachable.
+//! * [`config`] — §4.1 step-3 provisioning: carve one prefix per
+//!   discovered path out of each side's address block, announce each
+//!   with the community set that pins it, verify the pinning against the
+//!   converged BGP state, and emit the tunnel tables for both switches.
+//! * [`policy`] — implementations of the data-plane's
+//!   [`tango_dataplane::PathPolicy`]: the BGP-default baseline, lowest
+//!   one-way-delay with hysteresis, jitter-aware and loss-aware scoring,
+//!   and an inverse-latency weighted split.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod discovery;
+pub mod policy;
+
+pub use config::{provision, ProvisionError, ProvisionedPairing, SideConfig};
+pub use discovery::{discover_paths, DiscoveredPath, DiscoveryError};
+pub use policy::{JitterAwarePolicy, LossAwarePolicy, LowestOwdPolicy, WeightedSplitPolicy};

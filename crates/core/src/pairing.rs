@@ -1,0 +1,354 @@
+//! The pairing harness: one call from topology to running measurement.
+
+use std::sync::Arc;
+use tango_bgp::{BgpEngine, EngineError};
+use tango_control::{provision, ProvisionError, ProvisionedPairing, SideConfig};
+use tango_dataplane::{
+    stats::shared_sink, FeedbackMode, PathPolicy, SharedStats, StaticPolicy, SwitchConfig,
+    TangoSwitch,
+};
+use tango_net::SipKey;
+use tango_measure::TimeSeries;
+use tango_net::{Ipv6Packet, Ipv6Repr};
+use tango_sim::{FaultInjector, NetworkSim, NodeClock, Packet, RouterAgent, SimConfig, SimTime};
+use tango_topology::{AsId, Topology};
+
+/// Which edge of the pairing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The first configured side.
+    A,
+    /// The second configured side.
+    B,
+}
+
+impl Side {
+    /// The other side.
+    pub fn peer(self) -> Side {
+        match self {
+            Side::A => Side::B,
+            Side::B => Side::A,
+        }
+    }
+}
+
+/// Harness construction errors.
+#[derive(Debug)]
+pub enum PairingError {
+    /// Discovery/provisioning failed.
+    Provision(ProvisionError),
+    /// The BGP engine failed.
+    Engine(EngineError),
+}
+
+impl From<ProvisionError> for PairingError {
+    fn from(e: ProvisionError) -> Self {
+        PairingError::Provision(e)
+    }
+}
+
+impl From<EngineError> for PairingError {
+    fn from(e: EngineError) -> Self {
+        PairingError::Engine(e)
+    }
+}
+
+impl core::fmt::Display for PairingError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PairingError::Provision(e) => write!(f, "provisioning: {e}"),
+            PairingError::Engine(e) => write!(f, "BGP: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PairingError {}
+
+/// Options controlling a pairing run.
+pub struct PairingOptions {
+    /// Simulation seed (same seed ⇒ identical run).
+    pub seed: u64,
+    /// Probe period per tunnel (the paper uses 10 ms). `None` disables.
+    pub probe_period: Option<SimTime>,
+    /// Control-loop period (`None` = static selection).
+    pub control_period: Option<SimTime>,
+    /// Policy at side A for A→B traffic (installed selections).
+    pub policy_a: Box<dyn PathPolicy>,
+    /// Policy at side B for B→A traffic.
+    pub policy_b: Box<dyn PathPolicy>,
+    /// Maximum number of paths to discover per direction.
+    pub max_paths: usize,
+    /// Clock offset of side B's switch (side A is the reference). The
+    /// paper's clocks are unsynchronized; experiments vary this to show
+    /// the invariance.
+    pub clock_offset_b_ns: i64,
+    /// Optional global fault injection.
+    pub fault: Option<FaultInjector>,
+    /// The path id both switches start on before any policy decision
+    /// (0 = the BGP-default path, by discovery order).
+    pub initial_path: u16,
+    /// Trace ring capacity (0 = disabled).
+    pub trace_capacity: usize,
+    /// Cooperation feedback channel: zero-delay shared view (default,
+    /// the DESIGN.md §5 idealization) or in-band report packets that pay
+    /// real wide-area latency and loss.
+    pub feedback: FeedbackMode,
+    /// Shared secret enabling §6 authenticated telemetry on both
+    /// switches (SipHash-2-4 trailers, verified on receive).
+    pub auth_key: Option<SipKey>,
+    /// Application-specific routing overrides (§3), applied at both
+    /// switches: inner DSCP/traffic-class byte → pinned path id.
+    pub class_map: std::collections::BTreeMap<u8, u16>,
+}
+
+impl Default for PairingOptions {
+    fn default() -> Self {
+        PairingOptions {
+            seed: 1,
+            probe_period: Some(SimTime::from_ms(10)),
+            control_period: None,
+            policy_a: Box::new(StaticPolicy::single(0, "bgp-default")),
+            policy_b: Box::new(StaticPolicy::single(0, "bgp-default")),
+            max_paths: 8,
+            clock_offset_b_ns: 0,
+            fault: None,
+            initial_path: 0,
+            trace_capacity: 0,
+            feedback: FeedbackMode::Shared,
+            auth_key: None,
+            class_map: std::collections::BTreeMap::new(),
+        }
+    }
+}
+
+/// A fully wired Tango deployment between two edges, ready to run.
+pub struct TangoPairing {
+    /// The simulator (topology, agents, event queue).
+    pub sim: NetworkSim,
+    /// The converged BGP engine (for inspection; the simulator's router
+    /// tables were derived from it).
+    pub bgp: BgpEngine,
+    /// The provisioning outcome: discovered paths and tunnel tables.
+    pub provisioned: ProvisionedPairing,
+    /// Side A's stats sink: what A *receives* (B→A measurements) plus
+    /// A's send counters.
+    pub a_stats: SharedStats,
+    /// Side B's stats sink.
+    pub b_stats: SharedStats,
+    side_a: SideConfig,
+    side_b: SideConfig,
+}
+
+impl TangoPairing {
+    /// Build a pairing over an arbitrary topology.
+    ///
+    /// `neighbor_pref` carries per-border route preferences (pass the
+    /// scenario's map, or an empty iterator for pure shortest-path).
+    pub fn build(
+        topology: Topology,
+        neighbor_pref: impl IntoIterator<Item = (AsId, std::collections::BTreeMap<AsId, u32>)>,
+        side_a: SideConfig,
+        side_b: SideConfig,
+        mut options: PairingOptions,
+    ) -> Result<Self, PairingError> {
+        let mut bgp = BgpEngine::new(topology.clone());
+        for (node, prefs) in neighbor_pref {
+            bgp.set_neighbor_pref(node, prefs)?;
+        }
+        let provisioned = provision(&mut bgp, &side_a, &side_b, options.max_paths)?;
+
+        let mut sim = NetworkSim::new(
+            topology.clone(),
+            SimConfig {
+                seed: options.seed,
+                trace_capacity: options.trace_capacity,
+                fault: options.fault,
+            },
+        );
+        // Every non-tenant node routes by its converged BGP table.
+        let tenant_ids = [side_a.tenant, side_b.tenant];
+        let router_ids: Vec<AsId> = topology
+            .nodes()
+            .map(|n| n.id)
+            .filter(|id| !tenant_ids.contains(id))
+            .collect();
+        for id in router_ids {
+            let table = bgp.forwarding_table(id)?;
+            sim.set_agent(id, Box::new(RouterAgent::new(id, table)));
+        }
+        sim.set_clock(side_b.tenant, NodeClock::with_offset_ns(options.clock_offset_b_ns));
+
+        let a_stats = shared_sink();
+        let b_stats = shared_sink();
+        // A switch that is its own border (multi-homed enterprise) routes
+        // outgoing packets itself, from its converged BGP table.
+        let wan_table_for = |bgp: &BgpEngine, side: &SideConfig| -> Result<_, PairingError> {
+            Ok(if side.border == side.tenant {
+                Some(bgp.forwarding_table(side.tenant)?)
+            } else {
+                None
+            })
+        };
+        let a_switch = TangoSwitch::new(
+            SwitchConfig {
+                id: side_a.tenant,
+                border: side_a.border,
+                tunnels: provisioned.a_tunnels.clone(),
+                remote_host_prefixes: vec![side_b.host_prefix],
+                probe_period: options.probe_period,
+                control_period: options.control_period,
+                initial_path: options.initial_path,
+                wan_table: wan_table_for(&bgp, &side_a)?,
+                feedback: options.feedback,
+                auth_key: options.auth_key,
+                class_map: options.class_map.clone(),
+                rx_labels: provisioned
+                    .b_tunnels
+                    .iter()
+                    .map(|t| (t.id, t.label.clone()))
+                    .collect(),
+            },
+            std::mem::replace(&mut options.policy_a, Box::new(StaticPolicy::single(0, "x"))),
+            Arc::clone(&a_stats),
+            Arc::clone(&b_stats),
+        );
+        let b_switch = TangoSwitch::new(
+            SwitchConfig {
+                id: side_b.tenant,
+                border: side_b.border,
+                tunnels: provisioned.b_tunnels.clone(),
+                remote_host_prefixes: vec![side_a.host_prefix],
+                probe_period: options.probe_period,
+                control_period: options.control_period,
+                initial_path: options.initial_path,
+                wan_table: wan_table_for(&bgp, &side_b)?,
+                feedback: options.feedback,
+                auth_key: options.auth_key,
+                class_map: options.class_map.clone(),
+                rx_labels: provisioned
+                    .a_tunnels
+                    .iter()
+                    .map(|t| (t.id, t.label.clone()))
+                    .collect(),
+            },
+            std::mem::replace(&mut options.policy_b, Box::new(StaticPolicy::single(0, "x"))),
+            Arc::clone(&b_stats),
+            Arc::clone(&a_stats),
+        );
+        sim.set_agent(side_a.tenant, Box::new(a_switch));
+        sim.set_agent(side_b.tenant, Box::new(b_switch));
+        let n_a = provisioned.a_tunnels.len();
+        let n_b = provisioned.b_tunnels.len();
+        let reports = matches!(options.feedback, FeedbackMode::InBand { .. });
+        TangoSwitch::arm_timers(
+            &mut sim,
+            side_a.tenant,
+            options.probe_period.is_some(),
+            options.control_period.is_some(),
+            reports,
+            n_a,
+            SimTime::from_ms(1),
+        );
+        TangoSwitch::arm_timers(
+            &mut sim,
+            side_b.tenant,
+            options.probe_period.is_some(),
+            options.control_period.is_some(),
+            reports,
+            n_b,
+            SimTime::from_ms(2),
+        );
+
+        Ok(TangoPairing { sim, bgp, provisioned, a_stats, b_stats, side_a, side_b })
+    }
+
+    /// Advance simulated time.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
+    }
+
+    /// The stats sink of a side (what that side *receives*).
+    pub fn stats(&self, side: Side) -> &SharedStats {
+        match side {
+            Side::A => &self.a_stats,
+            Side::B => &self.b_stats,
+        }
+    }
+
+    /// The tunnel labels for traffic *into* a side (discovery order).
+    pub fn labels_into(&self, side: Side) -> Vec<String> {
+        let tunnels = match side {
+            Side::A => &self.provisioned.b_tunnels, // B sends into A
+            Side::B => &self.provisioned.a_tunnels,
+        };
+        tunnels.iter().map(|t| t.label.clone()).collect()
+    }
+
+    /// Clone a path's one-way-delay series as measured at `side`
+    /// (i.e. the `peer → side` direction).
+    pub fn owd_series(&self, side: Side, path: u16) -> Option<TimeSeries> {
+        self.stats(side).lock().path(path).map(|p| p.owd.clone())
+    }
+
+    /// Mean one-way delay in milliseconds for a path into `side`.
+    pub fn mean_owd_ms(&self, side: Side, path: u16) -> Option<f64> {
+        self.stats(side).lock().path(path).and_then(|p| p.owd.mean()).map(|v| v / 1e6)
+    }
+
+    /// Schedule an application packet from `side`'s host toward the
+    /// peer's host prefix at simulated time `at`.
+    pub fn send_app_packet(&mut self, at: SimTime, from: Side, payload_len: usize) {
+        self.send_app_packet_class(at, from, payload_len, 0);
+    }
+
+    /// [`TangoPairing::send_app_packet`] with an explicit DSCP/traffic
+    /// class (for §3 application-specific routing).
+    pub fn send_app_packet_class(
+        &mut self,
+        at: SimTime,
+        from: Side,
+        payload_len: usize,
+        traffic_class: u8,
+    ) {
+        let (tenant, src_prefix, dst_prefix) = match from {
+            Side::A => (self.side_a.tenant, self.side_a.host_prefix, self.side_b.host_prefix),
+            Side::B => (self.side_b.tenant, self.side_b.host_prefix, self.side_a.host_prefix),
+        };
+        let addr_in = |p: tango_net::IpCidr, host: u128| match p {
+            tango_net::IpCidr::V6(c) => c.host(host).expect("host prefix wide enough"),
+            tango_net::IpCidr::V4(_) => unreachable!("host prefixes are IPv6 in this harness"),
+        };
+        let repr = Ipv6Repr {
+            src_addr: addr_in(src_prefix, 0x10),
+            dst_addr: addr_in(dst_prefix, 0x20),
+            next_header: 17,
+            payload_len,
+            hop_limit: 64,
+            traffic_class,
+            flow_label: 0,
+        };
+        let mut buf = vec![0u8; repr.total_len()];
+        let mut pkt = Ipv6Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut pkt).expect("sized buffer");
+        self.sim.schedule_host_packet(at, tenant, Packet::new(buf));
+    }
+
+    /// The side configs (for reporting).
+    pub fn side_config(&self, side: Side) -> &SideConfig {
+        match side {
+            Side::A => &self.side_a,
+            Side::B => &self.side_b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn side_peer_flips() {
+        assert_eq!(Side::A.peer(), Side::B);
+        assert_eq!(Side::B.peer(), Side::A);
+    }
+}

@@ -1,0 +1,217 @@
+//! The control/data interface: path-selection policies and the selection
+//! state they install.
+//!
+//! §3: Tango's third component is *"a local configuration containing the
+//! available routes to the other Tango switch and logic for how a
+//! forwarding decision should be made based on path performance."* The
+//! logic is a [`PathPolicy`] (implemented by `tango-control`); the
+//! decision it installs is a [`Selection`], evaluated per packet in the
+//! switch with zero allocation.
+
+use std::collections::BTreeMap;
+
+/// A point-in-time view of one path's health, extracted from the peer's
+/// receive-side stats at each control tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathSnapshot {
+    /// Smoothed one-way delay, ns (None until the first sample).
+    pub owd_ewma_ns: Option<f64>,
+    /// Most recent raw one-way delay sample, ns.
+    pub last_owd_ns: Option<f64>,
+    /// Rolling 1-second-window standard deviation, ns (the jitter metric).
+    pub jitter_ns: Option<f64>,
+    /// Estimated loss rate in [0, 1].
+    pub loss_rate: f64,
+    /// Total samples observed.
+    pub samples: u64,
+    /// How much longer ago this path last delivered a packet than the
+    /// *freshest* path did, in ns (0 = this is the freshest path;
+    /// `None` = never delivered). Measured entirely in the receiver's
+    /// clock, so constant clock offsets cancel — a totally dead path
+    /// (outage) shows unbounded staleness even though its sequence-gap
+    /// loss estimator sees no arrivals to count.
+    pub staleness_ns: Option<u64>,
+}
+
+/// The forwarding decision installed in the data plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selection {
+    /// All Tango-destined traffic rides one tunnel.
+    Single(u16),
+    /// Weighted round-robin split across tunnels (weight, path id).
+    /// Smooth WRR: deterministic, allocation-free per packet.
+    Weighted(Vec<(u16, u32)>),
+}
+
+impl Selection {
+    /// The set of path ids this selection can emit.
+    pub fn paths(&self) -> Vec<u16> {
+        match self {
+            Selection::Single(p) => vec![*p],
+            Selection::Weighted(w) => w.iter().map(|(p, _)| *p).collect(),
+        }
+    }
+}
+
+/// Per-packet evaluator for a [`Selection`] (keeps WRR state).
+#[derive(Debug, Clone)]
+pub struct SelectionState {
+    selection: Selection,
+    /// Smooth-WRR current weights.
+    current: Vec<i64>,
+}
+
+impl SelectionState {
+    /// Wrap a selection.
+    pub fn new(selection: Selection) -> Self {
+        let n = match &selection {
+            Selection::Single(_) => 0,
+            Selection::Weighted(w) => w.len(),
+        };
+        SelectionState { selection, current: vec![0; n] }
+    }
+
+    /// Replace the selection (from a control tick). WRR state resets.
+    pub fn install(&mut self, selection: Selection) {
+        if selection != self.selection {
+            *self = SelectionState::new(selection);
+        }
+    }
+
+    /// The installed selection.
+    pub fn selection(&self) -> &Selection {
+        &self.selection
+    }
+
+    /// Choose the tunnel for the next packet.
+    pub fn choose(&mut self) -> Option<u16> {
+        match &self.selection {
+            Selection::Single(p) => Some(*p),
+            Selection::Weighted(w) => {
+                if w.is_empty() {
+                    return None;
+                }
+                // Smooth weighted round-robin (nginx algorithm).
+                let total: i64 = w.iter().map(|(_, wt)| i64::from(*wt)).sum();
+                if total == 0 {
+                    return Some(w[0].0);
+                }
+                let mut best = 0usize;
+                for (i, (_, wt)) in w.iter().enumerate() {
+                    self.current[i] += i64::from(*wt);
+                    if self.current[i] > self.current[best] {
+                        best = i;
+                    }
+                }
+                self.current[best] -= total;
+                Some(w[best].0)
+            }
+        }
+    }
+}
+
+/// The policy interface: called at each control tick with fresh
+/// snapshots; returns the selection to install.
+pub trait PathPolicy: Send {
+    /// Decide the selection given current per-path health.
+    fn decide(&mut self, now_local_ns: u64, paths: &BTreeMap<u16, PathSnapshot>) -> Selection;
+
+    /// Short policy name for experiment output.
+    fn name(&self) -> &str;
+}
+
+/// The trivial policy: a fixed selection, never re-decided. With the
+/// BGP-default path this *is* the status-quo baseline of §2.
+#[derive(Debug, Clone)]
+pub struct StaticPolicy {
+    selection: Selection,
+    name: String,
+}
+
+impl StaticPolicy {
+    /// Always use one path.
+    pub fn single(path: u16, name: impl Into<String>) -> Self {
+        StaticPolicy { selection: Selection::Single(path), name: name.into() }
+    }
+
+    /// A fixed weighted split.
+    pub fn weighted(weights: Vec<(u16, u32)>, name: impl Into<String>) -> Self {
+        StaticPolicy { selection: Selection::Weighted(weights), name: name.into() }
+    }
+}
+
+impl PathPolicy for StaticPolicy {
+    fn decide(&mut self, _now: u64, _paths: &BTreeMap<u16, PathSnapshot>) -> Selection {
+        self.selection.clone()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_always_same() {
+        let mut s = SelectionState::new(Selection::Single(3));
+        for _ in 0..10 {
+            assert_eq!(s.choose(), Some(3));
+        }
+    }
+
+    #[test]
+    fn wrr_respects_weights_exactly() {
+        let mut s = SelectionState::new(Selection::Weighted(vec![(0, 3), (1, 1)]));
+        let mut counts = [0u32; 2];
+        for _ in 0..400 {
+            counts[s.choose().unwrap() as usize] += 1;
+        }
+        assert_eq!(counts, [300, 100]);
+    }
+
+    #[test]
+    fn wrr_is_smooth_not_bursty() {
+        // Smooth WRR with weights 2:1 interleaves (no AAB...AAB runs of
+        // the same path longer than its share requires).
+        let mut s = SelectionState::new(Selection::Weighted(vec![(0, 2), (1, 1)]));
+        let seq: Vec<u16> = (0..9).map(|_| s.choose().unwrap()).collect();
+        // nginx smooth WRR for 2:1 yields 0,1,0 repeating.
+        assert_eq!(seq, vec![0, 1, 0, 0, 1, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn wrr_zero_weights_degrade_gracefully() {
+        let mut s = SelectionState::new(Selection::Weighted(vec![(5, 0), (6, 0)]));
+        assert_eq!(s.choose(), Some(5));
+        let mut empty = SelectionState::new(Selection::Weighted(vec![]));
+        assert_eq!(empty.choose(), None);
+    }
+
+    #[test]
+    fn install_resets_only_on_change() {
+        let mut s = SelectionState::new(Selection::Weighted(vec![(0, 2), (1, 1)]));
+        s.choose();
+        let drained = s.current.clone();
+        s.install(Selection::Weighted(vec![(0, 2), (1, 1)])); // identical
+        assert_eq!(s.current, drained, "same selection must not reset WRR");
+        s.install(Selection::Single(1));
+        assert_eq!(s.choose(), Some(1));
+    }
+
+    #[test]
+    fn static_policy_ignores_stats() {
+        let mut p = StaticPolicy::single(0, "bgp-default");
+        let empty = BTreeMap::new();
+        assert_eq!(p.decide(0, &empty), Selection::Single(0));
+        assert_eq!(p.name(), "bgp-default");
+    }
+
+    #[test]
+    fn selection_paths() {
+        assert_eq!(Selection::Single(4).paths(), vec![4]);
+        assert_eq!(Selection::Weighted(vec![(1, 1), (2, 9)]).paths(), vec![1, 2]);
+    }
+}

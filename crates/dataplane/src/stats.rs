@@ -1,0 +1,198 @@
+//! Receive-side per-path statistics.
+//!
+//! The receiving switch attributes every valid tunnel packet to a path,
+//! computes the one-way delay `local_now − sender_timestamp`, and feeds
+//! sequence numbers to a loss/reorder tracker. The resulting [`StatsSink`]
+//! is shared with the *peer's* controller — the cooperation channel of
+//! the architecture. We model that channel as a shared handle with zero
+//! feedback delay (see DESIGN.md §5); the control loop only samples it at
+//! its own cadence, so the idealization is mild.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tango_measure::{Ewma, RollingWindow, SeqTracker, TimeSeries};
+
+/// Live statistics for one path (tunnel).
+#[derive(Debug)]
+pub struct PathStats {
+    /// Display label ("NTT", "GTT", ...).
+    pub label: String,
+    /// Raw one-way-delay samples, keyed by *receiver local* time (ns).
+    /// Values may be offset by the constant clock skew — relative
+    /// comparisons across paths remain exact (§4.2).
+    pub owd: TimeSeries,
+    /// Smoothed one-way delay.
+    pub owd_ewma: Ewma,
+    /// Rolling 1-second window (the paper's jitter metric).
+    pub rolling: RollingWindow,
+    /// Loss / reorder / duplicate tracking from tunnel sequence numbers.
+    pub seq: SeqTracker,
+    /// Packets rejected before measurement (bad checksum / header).
+    pub rejected: u64,
+    /// App (non-probe) packets delivered on this path.
+    pub app_delivered: u64,
+    /// One-way delays of *application* packets only (what end users
+    /// actually experienced on this path), keyed by receiver local time.
+    pub app_owd: TimeSeries,
+}
+
+impl PathStats {
+    fn new(label: String) -> Self {
+        PathStats {
+            label,
+            owd: TimeSeries::new(),
+            owd_ewma: Ewma::new(0.05),
+            rolling: RollingWindow::new(1_000_000_000),
+            seq: SeqTracker::new(),
+            rejected: 0,
+            app_delivered: 0,
+            app_owd: TimeSeries::new(),
+        }
+    }
+
+    /// Record a valid measurement.
+    pub fn record_owd(&mut self, rx_local_ns: u64, owd_ns: f64, sequence: u32, probe: bool) {
+        self.owd.push(rx_local_ns, owd_ns);
+        self.owd_ewma.update(owd_ns);
+        self.rolling.push(rx_local_ns, owd_ns);
+        self.seq.record(sequence);
+        if !probe {
+            self.app_delivered += 1;
+            self.app_owd.push(rx_local_ns, owd_ns);
+        }
+    }
+}
+
+/// All paths' statistics at one switch — receive-side measurements plus
+/// send-side counters (the peer's controller reads only the path stats).
+#[derive(Debug, Default)]
+pub struct StatsSink {
+    paths: BTreeMap<u16, PathStats>,
+    /// Tango-looking packets that failed validation and could not be
+    /// attributed to any path.
+    pub unattributed_rejects: u64,
+    /// App packets this switch encapsulated onto tunnels.
+    pub tx_encapsulated: u64,
+    /// Host packets forwarded natively (non-Tango destinations).
+    pub tx_untunneled: u64,
+    /// Probes this switch emitted.
+    pub probes_sent: u64,
+    /// Sends requested on an unknown tunnel id (a control-plane bug).
+    pub tx_no_tunnel: u64,
+    /// Control-loop ticks executed.
+    pub control_ticks: u64,
+    /// Plain (un-encapsulated) packets received for local hosts.
+    pub plain_rx: u64,
+    /// (local time ns, path ids selected) after each control decision —
+    /// the experiments use this to plot which path carried traffic when.
+    pub selection_history: Vec<(u64, Vec<u16>)>,
+    /// In-band measurement reports sent to the peer.
+    pub reports_sent: u64,
+    /// In-band measurement reports received and applied.
+    pub reports_received: u64,
+    /// Reports received but undecodable (counted, never applied).
+    pub reports_rejected: u64,
+    /// Packets rejected by telemetry authentication (§6 mode).
+    pub auth_rejects: u64,
+}
+
+impl StatsSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-register a path so its label is known before traffic flows.
+    pub fn register_path(&mut self, id: u16, label: impl Into<String>) {
+        self.paths.entry(id).or_insert_with(|| PathStats::new(label.into()));
+    }
+
+    /// Get-or-create a path entry.
+    pub fn path_mut(&mut self, id: u16) -> &mut PathStats {
+        self.paths.entry(id).or_insert_with(|| PathStats::new(format!("path-{id}")))
+    }
+
+    /// Read a path's stats.
+    pub fn path(&self, id: u16) -> Option<&PathStats> {
+        self.paths.get(&id)
+    }
+
+    /// All registered paths.
+    pub fn paths(&self) -> impl Iterator<Item = (u16, &PathStats)> {
+        self.paths.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Count a rejected packet (attributed to a path if possible).
+    pub fn record_reject(&mut self, path: Option<u16>) {
+        match path {
+            Some(id) => self.path_mut(id).rejected += 1,
+            None => self.unattributed_rejects += 1,
+        }
+    }
+}
+
+/// A shareable handle to a sink: the receiver writes, the peer's
+/// controller reads.
+pub type SharedStats = Arc<Mutex<StatsSink>>;
+
+/// Create a fresh shared sink.
+pub fn shared_sink() -> SharedStats {
+    Arc::new(Mutex::new(StatsSink::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_updates_all_views() {
+        let mut s = StatsSink::new();
+        s.register_path(0, "NTT");
+        for i in 0..10u32 {
+            s.path_mut(0).record_owd(u64::from(i) * 1_000_000, 36_500_000.0, i, true);
+        }
+        let p = s.path(0).unwrap();
+        assert_eq!(p.label, "NTT");
+        assert_eq!(p.owd.len(), 10);
+        assert_eq!(p.seq.received(), 10);
+        assert_eq!(p.seq.lost(), 0);
+        assert!((p.owd_ewma.get().unwrap() - 36_500_000.0).abs() < 1.0);
+        assert_eq!(p.app_delivered, 0);
+    }
+
+    #[test]
+    fn app_packets_counted_separately() {
+        let mut s = StatsSink::new();
+        s.path_mut(1).record_owd(0, 1.0, 0, false);
+        s.path_mut(1).record_owd(10, 1.0, 1, true);
+        assert_eq!(s.path(1).unwrap().app_delivered, 1);
+    }
+
+    #[test]
+    fn rejects_attributed_and_not() {
+        let mut s = StatsSink::new();
+        s.record_reject(Some(2));
+        s.record_reject(None);
+        assert_eq!(s.path(2).unwrap().rejected, 1);
+        assert_eq!(s.unattributed_rejects, 1);
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut s = StatsSink::new();
+        s.register_path(0, "NTT");
+        s.path_mut(0).record_owd(0, 5.0, 0, true);
+        s.register_path(0, "renamed");
+        assert_eq!(s.path(0).unwrap().label, "NTT");
+        assert_eq!(s.path(0).unwrap().owd.len(), 1);
+    }
+
+    #[test]
+    fn shared_sink_is_actually_shared() {
+        let a = shared_sink();
+        let b = Arc::clone(&a);
+        a.lock().path_mut(0).record_owd(0, 1.0, 0, true);
+        assert_eq!(b.lock().path(0).unwrap().owd.len(), 1);
+    }
+}

@@ -1,0 +1,417 @@
+//! The Tango border switch as a simulator agent.
+//!
+//! One [`TangoSwitch`] per edge site, playing both §4.2 roles: *"Each
+//! server runs both the sender and the receiver-side eBPF program."*
+//!
+//! * **Sender side** — host traffic destined to the peer's host prefixes
+//!   is matched in the remote-host table ("a table which can be
+//!   statically configured as both endpoints are cooperating", §3),
+//!   stamped with the local clock + per-tunnel sequence number,
+//!   encapsulated onto the tunnel the installed selection picks, and
+//!   forwarded to the border. Other host traffic is forwarded natively.
+//! * **Receiver side** — Tango-encapsulated arrivals are validated,
+//!   measured (one-way delay, loss, reordering), decapsulated, and the
+//!   inner packet is delivered to the host side.
+//! * **Probes** — optional periodic probes per tunnel (the paper's
+//!   10 ms ping stream) keep paths measured even without app traffic.
+//! * **Control loop** — at each control tick the configured
+//!   [`PathPolicy`] reads the *peer's* receive-side stats (the
+//!   cooperation feedback) and installs a fresh selection.
+
+use crate::codec::{self, CodecError};
+use crate::policy::{PathPolicy, PathSnapshot, SelectionState, StaticPolicy};
+use crate::report::{report_from_sink, MeasurementReport};
+use crate::stats::SharedStats;
+use crate::tunnel::Tunnel;
+use std::collections::BTreeMap;
+use tango_net::{IpCidr, PrefixTrie, SipKey};
+use tango_sim::{Agent, Ctx, Packet, SimTime};
+use tango_topology::AsId;
+
+/// Timer tag for the control loop.
+const TAG_CONTROL: u64 = 0;
+/// Timer tag for in-band report emission.
+const TAG_REPORT: u64 = 1;
+/// Probe timer tags start here: tag = TAG_PROBE_BASE + tunnel index.
+const TAG_PROBE_BASE: u64 = 2;
+
+/// How a switch's controller learns the peer's receive-side view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedbackMode {
+    /// Read the peer's stats sink directly (zero-delay out-of-band
+    /// channel — the idealization documented in DESIGN.md §5).
+    Shared,
+    /// The peer periodically sends `REPORT` packets through the tunnels;
+    /// feedback pays real wide-area latency and can be lost like any
+    /// other packet. The period is the peer's report interval.
+    InBand {
+        /// How often this switch emits reports toward its peer.
+        period: SimTime,
+    },
+}
+
+/// What kind of packet a tunnel send carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxKind {
+    Probe,
+    App,
+    Report,
+}
+
+/// Static configuration of one switch.
+pub struct SwitchConfig {
+    /// This switch's node id.
+    pub id: AsId,
+    /// The border router all wide-area traffic goes through (the
+    /// co-located Vultr router in the prototype).
+    pub border: AsId,
+    /// Tunnels to the peer, one per exposed wide-area path.
+    pub tunnels: Vec<Tunnel>,
+    /// Host prefixes behind the *peer* (traffic to these is tunneled).
+    pub remote_host_prefixes: Vec<IpCidr>,
+    /// Send a probe on every tunnel at this period (`None` disables).
+    pub probe_period: Option<SimTime>,
+    /// Run the policy at this period (`None` = static selection forever).
+    pub control_period: Option<SimTime>,
+    /// Path id used until the policy first decides.
+    pub initial_path: u16,
+    /// Wide-area forwarding table, required when this switch *is* its
+    /// own border (the multi-homed enterprise of §2): outgoing packets
+    /// are routed by longest-prefix match instead of handed to a
+    /// separate border router. `None` for the behind-a-border case.
+    pub wan_table: Option<PrefixTrie<AsId>>,
+    /// Cooperation feedback channel (see [`FeedbackMode`]).
+    pub feedback: FeedbackMode,
+    /// Shared secret for §6 authenticated telemetry. When set, every
+    /// emitted tunnel packet carries a SipHash-2-4 trailer and every
+    /// received tunnel packet must verify (unauthenticated or forged
+    /// packets are counted in `auth_rejects` and discarded).
+    pub auth_key: Option<SipKey>,
+    /// Application-specific routing (§3: "it makes a performance-driven/
+    /// application-specific routing decision"): inner packets whose
+    /// DSCP/traffic-class byte appears here bypass the policy's selection
+    /// and ride the mapped path (e.g. pin the control class to the
+    /// lowest-jitter path while bulk follows the adaptive default).
+    pub class_map: BTreeMap<u8, u16>,
+    /// Labels for the paths this switch *receives* on — i.e. the peer's
+    /// tunnel labels, which share path ids with ours by provisioning
+    /// convention but may differ in name (LA's tunnel 3 is "Cogent",
+    /// NY's is "Level3"). Used to pre-register the stats sink.
+    pub rx_labels: Vec<(u16, String)>,
+}
+
+/// The Tango switch agent.
+pub struct TangoSwitch {
+    id: AsId,
+    border: AsId,
+    tunnels: BTreeMap<u16, Tunnel>,
+    remote_hosts: PrefixTrie<()>,
+    seq: BTreeMap<u16, u32>,
+    selection: SelectionState,
+    policy: Box<dyn PathPolicy>,
+    probe_period: Option<SimTime>,
+    control_period: Option<SimTime>,
+    /// Everything this switch observes (receive-side measurements and
+    /// send-side counters). The peer's controller reads the path stats.
+    my_stats: SharedStats,
+    /// The peer switch's sink: *their* receive-side view of *our*
+    /// outgoing paths — the input to our policy (Shared feedback mode).
+    peer_stats: SharedStats,
+    wan_table: Option<PrefixTrie<AsId>>,
+    feedback: FeedbackMode,
+    auth_key: Option<SipKey>,
+    class_map: BTreeMap<u8, u16>,
+    /// Latest peer view received in-band (InBand feedback mode).
+    peer_view: BTreeMap<u16, PathSnapshot>,
+}
+
+impl TangoSwitch {
+    /// Build a switch. `my_stats` is written by this switch; `peer_stats`
+    /// is the peer's sink (read at control ticks).
+    pub fn new(
+        config: SwitchConfig,
+        policy: Box<dyn PathPolicy>,
+        my_stats: SharedStats,
+        peer_stats: SharedStats,
+    ) -> Self {
+        let mut remote_hosts = PrefixTrie::new();
+        for p in &config.remote_host_prefixes {
+            remote_hosts.insert(*p, ());
+        }
+        let tunnels: BTreeMap<u16, Tunnel> =
+            config.tunnels.into_iter().map(|t| (t.id, t)).collect();
+        {
+            // The sink records *incoming* measurements, so its labels are
+            // the peer's path names (rx_labels), not our outgoing ones.
+            let mut sink = my_stats.lock();
+            for (id, label) in &config.rx_labels {
+                sink.register_path(*id, label.clone());
+            }
+        }
+        TangoSwitch {
+            id: config.id,
+            border: config.border,
+            wan_table: config.wan_table,
+            feedback: config.feedback,
+            auth_key: config.auth_key,
+            class_map: config.class_map,
+            peer_view: BTreeMap::new(),
+            tunnels,
+            remote_hosts,
+            seq: BTreeMap::new(),
+            selection: SelectionState::new(crate::policy::Selection::Single(config.initial_path)),
+            policy,
+            probe_period: config.probe_period,
+            control_period: config.control_period,
+            my_stats,
+            peer_stats,
+        }
+    }
+
+    /// Convenience: a switch with a fixed single-path policy.
+    pub fn with_static_path(
+        config: SwitchConfig,
+        my_stats: SharedStats,
+        peer_stats: SharedStats,
+    ) -> Self {
+        let path = config.initial_path;
+        Self::new(
+            config,
+            Box::new(StaticPolicy::single(path, "static")),
+            my_stats,
+            peer_stats,
+        )
+    }
+
+    /// This switch's node id.
+    pub fn id(&self) -> AsId {
+        self.id
+    }
+
+    /// Arm a switch's timers (probes + control loop). Call once after
+    /// installing the agent; `start` staggers different switches.
+    pub fn arm_timers(
+        sim: &mut tango_sim::NetworkSim,
+        node: AsId,
+        probes: bool,
+        control: bool,
+        reports: bool,
+        tunnel_count: usize,
+        start: SimTime,
+    ) {
+        if probes {
+            for i in 0..tunnel_count {
+                sim.schedule_timer_at(start, node, TAG_PROBE_BASE + i as u64);
+            }
+        }
+        if control {
+            sim.schedule_timer_at(start, node, TAG_CONTROL);
+        }
+        if reports {
+            sim.schedule_timer_at(start, node, TAG_REPORT);
+        }
+    }
+
+    fn next_seq(&mut self, path: u16) -> u32 {
+        let s = self.seq.entry(path).or_insert(0);
+        let v = *s;
+        *s = s.wrapping_add(1);
+        v
+    }
+
+    fn send_on_tunnel(&mut self, ctx: &mut Ctx<'_>, path: u16, inner: &[u8], kind: TxKind) {
+        let Some(tunnel) = self.tunnels.get(&path).cloned() else {
+            self.my_stats.lock().tx_no_tunnel += 1;
+            return;
+        };
+        let seq = self.next_seq(path);
+        let ts = ctx.local_ns();
+        let key = self.auth_key.as_ref();
+        let wire = match (kind, key) {
+            (TxKind::Probe, None) => codec::probe_packet(&tunnel, seq, ts),
+            (TxKind::Probe, Some(k)) => codec::probe_packet_auth(&tunnel, seq, ts, k),
+            (TxKind::App, None) => codec::encapsulate(&tunnel, inner, seq, ts),
+            (TxKind::App, Some(k)) => codec::encapsulate_auth(&tunnel, inner, seq, ts, k),
+            (TxKind::Report, k) => codec::report_packet(&tunnel, seq, ts, inner, k),
+        };
+        {
+            let mut sink = self.my_stats.lock();
+            match kind {
+                TxKind::Probe => sink.probes_sent += 1,
+                TxKind::App => sink.tx_encapsulated += 1,
+                TxKind::Report => sink.reports_sent += 1,
+            }
+        }
+        self.transmit_wan(ctx, Packet::new(wire));
+    }
+
+    /// Send toward the wide area: via the border router, or — when this
+    /// switch is its own border — by our own LPM table.
+    fn transmit_wan(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        if self.border != self.id {
+            ctx.transmit(self.border, pkt);
+            return;
+        }
+        let next = pkt
+            .dst_addr()
+            .and_then(|d| self.wan_table.as_ref().and_then(|t| t.longest_match(d).map(|(_, n)| *n)));
+        match next {
+            Some(n) if n != self.id => ctx.transmit(n, pkt),
+            _ => ctx.count_no_route(),
+        }
+    }
+
+    fn snapshots(&self) -> BTreeMap<u16, PathSnapshot> {
+        if matches!(self.feedback, FeedbackMode::InBand { .. }) {
+            return self.peer_view.clone();
+        }
+        let sink = self.peer_stats.lock();
+        let freshest: Option<u64> = sink
+            .paths()
+            .filter_map(|(_, p)| p.owd.times_ns().last().copied())
+            .max();
+        let mut out = BTreeMap::new();
+        for (id, p) in sink.paths() {
+            let last_rx = p.owd.times_ns().last().copied();
+            let staleness_ns = match (freshest, last_rx) {
+                (Some(f), Some(l)) => Some(f.saturating_sub(l)),
+                _ => None,
+            };
+            out.insert(
+                id,
+                PathSnapshot {
+                    owd_ewma_ns: p.owd_ewma.get(),
+                    last_owd_ns: p.owd.values().last().copied(),
+                    jitter_ns: p.rolling.std(),
+                    loss_rate: p.seq.loss_rate(),
+                    samples: p.owd.len() as u64,
+                    staleness_ns,
+                },
+            );
+        }
+        out
+    }
+}
+
+/// The DSCP/traffic-class byte of an IP packet (IPv4 DSCP/ECN byte or
+/// IPv6 traffic class), if parseable.
+fn traffic_class_of(bytes: &[u8]) -> Option<u8> {
+    match bytes.first().map(|b| b >> 4)? {
+        4 => tango_net::Ipv4Packet::new_checked(bytes).ok().map(|p| p.dscp_ecn()),
+        6 => tango_net::Ipv6Packet::new_checked(bytes).ok().map(|p| p.traffic_class()),
+        _ => None,
+    }
+}
+
+impl Agent for TangoSwitch {
+    fn on_host_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        let tango_destined = pkt
+            .dst_addr()
+            .map(|d| self.remote_hosts.longest_match(d).is_some())
+            .unwrap_or(false);
+        if tango_destined {
+            // §3 application-specific override first, then the installed
+            // performance-driven selection.
+            let class_path = traffic_class_of(&pkt.bytes)
+                .and_then(|tc| self.class_map.get(&tc).copied())
+                .filter(|p| self.tunnels.contains_key(p));
+            if let Some(path) = class_path.or_else(|| self.selection.choose()) {
+                let bytes = pkt.bytes;
+                self.send_on_tunnel(ctx, path, &bytes, TxKind::App);
+                return;
+            }
+        }
+        // Non-Tango destination (or empty selection): native forwarding.
+        self.my_stats.lock().tx_untunneled += 1;
+        self.transmit_wan(ctx, pkt);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        if codec::looks_like_tango(&pkt.bytes) {
+            let require_auth = self.auth_key.is_some();
+            match codec::decapsulate_with(&pkt.bytes, self.auth_key.as_ref(), require_auth) {
+                Ok(d) => {
+                    let rx_local = ctx.local_ns();
+                    // Signed: clock offsets can legally make this negative.
+                    let owd = rx_local as i64 - d.tango.timestamp_ns as i64;
+                    // Reports and probes are infrastructure, not app data.
+                    let infra = d.tango.flags.is_probe() || d.tango.flags.is_report();
+                    self.my_stats.lock().path_mut(d.tango.path_id).record_owd(
+                        rx_local,
+                        owd as f64,
+                        d.tango.sequence,
+                        infra,
+                    );
+                    if d.tango.flags.is_report() {
+                        match MeasurementReport::decode(&d.inner) {
+                            Ok(report) => {
+                                self.peer_view = report.to_snapshots();
+                                self.my_stats.lock().reports_received += 1;
+                            }
+                            Err(_) => {
+                                self.my_stats.lock().reports_rejected += 1;
+                            }
+                        }
+                    }
+                    // Inner app packet continues to the host side (outside
+                    // the modeled scope — the host is attached here).
+                }
+                Err(CodecError::Auth) => {
+                    self.my_stats.lock().auth_rejects += 1;
+                }
+                Err(_) => {
+                    self.my_stats.lock().record_reject(None);
+                }
+            }
+        } else {
+            // Plain (un-tunneled) packet for our hosts.
+            self.my_stats.lock().plain_rx += 1;
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag == TAG_CONTROL {
+            let snaps = self.snapshots();
+            let now = ctx.local_ns();
+            let decision = self.policy.decide(now, &snaps);
+            self.selection.install(decision.clone());
+            {
+                let mut sink = self.my_stats.lock();
+                sink.control_ticks += 1;
+                sink.selection_history.push((now, decision.paths()));
+            }
+            if let Some(period) = self.control_period {
+                ctx.schedule_timer(period, TAG_CONTROL);
+            }
+            return;
+        }
+        if tag == TAG_REPORT {
+            // Digest what *we* receive and ship it to the peer so their
+            // controller can steer their outgoing traffic: cooperation,
+            // paid for in-band.
+            let report = report_from_sink(&self.my_stats.lock()).encode();
+            // Ride the currently selected path (falls back to the first
+            // tunnel before any selection exists).
+            let path = self
+                .selection
+                .choose()
+                .or_else(|| self.tunnels.keys().next().copied());
+            if let Some(path) = path {
+                self.send_on_tunnel(ctx, path, &report, TxKind::Report);
+            }
+            if let FeedbackMode::InBand { period } = self.feedback {
+                ctx.schedule_timer(period, TAG_REPORT);
+            }
+            return;
+        }
+        // Probe timers.
+        let idx = (tag - TAG_PROBE_BASE) as usize;
+        let path = self.tunnels.keys().copied().nth(idx);
+        if let Some(path) = path {
+            self.send_on_tunnel(ctx, path, &[], TxKind::Probe);
+        }
+        if let Some(period) = self.probe_period {
+            ctx.schedule_timer(period, tag);
+        }
+    }
+}

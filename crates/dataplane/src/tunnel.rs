@@ -1,0 +1,81 @@
+//! Tunnel descriptors.
+//!
+//! §3: *"Tango switches announce multiple prefixes across different
+//! routes and then build tunnels with endpoints in those different
+//! prefixes. These tunnels traverse the different interdomain paths
+//! exposed by the different prefixes."* A [`Tunnel`] couples a path id
+//! with the local and remote endpoint addresses and the fixed UDP source
+//! port that pins the tunnel onto a single ECMP lane.
+
+use std::net::Ipv6Addr;
+use tango_net::Ipv6Cidr;
+
+/// One unidirectional Tango tunnel (sender's view).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tunnel {
+    /// The path id carried in the Tango header (and series label index).
+    pub id: u16,
+    /// Display label for experiment output ("NTT", "GTT", ...).
+    pub label: String,
+    /// Local endpoint address — source of the outer header, drawn from a
+    /// locally announced per-path prefix.
+    pub local_endpoint: Ipv6Addr,
+    /// Remote endpoint address — destination of the outer header, inside
+    /// the peer's prefix for this path. Core routers deliver it over the
+    /// path that prefix was announced on: this address *is* the route.
+    pub remote_endpoint: Ipv6Addr,
+    /// Fixed UDP source port. One port per tunnel: every packet of the
+    /// tunnel presents the same 5-tuple to ECMP.
+    pub src_port: u16,
+}
+
+impl Tunnel {
+    /// Construct a tunnel taking endpoint addresses from per-path
+    /// prefixes (host 1 in each — the switch's tunnel interface).
+    pub fn from_prefixes(
+        id: u16,
+        label: impl Into<String>,
+        local_prefix: Ipv6Cidr,
+        remote_prefix: Ipv6Cidr,
+    ) -> Self {
+        Tunnel {
+            id,
+            label: label.into(),
+            local_endpoint: local_prefix.host(1).expect("prefix narrower than /128"),
+            remote_endpoint: remote_prefix.host(1).expect("prefix narrower than /128"),
+            // Distinct, stable, and outside well-known ranges.
+            src_port: 49_152 + id,
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cidr(s: &str) -> Ipv6Cidr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn endpoints_from_prefixes() {
+        let t = Tunnel::from_prefixes(
+            2,
+            "GTT",
+            cidr("2001:db8:102::/48"),
+            cidr("2001:db8:202::/48"),
+        );
+        assert_eq!(t.local_endpoint, "2001:db8:102::1".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(t.remote_endpoint, "2001:db8:202::1".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(t.src_port, 49_154);
+        assert_eq!(t.label, "GTT");
+    }
+
+    #[test]
+    fn distinct_tunnels_get_distinct_ports() {
+        let a = Tunnel::from_prefixes(0, "a", cidr("2001:db8:100::/48"), cidr("2001:db8:200::/48"));
+        let b = Tunnel::from_prefixes(1, "b", cidr("2001:db8:101::/48"), cidr("2001:db8:201::/48"));
+        assert_ne!(a.src_port, b.src_port);
+        assert_ne!(a.remote_endpoint, b.remote_endpoint);
+    }
+}

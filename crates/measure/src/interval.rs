@@ -1,0 +1,165 @@
+//! Fixed-interval averaging.
+//!
+//! §5: *"We ran the eBPF program in our two servers for an eight-day
+//! period and recorded the average one-way delay for every path at 10 ms
+//! intervals."* The averager bins raw per-packet samples into fixed
+//! windows and emits one averaged point per non-empty window, keyed at
+//! the window's start time.
+
+use crate::series::TimeSeries;
+
+/// Online fixed-interval averager.
+#[derive(Debug, Clone)]
+pub struct IntervalAverager {
+    width_ns: u64,
+    current_bin: Option<u64>,
+    sum: f64,
+    count: u64,
+    out: TimeSeries,
+}
+
+impl IntervalAverager {
+    /// An averager with the given bin width (e.g. 10 ms).
+    pub fn new(width_ns: u64) -> Self {
+        assert!(width_ns > 0, "bin width must be positive");
+        IntervalAverager { width_ns, current_bin: None, sum: 0.0, count: 0, out: TimeSeries::new() }
+    }
+
+    fn bin_of(&self, t_ns: u64) -> u64 {
+        t_ns / self.width_ns
+    }
+
+    /// Add a raw sample. Samples must arrive in time order.
+    pub fn push(&mut self, t_ns: u64, value: f64) {
+        let bin = self.bin_of(t_ns);
+        match self.current_bin {
+            Some(b) if b == bin => {
+                self.sum += value;
+                self.count += 1;
+            }
+            Some(b) => {
+                assert!(bin > b, "interval averager needs monotonic time");
+                self.flush_current();
+                self.current_bin = Some(bin);
+                self.sum = value;
+                self.count = 1;
+            }
+            None => {
+                self.current_bin = Some(bin);
+                self.sum = value;
+                self.count = 1;
+            }
+        }
+    }
+
+    fn flush_current(&mut self) {
+        if let Some(b) = self.current_bin {
+            if self.count > 0 {
+                self.out.push(b * self.width_ns, self.sum / self.count as f64);
+            }
+        }
+        self.sum = 0.0;
+        self.count = 0;
+    }
+
+    /// Flush the open bin and return the averaged series.
+    pub fn finish(mut self) -> TimeSeries {
+        self.flush_current();
+        self.out
+    }
+
+    /// Peek at the completed bins so far (not including the open one).
+    pub fn completed(&self) -> &TimeSeries {
+        &self.out
+    }
+}
+
+/// Offline convenience: bin-average an existing series.
+pub fn bin_average(series: &TimeSeries, width_ns: u64) -> TimeSeries {
+    let mut avg = IntervalAverager::new(width_ns);
+    for (t, v) in series.iter() {
+        avg.push(t, v);
+    }
+    avg.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_within_bins() {
+        let mut a = IntervalAverager::new(10);
+        a.push(0, 1.0);
+        a.push(5, 3.0); // bin 0 avg 2.0
+        a.push(12, 10.0); // bin 1 avg 10.0
+        a.push(25, 4.0);
+        a.push(29, 6.0); // bin 2 avg 5.0
+        let s = a.finish();
+        let got: Vec<(u64, f64)> = s.iter().collect();
+        assert_eq!(got, vec![(0, 2.0), (10, 10.0), (20, 5.0)]);
+    }
+
+    #[test]
+    fn empty_bins_are_skipped() {
+        let mut a = IntervalAverager::new(10);
+        a.push(0, 1.0);
+        a.push(95, 2.0); // bins 1..=8 empty
+        let s = a.finish();
+        let got: Vec<(u64, f64)> = s.iter().collect();
+        assert_eq!(got, vec![(0, 1.0), (90, 2.0)]);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut a = IntervalAverager::new(1_000);
+        a.push(500, 42.0);
+        let s = a.finish();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(0, 42.0)]);
+    }
+
+    #[test]
+    fn empty_finish() {
+        let a = IntervalAverager::new(10);
+        assert!(a.finish().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn rejects_backwards_bins() {
+        let mut a = IntervalAverager::new(10);
+        a.push(50, 1.0);
+        a.push(10, 2.0);
+    }
+
+    #[test]
+    fn bin_boundaries_are_half_open() {
+        let mut a = IntervalAverager::new(10);
+        a.push(9, 1.0);
+        a.push(10, 3.0); // exactly on the boundary: starts bin 1
+        let s = a.finish();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(0, 1.0), (10, 3.0)]);
+    }
+
+    #[test]
+    fn offline_matches_online() {
+        let mut raw = TimeSeries::new();
+        for i in 0..1000u64 {
+            raw.push(i * 3, (i % 7) as f64);
+        }
+        let offline = bin_average(&raw, 10);
+        let mut online = IntervalAverager::new(10);
+        for (t, v) in raw.iter() {
+            online.push(t, v);
+        }
+        assert_eq!(offline, online.finish());
+    }
+
+    #[test]
+    fn completed_excludes_open_bin() {
+        let mut a = IntervalAverager::new(10);
+        a.push(0, 1.0);
+        a.push(15, 2.0);
+        assert_eq!(a.completed().len(), 1); // bin 0 flushed, bin 1 open
+    }
+}

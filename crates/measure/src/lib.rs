@@ -1,0 +1,40 @@
+//! # tango-measure — one-way-delay statistics
+//!
+//! The measurement pipeline of §4.2/§5, as a library:
+//!
+//! * [`IntervalAverager`] — "recorded the average one-way delay for every
+//!   path at 10 ms intervals";
+//! * [`rolling::mean_rolling_std`] — "to measure sub-second network
+//!   jitter, we calculated the mean standard deviation of a 1-second
+//!   rolling window";
+//! * [`SeqTracker`] — "adding tunnel-specific sequence numbers on packets
+//!   can allow Tango to additionally compute loss and reordering" (§3);
+//! * [`Ewma`], [`Summary`] and percentiles for the routing policies in
+//!   `tango-control`;
+//! * [`CusumDetector`] — online change-point detection for the Fig. 4
+//!   route-change/instability incidents;
+//! * [`TimeSeries`] plus CSV/ASCII export for the experiment harness.
+//!
+//! All delay values are nanoseconds as `f64` at the statistics layer
+//! (sub-nanosecond precision is meaningless; dynamic range is what
+//! matters), and timestamps are nanoseconds as `u64`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod changepoint;
+pub mod ewma;
+pub mod export;
+pub mod interval;
+pub mod loss;
+pub mod percentile;
+pub mod rolling;
+pub mod series;
+
+pub use changepoint::{ChangeDirection, CusumDetector};
+pub use ewma::Ewma;
+pub use interval::IntervalAverager;
+pub use loss::{SeqEvent, SeqTracker};
+pub use percentile::{percentile, Summary};
+pub use rolling::{mean_rolling_std, RollingWindow};
+pub use series::TimeSeries;

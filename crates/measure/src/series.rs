@@ -1,0 +1,160 @@
+//! Timestamped sample series.
+
+use serde::{Deserialize, Serialize};
+
+/// A time series of (timestamp ns, value) samples in non-decreasing
+/// time order (enforced on push).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    times_ns: Vec<u64>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// With pre-allocated capacity (an 8-day / 10 ms series is ~69 M
+    /// samples; experiments pre-size).
+    pub fn with_capacity(n: usize) -> Self {
+        TimeSeries { times_ns: Vec::with_capacity(n), values: Vec::with_capacity(n) }
+    }
+
+    /// Append a sample. Panics if time goes backwards (a harness bug).
+    pub fn push(&mut self, t_ns: u64, value: f64) {
+        if let Some(&last) = self.times_ns.last() {
+            assert!(t_ns >= last, "time series must be monotonic: {t_ns} < {last}");
+        }
+        self.times_ns.push(t_ns);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times_ns.len()
+    }
+
+    /// Is the series empty?
+    pub fn is_empty(&self) -> bool {
+        self.times_ns.is_empty()
+    }
+
+    /// Iterate over (t_ns, value).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.times_ns.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// The timestamps.
+    pub fn times_ns(&self) -> &[u64] {
+        &self.times_ns
+    }
+
+    /// The values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Sub-series with `start_ns <= t < end_ns` (binary-searched).
+    pub fn slice(&self, start_ns: u64, end_ns: u64) -> TimeSeries {
+        let lo = self.times_ns.partition_point(|&t| t < start_ns);
+        let hi = self.times_ns.partition_point(|&t| t < end_ns);
+        TimeSeries {
+            times_ns: self.times_ns[lo..hi].to_vec(),
+            values: self.values[lo..hi].to_vec(),
+        }
+    }
+
+    /// Mean value, or None when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Minimum value.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum value.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var =
+            self.values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / self.values.len() as f64;
+        Some(var.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(pairs: &[(u64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new();
+        for &(t, v) in pairs {
+            s.push(t, v);
+        }
+        s
+    }
+
+    #[test]
+    fn basic_stats() {
+        let s = series(&[(0, 1.0), (10, 2.0), (20, 3.0), (30, 4.0)]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.mean(), Some(2.5));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(4.0));
+        let std = s.std().unwrap();
+        assert!((std - 1.118033988749895).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_none() {
+        let s = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.std(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn rejects_time_regression() {
+        let mut s = TimeSeries::new();
+        s.push(10, 1.0);
+        s.push(5, 2.0);
+    }
+
+    #[test]
+    fn equal_timestamps_allowed() {
+        let s = series(&[(10, 1.0), (10, 2.0)]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn slice_respects_half_open_bounds() {
+        let s = series(&[(0, 0.0), (10, 1.0), (20, 2.0), (30, 3.0)]);
+        let sub = s.slice(10, 30);
+        assert_eq!(sub.times_ns(), &[10, 20]);
+        assert_eq!(sub.values(), &[1.0, 2.0]);
+        assert!(s.slice(40, 50).is_empty());
+        assert_eq!(s.slice(0, 100).len(), 4);
+    }
+
+    #[test]
+    fn iter_pairs() {
+        let s = series(&[(1, 10.0), (2, 20.0)]);
+        let v: Vec<(u64, f64)> = s.iter().collect();
+        assert_eq!(v, vec![(1, 10.0), (2, 20.0)]);
+    }
+}

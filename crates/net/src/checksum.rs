@@ -1,0 +1,177 @@
+//! The Internet checksum (RFC 1071) and the UDP pseudo-header variants.
+//!
+//! All Tango headers that carry checksums (IPv4, UDP) go through these
+//! routines, so a single well-tested implementation covers the data plane.
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Incrementally computable RFC 1071 checksum state.
+///
+/// Sum data in any chunking with [`Checksum::add`]; the one's-complement
+/// fold happens in [`Checksum::finish`]. Odd-length chunks are only correct
+/// as the *final* chunk (standard restriction; the callers in this crate
+/// respect it).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Checksum {
+    sum: u32,
+}
+
+impl Checksum {
+    /// Fresh state (sum = 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a byte slice to the running sum, big-endian 16-bit words.
+    /// A trailing odd byte is padded with zero on the right.
+    pub fn add(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(2);
+        for chunk in &mut chunks {
+            self.sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.sum += u32::from(u16::from_be_bytes([*last, 0]));
+        }
+    }
+
+    /// Add a single 16-bit word.
+    pub fn add_u16(&mut self, word: u16) {
+        self.sum += u32::from(word);
+    }
+
+    /// Add a 32-bit value as two 16-bit words.
+    pub fn add_u32(&mut self, value: u32) {
+        self.add_u16((value >> 16) as u16);
+        self.add_u16(value as u16);
+    }
+
+    /// Fold carries and return the one's-complement checksum.
+    pub fn finish(self) -> u16 {
+        let mut sum = self.sum;
+        while sum > 0xffff {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+}
+
+/// One-shot checksum of a contiguous buffer.
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add(data);
+    c.finish()
+}
+
+/// Verify that a buffer containing an embedded checksum sums to zero.
+/// (A correct Internet checksum makes the whole region sum to `0xffff`
+/// before complement, i.e. `checksum() == 0`.)
+pub fn verify(data: &[u8]) -> bool {
+    checksum(data) == 0
+}
+
+/// UDP/TCP pseudo-header sum for IPv4 (RFC 768).
+pub fn pseudo_header_v4(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, length: u16) -> Checksum {
+    let mut c = Checksum::new();
+    c.add(&src.octets());
+    c.add(&dst.octets());
+    c.add_u16(u16::from(protocol));
+    c.add_u16(length);
+    c
+}
+
+/// UDP/TCP pseudo-header sum for IPv6 (RFC 8200 §8.1).
+pub fn pseudo_header_v6(src: Ipv6Addr, dst: Ipv6Addr, next_header: u8, length: u32) -> Checksum {
+    let mut c = Checksum::new();
+    c.add(&src.octets());
+    c.add(&dst.octets());
+    c.add_u32(length);
+    c.add_u32(u32::from(next_header));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // The classic worked example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // Sum = 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 = 0x2ddf0 -> fold -> 0xddf2
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_padded() {
+        assert_eq!(checksum(&[0xab]), !0xab00);
+        assert_eq!(checksum(&[0x12, 0x34, 0x56]), {
+            let sum = 0x1234u32 + 0x5600;
+            !((sum & 0xffff) as u16)
+        });
+    }
+
+    #[test]
+    fn empty_is_ffff() {
+        assert_eq!(checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn verify_detects_single_bit_flip() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11];
+        let c = checksum(&data);
+        data.extend_from_slice(&c.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 0x01;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn chunked_equals_oneshot() {
+        let data: Vec<u8> = (0u16..200).map(|i| (i * 7 % 251) as u8).collect();
+        let mut c = Checksum::new();
+        c.add(&data[..100]);
+        c.add(&data[100..]);
+        assert_eq!(c.finish(), checksum(&data));
+    }
+
+    #[test]
+    fn pseudo_header_v4_known_packet() {
+        // Hand-built UDP packet: 1.2.3.4 -> 5.6.7.8, ports 1000 -> 2000,
+        // payload "hi". Verify the full UDP checksum sums to zero.
+        let src = Ipv4Addr::new(1, 2, 3, 4);
+        let dst = Ipv4Addr::new(5, 6, 7, 8);
+        let payload = b"hi";
+        let udp_len = 8 + payload.len() as u16;
+        let mut udp = vec![
+            0x03, 0xe8, // src port 1000
+            0x07, 0xd0, // dst port 2000
+            0x00, udp_len as u8, // length
+            0x00, 0x00, // checksum placeholder
+        ];
+        udp.extend_from_slice(payload);
+        let mut c = pseudo_header_v4(src, dst, 17, udp_len);
+        c.add(&udp);
+        let ck = c.finish();
+        udp[6..8].copy_from_slice(&ck.to_be_bytes());
+        let mut v = pseudo_header_v4(src, dst, 17, udp_len);
+        v.add(&udp);
+        assert_eq!(v.finish(), 0);
+    }
+
+    #[test]
+    fn pseudo_header_v6_sums_to_zero_after_fill() {
+        let src: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        let dst: Ipv6Addr = "2001:db8::2".parse().unwrap();
+        let payload = b"tango";
+        let udp_len = 8 + payload.len() as u32;
+        let mut udp = vec![0x04, 0x00, 0x08, 0x00, 0x00, udp_len as u8, 0x00, 0x00];
+        udp.extend_from_slice(payload);
+        let mut c = pseudo_header_v6(src, dst, 17, udp_len);
+        c.add(&udp);
+        let ck = c.finish();
+        udp[6..8].copy_from_slice(&ck.to_be_bytes());
+        let mut v = pseudo_header_v6(src, dst, 17, udp_len);
+        v.add(&udp);
+        assert_eq!(v.finish(), 0);
+    }
+}

@@ -1,0 +1,413 @@
+//! IPv4 header view and representation (RFC 791).
+//!
+//! The Tango data plane forwards host traffic that may be IPv4 while the
+//! tunnel overlay itself runs over IPv6 (as in the paper's prototype) or
+//! IPv4. Both directions need full parse/emit with checksums.
+
+use crate::checksum;
+use crate::error::{Error, Result};
+use std::net::Ipv4Addr;
+
+/// Length of an IPv4 header without options.
+pub const HEADER_LEN: usize = 20;
+
+mod field {
+    pub const VER_IHL: usize = 0;
+    pub const DSCP_ECN: usize = 1;
+    pub const LENGTH: core::ops::Range<usize> = 2..4;
+    pub const IDENT: core::ops::Range<usize> = 4..6;
+    pub const FLAGS_FRAG: core::ops::Range<usize> = 6..8;
+    pub const TTL: usize = 8;
+    pub const PROTOCOL: usize = 9;
+    pub const CHECKSUM: core::ops::Range<usize> = 10..12;
+    pub const SRC: core::ops::Range<usize> = 12..16;
+    pub const DST: core::ops::Range<usize> = 16..20;
+}
+
+/// A read/write view of an IPv4 packet in a byte buffer.
+#[derive(Debug, Clone)]
+pub struct Ipv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    /// Wrap a buffer without validation. Accessors may panic on a short
+    /// buffer; prefer [`Ipv4Packet::new_checked`] for untrusted input.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Self { buffer }
+    }
+
+    /// Wrap and validate structure: version, IHL, total length vs buffer.
+    ///
+    /// Rejects options (IHL > 5) and fragments with [`Error::Unsupported`] —
+    /// see the crate-level "omitted features" note.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let packet = Self::new_unchecked(buffer);
+        packet.check()?;
+        Ok(packet)
+    }
+
+    fn check(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        if self.version() != 4 {
+            return Err(Error::Malformed);
+        }
+        if self.header_len() != HEADER_LEN {
+            return Err(Error::Unsupported); // IPv4 options not supported
+        }
+        let total = self.total_len() as usize;
+        if total < HEADER_LEN {
+            return Err(Error::Malformed);
+        }
+        if total > data.len() {
+            return Err(Error::Truncated);
+        }
+        if self.more_fragments() || self.fragment_offset() != 0 {
+            return Err(Error::Unsupported); // fragments not supported
+        }
+        Ok(())
+    }
+
+    /// IP version field (must be 4).
+    pub fn version(&self) -> u8 {
+        self.buffer.as_ref()[field::VER_IHL] >> 4
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[field::VER_IHL] & 0x0f) * 4
+    }
+
+    /// DSCP/ECN byte.
+    pub fn dscp_ecn(&self) -> u8 {
+        self.buffer.as_ref()[field::DSCP_ECN]
+    }
+
+    /// Total length (header + payload).
+    pub fn total_len(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[field::LENGTH][0], d[field::LENGTH.start + 1]])
+    }
+
+    /// Identification field.
+    pub fn ident(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[field::IDENT.start], d[field::IDENT.start + 1]])
+    }
+
+    /// Don't-fragment flag.
+    pub fn dont_fragment(&self) -> bool {
+        self.buffer.as_ref()[field::FLAGS_FRAG.start] & 0x40 != 0
+    }
+
+    /// More-fragments flag.
+    pub fn more_fragments(&self) -> bool {
+        self.buffer.as_ref()[field::FLAGS_FRAG.start] & 0x20 != 0
+    }
+
+    /// Fragment offset in 8-byte units.
+    pub fn fragment_offset(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[field::FLAGS_FRAG.start], d[field::FLAGS_FRAG.start + 1]]) & 0x1fff
+    }
+
+    /// Time to live.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[field::TTL]
+    }
+
+    /// Protocol number of the payload.
+    pub fn protocol(&self) -> u8 {
+        self.buffer.as_ref()[field::PROTOCOL]
+    }
+
+    /// Header checksum field as stored.
+    pub fn checksum_field(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[field::CHECKSUM.start], d[field::CHECKSUM.start + 1]])
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Ipv4Addr {
+        let d = self.buffer.as_ref();
+        Ipv4Addr::new(d[12], d[13], d[14], d[15])
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> Ipv4Addr {
+        let d = self.buffer.as_ref();
+        Ipv4Addr::new(d[16], d[17], d[18], d[19])
+    }
+
+    /// Verify the header checksum.
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(&self.buffer.as_ref()[..HEADER_LEN])
+    }
+
+    /// The payload bytes (after the header, within total length).
+    pub fn payload(&self) -> &[u8] {
+        let total = self.total_len() as usize;
+        &self.buffer.as_ref()[HEADER_LEN..total]
+    }
+
+    /// Consume the view and return the inner buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
+    /// Set version and IHL (always 4 / 5 here).
+    pub fn set_version_ihl(&mut self) {
+        self.buffer.as_mut()[field::VER_IHL] = 0x45;
+    }
+
+    /// Set the DSCP/ECN byte.
+    pub fn set_dscp_ecn(&mut self, value: u8) {
+        self.buffer.as_mut()[field::DSCP_ECN] = value;
+    }
+
+    /// Set total length.
+    pub fn set_total_len(&mut self, value: u16) {
+        self.buffer.as_mut()[field::LENGTH].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Set identification.
+    pub fn set_ident(&mut self, value: u16) {
+        self.buffer.as_mut()[field::IDENT].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Set flags: DF and clear fragmenting (Tango never fragments).
+    pub fn set_flags_df(&mut self, df: bool) {
+        let b = if df { 0x40 } else { 0x00 };
+        self.buffer.as_mut()[field::FLAGS_FRAG].copy_from_slice(&[b, 0]);
+    }
+
+    /// Set time to live.
+    pub fn set_ttl(&mut self, value: u8) {
+        self.buffer.as_mut()[field::TTL] = value;
+    }
+
+    /// Set payload protocol.
+    pub fn set_protocol(&mut self, value: u8) {
+        self.buffer.as_mut()[field::PROTOCOL] = value;
+    }
+
+    /// Set source address.
+    pub fn set_src_addr(&mut self, value: Ipv4Addr) {
+        self.buffer.as_mut()[field::SRC].copy_from_slice(&value.octets());
+    }
+
+    /// Set destination address.
+    pub fn set_dst_addr(&mut self, value: Ipv4Addr) {
+        self.buffer.as_mut()[field::DST].copy_from_slice(&value.octets());
+    }
+
+    /// Recompute and store the header checksum.
+    pub fn fill_checksum(&mut self) {
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&[0, 0]);
+        let ck = checksum::checksum(&self.buffer.as_ref()[..HEADER_LEN]);
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Mutable payload slice.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let total = self.total_len() as usize;
+        &mut self.buffer.as_mut()[HEADER_LEN..total]
+    }
+}
+
+/// Owned high-level representation of an IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Repr {
+    /// Source address.
+    pub src_addr: Ipv4Addr,
+    /// Destination address.
+    pub dst_addr: Ipv4Addr,
+    /// Payload protocol number.
+    pub protocol: u8,
+    /// Payload length in bytes (excluding this header).
+    pub payload_len: usize,
+    /// Time to live for emitted packets.
+    pub ttl: u8,
+    /// DSCP/ECN byte, copied through the tunnel for QoS transparency.
+    pub dscp_ecn: u8,
+}
+
+impl Ipv4Repr {
+    /// Parse a validated packet into a representation, verifying the
+    /// header checksum.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Ipv4Packet<T>) -> Result<Self> {
+        packet.check()?;
+        if !packet.verify_checksum() {
+            return Err(Error::Checksum);
+        }
+        Ok(Self {
+            src_addr: packet.src_addr(),
+            dst_addr: packet.dst_addr(),
+            protocol: packet.protocol(),
+            payload_len: packet.total_len() as usize - HEADER_LEN,
+            ttl: packet.ttl(),
+            dscp_ecn: packet.dscp_ecn(),
+        })
+    }
+
+    /// The length of the emitted header.
+    pub fn header_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Total length of the emitted packet.
+    pub fn total_len(&self) -> usize {
+        HEADER_LEN + self.payload_len
+    }
+
+    /// Emit into the start of `packet`'s buffer and fill the checksum.
+    /// The buffer must be at least `total_len()` bytes.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut Ipv4Packet<T>) -> Result<()> {
+        if packet.buffer.as_ref().len() < self.total_len() {
+            return Err(Error::Truncated);
+        }
+        if self.total_len() > usize::from(u16::MAX) {
+            return Err(Error::Malformed);
+        }
+        packet.set_version_ihl();
+        packet.set_dscp_ecn(self.dscp_ecn);
+        packet.set_total_len(self.total_len() as u16);
+        packet.set_ident(0);
+        packet.set_flags_df(true);
+        packet.set_ttl(self.ttl);
+        packet.set_protocol(self.protocol);
+        packet.set_src_addr(self.src_addr);
+        packet.set_dst_addr(self.dst_addr);
+        packet.fill_checksum();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_repr() -> Ipv4Repr {
+        Ipv4Repr {
+            src_addr: Ipv4Addr::new(192, 0, 2, 1),
+            dst_addr: Ipv4Addr::new(198, 51, 100, 2),
+            protocol: 17,
+            payload_len: 12,
+            ttl: 64,
+            dscp_ecn: 0,
+        }
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let repr = sample_repr();
+        let mut buf = vec![0u8; repr.total_len()];
+        let mut packet = Ipv4Packet::new_unchecked(&mut buf);
+        repr.emit(&mut packet).unwrap();
+        let packet = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(packet.verify_checksum());
+        let parsed = Ipv4Repr::parse(&packet).unwrap();
+        assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn checked_rejects_short_buffer() {
+        assert_eq!(
+            Ipv4Packet::new_checked(&[0x45u8; 10][..]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+
+    #[test]
+    fn checked_rejects_wrong_version() {
+        let repr = sample_repr();
+        let mut buf = vec![0u8; repr.total_len()];
+        let mut p = Ipv4Packet::new_unchecked(&mut buf);
+        repr.emit(&mut p).unwrap();
+        buf[0] = 0x65; // version 6
+        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn checked_rejects_options() {
+        let repr = sample_repr();
+        let mut buf = vec![0u8; repr.total_len() + 4];
+        let mut p = Ipv4Packet::new_unchecked(&mut buf);
+        repr.emit(&mut p).unwrap();
+        buf[0] = 0x46; // IHL = 6 (one option word)
+        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Unsupported);
+    }
+
+    #[test]
+    fn checked_rejects_fragments() {
+        let repr = sample_repr();
+        let mut buf = vec![0u8; repr.total_len()];
+        let mut p = Ipv4Packet::new_unchecked(&mut buf);
+        repr.emit(&mut p).unwrap();
+        buf[6] = 0x20; // MF set
+        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Unsupported);
+        buf[6] = 0x00;
+        buf[7] = 0x08; // nonzero offset
+        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Unsupported);
+    }
+
+    #[test]
+    fn checked_rejects_length_lies() {
+        let repr = sample_repr();
+        let mut buf = vec![0u8; repr.total_len()];
+        let mut p = Ipv4Packet::new_unchecked(&mut buf);
+        repr.emit(&mut p).unwrap();
+        // total_len larger than buffer
+        buf[2..4].copy_from_slice(&(repr.total_len() as u16 + 8).to_be_bytes());
+        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+        // total_len smaller than header
+        buf[2..4].copy_from_slice(&10u16.to_be_bytes());
+        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn parse_rejects_bad_checksum() {
+        let repr = sample_repr();
+        let mut buf = vec![0u8; repr.total_len()];
+        let mut p = Ipv4Packet::new_unchecked(&mut buf);
+        repr.emit(&mut p).unwrap();
+        buf[10] ^= 0xff;
+        let packet = Ipv4Packet::new_unchecked(&buf[..]);
+        assert_eq!(Ipv4Repr::parse(&packet).unwrap_err(), Error::Checksum);
+    }
+
+    #[test]
+    fn payload_respects_total_len() {
+        let repr = sample_repr();
+        // Buffer longer than the packet: payload must stop at total_len.
+        let mut buf = vec![0u8; repr.total_len() + 16];
+        let mut p = Ipv4Packet::new_unchecked(&mut buf);
+        repr.emit(&mut p).unwrap();
+        let packet = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(packet.payload().len(), repr.payload_len);
+    }
+
+    #[test]
+    fn payload_mut_writes_through() {
+        let repr = sample_repr();
+        let mut buf = vec![0u8; repr.total_len()];
+        let mut p = Ipv4Packet::new_unchecked(&mut buf);
+        repr.emit(&mut p).unwrap();
+        p.payload_mut().copy_from_slice(b"hello tango!");
+        let packet = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(packet.payload(), b"hello tango!");
+    }
+
+    #[test]
+    fn emit_rejects_undersized_buffer() {
+        let repr = sample_repr();
+        let mut buf = vec![0u8; repr.total_len() - 1];
+        let mut p = Ipv4Packet::new_unchecked(&mut buf);
+        assert_eq!(repr.emit(&mut p).unwrap_err(), Error::Truncated);
+    }
+}

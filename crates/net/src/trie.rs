@@ -1,0 +1,325 @@
+//! Longest-prefix-match trie.
+//!
+//! The Tango border switch keeps a table mapping destination host prefixes
+//! to tunnel decisions ("when the border router sees traffic destined for
+//! another Tango endpoint (based on a table...), it makes a
+//! performance-driven routing decision", §3). This module provides the LPM
+//! structure backing that table (and the simulator's core routing tables).
+//!
+//! Implementation: a binary (bit-at-a-time) trie per address family over
+//! the 32/128-bit address space. Simple and robust over clever — a Tango
+//! deployment holds at most a handful of prefixes per pairing, and the
+//! simulator's core tables hold thousands, both far below the scale where
+//! multibit tries would matter (measured in `tango-bench`).
+
+use crate::cidr::{IpCidr, Ipv4Cidr, Ipv6Cidr};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    value: Option<V>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Default for Node<V> {
+    fn default() -> Self {
+        Node { value: None, children: [None, None] }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BitTrie<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+impl<V> Default for BitTrie<V> {
+    fn default() -> Self {
+        BitTrie { root: Node::default(), len: 0 }
+    }
+}
+
+impl<V> BitTrie<V> {
+    /// `bits` are MSB-first in a u128 whose top `width` bits are the address.
+    fn insert(&mut self, bits: u128, prefix_len: u8, value: V) -> Option<V> {
+        let mut node = &mut self.root;
+        for i in 0..prefix_len {
+            let bit = ((bits >> (127 - i)) & 1) as usize;
+            node = node.children[bit].get_or_insert_with(Box::default);
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn remove(&mut self, bits: u128, prefix_len: u8) -> Option<V> {
+        let mut node = &mut self.root;
+        for i in 0..prefix_len {
+            let bit = ((bits >> (127 - i)) & 1) as usize;
+            node = node.children[bit].as_deref_mut()?;
+        }
+        let old = node.value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    fn exact(&self, bits: u128, prefix_len: u8) -> Option<&V> {
+        let mut node = &self.root;
+        for i in 0..prefix_len {
+            let bit = ((bits >> (127 - i)) & 1) as usize;
+            node = node.children[bit].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Longest match walking down the full address width.
+    fn longest(&self, bits: u128, width: u8) -> Option<(u8, &V)> {
+        let mut node = &self.root;
+        let mut best: Option<(u8, &V)> = None;
+        if let Some(v) = node.value.as_ref() {
+            best = Some((0, v));
+        }
+        for i in 0..width {
+            let bit = ((bits >> (127 - i)) & 1) as usize;
+            match node.children[bit].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    fn collect<'a>(&'a self, out: &mut Vec<(u128, u8, &'a V)>) {
+        fn walk<'a, V>(node: &'a Node<V>, bits: u128, depth: u8, out: &mut Vec<(u128, u8, &'a V)>) {
+            if let Some(v) = node.value.as_ref() {
+                out.push((bits, depth, v));
+            }
+            if let Some(c) = node.children[0].as_deref() {
+                walk(c, bits, depth + 1, out);
+            }
+            if let Some(c) = node.children[1].as_deref() {
+                walk(c, bits | (1u128 << (127 - depth)), depth + 1, out);
+            }
+        }
+        walk(&self.root, 0, 0, out);
+    }
+}
+
+/// A longest-prefix-match table from [`IpCidr`] keys to values.
+///
+/// IPv4 and IPv6 prefixes live in separate tries, so a v4 lookup can never
+/// match a v6 prefix or vice versa.
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<V> {
+    v4: BitTrie<V>,
+    v6: BitTrie<V>,
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn v4_bits(addr: Ipv4Addr) -> u128 {
+    (u128::from(u32::from(addr))) << 96
+}
+
+fn v6_bits(addr: Ipv6Addr) -> u128 {
+    u128::from(addr)
+}
+
+impl<V> PrefixTrie<V> {
+    /// An empty table.
+    pub fn new() -> Self {
+        PrefixTrie { v4: BitTrie::default(), v6: BitTrie::default() }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.v4.len + self.v6.len
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert a prefix → value mapping; returns the previous value if the
+    /// exact prefix was already present.
+    pub fn insert(&mut self, prefix: IpCidr, value: V) -> Option<V> {
+        match prefix {
+            IpCidr::V4(c) => self.v4.insert(v4_bits(c.network()), c.prefix_len(), value),
+            IpCidr::V6(c) => self.v6.insert(v6_bits(c.network()), c.prefix_len(), value),
+        }
+    }
+
+    /// Remove an exact prefix, returning its value.
+    pub fn remove(&mut self, prefix: &IpCidr) -> Option<V> {
+        match prefix {
+            IpCidr::V4(c) => self.v4.remove(v4_bits(c.network()), c.prefix_len()),
+            IpCidr::V6(c) => self.v6.remove(v6_bits(c.network()), c.prefix_len()),
+        }
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: &IpCidr) -> Option<&V> {
+        match prefix {
+            IpCidr::V4(c) => self.v4.exact(v4_bits(c.network()), c.prefix_len()),
+            IpCidr::V6(c) => self.v6.exact(v6_bits(c.network()), c.prefix_len()),
+        }
+    }
+
+    /// Longest-prefix match for an address: returns the matching prefix
+    /// and its value, or `None` if no prefix covers the address.
+    pub fn longest_match(&self, addr: IpAddr) -> Option<(IpCidr, &V)> {
+        match addr {
+            IpAddr::V4(a) => self.v4.longest(v4_bits(a), 32).map(|(len, v)| {
+                let cidr = Ipv4Cidr::new(a, len).expect("len <= 32");
+                (IpCidr::V4(cidr), v)
+            }),
+            IpAddr::V6(a) => self.v6.longest(v6_bits(a), 128).map(|(len, v)| {
+                let cidr = Ipv6Cidr::new(a, len).expect("len <= 128");
+                (IpCidr::V6(cidr), v)
+            }),
+        }
+    }
+
+    /// All stored (prefix, value) pairs, in trie order.
+    pub fn iter(&self) -> Vec<(IpCidr, &V)> {
+        let mut out = Vec::new();
+        let mut raw = Vec::new();
+        self.v4.collect(&mut raw);
+        for (bits, len, v) in raw.drain(..) {
+            let addr = Ipv4Addr::from((bits >> 96) as u32);
+            out.push((IpCidr::V4(Ipv4Cidr::new(addr, len).expect("len <= 32")), v));
+        }
+        self.v6.collect(&mut raw);
+        for (bits, len, v) in raw {
+            let addr = Ipv6Addr::from(bits);
+            out.push((IpCidr::V6(Ipv6Cidr::new(addr, len).expect("len <= 128")), v));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cidr(s: &str) -> IpCidr {
+        s.parse().unwrap()
+    }
+
+    fn addr(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_match_prefers_longer() {
+        let mut t = PrefixTrie::new();
+        t.insert(cidr("10.0.0.0/8"), "eight");
+        t.insert(cidr("10.1.0.0/16"), "sixteen");
+        t.insert(cidr("10.1.2.0/24"), "twentyfour");
+        let (p, v) = t.longest_match(addr("10.1.2.3")).unwrap();
+        assert_eq!((p, *v), (cidr("10.1.2.0/24"), "twentyfour"));
+        let (p, v) = t.longest_match(addr("10.1.9.9")).unwrap();
+        assert_eq!((p, *v), (cidr("10.1.0.0/16"), "sixteen"));
+        let (p, v) = t.longest_match(addr("10.200.0.1")).unwrap();
+        assert_eq!((p, *v), (cidr("10.0.0.0/8"), "eight"));
+        assert!(t.longest_match(addr("11.0.0.1")).is_none());
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = PrefixTrie::new();
+        t.insert(cidr("0.0.0.0/0"), 1);
+        t.insert(cidr("::/0"), 2);
+        assert_eq!(*t.longest_match(addr("255.255.255.255")).unwrap().1, 1);
+        assert_eq!(*t.longest_match(addr("8.8.8.8")).unwrap().1, 1);
+        assert_eq!(*t.longest_match(addr("2001:db8::1")).unwrap().1, 2);
+    }
+
+    #[test]
+    fn families_are_isolated() {
+        let mut t = PrefixTrie::new();
+        t.insert(cidr("0.0.0.0/0"), "v4");
+        assert!(t.longest_match(addr("2001:db8::1")).is_none());
+        t.insert(cidr("2001:db8::/32"), "v6");
+        assert_eq!(*t.longest_match(addr("2001:db8::1")).unwrap().1, "v6");
+        assert_eq!(*t.longest_match(addr("1.2.3.4")).unwrap().1, "v4");
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_old() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(cidr("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(cidr("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(*t.get(&cidr("10.0.0.0/8")).unwrap(), 2);
+    }
+
+    #[test]
+    fn remove_works_and_reexposes_shorter() {
+        let mut t = PrefixTrie::new();
+        t.insert(cidr("10.0.0.0/8"), "short");
+        t.insert(cidr("10.1.0.0/16"), "long");
+        assert_eq!(t.remove(&cidr("10.1.0.0/16")), Some("long"));
+        assert_eq!(t.remove(&cidr("10.1.0.0/16")), None);
+        let (p, v) = t.longest_match(addr("10.1.2.3")).unwrap();
+        assert_eq!((p, *v), (cidr("10.0.0.0/8"), "short"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn v6_tunnel_prefixes_resolve() {
+        // The Tango scenario: four /48s, each a different wide-area path.
+        let mut t = PrefixTrie::new();
+        for (i, name) in ["ntt", "telia", "gtt", "cogent"].iter().enumerate() {
+            let c: IpCidr = format!("2001:db8:{:x}::/48", 0x100 + i).parse().unwrap();
+            t.insert(c, *name);
+        }
+        assert_eq!(*t.longest_match(addr("2001:db8:102::42")).unwrap().1, "gtt");
+        assert_eq!(*t.longest_match(addr("2001:db8:103:ffff::1")).unwrap().1, "cogent");
+        assert!(t.longest_match(addr("2001:db8:104::1")).is_none());
+    }
+
+    #[test]
+    fn host_routes() {
+        let mut t = PrefixTrie::new();
+        t.insert(cidr("192.0.2.1/32"), "host");
+        t.insert(cidr("192.0.2.0/24"), "net");
+        assert_eq!(*t.longest_match(addr("192.0.2.1")).unwrap().1, "host");
+        assert_eq!(*t.longest_match(addr("192.0.2.2")).unwrap().1, "net");
+    }
+
+    #[test]
+    fn iter_returns_all() {
+        let mut t = PrefixTrie::new();
+        let prefixes = ["10.0.0.0/8", "10.1.0.0/16", "2001:db8::/32", "0.0.0.0/0"];
+        for (i, p) in prefixes.iter().enumerate() {
+            t.insert(cidr(p), i);
+        }
+        let got = t.iter();
+        assert_eq!(got.len(), 4);
+        for (i, p) in prefixes.iter().enumerate() {
+            assert!(got.iter().any(|(c, v)| *c == cidr(p) && **v == i));
+        }
+    }
+
+    #[test]
+    fn zero_len_prefix_lookup_on_empty_trie() {
+        let t: PrefixTrie<u8> = PrefixTrie::new();
+        assert!(t.longest_match(addr("0.0.0.0")).is_none());
+        assert!(t.is_empty());
+    }
+}

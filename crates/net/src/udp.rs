@@ -1,0 +1,315 @@
+//! UDP header view and representation (RFC 768).
+//!
+//! Tango encapsulates tunneled packets in "an IP tunnel header, a UDP
+//! header (to control ECMP behavior), and a timestamp" (§3). The UDP
+//! ports are fixed per tunnel so that 5-tuple ECMP hashing in the core
+//! pins every tunnel to a single underlying path — without this, ECMP
+//! would smear one tunnel's traffic over several physical paths and the
+//! one-way-delay samples would mix distributions.
+
+use crate::checksum::{self, Checksum};
+use crate::error::{Error, Result};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Length of a UDP header.
+pub const HEADER_LEN: usize = 8;
+
+mod field {
+    pub const SRC_PORT: core::ops::Range<usize> = 0..2;
+    pub const DST_PORT: core::ops::Range<usize> = 2..4;
+    pub const LENGTH: core::ops::Range<usize> = 4..6;
+    pub const CHECKSUM: core::ops::Range<usize> = 6..8;
+}
+
+/// A read/write view of a UDP datagram in a byte buffer.
+#[derive(Debug, Clone)]
+pub struct UdpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpPacket<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Self { buffer }
+    }
+
+    /// Wrap and validate the length field against the buffer.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let packet = Self::new_unchecked(buffer);
+        packet.check()?;
+        Ok(packet)
+    }
+
+    fn check(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let len = self.len_field() as usize;
+        if len < HEADER_LEN {
+            return Err(Error::Malformed);
+        }
+        if len > data.len() {
+            return Err(Error::Truncated);
+        }
+        Ok(())
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[0], d[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[2], d[3]])
+    }
+
+    /// The UDP length field (header + payload).
+    pub fn len_field(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[4], d[5]])
+    }
+
+    /// The stored checksum field.
+    pub fn checksum_field(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[6], d[7]])
+    }
+
+    /// The payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        let len = self.len_field() as usize;
+        &self.buffer.as_ref()[HEADER_LEN..len]
+    }
+
+    /// Verify the checksum with an IPv4 pseudo-header. A zero checksum
+    /// means "not computed" and is accepted per RFC 768.
+    pub fn verify_checksum_v4(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        if self.checksum_field() == 0 {
+            return true;
+        }
+        let len = self.len_field();
+        let mut c = checksum::pseudo_header_v4(src, dst, 17, len);
+        c.add(&self.buffer.as_ref()[..len as usize]);
+        c.finish() == 0
+    }
+
+    /// Verify the checksum with an IPv6 pseudo-header. Unlike IPv4, a
+    /// zero checksum is illegal over IPv6 (RFC 8200 §8.1).
+    pub fn verify_checksum_v6(&self, src: Ipv6Addr, dst: Ipv6Addr) -> bool {
+        if self.checksum_field() == 0 {
+            return false;
+        }
+        let len = self.len_field();
+        let mut c = checksum::pseudo_header_v6(src, dst, 17, u32::from(len));
+        c.add(&self.buffer.as_ref()[..len as usize]);
+        c.finish() == 0
+    }
+
+    /// Consume the view and return the inner buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpPacket<T> {
+    /// Set source port.
+    pub fn set_src_port(&mut self, value: u16) {
+        self.buffer.as_mut()[field::SRC_PORT].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Set destination port.
+    pub fn set_dst_port(&mut self, value: u16) {
+        self.buffer.as_mut()[field::DST_PORT].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Set the length field.
+    pub fn set_len_field(&mut self, value: u16) {
+        self.buffer.as_mut()[field::LENGTH].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Mutable payload slice.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let len = self.len_field() as usize;
+        &mut self.buffer.as_mut()[HEADER_LEN..len]
+    }
+
+    fn fill_checksum_with(&mut self, mut c: Checksum) {
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&[0, 0]);
+        let len = self.len_field() as usize;
+        c.add(&self.buffer.as_ref()[..len]);
+        let mut ck = c.finish();
+        // An all-zero computed checksum is transmitted as 0xffff (RFC 768).
+        if ck == 0 {
+            ck = 0xffff;
+        }
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Compute and store the checksum with an IPv4 pseudo-header.
+    pub fn fill_checksum_v4(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        let len = self.len_field();
+        self.fill_checksum_with(checksum::pseudo_header_v4(src, dst, 17, len));
+    }
+
+    /// Compute and store the checksum with an IPv6 pseudo-header.
+    pub fn fill_checksum_v6(&mut self, src: Ipv6Addr, dst: Ipv6Addr) {
+        let len = self.len_field();
+        self.fill_checksum_with(checksum::pseudo_header_v6(src, dst, 17, u32::from(len)));
+    }
+}
+
+/// Owned high-level representation of a UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+}
+
+impl UdpRepr {
+    /// Parse a validated datagram (checksum verification is separate
+    /// because it needs the pseudo-header addresses).
+    pub fn parse<T: AsRef<[u8]>>(packet: &UdpPacket<T>) -> Result<Self> {
+        packet.check()?;
+        Ok(Self {
+            src_port: packet.src_port(),
+            dst_port: packet.dst_port(),
+            payload_len: packet.len_field() as usize - HEADER_LEN,
+        })
+    }
+
+    /// The length of the emitted header.
+    pub fn header_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Total length of the emitted datagram.
+    pub fn total_len(&self) -> usize {
+        HEADER_LEN + self.payload_len
+    }
+
+    /// Emit the header (ports + length; checksum must be filled after the
+    /// payload is written, via `fill_checksum_v4`/`_v6`).
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut UdpPacket<T>) -> Result<()> {
+        if packet.buffer.as_ref().len() < self.total_len() {
+            return Err(Error::Truncated);
+        }
+        if self.total_len() > usize::from(u16::MAX) {
+            return Err(Error::Malformed);
+        }
+        packet.set_src_port(self.src_port);
+        packet.set_dst_port(self.dst_port);
+        packet.set_len_field(self.total_len() as u16);
+        packet.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&[0, 0]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v4_pair() -> (Ipv4Addr, Ipv4Addr) {
+        (Ipv4Addr::new(192, 0, 2, 1), Ipv4Addr::new(198, 51, 100, 2))
+    }
+
+    fn v6_pair() -> (Ipv6Addr, Ipv6Addr) {
+        (
+            "2001:db8:100::1".parse().unwrap(),
+            "2001:db8:200::2".parse().unwrap(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_v4_checksum() {
+        let (src, dst) = v4_pair();
+        let repr = UdpRepr { src_port: 4000, dst_port: 31328, payload_len: 11 };
+        let mut buf = vec![0u8; repr.total_len()];
+        let mut p = UdpPacket::new_unchecked(&mut buf);
+        repr.emit(&mut p).unwrap();
+        p.payload_mut().copy_from_slice(b"tango tests");
+        p.fill_checksum_v4(src, dst);
+        let packet = UdpPacket::new_checked(&buf[..]).unwrap();
+        assert!(packet.verify_checksum_v4(src, dst));
+        assert_eq!(UdpRepr::parse(&packet).unwrap(), repr);
+        assert_eq!(packet.payload(), b"tango tests");
+    }
+
+    #[test]
+    fn roundtrip_v6_checksum() {
+        let (src, dst) = v6_pair();
+        let repr = UdpRepr { src_port: 1, dst_port: 2, payload_len: 4 };
+        let mut buf = vec![0u8; repr.total_len()];
+        let mut p = UdpPacket::new_unchecked(&mut buf);
+        repr.emit(&mut p).unwrap();
+        p.payload_mut().copy_from_slice(b"abcd");
+        p.fill_checksum_v6(src, dst);
+        let packet = UdpPacket::new_checked(&buf[..]).unwrap();
+        assert!(packet.verify_checksum_v6(src, dst));
+    }
+
+    #[test]
+    fn corrupt_payload_fails_verification() {
+        let (src, dst) = v6_pair();
+        let repr = UdpRepr { src_port: 1, dst_port: 2, payload_len: 4 };
+        let mut buf = vec![0u8; repr.total_len()];
+        let mut p = UdpPacket::new_unchecked(&mut buf);
+        repr.emit(&mut p).unwrap();
+        p.payload_mut().copy_from_slice(b"abcd");
+        p.fill_checksum_v6(src, dst);
+        buf[HEADER_LEN] ^= 0x01;
+        let packet = UdpPacket::new_checked(&buf[..]).unwrap();
+        assert!(!packet.verify_checksum_v6(src, dst));
+    }
+
+    #[test]
+    fn zero_checksum_v4_accepted_v6_rejected() {
+        let (s4, d4) = v4_pair();
+        let (s6, d6) = v6_pair();
+        let repr = UdpRepr { src_port: 9, dst_port: 9, payload_len: 0 };
+        let mut buf = vec![0u8; repr.total_len()];
+        let mut p = UdpPacket::new_unchecked(&mut buf);
+        repr.emit(&mut p).unwrap(); // checksum left at zero
+        let packet = UdpPacket::new_checked(&buf[..]).unwrap();
+        assert!(packet.verify_checksum_v4(s4, d4));
+        assert!(!packet.verify_checksum_v6(s6, d6));
+    }
+
+    #[test]
+    fn length_field_validation() {
+        let mut buf = [0u8; 8];
+        buf[4..6].copy_from_slice(&7u16.to_be_bytes()); // < header
+        assert_eq!(UdpPacket::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        buf[4..6].copy_from_slice(&9u16.to_be_bytes()); // > buffer
+        assert_eq!(UdpPacket::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+        assert_eq!(UdpPacket::new_checked(&buf[..4]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn computed_zero_checksum_becomes_ffff() {
+        // Craft src/dst/ports/payload such that the sum is 0xffff
+        // (complement = 0) and confirm we transmit 0xffff instead of 0.
+        let src = Ipv4Addr::new(0, 0, 0, 0);
+        let dst = Ipv4Addr::new(0, 0, 0, 0);
+        let repr = UdpRepr { src_port: 0, dst_port: 0, payload_len: 2 };
+        let mut buf = vec![0u8; repr.total_len()];
+        let mut p = UdpPacket::new_unchecked(&mut buf);
+        repr.emit(&mut p).unwrap();
+        // pseudo-header contributes proto 17 + len 10 twice (len appears in
+        // pseudo-header and header). Want total sum = 0xffff.
+        // sum so far: 17 + 10 (pseudo) + 10 (len field) = 37 = 0x25.
+        // payload word must be 0xffff - 0x25 = 0xffda.
+        p.payload_mut().copy_from_slice(&0xffdau16.to_be_bytes());
+        p.fill_checksum_v4(src, dst);
+        let packet = UdpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(packet.checksum_field(), 0xffff);
+        assert!(packet.verify_checksum_v4(src, dst));
+    }
+}

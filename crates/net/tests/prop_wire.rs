@@ -1,0 +1,227 @@
+//! Property-based tests for the wire formats and the prefix trie.
+
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+use tango_net::{
+    Ipv4Cidr, Ipv4Packet, Ipv4Repr, Ipv6Cidr, Ipv6Packet, Ipv6Repr, IpCidr, PrefixTrie,
+    TangoFlags, TangoPacket, TangoRepr, UdpPacket, UdpRepr, TANGO_HEADER_LEN,
+};
+
+fn arb_ipv4() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_ipv6() -> impl Strategy<Value = Ipv6Addr> {
+    any::<u128>().prop_map(Ipv6Addr::from)
+}
+
+proptest! {
+    #[test]
+    fn ipv4_emit_parse_roundtrip(
+        src in arb_ipv4(),
+        dst in arb_ipv4(),
+        protocol in 0u8..=255,
+        payload_len in 0usize..1400,
+        ttl in 1u8..=255,
+        dscp_ecn in any::<u8>(),
+    ) {
+        let repr = Ipv4Repr { src_addr: src, dst_addr: dst, protocol, payload_len, ttl, dscp_ecn };
+        let mut buf = vec![0u8; repr.total_len()];
+        let mut p = Ipv4Packet::new_unchecked(&mut buf);
+        repr.emit(&mut p).unwrap();
+        let packet = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        prop_assert!(packet.verify_checksum());
+        prop_assert_eq!(Ipv4Repr::parse(&packet).unwrap(), repr);
+    }
+
+    #[test]
+    fn ipv4_corruption_never_panics(
+        data in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        // Whatever bytes arrive, parsing must fail cleanly or succeed; no panic.
+        if let Ok(packet) = Ipv4Packet::new_checked(&data[..]) {
+            let _ = Ipv4Repr::parse(&packet);
+        }
+    }
+
+    #[test]
+    fn ipv4_single_byte_corruption_detected(
+        src in arb_ipv4(),
+        dst in arb_ipv4(),
+        payload_len in 0usize..64,
+        corrupt_at in 0usize..20,
+        xor in 1u8..=255,
+    ) {
+        let repr = Ipv4Repr { src_addr: src, dst_addr: dst, protocol: 17, payload_len, ttl: 64, dscp_ecn: 0 };
+        let mut buf = vec![0u8; repr.total_len()];
+        let mut p = Ipv4Packet::new_unchecked(&mut buf);
+        repr.emit(&mut p).unwrap();
+        buf[corrupt_at] ^= xor;
+        // A corrupted *header* byte must be caught: either structural
+        // validation or the checksum fails (checksum catches all single-byte
+        // flips by construction of the one's-complement sum).
+        let outcome = Ipv4Packet::new_checked(&buf[..]).and_then(|p| Ipv4Repr::parse(&p));
+        prop_assert!(outcome.is_err() || outcome.unwrap() != repr);
+    }
+
+    #[test]
+    fn ipv6_emit_parse_roundtrip(
+        src in arb_ipv6(),
+        dst in arb_ipv6(),
+        next_header in any::<u8>(),
+        payload_len in 0usize..1400,
+        hop_limit in any::<u8>(),
+        traffic_class in any::<u8>(),
+        flow_label in 0u32..=0x000f_ffff,
+    ) {
+        let repr = Ipv6Repr { src_addr: src, dst_addr: dst, next_header, payload_len, hop_limit, traffic_class, flow_label };
+        let mut buf = vec![0u8; repr.total_len()];
+        let mut p = Ipv6Packet::new_unchecked(&mut buf);
+        repr.emit(&mut p).unwrap();
+        let packet = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(Ipv6Repr::parse(&packet).unwrap(), repr);
+    }
+
+    #[test]
+    fn udp_v6_checksum_roundtrip(
+        src in arb_ipv6(),
+        dst in arb_ipv6(),
+        src_port in any::<u16>(),
+        dst_port in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let repr = UdpRepr { src_port, dst_port, payload_len: payload.len() };
+        let mut buf = vec![0u8; repr.total_len()];
+        let mut p = UdpPacket::new_unchecked(&mut buf);
+        repr.emit(&mut p).unwrap();
+        p.payload_mut().copy_from_slice(&payload);
+        p.fill_checksum_v6(src, dst);
+        let packet = UdpPacket::new_checked(&buf[..]).unwrap();
+        prop_assert!(packet.verify_checksum_v6(src, dst));
+        prop_assert_eq!(UdpRepr::parse(&packet).unwrap(), repr);
+        prop_assert_eq!(packet.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn udp_v6_payload_flip_detected(
+        src in arb_ipv6(),
+        dst in arb_ipv6(),
+        payload in proptest::collection::vec(any::<u8>(), 1..128),
+        flip_bit in 0usize..8,
+        at in any::<proptest::sample::Index>(),
+    ) {
+        let repr = UdpRepr { src_port: 7, dst_port: 8, payload_len: payload.len() };
+        let mut buf = vec![0u8; repr.total_len()];
+        let mut p = UdpPacket::new_unchecked(&mut buf);
+        repr.emit(&mut p).unwrap();
+        p.payload_mut().copy_from_slice(&payload);
+        p.fill_checksum_v6(src, dst);
+        let idx = 8 + at.index(payload.len());
+        buf[idx] ^= 1 << flip_bit;
+        let packet = UdpPacket::new_checked(&buf[..]).unwrap();
+        prop_assert!(!packet.verify_checksum_v6(src, dst));
+    }
+
+    #[test]
+    fn tango_emit_parse_roundtrip(
+        path_id in any::<u16>(),
+        inner_proto in any::<u16>(),
+        sequence in any::<u32>(),
+        timestamp_ns in any::<u64>(),
+        probe in any::<bool>(),
+    ) {
+        let flags = if probe { TangoFlags::probe() } else { TangoFlags::measured() };
+        let repr = TangoRepr { flags, path_id, inner_proto, sequence, timestamp_ns };
+        let mut buf = vec![0u8; TANGO_HEADER_LEN];
+        let mut p = TangoPacket::new_unchecked(&mut buf);
+        repr.emit(&mut p).unwrap();
+        let packet = TangoPacket::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(TangoRepr::parse(&packet).unwrap(), repr);
+    }
+
+    #[test]
+    fn cidr_v4_contains_consistent_with_network(
+        addr in arb_ipv4(),
+        len in 0u8..=32,
+        probe in arb_ipv4(),
+    ) {
+        let c = Ipv4Cidr::new(addr, len).unwrap();
+        prop_assert!(c.contains(c.network()));
+        prop_assert!(c.contains(c.broadcast()));
+        // Canonicalization: constructing from any contained address gives
+        // the same prefix.
+        if c.contains(probe) {
+            prop_assert_eq!(Ipv4Cidr::new(probe, len).unwrap(), c);
+        }
+        // Display/parse roundtrip.
+        let reparsed: Ipv4Cidr = c.to_string().parse().unwrap();
+        prop_assert_eq!(reparsed, c);
+    }
+
+    #[test]
+    fn cidr_v6_display_parse_roundtrip(addr in arb_ipv6(), len in 0u8..=128) {
+        let c = Ipv6Cidr::new(addr, len).unwrap();
+        let reparsed: Ipv6Cidr = c.to_string().parse().unwrap();
+        prop_assert_eq!(reparsed, c);
+        prop_assert!(c.contains(c.network()));
+    }
+
+    #[test]
+    fn trie_longest_match_agrees_with_linear_scan(
+        prefixes in proptest::collection::vec((any::<u32>(), 0u8..=32), 1..40),
+        probes in proptest::collection::vec(any::<u32>(), 1..40),
+    ) {
+        let mut trie = PrefixTrie::new();
+        let mut list: Vec<(IpCidr, usize)> = Vec::new();
+        for (i, (bits, len)) in prefixes.iter().enumerate() {
+            let c = IpCidr::V4(Ipv4Cidr::new(Ipv4Addr::from(*bits), *len).unwrap());
+            trie.insert(c, i);
+            // Linear model keeps last writer for duplicate prefixes,
+            // matching insert-replace semantics.
+            if let Some(slot) = list.iter_mut().find(|(p, _)| *p == c) {
+                slot.1 = i;
+            } else {
+                list.push((c, i));
+            }
+        }
+        for probe in probes {
+            let a = IpAddr::V4(Ipv4Addr::from(probe));
+            let expect = list
+                .iter()
+                .filter(|(p, _)| p.contains(a))
+                .max_by_key(|(p, _)| p.prefix_len())
+                .map(|(p, v)| (*p, *v));
+            let got = trie.longest_match(a).map(|(p, v)| (p, *v));
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn trie_insert_remove_restores(
+        base in proptest::collection::vec((any::<u32>(), 0u8..=32), 0..20),
+        extra_bits in any::<u32>(),
+        extra_len in 0u8..=32,
+        probes in proptest::collection::vec(any::<u32>(), 1..20),
+    ) {
+        let mut trie = PrefixTrie::new();
+        for (i, (bits, len)) in base.iter().enumerate() {
+            trie.insert(IpCidr::V4(Ipv4Cidr::new(Ipv4Addr::from(*bits), *len).unwrap()), i);
+        }
+        let extra = IpCidr::V4(Ipv4Cidr::new(Ipv4Addr::from(extra_bits), extra_len).unwrap());
+        let before: Vec<_> = probes
+            .iter()
+            .map(|p| trie.longest_match(IpAddr::V4(Ipv4Addr::from(*p))).map(|(c, v)| (c, *v)))
+            .collect();
+        let preexisting = trie.get(&extra).copied();
+        trie.insert(extra, usize::MAX);
+        match preexisting {
+            Some(v) => { trie.insert(extra, v); }
+            None => { trie.remove(&extra); }
+        }
+        let after: Vec<_> = probes
+            .iter()
+            .map(|p| trie.longest_match(IpAddr::V4(Ipv4Addr::from(*p))).map(|(c, v)| (c, *v)))
+            .collect();
+        prop_assert_eq!(before, after);
+    }
+}

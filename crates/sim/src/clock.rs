@@ -1,0 +1,100 @@
+//! Per-node clocks with constant offset and optional drift.
+//!
+//! §4.2: *"Even though the clocks may not be synchronized between the
+//! sending and receiving switches, all one-way delays calculated would be
+//! distorted by the same amount — still allowing for accurate relative
+//! comparisons of one-way delays."* The simulator gives every node its
+//! own clock so this claim is exercised by the code rather than assumed:
+//! the data plane reads [`NodeClock::local_ns`], never global sim time.
+
+use crate::time::SimTime;
+
+/// A node-local clock: an affine map over simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeClock {
+    /// Constant offset from true (simulated) time, nanoseconds, signed.
+    pub offset_ns: i64,
+    /// Frequency error in parts per million. 0 = perfect rate. The paper
+    /// assumes negligible drift over measurement windows; experiments can
+    /// set it non-zero to probe how much drift relative comparisons bear.
+    pub drift_ppm: f64,
+}
+
+impl Default for NodeClock {
+    fn default() -> Self {
+        NodeClock { offset_ns: 0, drift_ppm: 0.0 }
+    }
+}
+
+impl NodeClock {
+    /// A perfectly synchronized clock.
+    pub fn synchronized() -> Self {
+        Self::default()
+    }
+
+    /// A clock with a constant offset (the paper's model).
+    pub fn with_offset_ns(offset_ns: i64) -> Self {
+        NodeClock { offset_ns, drift_ppm: 0.0 }
+    }
+
+    /// A clock with offset and drift.
+    pub fn with_offset_and_drift(offset_ns: i64, drift_ppm: f64) -> Self {
+        NodeClock { offset_ns, drift_ppm }
+    }
+
+    /// The node-local reading at simulated instant `t`, in nanoseconds.
+    /// Saturates at zero (a local clock cannot go negative).
+    pub fn local_ns(&self, t: SimTime) -> u64 {
+        let drift = (t.as_ns() as f64 * self.drift_ppm / 1e6) as i64;
+        let local = t.as_ns() as i64 + self.offset_ns + drift;
+        local.max(0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronized_clock_is_identity() {
+        let c = NodeClock::synchronized();
+        assert_eq!(c.local_ns(SimTime::from_ms(5)), 5_000_000);
+    }
+
+    #[test]
+    fn constant_offset_applies() {
+        let c = NodeClock::with_offset_ns(1_000_000);
+        assert_eq!(c.local_ns(SimTime::from_ms(5)), 6_000_000);
+        let c = NodeClock::with_offset_ns(-2_000_000);
+        assert_eq!(c.local_ns(SimTime::from_ms(5)), 3_000_000);
+    }
+
+    #[test]
+    fn negative_local_time_saturates() {
+        let c = NodeClock::with_offset_ns(-10);
+        assert_eq!(c.local_ns(SimTime(5)), 0);
+    }
+
+    #[test]
+    fn drift_accumulates_linearly() {
+        let c = NodeClock::with_offset_and_drift(0, 100.0); // 100 ppm fast
+        // After 1 s, a 100 ppm clock has gained 100 µs.
+        assert_eq!(c.local_ns(SimTime::from_secs(1)), 1_000_000_000 + 100_000);
+    }
+
+    #[test]
+    fn offset_cancels_in_relative_owd_comparison() {
+        // The §4.2 argument, in miniature: two paths with true OWDs 28 ms
+        // and 36.5 ms, measured with a receiver clock offset of +1 hour.
+        let rx = NodeClock::with_offset_ns(3_600 * 1_000_000_000);
+        let tx = NodeClock::synchronized();
+        let send = SimTime::from_secs(10);
+        let owd = |owd_true_ms: u64| {
+            let arrive = send + SimTime::from_ms(owd_true_ms);
+            rx.local_ns(arrive) as i64 - tx.local_ns(send) as i64
+        };
+        let gtt = owd(28);
+        let ntt = owd(36); // both wildly wrong in absolute terms...
+        assert_eq!(ntt - gtt, 8_000_000); // ...but exact relative to each other.
+    }
+}

@@ -1,0 +1,144 @@
+//! Edge-network and end-host measurement noise models.
+//!
+//! §2.2: *"the drones in ASX may experience link-layer retransmissions of
+//! corrupted packets in the wireless network, while the virtual machines
+//! in ASY may experience random delays in the hypervisor of the hosting
+//! servers."* These are the noise sources that pollute *end-to-end*
+//! measurements and that Tango's border-switch one-way measurements avoid
+//! (§3). The ablation experiment A1 uses these models to quantify the
+//! accuracy gap between host-measured RTT and switch-measured OWD.
+
+use rand::Rng;
+
+/// Wireless access-network noise: bursty link-layer retransmissions.
+///
+/// With probability `burst_prob` a packet is caught in a retransmission
+/// burst and delayed by 1..=`max_retries` times the retransmit timeout;
+/// otherwise it sees a small uniform MAC-contention delay.
+#[derive(Debug, Clone, Copy)]
+pub struct WirelessNoise {
+    /// Probability a packet hits a retransmission burst.
+    pub burst_prob: f64,
+    /// One retransmission timeout, ns.
+    pub retransmit_timeout_ns: u64,
+    /// Maximum retransmissions in a burst.
+    pub max_retries: u32,
+    /// Upper bound of the always-present contention delay, ns.
+    pub contention_max_ns: u64,
+}
+
+impl Default for WirelessNoise {
+    fn default() -> Self {
+        // 802.11-flavored defaults: 2% bursts, 4 ms RTO, up to 4 retries,
+        // up to 500 µs contention.
+        WirelessNoise {
+            burst_prob: 0.02,
+            retransmit_timeout_ns: 4_000_000,
+            max_retries: 4,
+            contention_max_ns: 500_000,
+        }
+    }
+}
+
+impl WirelessNoise {
+    /// Sample the extra delay this packet suffers in the access network.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut d = if self.contention_max_ns > 0 {
+            rng.gen_range(0..=self.contention_max_ns)
+        } else {
+            0
+        };
+        if self.burst_prob > 0.0 && rng.gen_bool(self.burst_prob.clamp(0.0, 1.0)) {
+            let retries = rng.gen_range(1..=self.max_retries.max(1));
+            d += u64::from(retries) * self.retransmit_timeout_ns;
+        }
+        d
+    }
+}
+
+/// Hypervisor scheduling noise on a cloud VM: exponential delay spikes.
+#[derive(Debug, Clone, Copy)]
+pub struct HypervisorNoise {
+    /// Mean scheduling delay, ns.
+    pub mean_ns: u64,
+    /// Hard cap, ns (a vCPU does get scheduled eventually).
+    pub cap_ns: u64,
+}
+
+impl Default for HypervisorNoise {
+    fn default() -> Self {
+        HypervisorNoise { mean_ns: 300_000, cap_ns: 10_000_000 }
+    }
+}
+
+impl HypervisorNoise {
+    /// Sample the extra delay the VM adds to a send or receive timestamp.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let d = (-u.ln() * self.mean_ns as f64) as u64;
+        d.min(self.cap_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn wireless_bursts_are_quantized_by_rto() {
+        let w = WirelessNoise {
+            burst_prob: 1.0,
+            retransmit_timeout_ns: 4_000_000,
+            max_retries: 4,
+            contention_max_ns: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let d = w.sample(&mut rng);
+            assert_eq!(d % 4_000_000, 0);
+            assert!((4_000_000..=16_000_000).contains(&d));
+        }
+    }
+
+    #[test]
+    fn wireless_contention_bounded() {
+        let w = WirelessNoise { burst_prob: 0.0, contention_max_ns: 500_000, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            assert!(w.sample(&mut rng) <= 500_000);
+        }
+    }
+
+    #[test]
+    fn wireless_burst_rate_statistics() {
+        let w = WirelessNoise::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let bursts = (0..50_000)
+            .filter(|_| w.sample(&mut rng) >= w.retransmit_timeout_ns)
+            .count();
+        let rate = bursts as f64 / 50_000.0;
+        assert!((rate - 0.02).abs() < 0.005, "burst rate {rate}");
+    }
+
+    #[test]
+    fn hypervisor_mean_and_cap() {
+        let h = HypervisorNoise { mean_ns: 300_000, cap_ns: 10_000_000 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<u64> = (0..50_000).map(|_| h.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&s| s <= 10_000_000));
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!((mean - 300_000.0).abs() < 10_000.0, "mean {mean}");
+    }
+
+    #[test]
+    fn edge_noise_dwarfs_tango_jitter() {
+        // The quantitative heart of the §2.2 argument: host-side noise is
+        // orders of magnitude above the 10 µs jitter of the best path.
+        let w = WirelessNoise::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mean = (0..20_000).map(|_| w.sample(&mut rng)).sum::<u64>() as f64 / 20_000.0;
+        assert!(mean > 100_000.0, "wireless noise mean {mean} should be ≫ 10 µs");
+    }
+}

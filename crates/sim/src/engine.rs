@@ -1,0 +1,891 @@
+//! The discrete-event core: event queue, agents, link transmission.
+
+use crate::clock::NodeClock;
+use crate::fault::{FaultDecision, FaultInjector};
+use crate::hash::flow_hash;
+use crate::time::SimTime;
+use crate::trace::{TraceEvent, TraceKind, Tracer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::net::IpAddr;
+use tango_net::{Ipv4Packet, Ipv6Packet, PrefixTrie};
+use tango_topology::{AsId, Topology};
+
+/// A packet in flight: raw bytes, nothing else. All semantics live in the
+/// bytes themselves (smoltcp idiom) — the simulator never peeks beyond
+/// what a real router could see.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// The raw IP packet.
+    pub bytes: Vec<u8>,
+}
+
+impl Packet {
+    /// Wrap raw bytes.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        Packet { bytes }
+    }
+
+    /// The destination IP address, if the version nibble and header parse.
+    pub fn dst_addr(&self) -> Option<IpAddr> {
+        match self.bytes.first().map(|b| b >> 4)? {
+            4 => Ipv4Packet::new_checked(&self.bytes[..]).ok().map(|p| IpAddr::V4(p.dst_addr())),
+            6 => Ipv6Packet::new_checked(&self.bytes[..]).ok().map(|p| IpAddr::V6(p.dst_addr())),
+            _ => None,
+        }
+    }
+}
+
+/// Node behaviour: packets from the network, packets from the local host
+/// side, and timers.
+pub trait Agent {
+    /// A packet arrived from the network.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet);
+
+    /// A packet was handed in from the host side (an application behind
+    /// this border). Default: treat like a network packet.
+    fn on_host_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        self.on_packet(ctx, pkt);
+    }
+
+    /// A scheduled timer fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _tag: u64) {}
+}
+
+/// Counters the simulator maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Packets submitted to links.
+    pub transmissions: u64,
+    /// Packets handed to receiving agents.
+    pub deliveries: u64,
+    /// Dropped by stochastic link loss.
+    pub lost_link: u64,
+    /// Dropped by an active outage event.
+    pub lost_outage: u64,
+    /// Dropped by the fault injector.
+    pub lost_fault: u64,
+    /// Corrupted (but delivered) by the fault injector.
+    pub corrupted: u64,
+    /// Transmission requested on a non-existent link.
+    pub no_link: u64,
+    /// Dropped by a full queue on a capacity-limited link (tail drop).
+    pub lost_queue: u64,
+    /// Router had no route for a destination.
+    pub no_route: u64,
+    /// Hop limit exhausted in flight.
+    pub ttl_expired: u64,
+    /// Timers fired.
+    pub timers: u64,
+}
+
+enum EventKind {
+    Deliver { to: AsId, pkt: Packet },
+    HostInject { to: AsId, pkt: Packet },
+    Timer { node: AsId, tag: u64 },
+}
+
+struct QueuedEvent {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// RNG seed: same seed + same schedule ⇒ identical run.
+    pub seed: u64,
+    /// Trace ring capacity (0 disables tracing).
+    pub trace_capacity: usize,
+    /// Optional global fault injection on every link.
+    pub fault: Option<FaultInjector>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { seed: 1, trace_capacity: 0, fault: None }
+    }
+}
+
+/// The execution context handed to agents. All side effects an agent can
+/// have on the world go through here, which keeps event ordering and
+/// randomness deterministic.
+pub struct Ctx<'a> {
+    /// The node this agent runs on.
+    pub node: AsId,
+    now: SimTime,
+    clock: NodeClock,
+    topology: &'a Topology,
+    rng: &'a mut StdRng,
+    fault: Option<FaultInjector>,
+    stats: &'a mut SimStats,
+    tracer: &'a mut Tracer,
+    out: Vec<QueuedEvent>,
+    seq: &'a mut u64,
+    /// Per-directed-link "busy until" instants (ns) for capacity-limited
+    /// links: packets serialize behind the previous departure.
+    link_busy: &'a mut BTreeMap<(AsId, AsId), u64>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time (global truth — agents implementing the
+    /// Tango data plane must use [`Ctx::local_ns`] instead, as a real
+    /// switch has no access to true time).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's local clock reading, nanoseconds.
+    pub fn local_ns(&self) -> u64 {
+        self.clock.local_ns(self.now)
+    }
+
+    /// Deterministic randomness for agent-level decisions.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// The topology (read-only; e.g. for neighbor queries).
+    pub fn topology(&self) -> &Topology {
+        self.topology
+    }
+
+    fn trace(&mut self, kind: TraceKind) {
+        self.tracer.record(TraceEvent { time: self.now, node: self.node, kind });
+    }
+
+    /// Transmit a packet to an adjacent node. Samples loss, event
+    /// effects, fault injection, ECMP lane, and delay; schedules delivery.
+    pub fn transmit(&mut self, to: AsId, pkt: Packet) {
+        let from = self.node;
+        let Some(profile) = self.topology.direction_profile(from, to) else {
+            self.stats.no_link += 1;
+            self.trace(TraceKind::NoLink);
+            return;
+        };
+        self.stats.transmissions += 1;
+        self.trace(TraceKind::Tx { to });
+        if profile.sample_loss(self.rng) {
+            self.stats.lost_link += 1;
+            self.trace(TraceKind::LossLink);
+            return;
+        }
+        // Active wide-area events on this directed hop.
+        let mut shift: i64 = 0;
+        for ev in self.topology.active_events(from, to, self.now.as_ns()) {
+            match ev.sample_effect(self.now.as_ns(), self.rng) {
+                Some(d) => shift += d,
+                None => {
+                    self.stats.lost_outage += 1;
+                    self.trace(TraceKind::LossOutage);
+                    return;
+                }
+            }
+        }
+        let mut bytes = pkt.bytes;
+        if let Some(f) = self.fault {
+            match f.apply(self.rng, &mut bytes) {
+                FaultDecision::Drop => {
+                    self.stats.lost_fault += 1;
+                    self.trace(TraceKind::LossFault);
+                    return;
+                }
+                FaultDecision::Corrupted => {
+                    self.stats.corrupted += 1;
+                    self.trace(TraceKind::Corrupt);
+                }
+                FaultDecision::Pass => {}
+            }
+        }
+        // Capacity model: packets serialize on finite-capacity links,
+        // waiting behind earlier departures; overlong waits tail-drop.
+        let mut queue_delay = 0u64;
+        if profile.capacity_bps.is_some() {
+            let tx = profile.tx_time_ns(bytes.len());
+            let busy = self.link_busy.entry((from, to)).or_insert(0);
+            let start = (*busy).max(self.now.as_ns());
+            let wait = start - self.now.as_ns();
+            if wait > profile.max_queue_ns {
+                self.stats.lost_queue += 1;
+                self.trace(TraceKind::LossQueue);
+                return;
+            }
+            *busy = start + tx;
+            queue_delay = wait + tx;
+        }
+        let hash = flow_hash(&bytes);
+        let delay = profile.sample_delay(self.rng, hash, shift) + queue_delay;
+        let time = self.now + SimTime(delay);
+        *self.seq += 1;
+        self.out.push(QueuedEvent {
+            time,
+            seq: *self.seq,
+            kind: EventKind::Deliver { to, pkt: Packet::new(bytes) },
+        });
+    }
+
+    /// Schedule a timer on this node after `delay`.
+    pub fn schedule_timer(&mut self, delay: SimTime, tag: u64) {
+        *self.seq += 1;
+        self.out.push(QueuedEvent {
+            time: self.now + delay,
+            seq: *self.seq,
+            kind: EventKind::Timer { node: self.node, tag },
+        });
+    }
+
+    /// Count a routing-table miss (used by router agents).
+    pub fn count_no_route(&mut self) {
+        self.stats.no_route += 1;
+        self.trace(TraceKind::NoRoute);
+    }
+
+    /// Count a hop-limit expiry (used by router agents).
+    pub fn count_ttl_expired(&mut self) {
+        self.stats.ttl_expired += 1;
+        self.trace(TraceKind::TtlExpired);
+    }
+}
+
+/// The deterministic discrete-event network simulator.
+pub struct NetworkSim {
+    topology: Topology,
+    clocks: BTreeMap<AsId, NodeClock>,
+    agents: BTreeMap<AsId, Box<dyn Agent>>,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    now: SimTime,
+    seq: u64,
+    rng: StdRng,
+    fault: Option<FaultInjector>,
+    stats: SimStats,
+    tracer: Tracer,
+    link_busy: BTreeMap<(AsId, AsId), u64>,
+}
+
+impl NetworkSim {
+    /// Build a simulator over a topology.
+    pub fn new(topology: Topology, config: SimConfig) -> Self {
+        NetworkSim {
+            topology,
+            clocks: BTreeMap::new(),
+            agents: BTreeMap::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: StdRng::seed_from_u64(config.seed),
+            fault: config.fault,
+            stats: SimStats::default(),
+            tracer: Tracer::new(config.trace_capacity),
+            link_busy: BTreeMap::new(),
+        }
+    }
+
+    /// Set a node's clock (default: synchronized).
+    pub fn set_clock(&mut self, node: AsId, clock: NodeClock) {
+        self.clocks.insert(node, clock);
+    }
+
+    /// Install a node's agent (replacing any previous one).
+    pub fn set_agent(&mut self, node: AsId, agent: Box<dyn Agent>) {
+        self.agents.insert(node, agent);
+    }
+
+    /// Schedule a packet to enter `node` from its host side at `time`.
+    pub fn schedule_host_packet(&mut self, time: SimTime, node: AsId, pkt: Packet) {
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent {
+            time,
+            seq: self.seq,
+            kind: EventKind::HostInject { to: node, pkt },
+        }));
+    }
+
+    /// Schedule a timer for `node` at absolute `time` (e.g. the initial
+    /// kick of a probe generator).
+    pub fn schedule_timer_at(&mut self, time: SimTime, node: AsId, tag: u64) {
+        self.seq += 1;
+        self.queue
+            .push(Reverse(QueuedEvent { time, seq: self.seq, kind: EventKind::Timer { node, tag } }));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Simulation counters.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The trace ring.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Run until the queue is empty or simulated time exceeds `until`.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.time > until {
+                break;
+            }
+            let Reverse(event) = self.queue.pop().expect("peeked");
+            debug_assert!(event.time >= self.now, "time must be monotonic");
+            self.now = event.time;
+            self.dispatch(event.kind);
+            processed += 1;
+        }
+        // Advance the clock to the horizon even if the queue went quiet.
+        if self.now < until {
+            self.now = until;
+        }
+        processed
+    }
+
+    /// True if no events are pending.
+    pub fn idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        let (node, call): (AsId, u8) = match &kind {
+            EventKind::Deliver { to, .. } => (*to, 0),
+            EventKind::HostInject { to, .. } => (*to, 1),
+            EventKind::Timer { node, .. } => (*node, 2),
+        };
+        let _ = call;
+        let Some(mut agent) = self.agents.remove(&node) else {
+            // No agent: the packet/timer evaporates (counted as no_route —
+            // a node without behaviour cannot forward).
+            if !matches!(kind, EventKind::Timer { .. }) {
+                self.stats.no_route += 1;
+            }
+            return;
+        };
+        let clock = self.clocks.get(&node).copied().unwrap_or_default();
+        let mut ctx = Ctx {
+            node,
+            now: self.now,
+            clock,
+            topology: &self.topology,
+            rng: &mut self.rng,
+            fault: self.fault,
+            stats: &mut self.stats,
+            tracer: &mut self.tracer,
+            out: Vec::new(),
+            seq: &mut self.seq,
+            link_busy: &mut self.link_busy,
+        };
+        match kind {
+            EventKind::Deliver { pkt, .. } => {
+                ctx.stats.deliveries += 1;
+                ctx.trace(TraceKind::Rx);
+                agent.on_packet(&mut ctx, pkt);
+            }
+            EventKind::HostInject { pkt, .. } => {
+                agent.on_host_packet(&mut ctx, pkt);
+            }
+            EventKind::Timer { tag, .. } => {
+                ctx.stats.timers += 1;
+                ctx.trace(TraceKind::Timer { tag });
+                agent.on_timer(&mut ctx, tag);
+            }
+        }
+        let out = std::mem::take(&mut ctx.out);
+        drop(ctx);
+        for ev in out {
+            self.queue.push(Reverse(ev));
+        }
+        self.agents.insert(node, agent);
+    }
+}
+
+/// A plain IP router: longest-prefix-match forwarding with hop-limit
+/// decrement. The behaviour of every non-Tango node (Vultr borders and
+/// transit ASes).
+pub struct RouterAgent {
+    id: AsId,
+    table: PrefixTrie<AsId>,
+}
+
+impl RouterAgent {
+    /// A router with the given forwarding table (usually built by
+    /// `tango_bgp::BgpEngine::forwarding_table`).
+    pub fn new(id: AsId, table: PrefixTrie<AsId>) -> Self {
+        RouterAgent { id, table }
+    }
+
+    /// Replace the forwarding table (BGP re-convergence).
+    pub fn set_table(&mut self, table: PrefixTrie<AsId>) {
+        self.table = table;
+    }
+
+    /// Decrement TTL/hop-limit in place. Returns false if expired.
+    fn decrement_ttl(bytes: &mut [u8]) -> bool {
+        match bytes.first().map(|b| b >> 4) {
+            Some(4) if bytes.len() >= 20 => {
+                if bytes[8] <= 1 {
+                    return false;
+                }
+                bytes[8] -= 1;
+                // Recompute the IPv4 header checksum.
+                bytes[10] = 0;
+                bytes[11] = 0;
+                let ck = tango_net::checksum::checksum(&bytes[..20]);
+                bytes[10..12].copy_from_slice(&ck.to_be_bytes());
+                true
+            }
+            Some(6) if bytes.len() >= 40 => {
+                if bytes[7] <= 1 {
+                    return false;
+                }
+                bytes[7] -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Agent for RouterAgent {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, mut pkt: Packet) {
+        let Some(dst) = pkt.dst_addr() else {
+            ctx.count_no_route();
+            return;
+        };
+        let Some((_, &next)) = self.table.longest_match(dst) else {
+            ctx.count_no_route();
+            return;
+        };
+        if next == self.id {
+            // Locally destined at a plain router: nothing behind it.
+            ctx.count_no_route();
+            return;
+        }
+        if !Self::decrement_ttl(&mut pkt.bytes) {
+            ctx.count_ttl_expired();
+            return;
+        }
+        ctx.transmit(next, pkt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use tango_net::{IpCidr, Ipv6Packet, Ipv6Repr};
+    use tango_topology::{AsKind, AsNode, DirectionProfile, LinkProfile};
+    use tango_topology::Topology;
+
+    fn ipv6_packet(dst: &str, hop_limit: u8) -> Packet {
+        let repr = Ipv6Repr {
+            src_addr: "2001:db8:aaaa::1".parse().unwrap(),
+            dst_addr: dst.parse().unwrap(),
+            next_header: 17,
+            payload_len: 0,
+            hop_limit,
+            traffic_class: 0,
+            flow_label: 0,
+        };
+        let mut buf = vec![0u8; repr.total_len()];
+        let mut p = Ipv6Packet::new_unchecked(&mut buf);
+        repr.emit(&mut p).unwrap();
+        Packet::new(buf)
+    }
+
+    /// Line topology 1 -- 2 -- 3 with constant 1 ms hops.
+    fn line() -> Topology {
+        let mut t = Topology::new();
+        for id in 1..=3u32 {
+            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}"))).unwrap();
+        }
+        let lp = || LinkProfile::symmetric(DirectionProfile::constant(1_000_000));
+        t.add_peering(AsId(1), AsId(2), lp()).unwrap();
+        t.add_peering(AsId(2), AsId(3), lp()).unwrap();
+        t
+    }
+
+    struct SinkAgent {
+        received: Arc<AtomicU64>,
+        last_local_ns: Arc<AtomicU64>,
+    }
+
+    impl Agent for SinkAgent {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _pkt: Packet) {
+            self.received.fetch_add(1, Ordering::SeqCst);
+            self.last_local_ns.store(ctx.local_ns(), Ordering::SeqCst);
+        }
+    }
+
+    fn router_table(entries: &[(&str, u32)]) -> PrefixTrie<AsId> {
+        let mut t = PrefixTrie::new();
+        for (p, n) in entries {
+            t.insert(p.parse::<IpCidr>().unwrap(), AsId(*n));
+        }
+        t
+    }
+
+    fn build_line_sim() -> (NetworkSim, Arc<AtomicU64>, Arc<AtomicU64>) {
+        let mut sim = NetworkSim::new(line(), SimConfig { trace_capacity: 64, ..Default::default() });
+        sim.set_agent(
+            AsId(1),
+            Box::new(RouterAgent::new(AsId(1), router_table(&[("2001:db8:3::/48", 2)]))),
+        );
+        sim.set_agent(
+            AsId(2),
+            Box::new(RouterAgent::new(AsId(2), router_table(&[("2001:db8:3::/48", 3)]))),
+        );
+        let received = Arc::new(AtomicU64::new(0));
+        let local = Arc::new(AtomicU64::new(0));
+        sim.set_agent(
+            AsId(3),
+            Box::new(SinkAgent { received: received.clone(), last_local_ns: local.clone() }),
+        );
+        (sim, received, local)
+    }
+
+    #[test]
+    fn packet_crosses_two_hops_with_exact_delay() {
+        let (mut sim, received, _) = build_line_sim();
+        sim.schedule_host_packet(SimTime::ZERO, AsId(1), ipv6_packet("2001:db8:3::1", 64));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(received.load(Ordering::SeqCst), 1);
+        // Delivered after exactly 2 ms (two constant 1 ms hops).
+        let rx_events: Vec<_> = sim
+            .tracer()
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == TraceKind::Rx && e.node == AsId(3))
+            .collect();
+        assert_eq!(rx_events.len(), 1);
+        assert_eq!(rx_events[0].time, SimTime::from_ms(2));
+        assert_eq!(sim.stats().deliveries, 2); // at node 2 and node 3
+        assert_eq!(sim.stats().transmissions, 2);
+    }
+
+    #[test]
+    fn receiver_clock_offset_shows_in_local_time() {
+        let (mut sim, _, local) = build_line_sim();
+        sim.set_clock(AsId(3), NodeClock::with_offset_ns(500));
+        sim.schedule_host_packet(SimTime::ZERO, AsId(1), ipv6_packet("2001:db8:3::1", 64));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(local.load(Ordering::SeqCst), 2_000_500);
+    }
+
+    #[test]
+    fn no_route_counted() {
+        let (mut sim, received, _) = build_line_sim();
+        sim.schedule_host_packet(SimTime::ZERO, AsId(1), ipv6_packet("2001:db8:99::1", 64));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(received.load(Ordering::SeqCst), 0);
+        assert_eq!(sim.stats().no_route, 1);
+    }
+
+    #[test]
+    fn ttl_expiry_stops_packet() {
+        let (mut sim, received, _) = build_line_sim();
+        // hop_limit 1: node 1 decrements -> expires before transmit.
+        sim.schedule_host_packet(SimTime::ZERO, AsId(1), ipv6_packet("2001:db8:3::1", 1));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(received.load(Ordering::SeqCst), 0);
+        assert_eq!(sim.stats().ttl_expired, 1);
+    }
+
+    #[test]
+    fn forwarding_loop_burns_ttl_not_cpu() {
+        // 1 and 2 point at each other: the packet must die by TTL.
+        let mut sim = NetworkSim::new(line(), SimConfig::default());
+        sim.set_agent(
+            AsId(1),
+            Box::new(RouterAgent::new(AsId(1), router_table(&[("2001:db8:3::/48", 2)]))),
+        );
+        sim.set_agent(
+            AsId(2),
+            Box::new(RouterAgent::new(AsId(2), router_table(&[("2001:db8:3::/48", 1)]))),
+        );
+        sim.schedule_host_packet(SimTime::ZERO, AsId(1), ipv6_packet("2001:db8:3::1", 16));
+        sim.run_until(SimTime::from_secs(10));
+        assert!(sim.idle());
+        assert_eq!(sim.stats().ttl_expired, 1);
+        assert!(sim.stats().transmissions <= 16);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let mut t = line();
+            // Add jitter so randomness actually matters.
+            t = {
+                let mut t2 = Topology::new();
+                for id in 1..=3u32 {
+                    t2.add_node(AsNode::new(id, AsKind::Transit, format!("{id}"))).unwrap();
+                }
+                let lp = || {
+                    LinkProfile::symmetric(
+                        DirectionProfile::constant(1_000_000).with_jitter(
+                            tango_topology::JitterModel::Gaussian { sigma_ns: 100_000 },
+                        ),
+                    )
+                };
+                t2.add_peering(AsId(1), AsId(2), lp()).unwrap();
+                t2.add_peering(AsId(2), AsId(3), lp()).unwrap();
+                let _ = t;
+                t2
+            };
+            let mut sim = NetworkSim::new(t, SimConfig { seed, trace_capacity: 256, ..Default::default() });
+            sim.set_agent(
+                AsId(1),
+                Box::new(RouterAgent::new(AsId(1), router_table(&[("2001:db8:3::/48", 2)]))),
+            );
+            sim.set_agent(
+                AsId(2),
+                Box::new(RouterAgent::new(AsId(2), router_table(&[("2001:db8:3::/48", 3)]))),
+            );
+            sim.set_agent(AsId(3), Box::new(RouterAgent::new(AsId(3), PrefixTrie::new())));
+            for i in 0..50 {
+                sim.schedule_host_packet(
+                    SimTime::from_ms(i),
+                    AsId(1),
+                    ipv6_packet("2001:db8:3::1", 64),
+                );
+            }
+            sim.run_until(SimTime::from_secs(2));
+            sim.tracer().events()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn link_loss_is_counted() {
+        let mut t = Topology::new();
+        for id in 1..=2u32 {
+            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}"))).unwrap();
+        }
+        t.add_peering(
+            AsId(1),
+            AsId(2),
+            LinkProfile::symmetric(DirectionProfile::constant(1_000).with_loss(1.0)),
+        )
+        .unwrap();
+        let mut sim = NetworkSim::new(t, SimConfig::default());
+        sim.set_agent(
+            AsId(1),
+            Box::new(RouterAgent::new(AsId(1), router_table(&[("::/0", 2)]))),
+        );
+        sim.schedule_host_packet(SimTime::ZERO, AsId(1), ipv6_packet("2001:db8:3::1", 64));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.stats().lost_link, 1);
+        assert_eq!(sim.stats().deliveries, 0);
+    }
+
+    #[test]
+    fn fault_injector_drop_all() {
+        let mut sim = NetworkSim::new(
+            line(),
+            SimConfig { fault: Some(FaultInjector::new(1.0, 0.0)), ..Default::default() },
+        );
+        sim.set_agent(
+            AsId(1),
+            Box::new(RouterAgent::new(AsId(1), router_table(&[("::/0", 2)]))),
+        );
+        sim.schedule_host_packet(SimTime::ZERO, AsId(1), ipv6_packet("2001:db8:3::1", 64));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.stats().lost_fault, 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerAgent {
+            fired: Arc<AtomicU64>,
+        }
+        impl Agent for TimerAgent {
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+                // Tags must arrive 1, 2, 3... (scheduled at 1 ms spacing).
+                let prev = self.fired.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(prev + 1, tag);
+                if tag < 5 {
+                    ctx.schedule_timer(SimTime::from_ms(1), tag + 1);
+                }
+            }
+        }
+        let fired = Arc::new(AtomicU64::new(0));
+        let mut sim = NetworkSim::new(line(), SimConfig::default());
+        sim.set_agent(AsId(1), Box::new(TimerAgent { fired: fired.clone() }));
+        sim.schedule_timer_at(SimTime::from_ms(1), AsId(1), 1);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(fired.load(Ordering::SeqCst), 5);
+        assert_eq!(sim.stats().timers, 5);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_idle() {
+        let mut sim = NetworkSim::new(line(), SimConfig::default());
+        sim.run_until(SimTime::from_secs(7));
+        assert_eq!(sim.now(), SimTime::from_secs(7));
+        assert!(sim.idle());
+    }
+
+    #[test]
+    fn capacity_serializes_back_to_back_packets() {
+        // 100 Mbit/s link: a 1250 B packet occupies it for 100 µs. Three
+        // packets injected at the same instant arrive 100 µs apart.
+        let mut t = Topology::new();
+        for id in 1..=2u32 {
+            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}"))).unwrap();
+        }
+        t.add_peering(
+            AsId(1),
+            AsId(2),
+            LinkProfile::symmetric(
+                DirectionProfile::constant(1_000_000).with_capacity(100_000_000, u64::MAX),
+            ),
+        )
+        .unwrap();
+        let mut sim = NetworkSim::new(t, SimConfig { trace_capacity: 64, ..Default::default() });
+        sim.set_agent(
+            AsId(1),
+            Box::new(RouterAgent::new(AsId(1), router_table(&[("::/0", 2)]))),
+        );
+        sim.set_agent(AsId(2), Box::new(RouterAgent::new(AsId(2), PrefixTrie::new())));
+        // Build a 1250-byte packet (payload pads the 40 B header).
+        let repr = Ipv6Repr {
+            src_addr: "2001:db8:aaaa::1".parse().unwrap(),
+            dst_addr: "2001:db8:3::1".parse().unwrap(),
+            next_header: 17,
+            payload_len: 1210,
+            hop_limit: 64,
+            traffic_class: 0,
+            flow_label: 0,
+        };
+        let mut pkt = vec![0u8; repr.total_len()];
+        let mut view = Ipv6Packet::new_unchecked(&mut pkt[..]);
+        repr.emit(&mut view).unwrap();
+        for _ in 0..3 {
+            sim.schedule_host_packet(SimTime::ZERO, AsId(1), Packet::new(pkt.clone()));
+        }
+        sim.run_until(SimTime::from_secs(1));
+        let arrivals: Vec<u64> = sim
+            .tracer()
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == TraceKind::Rx && e.node == AsId(2))
+            .map(|e| e.time.as_ns())
+            .collect();
+        assert_eq!(arrivals.len(), 3);
+        // 1 ms propagation + k × 100 µs serialization.
+        assert_eq!(arrivals[0], 1_100_000);
+        assert_eq!(arrivals[1], 1_200_000);
+        assert_eq!(arrivals[2], 1_300_000);
+    }
+
+    #[test]
+    fn queue_tail_drop_kicks_in() {
+        let mut t = Topology::new();
+        for id in 1..=2u32 {
+            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}"))).unwrap();
+        }
+        // Queue cap of 150 µs: the 3rd simultaneous packet (wait 200 µs)
+        // is dropped.
+        t.add_peering(
+            AsId(1),
+            AsId(2),
+            LinkProfile::symmetric(
+                DirectionProfile::constant(1_000_000).with_capacity(100_000_000, 150_000),
+            ),
+        )
+        .unwrap();
+        let mut sim = NetworkSim::new(t, SimConfig::default());
+        sim.set_agent(
+            AsId(1),
+            Box::new(RouterAgent::new(AsId(1), router_table(&[("::/0", 2)]))),
+        );
+        sim.set_agent(AsId(2), Box::new(RouterAgent::new(AsId(2), PrefixTrie::new())));
+        let repr = Ipv6Repr {
+            src_addr: "2001:db8:aaaa::1".parse().unwrap(),
+            dst_addr: "2001:db8:3::1".parse().unwrap(),
+            next_header: 17,
+            payload_len: 1210,
+            hop_limit: 64,
+            traffic_class: 0,
+            flow_label: 0,
+        };
+        let mut pkt = vec![0u8; repr.total_len()];
+        let mut view = Ipv6Packet::new_unchecked(&mut pkt[..]);
+        repr.emit(&mut view).unwrap();
+        for _ in 0..4 {
+            sim.schedule_host_packet(SimTime::ZERO, AsId(1), Packet::new(pkt.clone()));
+        }
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.stats().lost_queue, 2, "3rd and 4th exceed the cap");
+        assert_eq!(sim.stats().deliveries, 2);
+    }
+
+    #[test]
+    fn infinite_capacity_links_never_queue() {
+        let (mut sim, received, _) = build_line_sim();
+        for _ in 0..100 {
+            sim.schedule_host_packet(SimTime::ZERO, AsId(1), ipv6_packet("2001:db8:3::1", 64));
+        }
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(received.load(Ordering::SeqCst), 100);
+        assert_eq!(sim.stats().lost_queue, 0);
+        // All arrive at the same instant: no serialization.
+        assert!(sim.now() >= SimTime::from_ms(2));
+    }
+
+    #[test]
+    fn outage_event_drops_everything_in_window() {
+        use tango_topology::{EventKind as TEventKind, LinkEvent, TimeWindow};
+        let mut t = line();
+        t.add_event(LinkEvent {
+            from: AsId(1),
+            to: AsId(2),
+            window: TimeWindow::new(0, SimTime::from_ms(10).as_ns()),
+            kind: TEventKind::Outage,
+        })
+        .unwrap();
+        let mut sim = NetworkSim::new(t, SimConfig::default());
+        sim.set_agent(
+            AsId(1),
+            Box::new(RouterAgent::new(AsId(1), router_table(&[("::/0", 2)]))),
+        );
+        sim.set_agent(AsId(2), Box::new(RouterAgent::new(AsId(2), PrefixTrie::new())));
+        // One packet inside the outage window, one after.
+        sim.schedule_host_packet(SimTime::from_ms(5), AsId(1), ipv6_packet("2001:db8:3::1", 64));
+        sim.schedule_host_packet(SimTime::from_ms(15), AsId(1), ipv6_packet("2001:db8:3::1", 64));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.stats().lost_outage, 1);
+        assert_eq!(sim.stats().deliveries, 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Flow hashing: the 5-tuple hash core routers use for ECMP.
+//!
+//! §3: *"Tango tunnels traffic before forwarding it to each path to avoid
+//! unpredictable path diversity (e.g., due to 5-tuple hashing in ECMP)
+//! which will result in measuring multiple paths as one."* The simulator
+//! hashes exactly the fields a real router would, so un-tunneled flows
+//! smear across ECMP lanes while Tango's fixed outer header pins one lane.
+
+use tango_net::{Ipv4Packet, Ipv6Packet, UdpPacket};
+
+/// FNV-1a over a byte slice (deterministic, platform-independent).
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Compute the ECMP flow hash of a raw IP packet.
+///
+/// Hashes (src addr, dst addr, protocol) plus (src port, dst port) when
+/// the payload is UDP or TCP and long enough to carry ports. Unparseable
+/// packets hash their first bytes — a router would do something equally
+/// arbitrary.
+pub fn flow_hash(packet: &[u8]) -> u64 {
+    let mut key = Vec::with_capacity(40);
+    match packet.first().map(|b| b >> 4) {
+        Some(4) => {
+            if let Ok(ip) = Ipv4Packet::new_checked(packet) {
+                key.extend_from_slice(&ip.src_addr().octets());
+                key.extend_from_slice(&ip.dst_addr().octets());
+                key.push(ip.protocol());
+                if matches!(ip.protocol(), 6 | 17) {
+                    push_ports(&mut key, ip.payload());
+                }
+                return fnv1a(&key);
+            }
+        }
+        Some(6) => {
+            if let Ok(ip) = Ipv6Packet::new_checked(packet) {
+                key.extend_from_slice(&ip.src_addr().octets());
+                key.extend_from_slice(&ip.dst_addr().octets());
+                key.push(ip.next_header());
+                if matches!(ip.next_header(), 6 | 17) {
+                    push_ports(&mut key, ip.payload());
+                }
+                return fnv1a(&key);
+            }
+        }
+        _ => {}
+    }
+    fnv1a(&packet[..packet.len().min(40)])
+}
+
+fn push_ports(key: &mut Vec<u8>, l4: &[u8]) {
+    if let Ok(udp) = UdpPacket::new_checked(l4) {
+        key.extend_from_slice(&udp.src_port().to_be_bytes());
+        key.extend_from_slice(&udp.dst_port().to_be_bytes());
+    } else if l4.len() >= 4 {
+        key.extend_from_slice(&l4[..4]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_net::{Ipv6Repr, UdpRepr};
+
+    fn udp6(src_port: u16, dst_port: u16, dst_last: u16) -> Vec<u8> {
+        let udp = UdpRepr { src_port, dst_port, payload_len: 4 };
+        let ip = Ipv6Repr {
+            src_addr: "2001:db8:100::1".parse().unwrap(),
+            dst_addr: format!("2001:db8:200::{dst_last:x}").parse().unwrap(),
+            next_header: 17,
+            payload_len: udp.total_len(),
+            hop_limit: 64,
+            traffic_class: 0,
+            flow_label: 0,
+        };
+        let mut buf = vec![0u8; ip.total_len()];
+        let mut p = Ipv6Packet::new_unchecked(&mut buf);
+        ip.emit(&mut p).unwrap();
+        let mut u = UdpPacket::new_unchecked(p.payload_mut());
+        udp.emit(&mut u).unwrap();
+        buf
+    }
+
+    #[test]
+    fn same_five_tuple_same_hash() {
+        assert_eq!(flow_hash(&udp6(1000, 2000, 1)), flow_hash(&udp6(1000, 2000, 1)));
+    }
+
+    #[test]
+    fn hash_depends_on_ports_and_addrs() {
+        let base = flow_hash(&udp6(1000, 2000, 1));
+        assert_ne!(base, flow_hash(&udp6(1001, 2000, 1)), "src port must matter");
+        assert_ne!(base, flow_hash(&udp6(1000, 2001, 1)), "dst port must matter");
+        assert_ne!(base, flow_hash(&udp6(1000, 2000, 2)), "dst addr must matter");
+    }
+
+    #[test]
+    fn payload_does_not_affect_hash() {
+        let mut a = udp6(7, 8, 1);
+        let mut b = udp6(7, 8, 1);
+        let n = a.len();
+        a[n - 1] = 0x11;
+        b[n - 1] = 0x22;
+        assert_eq!(flow_hash(&a), flow_hash(&b));
+    }
+
+    #[test]
+    fn garbage_does_not_panic() {
+        assert_eq!(flow_hash(&[]), flow_hash(&[]));
+        let _ = flow_hash(&[0x45]);
+        let _ = flow_hash(&[0x60, 1, 2, 3]);
+        let _ = flow_hash(&[0xff; 64]);
+    }
+
+    #[test]
+    fn many_flows_spread_over_lanes() {
+        // 100 flows over 4 lanes: every lane should be hit.
+        let mut lanes = [0u32; 4];
+        for sp in 0..100u16 {
+            let h = flow_hash(&udp6(sp, 443, 1));
+            lanes[(h % 4) as usize] += 1;
+        }
+        assert!(lanes.iter().all(|&c| c > 5), "lanes {lanes:?}");
+    }
+}

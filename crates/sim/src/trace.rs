@@ -1,0 +1,138 @@
+//! Bounded event tracing for debugging and tests.
+//!
+//! Inspired by smoltcp's `--pcap` facility: every packet-level incident
+//! can be recorded, bounded by a ring capacity so an 8-day run cannot
+//! exhaust memory. Disabled (capacity 0) by default.
+
+use crate::time::SimTime;
+use tango_topology::AsId;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A packet left `node` toward the given neighbor.
+    Tx {
+        /// Receiving neighbor.
+        to: AsId,
+    },
+    /// A packet was handed to `node`'s agent.
+    Rx,
+    /// Dropped by stochastic link loss.
+    LossLink,
+    /// Dropped by an active outage event.
+    LossOutage,
+    /// Dropped by the fault injector.
+    LossFault,
+    /// Tail-dropped by a full queue on a capacity-limited link.
+    LossQueue,
+    /// A byte was corrupted by the fault injector (packet still delivered).
+    Corrupt,
+    /// No link to the requested next hop.
+    NoLink,
+    /// No route for the destination (router table miss).
+    NoRoute,
+    /// Hop limit exhausted.
+    TtlExpired,
+    /// A timer fired with this tag.
+    Timer {
+        /// The timer's tag.
+        tag: u64,
+    },
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When (simulated).
+    pub time: SimTime,
+    /// Where.
+    pub node: AsId,
+    /// What.
+    pub kind: TraceKind,
+}
+
+/// A bounded ring of trace events.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    capacity: usize,
+    events: Vec<TraceEvent>,
+    head: usize,
+    total: u64,
+}
+
+impl Tracer {
+    /// A tracer keeping at most `capacity` most-recent events.
+    pub fn new(capacity: usize) -> Self {
+        Tracer { capacity, events: Vec::new(), head: 0, total: 0 }
+    }
+
+    /// Record an event (no-op when capacity is 0).
+    pub fn record(&mut self, event: TraceEvent) {
+        self.total += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Events in chronological order (oldest retained first).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.head..]);
+        out.extend_from_slice(&self.events[..self.head]);
+        out
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Count retained events matching a predicate.
+    pub fn count(&self, f: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| f(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> TraceEvent {
+        TraceEvent { time: SimTime(t), node: AsId(1), kind: TraceKind::Rx }
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing_but_counts() {
+        let mut t = Tracer::new(0);
+        t.record(ev(1));
+        t.record(ev(2));
+        assert!(t.events().is_empty());
+        assert_eq!(t.total_recorded(), 2);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_in_order() {
+        let mut t = Tracer::new(3);
+        for i in 1..=5 {
+            t.record(ev(i));
+        }
+        let times: Vec<u64> = t.events().iter().map(|e| e.time.0).collect();
+        assert_eq!(times, vec![3, 4, 5]);
+        assert_eq!(t.total_recorded(), 5);
+    }
+
+    #[test]
+    fn under_capacity_keeps_all() {
+        let mut t = Tracer::new(10);
+        t.record(ev(1));
+        t.record(ev(2));
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.count(|e| e.time.0 == 1), 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Traffic arrival schedules.
+//!
+//! The prototype "ran a ping along each path every 10 ms" (§5); the drone
+//! workload of §2.2 is better modeled by a Poisson process. A
+//! [`Schedule`] yields successive departure instants; agents use one per
+//! tunnel/probe stream, re-arming a timer at each firing.
+
+use crate::time::SimTime;
+use rand::Rng;
+
+/// A stream of departure times.
+pub trait Schedule {
+    /// The next departure strictly after `now`, or `None` if the schedule
+    /// is exhausted.
+    fn next_after<R: Rng + ?Sized>(&mut self, now: SimTime, rng: &mut R) -> Option<SimTime>;
+}
+
+/// Constant bit-rate: one departure every `period` (the paper's probe
+/// stream: `period = 10 ms`).
+#[derive(Debug, Clone, Copy)]
+pub struct CbrSchedule {
+    /// Inter-departure period.
+    pub period: SimTime,
+    /// Stop after this instant (inclusive). `None` = unbounded.
+    pub until: Option<SimTime>,
+}
+
+impl CbrSchedule {
+    /// An unbounded CBR schedule.
+    pub fn every(period: SimTime) -> Self {
+        CbrSchedule { period, until: None }
+    }
+
+    /// Bound the schedule.
+    pub fn until(mut self, t: SimTime) -> Self {
+        self.until = Some(t);
+        self
+    }
+}
+
+impl Schedule for CbrSchedule {
+    fn next_after<R: Rng + ?Sized>(&mut self, now: SimTime, _rng: &mut R) -> Option<SimTime> {
+        let next = now + self.period;
+        match self.until {
+            Some(limit) if next > limit => None,
+            _ => Some(next),
+        }
+    }
+}
+
+/// Poisson arrivals with the given mean rate (exponential gaps).
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonSchedule {
+    /// Mean inter-arrival gap.
+    pub mean_gap: SimTime,
+    /// Stop after this instant (inclusive). `None` = unbounded.
+    pub until: Option<SimTime>,
+}
+
+impl PoissonSchedule {
+    /// Poisson process with the given mean gap.
+    pub fn with_mean_gap(mean_gap: SimTime) -> Self {
+        assert!(mean_gap.as_ns() > 0, "mean gap must be positive");
+        PoissonSchedule { mean_gap, until: None }
+    }
+
+    /// Bound the schedule.
+    pub fn until(mut self, t: SimTime) -> Self {
+        self.until = Some(t);
+        self
+    }
+}
+
+impl Schedule for PoissonSchedule {
+    fn next_after<R: Rng + ?Sized>(&mut self, now: SimTime, rng: &mut R) -> Option<SimTime> {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let gap_ns = (-u.ln() * self.mean_gap.as_ns() as f64).max(1.0) as u64;
+        let next = now + SimTime(gap_ns);
+        match self.until {
+            Some(limit) if next > limit => None,
+            _ => Some(next),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cbr_is_exactly_periodic() {
+        let mut s = CbrSchedule::every(SimTime::from_ms(10));
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut now = SimTime::ZERO;
+        for i in 1..=5 {
+            now = s.next_after(now, &mut rng).unwrap();
+            assert_eq!(now, SimTime::from_ms(10 * i));
+        }
+    }
+
+    #[test]
+    fn cbr_stops_at_bound() {
+        let mut s = CbrSchedule::every(SimTime::from_ms(10)).until(SimTime::from_ms(25));
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(s.next_after(SimTime::ZERO, &mut rng), Some(SimTime::from_ms(10)));
+        assert_eq!(s.next_after(SimTime::from_ms(10), &mut rng), Some(SimTime::from_ms(20)));
+        assert_eq!(s.next_after(SimTime::from_ms(20), &mut rng), None);
+    }
+
+    #[test]
+    fn poisson_mean_gap_statistics() {
+        let mut s = PoissonSchedule::with_mean_gap(SimTime::from_ms(10));
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut now = SimTime::ZERO;
+        let n = 20_000;
+        let mut gaps = Vec::with_capacity(n);
+        for _ in 0..n {
+            let next = s.next_after(now, &mut rng).unwrap();
+            gaps.push((next - now).as_ns() as f64);
+            now = next;
+        }
+        let mean = gaps.iter().sum::<f64>() / n as f64;
+        assert!((mean - 1e7).abs() < 2e5, "mean gap {mean}");
+        // Exponential: std ≈ mean.
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((var.sqrt() - 1e7).abs() < 5e5, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn poisson_gaps_are_strictly_positive() {
+        let mut s = PoissonSchedule::with_mean_gap(SimTime::from_us(1));
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut now = SimTime::ZERO;
+        for _ in 0..1000 {
+            let next = s.next_after(now, &mut rng).unwrap();
+            assert!(next > now);
+            now = next;
+        }
+    }
+
+    #[test]
+    fn poisson_respects_bound() {
+        let mut s =
+            PoissonSchedule::with_mean_gap(SimTime::from_ms(100)).until(SimTime::from_ms(1));
+        let mut rng = StdRng::seed_from_u64(3);
+        // Overwhelmingly likely that the first gap exceeds the 1 ms bound.
+        let mut stopped = false;
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            match s.next_after(now, &mut rng) {
+                Some(t) => now = t,
+                None => {
+                    stopped = true;
+                    break;
+                }
+            }
+        }
+        assert!(stopped);
+    }
+}

@@ -1,0 +1,298 @@
+//! Seeded random topology generation.
+//!
+//! §6 of the paper ("From Tango of 2 to Tango of N") envisions Tango
+//! pairings as building blocks of a wider overlay. The generator here
+//! produces Internet-like *hierarchies* for the Tango-of-N experiments
+//! and for scale-testing BGP propagation:
+//!
+//! * a fully meshed **tier-1 core** (settlement-free peering);
+//! * **tier-2 transits**, each a customer of one or two tier-1s, with
+//!   occasional tier-2 peering;
+//! * multi-homed **edge sites** buying transit from random transits.
+//!
+//! The hierarchy matters: under valley-free (Gao-Rexford) export, a flat
+//! peer-only core would leave non-adjacent transits unable to exchange
+//! customer routes. With a tier-1 mesh on top, any edge reaches any edge:
+//! customer routes climb to the tier-1s, cross one peering hop, and
+//! descend — so generated pairings are always provisionable.
+
+use crate::asys::{AsId, AsKind, AsNode};
+use crate::graph::Topology;
+use crate::link::{DirectionProfile, JitterModel, LinkProfile};
+use crate::{MS, US};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the random generator.
+#[derive(Debug, Clone)]
+pub struct GenParams {
+    /// Number of tier-1 (fully meshed) core ASes. Clamped to ≥ 1.
+    pub tier1: usize,
+    /// Number of tier-2 transit ASes.
+    pub transits: usize,
+    /// Probability that any two tier-2 transits peer directly.
+    pub transit_peering_prob: f64,
+    /// Number of edge sites (cloud/enterprise borders that could run Tango).
+    pub edges: usize,
+    /// Providers per edge site (min, max inclusive), drawn from all
+    /// transits (tier-1 and tier-2).
+    pub providers_per_edge: (usize, usize),
+    /// Base one-way delay of the transit→edge delivery direction
+    /// (min, max ns) — the continental-crossing share, placed as in the
+    /// Vultr scenario.
+    pub crossing_delay_ns: (u64, u64),
+    /// Jitter sigma range for crossings (min, max ns).
+    pub crossing_sigma_ns: (u64, u64),
+    /// RNG seed: identical parameters + seed ⇒ identical topology.
+    pub seed: u64,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            tier1: 3,
+            transits: 8,
+            transit_peering_prob: 0.3,
+            edges: 4,
+            providers_per_edge: (2, 4),
+            crossing_delay_ns: (15 * MS, 60 * MS),
+            crossing_sigma_ns: (10 * US, 400 * US),
+            seed: 1,
+        }
+    }
+}
+
+/// A generated topology plus the ids of its notable node groups.
+#[derive(Debug, Clone)]
+pub struct Generated {
+    /// The topology.
+    pub topology: Topology,
+    /// Edge-site node ids (candidates for Tango endpoints).
+    pub edge_sites: Vec<AsId>,
+    /// All transit ids (tier-1 first, then tier-2).
+    pub transits: Vec<AsId>,
+    /// The tier-1 subset.
+    pub tier1: Vec<AsId>,
+}
+
+/// Tier-1 ids start here.
+const TIER1_BASE: u32 = 10;
+/// Tier-2 transit ids start here.
+const TRANSIT_BASE: u32 = 100;
+/// Edge-site ids start here.
+const EDGE_BASE: u32 = 10_000;
+
+fn core_link(rng: &mut StdRng) -> LinkProfile {
+    let d = rng.gen_range(500 * US..2 * MS);
+    LinkProfile::symmetric(
+        DirectionProfile::constant(d).with_jitter(JitterModel::Gaussian { sigma_ns: 30 * US }),
+    )
+}
+
+/// Generate a random Internet-like topology.
+///
+/// Guarantees (by construction, tested below): the tier-1 core is a full
+/// peer mesh; every tier-2 transit has a tier-1 provider; every edge site
+/// has at least one provider. Under valley-free export this implies full
+/// edge-to-edge reachability.
+pub fn generate(params: &GenParams) -> Generated {
+    assert!(
+        params.providers_per_edge.0 >= 1
+            && params.providers_per_edge.0 <= params.providers_per_edge.1,
+        "invalid providers_per_edge"
+    );
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut t = Topology::new();
+
+    let tier1: Vec<AsId> = (0..params.tier1.max(1))
+        .map(|i| AsId(TIER1_BASE + i as u32))
+        .collect();
+    for (i, &id) in tier1.iter().enumerate() {
+        t.add_node(AsNode::new(id, AsKind::Transit, format!("T1-{i}"))).expect("unique");
+    }
+    // Full tier-1 peer mesh.
+    for i in 0..tier1.len() {
+        for j in (i + 1)..tier1.len() {
+            let p = core_link(&mut rng);
+            t.add_peering(tier1[i], tier1[j], p).expect("mesh edge is new");
+        }
+    }
+
+    let tier2: Vec<AsId> = (0..params.transits)
+        .map(|i| AsId(TRANSIT_BASE + i as u32))
+        .collect();
+    for (i, &id) in tier2.iter().enumerate() {
+        t.add_node(AsNode::new(id, AsKind::Transit, format!("T2-{i}"))).expect("unique");
+        // Customer of one or two tier-1s.
+        let n = rng.gen_range(1..=2usize.min(tier1.len()));
+        let mut pool = tier1.clone();
+        pool.shuffle(&mut rng);
+        for &up in pool.iter().take(n) {
+            let p = core_link(&mut rng);
+            t.add_provider(id, up, p).expect("new uplink");
+        }
+    }
+    // Occasional tier-2 peering (regional shortcuts).
+    for i in 0..tier2.len() {
+        for j in (i + 1)..tier2.len() {
+            if rng.gen_bool(params.transit_peering_prob.clamp(0.0, 1.0)) {
+                let p = core_link(&mut rng);
+                t.add_peering(tier2[i], tier2[j], p).expect("checked absent");
+            }
+        }
+    }
+
+    let all_transits: Vec<AsId> = tier1.iter().chain(tier2.iter()).copied().collect();
+
+    // Edge sites: multi-homed customers of random transits.
+    let edge_sites: Vec<AsId> = (0..params.edges)
+        .map(|i| AsId(EDGE_BASE + i as u32))
+        .collect();
+    for (i, &id) in edge_sites.iter().enumerate() {
+        t.add_node(AsNode::new(id, AsKind::CloudEdge, format!("E{i}"))).expect("unique");
+        let n = rng
+            .gen_range(params.providers_per_edge.0..=params.providers_per_edge.1)
+            .min(all_transits.len());
+        let mut pool = all_transits.clone();
+        pool.shuffle(&mut rng);
+        for &provider in pool.iter().take(n) {
+            let cross = rng.gen_range(params.crossing_delay_ns.0..=params.crossing_delay_ns.1);
+            let sigma = rng.gen_range(params.crossing_sigma_ns.0..=params.crossing_sigma_ns.1);
+            let profile = LinkProfile::asymmetric(
+                DirectionProfile::constant(150 * US)
+                    .with_jitter(JitterModel::Gaussian { sigma_ns: 3 * US }),
+                DirectionProfile::constant(cross)
+                    .with_jitter(JitterModel::Gaussian { sigma_ns: sigma }),
+            );
+            t.add_provider(id, provider, profile).expect("new edge link");
+        }
+    }
+
+    Generated { topology: t, edge_sites, transits: all_transits, tier1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Relationship;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let p = GenParams::default();
+        let a = generate(&p);
+        let b = generate(&p);
+        assert_eq!(a.topology.node_count(), b.topology.node_count());
+        assert_eq!(a.topology.link_count(), b.topology.link_count());
+        for n in a.topology.nodes() {
+            assert_eq!(Some(n), b.topology.node(n.id));
+            assert_eq!(a.topology.neighbors(n.id), b.topology.neighbors(n.id));
+        }
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let a = generate(&GenParams::default());
+        let b = generate(&GenParams { seed: 2, ..GenParams::default() });
+        let adj_diff = a
+            .topology
+            .nodes()
+            .any(|n| a.topology.neighbors(n.id) != b.topology.neighbors(n.id));
+        assert!(a.topology.link_count() != b.topology.link_count() || adj_diff);
+    }
+
+    #[test]
+    fn tier1_is_full_peer_mesh() {
+        let g = generate(&GenParams { tier1: 4, ..GenParams::default() });
+        for i in 0..g.tier1.len() {
+            for j in (i + 1)..g.tier1.len() {
+                assert_eq!(
+                    g.topology.relationship(g.tier1[i], g.tier1[j]),
+                    Some(Relationship::PeerOf)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_tier2_has_a_tier1_provider() {
+        let g = generate(&GenParams { transits: 10, ..GenParams::default() });
+        for &t2 in g.transits.iter().filter(|t| !g.tier1.contains(t)) {
+            let ups = g.topology.providers(t2);
+            assert!(!ups.is_empty(), "{t2} has no provider");
+            assert!(ups.iter().all(|u| g.tier1.contains(u)));
+        }
+    }
+
+    #[test]
+    fn every_edge_site_has_a_provider() {
+        let g = generate(&GenParams { edges: 10, ..GenParams::default() });
+        for &e in &g.edge_sites {
+            assert!(!g.topology.providers(e).is_empty(), "{e} has no provider");
+        }
+    }
+
+    #[test]
+    fn valley_free_reachability_between_all_edges() {
+        // The property the hierarchy buys: every edge can reach every
+        // other edge through customer→tier1→peer→customer chains. Verify
+        // with an actual BGP-style walk: climb from the announcer to a
+        // tier-1, it peers with (or is) every other tier-1, descend.
+        for seed in [1, 11, 42, 99] {
+            let g = generate(&GenParams {
+                tier1: 3,
+                transits: 6,
+                edges: 3,
+                providers_per_edge: (1, 1),
+                transit_peering_prob: 0.0,
+                seed,
+                ..GenParams::default()
+            });
+            // climb: from any node, following providers reaches a tier-1.
+            for &e in &g.edge_sites {
+                let mut frontier = vec![e];
+                let mut reached_tier1 = false;
+                for _ in 0..4 {
+                    let mut next = Vec::new();
+                    for n in frontier {
+                        if g.tier1.contains(&n) {
+                            reached_tier1 = true;
+                        }
+                        next.extend(g.topology.providers(n));
+                    }
+                    frontier = next;
+                }
+                assert!(reached_tier1, "edge {e} cannot climb to tier-1 (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn respects_provider_bounds() {
+        let g = generate(&GenParams {
+            edges: 8,
+            providers_per_edge: (2, 3),
+            ..GenParams::default()
+        });
+        for &e in &g.edge_sites {
+            let n = g.topology.providers(e).len();
+            assert!((2..=3).contains(&n), "{e} has {n} providers");
+        }
+    }
+
+    #[test]
+    fn single_tier1_degenerate_case() {
+        let g = generate(&GenParams {
+            tier1: 1,
+            transits: 2,
+            edges: 2,
+            providers_per_edge: (1, 1),
+            ..GenParams::default()
+        });
+        assert_eq!(g.tier1.len(), 1);
+        // Everything still hangs off the single tier-1.
+        for &t2 in g.transits.iter().filter(|t| !g.tier1.contains(t)) {
+            assert_eq!(g.topology.providers(t2), vec![g.tier1[0]]);
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! The calibrated Vultr NY/LA scenario from the paper's prototype (§4–§5).
+//!
+//! Two tenant servers (the Tango switches: in the prototype the eBPF data
+//! plane and the BIRD control plane both run *on the servers*) sit behind
+//! the Vultr border routers in Los Angeles and New York. Each border
+//! connects to real transit providers; the two sites exchange traffic over
+//! the public Internet ("Vultr does not own a private WAN", §4.1).
+//!
+//! Fig. 3 and §4.1 report the wide-area paths discovered between the DCs,
+//! in Vultr's order of preference:
+//!
+//! * LA → NY: (i) NTT, (ii) Telia, (iii) GTT, (iv) NTT+Cogent ("Cogent")
+//! * NY → LA: (i) NTT, (ii) Telia, (iii) GTT, (iv) Level3
+//!
+//! We arrange relationships so the §4.1 discovery algorithm finds exactly
+//! these: each border is a customer of NTT/Telia/GTT; NY additionally of
+//! Cogent, LA additionally of Level3; NTT peers with both Cogent and
+//! Level3. The composite fourth paths surface once the first three are
+//! suppressed with communities. (The paper explicitly labels the LA→NY
+//! fourth path "NTT and Cogent ... we refer to this as Cogent"; we read
+//! the NY→LA "Level3" label the same way — the distinguishing carrier of
+//! an NTT+Level3 path. Documented in EXPERIMENTS.md.)
+//!
+//! Delay/jitter calibration targets the paper's numbers: GTT one-way floor
+//! ≈ 28 ms, default (NTT) ≈ 30 % higher, rolling-1 s jitter ≈ 0.01 ms on
+//! GTT vs ≈ 0.33 ms on Telia, instability spikes peaking at 78 ms.
+//!
+//! A note on ids: our graph keys routing domains by a single id, so the
+//! two Vultr borders get distinct synthetic ids (20473 for LA — the real
+//! Vultr ASN — and 20474 for NY). The tenants use private ASNs, which the
+//! border strips on export exactly as Vultr does (§4.1 footnote).
+
+use crate::asys::{AsId, AsKind, AsNode};
+use crate::events::{EventKind, LinkEvent, TimeWindow};
+use crate::graph::Topology;
+use crate::link::{DirectionProfile, JitterModel, LinkProfile};
+use crate::{MS, SEC, US};
+use std::collections::BTreeMap;
+
+/// NTT Communications.
+pub const NTT: AsId = AsId(2914);
+/// Telia / Arelion.
+pub const TELIA: AsId = AsId(1299);
+/// GTT Communications.
+pub const GTT: AsId = AsId(3257);
+/// Cogent Communications.
+pub const COGENT: AsId = AsId(174);
+/// Level 3 / Lumen.
+pub const LEVEL3: AsId = AsId(3356);
+/// Vultr's Los Angeles border (real Vultr ASN).
+pub const VULTR_LA: AsId = AsId(20473);
+/// Vultr's New York/New Jersey border (synthetic sibling id; see module docs).
+pub const VULTR_NY: AsId = AsId(20474);
+/// The tenant (Tango switch) in LA — private ASN, stripped on export.
+pub const TENANT_LA: AsId = AsId(64701);
+/// The tenant (Tango switch) in NY — private ASN, stripped on export.
+pub const TENANT_NY: AsId = AsId(64702);
+
+/// The assembled scenario: topology plus the knobs the control plane needs.
+#[derive(Debug, Clone)]
+pub struct VultrScenario {
+    /// The AS-level topology.
+    pub topology: Topology,
+    /// Per-border neighbor preference (higher = preferred), modeling
+    /// "in order of preference by Vultr's routers: NTT, Telia, GTT, ..."
+    /// (§4.1). Used by `tango-bgp` as a local-pref tie-break.
+    pub neighbor_pref: BTreeMap<AsId, BTreeMap<AsId, u32>>,
+}
+
+impl VultrScenario {
+    /// Human-readable provider name for experiment output.
+    pub fn provider_name(&self, id: AsId) -> &'static str {
+        match id {
+            NTT => "NTT",
+            TELIA => "Telia",
+            GTT => "GTT",
+            COGENT => "Cogent",
+            LEVEL3 => "Level3",
+            VULTR_LA => "Vultr-LA",
+            VULTR_NY => "Vultr-NY",
+            TENANT_LA => "Tango-LA",
+            TENANT_NY => "Tango-NY",
+            _ => "?",
+        }
+    }
+
+    /// Name a wide-area path the way the paper labels Fig. 3/4 series:
+    /// by its distinguishing carrier (the last transit before the
+    /// destination border, e.g. `[NTT, COGENT]` → "Cogent").
+    pub fn path_label(&self, transit_path: &[AsId]) -> &'static str {
+        transit_path
+            .iter()
+            .rev()
+            .find_map(|&a| match a {
+                NTT | TELIA | GTT | COGENT | LEVEL3 => Some(self.provider_name(a)),
+                _ => None,
+            })
+            .unwrap_or("?")
+    }
+}
+
+fn access(delay: u64) -> DirectionProfile {
+    // Border→transit handoff inside the metro: short and clean.
+    DirectionProfile::constant(delay).with_jitter(JitterModel::Gaussian { sigma_ns: 3 * US })
+}
+
+fn crossing(delay: u64, sigma: u64, capacity: Option<(u64, u64)>) -> DirectionProfile {
+    // The continental crossing inside a transit network: bulk delay,
+    // provider-specific jitter, intra-AS ECMP lanes (pinned by Tango's
+    // UDP encapsulation; visible to un-tunneled traffic).
+    let p = DirectionProfile::constant(delay)
+        .with_jitter(JitterModel::Gaussian { sigma_ns: sigma })
+        .with_ecmp_lanes(vec![0, 60 * US as i64, 120 * US as i64, 180 * US as i64]);
+    match capacity {
+        Some((bps, max_queue_ns)) => p.with_capacity(bps, max_queue_ns),
+        None => p,
+    }
+}
+
+/// Experiment knobs that perturb the calibrated scenario.
+#[derive(Debug, Clone, Default)]
+pub struct VultrOverrides {
+    /// Finite capacity `(bits/s, tail-drop queue cap ns)` on every
+    /// continental crossing (the §6 load-balancing substrate).
+    pub crossing_capacity: Option<(u64, u64)>,
+    /// Per-transit packet-loss rate on the crossing *into LA*
+    /// (the loss/reorder measurement experiments).
+    pub loss_into_la: BTreeMap<AsId, f64>,
+    /// Per-transit jitter override on the crossing *into LA* (e.g. a
+    /// huge uniform jitter to induce probe reordering).
+    pub jitter_into_la: BTreeMap<AsId, JitterModel>,
+}
+
+/// Build the calibrated scenario (infinite link capacity — probe traffic
+/// never saturates the paper's paths).
+pub fn vultr_scenario() -> VultrScenario {
+    vultr_scenario_custom(&VultrOverrides::default())
+}
+
+/// [`vultr_scenario`] with finite capacity `(bits/s, tail-drop queue
+/// cap ns)` on every continental crossing — the substrate for the §6
+/// load-balancing experiments, where a single path cannot carry the
+/// offered load.
+pub fn vultr_scenario_with_capacity(crossing_capacity: Option<(u64, u64)>) -> VultrScenario {
+    vultr_scenario_custom(&VultrOverrides { crossing_capacity, ..Default::default() })
+}
+
+/// [`vultr_scenario`] with arbitrary experiment overrides.
+pub fn vultr_scenario_custom(overrides: &VultrOverrides) -> VultrScenario {
+    let crossing_capacity = overrides.crossing_capacity;
+    let mut t = Topology::new();
+    for (id, kind, name) in [
+        (NTT, AsKind::Transit, "NTT"),
+        (TELIA, AsKind::Transit, "Telia"),
+        (GTT, AsKind::Transit, "GTT"),
+        (COGENT, AsKind::Transit, "Cogent"),
+        (LEVEL3, AsKind::Transit, "Level3"),
+        (VULTR_LA, AsKind::CloudEdge, "Vultr-LA"),
+        (VULTR_NY, AsKind::CloudEdge, "Vultr-NY"),
+        (TENANT_LA, AsKind::Stub, "Tango-LA"),
+        (TENANT_NY, AsKind::Stub, "Tango-NY"),
+    ] {
+        t.add_node(AsNode::new(id, kind, name)).expect("unique ids");
+    }
+
+    let intra_dc = LinkProfile::symmetric(DirectionProfile::constant(50 * US));
+    t.add_provider(TENANT_LA, VULTR_LA, intra_dc.clone()).expect("nodes exist");
+    t.add_provider(TENANT_NY, VULTR_NY, intra_dc).expect("nodes exist");
+
+    // Border ↔ transit links. Forward direction is border→transit (the
+    // short access handoff); the reverse direction — transit delivering
+    // into the border — carries the continental crossing delay, so each
+    // end-to-end path pays exactly one crossing.
+    let la_links: [(AsId, u64, u64); 4] = [
+        // (transit, crossing delay into LA, jitter sigma)
+        (NTT, 36_200 * US, 60 * US),
+        (TELIA, 33_200 * US, 330 * US),
+        (GTT, 27_900 * US, 10 * US),
+        (LEVEL3, 39_500 * US, 120 * US),
+    ];
+    for (transit, cross, sigma) in la_links {
+        let mut into_la = crossing(cross, sigma, crossing_capacity);
+        if let Some(&loss) = overrides.loss_into_la.get(&transit) {
+            into_la = into_la.with_loss(loss);
+        }
+        if let Some(jitter) = overrides.jitter_into_la.get(&transit) {
+            into_la = into_la.with_jitter(*jitter);
+        }
+        t.add_provider(
+            VULTR_LA,
+            transit,
+            LinkProfile::asymmetric(access(150 * US), into_la),
+        )
+        .expect("nodes exist");
+    }
+    let ny_links: [(AsId, u64, u64); 4] = [
+        (NTT, 36_300 * US, 60 * US),
+        (TELIA, 33_500 * US, 330 * US),
+        (GTT, 27_700 * US, 10 * US),
+        (COGENT, 41_300 * US, 150 * US),
+    ];
+    for (transit, cross, sigma) in ny_links {
+        t.add_provider(
+            VULTR_NY,
+            transit,
+            LinkProfile::asymmetric(access(150 * US), crossing(cross, sigma, crossing_capacity)),
+        )
+        .expect("nodes exist");
+    }
+
+    // Core peerings that expose the composite fourth paths.
+    let peer_link = || {
+        LinkProfile::symmetric(
+            DirectionProfile::constant(1_200 * US)
+                .with_jitter(JitterModel::Gaussian { sigma_ns: 30 * US }),
+        )
+    };
+    t.add_peering(NTT, COGENT, peer_link()).expect("nodes exist");
+    t.add_peering(NTT, LEVEL3, peer_link()).expect("nodes exist");
+
+    // Vultr's route preference: NTT > Telia > GTT > (Cogent | Level3).
+    let mut neighbor_pref = BTreeMap::new();
+    for border in [VULTR_LA, VULTR_NY] {
+        let mut prefs = BTreeMap::new();
+        prefs.insert(NTT, 40u32);
+        prefs.insert(TELIA, 30);
+        prefs.insert(GTT, 20);
+        prefs.insert(COGENT, 10);
+        prefs.insert(LEVEL3, 10);
+        neighbor_pref.insert(border, prefs);
+    }
+
+    VultrScenario { topology: t, neighbor_pref }
+}
+
+/// The Fig. 4 (middle) event: an internal route change in GTT's network in
+/// the NY→LA direction — after a brief instability the delay floor settles
+/// **+5 ms** higher for ~10 minutes, then reverts.
+pub fn gtt_route_change_event(start_ns: u64) -> LinkEvent {
+    LinkEvent {
+        from: GTT,
+        to: VULTR_LA,
+        window: TimeWindow::new(start_ns, start_ns + 10 * 60 * SEC),
+        kind: EventKind::DelayShift {
+            delta_ns: 5 * MS as i64,
+            onset_ns: 20 * SEC,
+            onset_sigma_ns: 1_500 * US,
+        },
+    }
+}
+
+/// The Fig. 4 (right) event: a ~5 minute period of instability in GTT's
+/// network (NY→LA) with latency spikes peaking at 78 ms against a 28 ms
+/// floor, while all other paths are unaffected.
+pub fn gtt_instability_event(start_ns: u64) -> LinkEvent {
+    LinkEvent {
+        from: GTT,
+        to: VULTR_LA,
+        window: TimeWindow::new(start_ns, start_ns + 5 * 60 * SEC),
+        kind: EventKind::Instability {
+            spike_prob: 0.06,
+            spike_mean_ns: 14 * MS,
+            // 78 ms peak − ~28.2 ms floor ⇒ cap spikes just under 50 ms.
+            spike_cap_ns: 49_800 * US,
+            extra_sigma_ns: 800 * US,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_shape() {
+        let s = vultr_scenario();
+        assert_eq!(s.topology.node_count(), 9);
+        // 2 intra-DC + 4 LA transits + 4 NY transits + 2 peerings
+        assert_eq!(s.topology.link_count(), 12);
+        assert_eq!(s.topology.providers(VULTR_LA), vec![NTT, TELIA, GTT, LEVEL3]);
+        assert_eq!(s.topology.providers(VULTR_NY), vec![NTT, TELIA, GTT, COGENT]);
+        assert_eq!(s.topology.peers(NTT), vec![COGENT, LEVEL3]);
+        assert_eq!(s.topology.customers(VULTR_LA), vec![TENANT_LA]);
+    }
+
+    #[test]
+    fn path_floor_calibration_ny_to_la() {
+        let s = vultr_scenario();
+        let t = &s.topology;
+        let owd = |path: &[AsId]| t.path_base_delay_ns(path).unwrap() as f64 / MS as f64;
+        let ntt = owd(&[TENANT_NY, VULTR_NY, NTT, VULTR_LA, TENANT_LA]);
+        let telia = owd(&[TENANT_NY, VULTR_NY, TELIA, VULTR_LA, TENANT_LA]);
+        let gtt = owd(&[TENANT_NY, VULTR_NY, GTT, VULTR_LA, TENANT_LA]);
+        let level3 = owd(&[TENANT_NY, VULTR_NY, NTT, LEVEL3, VULTR_LA, TENANT_LA]);
+        // Paper: GTT floor ≈ 28 ms; the default (NTT) ≈ 30 % higher.
+        assert!((gtt - 28.15).abs() < 0.1, "gtt {gtt}");
+        assert!((ntt / gtt - 1.295).abs() < 0.02, "ratio {}", ntt / gtt);
+        assert!(telia > gtt && telia < ntt, "telia {telia}");
+        assert!(level3 > ntt, "level3 {level3}");
+    }
+
+    #[test]
+    fn path_floor_calibration_la_to_ny() {
+        let s = vultr_scenario();
+        let t = &s.topology;
+        let owd = |path: &[AsId]| t.path_base_delay_ns(path).unwrap() as f64 / MS as f64;
+        let ntt = owd(&[TENANT_LA, VULTR_LA, NTT, VULTR_NY, TENANT_NY]);
+        let gtt = owd(&[TENANT_LA, VULTR_LA, GTT, VULTR_NY, TENANT_NY]);
+        let cogent = owd(&[TENANT_LA, VULTR_LA, NTT, COGENT, VULTR_NY, TENANT_NY]);
+        assert!((gtt - 27.95).abs() < 0.1, "gtt {gtt}");
+        assert!(ntt / gtt > 1.25 && ntt / gtt < 1.35, "ratio {}", ntt / gtt);
+        assert!(cogent > ntt, "cogent {cogent}");
+    }
+
+    #[test]
+    fn jitter_ordering_matches_paper() {
+        // §5: least noisy path GTT (rolling std 0.01 ms) vs Telia 0.33 ms.
+        let s = vultr_scenario();
+        let sigma = |from: AsId, to: AsId| match s.topology.direction_profile(from, to).unwrap().jitter {
+            JitterModel::Gaussian { sigma_ns } => sigma_ns,
+            _ => panic!("expected gaussian"),
+        };
+        assert_eq!(sigma(GTT, VULTR_NY), 10 * US);
+        assert_eq!(sigma(TELIA, VULTR_NY), 330 * US);
+        assert!(sigma(NTT, VULTR_LA) > sigma(GTT, VULTR_LA));
+    }
+
+    #[test]
+    fn borders_prefer_ntt_first() {
+        let s = vultr_scenario();
+        for border in [VULTR_LA, VULTR_NY] {
+            let p = &s.neighbor_pref[&border];
+            assert!(p[&NTT] > p[&TELIA]);
+            assert!(p[&TELIA] > p[&GTT]);
+            assert!(p[&GTT] > p[&COGENT]);
+        }
+    }
+
+    #[test]
+    fn events_target_gtt_into_la() {
+        let rc = gtt_route_change_event(1_000);
+        assert_eq!((rc.from, rc.to), (GTT, VULTR_LA));
+        assert_eq!(rc.window.duration_ns(), 10 * 60 * SEC);
+        let inst = gtt_instability_event(5_000);
+        assert_eq!(inst.window.duration_ns(), 5 * 60 * SEC);
+        match inst.kind {
+            EventKind::Instability { spike_cap_ns, .. } => {
+                // Floor 28.15 ms + cap must land at the paper's 78 ms peak.
+                let peak_ms = (28_150 * US + spike_cap_ns) as f64 / MS as f64;
+                assert!((peak_ms - 78.0).abs() < 0.1, "peak {peak_ms}");
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn path_labels_use_distinguishing_carrier() {
+        let s = vultr_scenario();
+        assert_eq!(s.path_label(&[NTT]), "NTT");
+        assert_eq!(s.path_label(&[NTT, COGENT]), "Cogent");
+        assert_eq!(s.path_label(&[NTT, LEVEL3]), "Level3");
+    }
+
+    #[test]
+    fn tenants_use_private_asns() {
+        assert!(TENANT_LA.is_private());
+        assert!(TENANT_NY.is_private());
+        assert!(!VULTR_LA.is_private());
+        assert!(!NTT.is_private());
+    }
+}

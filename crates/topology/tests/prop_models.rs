@@ -1,0 +1,146 @@
+//! Property-based tests: link/jitter model invariants and graph
+//! relationship symmetry on arbitrary inputs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tango_topology::{
+    AsId, AsKind, AsNode, DirectionProfile, JitterModel, LinkProfile, Relationship, Topology,
+};
+
+proptest! {
+    #[test]
+    fn uniform_jitter_within_bounds(range in 0u64..10_000_000, seed in any::<u64>()) {
+        let m = JitterModel::Uniform { range_ns: range };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let j = m.sample(&mut rng);
+            prop_assert!(j >= 0 && j as u64 <= range, "{j} outside [0, {range}]");
+        }
+    }
+
+    #[test]
+    fn spike_mixture_capped(
+        sigma in 0u64..1_000_000,
+        prob in 0.0f64..1.0,
+        mean in 1u64..50_000_000,
+        cap in 0u64..50_000_000,
+        seed in any::<u64>(),
+    ) {
+        let m = JitterModel::SpikeMixture {
+            sigma_ns: sigma,
+            spike_prob: prob,
+            spike_mean_ns: mean,
+            spike_cap_ns: cap,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let j = m.sample(&mut rng);
+            // Gaussian body is unbounded in theory; bound it loosely at
+            // 8σ and add the spike cap.
+            let bound = 8 * sigma as i64 + cap as i64;
+            prop_assert!(j <= bound, "{j} > {bound}");
+        }
+    }
+
+    #[test]
+    fn sample_delay_never_time_travels(
+        base in 1u64..100_000_000,
+        sigma in 0u64..10_000_000,
+        shift in -200_000_000i64..200_000_000,
+        hash in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let p = DirectionProfile::constant(base)
+            .with_jitter(JitterModel::Gaussian { sigma_ns: sigma })
+            .with_ecmp_lanes(vec![0, 50_000, 100_000]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let d = p.sample_delay(&mut rng, hash, shift);
+            prop_assert!(d >= base / 2, "delay {d} below floor {}", base / 2);
+        }
+    }
+
+    #[test]
+    fn tx_time_monotone_in_size(
+        bps in 1u64..10_000_000_000,
+        a in 0usize..10_000,
+        b in 0usize..10_000,
+    ) {
+        let p = DirectionProfile::constant(1).with_capacity(bps, u64::MAX);
+        if a <= b {
+            prop_assert!(p.tx_time_ns(a) <= p.tx_time_ns(b));
+        } else {
+            prop_assert!(p.tx_time_ns(a) >= p.tx_time_ns(b));
+        }
+    }
+
+    #[test]
+    fn relationships_are_symmetric_views(
+        edges in proptest::collection::vec((0u32..20, 0u32..20, 0u8..3), 0..40),
+    ) {
+        let mut t = Topology::new();
+        for id in 0..20u32 {
+            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}"))).unwrap();
+        }
+        let lp = || LinkProfile::symmetric(DirectionProfile::constant(1));
+        for (a, b, kind) in edges {
+            if a == b {
+                continue;
+            }
+            let rel = match kind {
+                0 => Relationship::CustomerOf,
+                1 => Relationship::ProviderOf,
+                _ => Relationship::PeerOf,
+            };
+            let _ = t.add_link(AsId(a), AsId(b), rel, lp()); // duplicates rejected, fine
+        }
+        for a in 0..20u32 {
+            for b in 0..20u32 {
+                let ab = t.relationship(AsId(a), AsId(b));
+                let ba = t.relationship(AsId(b), AsId(a));
+                match (ab, ba) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => prop_assert_eq!(x, y.flipped()),
+                    other => prop_assert!(false, "asymmetric link knowledge: {:?}", other),
+                }
+                // Providers/customers/peers partition neighbors.
+                if a != b && ab.is_some() {
+                    let in_p = t.providers(AsId(a)).contains(&AsId(b)) as u8;
+                    let in_c = t.customers(AsId(a)).contains(&AsId(b)) as u8;
+                    let in_e = t.peers(AsId(a)).contains(&AsId(b)) as u8;
+                    prop_assert_eq!(in_p + in_c + in_e, 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_delay_is_additive(
+        delays in proptest::collection::vec(1u64..10_000_000, 2..10),
+    ) {
+        // A line topology whose directed hop delays are the given values.
+        let mut t = Topology::new();
+        let n = delays.len() + 1;
+        for id in 0..n as u32 {
+            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}"))).unwrap();
+        }
+        for (i, &d) in delays.iter().enumerate() {
+            t.add_peering(
+                AsId(i as u32),
+                AsId(i as u32 + 1),
+                LinkProfile::asymmetric(
+                    DirectionProfile::constant(d),
+                    DirectionProfile::constant(d * 2),
+                ),
+            )
+            .unwrap();
+        }
+        let path: Vec<AsId> = (0..n as u32).map(AsId).collect();
+        let fwd = t.path_base_delay_ns(&path).unwrap();
+        prop_assert_eq!(fwd, delays.iter().sum::<u64>());
+        let rev_path: Vec<AsId> = path.iter().rev().copied().collect();
+        let rev = t.path_base_delay_ns(&rev_path).unwrap();
+        prop_assert_eq!(rev, delays.iter().map(|d| d * 2).sum::<u64>());
+    }
+}
