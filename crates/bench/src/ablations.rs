@@ -320,7 +320,7 @@ pub struct TangoOfNRow {
 }
 
 /// **A4** — §6 "From Tango of 2 to Tango of N": all-pairs pairings over
-/// generated hierarchies; pairings run in parallel (crossbeam scope).
+/// generated hierarchies; pairings run in parallel (scoped threads).
 pub fn tango_of_n(ns: &[usize], seed: u64) -> Vec<TangoOfNRow> {
     ns.iter()
         .map(|&n| {
@@ -347,14 +347,14 @@ pub fn tango_of_n(ns: &[usize], seed: u64) -> Vec<TangoOfNRow> {
                 (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))).collect();
             // Each pairing owns an independent simulator: embarrassingly
             // parallel, fanned out over scoped threads.
-            let results: Vec<Option<(usize, f64)>> = crossbeam::thread::scope(|scope| {
+            let results: Vec<Option<(usize, f64)>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = pairs
                     .iter()
                     .map(|&(i, j)| {
                         let topo = g.topology.clone();
                         let a = side(i, 0);
                         let b = side(j, 1);
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             let mut p = TangoPairing::build(
                                 topo,
                                 std::iter::empty(),
@@ -378,8 +378,7 @@ pub fn tango_of_n(ns: &[usize], seed: u64) -> Vec<TangoOfNRow> {
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("pairing thread")).collect()
-            })
-            .expect("scope");
+            });
             let ok: Vec<(usize, f64)> = results.into_iter().flatten().collect();
             let pair_count = ok.len();
             TangoOfNRow {

@@ -14,6 +14,7 @@
 //! | `ablation-policy` | A2: policies under the Fig. 4 events | [`ablations`] |
 //! | `ablation-multihoming` | A3: Tango vs one-sided multihoming | [`ablations`] |
 //! | `tango-of-n` | A4: §6 N-party extension | [`ablations`] |
+//! | `ablation-failover` | A8: blackhole detection + failover | [`failover`] |
 //!
 //! Every experiment prints the paper-comparable rows and writes CSV
 //! series under `results/` for external plotting. Absolute numbers come
@@ -25,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod failover;
 pub mod fig3;
 pub mod fig4;
 pub mod headline;

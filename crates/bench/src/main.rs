@@ -6,7 +6,7 @@
 //! ```
 
 use tango::prelude::SimTime;
-use tango_bench::{ablations, fig3, fig4, headline, jitter};
+use tango_bench::{ablations, failover, fig3, fig4, headline, jitter};
 
 const USAGE: &str = "\
 experiments — regenerate the paper's figures and tables (see EXPERIMENTS.md)
@@ -27,6 +27,7 @@ COMMANDS
   ecmp-census           A5: §6 ECMP lane counting via source-port sweeps
   load-balance          A6: §6 weighted-split load balancing under saturation
   loss-table            A7: loss/reordering measured from sequence numbers
+  ablation-failover     A8: blackhole detection, failover, and re-admission
   all                   run everything (with default durations)
 
 OPTIONS
@@ -101,6 +102,7 @@ fn main() {
         "ecmp-census" => ablations::report_ecmp_census(args.seed),
         "load-balance" => ablations::report_load_balance(args.seed),
         "loss-table" => ablations::report_loss_table(args.seed),
+        "ablation-failover" => failover::report(args.seed),
         "all" => {
             hr("Fig. 3 — path discovery");
             fig3::report();
@@ -128,6 +130,8 @@ fn main() {
             ablations::report_load_balance(args.seed);
             hr("A7 — loss & reordering measurement");
             ablations::report_loss_table(args.seed);
+            hr("A8 — blackhole failover");
+            failover::report(args.seed);
         }
         "--help" | "-h" | "help" => print!("{USAGE}"),
         other => {

@@ -15,14 +15,20 @@
 //!   [`tango_dataplane::PathPolicy`]: the BGP-default baseline, lowest
 //!   one-way-delay with hysteresis, jitter-aware and loss-aware scoring,
 //!   and an inverse-latency weighted split.
+//! * [`health`] — per-tunnel liveness: the
+//!   `Up → Suspect → Down → Probing → Up` state machine, exponential
+//!   backoff re-probing, and the [`health::HealthGated`] wrapper that
+//!   keeps any policy from ever selecting a blackholed path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod discovery;
+pub mod health;
 pub mod policy;
 
 pub use config::{provision, ProvisionError, ProvisionedPairing, SideConfig};
 pub use discovery::{discover_paths, DiscoveredPath, DiscoveryError};
+pub use health::{HealthConfig, HealthGated, HealthState, HealthTimeline, HealthTransition, PathHealth};
 pub use policy::{JitterAwarePolicy, LossAwarePolicy, LowestOwdPolicy, WeightedSplitPolicy};

@@ -264,6 +264,7 @@ mod tests {
             loss_rate: loss,
             samples: 100,
             staleness_ns: Some(0),
+            silence_ns: Some(0),
         }
     }
 

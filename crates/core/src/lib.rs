@@ -53,11 +53,12 @@ pub mod prelude {
     pub use crate::pairing::{PairingError, PairingOptions, Side, TangoPairing};
     pub use crate::vultr::{vultr_pairing, vultr_pairing_with_events};
     pub use tango_control::{
-        JitterAwarePolicy, LossAwarePolicy, LowestOwdPolicy, SideConfig, WeightedSplitPolicy,
+        HealthConfig, HealthGated, HealthState, HealthTransition, JitterAwarePolicy,
+        LossAwarePolicy, LowestOwdPolicy, SideConfig, WeightedSplitPolicy,
     };
     pub use tango_dataplane::{FeedbackMode, PathPolicy, Selection, StaticPolicy};
     pub use tango_net::SipKey;
     pub use tango_measure::{mean_rolling_std, Summary, TimeSeries};
     pub use tango_sim::{FaultInjector, NodeClock, SimTime};
-    pub use tango_topology::{AsId, Topology};
+    pub use tango_topology::{AsId, Topology, WideAreaEvent};
 }

@@ -2,7 +2,10 @@
 
 use std::sync::Arc;
 use tango_bgp::{BgpEngine, EngineError};
-use tango_control::{provision, ProvisionError, ProvisionedPairing, SideConfig};
+use tango_control::{
+    provision, HealthConfig, HealthGated, HealthTimeline, HealthTransition, ProvisionError,
+    ProvisionedPairing, SideConfig,
+};
 use tango_dataplane::{
     stats::shared_sink, FeedbackMode, PathPolicy, SharedStats, StaticPolicy, SwitchConfig,
     TangoSwitch,
@@ -11,7 +14,7 @@ use tango_net::SipKey;
 use tango_measure::TimeSeries;
 use tango_net::{Ipv6Packet, Ipv6Repr};
 use tango_sim::{FaultInjector, NetworkSim, NodeClock, Packet, RouterAgent, SimConfig, SimTime};
-use tango_topology::{AsId, Topology};
+use tango_topology::{AsId, Topology, WideAreaEvent};
 
 /// Which edge of the pairing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +102,17 @@ pub struct PairingOptions {
     /// Application-specific routing overrides (§3), applied at both
     /// switches: inner DSCP/traffic-class byte → pinned path id.
     pub class_map: std::collections::BTreeMap<u8, u16>,
+    /// Scheduled *structured* faults (link flaps, path blackholes, BGP
+    /// session resets). Link-level members are lowered onto the topology
+    /// before the simulator starts; `SessionReset`s are executed against
+    /// the BGP engine mid-run by [`TangoPairing::run_until`].
+    pub wide_area_events: Vec<WideAreaEvent>,
+    /// Wrap side A's policy in a [`HealthGated`] liveness gate with these
+    /// thresholds; the transition timeline is exposed via
+    /// [`TangoPairing::health_timeline`].
+    pub health_a: Option<HealthConfig>,
+    /// Same for side B's policy.
+    pub health_b: Option<HealthConfig>,
 }
 
 impl Default for PairingOptions {
@@ -117,8 +131,29 @@ impl Default for PairingOptions {
             feedback: FeedbackMode::Shared,
             auth_key: None,
             class_map: std::collections::BTreeMap::new(),
+            wide_area_events: Vec::new(),
+            health_a: None,
+            health_b: None,
         }
     }
+}
+
+/// What a pending [`WideAreaEvent::SessionReset`] step does when its
+/// simulated time arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResetStep {
+    /// Withdraw both sides' tunnel prefixes for the path.
+    Withdraw,
+    /// Re-announce them with their original pin communities.
+    Reannounce,
+}
+
+/// A scheduled control-plane action, executed by `run_until`.
+#[derive(Debug, Clone, Copy)]
+struct PendingReset {
+    at: SimTime,
+    path: u16,
+    step: ResetStep,
 }
 
 /// A fully wired Tango deployment between two edges, ready to run.
@@ -137,6 +172,12 @@ pub struct TangoPairing {
     pub b_stats: SharedStats,
     side_a: SideConfig,
     side_b: SideConfig,
+    /// Health-transition timeline of side A's gated policy (if enabled).
+    health_timeline_a: Option<HealthTimeline>,
+    /// Same for side B.
+    health_timeline_b: Option<HealthTimeline>,
+    /// Scheduled SessionReset steps, soonest first.
+    pending_resets: Vec<PendingReset>,
 }
 
 impl TangoPairing {
@@ -156,6 +197,65 @@ impl TangoPairing {
             bgp.set_neighbor_pref(node, prefs)?;
         }
         let provisioned = provision(&mut bgp, &side_a, &side_b, options.max_paths)?;
+
+        // Lower the structured wide-area events now that provisioning
+        // fixed the path order. A `Blackhole { path }` resolves to the
+        // path's *distinguishing* hop in each direction — the transit
+        // adjacent to the receiving border, unique per path by discovery
+        // construction — so exactly that path dies, in both directions.
+        let mut topology = topology;
+        let path_links = |p: u16| -> Vec<(AsId, AsId)> {
+            let mut hops = Vec::new();
+            if let Some(d) = provisioned.paths_b_to_a.get(usize::from(p)) {
+                if let Some(&t) = d.transit_path.last() {
+                    hops.push((t, side_a.border)); // B→A delivery dies
+                }
+            }
+            if let Some(d) = provisioned.paths_a_to_b.get(usize::from(p)) {
+                if let Some(&t) = d.transit_path.last() {
+                    hops.push((t, side_b.border)); // A→B delivery dies
+                }
+            }
+            hops
+        };
+        let mut pending_resets = Vec::new();
+        for ev in &options.wide_area_events {
+            for link_ev in ev.lower(path_links) {
+                topology.add_event(link_ev).expect("wide-area event targets existing links");
+            }
+            if let WideAreaEvent::SessionReset { path, at_ns, hold_ns } = *ev {
+                pending_resets.push(PendingReset {
+                    at: SimTime(at_ns),
+                    path,
+                    step: ResetStep::Withdraw,
+                });
+                pending_resets.push(PendingReset {
+                    at: SimTime(at_ns.saturating_add(hold_ns)),
+                    path,
+                    step: ResetStep::Reannounce,
+                });
+            }
+        }
+        pending_resets.sort_by_key(|r| r.at);
+
+        // Liveness gating: wrap the configured policies before they move
+        // into the switches, keeping a handle on each timeline.
+        let mut health_timeline_a = None;
+        if let Some(cfg) = options.health_a {
+            let inner =
+                std::mem::replace(&mut options.policy_a, Box::new(StaticPolicy::single(0, "x")));
+            let gated = HealthGated::new(inner, cfg);
+            health_timeline_a = Some(gated.timeline());
+            options.policy_a = Box::new(gated);
+        }
+        let mut health_timeline_b = None;
+        if let Some(cfg) = options.health_b {
+            let inner =
+                std::mem::replace(&mut options.policy_b, Box::new(StaticPolicy::single(0, "x")));
+            let gated = HealthGated::new(inner, cfg);
+            health_timeline_b = Some(gated.timeline());
+            options.policy_b = Box::new(gated);
+        }
 
         let mut sim = NetworkSim::new(
             topology.clone(),
@@ -259,12 +359,91 @@ impl TangoPairing {
             SimTime::from_ms(2),
         );
 
-        Ok(TangoPairing { sim, bgp, provisioned, a_stats, b_stats, side_a, side_b })
+        Ok(TangoPairing {
+            sim,
+            bgp,
+            provisioned,
+            a_stats,
+            b_stats,
+            side_a,
+            side_b,
+            health_timeline_a,
+            health_timeline_b,
+            pending_resets,
+        })
     }
 
-    /// Advance simulated time.
+    /// Advance simulated time, executing any scheduled
+    /// [`WideAreaEvent::SessionReset`] steps whose time falls inside the
+    /// window: the simulator runs up to the boundary, the prefixes are
+    /// withdrawn (or re-announced), BGP re-converges, and the routers'
+    /// forwarding tables are reinstalled (the RIB→FIB push) before
+    /// simulated time continues.
     pub fn run_until(&mut self, t: SimTime) {
+        while let Some(next) = self.pending_resets.first().copied() {
+            if next.at > t {
+                break;
+            }
+            self.sim.run_until(next.at);
+            self.pending_resets.remove(0);
+            self.apply_reset(next.path, next.step);
+        }
         self.sim.run_until(t);
+    }
+
+    /// Execute one SessionReset step: withdraw (or re-announce with the
+    /// original pin communities) both sides' /48 tunnel prefixes for
+    /// `path`, re-converge, and reinstall every non-tenant router.
+    fn apply_reset(&mut self, path: u16, step: ResetStep) {
+        let p = usize::from(path);
+        // (origin, prefix endpoint, pin communities). Side A's tunnel p
+        // targets the prefix *B* announced (pinned for A→B traffic), and
+        // vice versa.
+        let mut targets = Vec::new();
+        if let (Some(tun), Some(disc)) =
+            (self.provisioned.a_tunnels.get(p), self.provisioned.paths_a_to_b.get(p))
+        {
+            targets.push((self.side_b.tenant, tun.remote_endpoint, disc.pin_communities.clone()));
+        }
+        if let (Some(tun), Some(disc)) =
+            (self.provisioned.b_tunnels.get(p), self.provisioned.paths_b_to_a.get(p))
+        {
+            targets.push((self.side_a.tenant, tun.remote_endpoint, disc.pin_communities.clone()));
+        }
+        for (origin, endpoint, comms) in targets {
+            let prefix = tango_net::IpCidr::V6(
+                tango_net::Ipv6Cidr::new(endpoint, 48).expect("tunnel endpoints are /48-aligned"),
+            );
+            let applied = match step {
+                ResetStep::Withdraw => self.bgp.withdraw(origin, prefix).map(|_| ()),
+                ResetStep::Reannounce => self.bgp.announce(origin, prefix, comms),
+            };
+            applied.expect("session-reset origin exists");
+        }
+        self.bgp.converge().expect("re-convergence after session reset");
+        let tenants = [self.side_a.tenant, self.side_b.tenant];
+        let routers: Vec<AsId> = self
+            .bgp
+            .topology()
+            .nodes()
+            .map(|n| n.id)
+            .filter(|id| !tenants.contains(id))
+            .collect();
+        for id in routers {
+            let table = self.bgp.forwarding_table(id).expect("converged table");
+            self.sim.set_agent(id, Box::new(RouterAgent::new(id, table)));
+        }
+    }
+
+    /// The health-transition timeline recorded by `side`'s
+    /// [`HealthGated`] policy, oldest first. `None` unless the side was
+    /// built with `health_a`/`health_b`.
+    pub fn health_timeline(&self, side: Side) -> Option<Vec<HealthTransition>> {
+        let timeline = match side {
+            Side::A => self.health_timeline_a.as_ref(),
+            Side::B => self.health_timeline_b.as_ref(),
+        }?;
+        Some(timeline.lock().clone())
     }
 
     /// The stats sink of a side (what that side *receives*).

@@ -31,6 +31,13 @@ pub struct PathSnapshot {
     /// (outage) shows unbounded staleness even though its sequence-gap
     /// loss estimator sees no arrivals to count.
     pub staleness_ns: Option<u64>,
+    /// How long this path has gone without delivering *any* accepted
+    /// packet, measured in the controller's own clock (the switch tracks
+    /// when each path's sample count last advanced — no cross-clock
+    /// subtraction). Unlike `staleness_ns` this is absolute, not relative
+    /// to the freshest path, so it keeps growing even when *every* path
+    /// is dark. `None` = the path has never been observed at all.
+    pub silence_ns: Option<u64>,
 }
 
 /// The forwarding decision installed in the data plane.
@@ -118,6 +125,15 @@ pub trait PathPolicy: Send {
 
     /// Short policy name for experiment output.
     fn name(&self) -> &str;
+
+    /// Should the switch emit a probe on `path` right now? The default
+    /// always probes (the paper's fixed 10 ms stream). Health-gating
+    /// policies override this to rate-limit probes into paths believed
+    /// down (exponential-backoff re-probing): the probe *timer* keeps
+    /// firing, but the packet is withheld until the backoff expires.
+    fn allow_probe(&mut self, _now_local_ns: u64, _path: u16) -> bool {
+        true
+    }
 }
 
 /// The trivial policy: a fixed selection, never re-decided. With the

@@ -61,6 +61,9 @@ impl PathRecord {
             } else {
                 Some(self.staleness_ns)
             },
+            // Not carried on the wire: the receiving switch overlays its
+            // own locally-clocked progress tracking (see `snapshots`).
+            silence_ns: None,
         }
     }
 }

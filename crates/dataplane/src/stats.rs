@@ -35,6 +35,10 @@ pub struct PathStats {
     /// One-way delays of *application* packets only (what end users
     /// actually experienced on this path), keyed by receiver local time.
     pub app_owd: TimeSeries,
+    /// Receiver-local time of the most recent accepted packet (probe or
+    /// app), ns. `None` until the first arrival. The raw ingredient of
+    /// the per-tunnel "silence" signal the health machinery consumes.
+    pub last_rx_local_ns: Option<u64>,
 }
 
 impl PathStats {
@@ -48,6 +52,7 @@ impl PathStats {
             rejected: 0,
             app_delivered: 0,
             app_owd: TimeSeries::new(),
+            last_rx_local_ns: None,
         }
     }
 
@@ -57,10 +62,17 @@ impl PathStats {
         self.owd_ewma.update(owd_ns);
         self.rolling.push(rx_local_ns, owd_ns);
         self.seq.record(sequence);
+        self.last_rx_local_ns = Some(rx_local_ns);
         if !probe {
             self.app_delivered += 1;
             self.app_owd.push(rx_local_ns, owd_ns);
         }
+    }
+
+    /// Time since the last accepted packet, given the receiver's current
+    /// local clock reading. `None` = nothing ever arrived.
+    pub fn silence_ns(&self, now_local_ns: u64) -> Option<u64> {
+        self.last_rx_local_ns.map(|l| now_local_ns.saturating_sub(l))
     }
 }
 
@@ -78,6 +90,9 @@ pub struct StatsSink {
     pub tx_untunneled: u64,
     /// Probes this switch emitted.
     pub probes_sent: u64,
+    /// Probe timer firings the policy suppressed (backoff gating on a
+    /// path believed down).
+    pub probes_withheld: u64,
     /// Sends requested on an unknown tunnel id (a control-plane bug).
     pub tx_no_tunnel: u64,
     /// Control-loop ticks executed.
@@ -159,6 +174,15 @@ mod tests {
         assert_eq!(p.seq.lost(), 0);
         assert!((p.owd_ewma.get().unwrap() - 36_500_000.0).abs() < 1.0);
         assert_eq!(p.app_delivered, 0);
+        assert_eq!(p.last_rx_local_ns, Some(9_000_000));
+        assert_eq!(p.silence_ns(14_000_000), Some(5_000_000));
+    }
+
+    #[test]
+    fn silence_none_before_first_arrival() {
+        let mut s = StatsSink::new();
+        s.register_path(0, "NTT");
+        assert_eq!(s.path(0).unwrap().silence_ns(1_000), None);
     }
 
     #[test]

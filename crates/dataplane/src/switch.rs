@@ -123,6 +123,11 @@ pub struct TangoSwitch {
     class_map: BTreeMap<u8, u16>,
     /// Latest peer view received in-band (InBand feedback mode).
     peer_view: BTreeMap<u16, PathSnapshot>,
+    /// Per-path progress tracking for the silence signal: (sample count
+    /// at the last control tick that saw it advance, local time of that
+    /// tick). Kept in *this* switch's clock so the derived `silence_ns`
+    /// never crosses clock domains.
+    progress: BTreeMap<u16, (u64, u64)>,
 }
 
 impl TangoSwitch {
@@ -156,6 +161,7 @@ impl TangoSwitch {
             auth_key: config.auth_key,
             class_map: config.class_map,
             peer_view: BTreeMap::new(),
+            progress: BTreeMap::new(),
             tunnels,
             remote_hosts,
             seq: BTreeMap::new(),
@@ -261,33 +267,48 @@ impl TangoSwitch {
         }
     }
 
-    fn snapshots(&self) -> BTreeMap<u16, PathSnapshot> {
-        if matches!(self.feedback, FeedbackMode::InBand { .. }) {
-            return self.peer_view.clone();
-        }
-        let sink = self.peer_stats.lock();
-        let freshest: Option<u64> = sink
-            .paths()
-            .filter_map(|(_, p)| p.owd.times_ns().last().copied())
-            .max();
-        let mut out = BTreeMap::new();
-        for (id, p) in sink.paths() {
-            let last_rx = p.owd.times_ns().last().copied();
-            let staleness_ns = match (freshest, last_rx) {
-                (Some(f), Some(l)) => Some(f.saturating_sub(l)),
-                _ => None,
-            };
-            out.insert(
-                id,
-                PathSnapshot {
-                    owd_ewma_ns: p.owd_ewma.get(),
-                    last_owd_ns: p.owd.values().last().copied(),
-                    jitter_ns: p.rolling.std(),
-                    loss_rate: p.seq.loss_rate(),
-                    samples: p.owd.len() as u64,
-                    staleness_ns,
-                },
-            );
+    fn snapshots(&mut self, now_local_ns: u64) -> BTreeMap<u16, PathSnapshot> {
+        let mut out = if matches!(self.feedback, FeedbackMode::InBand { .. }) {
+            self.peer_view.clone()
+        } else {
+            let sink = self.peer_stats.lock();
+            let freshest: Option<u64> = sink
+                .paths()
+                .filter_map(|(_, p)| p.owd.times_ns().last().copied())
+                .max();
+            let mut out = BTreeMap::new();
+            for (id, p) in sink.paths() {
+                let last_rx = p.owd.times_ns().last().copied();
+                let staleness_ns = match (freshest, last_rx) {
+                    (Some(f), Some(l)) => Some(f.saturating_sub(l)),
+                    _ => None,
+                };
+                out.insert(
+                    id,
+                    PathSnapshot {
+                        owd_ewma_ns: p.owd_ewma.get(),
+                        last_owd_ns: p.owd.values().last().copied(),
+                        jitter_ns: p.rolling.std(),
+                        loss_rate: p.seq.loss_rate(),
+                        samples: p.owd.len() as u64,
+                        staleness_ns,
+                        silence_ns: None,
+                    },
+                );
+            }
+            out
+        };
+        // Overlay the silence signal: a path is "silent" since the last
+        // control tick at which its sample count advanced. Both the count
+        // comparison and the timestamps live on *this* switch, so the
+        // signal is immune to clock offset and works identically in
+        // Shared and InBand feedback modes.
+        for (id, snap) in &mut out {
+            let entry = self.progress.entry(*id).or_insert((snap.samples, now_local_ns));
+            if snap.samples > entry.0 {
+                *entry = (snap.samples, now_local_ns);
+            }
+            snap.silence_ns = Some(now_local_ns.saturating_sub(entry.1));
         }
         out
     }
@@ -371,8 +392,8 @@ impl Agent for TangoSwitch {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
         if tag == TAG_CONTROL {
-            let snaps = self.snapshots();
             let now = ctx.local_ns();
+            let snaps = self.snapshots(now);
             let decision = self.policy.decide(now, &snaps);
             self.selection.install(decision.clone());
             {
@@ -404,11 +425,17 @@ impl Agent for TangoSwitch {
             }
             return;
         }
-        // Probe timers.
+        // Probe timers. The policy may gate the emission (backoff
+        // re-probing into a path believed down); the timer itself keeps
+        // its cadence so a re-admitted path resumes probing immediately.
         let idx = (tag - TAG_PROBE_BASE) as usize;
         let path = self.tunnels.keys().copied().nth(idx);
         if let Some(path) = path {
-            self.send_on_tunnel(ctx, path, &[], TxKind::Probe);
+            if self.policy.allow_probe(ctx.local_ns(), path) {
+                self.send_on_tunnel(ctx, path, &[], TxKind::Probe);
+            } else {
+                self.my_stats.lock().probes_withheld += 1;
+            }
         }
         if let Some(period) = self.probe_period {
             ctx.schedule_timer(period, tag);

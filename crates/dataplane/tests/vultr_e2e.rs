@@ -251,7 +251,11 @@ fn app_traffic_rides_selected_tunnel_and_is_measured() {
 fn corrupted_tunnel_packets_are_rejected_not_measured() {
     use tango_sim::FaultInjector;
     // Rebuild with heavy corruption; rejected counters must grow and no
-    // wildly wrong OWD samples appear.
+    // wildly wrong OWD samples appear. Both switches run authenticated
+    // telemetry: with 30 % corruption on each of four links, a packet
+    // can be hit twice, and two flips in the same 16-bit column cancel
+    // in the RFC 1071 sum — the plain UDP checksum provably cannot
+    // reject those, only the SipHash tag can.
     let scenario = vultr_scenario();
     let mut bgp = BgpEngine::new(scenario.topology.clone());
     for border in [VULTR_LA, VULTR_NY] {
@@ -284,7 +288,7 @@ fn corrupted_tunnel_packets_are_rejected_not_measured() {
             initial_path: 0,
             wan_table: None,
             feedback: tango_dataplane::FeedbackMode::Shared,
-            auth_key: None,
+            auth_key: Some(tango_net::SipKey::from_words(0x7461, 0x6e67)),
             class_map: Default::default(),
             rx_labels: Vec::new(),
         },
@@ -303,7 +307,7 @@ fn corrupted_tunnel_packets_are_rejected_not_measured() {
             initial_path: 0,
             wan_table: None,
             feedback: tango_dataplane::FeedbackMode::Shared,
-            auth_key: None,
+            auth_key: Some(tango_net::SipKey::from_words(0x7461, 0x6e67)),
             class_map: Default::default(),
             rx_labels: Vec::new(),
         },

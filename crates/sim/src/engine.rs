@@ -236,6 +236,20 @@ impl<'a> Ctx<'a> {
         let hash = flow_hash(&bytes);
         let delay = profile.sample_delay(self.rng, hash, shift) + queue_delay;
         let time = self.now + SimTime(delay);
+        // A link that goes dark mid-flight also kills the packets already
+        // committed to it: if the *arrival* instant falls inside an
+        // outage window on this hop, the packet never makes it off the
+        // wire.
+        let arrives_in_outage = self
+            .topology
+            .active_events(from, to, time.as_ns())
+            .iter()
+            .any(|ev| matches!(ev.kind, tango_topology::EventKind::Outage));
+        if arrives_in_outage {
+            self.stats.lost_outage += 1;
+            self.trace(TraceKind::LossOutage);
+            return;
+        }
         *self.seq += 1;
         self.out.push(QueuedEvent {
             time,
@@ -862,6 +876,39 @@ mod tests {
         assert_eq!(sim.stats().lost_queue, 0);
         // All arrive at the same instant: no serialization.
         assert!(sim.now() >= SimTime::from_ms(2));
+    }
+
+    #[test]
+    fn outage_kills_packets_already_in_flight() {
+        use tango_topology::{EventKind as TEventKind, LinkEvent, TimeWindow};
+        // 1 ms hop; outage window [0.5 ms, 10 ms). A packet sent at t=0
+        // is committed to the wire *before* the outage begins but would
+        // arrive at 1 ms — mid-window — so the link going down takes it
+        // with it. A packet sent at 10.5 ms, after the link is back,
+        // survives.
+        let mut t = line();
+        t.add_event(LinkEvent {
+            from: AsId(1),
+            to: AsId(2),
+            window: TimeWindow::new(500_000, SimTime::from_ms(10).as_ns()),
+            kind: TEventKind::Outage,
+        })
+        .unwrap();
+        let mut sim = NetworkSim::new(t, SimConfig::default());
+        sim.set_agent(
+            AsId(1),
+            Box::new(RouterAgent::new(AsId(1), router_table(&[("::/0", 2)]))),
+        );
+        sim.set_agent(AsId(2), Box::new(RouterAgent::new(AsId(2), PrefixTrie::new())));
+        sim.schedule_host_packet(SimTime::ZERO, AsId(1), ipv6_packet("2001:db8:3::1", 64));
+        sim.schedule_host_packet(
+            SimTime(10_500_000),
+            AsId(1),
+            ipv6_packet("2001:db8:3::1", 64),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.stats().lost_outage, 1, "in-flight packet dies with the link");
+        assert_eq!(sim.stats().deliveries, 1, "post-recovery arrival survives");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! `--corrupt-chance` examples.
 //!
 //! The injector sits on every link transmission (when configured) and
-//! either drops the packet, flips one random byte, or passes it through.
+//! either drops the packet, flips one random bit, or passes it through.
 //! Corruption exercises the data plane's checksum / magic validation: a
 //! corrupted tunnel packet must be *counted and discarded*, never turned
 //! into a bogus one-way-delay sample.
@@ -16,7 +16,7 @@ pub enum FaultDecision {
     Pass,
     /// Drop silently.
     Drop,
-    /// One byte was flipped in place.
+    /// One bit was flipped in place.
     Corrupted,
 }
 
@@ -25,7 +25,7 @@ pub enum FaultDecision {
 pub struct FaultInjector {
     /// Probability a packet is dropped.
     pub drop_chance: f64,
-    /// Probability one byte of a surviving packet is flipped.
+    /// Probability one bit of a surviving packet is flipped.
     pub corrupt_chance: f64,
 }
 
@@ -38,15 +38,15 @@ impl FaultInjector {
         }
     }
 
-    /// Apply to a packet buffer. May flip one byte in place.
+    /// Apply to a packet buffer. May flip one bit in place.
     pub fn apply<R: Rng + ?Sized>(&self, rng: &mut R, bytes: &mut [u8]) -> FaultDecision {
         if self.drop_chance > 0.0 && rng.gen_bool(self.drop_chance) {
             return FaultDecision::Drop;
         }
         if self.corrupt_chance > 0.0 && !bytes.is_empty() && rng.gen_bool(self.corrupt_chance) {
             let idx = rng.gen_range(0..bytes.len());
-            let bit = rng.gen_range(0..8);
-            bytes[idx] ^= 1 << bit;
+            let bit = rng.gen_range(0..8u32);
+            bytes[idx] ^= 1u8 << bit;
             return FaultDecision::Corrupted;
         }
         FaultDecision::Pass

@@ -41,7 +41,7 @@ pub mod traffic;
 
 pub use clock::NodeClock;
 pub use engine::{Agent, Ctx, NetworkSim, Packet, RouterAgent, SimConfig, SimStats};
-pub use fault::FaultInjector;
+pub use fault::{FaultDecision, FaultInjector};
 pub use time::SimTime;
 pub use trace::{TraceEvent, TraceKind, Tracer};
 pub use traffic::{CbrSchedule, PoissonSchedule, Schedule};

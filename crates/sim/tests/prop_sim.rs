@@ -106,3 +106,81 @@ proptest! {
         prop_assert_eq!(ta.saturating_sub(tb).as_ns(), a.saturating_sub(b));
     }
 }
+
+// ---------------------------------------------------------------------
+// Fault-injection properties (the robustness substrate the path-health
+// experiments stand on).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tango_sim::{FaultDecision, FaultInjector};
+
+proptest! {
+    #[test]
+    fn fault_rates_always_clamp_to_unit_interval(
+        drop in -10.0f64..10.0,
+        corrupt in -10.0f64..10.0,
+    ) {
+        let f = FaultInjector::new(drop, corrupt);
+        prop_assert!((0.0..=1.0).contains(&f.drop_chance), "drop {}", f.drop_chance);
+        prop_assert!((0.0..=1.0).contains(&f.corrupt_chance), "corrupt {}", f.corrupt_chance);
+    }
+
+    #[test]
+    fn certain_drop_always_drops(
+        seed in any::<u64>(),
+        corrupt in 0.0f64..1.0,
+        len in 0usize..64,
+    ) {
+        // drop_chance = 1.0 must drop every packet regardless of the
+        // rng state, the corruption rate, or the packet size.
+        let f = FaultInjector::new(1.0, corrupt);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bytes = vec![0u8; len];
+        for _ in 0..16 {
+            prop_assert_eq!(f.apply(&mut rng, &mut bytes), FaultDecision::Drop);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_decision_sequence(
+        seed in any::<u64>(),
+        drop in 0.0f64..1.0,
+        corrupt in 0.0f64..1.0,
+    ) {
+        // Determinism: the whole simulator's reproducibility contract
+        // rests on the injector consuming rng state identically.
+        let f = FaultInjector::new(drop, corrupt);
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..64)
+                .map(|_| {
+                    let mut b = [0x5au8; 16];
+                    (f.apply(&mut rng, &mut b), b)
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn decisions_never_lie_about_the_buffer(
+        seed in any::<u64>(),
+        drop in 0.0f64..1.0,
+        corrupt in 0.0f64..1.0,
+        orig in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Pass/Drop leave the bytes untouched; Corrupted flips exactly
+        // one bit.
+        let f = FaultInjector::new(drop, corrupt);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = orig.clone();
+        let flipped_bits = |a: &[u8], c: &[u8]| -> u32 {
+            a.iter().zip(c).map(|(x, y)| (x ^ y).count_ones()).sum()
+        };
+        match f.apply(&mut rng, &mut b) {
+            FaultDecision::Corrupted => prop_assert_eq!(flipped_bits(&orig, &b), 1),
+            FaultDecision::Pass | FaultDecision::Drop => prop_assert_eq!(&orig, &b),
+        }
+    }
+}

@@ -134,6 +134,92 @@ impl LinkEvent {
     }
 }
 
+/// A *structured* scheduled fault, one abstraction level above
+/// [`LinkEvent`]: where a `LinkEvent` speaks in directed links, a
+/// `WideAreaEvent` speaks in the operator's vocabulary — a flapping
+/// peering, a blackholed tunnel path, a reset BGP session. Deterministic
+/// scenarios, not i.i.d. coin flips: the same schedule replays exactly.
+///
+/// Link-level members lower to [`LinkEvent`]s via [`WideAreaEvent::lower`];
+/// `SessionReset` is a *control-plane* event (withdraw + delayed
+/// re-announce of a tunnel prefix) and is executed by the pairing harness
+/// instead — `lower` returns nothing for it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WideAreaEvent {
+    /// A peering link goes down in *both* directions at `down_at_ns` and
+    /// comes back `duration_ns` later (maintenance, port flap).
+    LinkFlap {
+        /// One side of the peering.
+        from: AsId,
+        /// The other side.
+        to: AsId,
+        /// When the link goes dark, ns.
+        down_at_ns: u64,
+        /// How long it stays dark, ns.
+        duration_ns: u64,
+    },
+    /// One provisioned tunnel path silently drops everything in both
+    /// directions for a window — the classic remotely-triggered
+    /// blackhole. The path id is resolved to concrete directed links by
+    /// the harness (which knows the discovery order).
+    Blackhole {
+        /// Provisioned path id (discovery order).
+        path: u16,
+        /// When the blackhole starts, ns.
+        at_ns: u64,
+        /// How long it lasts, ns.
+        duration_ns: u64,
+    },
+    /// A BGP session reset: the tunnel prefixes pinned to `path` are
+    /// withdrawn at `at_ns` and re-announced (with their original pin
+    /// communities) `hold_ns` later. Routing re-converges both times.
+    SessionReset {
+        /// Provisioned path id (discovery order).
+        path: u16,
+        /// When the session drops, ns.
+        at_ns: u64,
+        /// How long the prefixes stay withdrawn, ns.
+        hold_ns: u64,
+    },
+}
+
+impl WideAreaEvent {
+    /// The window during which the fault is active.
+    pub fn window(&self) -> TimeWindow {
+        match *self {
+            WideAreaEvent::LinkFlap { down_at_ns, duration_ns, .. } => {
+                TimeWindow::new(down_at_ns, down_at_ns.saturating_add(duration_ns))
+            }
+            WideAreaEvent::Blackhole { at_ns, duration_ns, .. } => {
+                TimeWindow::new(at_ns, at_ns.saturating_add(duration_ns))
+            }
+            WideAreaEvent::SessionReset { at_ns, hold_ns, .. } => {
+                TimeWindow::new(at_ns, at_ns.saturating_add(hold_ns))
+            }
+        }
+    }
+
+    /// Lower to raw [`LinkEvent`]s. `path_links` resolves a provisioned
+    /// path id to the directed wide-area hops that carry it (both
+    /// directions — the caller knows the discovery order; see the pairing
+    /// harness). Control-plane events (`SessionReset`) lower to nothing:
+    /// they are executed against the BGP engine, not the links.
+    pub fn lower(&self, path_links: impl Fn(u16) -> Vec<(AsId, AsId)>) -> Vec<LinkEvent> {
+        let window = self.window();
+        match *self {
+            WideAreaEvent::LinkFlap { from, to, .. } => vec![
+                LinkEvent { from, to, window, kind: EventKind::Outage },
+                LinkEvent { from: to, to: from, window, kind: EventKind::Outage },
+            ],
+            WideAreaEvent::Blackhole { path, .. } => path_links(path)
+                .into_iter()
+                .map(|(from, to)| LinkEvent { from, to, window, kind: EventKind::Outage })
+                .collect(),
+            WideAreaEvent::SessionReset { .. } => Vec::new(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +310,45 @@ mod tests {
             .unwrap();
         assert!(max <= 50_000_000 + 1_000_000, "max {max}");
         assert!(max > 40_000_000, "expected large spikes, max {max}");
+    }
+
+    #[test]
+    fn link_flap_lowers_to_outages_both_directions() {
+        let flap = WideAreaEvent::LinkFlap {
+            from: AsId(3257),
+            to: AsId(64602),
+            down_at_ns: 1_000,
+            duration_ns: 500,
+        };
+        let lowered = flap.lower(|_| panic!("flap needs no path resolution"));
+        assert_eq!(lowered.len(), 2);
+        for ev in &lowered {
+            assert_eq!(ev.kind, EventKind::Outage);
+            assert_eq!(ev.window, TimeWindow::new(1_000, 1_500));
+        }
+        assert!(lowered.iter().any(|e| e.from == AsId(3257) && e.to == AsId(64602)));
+        assert!(lowered.iter().any(|e| e.from == AsId(64602) && e.to == AsId(3257)));
+    }
+
+    #[test]
+    fn blackhole_lowers_via_path_resolver() {
+        let bh = WideAreaEvent::Blackhole { path: 2, at_ns: 10, duration_ns: 90 };
+        let lowered = bh.lower(|p| {
+            assert_eq!(p, 2);
+            vec![(AsId(1), AsId(2)), (AsId(3), AsId(4))]
+        });
+        assert_eq!(lowered.len(), 2);
+        assert!(lowered.iter().all(|e| e.kind == EventKind::Outage));
+        assert!(lowered.iter().all(|e| e.window == TimeWindow::new(10, 100)));
+        assert_eq!((lowered[0].from, lowered[0].to), (AsId(1), AsId(2)));
+        assert_eq!((lowered[1].from, lowered[1].to), (AsId(3), AsId(4)));
+    }
+
+    #[test]
+    fn session_reset_is_control_plane_only() {
+        let reset = WideAreaEvent::SessionReset { path: 1, at_ns: 5, hold_ns: 10 };
+        assert!(reset.lower(|_| vec![(AsId(1), AsId(2))]).is_empty());
+        assert_eq!(reset.window(), TimeWindow::new(5, 15));
     }
 
     #[test]

@@ -67,6 +67,8 @@ impl std::error::Error for TopologyError {}
 struct Edge {
     /// Canonical endpoint order: the edge was added as (a, b).
     a: AsId,
+    /// Read only through serialization, kept for the on-disk format.
+    #[allow(dead_code)]
     b: AsId,
     /// Relationship of `a` with respect to `b`.
     rel: Relationship,

@@ -25,7 +25,7 @@ pub mod link;
 pub mod vultr;
 
 pub use asys::{AsId, AsKind, AsNode};
-pub use events::{EventKind, LinkEvent, TimeWindow};
+pub use events::{EventKind, LinkEvent, TimeWindow, WideAreaEvent};
 pub use graph::{Relationship, Topology, TopologyError};
 pub use link::{DirectionProfile, JitterModel, LinkProfile};
 pub use vultr::{vultr_scenario, vultr_scenario_custom, vultr_scenario_with_capacity, VultrOverrides, VultrScenario};

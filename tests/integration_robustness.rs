@@ -232,3 +232,181 @@ fn telemetry_tamper_modeled_as_corruption_is_rejected() {
     // (An attacker who fixes the checksum succeeds — documented gap,
     // matching the paper's call for trustworthy telemetry.)
 }
+
+// ------------------------------------------------------------------
+// Path-health subsystem: scripted wide-area faults against the
+// Up → Suspect → Down → Probing → Up machine and the HealthGated
+// selector (ISSUE: blackhole detection + retry/backoff re-probing).
+
+#[test]
+fn scripted_blackhole_triggers_failover_and_readmission() {
+    // GTT (path 2) silently blackholes at 5 s for 10 s — no BGP
+    // withdrawal, so only the data plane's silence signal can notice.
+    let mut p = tango::vultr_pairing(PairingOptions {
+        seed: 46,
+        control_period: Some(SimTime::from_ms(100)),
+        policy_b: Box::new(LowestOwdPolicy::new(500_000.0)),
+        health_b: Some(HealthConfig::default()),
+        wide_area_events: vec![WideAreaEvent::Blackhole {
+            path: 2,
+            at_ns: 5_000_000_000,
+            duration_ns: 10_000_000_000,
+        }],
+        ..PairingOptions::default()
+    })
+    .unwrap();
+    p.run_until(SimTime::from_secs(25));
+
+    // Detection: Down within the configured window (500 ms silence +
+    // one 100 ms control tick + slack), never before the outage.
+    let tl = p.health_timeline(Side::B).expect("health enabled on B");
+    let down = tl
+        .iter()
+        .find(|t| t.path == 2 && t.to == HealthState::Down)
+        .expect("blackhole must be detected");
+    assert!(
+        (5_000_000_000..6_000_000_000).contains(&down.at_ns),
+        "detection at {} ns",
+        down.at_ns
+    );
+
+    // While Down, no installed selection may include the dead path.
+    let history = p.b_stats.lock().selection_history.clone();
+    assert!(
+        history.iter().any(|(at, paths)| *at < 5_000_000_000 && paths.contains(&2)),
+        "GTT is the best path and must be selected before the outage"
+    );
+    for (at, paths) in &history {
+        if (down.at_ns..15_000_000_000).contains(at) {
+            assert!(!paths.contains(&2), "dead path selected at {at} ns: {paths:?}");
+        }
+    }
+
+    // Re-admission: a backoff re-probe gets through after the outage
+    // ends and the path returns to Up (hysteresis: 3 clean ticks).
+    let up = tl
+        .iter()
+        .find(|t| t.path == 2 && t.to == HealthState::Up && t.at_ns > down.at_ns)
+        .expect("path must be re-admitted after the outage");
+    assert!(up.at_ns >= 15_000_000_000, "re-admitted at {} ns, during the outage", up.at_ns);
+
+    // The other paths kept carrying probes throughout.
+    let sink = p.a_stats.lock();
+    for id in [0u16, 1, 3] {
+        let n = sink.path(id).unwrap().owd.len();
+        assert!(n > 1_800, "path {id} must keep flowing, got {n} samples");
+    }
+}
+
+#[test]
+fn all_paths_blackholed_degrades_to_bgp_default_without_panic() {
+    // Kill every tunnel at once: the gate must degrade to the fallback
+    // (path 0 = BGP default) instead of panicking or picking a corpse,
+    // and re-admit the paths once the outage clears.
+    let events: Vec<WideAreaEvent> = (0..4)
+        .map(|path| WideAreaEvent::Blackhole {
+            path,
+            at_ns: 5_000_000_000,
+            duration_ns: 5_000_000_000,
+        })
+        .collect();
+    let mut p = tango::vultr_pairing(PairingOptions {
+        seed: 47,
+        control_period: Some(SimTime::from_ms(100)),
+        policy_b: Box::new(LowestOwdPolicy::new(500_000.0)),
+        health_b: Some(HealthConfig::default()),
+        wide_area_events: events,
+        ..PairingOptions::default()
+    })
+    .unwrap();
+    p.run_until(SimTime::from_secs(20));
+
+    let tl = p.health_timeline(Side::B).expect("health enabled");
+    for path in 0..4u16 {
+        assert!(
+            tl.iter().any(|t| t.path == path && t.to == HealthState::Down),
+            "path {path} must go Down"
+        );
+        assert!(
+            tl.iter().any(|t| {
+                t.path == path && t.to == HealthState::Up && t.at_ns > 10_000_000_000
+            }),
+            "path {path} must recover after the outage"
+        );
+    }
+    // With everything Down the installed selection is the BGP default.
+    let history = p.b_stats.lock().selection_history.clone();
+    let mid_outage: Vec<&(u64, Vec<u16>)> = history
+        .iter()
+        .filter(|(at, _)| (7_000_000_000..10_000_000_000).contains(at))
+        .collect();
+    assert!(!mid_outage.is_empty(), "control loop must keep running through the outage");
+    for (at, paths) in mid_outage {
+        assert_eq!(paths, &vec![0u16], "all-down must degrade to the default at {at} ns");
+    }
+}
+
+#[test]
+fn same_seed_reproduces_the_health_timeline() {
+    // Backoff jitter, probe scheduling, and detection are all seeded:
+    // two identical runs must produce byte-identical timelines.
+    let run = |seed: u64| {
+        let mut p = tango::vultr_pairing(PairingOptions {
+            seed,
+            control_period: Some(SimTime::from_ms(100)),
+            policy_b: Box::new(LowestOwdPolicy::new(500_000.0)),
+            health_b: Some(HealthConfig::default()),
+            wide_area_events: vec![WideAreaEvent::Blackhole {
+                path: 2,
+                at_ns: 3_000_000_000,
+                duration_ns: 6_000_000_000,
+            }],
+            ..PairingOptions::default()
+        })
+        .unwrap();
+        p.run_until(SimTime::from_secs(12));
+        p.health_timeline(Side::B).expect("health enabled")
+    };
+    let a = run(48);
+    let b = run(48);
+    assert!(!a.is_empty(), "the blackhole must leave a trace");
+    assert_eq!(a, b, "same seed must reproduce the transition timeline");
+}
+
+#[test]
+fn session_reset_withdraws_and_reannounces_mid_run() {
+    // A scheduled SessionReset withdraws both /48 tunnel prefixes of
+    // path 2 at 5 s and re-announces them (original pin communities) at
+    // 10 s: the tunnel starves during the hold and resumes after.
+    let mut p = tango::vultr_pairing(PairingOptions {
+        seed: 49,
+        wide_area_events: vec![WideAreaEvent::SessionReset {
+            path: 2,
+            at_ns: 5_000_000_000,
+            hold_ns: 5_000_000_000,
+        }],
+        ..PairingOptions::default()
+    })
+    .unwrap();
+    p.run_until(SimTime::from_secs(5));
+    let at_reset = p.a_stats.lock().path(2).unwrap().owd.len();
+    assert!(at_reset > 400, "healthy before the reset: {at_reset}");
+
+    p.run_until(SimTime::from_secs(10));
+    let at_hold_end = p.a_stats.lock().path(2).unwrap().owd.len();
+    assert!(
+        at_hold_end - at_reset < 20,
+        "tunnel must starve while withdrawn, grew {}",
+        at_hold_end - at_reset
+    );
+    assert!(p.sim.stats().no_route > 400, "withdrawn packets die as routing misses");
+
+    p.run_until(SimTime::from_secs(16));
+    let after = p.a_stats.lock().path(2).unwrap().owd.len();
+    assert!(after - at_hold_end > 400, "tunnel must resume after re-announce, grew {}", after - at_hold_end);
+    // Other paths never blinked.
+    for id in [0u16, 1, 3] {
+        let n = p.a_stats.lock().path(id).unwrap().owd.len();
+        assert!(n > 1_400, "path {id} unaffected, got {n}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! keeps the workspace's `harness = false` benches compiling and gives
+//! them a minimal wall-clock harness: each benchmark is warmed up once,
+//! timed over a fixed-budget batch, and reported as `name ... mean
+//! ns/iter`. No statistics, plots, or baselines — run the real
+//! criterion on a networked machine for publishable numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration time budget for one benchmark (keeps `cargo bench`
+/// total runtime in seconds, not minutes).
+const TIME_BUDGET: Duration = Duration::from_millis(200);
+const MAX_ITERS: u64 = 10_000;
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId { name: name.into(), param: param.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly until the time budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, also forces lazy init
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while started.elapsed() < TIME_BUDGET && iters < MAX_ITERS {
+            black_box(f());
+            iters += 1;
+        }
+        self.iters_done = iters.max(1);
+        self.elapsed = started.elapsed();
+    }
+
+    /// `f` receives an iteration count and returns the measured time
+    /// for exactly that many iterations.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let _ = f(1); // warm-up
+        let iters = 10;
+        self.elapsed = f(iters);
+        self.iters_done = iters;
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        let per_iter = self.elapsed.as_nanos() as f64 / self.iters_done.max(1) as f64;
+        let extra = match throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  {:>10.1} Melem/s", n as f64 / per_iter * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!("  {:>10.1} MiB/s", n as f64 / per_iter * 1e9 / (1 << 20) as f64)
+            }
+            _ => String::new(),
+        };
+        println!("bench  {name:<52} {per_iter:>14.1} ns/iter{extra}");
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name, None);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&id.to_string(), None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sample counts are ignored (the stub uses a time budget instead);
+    /// kept for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name), self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id), self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

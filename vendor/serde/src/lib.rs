@@ -1,0 +1,80 @@
+//! Offline drop-in subset of the `serde` API.
+//!
+//! The workspace only needs the trait vocabulary — `#[derive(Serialize,
+//! Deserialize)]` markers on model types plus one hand-written
+//! string-based impl pair in `tango-net` — never an actual data format,
+//! so this vendored crate provides just enough of the trait surface for
+//! that code to compile. No upstream code is included.
+
+pub mod ser {
+    use core::fmt::Display;
+
+    /// Error produced by a [`Serializer`].
+    pub trait Error: Sized + core::fmt::Debug + Display {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    pub trait Serializer: Sized {
+        type Ok;
+        type Error: Error;
+
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+
+        fn collect_str<T: ?Sized + Display>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+            self.serialize_str(&value.to_string())
+        }
+    }
+
+    pub trait Serialize {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    impl Serialize for str {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_str(self)
+        }
+    }
+
+    impl Serialize for String {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_str(self)
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(serializer)
+        }
+    }
+}
+
+pub mod de {
+    use core::fmt::Display;
+
+    /// Error produced by a [`Deserializer`].
+    pub trait Error: Sized + core::fmt::Debug + Display {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Simplified (visitor-free) deserializer: the workspace's only
+    /// hand-written impls deserialize through an owned `String`.
+    pub trait Deserializer<'de>: Sized {
+        type Error: Error;
+
+        fn deserialize_string(self) -> Result<String, Self::Error>;
+    }
+
+    pub trait Deserialize<'de>: Sized {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    impl<'de> Deserialize<'de> for String {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            deserializer.deserialize_string()
+        }
+    }
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

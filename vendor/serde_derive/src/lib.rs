@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde_derive`: the derives are decorative in
+//! this workspace (nothing serializes to a concrete format), so both
+//! macros expand to nothing. Vendored because the build environment
+//! cannot reach crates.io.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
