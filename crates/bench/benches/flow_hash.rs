@@ -1,0 +1,62 @@
+//! Cost of the 5-tuple flow hash — computed once per link transmission
+//! for ECMP lane selection, so it sits directly on the simulator's
+//! per-packet fast path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tango_dataplane::{codec, Tunnel};
+use tango_net::{Ipv4Repr, Ipv6Packet, Ipv6Repr};
+use tango_sim::hash::flow_hash;
+
+fn ipv6_udp(payload: usize) -> Vec<u8> {
+    let repr = Ipv6Repr {
+        src_addr: "2001:db8:2ff::7".parse().unwrap(),
+        dst_addr: "2001:db8:1ff::9".parse().unwrap(),
+        next_header: 17,
+        payload_len: payload,
+        hop_limit: 64,
+        traffic_class: 0,
+        flow_label: 0,
+    };
+    let mut buf = vec![0u8; repr.total_len()];
+    let mut p = Ipv6Packet::new_unchecked(&mut buf[..]);
+    repr.emit(&mut p).unwrap();
+    buf
+}
+
+fn ipv4_udp() -> Vec<u8> {
+    let repr = Ipv4Repr {
+        src_addr: "10.1.2.3".parse().unwrap(),
+        dst_addr: "10.4.5.6".parse().unwrap(),
+        protocol: 17,
+        payload_len: 64,
+        ttl: 64,
+        dscp_ecn: 0,
+    };
+    let mut buf = vec![0u8; repr.total_len()];
+    let mut p = tango_net::Ipv4Packet::new_unchecked(&mut buf[..]);
+    repr.emit(&mut p).unwrap();
+    buf
+}
+
+fn bench_flow_hash(c: &mut Criterion) {
+    let v6 = ipv6_udp(64);
+    let v4 = ipv4_udp();
+    let tunnel = Tunnel::from_prefixes(
+        2,
+        "GTT",
+        "2001:db8:102::/48".parse().unwrap(),
+        "2001:db8:202::/48".parse().unwrap(),
+    );
+    let encapped = codec::encapsulate(&tunnel, &v6, 1, 123_456_789);
+    let mut group = c.benchmark_group("flow_hash");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("ipv6_udp", |b| b.iter(|| black_box(flow_hash(black_box(&v6)))));
+    group.bench_function("ipv4_udp", |b| b.iter(|| black_box(flow_hash(black_box(&v4)))));
+    group.bench_function("tango_encapsulated", |b| {
+        b.iter(|| black_box(flow_hash(black_box(&encapped))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow_hash);
+criterion_main!(benches);

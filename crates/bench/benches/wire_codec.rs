@@ -4,6 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use tango_dataplane::{codec, Tunnel};
 use tango_net::{Ipv6Packet, Ipv6Repr};
+use tango_sim::Packet;
 
 fn inner_packet(payload: usize) -> Vec<u8> {
     let repr = Ipv6Repr {
@@ -46,6 +47,24 @@ fn bench_codec(c: &mut Criterion) {
         });
         group.bench_function("decapsulate", |b| {
             b.iter(|| black_box(codec::decapsulate(black_box(&wire)).unwrap()))
+        });
+        group.bench_function("encapsulate_in_place", |b| {
+            // The zero-copy path: inner bytes behind ENCAP_OVERHEAD of
+            // headroom, outer headers prepended in place.
+            let mut seq = 0u32;
+            b.iter(|| {
+                let mut pkt = Packet::with_headroom(codec::ENCAP_OVERHEAD, &inner);
+                seq = seq.wrapping_add(1);
+                codec::encapsulate_in_place(&t, &mut pkt, seq, 123_456_789, None);
+                black_box(pkt.len())
+            })
+        });
+        group.bench_function("decapsulate_in_place", |b| {
+            b.iter(|| {
+                let mut pkt = Packet::new(wire.clone());
+                let info = codec::decapsulate_in_place(&mut pkt, None, false).unwrap();
+                black_box((info.tango.sequence, pkt.len()))
+            })
         });
         group.bench_function("classify", |b| {
             b.iter(|| black_box(codec::looks_like_tango(black_box(&wire))))

@@ -31,4 +31,6 @@ pub mod fig3;
 pub mod fig4;
 pub mod headline;
 pub mod jitter;
+pub mod parallel;
+pub mod throughput;
 pub mod util;

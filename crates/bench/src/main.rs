@@ -6,7 +6,8 @@
 //! ```
 
 use tango::prelude::SimTime;
-use tango_bench::{ablations, failover, fig3, fig4, headline, jitter};
+use tango_bench::throughput::ThroughputOptions;
+use tango_bench::{ablations, failover, fig3, fig4, headline, jitter, throughput};
 
 const USAGE: &str = "\
 experiments — regenerate the paper's figures and tables (see EXPERIMENTS.md)
@@ -28,6 +29,8 @@ COMMANDS
   load-balance          A6: §6 weighted-split load balancing under saturation
   loss-table            A7: loss/reordering measured from sequence numbers
   ablation-failover     A8: blackhole detection, failover, and re-admission
+  throughput            fast-path microbench: pkts/sec + ns/packet over a
+                        parallel multi-seed sweep → results/BENCH_throughput.json
   all                   run everything (with default durations)
 
 OPTIONS
@@ -35,6 +38,13 @@ OPTIONS
                   headline; default 1; the paper ran 8 days — shapes
                   converge within minutes of simulated time)
   --seed <S>      simulation seed (default 1)
+
+THROUGHPUT OPTIONS
+  --packets <N>   app packets per seed (default 100000)
+  --seeds <list>  comma-separated seeds to sweep (default 1,2,3,4)
+  --workers <W>   worker threads (default: machine parallelism; the
+                  TANGO_BENCH_THREADS env var also overrides)
+  --floor <P>     exit nonzero if aggregate pkts/sec < P (CI smoke gate)
 ";
 
 struct Args {
@@ -69,12 +79,60 @@ fn duration(args: &Args) -> SimTime {
     SimTime::from_secs((args.hours * 3600.0) as u64)
 }
 
+fn parse_throughput_args(rest: &[String]) -> Result<ThroughputOptions, String> {
+    let mut options = ThroughputOptions::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut take = || it.next().cloned().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--packets" => {
+                options.packets = take()?.parse().map_err(|e| format!("--packets: {e}"))?;
+                if options.packets == 0 {
+                    return Err("--packets must be positive".into());
+                }
+            }
+            "--seeds" => {
+                options.seeds = take()?
+                    .split(',')
+                    .map(|s| s.trim().parse::<u64>().map_err(|e| format!("--seeds: {e}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if options.seeds.is_empty() {
+                    return Err("--seeds must name at least one seed".into());
+                }
+            }
+            "--workers" => {
+                let w: usize = take()?.parse().map_err(|e| format!("--workers: {e}"))?;
+                if w == 0 {
+                    return Err("--workers must be positive".into());
+                }
+                options.workers = Some(w);
+            }
+            "--floor" => {
+                options.floor_pkts_per_sec =
+                    Some(take()?.parse().map_err(|e| format!("--floor: {e}"))?);
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(options)
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first() else {
         eprint!("{USAGE}");
         std::process::exit(2);
     };
+    if command == "throughput" {
+        match parse_throughput_args(&argv[1..]) {
+            Ok(options) => std::process::exit(throughput::report(&options)),
+            Err(e) => {
+                eprintln!("error: {e}\n");
+                eprint!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
     let args = match parse_args(&argv[1..]) {
         Ok(a) => a,
         Err(e) => {

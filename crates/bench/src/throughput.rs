@@ -1,0 +1,246 @@
+//! `experiments throughput` — the data-plane fast-path microbenchmark.
+//!
+//! Drives a fixed budget of application packets through the 2-edge Vultr
+//! pairing (host → switch encap → border → transit → border → switch
+//! decap + measure) and reports wall-clock **packets/second** and
+//! **ns/packet**. Seeds fan out over [`crate::parallel::run_seeds`]
+//! workers; the aggregate rate is total packets over the sweep's wall
+//! clock. Results land in `results/BENCH_throughput.json` (schema
+//! documented in EXPERIMENTS.md) so CI can diff runs and gate on a
+//! checked-in floor.
+
+use crate::parallel::{run_seeds, worker_count};
+use crate::util::{fmt, print_table, results_dir};
+use std::time::Instant;
+use tango::prelude::*;
+
+/// Inter-packet gap of the injected app stream, simulated time. 100 µs
+/// (10k pps of offered load) keeps even long budgets clear of the
+/// capacity model's tail-drop so the benchmark measures the fast path,
+/// not queueing.
+const PACKET_GAP_NS: u64 = 100_000;
+
+/// App payload bytes per injected packet.
+const PAYLOAD_BYTES: usize = 64;
+
+/// Options for a throughput run.
+pub struct ThroughputOptions {
+    /// App packets injected per seed.
+    pub packets: u64,
+    /// Seeds to sweep (each an independent simulation).
+    pub seeds: Vec<u64>,
+    /// Force the worker count (`None` = machine parallelism, capped by
+    /// the seed count; `TANGO_BENCH_THREADS` also overrides).
+    pub workers: Option<usize>,
+    /// Fail (exit nonzero) if aggregate pkts/sec lands below this floor.
+    pub floor_pkts_per_sec: Option<f64>,
+}
+
+impl Default for ThroughputOptions {
+    fn default() -> Self {
+        ThroughputOptions {
+            packets: 100_000,
+            seeds: vec![1, 2, 3, 4],
+            workers: None,
+            floor_pkts_per_sec: None,
+        }
+    }
+}
+
+/// One seed's completed run.
+pub struct SeedRun {
+    /// The seed.
+    pub seed: u64,
+    /// Wall-clock nanoseconds for the simulation (excludes build).
+    pub wall_ns: u64,
+    /// Simulator events processed.
+    pub events: u64,
+    /// App packets injected.
+    pub packets: u64,
+    /// Deterministic fingerprint of the run's observable results (sim
+    /// counters + measurement series): two runs of the same seed must
+    /// produce identical digests, parallel or serial.
+    pub digest: String,
+}
+
+impl SeedRun {
+    /// Wall-clock packets/second for this seed alone.
+    pub fn pkts_per_sec(&self) -> f64 {
+        self.packets as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// Wall-clock nanoseconds per injected packet.
+    pub fn ns_per_packet(&self) -> f64 {
+        self.wall_ns as f64 / self.packets as f64
+    }
+}
+
+/// Run one seed: build the pairing, inject `packets` app packets A→B and
+/// B→A alternately, run to completion, fingerprint the results.
+pub fn run_one(seed: u64, packets: u64) -> SeedRun {
+    let mut pairing = tango::vultr_pairing(PairingOptions {
+        seed,
+        probe_period: Some(SimTime::from_ms(10)),
+        ..PairingOptions::default()
+    })
+    .expect("vultr scenario provisions");
+    let mut t = SimTime::from_ms(5);
+    for i in 0..packets {
+        let from = if i % 2 == 0 { Side::A } else { Side::B };
+        pairing.send_app_packet(t, from, PAYLOAD_BYTES);
+        t += SimTime(PACKET_GAP_NS);
+    }
+    let horizon = t + SimTime::from_ms(50);
+    let started = Instant::now();
+    let events = pairing.sim.run_until(horizon);
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    SeedRun { seed, wall_ns, events, packets, digest: digest(&pairing) }
+}
+
+/// Fingerprint every observable result of a finished pairing run: the
+/// simulator counters plus, per side and path, the sample count and sums
+/// of the one-way-delay series. Bit-identical runs ⇒ identical digests.
+pub fn digest(pairing: &TangoPairing) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let s = pairing.sim.stats();
+    let _ = write!(
+        out,
+        "tx={} rx={} loss={} outage={} fault={} queue={} noroute={} ttl={} timers={}",
+        s.transmissions,
+        s.deliveries,
+        s.lost_link,
+        s.lost_outage,
+        s.lost_fault,
+        s.lost_queue,
+        s.no_route,
+        s.ttl_expired,
+        s.timers
+    );
+    for side in [Side::A, Side::B] {
+        let sink = pairing.stats(side).lock();
+        let _ = write!(out, " | {:?} enc={} plain={}", side, sink.tx_encapsulated, sink.plain_rx);
+        for (id, p) in sink.paths() {
+            let sum: f64 = p.owd.values().iter().sum();
+            let tsum: u64 = p.owd.times_ns().iter().sum();
+            let _ = write!(out, " p{id}:n={} owd={:.3} t={}", p.owd.len(), sum, tsum);
+        }
+    }
+    out
+}
+
+/// The aggregated outcome of a sweep (what the JSON reports).
+pub struct Sweep {
+    /// Per-seed runs, in seed order.
+    pub runs: Vec<SeedRun>,
+    /// Wall-clock nanoseconds for the whole sweep.
+    pub wall_ns: u64,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+impl Sweep {
+    /// Aggregate packets/second: total injected packets over sweep wall
+    /// clock (this is the headline number — it reflects both per-packet
+    /// cost and multi-seed scaling).
+    pub fn pkts_per_sec(&self) -> f64 {
+        let total: u64 = self.runs.iter().map(|r| r.packets).sum();
+        total as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// Mean per-seed ns/packet (per-packet cost independent of fan-out).
+    pub fn ns_per_packet_mean(&self) -> f64 {
+        self.runs.iter().map(|r| r.ns_per_packet()).sum::<f64>() / self.runs.len().max(1) as f64
+    }
+}
+
+/// Run the sweep with the given options (no printing).
+pub fn sweep(options: &ThroughputOptions) -> Sweep {
+    let workers = options.workers.unwrap_or_else(|| worker_count(options.seeds.len()));
+    let packets = options.packets;
+    let started = Instant::now();
+    let runs = run_seeds(&options.seeds, workers, |seed| run_one(seed, packets));
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    Sweep { runs, wall_ns, workers }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(!s.contains(['"', '\\']));
+    s
+}
+
+/// Render the sweep as the `BENCH_throughput.json` document.
+pub fn to_json(sweep: &Sweep, packets: u64) -> String {
+    let mut runs = String::new();
+    for (i, r) in sweep.runs.iter().enumerate() {
+        if i > 0 {
+            runs.push_str(",\n");
+        }
+        runs.push_str(&format!(
+            "    {{\"seed\": {}, \"wall_ns\": {}, \"events\": {}, \"packets\": {}, \
+             \"pkts_per_sec\": {:.1}, \"ns_per_packet\": {:.1}}}",
+            r.seed,
+            r.wall_ns,
+            r.events,
+            r.packets,
+            r.pkts_per_sec(),
+            r.ns_per_packet()
+        ));
+    }
+    format!(
+        "{{\n  \"schema\": \"tango-bench/throughput/v1\",\n  \"scenario\": \"{}\",\n  \
+         \"packets_per_seed\": {},\n  \"payload_bytes\": {},\n  \"workers\": {},\n  \
+         \"wall_ns\": {},\n  \"aggregate_pkts_per_sec\": {:.1},\n  \
+         \"mean_ns_per_packet\": {:.1},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        json_escape_free("vultr-2edge-bidirectional"),
+        packets,
+        PAYLOAD_BYTES,
+        sweep.workers,
+        sweep.wall_ns,
+        sweep.pkts_per_sec(),
+        sweep.ns_per_packet_mean(),
+        runs
+    )
+}
+
+/// The `experiments throughput` entry point. Returns the process exit
+/// code (nonzero when a floor check fails).
+pub fn report(options: &ThroughputOptions) -> i32 {
+    println!(
+        "throughput — {} app packets/seed through the 2-edge Vultr pairing, seeds {:?}\n",
+        options.packets, options.seeds
+    );
+    let sweep = sweep(options);
+    let mut rows = Vec::new();
+    for r in &sweep.runs {
+        rows.push(vec![
+            r.seed.to_string(),
+            r.events.to_string(),
+            fmt(r.wall_ns as f64 / 1e6, 1),
+            fmt(r.pkts_per_sec(), 0),
+            fmt(r.ns_per_packet(), 0),
+        ]);
+    }
+    print_table(&["seed", "sim events", "wall ms", "pkts/sec", "ns/packet"], &rows);
+    println!(
+        "\naggregate: {:.0} pkts/sec over {} worker(s)  ({:.0} ns/packet per seed)",
+        sweep.pkts_per_sec(),
+        sweep.workers,
+        sweep.ns_per_packet_mean()
+    );
+    let path = results_dir().join("BENCH_throughput.json");
+    std::fs::write(&path, to_json(&sweep, options.packets)).expect("write BENCH json");
+    println!("written to {}", path.display());
+    if let Some(floor) = options.floor_pkts_per_sec {
+        if sweep.pkts_per_sec() < floor {
+            eprintln!(
+                "FAIL: aggregate {:.0} pkts/sec is below the floor of {:.0} pkts/sec",
+                sweep.pkts_per_sec(),
+                floor
+            );
+            return 1;
+        }
+        println!("floor check passed: {:.0} >= {:.0} pkts/sec", sweep.pkts_per_sec(), floor);
+    }
+    0
+}

@@ -506,10 +506,12 @@ impl TangoPairing {
             traffic_class,
             flow_label: 0,
         };
-        let mut buf = vec![0u8; repr.total_len()];
-        let mut pkt = Ipv6Packet::new_unchecked(&mut buf[..]);
-        repr.emit(&mut pkt).expect("sized buffer");
-        self.sim.schedule_host_packet(at, tenant, Packet::new(buf));
+        // Born with headroom: the switch encapsulates in place instead of
+        // rebuilding the wire image (tango_dataplane::codec::ENCAP_OVERHEAD).
+        let mut pkt = Packet::alloc(tango_dataplane::codec::ENCAP_OVERHEAD, repr.total_len());
+        let mut view = Ipv6Packet::new_unchecked(pkt.bytes_mut());
+        repr.emit(&mut view).expect("sized buffer");
+        self.sim.schedule_host_packet(at, tenant, pkt);
     }
 
     /// The side configs (for reporting).

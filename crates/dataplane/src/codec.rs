@@ -17,11 +17,22 @@ use tango_net::{
     Ipv6Packet, Ipv6Repr, TangoFlags, TangoPacket, TangoRepr, UdpPacket, UdpRepr,
     TANGO_HEADER_LEN, TANGO_UDP_PORT,
 };
+use tango_sim::Packet;
 
 /// Length of the SipHash-2-4 authentication trailer.
 pub const TANGO_AUTH_TAG_LEN: usize = 8;
 /// `inner_proto` code for an in-band measurement report payload.
 pub const INNER_PROTO_REPORT: u16 = 253;
+
+/// Bytes the encapsulation prepends in front of the inner packet: outer
+/// IPv6 + UDP + Tango header. A [`Packet`] carrying at least this much
+/// headroom rides the zero-copy in-place path; the optional auth trailer
+/// is *appended*, so it needs no headroom.
+pub const ENCAP_OVERHEAD: usize =
+    tango_net::ipv6::HEADER_LEN + tango_net::udp::HEADER_LEN + TANGO_HEADER_LEN;
+
+/// Offset of the Tango header within an encapsulated wire image.
+const TANGO_OFF: usize = tango_net::ipv6::HEADER_LEN + tango_net::udp::HEADER_LEN;
 
 /// Errors from the decapsulation path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -177,6 +188,121 @@ fn build(
     buf
 }
 
+/// [`encapsulate`]/[`encapsulate_auth`] operating in place: the packet's
+/// current bytes become the inner payload and the outer headers are
+/// written into its headroom (the auth trailer, when `key` is set, is
+/// appended). Zero-copy when the packet carries [`ENCAP_OVERHEAD`] bytes
+/// of headroom; otherwise falls back to a copying rebuild. The resulting
+/// wire image is byte-identical to the `Vec`-returning builders.
+pub fn encapsulate_in_place(
+    tunnel: &Tunnel,
+    pkt: &mut Packet,
+    sequence: u32,
+    timestamp_ns: u64,
+    key: Option<&SipKey>,
+) {
+    build_in_place(tunnel, pkt, None, sequence, timestamp_ns, TangoFlags::measured(), key);
+}
+
+/// [`probe_packet`]/[`probe_packet_auth`] in place: `pkt` must be empty
+/// (probes carry no inner packet) with headroom for the outer headers.
+pub fn probe_packet_in_place(
+    tunnel: &Tunnel,
+    pkt: &mut Packet,
+    sequence: u32,
+    timestamp_ns: u64,
+    key: Option<&SipKey>,
+) {
+    debug_assert!(pkt.is_empty(), "probes carry no inner packet");
+    build_in_place(tunnel, pkt, None, sequence, timestamp_ns, TangoFlags::probe(), key);
+}
+
+/// [`report_packet`] in place: the packet's bytes are the encoded
+/// measurement report.
+pub fn report_packet_in_place(
+    tunnel: &Tunnel,
+    pkt: &mut Packet,
+    sequence: u32,
+    timestamp_ns: u64,
+    key: Option<&SipKey>,
+) {
+    build_in_place(
+        tunnel,
+        pkt,
+        Some(INNER_PROTO_REPORT),
+        sequence,
+        timestamp_ns,
+        TangoFlags::report(),
+        key,
+    );
+}
+
+fn build_in_place(
+    tunnel: &Tunnel,
+    pkt: &mut Packet,
+    inner_proto_override: Option<u16>,
+    sequence: u32,
+    timestamp_ns: u64,
+    flags: TangoFlags,
+    key: Option<&SipKey>,
+) {
+    if pkt.headroom() < ENCAP_OVERHEAD {
+        // Copying fallback for callers without reserved headroom.
+        *pkt = Packet::new(build(
+            tunnel,
+            pkt.bytes(),
+            inner_proto_override,
+            sequence,
+            timestamp_ns,
+            flags,
+            key,
+        ));
+        return;
+    }
+    let flags = if key.is_some() { flags.with_auth() } else { flags };
+    let inner_len = pkt.len();
+    let tango = TangoRepr {
+        flags,
+        path_id: tunnel.id,
+        inner_proto: inner_proto_override.unwrap_or_else(|| inner_proto_of(pkt.bytes())),
+        sequence,
+        timestamp_ns,
+    };
+    let tag_len = if key.is_some() { TANGO_AUTH_TAG_LEN } else { 0 };
+    // Prepend the outer headers, emit the Tango header, and compute the
+    // tag over header + inner while the bytes are contiguous.
+    let tag = {
+        let bytes = pkt.prepend(ENCAP_OVERHEAD);
+        let mut tango_pkt =
+            TangoPacket::new_unchecked(&mut bytes[TANGO_OFF..TANGO_OFF + TANGO_HEADER_LEN]);
+        tango.emit(&mut tango_pkt).expect("sized buffer");
+        key.map(|k| siphash24(k, &bytes[TANGO_OFF..TANGO_OFF + TANGO_HEADER_LEN + inner_len]))
+    };
+    if let Some(tag) = tag {
+        pkt.append(&tag.to_be_bytes());
+    }
+    let udp = UdpRepr {
+        src_port: tunnel.src_port,
+        dst_port: TANGO_UDP_PORT,
+        payload_len: TANGO_HEADER_LEN + inner_len + tag_len,
+    };
+    let ip = Ipv6Repr {
+        src_addr: tunnel.local_endpoint,
+        dst_addr: tunnel.remote_endpoint,
+        next_header: 17,
+        payload_len: udp.total_len(),
+        hop_limit: 64,
+        traffic_class: 0,
+        flow_label: u32::from(tunnel.id) + 1,
+    };
+    let bytes = pkt.bytes_mut();
+    let mut ip_pkt = Ipv6Packet::new_unchecked(bytes);
+    ip.emit(&mut ip_pkt).expect("sized buffer");
+    let mut udp_pkt = UdpPacket::new_unchecked(ip_pkt.payload_mut());
+    udp.emit(&mut udp_pkt).expect("sized buffer");
+    udp_pkt.fill_checksum_v6(tunnel.local_endpoint, tunnel.remote_endpoint);
+}
+
 /// What [`decapsulate`] returns.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Decapsulated {
@@ -217,6 +343,50 @@ pub fn decapsulate_with(
     key: Option<&SipKey>,
     require_auth: bool,
 ) -> Result<Decapsulated, CodecError> {
+    let (tango, outer_src, outer_dst, inner) = parse_outer(bytes, key, require_auth)?;
+    Ok(Decapsulated { tango, inner: bytes[inner].to_vec(), outer_src, outer_dst })
+}
+
+/// What [`decapsulate_in_place`] returns: everything [`Decapsulated`]
+/// carries except the inner bytes, which stay in the packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecapInfo {
+    /// The parsed Tango header.
+    pub tango: TangoRepr,
+    /// The outer source address (which remote tunnel endpoint sent it).
+    pub outer_src: std::net::Ipv6Addr,
+    /// The outer destination (which of our tunnel endpoints it hit).
+    pub outer_dst: std::net::Ipv6Addr,
+}
+
+/// [`decapsulate_with`] without the inner-packet copy: on success the
+/// encapsulation (and any auth trailer) is stripped *in place* and `pkt`
+/// becomes the inner packet — the stripped outer headers become headroom
+/// for a later re-encapsulation. On error the packet is untouched.
+///
+/// Validation (checksum, auth, inner-proto consistency) is identical to
+/// the copying API.
+pub fn decapsulate_in_place(
+    pkt: &mut Packet,
+    key: Option<&SipKey>,
+    require_auth: bool,
+) -> Result<DecapInfo, CodecError> {
+    let (tango, outer_src, outer_dst, inner) = parse_outer(pkt.bytes(), key, require_auth)?;
+    pkt.truncate(inner.end);
+    pkt.strip_front(inner.start);
+    Ok(DecapInfo { tango, outer_src, outer_dst })
+}
+
+/// The shared validation path: parse and verify the outer headers, the
+/// Tango header, and (when flagged) the auth trailer; return the parsed
+/// header, outer addresses, and the byte range of the inner packet
+/// within `bytes`.
+fn parse_outer(
+    bytes: &[u8],
+    key: Option<&SipKey>,
+    require_auth: bool,
+) -> Result<(TangoRepr, std::net::Ipv6Addr, std::net::Ipv6Addr, core::ops::Range<usize>), CodecError>
+{
     let ip = Ipv6Packet::new_checked(bytes).map_err(|_| CodecError::OuterIp)?;
     if ip.next_header() != 17 {
         return Err(CodecError::NotTangoUdp);
@@ -237,7 +407,7 @@ pub fn decapsulate_with(
         return Err(CodecError::Auth);
     }
     let payload = udp.payload();
-    let inner = if tango.flags.has_auth() {
+    let inner_end = if tango.flags.has_auth() {
         if payload.len() < TANGO_HEADER_LEN + TANGO_AUTH_TAG_LEN {
             return Err(CodecError::Auth);
         }
@@ -252,10 +422,11 @@ pub fn decapsulate_with(
                 return Err(CodecError::Auth);
             }
         }
-        covered[TANGO_HEADER_LEN..].to_vec()
+        covered.len()
     } else {
-        tango_pkt.inner().to_vec()
+        payload.len()
     };
+    let inner = &payload[TANGO_HEADER_LEN..inner_end];
     match tango.inner_proto {
         0 => {
             if !inner.is_empty() {
@@ -279,7 +450,10 @@ pub fn decapsulate_with(
         }
         _ => return Err(CodecError::Inner),
     }
-    Ok(Decapsulated { tango, inner, outer_src: src, outer_dst: dst })
+    // No IPv6 extension headers on the outer header, so the UDP payload
+    // sits at the fixed wire offset TANGO_OFF and udp-payload-relative
+    // bounds translate by that constant.
+    Ok((tango, src, dst, TANGO_OFF + TANGO_HEADER_LEN..TANGO_OFF + inner_end))
 }
 
 /// Is this packet addressed to a Tango tunnel endpoint (fast classifier —

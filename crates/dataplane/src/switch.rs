@@ -225,21 +225,25 @@ impl TangoSwitch {
         v
     }
 
-    fn send_on_tunnel(&mut self, ctx: &mut Ctx<'_>, path: u16, inner: &[u8], kind: TxKind) {
-        let Some(tunnel) = self.tunnels.get(&path).cloned() else {
+    /// Encapsulate `pkt` (whose bytes are the inner payload: an app
+    /// packet, an encoded report, or nothing for a probe) onto a tunnel
+    /// in place and send it toward the wide area. Zero-copy when the
+    /// packet carries `ENCAP_OVERHEAD` bytes of headroom.
+    fn send_on_tunnel(&mut self, ctx: &mut Ctx<'_>, path: u16, mut pkt: Packet, kind: TxKind) {
+        if !self.tunnels.contains_key(&path) {
             self.my_stats.lock().tx_no_tunnel += 1;
+            ctx.recycle(pkt);
             return;
-        };
+        }
         let seq = self.next_seq(path);
         let ts = ctx.local_ns();
         let key = self.auth_key.as_ref();
-        let wire = match (kind, key) {
-            (TxKind::Probe, None) => codec::probe_packet(&tunnel, seq, ts),
-            (TxKind::Probe, Some(k)) => codec::probe_packet_auth(&tunnel, seq, ts, k),
-            (TxKind::App, None) => codec::encapsulate(&tunnel, inner, seq, ts),
-            (TxKind::App, Some(k)) => codec::encapsulate_auth(&tunnel, inner, seq, ts, k),
-            (TxKind::Report, k) => codec::report_packet(&tunnel, seq, ts, inner, k),
-        };
+        let tunnel = &self.tunnels[&path];
+        match kind {
+            TxKind::Probe => codec::probe_packet_in_place(tunnel, &mut pkt, seq, ts, key),
+            TxKind::App => codec::encapsulate_in_place(tunnel, &mut pkt, seq, ts, key),
+            TxKind::Report => codec::report_packet_in_place(tunnel, &mut pkt, seq, ts, key),
+        }
         {
             let mut sink = self.my_stats.lock();
             match kind {
@@ -248,7 +252,7 @@ impl TangoSwitch {
                 TxKind::Report => sink.reports_sent += 1,
             }
         }
-        self.transmit_wan(ctx, Packet::new(wire));
+        self.transmit_wan(ctx, pkt);
     }
 
     /// Send toward the wide area: via the border router, or — when this
@@ -263,7 +267,10 @@ impl TangoSwitch {
             .and_then(|d| self.wan_table.as_ref().and_then(|t| t.longest_match(d).map(|(_, n)| *n)));
         match next {
             Some(n) if n != self.id => ctx.transmit(n, pkt),
-            _ => ctx.count_no_route(),
+            _ => {
+                ctx.count_no_route();
+                ctx.recycle(pkt);
+            }
         }
     }
 
@@ -333,12 +340,15 @@ impl Agent for TangoSwitch {
         if tango_destined {
             // §3 application-specific override first, then the installed
             // performance-driven selection.
-            let class_path = traffic_class_of(&pkt.bytes)
-                .and_then(|tc| self.class_map.get(&tc).copied())
-                .filter(|p| self.tunnels.contains_key(p));
+            let class_path = if self.class_map.is_empty() {
+                None
+            } else {
+                traffic_class_of(pkt.bytes())
+                    .and_then(|tc| self.class_map.get(&tc).copied())
+                    .filter(|p| self.tunnels.contains_key(p))
+            };
             if let Some(path) = class_path.or_else(|| self.selection.choose()) {
-                let bytes = pkt.bytes;
-                self.send_on_tunnel(ctx, path, &bytes, TxKind::App);
+                self.send_on_tunnel(ctx, path, pkt, TxKind::App);
                 return;
             }
         }
@@ -347,10 +357,10 @@ impl Agent for TangoSwitch {
         self.transmit_wan(ctx, pkt);
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
-        if codec::looks_like_tango(&pkt.bytes) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, mut pkt: Packet) {
+        if codec::looks_like_tango(pkt.bytes()) {
             let require_auth = self.auth_key.is_some();
-            match codec::decapsulate_with(&pkt.bytes, self.auth_key.as_ref(), require_auth) {
+            match codec::decapsulate_in_place(&mut pkt, self.auth_key.as_ref(), require_auth) {
                 Ok(d) => {
                     let rx_local = ctx.local_ns();
                     // Signed: clock offsets can legally make this negative.
@@ -364,7 +374,8 @@ impl Agent for TangoSwitch {
                         infra,
                     );
                     if d.tango.flags.is_report() {
-                        match MeasurementReport::decode(&d.inner) {
+                        // pkt is now the stripped inner = the encoded report.
+                        match MeasurementReport::decode(pkt.bytes()) {
                             Ok(report) => {
                                 self.peer_view = report.to_snapshots();
                                 self.my_stats.lock().reports_received += 1;
@@ -388,6 +399,9 @@ impl Agent for TangoSwitch {
             // Plain (un-tunneled) packet for our hosts.
             self.my_stats.lock().plain_rx += 1;
         }
+        // Every network-side arrival ends its life here: recycle the
+        // buffer for the next allocation.
+        ctx.recycle(pkt);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
@@ -418,7 +432,9 @@ impl Agent for TangoSwitch {
                 .choose()
                 .or_else(|| self.tunnels.keys().next().copied());
             if let Some(path) = path {
-                self.send_on_tunnel(ctx, path, &report, TxKind::Report);
+                let mut pkt = ctx.alloc_packet(codec::ENCAP_OVERHEAD);
+                pkt.append(&report);
+                self.send_on_tunnel(ctx, path, pkt, TxKind::Report);
             }
             if let FeedbackMode::InBand { period } = self.feedback {
                 ctx.schedule_timer(period, TAG_REPORT);
@@ -432,7 +448,8 @@ impl Agent for TangoSwitch {
         let path = self.tunnels.keys().copied().nth(idx);
         if let Some(path) = path {
             if self.policy.allow_probe(ctx.local_ns(), path) {
-                self.send_on_tunnel(ctx, path, &[], TxKind::Probe);
+                let pkt = ctx.alloc_packet(codec::ENCAP_OVERHEAD);
+                self.send_on_tunnel(ctx, path, pkt, TxKind::Probe);
             } else {
                 self.my_stats.lock().probes_withheld += 1;
             }

@@ -1,4 +1,21 @@
 //! The discrete-event core: event queue, agents, link transmission.
+//!
+//! ## Fast-path layout
+//!
+//! The inner loop (pop event → dispatch → transmit) is allocation- and
+//! pointer-chase-free by construction:
+//!
+//! * Node identity is interned at build time: every [`AsId`] in the
+//!   topology maps to a dense `NodeIdx` (a `u32` index), and the per-event
+//!   tables — agents, clocks, per-directed-link busy horizons — are plain
+//!   `Vec`s indexed by it, replacing the seed's `BTreeMap` lookups.
+//! * Every directed link gets a dense link id at build time; its delay
+//!   profile and scheduled wide-area events are copied into `Vec`-indexed
+//!   tables so a transmission touches no tree and allocates nothing.
+//! * [`Packet`] owns a buffer with *headroom* so the data plane can
+//!   prepend/strip encapsulation in place, and dead packets' buffers are
+//!   recycled through a freelist ([`Ctx::recycle`]) instead of hitting
+//!   the allocator per packet.
 
 use crate::clock::NodeClock;
 use crate::fault::{FaultDecision, FaultInjector};
@@ -7,34 +24,231 @@ use crate::time::SimTime;
 use crate::trace::{TraceEvent, TraceKind, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cell::Cell;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BinaryHeap, VecDeque};
 use std::net::IpAddr;
 use tango_net::{Ipv4Packet, Ipv6Packet, PrefixTrie};
-use tango_topology::{AsId, Topology};
+use tango_topology::{AsId, DirectionProfile, EventKind as TopoEventKind, LinkEvent, Topology};
+
+/// Sentinel node index for events scheduled against an id that is not in
+/// the topology (they dispatch to "no agent", like the seed behaviour).
+const NO_NODE: u32 = u32::MAX;
+
+/// Cached destination-address parse state of a [`Packet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DstCache {
+    /// Not parsed yet (or invalidated by a mutation).
+    Unparsed,
+    /// Parsed and the header was invalid.
+    Invalid,
+    /// Parsed successfully.
+    Addr(IpAddr),
+}
 
 /// A packet in flight: raw bytes, nothing else. All semantics live in the
 /// bytes themselves (smoltcp idiom) — the simulator never peeks beyond
 /// what a real router could see.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The bytes sit inside an owned buffer at an offset, so a data plane can
+/// reserve *headroom* and prepend/strip encapsulation headers in place
+/// instead of rebuilding the wire image. The parsed destination address
+/// is cached alongside the bytes (computed once at ingress) and
+/// invalidated by any byte mutation, so multi-hop forwarding re-parses
+/// nothing.
+#[derive(Debug, Clone)]
 pub struct Packet {
-    /// The raw IP packet.
-    pub bytes: Vec<u8>,
+    buf: Vec<u8>,
+    start: usize,
+    dst: Cell<DstCache>,
 }
 
+impl PartialEq for Packet {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes() == other.bytes()
+    }
+}
+impl Eq for Packet {}
+
 impl Packet {
-    /// Wrap raw bytes.
+    /// Wrap raw bytes (no headroom).
     pub fn new(bytes: Vec<u8>) -> Self {
-        Packet { bytes }
+        Packet { buf: bytes, start: 0, dst: Cell::new(DstCache::Unparsed) }
     }
 
-    /// The destination IP address, if the version nibble and header parse.
-    pub fn dst_addr(&self) -> Option<IpAddr> {
-        match self.bytes.first().map(|b| b >> 4)? {
-            4 => Ipv4Packet::new_checked(&self.bytes[..]).ok().map(|p| IpAddr::V4(p.dst_addr())),
-            6 => Ipv6Packet::new_checked(&self.bytes[..]).ok().map(|p| IpAddr::V6(p.dst_addr())),
-            _ => None,
+    /// Copy `bytes` into a fresh buffer with `headroom` writable bytes in
+    /// front (room for in-place encapsulation).
+    pub fn with_headroom(headroom: usize, bytes: &[u8]) -> Self {
+        let mut buf = Vec::with_capacity(headroom + bytes.len());
+        buf.resize(headroom, 0);
+        buf.extend_from_slice(bytes);
+        Packet { buf, start: headroom, dst: Cell::new(DstCache::Unparsed) }
+    }
+
+    /// A zero-filled packet of `len` visible bytes behind `headroom` —
+    /// emit a representation into [`Packet::bytes_mut`] afterwards.
+    pub fn alloc(headroom: usize, len: usize) -> Self {
+        Packet {
+            buf: vec![0u8; headroom + len],
+            start: headroom,
+            dst: Cell::new(DstCache::Unparsed),
         }
+    }
+
+    /// Reuse `buf` (typically from the pool) as an empty packet with
+    /// `headroom` bytes reserved in front.
+    pub fn from_recycled(mut buf: Vec<u8>, headroom: usize) -> Self {
+        buf.clear();
+        buf.resize(headroom, 0);
+        Packet { buf, start: headroom, dst: Cell::new(DstCache::Unparsed) }
+    }
+
+    /// The visible packet bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    /// Mutable access to the packet bytes. Invalidates the cached
+    /// destination (the caller may rewrite anything).
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        self.dst.set(DstCache::Unparsed);
+        &mut self.buf[self.start..]
+    }
+
+    /// Visible length.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Is the packet empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writable bytes available in front of the packet.
+    pub fn headroom(&self) -> usize {
+        self.start
+    }
+
+    /// Grow the packet `n` bytes at the front (into headroom), returning
+    /// the new front. Panics if the headroom is insufficient — callers
+    /// must check [`Packet::headroom`] and fall back to a copying path.
+    pub fn prepend(&mut self, n: usize) -> &mut [u8] {
+        assert!(self.start >= n, "prepend past headroom");
+        self.start -= n;
+        self.dst.set(DstCache::Unparsed);
+        &mut self.buf[self.start..]
+    }
+
+    /// Drop `n` bytes from the front (they become headroom for a later
+    /// re-encapsulation).
+    pub fn strip_front(&mut self, n: usize) {
+        assert!(n <= self.len(), "strip past end");
+        self.start += n;
+        self.dst.set(DstCache::Unparsed);
+    }
+
+    /// Append bytes at the tail.
+    pub fn append(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+        self.dst.set(DstCache::Unparsed);
+    }
+
+    /// Shorten the packet to `len` visible bytes.
+    pub fn truncate(&mut self, len: usize) {
+        assert!(len <= self.len(), "truncate cannot grow");
+        self.buf.truncate(self.start + len);
+        self.dst.set(DstCache::Unparsed);
+    }
+
+    /// Take the backing buffer (for recycling).
+    pub fn into_buffer(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The destination IP address, if the version nibble and header
+    /// parse. Cached: repeated calls between mutations parse once.
+    pub fn dst_addr(&self) -> Option<IpAddr> {
+        match self.dst.get() {
+            DstCache::Addr(a) => return Some(a),
+            DstCache::Invalid => return None,
+            DstCache::Unparsed => {}
+        }
+        let parsed = match self.bytes().first().map(|b| b >> 4) {
+            Some(4) => Ipv4Packet::new_checked(self.bytes()).ok().map(|p| IpAddr::V4(p.dst_addr())),
+            Some(6) => Ipv6Packet::new_checked(self.bytes()).ok().map(|p| IpAddr::V6(p.dst_addr())),
+            _ => None,
+        };
+        self.dst.set(match parsed {
+            Some(a) => DstCache::Addr(a),
+            None => DstCache::Invalid,
+        });
+        parsed
+    }
+
+    /// Decrement the TTL/hop-limit in place (IPv4: also fixes the header
+    /// checksum). Returns false if the hop limit is exhausted or the
+    /// packet is not IP. Leaves the cached destination intact — this
+    /// mutation cannot change the addresses.
+    pub fn decrement_hop_limit(&mut self) -> bool {
+        let bytes = &mut self.buf[self.start..];
+        match bytes.first().map(|b| b >> 4) {
+            Some(4) if bytes.len() >= 20 => {
+                if bytes[8] <= 1 {
+                    return false;
+                }
+                bytes[8] -= 1;
+                // Recompute the IPv4 header checksum.
+                bytes[10] = 0;
+                bytes[11] = 0;
+                let ck = tango_net::checksum::checksum(&bytes[..20]);
+                bytes[10..12].copy_from_slice(&ck.to_be_bytes());
+                true
+            }
+            Some(6) if bytes.len() >= 40 => {
+                if bytes[7] <= 1 {
+                    return false;
+                }
+                bytes[7] -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Freelist of packet buffers: dead packets hand their allocation back,
+/// new packets take one instead of hitting the allocator.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Vec<Vec<u8>>,
+}
+
+/// Buffers retained at most (beyond this, dead buffers really free).
+const POOL_MAX: usize = 4096;
+
+impl BufferPool {
+    /// Take a cleared buffer (pool hit) or a fresh one.
+    pub fn take(&mut self) -> Vec<u8> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Return a buffer to the freelist.
+    pub fn put(&mut self, mut buf: Vec<u8>) {
+        if self.free.len() < POOL_MAX && buf.capacity() > 0 {
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
+
+    /// Buffers currently parked in the freelist.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Is the freelist empty?
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
     }
 }
 
@@ -82,9 +296,9 @@ pub struct SimStats {
 }
 
 enum EventKind {
-    Deliver { to: AsId, pkt: Packet },
-    HostInject { to: AsId, pkt: Packet },
-    Timer { node: AsId, tag: u64 },
+    Deliver { to: u32, pkt: Packet },
+    HostInject { to: u32, pkt: Packet },
+    Timer { node: u32, tag: u64 },
 }
 
 struct QueuedEvent {
@@ -127,24 +341,107 @@ impl Default for SimConfig {
     }
 }
 
+/// Dense interning of the topology's node ids: `AsId` ⇔ `u32` index.
+/// Ids are sorted, so the index order matches `BTreeMap` iteration order
+/// and results are bit-identical to the tree-keyed seed implementation.
+#[derive(Debug)]
+struct NodeTable {
+    /// idx → id, ascending.
+    ids: Vec<AsId>,
+}
+
+impl NodeTable {
+    fn build(topology: &Topology) -> Self {
+        NodeTable { ids: topology.nodes().map(|n| n.id).collect() }
+    }
+
+    #[inline]
+    fn idx(&self, id: AsId) -> Option<u32> {
+        self.ids.binary_search(&id).ok().map(|i| i as u32)
+    }
+
+    #[inline]
+    fn id(&self, idx: u32) -> AsId {
+        self.ids[idx as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+/// Dense directed-link tables: per-link delay profile and scheduled
+/// events, plus a per-node adjacency index for O(log degree) resolution
+/// of `(from, to)` to a link id.
+#[derive(Debug)]
+struct LinkTable {
+    /// from_idx → sorted [(to_idx, link_id)].
+    adj: Vec<Vec<(u32, u32)>>,
+    /// link_id → the directed hop's profile (copied out of the topology).
+    profiles: Vec<DirectionProfile>,
+    /// link_id → events scheduled on the directed hop, topology order.
+    events: Vec<Vec<LinkEvent>>,
+}
+
+impl LinkTable {
+    fn build(topology: &Topology, nodes: &NodeTable) -> Self {
+        let mut adj = vec![Vec::new(); nodes.len()];
+        let mut profiles = Vec::new();
+        let mut events = Vec::new();
+        for (from_idx, &from) in nodes.ids.iter().enumerate() {
+            for &to in topology.neighbors(from) {
+                let to_idx = nodes.idx(to).expect("neighbor is a topology node");
+                let profile =
+                    topology.direction_profile(from, to).expect("adjacency implies a link");
+                let link_id = profiles.len() as u32;
+                profiles.push(profile.clone());
+                events.push(
+                    topology
+                        .events()
+                        .iter()
+                        .filter(|e| e.from == from && e.to == to)
+                        .cloned()
+                        .collect(),
+                );
+                adj[from_idx].push((to_idx, link_id));
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable_by_key(|&(to, _)| to);
+        }
+        LinkTable { adj, profiles, events }
+    }
+
+    #[inline]
+    fn lookup(&self, from_idx: u32, to_idx: u32) -> Option<u32> {
+        let list = &self.adj[from_idx as usize];
+        list.binary_search_by_key(&to_idx, |&(to, _)| to).ok().map(|i| list[i].1)
+    }
+}
+
 /// The execution context handed to agents. All side effects an agent can
 /// have on the world go through here, which keeps event ordering and
 /// randomness deterministic.
 pub struct Ctx<'a> {
     /// The node this agent runs on.
     pub node: AsId,
+    node_idx: u32,
     now: SimTime,
     clock: NodeClock,
     topology: &'a Topology,
+    nodes: &'a NodeTable,
+    links: &'a LinkTable,
     rng: &'a mut StdRng,
     fault: Option<FaultInjector>,
     stats: &'a mut SimStats,
     tracer: &'a mut Tracer,
-    out: Vec<QueuedEvent>,
+    out: &'a mut Vec<QueuedEvent>,
     seq: &'a mut u64,
     /// Per-directed-link "busy until" instants (ns) for capacity-limited
-    /// links: packets serialize behind the previous departure.
-    link_busy: &'a mut BTreeMap<(AsId, AsId), u64>,
+    /// links, indexed by dense link id: packets serialize behind the
+    /// previous departure.
+    link_busy: &'a mut [u64],
+    pool: &'a mut BufferPool,
 }
 
 impl<'a> Ctx<'a> {
@@ -170,44 +467,73 @@ impl<'a> Ctx<'a> {
         self.topology
     }
 
+    /// Take a recycled buffer from the packet pool (cleared; capacity is
+    /// whatever its previous life left).
+    pub fn take_buffer(&mut self) -> Vec<u8> {
+        self.pool.take()
+    }
+
+    /// An empty packet with `headroom` reserved bytes, backed by a pooled
+    /// buffer when one is free.
+    pub fn alloc_packet(&mut self, headroom: usize) -> Packet {
+        Packet::from_recycled(self.pool.take(), headroom)
+    }
+
+    /// Hand a dead packet's buffer back to the pool. Call this where a
+    /// packet's life ends (delivered-and-consumed, rejected, unroutable)
+    /// so the next allocation on this simulation reuses it.
+    pub fn recycle(&mut self, pkt: Packet) {
+        self.pool.put(pkt.into_buffer());
+    }
+
     fn trace(&mut self, kind: TraceKind) {
         self.tracer.record(TraceEvent { time: self.now, node: self.node, kind });
     }
 
     /// Transmit a packet to an adjacent node. Samples loss, event
     /// effects, fault injection, ECMP lane, and delay; schedules delivery.
-    pub fn transmit(&mut self, to: AsId, pkt: Packet) {
-        let from = self.node;
-        let Some(profile) = self.topology.direction_profile(from, to) else {
+    pub fn transmit(&mut self, to: AsId, mut pkt: Packet) {
+        let links = self.links;
+        let link_id = self
+            .nodes
+            .idx(to)
+            .and_then(|to_idx| links.lookup(self.node_idx, to_idx).map(|l| (to_idx, l)));
+        let Some((to_idx, link_id)) = link_id else {
             self.stats.no_link += 1;
             self.trace(TraceKind::NoLink);
+            self.pool.put(pkt.into_buffer());
             return;
         };
+        let profile = &links.profiles[link_id as usize];
         self.stats.transmissions += 1;
         self.trace(TraceKind::Tx { to });
         if profile.sample_loss(self.rng) {
             self.stats.lost_link += 1;
             self.trace(TraceKind::LossLink);
+            self.pool.put(pkt.into_buffer());
             return;
         }
         // Active wide-area events on this directed hop.
+        let now_ns = self.now.as_ns();
+        let link_events = &links.events[link_id as usize];
         let mut shift: i64 = 0;
-        for ev in self.topology.active_events(from, to, self.now.as_ns()) {
-            match ev.sample_effect(self.now.as_ns(), self.rng) {
+        for ev in link_events.iter().filter(|e| e.window.contains(now_ns)) {
+            match ev.sample_effect(now_ns, self.rng) {
                 Some(d) => shift += d,
                 None => {
                     self.stats.lost_outage += 1;
                     self.trace(TraceKind::LossOutage);
+                    self.pool.put(pkt.into_buffer());
                     return;
                 }
             }
         }
-        let mut bytes = pkt.bytes;
         if let Some(f) = self.fault {
-            match f.apply(self.rng, &mut bytes) {
+            match f.apply(self.rng, pkt.bytes_mut()) {
                 FaultDecision::Drop => {
                     self.stats.lost_fault += 1;
                     self.trace(TraceKind::LossFault);
+                    self.pool.put(pkt.into_buffer());
                     return;
                 }
                 FaultDecision::Corrupted => {
@@ -221,40 +547,41 @@ impl<'a> Ctx<'a> {
         // waiting behind earlier departures; overlong waits tail-drop.
         let mut queue_delay = 0u64;
         if profile.capacity_bps.is_some() {
-            let tx = profile.tx_time_ns(bytes.len());
-            let busy = self.link_busy.entry((from, to)).or_insert(0);
-            let start = (*busy).max(self.now.as_ns());
-            let wait = start - self.now.as_ns();
+            let tx = profile.tx_time_ns(pkt.len());
+            let busy = &mut self.link_busy[link_id as usize];
+            let start = (*busy).max(now_ns);
+            let wait = start - now_ns;
             if wait > profile.max_queue_ns {
                 self.stats.lost_queue += 1;
                 self.trace(TraceKind::LossQueue);
+                self.pool.put(pkt.into_buffer());
                 return;
             }
             *busy = start + tx;
             queue_delay = wait + tx;
         }
-        let hash = flow_hash(&bytes);
+        let hash = flow_hash(pkt.bytes());
         let delay = profile.sample_delay(self.rng, hash, shift) + queue_delay;
         let time = self.now + SimTime(delay);
         // A link that goes dark mid-flight also kills the packets already
         // committed to it: if the *arrival* instant falls inside an
         // outage window on this hop, the packet never makes it off the
         // wire.
-        let arrives_in_outage = self
-            .topology
-            .active_events(from, to, time.as_ns())
-            .iter()
-            .any(|ev| matches!(ev.kind, tango_topology::EventKind::Outage));
+        let arrival_ns = time.as_ns();
+        let arrives_in_outage = link_events.iter().any(|ev| {
+            matches!(ev.kind, TopoEventKind::Outage) && ev.window.contains(arrival_ns)
+        });
         if arrives_in_outage {
             self.stats.lost_outage += 1;
             self.trace(TraceKind::LossOutage);
+            self.pool.put(pkt.into_buffer());
             return;
         }
         *self.seq += 1;
         self.out.push(QueuedEvent {
             time,
             seq: *self.seq,
-            kind: EventKind::Deliver { to, pkt: Packet::new(bytes) },
+            kind: EventKind::Deliver { to: to_idx, pkt },
         });
     }
 
@@ -264,7 +591,7 @@ impl<'a> Ctx<'a> {
         self.out.push(QueuedEvent {
             time: self.now + delay,
             seq: *self.seq,
-            kind: EventKind::Timer { node: self.node, tag },
+            kind: EventKind::Timer { node: self.node_idx, tag },
         });
     }
 
@@ -284,62 +611,101 @@ impl<'a> Ctx<'a> {
 /// The deterministic discrete-event network simulator.
 pub struct NetworkSim {
     topology: Topology,
-    clocks: BTreeMap<AsId, NodeClock>,
-    agents: BTreeMap<AsId, Box<dyn Agent>>,
+    nodes: NodeTable,
+    links: LinkTable,
+    clocks: Vec<NodeClock>,
+    agents: Vec<Option<Box<dyn Agent>>>,
     queue: BinaryHeap<Reverse<QueuedEvent>>,
+    /// Externally scheduled events whose (time, seq) keys arrived in
+    /// non-decreasing order — the common case for pre-scheduled traffic
+    /// (a bench injecting N packets, a schedule expanded up front). Kept
+    /// out of the heap and merged lazily at pop time, so pre-loading 100k
+    /// packets does not inflate every heap operation to log(100k).
+    staged: VecDeque<QueuedEvent>,
     now: SimTime,
     seq: u64,
     rng: StdRng,
     fault: Option<FaultInjector>,
     stats: SimStats,
     tracer: Tracer,
-    link_busy: BTreeMap<(AsId, AsId), u64>,
+    link_busy: Vec<u64>,
+    pool: BufferPool,
+    out_scratch: Vec<QueuedEvent>,
 }
 
 impl NetworkSim {
     /// Build a simulator over a topology.
     pub fn new(topology: Topology, config: SimConfig) -> Self {
+        let nodes = NodeTable::build(&topology);
+        let links = LinkTable::build(&topology, &nodes);
+        let n = nodes.len();
+        let n_links = links.profiles.len();
         NetworkSim {
             topology,
-            clocks: BTreeMap::new(),
-            agents: BTreeMap::new(),
+            nodes,
+            links,
+            clocks: vec![NodeClock::default(); n],
+            agents: (0..n).map(|_| None).collect(),
             queue: BinaryHeap::new(),
+            staged: VecDeque::new(),
             now: SimTime::ZERO,
             seq: 0,
             rng: StdRng::seed_from_u64(config.seed),
             fault: config.fault,
             stats: SimStats::default(),
             tracer: Tracer::new(config.trace_capacity),
-            link_busy: BTreeMap::new(),
+            link_busy: vec![0; n_links],
+            pool: BufferPool::default(),
+            out_scratch: Vec::new(),
         }
     }
 
-    /// Set a node's clock (default: synchronized).
-    pub fn set_clock(&mut self, node: AsId, clock: NodeClock) {
-        self.clocks.insert(node, clock);
+    fn idx_or_sentinel(&self, node: AsId) -> u32 {
+        self.nodes.idx(node).unwrap_or(NO_NODE)
     }
 
-    /// Install a node's agent (replacing any previous one).
+    /// Set a node's clock (default: synchronized). The node must exist in
+    /// the topology.
+    pub fn set_clock(&mut self, node: AsId, clock: NodeClock) {
+        let idx = self.nodes.idx(node).expect("clock node is in the topology");
+        self.clocks[idx as usize] = clock;
+    }
+
+    /// Install a node's agent (replacing any previous one). The node must
+    /// exist in the topology.
     pub fn set_agent(&mut self, node: AsId, agent: Box<dyn Agent>) {
-        self.agents.insert(node, agent);
+        let idx = self.nodes.idx(node).expect("agent node is in the topology");
+        self.agents[idx as usize] = Some(agent);
+    }
+
+    /// Stage or heap-push an externally scheduled event: events arriving
+    /// in time order append to the staged queue in O(1); out-of-order
+    /// stragglers go to the heap. The pop-side merge preserves the exact
+    /// global (time, seq) order either way.
+    fn enqueue_external(&mut self, ev: QueuedEvent) {
+        let in_order = self.staged.back().map_or(true, |b| (b.time, b.seq) <= (ev.time, ev.seq));
+        if in_order {
+            self.staged.push_back(ev);
+        } else {
+            self.queue.push(Reverse(ev));
+        }
     }
 
     /// Schedule a packet to enter `node` from its host side at `time`.
     pub fn schedule_host_packet(&mut self, time: SimTime, node: AsId, pkt: Packet) {
         self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent {
-            time,
-            seq: self.seq,
-            kind: EventKind::HostInject { to: node, pkt },
-        }));
+        let to = self.idx_or_sentinel(node);
+        let ev = QueuedEvent { time, seq: self.seq, kind: EventKind::HostInject { to, pkt } };
+        self.enqueue_external(ev);
     }
 
     /// Schedule a timer for `node` at absolute `time` (e.g. the initial
     /// kick of a probe generator).
     pub fn schedule_timer_at(&mut self, time: SimTime, node: AsId, tag: u64) {
         self.seq += 1;
-        self.queue
-            .push(Reverse(QueuedEvent { time, seq: self.seq, kind: EventKind::Timer { node, tag } }));
+        let node = self.idx_or_sentinel(node);
+        let ev = QueuedEvent { time, seq: self.seq, kind: EventKind::Timer { node, tag } };
+        self.enqueue_external(ev);
     }
 
     /// Current simulated time.
@@ -362,15 +728,36 @@ impl NetworkSim {
         &self.topology
     }
 
+    /// Buffers parked in the packet-buffer freelist (observability).
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.len()
+    }
+
     /// Run until the queue is empty or simulated time exceeds `until`.
     /// Returns the number of events processed.
     pub fn run_until(&mut self, until: SimTime) -> u64 {
         let mut processed = 0;
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.time > until {
+        loop {
+            // The next event is the smaller of the heap head and the
+            // staged front — the same total (time, seq) order a single
+            // heap would produce.
+            let heap_key = self.queue.peek().map(|Reverse(e)| (e.time, e.seq));
+            let staged_key = self.staged.front().map(|e| (e.time, e.seq));
+            let take_staged = match (heap_key, staged_key) {
+                (None, None) => break,
+                (Some(_), None) => false,
+                (None, Some(_)) => true,
+                (Some(h), Some(s)) => s < h,
+            };
+            let time = if take_staged { staged_key.unwrap().0 } else { heap_key.unwrap().0 };
+            if time > until {
                 break;
             }
-            let Reverse(event) = self.queue.pop().expect("peeked");
+            let event = if take_staged {
+                self.staged.pop_front().expect("peeked")
+            } else {
+                self.queue.pop().expect("peeked").0
+            };
             debug_assert!(event.time >= self.now, "time must be monotonic");
             self.now = event.time;
             self.dispatch(event.kind);
@@ -385,59 +772,70 @@ impl NetworkSim {
 
     /// True if no events are pending.
     pub fn idle(&self) -> bool {
-        self.queue.is_empty()
+        self.queue.is_empty() && self.staged.is_empty()
     }
 
     fn dispatch(&mut self, kind: EventKind) {
-        let (node, call): (AsId, u8) = match &kind {
-            EventKind::Deliver { to, .. } => (*to, 0),
-            EventKind::HostInject { to, .. } => (*to, 1),
-            EventKind::Timer { node, .. } => (*node, 2),
+        let node_idx = match &kind {
+            EventKind::Deliver { to, .. } => *to,
+            EventKind::HostInject { to, .. } => *to,
+            EventKind::Timer { node, .. } => *node,
         };
-        let _ = call;
-        let Some(mut agent) = self.agents.remove(&node) else {
+        let Some(mut agent) =
+            self.agents.get_mut(node_idx as usize).and_then(|slot| slot.take())
+        else {
             // No agent: the packet/timer evaporates (counted as no_route —
-            // a node without behaviour cannot forward).
-            if !matches!(kind, EventKind::Timer { .. }) {
-                self.stats.no_route += 1;
+            // a node without behaviour cannot forward). The dead packet's
+            // buffer still feeds the pool.
+            match kind {
+                EventKind::Deliver { pkt, .. } | EventKind::HostInject { pkt, .. } => {
+                    self.stats.no_route += 1;
+                    self.pool.put(pkt.into_buffer());
+                }
+                EventKind::Timer { .. } => {}
             }
             return;
         };
-        let clock = self.clocks.get(&node).copied().unwrap_or_default();
-        let mut ctx = Ctx {
-            node,
-            now: self.now,
-            clock,
-            topology: &self.topology,
-            rng: &mut self.rng,
-            fault: self.fault,
-            stats: &mut self.stats,
-            tracer: &mut self.tracer,
-            out: Vec::new(),
-            seq: &mut self.seq,
-            link_busy: &mut self.link_busy,
-        };
-        match kind {
-            EventKind::Deliver { pkt, .. } => {
-                ctx.stats.deliveries += 1;
-                ctx.trace(TraceKind::Rx);
-                agent.on_packet(&mut ctx, pkt);
-            }
-            EventKind::HostInject { pkt, .. } => {
-                agent.on_host_packet(&mut ctx, pkt);
-            }
-            EventKind::Timer { tag, .. } => {
-                ctx.stats.timers += 1;
-                ctx.trace(TraceKind::Timer { tag });
-                agent.on_timer(&mut ctx, tag);
+        let node = self.nodes.id(node_idx);
+        let clock = self.clocks[node_idx as usize];
+        {
+            let mut ctx = Ctx {
+                node,
+                node_idx,
+                now: self.now,
+                clock,
+                topology: &self.topology,
+                nodes: &self.nodes,
+                links: &self.links,
+                rng: &mut self.rng,
+                fault: self.fault,
+                stats: &mut self.stats,
+                tracer: &mut self.tracer,
+                out: &mut self.out_scratch,
+                seq: &mut self.seq,
+                link_busy: &mut self.link_busy,
+                pool: &mut self.pool,
+            };
+            match kind {
+                EventKind::Deliver { pkt, .. } => {
+                    ctx.stats.deliveries += 1;
+                    ctx.trace(TraceKind::Rx);
+                    agent.on_packet(&mut ctx, pkt);
+                }
+                EventKind::HostInject { pkt, .. } => {
+                    agent.on_host_packet(&mut ctx, pkt);
+                }
+                EventKind::Timer { tag, .. } => {
+                    ctx.stats.timers += 1;
+                    ctx.trace(TraceKind::Timer { tag });
+                    agent.on_timer(&mut ctx, tag);
+                }
             }
         }
-        let out = std::mem::take(&mut ctx.out);
-        drop(ctx);
-        for ev in out {
+        for ev in self.out_scratch.drain(..) {
             self.queue.push(Reverse(ev));
         }
-        self.agents.insert(node, agent);
+        self.agents[node_idx as usize] = Some(agent);
     }
 }
 
@@ -460,51 +858,29 @@ impl RouterAgent {
     pub fn set_table(&mut self, table: PrefixTrie<AsId>) {
         self.table = table;
     }
-
-    /// Decrement TTL/hop-limit in place. Returns false if expired.
-    fn decrement_ttl(bytes: &mut [u8]) -> bool {
-        match bytes.first().map(|b| b >> 4) {
-            Some(4) if bytes.len() >= 20 => {
-                if bytes[8] <= 1 {
-                    return false;
-                }
-                bytes[8] -= 1;
-                // Recompute the IPv4 header checksum.
-                bytes[10] = 0;
-                bytes[11] = 0;
-                let ck = tango_net::checksum::checksum(&bytes[..20]);
-                bytes[10..12].copy_from_slice(&ck.to_be_bytes());
-                true
-            }
-            Some(6) if bytes.len() >= 40 => {
-                if bytes[7] <= 1 {
-                    return false;
-                }
-                bytes[7] -= 1;
-                true
-            }
-            _ => false,
-        }
-    }
 }
 
 impl Agent for RouterAgent {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, mut pkt: Packet) {
         let Some(dst) = pkt.dst_addr() else {
             ctx.count_no_route();
+            ctx.recycle(pkt);
             return;
         };
         let Some((_, &next)) = self.table.longest_match(dst) else {
             ctx.count_no_route();
+            ctx.recycle(pkt);
             return;
         };
         if next == self.id {
             // Locally destined at a plain router: nothing behind it.
             ctx.count_no_route();
+            ctx.recycle(pkt);
             return;
         }
-        if !Self::decrement_ttl(&mut pkt.bytes) {
+        if !pkt.decrement_hop_limit() {
             ctx.count_ttl_expired();
+            ctx.recycle(pkt);
             return;
         }
         ctx.transmit(next, pkt);
@@ -934,5 +1310,92 @@ mod tests {
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(sim.stats().lost_outage, 1);
         assert_eq!(sim.stats().deliveries, 1);
+    }
+
+    #[test]
+    fn packet_headroom_prepend_strip_roundtrip() {
+        let inner = vec![0x45u8, 1, 2, 3];
+        let mut pkt = Packet::with_headroom(16, &inner);
+        assert_eq!(pkt.bytes(), &inner[..]);
+        assert_eq!(pkt.headroom(), 16);
+        let hdr = pkt.prepend(8);
+        hdr[..8].copy_from_slice(&[9u8; 8]);
+        assert_eq!(pkt.len(), inner.len() + 8);
+        assert_eq!(pkt.headroom(), 8);
+        assert_eq!(&pkt.bytes()[..8], &[9u8; 8]);
+        pkt.strip_front(8);
+        assert_eq!(pkt.bytes(), &inner[..]);
+        assert_eq!(pkt.headroom(), 16);
+    }
+
+    #[test]
+    fn packet_equality_ignores_headroom() {
+        let a = Packet::new(vec![1, 2, 3]);
+        let b = Packet::with_headroom(32, &[1, 2, 3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dst_addr_cache_tracks_mutation() {
+        let mut pkt = ipv6_packet("2001:db8:3::1", 64);
+        let first = pkt.dst_addr().unwrap();
+        assert_eq!(first, "2001:db8:3::1".parse::<IpAddr>().unwrap());
+        // Cached: a second call without mutation returns the same.
+        assert_eq!(pkt.dst_addr(), Some(first));
+        // Rewrite the destination through bytes_mut: cache must refresh.
+        {
+            let bytes = pkt.bytes_mut();
+            let mut v = Ipv6Packet::new_unchecked(bytes);
+            v.set_dst_addr("2001:db8:3::2".parse().unwrap());
+        }
+        assert_eq!(pkt.dst_addr(), Some("2001:db8:3::2".parse::<IpAddr>().unwrap()));
+    }
+
+    #[test]
+    fn decrement_hop_limit_keeps_dst_cache_valid() {
+        let mut pkt = ipv6_packet("2001:db8:3::1", 64);
+        let before = pkt.dst_addr();
+        assert!(pkt.decrement_hop_limit());
+        assert_eq!(pkt.bytes()[7], 63);
+        assert_eq!(pkt.dst_addr(), before);
+    }
+
+    #[test]
+    fn decrement_hop_limit_fixes_ipv4_checksum() {
+        // A syntactically valid IPv4 header with a correct checksum.
+        let mut hdr = vec![
+            0x45, 0, 0, 20, 0, 0, 0, 0, 64, 17, 0, 0, 10, 0, 0, 1, 10, 0, 0, 2,
+        ];
+        let ck = tango_net::checksum::checksum(&hdr);
+        hdr[10..12].copy_from_slice(&ck.to_be_bytes());
+        let mut pkt = Packet::new(hdr);
+        assert!(pkt.decrement_hop_limit());
+        assert_eq!(pkt.bytes()[8], 63);
+        assert_eq!(tango_net::checksum::checksum(pkt.bytes()), 0);
+    }
+
+    #[test]
+    fn dead_packets_feed_the_buffer_pool() {
+        // Packets that die at the sink (no route) must hand their
+        // buffers back to the pool.
+        let (mut sim, _, _) = build_line_sim();
+        assert_eq!(sim.pooled_buffers(), 0);
+        sim.schedule_host_packet(SimTime::ZERO, AsId(1), ipv6_packet("2001:db8:99::1", 64));
+        sim.run_until(SimTime::from_secs(1));
+        assert!(sim.pooled_buffers() > 0);
+    }
+
+    #[test]
+    fn buffer_pool_recycles_capacity() {
+        let mut pool = BufferPool::default();
+        let mut buf = Vec::with_capacity(256);
+        buf.extend_from_slice(&[1, 2, 3]);
+        let ptr_cap = buf.capacity();
+        pool.put(buf);
+        assert_eq!(pool.len(), 1);
+        let reused = pool.take();
+        assert!(reused.is_empty());
+        assert_eq!(reused.capacity(), ptr_cap);
+        assert!(pool.is_empty());
     }
 }

@@ -40,7 +40,7 @@ pub mod trace;
 pub mod traffic;
 
 pub use clock::NodeClock;
-pub use engine::{Agent, Ctx, NetworkSim, Packet, RouterAgent, SimConfig, SimStats};
+pub use engine::{Agent, BufferPool, Ctx, NetworkSim, Packet, RouterAgent, SimConfig, SimStats};
 pub use fault::{FaultDecision, FaultInjector};
 pub use time::SimTime;
 pub use trace::{TraceEvent, TraceKind, Tracer};
