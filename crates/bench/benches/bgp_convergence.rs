@@ -14,7 +14,8 @@ fn vultr_engine() -> BgpEngine {
     for border in [VULTR_LA, VULTR_NY] {
         e.set_strip_private(border, true).unwrap();
         e.set_honor_actions(border, true).unwrap();
-        e.set_neighbor_pref(border, s.neighbor_pref[&border].clone()).unwrap();
+        e.set_neighbor_pref(border, s.neighbor_pref[&border].clone())
+            .unwrap();
     }
     e
 }
@@ -23,8 +24,12 @@ fn bench_converge(c: &mut Criterion) {
     c.bench_function("bgp/vultr_announce_converge", |b| {
         b.iter(|| {
             let mut e = vultr_engine();
-            e.announce(TENANT_LA, "2001:db8:100::/48".parse().unwrap(), BTreeSet::new())
-                .unwrap();
+            e.announce(
+                TENANT_LA,
+                "2001:db8:100::/48".parse().unwrap(),
+                BTreeSet::new(),
+            )
+            .unwrap();
             black_box(e.converge().unwrap())
         })
     });

@@ -8,9 +8,18 @@ use tango_measure::{RollingWindow, SeqTracker};
 
 fn bench_selection(c: &mut Criterion) {
     let mut single = SelectionState::new(Selection::Single(2));
-    c.bench_function("selection/single", |b| b.iter(|| black_box(single.choose())));
-    let mut wrr = SelectionState::new(Selection::Weighted(vec![(0, 77), (1, 88), (2, 100), (3, 69)]));
-    c.bench_function("selection/weighted_4_paths", |b| b.iter(|| black_box(wrr.choose())));
+    c.bench_function("selection/single", |b| {
+        b.iter(|| black_box(single.choose()))
+    });
+    let mut wrr = SelectionState::new(Selection::Weighted(vec![
+        (0, 77),
+        (1, 88),
+        (2, 100),
+        (3, 69),
+    ]));
+    c.bench_function("selection/weighted_4_paths", |b| {
+        b.iter(|| black_box(wrr.choose()))
+    });
 }
 
 fn bench_stats_update(c: &mut Criterion) {
@@ -59,10 +68,20 @@ fn bench_full_tx_path(c: &mut Criterion) {
         b.iter(|| {
             let _path = sel.choose().unwrap();
             seq = seq.wrapping_add(1);
-            black_box(codec::encapsulate(&tunnel, black_box(&inner), seq, 1_234_567))
+            black_box(codec::encapsulate(
+                &tunnel,
+                black_box(&inner),
+                seq,
+                1_234_567,
+            ))
         })
     });
 }
 
-criterion_group!(benches, bench_selection, bench_stats_update, bench_full_tx_path);
+criterion_group!(
+    benches,
+    bench_selection,
+    bench_stats_update,
+    bench_full_tx_path
+);
 criterion_main!(benches);

@@ -50,8 +50,12 @@ fn bench_flow_hash(c: &mut Criterion) {
     let encapped = codec::encapsulate(&tunnel, &v6, 1, 123_456_789);
     let mut group = c.benchmark_group("flow_hash");
     group.throughput(Throughput::Elements(1));
-    group.bench_function("ipv6_udp", |b| b.iter(|| black_box(flow_hash(black_box(&v6)))));
-    group.bench_function("ipv4_udp", |b| b.iter(|| black_box(flow_hash(black_box(&v4)))));
+    group.bench_function("ipv6_udp", |b| {
+        b.iter(|| black_box(flow_hash(black_box(&v6))))
+    });
+    group.bench_function("ipv4_udp", |b| {
+        b.iter(|| black_box(flow_hash(black_box(&v4))))
+    });
     group.bench_function("tango_encapsulated", |b| {
         b.iter(|| black_box(flow_hash(black_box(&encapped))))
     });

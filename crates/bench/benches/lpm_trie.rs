@@ -14,8 +14,9 @@ fn build_table(prefixes: usize, seed: u64) -> (PrefixTrie<u32>, Vec<IpAddr>) {
         let len = rng.gen_range(32..=64);
         trie.insert(IpCidr::V6(Ipv6Cidr::new(addr, len).unwrap()), i as u32);
     }
-    let probes: Vec<IpAddr> =
-        (0..1024).map(|_| IpAddr::V6(Ipv6Addr::from(rng.gen::<u128>() | 0x2000 << 112))).collect();
+    let probes: Vec<IpAddr> = (0..1024)
+        .map(|_| IpAddr::V6(Ipv6Addr::from(rng.gen::<u128>() | 0x2000 << 112)))
+        .collect();
     (trie, probes)
 }
 

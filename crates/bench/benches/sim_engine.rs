@@ -17,6 +17,7 @@ fn bench_probe_workload(c: &mut Criterion) {
                 ..PairingOptions::default()
             })
             .expect("provisions");
+            #[allow(clippy::disallowed_methods)] // bench wall-clock: timing is the product here
             let start = std::time::Instant::now();
             for i in 0..iters {
                 pairing.run_until(SimTime::from_secs(i + 1));

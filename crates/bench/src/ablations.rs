@@ -40,7 +40,9 @@ pub fn owd_accuracy(samples: usize, seed: u64) -> Vec<OwdAccuracyRow> {
     let scenario = vultr_scenario();
     let topo = &scenario.topology;
     let fwd = topo.direction_profile(GTT, VULTR_NY).expect("GTT→NY edge");
-    let rev = topo.direction_profile(GTT, tango_topology::vultr::VULTR_LA).expect("GTT→LA edge");
+    let rev = topo
+        .direction_profile(GTT, tango_topology::vultr::VULTR_LA)
+        .expect("GTT→LA edge");
     let wireless = WirelessNoise::default();
     let hypervisor = HypervisorNoise::default();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -49,10 +51,10 @@ pub fn owd_accuracy(samples: usize, seed: u64) -> Vec<OwdAccuracyRow> {
     // The truth being estimated is the tunnel's own path — base delay
     // plus the ECMP lane the tunnel's 5-tuple pins (the lane *is* part
     // of the path; that determinism is exactly what Tango buys).
-    let true_owd =
-        (fwd.base_delay_ns as i64 + fwd.lane_offset(tunnel_hash)) as f64 / 1e6;
-    let tango: Vec<f64> =
-        (0..samples).map(|_| fwd.sample_delay(&mut rng, tunnel_hash, 0) as f64 / 1e6).collect();
+    let true_owd = (fwd.base_delay_ns as i64 + fwd.lane_offset(tunnel_hash)) as f64 / 1e6;
+    let tango: Vec<f64> = (0..samples)
+        .map(|_| fwd.sample_delay(&mut rng, tunnel_hash, 0) as f64 / 1e6)
+        .collect();
 
     // 2: RTT/2 with edge noise on both ends, both directions.
     let host: Vec<f64> = (0..samples)
@@ -75,7 +77,12 @@ pub fn owd_accuracy(samples: usize, seed: u64) -> Vec<OwdAccuracyRow> {
 
     let row = |strategy: &'static str, vals: &[f64]| {
         let s = Summary::of(vals).expect("samples");
-        OwdAccuracyRow { strategy, mean_ms: s.mean, std_ms: s.std, bias_ms: s.mean - true_owd }
+        OwdAccuracyRow {
+            strategy,
+            mean_ms: s.mean,
+            std_ms: s.std,
+            bias_ms: s.mean - true_owd,
+        }
     };
     vec![
         row("Tango one-way @ border", &tango),
@@ -162,11 +169,23 @@ pub fn policy_comparison(seed: u64) -> Vec<PolicyRow> {
         }
     };
     vec![
-        run(Box::new(StaticPolicy::single(0, "bgp-default")), "BGP default (NTT)"),
-        run(Box::new(StaticPolicy::single(2, "pin-best")), "pin to best (GTT)"),
+        run(
+            Box::new(StaticPolicy::single(0, "bgp-default")),
+            "BGP default (NTT)",
+        ),
+        run(
+            Box::new(StaticPolicy::single(2, "pin-best")),
+            "pin to best (GTT)",
+        ),
         run(Box::new(LowestOwdPolicy::new(500_000.0)), "lowest-OWD"),
-        run(Box::new(JitterAwarePolicy::new(5.0, 500_000.0)), "jitter-aware"),
-        run(Box::new(LossAwarePolicy::new(0.02, 500_000.0)), "loss-aware"),
+        run(
+            Box::new(JitterAwarePolicy::new(5.0, 500_000.0)),
+            "jitter-aware",
+        ),
+        run(
+            Box::new(LossAwarePolicy::new(0.02, 500_000.0)),
+            "loss-aware",
+        ),
         run(Box::new(WeightedSplitPolicy::new(1.3)), "weighted-split"),
     ]
 }
@@ -192,7 +211,9 @@ pub fn report_policy(seed: u64) {
         })
         .collect();
     print_table(
-        &["policy", "mean ms", "p95 ms", "p99 ms", "max ms", "switches"],
+        &[
+            "policy", "mean ms", "p95 ms", "p99 ms", "max ms", "switches",
+        ],
         &table,
     );
     println!(
@@ -225,7 +246,11 @@ pub fn multihoming() -> Vec<MultihomingRow> {
     use tango_topology::vultr::{TENANT_LA, TENANT_NY, VULTR_LA};
     let pairing = tango::vultr_pairing(PairingOptions::default()).expect("provisions");
     let topo = pairing.bgp.topology().clone();
-    let floor = |transits: &[tango_topology::AsId], a: tango_topology::AsId, a_border: tango_topology::AsId, b_border: tango_topology::AsId, b: tango_topology::AsId| {
+    let floor = |transits: &[tango_topology::AsId],
+                 a: tango_topology::AsId,
+                 a_border: tango_topology::AsId,
+                 b_border: tango_topology::AsId,
+                 b: tango_topology::AsId| {
         let mut path = vec![a, a_border];
         path.extend_from_slice(transits);
         path.push(b_border);
@@ -236,8 +261,12 @@ pub fn multihoming() -> Vec<MultihomingRow> {
         floor(transits, TENANT_LA, VULTR_LA, VULTR_NY, TENANT_NY)
     };
     // The per-direction floors of the four discovered paths.
-    let fwd: Vec<f64> =
-        pairing.provisioned.paths_a_to_b.iter().map(|p| la_ny(&p.transit_path)).collect();
+    let fwd: Vec<f64> = pairing
+        .provisioned
+        .paths_a_to_b
+        .iter()
+        .map(|p| la_ny(&p.transit_path))
+        .collect();
     let rev: Vec<f64> = pairing
         .provisioned
         .paths_b_to_a
@@ -293,7 +322,13 @@ pub fn report_multihoming() {
         })
         .collect();
     print_table(
-        &["approach", "LA→NY (ms)", "NY→LA (ms)", "RTT floor (ms)", "paths controlled"],
+        &[
+            "approach",
+            "LA→NY (ms)",
+            "NY→LA (ms)",
+            "RTT floor (ms)",
+            "paths controlled",
+        ],
         &table,
     );
     println!(
@@ -339,12 +374,11 @@ pub fn tango_of_n(ns: &[usize], seed: u64) -> Vec<TangoOfNRow> {
                 tenant: g.edge_sites[idx],
                 border: g.edge_sites[idx],
                 block: blocks.subnet(44, (idx * 2 + role) as u128).expect("fits"),
-                host_prefix: tango_net::IpCidr::V6(
-                    hosts.subnet(48, idx as u128).expect("fits"),
-                ),
+                host_prefix: tango_net::IpCidr::V6(hosts.subnet(48, idx as u128).expect("fits")),
             };
-            let pairs: Vec<(usize, usize)> =
-                (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))).collect();
+            let pairs: Vec<(usize, usize)> = (0..n)
+                .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+                .collect();
             // Each pairing owns an independent simulator: embarrassingly
             // parallel, fanned out over scoped threads.
             let results: Vec<Option<(usize, f64)>> = std::thread::scope(|scope| {
@@ -377,7 +411,10 @@ pub fn tango_of_n(ns: &[usize], seed: u64) -> Vec<TangoOfNRow> {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("pairing thread")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pairing thread"))
+                    .collect()
             });
             let ok: Vec<(usize, f64)> = results.into_iter().flatten().collect();
             let pair_count = ok.len();
@@ -411,7 +448,13 @@ pub fn report_tango_of_n(seed: u64) {
         })
         .collect();
     print_table(
-        &["N sites", "pairs", "avg paths/dir", "avg best-vs-default", "pairs >10% gain"],
+        &[
+            "N sites",
+            "pairs",
+            "avg paths/dir",
+            "avg best-vs-default",
+            "pairs >10% gain",
+        ],
         &table,
     );
     println!(
@@ -488,17 +531,24 @@ pub fn load_balance(seed: u64) -> Vec<LoadBalanceRow> {
         }
     };
     vec![
-        run(Box::new(StaticPolicy::single(0, "bgp-default")), "BGP default (NTT)"),
-        run(Box::new(LowestOwdPolicy::new(500_000.0)), "lowest-OWD (single path)"),
-        run(Box::new(WeightedSplitPolicy::new(2.0)), "weighted-split (all paths)"),
+        run(
+            Box::new(StaticPolicy::single(0, "bgp-default")),
+            "BGP default (NTT)",
+        ),
+        run(
+            Box::new(LowestOwdPolicy::new(500_000.0)),
+            "lowest-OWD (single path)",
+        ),
+        run(
+            Box::new(WeightedSplitPolicy::new(2.0)),
+            "weighted-split (all paths)",
+        ),
     ]
 }
 
 /// Print A6.
 pub fn report_load_balance(seed: u64) {
-    println!(
-        "A6 — load balancing (§6): 100 Mbit/s offered across 50 Mbit/s crossings, 10 s\n"
-    );
+    println!("A6 — load balancing (§6): 100 Mbit/s offered across 50 Mbit/s crossings, 10 s\n");
     let rows = load_balance(seed);
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -513,7 +563,13 @@ pub fn report_load_balance(seed: u64) {
         })
         .collect();
     print_table(
-        &["policy", "delivered", "queue drops", "mean OWD ms", "p99 OWD ms"],
+        &[
+            "policy",
+            "delivered",
+            "queue drops",
+            "mean OWD ms",
+            "p99 OWD ms",
+        ],
         &table,
     );
     println!(
@@ -556,7 +612,12 @@ pub fn loss_table(seed: u64) -> Vec<LossRow> {
     overrides.loss_into_la.insert(LEVEL3, 0.05);
     // NTT gets no loss but a uniform jitter wider than the 10 ms probe
     // spacing: consecutive probes overtake each other → reordering.
-    overrides.jitter_into_la.insert(NTT, JitterModel::Uniform { range_ns: 25_000_000 });
+    overrides.jitter_into_la.insert(
+        NTT,
+        JitterModel::Uniform {
+            range_ns: 25_000_000,
+        },
+    );
     let induced = [(0u16, 0.0), (1, 0.005), (2, 0.02), (3, 0.05)];
 
     let scenario = vultr_scenario_custom(&overrides);
@@ -565,7 +626,10 @@ pub fn loss_table(seed: u64) -> Vec<LossRow> {
         scenario.neighbor_pref.clone(),
         la_side(),
         ny_side(),
-        PairingOptions { seed, ..PairingOptions::default() },
+        PairingOptions {
+            seed,
+            ..PairingOptions::default()
+        },
     )
     .expect("provisions");
     pairing.run_until(SimTime::from_secs(120)); // 12k probes per path
@@ -588,9 +652,7 @@ pub fn loss_table(seed: u64) -> Vec<LossRow> {
 
 /// Print A7.
 pub fn report_loss_table(seed: u64) {
-    println!(
-        "A7 — loss & reordering from tunnel sequence numbers (§3 claim), 120 s probing\n"
-    );
+    println!("A7 — loss & reordering from tunnel sequence numbers (§3 claim), 120 s probing\n");
     let rows = loss_table(seed);
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -650,13 +712,18 @@ pub fn ecmp_census(flows: usize, seed: u64) -> EcmpCensusResult {
     }
     let la_prefix: tango_net::Ipv6Cidr = "2001:db8:100::/48".parse().expect("static");
     let ny_prefix: tango_net::Ipv6Cidr = "2001:db8:200::/48".parse().expect("static");
-    bgp.announce(TENANT_LA, IpCidr::V6(la_prefix), BTreeSet::new()).expect("announce");
-    bgp.announce(TENANT_NY, IpCidr::V6(ny_prefix), BTreeSet::new()).expect("announce");
+    bgp.announce(TENANT_LA, IpCidr::V6(la_prefix), BTreeSet::new())
+        .expect("announce");
+    bgp.announce(TENANT_NY, IpCidr::V6(ny_prefix), BTreeSet::new())
+        .expect("announce");
     bgp.converge().expect("converges");
 
     let mut sim = NetworkSim::new(
         scenario.topology.clone(),
-        SimConfig { seed, ..Default::default() },
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
     );
     for node in [NTT, TELIA, GTT, COGENT, LEVEL3, VULTR_LA, VULTR_NY] {
         let table = bgp.forwarding_table(node).expect("node");
@@ -669,7 +736,12 @@ pub fn ecmp_census(flows: usize, seed: u64) -> EcmpCensusResult {
         .collect();
     let la_stats = shared_sink();
     let ny_stats = shared_sink();
-    let make = |id, border, tunnels, mine: &tango_dataplane::SharedStats, theirs: &tango_dataplane::SharedStats, probe| {
+    let make = |id,
+                border,
+                tunnels,
+                mine: &tango_dataplane::SharedStats,
+                theirs: &tango_dataplane::SharedStats,
+                probe| {
         TangoSwitch::with_static_path(
             SwitchConfig {
                 id,
@@ -691,13 +763,35 @@ pub fn ecmp_census(flows: usize, seed: u64) -> EcmpCensusResult {
     };
     sim.set_agent(
         TENANT_LA,
-        Box::new(make(TENANT_LA, VULTR_LA, tunnels, &la_stats, &ny_stats, Some(SimTime::from_ms(10)))),
+        Box::new(make(
+            TENANT_LA,
+            VULTR_LA,
+            tunnels,
+            &la_stats,
+            &ny_stats,
+            Some(SimTime::from_ms(10)),
+        )),
     );
     sim.set_agent(
         TENANT_NY,
-        Box::new(make(TENANT_NY, VULTR_NY, vec![], &ny_stats, &la_stats, None)),
+        Box::new(make(
+            TENANT_NY,
+            VULTR_NY,
+            vec![],
+            &ny_stats,
+            &la_stats,
+            None,
+        )),
     );
-    TangoSwitch::arm_timers(&mut sim, TENANT_LA, true, false, false, flows, SimTime::from_ms(1));
+    TangoSwitch::arm_timers(
+        &mut sim,
+        TENANT_LA,
+        true,
+        false,
+        false,
+        flows,
+        SimTime::from_ms(1),
+    );
     sim.run_until(SimTime::from_secs(20));
 
     // Cluster the per-flow *means*: with ~2000 samples per flow the
@@ -726,7 +820,11 @@ pub fn ecmp_census(flows: usize, seed: u64) -> EcmpCensusResult {
     if !cluster.is_empty() {
         lane_means.push(cluster.iter().sum::<f64>() / cluster.len() as f64);
     }
-    EcmpCensusResult { flows, estimated_lanes: lane_means.len(), lane_means_ms: lane_means }
+    EcmpCensusResult {
+        flows,
+        estimated_lanes: lane_means.len(),
+        lane_means_ms: lane_means,
+    }
 }
 
 /// Print A5.
@@ -763,7 +861,11 @@ mod tests {
         let ecmp = &rows[2];
         assert!(tango.bias_ms.abs() < 0.01, "tango bias {}", tango.bias_ms);
         assert!(tango.std_ms < 0.02, "tango std {}", tango.std_ms);
-        assert!(host.std_ms > 10.0 * tango.std_ms, "host std {}", host.std_ms);
+        assert!(
+            host.std_ms > 10.0 * tango.std_ms,
+            "host std {}",
+            host.std_ms
+        );
         assert!(host.bias_ms > 0.2, "host bias {}", host.bias_ms);
         assert!(ecmp.std_ms > 3.0 * tango.std_ms, "ecmp std {}", ecmp.std_ms);
     }
@@ -808,7 +910,11 @@ mod tests {
             assert_eq!(r.duplicates, 0);
         }
         // Only the jittered path reorders.
-        assert!(rows[0].reordered > 100, "NTT reorders: {}", rows[0].reordered);
+        assert!(
+            rows[0].reordered > 100,
+            "NTT reorders: {}",
+            rows[0].reordered
+        );
         for r in &rows[1..] {
             assert_eq!(r.reordered, 0, "{}", r.path);
         }
@@ -820,10 +926,21 @@ mod tests {
         let default = &rows[0];
         let split = &rows[2];
         let rate = |r: &LoadBalanceRow| r.delivered as f64 / r.offered as f64;
-        assert!(rate(default) < 0.7, "single path must melt: {:.2}", rate(default));
-        assert!(rate(split) > 0.95, "split must carry the load: {:.2}", rate(split));
+        assert!(
+            rate(default) < 0.7,
+            "single path must melt: {:.2}",
+            rate(default)
+        );
+        assert!(
+            rate(split) > 0.95,
+            "split must carry the load: {:.2}",
+            rate(split)
+        );
         assert!(default.queue_drops > 10_000);
-        assert!(split.owd.p99 < default.owd.p99, "split tail must beat saturated tail");
+        assert!(
+            split.owd.p99 < default.owd.p99,
+            "split tail must beat saturated tail"
+        );
     }
 
     #[test]

@@ -41,7 +41,12 @@ pub struct FailoverRow {
 }
 
 /// Run the scripted blackhole against one policy configuration.
-fn run(policy: Box<dyn PathPolicy>, health: Option<HealthConfig>, name: &str, seed: u64) -> FailoverRow {
+fn run(
+    policy: Box<dyn PathPolicy>,
+    health: Option<HealthConfig>,
+    name: &str,
+    seed: u64,
+) -> FailoverRow {
     let mut pairing = tango::vultr_pairing(PairingOptions {
         seed,
         control_period: Some(SimTime::from_ms(100)),
@@ -73,7 +78,11 @@ fn run(policy: Box<dyn PathPolicy>, health: Option<HealthConfig>, name: &str, se
     let sink = pairing.a_stats.lock();
     let delivered_in_outage: u64 = sink
         .paths()
-        .map(|(_, p)| p.app_owd.slice(OUTAGE_START.as_ns(), outage_end.as_ns()).len() as u64)
+        .map(|(_, p)| {
+            p.app_owd
+                .slice(OUTAGE_START.as_ns(), outage_end.as_ns())
+                .len() as u64
+        })
         .sum();
     drop(sink);
 
@@ -114,8 +123,18 @@ fn run(policy: Box<dyn PathPolicy>, health: Option<HealthConfig>, name: &str, se
 /// **A8** — the three-way comparison.
 pub fn failover_ablation(seed: u64) -> Vec<FailoverRow> {
     vec![
-        run(Box::new(StaticPolicy::single(2, "pin-best")), None, "pin to best (GTT), ungated", seed),
-        run(Box::new(LowestOwdPolicy::new(500_000.0)), None, "lowest-OWD, ungated", seed),
+        run(
+            Box::new(StaticPolicy::single(2, "pin-best")),
+            None,
+            "pin to best (GTT), ungated",
+            seed,
+        ),
+        run(
+            Box::new(LowestOwdPolicy::new(500_000.0)),
+            None,
+            "lowest-OWD, ungated",
+            seed,
+        ),
         run(
             Box::new(LowestOwdPolicy::new(500_000.0)),
             Some(HealthConfig::default()),
@@ -146,7 +165,13 @@ pub fn report(seed: u64) {
         })
         .collect();
     print_table(
-        &["policy", "detect ms", "failover ms", "lost / offered (outage)", "readmit ms"],
+        &[
+            "policy",
+            "detect ms",
+            "failover ms",
+            "lost / offered (outage)",
+            "readmit ms",
+        ],
         &table,
     );
     println!(

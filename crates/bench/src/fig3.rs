@@ -33,8 +33,12 @@ pub fn run() -> Vec<Fig3Row> {
     let scenario = vultr_scenario();
     let mut engine = BgpEngine::new(scenario.topology.clone());
     for border in [VULTR_LA, VULTR_NY] {
-        engine.set_strip_private(border, true).expect("border exists");
-        engine.set_honor_actions(border, true).expect("border exists");
+        engine
+            .set_strip_private(border, true)
+            .expect("border exists");
+        engine
+            .set_honor_actions(border, true)
+            .expect("border exists");
         engine
             .set_neighbor_pref(border, scenario.neighbor_pref[&border].clone())
             .expect("border exists");
@@ -97,7 +101,13 @@ pub fn report() {
         })
         .collect();
     print_table(
-        &["direction", "pref", "AS path (transits)", "label", "pin communities"],
+        &[
+            "direction",
+            "pref",
+            "AS path (transits)",
+            "label",
+            "pin communities",
+        ],
         &table,
     );
     let per_dir = rows.iter().filter(|r| r.direction == "LA→NY").count();

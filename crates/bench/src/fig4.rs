@@ -25,7 +25,10 @@ pub struct Fig4Run {
 pub fn run(events: Vec<LinkEvent>, duration: SimTime, seed: u64) -> Fig4Run {
     let mut pairing = tango::vultr_pairing_with_events(
         events,
-        PairingOptions { seed, ..PairingOptions::default() },
+        PairingOptions {
+            seed,
+            ..PairingOptions::default()
+        },
     )
     .expect("vultr scenario provisions");
     pairing.run_until(duration);
@@ -33,7 +36,12 @@ pub fn run(events: Vec<LinkEvent>, duration: SimTime, seed: u64) -> Fig4Run {
     let paths = labels
         .into_iter()
         .enumerate()
-        .map(|(i, label)| (label, pairing.owd_series(Side::A, i as u16).expect("probed")))
+        .map(|(i, label)| {
+            (
+                label,
+                pairing.owd_series(Side::A, i as u16).expect("probed"),
+            )
+        })
         .collect();
     Fig4Run { paths }
 }
@@ -52,8 +60,7 @@ fn chart_and_csv(run: &Fig4Run, bin_ns: u64, csv_name: &str, width: usize) {
         .iter()
         .map(|(l, s)| (l.clone(), to_ms_binned(s, bin_ns)))
         .collect();
-    let columns: Vec<(&str, &TimeSeries)> =
-        binned.iter().map(|(l, s)| (l.as_str(), s)).collect();
+    let columns: Vec<(&str, &TimeSeries)> = binned.iter().map(|(l, s)| (l.as_str(), s)).collect();
     println!("{}", ascii_chart(&columns, width, 16, "one-way delay (ms)"));
     let path = results_dir().join(csv_name);
     write_csv(&path, "t_ns", &columns).expect("write csv");
@@ -90,7 +97,9 @@ pub fn left(duration: SimTime, seed: u64) {
     }
     print_table(&["path", "min ms", "mean ms", "max ms", "vs best"], &rows);
     println!("\npaper: \"GTT's path significantly outperforms the BGP default path through");
-    println!("NTT whose delay is 30% higher on average. The same holds for the reverse\ndirection.\"");
+    println!(
+        "NTT whose delay is 30% higher on average. The same holds for the reverse\ndirection.\""
+    );
 }
 
 /// **Fig. 4 (middle)** — an internal route change: GTT destabilizes
@@ -99,20 +108,41 @@ pub fn middle(seed: u64) {
     let event_at = SimTime::from_mins(15);
     let duration = SimTime::from_mins(40);
     println!("Fig. 4 (middle) — GTT internal route change at t={event_at}\n");
-    let run = run(vec![gtt_route_change_event(event_at.as_ns())], duration, seed);
+    let run = run(
+        vec![gtt_route_change_event(event_at.as_ns())],
+        duration,
+        seed,
+    );
     chart_and_csv(&run, 5_000_000_000, "fig4_middle.csv", 100);
 
-    let gtt = &run.paths.iter().find(|(l, _)| l == "GTT").expect("GTT path").1;
+    let gtt = &run
+        .paths
+        .iter()
+        .find(|(l, _)| l == "GTT")
+        .expect("GTT path")
+        .1;
     let before = gtt.slice(0, event_at.as_ns());
     let shifted = gtt.slice(
         (event_at + SimTime::from_mins(2)).as_ns(),
         (event_at + SimTime::from_mins(9)).as_ns(),
     );
-    let after = gtt.slice((event_at + SimTime::from_mins(12)).as_ns(), duration.as_ns());
+    let after = gtt.slice(
+        (event_at + SimTime::from_mins(12)).as_ns(),
+        duration.as_ns(),
+    );
     let rows = vec![
-        vec!["before".into(), fmt(before.min().expect("samples") / 1e6, 2)],
-        vec!["during (2–9 min in)".into(), fmt(shifted.min().expect("samples") / 1e6, 2)],
-        vec!["after reversion".into(), fmt(after.min().expect("samples") / 1e6, 2)],
+        vec![
+            "before".into(),
+            fmt(before.min().expect("samples") / 1e6, 2),
+        ],
+        vec![
+            "during (2–9 min in)".into(),
+            fmt(shifted.min().expect("samples") / 1e6, 2),
+        ],
+        vec![
+            "after reversion".into(),
+            fmt(after.min().expect("samples") / 1e6, 2),
+        ],
     ];
     print_table(&["window", "GTT delay floor (ms)"], &rows);
     let delta = (shifted.min().expect("s") - before.min().expect("s")) / 1e6;
@@ -128,7 +158,11 @@ pub fn right(seed: u64) {
     let event_at = SimTime::from_mins(4);
     let duration = SimTime::from_mins(12);
     println!("Fig. 4 (right) — GTT instability period at t={event_at}\n");
-    let run = run(vec![gtt_instability_event(event_at.as_ns())], duration, seed);
+    let run = run(
+        vec![gtt_instability_event(event_at.as_ns())],
+        duration,
+        seed,
+    );
     // Fine bins so spikes survive the averaging (paper plots 10 ms data).
     chart_and_csv(&run, 500_000_000, "fig4_right.csv", 100);
 
@@ -141,13 +175,17 @@ pub fn right(seed: u64) {
             fmt(storm.max().expect("samples") / 1e6, 2),
         ]);
     }
-    print_table(&["path", "min during storm (ms)", "peak during storm (ms)"], &rows);
+    print_table(
+        &["path", "min during storm (ms)", "peak during storm (ms)"],
+        &rows,
+    );
     let gtt_peak = run
         .paths
         .iter()
         .find(|(l, _)| l == "GTT")
         .and_then(|(_, s)| {
-            s.slice(event_at.as_ns(), (event_at + SimTime::from_mins(5)).as_ns()).max()
+            s.slice(event_at.as_ns(), (event_at + SimTime::from_mins(5)).as_ns())
+                .max()
         })
         .expect("GTT storm window")
         / 1e6;
@@ -167,7 +205,14 @@ mod tests {
         let r = run(Vec::new(), SimTime::from_secs(20), 5);
         assert_eq!(r.paths.len(), 4);
         let mean = |label: &str| {
-            r.paths.iter().find(|(l, _)| l == label).unwrap().1.mean().unwrap() / 1e6
+            r.paths
+                .iter()
+                .find(|(l, _)| l == label)
+                .unwrap()
+                .1
+                .mean()
+                .unwrap()
+                / 1e6
         };
         assert!(mean("NTT") / mean("GTT") > 1.25);
         assert!(mean("Telia") > mean("GTT"));

@@ -19,8 +19,11 @@ pub struct Headline {
 
 /// Measure both directions.
 pub fn run(duration: SimTime, seed: u64) -> Vec<Headline> {
-    let mut pairing = tango::vultr_pairing(PairingOptions { seed, ..PairingOptions::default() })
-        .expect("vultr scenario provisions");
+    let mut pairing = tango::vultr_pairing(PairingOptions {
+        seed,
+        ..PairingOptions::default()
+    })
+    .expect("vultr scenario provisions");
     pairing.run_until(duration);
     let mut out = Vec::new();
     for (direction, side) in [("NY→LA", Side::A), ("LA→NY", Side::B)] {
@@ -56,7 +59,15 @@ pub fn report(duration: SimTime, seed: u64) {
             ]
         })
         .collect();
-    print_table(&["direction", "BGP default", "best path", "default is worse by"], &table);
+    print_table(
+        &[
+            "direction",
+            "BGP default",
+            "best path",
+            "default is worse by",
+        ],
+        &table,
+    );
     println!(
         "\npaper: \"GTT's path significantly outperforms the BGP default path through NTT \
          whose delay is 30% higher on average. The same holds for the reverse direction.\""
@@ -72,7 +83,12 @@ mod tests {
         for h in run(SimTime::from_secs(30), 10) {
             assert_eq!(h.default_path.0, "NTT");
             assert_eq!(h.best_path.0, "GTT");
-            assert!((25.0..35.0).contains(&h.pct_worse), "{}: {}", h.direction, h.pct_worse);
+            assert!(
+                (25.0..35.0).contains(&h.pct_worse),
+                "{}: {}",
+                h.direction,
+                h.pct_worse
+            );
         }
     }
 }

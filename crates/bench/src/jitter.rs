@@ -22,8 +22,11 @@ pub struct JitterRow {
 
 /// Measure both directions for `duration`.
 pub fn run(duration: SimTime, seed: u64) -> Vec<JitterRow> {
-    let mut pairing = tango::vultr_pairing(PairingOptions { seed, ..PairingOptions::default() })
-        .expect("vultr scenario provisions");
+    let mut pairing = tango::vultr_pairing(PairingOptions {
+        seed,
+        ..PairingOptions::default()
+    })
+    .expect("vultr scenario provisions");
     pairing.run_until(duration);
     let mut rows = Vec::new();
     for (direction, side) in [("LA→NY", Side::B), ("NY→LA", Side::A)] {
@@ -55,7 +58,10 @@ pub fn report(duration: SimTime, seed: u64) {
             ]
         })
         .collect();
-    print_table(&["direction", "path", "mean OWD (ms)", "rolling-1s std (ms)"], &table);
+    print_table(
+        &["direction", "path", "mean OWD (ms)", "rolling-1s std (ms)"],
+        &table,
+    );
     let get = |dir: &str, path: &str| {
         rows.iter()
             .find(|r| r.direction == dir && r.path == path)
@@ -85,6 +91,10 @@ mod tests {
                 .jitter_ms
         };
         assert!((0.005..0.02).contains(&get("GTT")), "GTT {}", get("GTT"));
-        assert!((0.25..0.40).contains(&get("Telia")), "Telia {}", get("Telia"));
+        assert!(
+            (0.25..0.40).contains(&get("Telia")),
+            "Telia {}",
+            get("Telia")
+        );
     }
 }

@@ -53,17 +53,20 @@ struct Args {
 }
 
 fn parse_args(rest: &[String]) -> Result<Args, String> {
-    let mut args = Args { hours: 1.0, seed: 1 };
+    let mut args = Args {
+        hours: 1.0,
+        seed: 1,
+    };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let mut take = || {
-            it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
         };
         match flag.as_str() {
             "--hours" => {
-                args.hours = take()?
-                    .parse()
-                    .map_err(|e| format!("--hours: {e}"))?;
+                args.hours = take()?.parse().map_err(|e| format!("--hours: {e}"))?;
                 if args.hours <= 0.0 {
                     return Err("--hours must be positive".into());
                 }
@@ -83,7 +86,11 @@ fn parse_throughput_args(rest: &[String]) -> Result<ThroughputOptions, String> {
     let mut options = ThroughputOptions::default();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
-        let mut take = || it.next().cloned().ok_or_else(|| format!("{flag} needs a value"));
+        let mut take = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
         match flag.as_str() {
             "--packets" => {
                 options.packets = take()?.parse().map_err(|e| format!("--packets: {e}"))?;

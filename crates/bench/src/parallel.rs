@@ -20,7 +20,11 @@ pub fn worker_count(jobs: usize) -> usize {
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
     hw.min(jobs).max(1)
 }
 
@@ -56,7 +60,11 @@ where
     });
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("result slot").expect("worker filled every slot"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("worker filled every slot")
+        })
         .collect()
 }
 

@@ -91,10 +91,17 @@ pub fn run_one(seed: u64, packets: u64) -> SeedRun {
         t += SimTime(PACKET_GAP_NS);
     }
     let horizon = t + SimTime::from_ms(50);
+    #[allow(clippy::disallowed_methods)] // bench wall-clock: timing is the product here
     let started = Instant::now();
     let events = pairing.sim.run_until(horizon);
     let wall_ns = started.elapsed().as_nanos() as u64;
-    SeedRun { seed, wall_ns, events, packets, digest: digest(&pairing) }
+    SeedRun {
+        seed,
+        wall_ns,
+        events,
+        packets,
+        digest: digest(&pairing),
+    }
 }
 
 /// Fingerprint every observable result of a finished pairing run: the
@@ -119,7 +126,11 @@ pub fn digest(pairing: &TangoPairing) -> String {
     );
     for side in [Side::A, Side::B] {
         let sink = pairing.stats(side).lock();
-        let _ = write!(out, " | {:?} enc={} plain={}", side, sink.tx_encapsulated, sink.plain_rx);
+        let _ = write!(
+            out,
+            " | {:?} enc={} plain={}",
+            side, sink.tx_encapsulated, sink.plain_rx
+        );
         for (id, p) in sink.paths() {
             let sum: f64 = p.owd.values().iter().sum();
             let tsum: u64 = p.owd.times_ns().iter().sum();
@@ -156,12 +167,19 @@ impl Sweep {
 
 /// Run the sweep with the given options (no printing).
 pub fn sweep(options: &ThroughputOptions) -> Sweep {
-    let workers = options.workers.unwrap_or_else(|| worker_count(options.seeds.len()));
+    let workers = options
+        .workers
+        .unwrap_or_else(|| worker_count(options.seeds.len()));
     let packets = options.packets;
+    #[allow(clippy::disallowed_methods)] // bench wall-clock: timing is the product here
     let started = Instant::now();
     let runs = run_seeds(&options.seeds, workers, |seed| run_one(seed, packets));
     let wall_ns = started.elapsed().as_nanos() as u64;
-    Sweep { runs, wall_ns, workers }
+    Sweep {
+        runs,
+        wall_ns,
+        workers,
+    }
 }
 
 fn json_escape_free(s: &str) -> &str {
@@ -221,7 +239,10 @@ pub fn report(options: &ThroughputOptions) -> i32 {
             fmt(r.ns_per_packet(), 0),
         ]);
     }
-    print_table(&["seed", "sim events", "wall ms", "pkts/sec", "ns/packet"], &rows);
+    print_table(
+        &["seed", "sim events", "wall ms", "pkts/sec", "ns/packet"],
+        &rows,
+    );
     println!(
         "\naggregate: {:.0} pkts/sec over {} worker(s)  ({:.0} ns/packet per seed)",
         sweep.pkts_per_sec(),
@@ -240,7 +261,11 @@ pub fn report(options: &ThroughputOptions) -> i32 {
             );
             return 1;
         }
-        println!("floor check passed: {:.0} >= {:.0} pkts/sec", sweep.pkts_per_sec(), floor);
+        println!(
+            "floor check passed: {:.0} >= {:.0} pkts/sec",
+            sweep.pkts_per_sec(),
+            floor
+        );
     }
     0
 }

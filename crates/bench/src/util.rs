@@ -52,7 +52,10 @@ mod tests {
 
     #[test]
     fn results_dir_exists_after_call() {
-        std::env::set_var("TANGO_RESULTS_DIR", std::env::temp_dir().join("tango_results_test"));
+        std::env::set_var(
+            "TANGO_RESULTS_DIR",
+            std::env::temp_dir().join("tango_results_test"),
+        );
         let d = results_dir();
         assert!(d.exists());
         std::env::remove_var("TANGO_RESULTS_DIR");

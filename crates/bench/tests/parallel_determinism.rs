@@ -10,15 +10,21 @@ const SEEDS: [u64; 4] = [11, 7, 42, 7];
 
 #[test]
 fn parallel_runner_matches_serial_run() {
-    let serial: Vec<throughput::SeedRun> =
-        SEEDS.iter().map(|&s| throughput::run_one(s, PACKETS)).collect();
+    let serial: Vec<throughput::SeedRun> = SEEDS
+        .iter()
+        .map(|&s| throughput::run_one(s, PACKETS))
+        .collect();
     let parallel: Vec<throughput::SeedRun> =
         parallel::run_seeds(&SEEDS, 4, |seed| throughput::run_one(seed, PACKETS));
 
     assert_eq!(serial.len(), parallel.len());
     for (s, p) in serial.iter().zip(&parallel) {
         assert_eq!(s.seed, p.seed, "results must come back in seed order");
-        assert_eq!(s.digest, p.digest, "seed {} digest differs across runners", s.seed);
+        assert_eq!(
+            s.digest, p.digest,
+            "seed {} digest differs across runners",
+            s.seed
+        );
         assert_eq!(s.events, p.events, "seed {} event count differs", s.seed);
         assert_eq!(s.packets, p.packets, "seed {} packet count differs", s.seed);
     }
@@ -38,7 +44,10 @@ fn sweep_is_worker_count_invariant() {
     let one = throughput::sweep(&opts(1));
     let many = throughput::sweep(&opts(3));
     let fingerprint = |s: &throughput::Sweep| {
-        s.runs.iter().map(|r| (r.seed, r.digest.clone(), r.events, r.packets)).collect::<Vec<_>>()
+        s.runs
+            .iter()
+            .map(|r| (r.seed, r.digest.clone(), r.events, r.packets))
+            .collect::<Vec<_>>()
     };
     assert_eq!(fingerprint(&one), fingerprint(&many));
 }

@@ -31,9 +31,7 @@ pub const NS_PREPEND_3X: u16 = 64603;
 /// 16:16 encoding; on the wire they become RFC 8092 large communities
 /// (see [`Community::to_wire`]). The Vultr scenario only targets 16-bit
 /// transit ASNs, which round-trip through classic communities.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Community {
     /// An opaque `asn:value` tag with no modeled semantics.
     Plain(u16, u16),

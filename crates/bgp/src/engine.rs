@@ -58,7 +58,11 @@ impl BgpEngine {
             .nodes()
             .map(|n| (n.id, BgpSpeaker::new(SpeakerConfig::new(n.id))))
             .collect();
-        BgpEngine { topology, speakers, round_cap: 200 }
+        BgpEngine {
+            topology,
+            speakers,
+            round_cap: 200,
+        }
     }
 
     /// The underlying topology.
@@ -68,12 +72,16 @@ impl BgpEngine {
 
     /// Access a speaker.
     pub fn speaker(&self, id: AsId) -> Result<&BgpSpeaker, EngineError> {
-        self.speakers.get(&id).ok_or(EngineError::UnknownSpeaker(id))
+        self.speakers
+            .get(&id)
+            .ok_or(EngineError::UnknownSpeaker(id))
     }
 
     /// Mutable access to a speaker (for configuration).
     pub fn speaker_mut(&mut self, id: AsId) -> Result<&mut BgpSpeaker, EngineError> {
-        self.speakers.get_mut(&id).ok_or(EngineError::UnknownSpeaker(id))
+        self.speakers
+            .get_mut(&id)
+            .ok_or(EngineError::UnknownSpeaker(id))
     }
 
     /// Set a node's per-neighbor preference map (e.g. the Vultr borders'
@@ -127,7 +135,8 @@ impl BgpEngine {
         communities: BTreeSet<Community>,
         poison: &[AsId],
     ) -> Result<(), EngineError> {
-        self.speaker_mut(origin)?.originate_poisoned(prefix, communities, poison);
+        self.speaker_mut(origin)?
+            .originate_poisoned(prefix, communities, poison);
         Ok(())
     }
 
@@ -138,7 +147,9 @@ impl BgpEngine {
         prefix: IpCidr,
         communities: BTreeSet<Community>,
     ) -> Result<bool, EngineError> {
-        Ok(self.speaker_mut(origin)?.set_origin_communities(&prefix, communities))
+        Ok(self
+            .speaker_mut(origin)?
+            .set_origin_communities(&prefix, communities))
     }
 
     /// Withdraw an origination.
@@ -184,7 +195,10 @@ impl BgpEngine {
                             }
                         }
                     }
-                    self.speakers.get_mut(&id).expect("listed").set_rib_out(n, &exports);
+                    self.speakers
+                        .get_mut(&id)
+                        .expect("listed")
+                        .set_rib_out(n, &exports);
                 }
             }
             // Phase 2: everyone re-decides.
@@ -197,7 +211,9 @@ impl BgpEngine {
                 return Ok(round - 1);
             }
         }
-        Err(EngineError::NoConvergence { round_cap: self.round_cap })
+        Err(EngineError::NoConvergence {
+            round_cap: self.round_cap,
+        })
     }
 
     /// The best route for `prefix` at node `at`, after convergence.
@@ -273,7 +289,8 @@ mod tests {
     fn topo() -> Topology {
         let mut t = Topology::new();
         for (id, name) in [(10, "T1"), (20, "T2"), (1, "E1"), (2, "E2"), (3, "E3")] {
-            t.add_node(AsNode::new(id as u32, AsKind::Transit, name)).unwrap();
+            t.add_node(AsNode::new(id as u32, AsKind::Transit, name))
+                .unwrap();
         }
         t.add_peering(AsId(10), AsId(20), lp()).unwrap();
         t.add_provider(AsId(1), AsId(10), lp()).unwrap();
@@ -289,10 +306,17 @@ mod tests {
     #[test]
     fn basic_propagation_reaches_everyone() {
         let mut e = BgpEngine::new(topo());
-        e.announce(AsId(1), pfx("2001:db8:100::/48"), BTreeSet::new()).unwrap();
+        e.announce(AsId(1), pfx("2001:db8:100::/48"), BTreeSet::new())
+            .unwrap();
         e.converge().unwrap();
-        assert_eq!(e.as_path(AsId(10), pfx("2001:db8:100::/48")).unwrap(), &[AsId(1)]);
-        assert_eq!(e.as_path(AsId(2), pfx("2001:db8:100::/48")).unwrap(), &[AsId(10), AsId(1)]);
+        assert_eq!(
+            e.as_path(AsId(10), pfx("2001:db8:100::/48")).unwrap(),
+            &[AsId(1)]
+        );
+        assert_eq!(
+            e.as_path(AsId(2), pfx("2001:db8:100::/48")).unwrap(),
+            &[AsId(10), AsId(1)]
+        );
         assert_eq!(
             e.as_path(AsId(3), pfx("2001:db8:100::/48")).unwrap(),
             &[AsId(20), AsId(10), AsId(1)]
@@ -302,7 +326,8 @@ mod tests {
     #[test]
     fn converge_is_idempotent() {
         let mut e = BgpEngine::new(topo());
-        e.announce(AsId(1), pfx("10.0.0.0/8"), BTreeSet::new()).unwrap();
+        e.announce(AsId(1), pfx("10.0.0.0/8"), BTreeSet::new())
+            .unwrap();
         let r1 = e.converge().unwrap();
         assert!(r1 >= 1);
         let r2 = e.converge().unwrap();
@@ -317,16 +342,19 @@ mod tests {
         // T1 exports peer-learned route to its customers ✓ but NOT to
         // other peers (none here). Everyone should still reach E3.
         let mut e = BgpEngine::new(topo());
-        e.announce(AsId(3), pfx("10.3.0.0/16"), BTreeSet::new()).unwrap();
+        e.announce(AsId(3), pfx("10.3.0.0/16"), BTreeSet::new())
+            .unwrap();
         e.converge().unwrap();
         assert!(e.best_route(AsId(1), pfx("10.3.0.0/16")).is_some());
         // Now the true valley test: a route learned by T1 from peer T2
         // must not be re-exported to another peer. Add peer T3 to check.
         let mut t = topo();
-        t.add_node(AsNode::new(30u32, AsKind::Transit, "T3")).unwrap();
+        t.add_node(AsNode::new(30u32, AsKind::Transit, "T3"))
+            .unwrap();
         t.add_peering(AsId(10), AsId(30), lp()).unwrap();
         let mut e = BgpEngine::new(t);
-        e.announce(AsId(3), pfx("10.3.0.0/16"), BTreeSet::new()).unwrap();
+        e.announce(AsId(3), pfx("10.3.0.0/16"), BTreeSet::new())
+            .unwrap();
         e.converge().unwrap();
         // T3 peers only with T1; T1's route to E3 is peer-learned (via T2),
         // so T3 must NOT hear it.
@@ -336,7 +364,8 @@ mod tests {
     #[test]
     fn withdrawal_propagates() {
         let mut e = BgpEngine::new(topo());
-        e.announce(AsId(1), pfx("10.1.0.0/16"), BTreeSet::new()).unwrap();
+        e.announce(AsId(1), pfx("10.1.0.0/16"), BTreeSet::new())
+            .unwrap();
         e.converge().unwrap();
         assert!(e.best_route(AsId(3), pfx("10.1.0.0/16")).is_some());
         e.withdraw(AsId(1), pfx("10.1.0.0/16")).unwrap();
@@ -365,7 +394,10 @@ mod tests {
         comms.insert(Community::NoExportTo(AsId(20)));
         assert!(e.set_announcement_communities(AsId(1), p, comms).unwrap());
         e.converge().unwrap();
-        assert_eq!(e.as_path(AsId(3), p).unwrap(), &[AsId(20), AsId(10), AsId(1)]);
+        assert_eq!(
+            e.as_path(AsId(3), p).unwrap(),
+            &[AsId(20), AsId(10), AsId(1)]
+        );
     }
 
     #[test]
@@ -377,7 +409,8 @@ mod tests {
         // Poison T2: it drops the route via loop detection, so E3 reaches
         // E1 only if some path avoids T2 — there is none (E3's sole
         // provider is T2) ⇒ unreachable.
-        e.announce_poisoned(AsId(1), p, BTreeSet::new(), &[AsId(20)]).unwrap();
+        e.announce_poisoned(AsId(1), p, BTreeSet::new(), &[AsId(20)])
+            .unwrap();
         e.converge().unwrap();
         assert!(e.best_route(AsId(20), p).is_none());
         assert!(e.best_route(AsId(3), p).is_none());
@@ -389,8 +422,10 @@ mod tests {
     #[test]
     fn forwarding_table_lpm() {
         let mut e = BgpEngine::new(topo());
-        e.announce(AsId(1), pfx("10.0.0.0/8"), BTreeSet::new()).unwrap();
-        e.announce(AsId(3), pfx("10.1.0.0/16"), BTreeSet::new()).unwrap();
+        e.announce(AsId(1), pfx("10.0.0.0/8"), BTreeSet::new())
+            .unwrap();
+        e.announce(AsId(3), pfx("10.1.0.0/16"), BTreeSet::new())
+            .unwrap();
         e.converge().unwrap();
         let ft = e.forwarding_table(AsId(2)).unwrap();
         // 10.1.x goes toward E3's more-specific; rest of 10/8 toward E1.
@@ -422,7 +457,8 @@ mod tests {
         // node with two equal-length provider routes and a pref.
         let mut t = Topology::new();
         for id in [1u32, 10, 20, 5] {
-            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}"))).unwrap();
+            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}")))
+                .unwrap();
         }
         t.add_provider(AsId(1), AsId(10), lp()).unwrap();
         t.add_provider(AsId(1), AsId(20), lp()).unwrap();
@@ -449,7 +485,8 @@ mod tests {
         // tenant (private ASN) -> border -> transit.
         let mut t = Topology::new();
         for id in [64701u32, 20473, 2914] {
-            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}"))).unwrap();
+            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}")))
+                .unwrap();
         }
         t.add_provider(AsId(64701), AsId(20473), lp()).unwrap();
         t.add_provider(AsId(20473), AsId(2914), lp()).unwrap();
@@ -466,7 +503,8 @@ mod tests {
     fn unknown_speaker_errors() {
         let mut e = BgpEngine::new(topo());
         assert_eq!(
-            e.announce(AsId(999), pfx("10.0.0.0/8"), BTreeSet::new()).unwrap_err(),
+            e.announce(AsId(999), pfx("10.0.0.0/8"), BTreeSet::new())
+                .unwrap_err(),
             EngineError::UnknownSpeaker(AsId(999))
         );
         assert!(e.speaker(AsId(999)).is_err());

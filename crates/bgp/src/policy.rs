@@ -21,7 +21,11 @@ pub const LP_CLASS_WIDTH: u32 = 100;
 
 /// The local-pref base for a route learned from `neighbor`, given the
 /// receiving AS `local`'s relationship to it.
-pub fn local_pref_base(topology: &Topology, local: tango_topology::AsId, neighbor: tango_topology::AsId) -> Option<u32> {
+pub fn local_pref_base(
+    topology: &Topology,
+    local: tango_topology::AsId,
+    neighbor: tango_topology::AsId,
+) -> Option<u32> {
     Some(match topology.relationship(local, neighbor)? {
         // `local` is the neighbor's customer → the route came from our provider.
         Relationship::CustomerOf => LP_PROVIDER,
@@ -96,7 +100,8 @@ mod tests {
     fn topo() -> Topology {
         let mut t = Topology::new();
         for id in 1..=4u32 {
-            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}"))).unwrap();
+            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}")))
+                .unwrap();
         }
         let lp = || LinkProfile::symmetric(DirectionProfile::constant(1));
         t.add_provider(AsId(1), AsId(2), lp()).unwrap();
@@ -151,8 +156,8 @@ mod tests {
     fn provider_routes_only_to_customers() {
         let t = topo();
         let src = RouteSource::Neighbor(AsId(2)); // AS1's provider
-        // AS1 has no customers or peers in this topo, so nothing to check
-        // except that export back to the provider is denied.
+                                                  // AS1 has no customers or peers in this topo, so nothing to check
+                                                  // except that export back to the provider is denied.
         assert!(!may_export(&t, AsId(1), &src, AsId(2)));
     }
 

@@ -89,7 +89,8 @@ impl BgpSpeaker {
 
     /// Originate a prefix with communities attached.
     pub fn originate(&mut self, prefix: IpCidr, communities: BTreeSet<Community>) {
-        self.originated.insert(prefix, Route::originate(prefix, communities));
+        self.originated
+            .insert(prefix, Route::originate(prefix, communities));
     }
 
     /// Originate with AS-path poisoning: `poison` ASNs are planted in the
@@ -293,7 +294,10 @@ impl BgpSpeaker {
                 continue;
             };
             let bonus = self.config.bonus(neighbor);
-            let entry = self.adj_rib_in.get_mut(&(neighbor, prefix)).expect("listed");
+            let entry = self
+                .adj_rib_in
+                .get_mut(&(neighbor, prefix))
+                .expect("listed");
             if entry.local_pref != base || entry.tie_pref != bonus {
                 entry.local_pref = base;
                 entry.tie_pref = bonus;
@@ -313,7 +317,8 @@ mod tests {
         // 1 (customer) -> 2 (provider), 2 peers 3.
         let mut t = Topology::new();
         for id in 1..=3u32 {
-            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}"))).unwrap();
+            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}")))
+                .unwrap();
         }
         let lp = || LinkProfile::symmetric(DirectionProfile::constant(1));
         t.add_provider(AsId(1), AsId(2), lp()).unwrap();
@@ -358,7 +363,10 @@ mod tests {
         s.receive(&t, AsId(3), prefix(), Some(learned(&[3]))); // boosted peer route
         s.recompute();
         // Customer local-pref still beats any tie_pref on the peer route.
-        assert_eq!(s.best(&prefix()).unwrap().source, RouteSource::Neighbor(AsId(1)));
+        assert_eq!(
+            s.best(&prefix()).unwrap().source,
+            RouteSource::Neighbor(AsId(1))
+        );
     }
 
     #[test]
@@ -387,10 +395,16 @@ mod tests {
         s.receive(&t, AsId(1), prefix(), Some(learned(&[1]))); // customer
         s.receive(&t, AsId(3), prefix(), Some(learned(&[3]))); // peer
         s.recompute();
-        assert_eq!(s.best(&prefix()).unwrap().source, RouteSource::Neighbor(AsId(1)));
+        assert_eq!(
+            s.best(&prefix()).unwrap().source,
+            RouteSource::Neighbor(AsId(1))
+        );
         s.receive(&t, AsId(1), prefix(), None);
         assert!(s.recompute());
-        assert_eq!(s.best(&prefix()).unwrap().source, RouteSource::Neighbor(AsId(3)));
+        assert_eq!(
+            s.best(&prefix()).unwrap().source,
+            RouteSource::Neighbor(AsId(3))
+        );
     }
 
     #[test]
@@ -483,7 +497,10 @@ mod tests {
         s.originate_poisoned(prefix(), BTreeSet::new(), &[AsId(3)]);
         s.recompute();
         let exports = s.exports_to(&t, AsId(1));
-        assert_eq!(exports.get(&prefix()).unwrap().as_path, vec![AsId(2), AsId(3)]);
+        assert_eq!(
+            exports.get(&prefix()).unwrap().as_path,
+            vec![AsId(2), AsId(3)]
+        );
     }
 
     #[test]

@@ -150,11 +150,13 @@ fn push_attr(out: &mut Vec<u8>, flags: u8, type_code: u8, value: &[u8]) {
     if value.len() > 255 {
         out.push(flags | FLAG_EXT_LEN);
         out.push(type_code);
-        out.extend_from_slice(&(value.len() as u16).to_be_bytes());
+        let len = u16::try_from(value.len()).expect("BGP attribute value fits u16 length");
+        out.extend_from_slice(&len.to_be_bytes());
     } else {
         out.push(flags);
         out.push(type_code);
-        out.push(value.len() as u8);
+        let len = u8::try_from(value.len()).expect("checked <= 255 above");
+        out.push(len);
     }
     out.extend_from_slice(value);
 }
@@ -181,7 +183,7 @@ impl UpdateMessage {
             // AS_PATH: one AS_SEQUENCE segment of 4-octet ASNs.
             let mut path = Vec::with_capacity(2 + 4 * self.as_path.len());
             path.push(2); // AS_SEQUENCE
-            path.push(self.as_path.len() as u8);
+            path.push(u8::try_from(self.as_path.len()).expect("AS_PATH segment holds <= 255 ASNs"));
             for a in &self.as_path {
                 path.extend_from_slice(&a.0.to_be_bytes());
             }
@@ -206,7 +208,12 @@ impl UpdateMessage {
             }
         }
         if !classic.is_empty() {
-            push_attr(&mut attrs, FLAG_OPTIONAL | FLAG_TRANSITIVE, attr::COMMUNITIES, &classic);
+            push_attr(
+                &mut attrs,
+                FLAG_OPTIONAL | FLAG_TRANSITIVE,
+                attr::COMMUNITIES,
+                &classic,
+            );
         }
         if !large.is_empty() {
             push_attr(
@@ -262,11 +269,14 @@ impl UpdateMessage {
         let total_len = 19 + body_len;
         let mut out = Vec::with_capacity(total_len);
         out.extend_from_slice(&[0xff; 16]);
-        out.extend_from_slice(&(total_len as u16).to_be_bytes());
+        let total_len = u16::try_from(total_len).expect("BGP UPDATE fits u16 length");
+        out.extend_from_slice(&total_len.to_be_bytes());
         out.push(MSG_UPDATE);
-        out.extend_from_slice(&(withdrawn_v4.len() as u16).to_be_bytes());
+        let withdrawn_len = u16::try_from(withdrawn_v4.len()).expect("withdrawn routes fit u16");
+        out.extend_from_slice(&withdrawn_len.to_be_bytes());
         out.extend_from_slice(&withdrawn_v4);
-        out.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
+        let attrs_len = u16::try_from(attrs.len()).expect("path attributes fit u16");
+        out.extend_from_slice(&attrs_len.to_be_bytes());
         out.extend_from_slice(&attrs);
         out.extend_from_slice(&nlri);
         out
@@ -301,7 +311,8 @@ impl UpdateMessage {
             return Err(WireError::BadLength);
         }
         while pos < wd_end {
-            msg.withdrawn.push(IpCidr::V4(read_prefix_v4(data, &mut pos)?));
+            msg.withdrawn
+                .push(IpCidr::V4(read_prefix_v4(data, &mut pos)?));
         }
         if pos != wd_end {
             return Err(WireError::BadLength);
@@ -374,24 +385,22 @@ impl UpdateMessage {
                     if value.len() != 4 {
                         return Err(WireError::BadLength);
                     }
-                    msg.next_hop_v4 =
-                        Some(Ipv4Addr::new(value[0], value[1], value[2], value[3]));
+                    msg.next_hop_v4 = Some(Ipv4Addr::new(value[0], value[1], value[2], value[3]));
                 }
                 attr::MED => {
                     if value.len() != 4 {
                         return Err(WireError::BadLength);
                     }
-                    msg.med =
-                        Some(u32::from_be_bytes([value[0], value[1], value[2], value[3]]));
+                    msg.med = Some(u32::from_be_bytes([value[0], value[1], value[2], value[3]]));
                 }
                 attr::COMMUNITIES => {
                     if value.len() % 4 != 0 {
                         return Err(WireError::BadLength);
                     }
                     for chunk in value.chunks_exact(4) {
-                        let raw =
-                            u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-                        msg.communities.push(Community::from_wire(WireCommunity::Classic(raw)));
+                        let raw = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                        msg.communities
+                            .push(Community::from_wire(WireCommunity::Classic(raw)));
                     }
                 }
                 attr::LARGE_COMMUNITIES => {
@@ -424,7 +433,8 @@ impl UpdateMessage {
                     msg.next_hop_v6 = Some(Ipv6Addr::from(nh));
                     let mut vp = 4 + nh_len + 1; // skip reserved byte
                     while vp < value.len() {
-                        msg.announced.push(IpCidr::V6(read_prefix_v6(value, &mut vp)?));
+                        msg.announced
+                            .push(IpCidr::V6(read_prefix_v6(value, &mut vp)?));
                     }
                 }
                 attr::MP_UNREACH_NLRI => {
@@ -437,7 +447,8 @@ impl UpdateMessage {
                     }
                     let mut vp = 3;
                     while vp < value.len() {
-                        msg.withdrawn.push(IpCidr::V6(read_prefix_v6(value, &mut vp)?));
+                        msg.withdrawn
+                            .push(IpCidr::V6(read_prefix_v6(value, &mut vp)?));
                     }
                 }
                 // ORIGIN and unknown attributes: carried, no state.
@@ -447,12 +458,12 @@ impl UpdateMessage {
 
         // Classic NLRI (IPv4 announcements).
         while pos < data.len() {
-            msg.announced.push(IpCidr::V4(read_prefix_v4(data, &mut pos)?));
+            msg.announced
+                .push(IpCidr::V4(read_prefix_v4(data, &mut pos)?));
         }
         Ok(msg)
     }
 }
-
 
 /// Capability codes inside an OPEN's optional parameters (RFC 5492).
 mod capability {
@@ -484,9 +495,10 @@ impl OpenMessage {
         let mut push_cap = |code: u8, value: &[u8]| {
             // Each capability rides in its own optional parameter (type 2).
             params.push(2u8);
-            params.push(2 + value.len() as u8);
+            let cap_len = u8::try_from(value.len()).expect("capability value fits u8 length");
+            params.push(2 + cap_len);
             params.push(code);
-            params.push(value.len() as u8);
+            params.push(cap_len);
             params.extend_from_slice(value);
         };
         if self.multiprotocol_ipv6 {
@@ -499,13 +511,14 @@ impl OpenMessage {
         let total = 19 + body_len;
         let mut out = Vec::with_capacity(total);
         out.extend_from_slice(&[0xff; 16]);
-        out.extend_from_slice(&(total as u16).to_be_bytes());
+        let total = u16::try_from(total).expect("BGP OPEN fits u16 length");
+        out.extend_from_slice(&total.to_be_bytes());
         out.push(MSG_OPEN);
         out.push(4); // BGP version
         out.extend_from_slice(&my_as.to_be_bytes());
         out.extend_from_slice(&self.hold_time_secs.to_be_bytes());
         out.extend_from_slice(&self.bgp_identifier.to_be_bytes());
-        out.push(params.len() as u8);
+        out.push(u8::try_from(params.len()).expect("optional parameters fit u8 length"));
         out.extend_from_slice(&params);
         out
     }
@@ -571,7 +584,12 @@ impl OpenMessage {
             }
             p += plen;
         }
-        Ok(OpenMessage { asn, hold_time_secs, bgp_identifier, multiprotocol_ipv6 })
+        Ok(OpenMessage {
+            asn,
+            hold_time_secs,
+            bgp_identifier,
+            multiprotocol_ipv6,
+        })
     }
 }
 
@@ -592,7 +610,8 @@ impl NotificationMessage {
         let total = 19 + 2 + self.data.len();
         let mut out = Vec::with_capacity(total);
         out.extend_from_slice(&[0xff; 16]);
-        out.extend_from_slice(&(total as u16).to_be_bytes());
+        let total = u16::try_from(total).expect("BGP NOTIFICATION fits u16 length");
+        out.extend_from_slice(&total.to_be_bytes());
         out.push(MSG_NOTIFICATION);
         out.push(self.code);
         out.push(self.subcode);
@@ -753,7 +772,10 @@ mod tests {
         let bad = (bytes.len() as u16 + 4).to_be_bytes();
         bytes[16..18].copy_from_slice(&bad);
         assert_eq!(UpdateMessage::decode(&bytes), Err(WireError::BadLength));
-        assert_eq!(UpdateMessage::decode(&bytes[..10]), Err(WireError::Truncated));
+        assert_eq!(
+            UpdateMessage::decode(&bytes[..10]),
+            Err(WireError::Truncated)
+        );
     }
 
     #[test]
@@ -845,7 +867,11 @@ mod tests {
 
     #[test]
     fn notification_roundtrip() {
-        let n = NotificationMessage { code: 6, subcode: 2, data: b"shutdown".to_vec() };
+        let n = NotificationMessage {
+            code: 6,
+            subcode: 2,
+            data: b"shutdown".to_vec(),
+        };
         match BgpMessage::decode(&n.encode()).unwrap() {
             BgpMessage::Notification(got) => assert_eq!(got, n),
             m => panic!("wrong message {m:?}"),

@@ -39,15 +39,17 @@ fn arb_route() -> impl Strategy<Value = Route> {
         0u32..100,
         1u32..1_000_000,
     )
-        .prop_map(|(path, communities, local_pref, med, tie_pref, neighbor)| Route {
-            prefix: "10.0.0.0/8".parse().unwrap(),
-            as_path: path.into_iter().map(AsId).collect(),
-            communities,
-            source: RouteSource::Neighbor(AsId(neighbor)),
-            local_pref,
-            med,
-            tie_pref,
-        })
+        .prop_map(
+            |(path, communities, local_pref, med, tie_pref, neighbor)| Route {
+                prefix: "10.0.0.0/8".parse().unwrap(),
+                as_path: path.into_iter().map(AsId).collect(),
+                communities,
+                source: RouteSource::Neighbor(AsId(neighbor)),
+                local_pref,
+                med,
+                tie_pref,
+            },
+        )
 }
 
 proptest! {

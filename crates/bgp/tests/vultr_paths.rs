@@ -15,7 +15,8 @@ fn engine() -> BgpEngine {
     for border in [VULTR_LA, VULTR_NY] {
         e.set_strip_private(border, true).unwrap();
         e.set_honor_actions(border, true).unwrap();
-        e.set_neighbor_pref(border, s.neighbor_pref[&border].clone()).unwrap();
+        e.set_neighbor_pref(border, s.neighbor_pref[&border].clone())
+            .unwrap();
     }
     e
 }
@@ -27,7 +28,10 @@ fn pfx(s: &str) -> IpCidr {
 /// Strip the destination border from an observed AS path, leaving the
 /// transit sequence (what Fig. 3 labels).
 fn transit_path(path: &[AsId], dst_border: AsId) -> Vec<AsId> {
-    path.iter().copied().filter(|&a| a != dst_border && a != VULTR_LA && a != VULTR_NY).collect()
+    path.iter()
+        .copied()
+        .filter(|&a| a != dst_border && a != VULTR_LA && a != VULTR_NY)
+        .collect()
 }
 
 #[test]
@@ -87,11 +91,15 @@ fn iterative_suppression_walks_fig3_order_ny_to_la() {
         // announcing border — for composite paths that is the last transit
         // before the origin.
         comms.insert(Community::NoExportTo(first_transit));
-        e.set_announcement_communities(TENANT_LA, la, comms.clone()).unwrap();
+        e.set_announcement_communities(TENANT_LA, la, comms.clone())
+            .unwrap();
         e.converge().unwrap();
     }
     // After suppressing all four, the prefix must be unreachable from NY.
-    assert!(e.as_path(TENANT_NY, la).is_none(), "expected unreachable after 4 suppressions");
+    assert!(
+        e.as_path(TENANT_NY, la).is_none(),
+        "expected unreachable after 4 suppressions"
+    );
 }
 
 #[test]
@@ -111,7 +119,8 @@ fn iterative_suppression_walks_fig3_order_la_to_ny() {
         assert_eq!(&transit_path(path, VULTR_NY), want, "step {step}");
         let adj_transit = transit_path(path, VULTR_NY).last().copied().unwrap();
         comms.insert(Community::NoExportTo(adj_transit));
-        e.set_announcement_communities(TENANT_NY, ny, comms.clone()).unwrap();
+        e.set_announcement_communities(TENANT_NY, ny, comms.clone())
+            .unwrap();
         e.converge().unwrap();
     }
     assert!(e.as_path(TENANT_LA, ny).is_none());
@@ -123,10 +132,14 @@ fn four_prefixes_pin_four_distinct_paths() {
     // that pins it to one wide-area path (the tunnel substrate, §4.1 step 3).
     let mut e = engine();
     let prefixes = [
-        ("2001:db8:100::/48", vec![],                       vec![NTT]),
-        ("2001:db8:101::/48", vec![NTT],                    vec![TELIA]),
-        ("2001:db8:102::/48", vec![NTT, TELIA],             vec![GTT]),
-        ("2001:db8:103::/48", vec![NTT, TELIA, GTT],        vec![NTT, LEVEL3]),
+        ("2001:db8:100::/48", vec![], vec![NTT]),
+        ("2001:db8:101::/48", vec![NTT], vec![TELIA]),
+        ("2001:db8:102::/48", vec![NTT, TELIA], vec![GTT]),
+        (
+            "2001:db8:103::/48",
+            vec![NTT, TELIA, GTT],
+            vec![NTT, LEVEL3],
+        ),
     ];
     for (p, suppress, _) in &prefixes {
         let comms: BTreeSet<Community> =
@@ -150,7 +163,8 @@ fn poisoning_exposes_paths_like_communities() {
     // without any communities.
     let mut e = engine();
     let la = pfx("2001:db8:110::/48");
-    e.announce_poisoned(TENANT_LA, la, BTreeSet::new(), &[NTT, TELIA]).unwrap();
+    e.announce_poisoned(TENANT_LA, la, BTreeSet::new(), &[NTT, TELIA])
+        .unwrap();
     e.converge().unwrap();
     let path = e.as_path(TENANT_NY, la).unwrap();
     // Path still *contains* the poisoned ASNs (that's the mechanism), but
@@ -163,7 +177,8 @@ fn poisoning_exposes_paths_like_communities() {
 #[test]
 fn convergence_round_count_is_small() {
     let mut e = engine();
-    e.announce(TENANT_LA, pfx("2001:db8:100::/48"), BTreeSet::new()).unwrap();
+    e.announce(TENANT_LA, pfx("2001:db8:100::/48"), BTreeSet::new())
+        .unwrap();
     let rounds = e.converge().unwrap();
     assert!(rounds <= 8, "expected O(diameter) rounds, got {rounds}");
 }

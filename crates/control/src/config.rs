@@ -68,8 +68,15 @@ impl core::fmt::Display for ProvisionError {
             ProvisionError::Discovery(e) => write!(f, "discovery: {e}"),
             ProvisionError::Engine(e) => write!(f, "engine: {e}"),
             ProvisionError::BlockTooSmall => write!(f, "address block too small for path count"),
-            ProvisionError::PinMismatch { prefix, wanted, got } => {
-                write!(f, "prefix {prefix} pinned to {wanted:?} but converged to {got:?}")
+            ProvisionError::PinMismatch {
+                prefix,
+                wanted,
+                got,
+            } => {
+                write!(
+                    f,
+                    "prefix {prefix} pinned to {wanted:?} but converged to {got:?}"
+                )
             }
         }
     }
@@ -104,7 +111,9 @@ fn label_for(engine: &BgpEngine, path: &DiscoveredPath) -> String {
 
 /// Carve the `i`-th /48 out of a block.
 fn path_prefix(block: &Ipv6Cidr, i: usize) -> Result<Ipv6Cidr, ProvisionError> {
-    block.subnet(48, i as u128).map_err(|_| ProvisionError::BlockTooSmall)
+    block
+        .subnet(48, i as u128)
+        .map_err(|_| ProvisionError::BlockTooSmall)
 }
 
 /// Discover paths in both directions, announce pinned per-path prefixes
@@ -131,10 +140,22 @@ pub fn provision(
     let probe_a = path_prefix(&a.block, 15)?;
     let probe_b = path_prefix(&b.block, 15)?;
     // Paths for traffic A→B are exposed by announcements from B.
-    let paths_a_to_b =
-        discover_paths(engine, b.tenant, a.tenant, IpCidr::V6(probe_b), &infra, max_paths)?;
-    let paths_b_to_a =
-        discover_paths(engine, a.tenant, b.tenant, IpCidr::V6(probe_a), &infra, max_paths)?;
+    let paths_a_to_b = discover_paths(
+        engine,
+        b.tenant,
+        a.tenant,
+        IpCidr::V6(probe_b),
+        &infra,
+        max_paths,
+    )?;
+    let paths_b_to_a = discover_paths(
+        engine,
+        a.tenant,
+        b.tenant,
+        IpCidr::V6(probe_a),
+        &infra,
+        max_paths,
+    )?;
 
     // Announce pinned per-path prefixes from each side.
     let announce_pinned = |engine: &mut BgpEngine,
@@ -165,9 +186,14 @@ pub fn provision(
                   paths: &[DiscoveredPath]|
      -> Result<(), ProvisionError> {
         for (prefix, want) in prefixes.iter().zip(paths) {
-            let got = engine.as_path(observer, IpCidr::V6(*prefix)).map(<[AsId]>::to_vec);
+            let got = engine
+                .as_path(observer, IpCidr::V6(*prefix))
+                .map(<[AsId]>::to_vec);
             let got_transits: Option<Vec<AsId>> = got.as_ref().map(|p| {
-                p.iter().copied().filter(|x| !x.is_private() && !infra.contains(x)).collect()
+                p.iter()
+                    .copied()
+                    .filter(|x| !x.is_private() && !infra.contains(x))
+                    .collect()
             });
             if got_transits.as_deref() != Some(&want.transit_path[..]) {
                 return Err(ProvisionError::PinMismatch {
@@ -203,7 +229,12 @@ pub fn provision(
         })
         .collect();
 
-    Ok(ProvisionedPairing { paths_a_to_b, paths_b_to_a, a_tunnels, b_tunnels })
+    Ok(ProvisionedPairing {
+        paths_a_to_b,
+        paths_b_to_a,
+        a_tunnels,
+        b_tunnels,
+    })
 }
 
 #[cfg(test)]
@@ -217,7 +248,8 @@ mod tests {
         let s = vultr_scenario();
         let mut e = BgpEngine::new(s.topology.clone());
         for border in [VULTR_LA, VULTR_NY] {
-            e.set_neighbor_pref(border, s.neighbor_pref[&border].clone()).unwrap();
+            e.set_neighbor_pref(border, s.neighbor_pref[&border].clone())
+                .unwrap();
         }
         e
     }
@@ -247,9 +279,17 @@ mod tests {
         assert_eq!(p.a_tunnels.len(), 4);
         assert_eq!(p.b_tunnels.len(), 4);
         let labels: Vec<&str> = p.a_tunnels.iter().map(|t| t.label.as_str()).collect();
-        assert_eq!(labels, vec!["NTT", "Telia", "GTT", "Cogent"], "LA→NY labels");
+        assert_eq!(
+            labels,
+            vec!["NTT", "Telia", "GTT", "Cogent"],
+            "LA→NY labels"
+        );
         let labels: Vec<&str> = p.b_tunnels.iter().map(|t| t.label.as_str()).collect();
-        assert_eq!(labels, vec!["NTT", "Telia", "GTT", "Level3"], "NY→LA labels");
+        assert_eq!(
+            labels,
+            vec!["NTT", "Telia", "GTT", "Level3"],
+            "NY→LA labels"
+        );
         // Discovery order matches Fig. 3.
         assert_eq!(p.paths_a_to_b[3].transit_path, vec![NTT, COGENT]);
         assert_eq!(p.paths_b_to_a[3].transit_path, vec![NTT, LEVEL3]);
@@ -277,9 +317,7 @@ mod tests {
         // transit.
         let transits = [NTT, TELIA, GTT, NTT /* Level3 path starts at NTT */];
         for (i, t) in p.b_tunnels.iter().enumerate() {
-            let dst = IpCidr::V6(
-                Ipv6Cidr::new(t.remote_endpoint, 48).unwrap(),
-            );
+            let dst = IpCidr::V6(Ipv6Cidr::new(t.remote_endpoint, 48).unwrap());
             let trace = e.trace_path(TENANT_NY, dst).unwrap();
             assert_eq!(trace[2], transits[i], "tunnel {i} first transit");
         }
@@ -289,8 +327,12 @@ mod tests {
     fn host_prefixes_reachable_without_communities() {
         let mut e = engine();
         provision(&mut e, &la(), &ny(), 8).unwrap();
-        assert!(e.as_path(TENANT_NY, "2001:db8:1ff::/48".parse().unwrap()).is_some());
-        assert!(e.as_path(TENANT_LA, "2001:db8:2ff::/48".parse().unwrap()).is_some());
+        assert!(e
+            .as_path(TENANT_NY, "2001:db8:1ff::/48".parse().unwrap())
+            .is_some());
+        assert!(e
+            .as_path(TENANT_LA, "2001:db8:2ff::/48".parse().unwrap())
+            .is_some());
     }
 
     #[test]

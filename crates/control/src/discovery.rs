@@ -143,7 +143,8 @@ mod tests {
         for border in [VULTR_LA, VULTR_NY] {
             e.set_strip_private(border, true).unwrap();
             e.set_honor_actions(border, true).unwrap();
-            e.set_neighbor_pref(border, s.neighbor_pref[&border].clone()).unwrap();
+            e.set_neighbor_pref(border, s.neighbor_pref[&border].clone())
+                .unwrap();
         }
         e
     }
@@ -202,7 +203,10 @@ mod tests {
         let mut e = engine();
         let p = pfx("2001:db8:fc::/48");
         discover_paths(&mut e, TENANT_LA, TENANT_NY, p, &[VULTR_LA, VULTR_NY], 8).unwrap();
-        assert!(e.best_route(TENANT_NY, p).is_none(), "probe must be withdrawn");
+        assert!(
+            e.best_route(TENANT_NY, p).is_none(),
+            "probe must be withdrawn"
+        );
         assert!(e.best_route(VULTR_NY, p).is_none());
     }
 
@@ -231,8 +235,13 @@ mod tests {
         let p = pfx("2001:db8:fa::/48");
         // Pre-poison: originate with all transits in the path, so every
         // transit drops it. Discovery then sees no path at all.
-        e.announce_poisoned(TENANT_LA, p, Default::default(), &[NTT, TELIA, GTT, LEVEL3, COGENT])
-            .unwrap();
+        e.announce_poisoned(
+            TENANT_LA,
+            p,
+            Default::default(),
+            &[NTT, TELIA, GTT, LEVEL3, COGENT],
+        )
+        .unwrap();
         e.converge().unwrap();
         // discover_paths would re-announce over the poisoned origination;
         // emulate by checking the observer's view directly.

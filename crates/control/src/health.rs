@@ -90,8 +90,8 @@ pub struct HealthConfig {
 impl Default for HealthConfig {
     fn default() -> Self {
         HealthConfig {
-            suspect_after_ns: 200_000_000,  // 200 ms ≈ 20 missed 10 ms probes
-            down_after_ns: 500_000_000,     // half-second detection window
+            suspect_after_ns: 200_000_000, // 200 ms ≈ 20 missed 10 ms probes
+            down_after_ns: 500_000_000,    // half-second detection window
             loss_threshold: 0.9,
             backoff_initial_ns: 500_000_000, // 0.5 s, then 1 s, 2 s, ...
             backoff_max_ns: 8_000_000_000,   // capped at 8 s
@@ -186,18 +186,18 @@ impl PathHealth {
         (raw as f64 * scale) as u64
     }
 
-    fn transition(
-        &mut self,
-        now_ns: u64,
-        to: HealthState,
-        out: &mut Vec<HealthTransition>,
-    ) {
+    fn transition(&mut self, now_ns: u64, to: HealthState, out: &mut Vec<HealthTransition>) {
         let from = self.state;
         if from == to {
             return;
         }
         self.state = to;
-        out.push(HealthTransition { at_ns: now_ns, path: self.path, from, to });
+        out.push(HealthTransition {
+            at_ns: now_ns,
+            path: self.path,
+            from,
+            to,
+        });
     }
 
     /// Advance the machine one control tick. `snap` is this path's fresh
@@ -215,7 +215,11 @@ impl PathHealth {
         // Silence may momentarily exceed thresholds on the very tick that
         // also delivered (coarse control periods): fresh progress always
         // reads as silence 0.
-        let silence = if progressed { 0 } else { snap.silence_ns.unwrap_or(0) };
+        let silence = if progressed {
+            0
+        } else {
+            snap.silence_ns.unwrap_or(0)
+        };
         match self.state {
             HealthState::Up => {
                 let lossy = snap.samples > 0 && snap.loss_rate >= cfg.loss_threshold;
@@ -271,11 +275,7 @@ impl PathHealth {
     /// Should a probe be emitted on this path right now? `Down` paths
     /// hold probes until the backoff expires (the expiry itself flips the
     /// machine to `Probing`, recorded in `out`).
-    pub fn allow_probe(
-        &mut self,
-        now_ns: u64,
-        out: &mut Vec<HealthTransition>,
-    ) -> bool {
+    pub fn allow_probe(&mut self, now_ns: u64, out: &mut Vec<HealthTransition>) -> bool {
         match self.state {
             HealthState::Down => {
                 if now_ns >= self.next_probe_at_ns {
@@ -336,7 +336,10 @@ impl HealthGated {
 
     /// Current state of one path (`Up` if never observed).
     pub fn state(&self, path: u16) -> HealthState {
-        self.paths.get(&path).map(|h| h.state()).unwrap_or(HealthState::Up)
+        self.paths
+            .get(&path)
+            .map(|h| h.state())
+            .unwrap_or(HealthState::Up)
     }
 
     fn selectable(state: HealthState) -> bool {
@@ -349,7 +352,10 @@ impl PathPolicy for HealthGated {
         // 1. Advance every path's health machine.
         let mut events = Vec::new();
         for (id, snap) in paths {
-            let h = self.paths.entry(*id).or_insert_with(|| PathHealth::new(*id));
+            let h = self
+                .paths
+                .entry(*id)
+                .or_insert_with(|| PathHealth::new(*id));
             h.observe(now_local_ns, snap, &self.cfg, &mut events);
         }
         // 2. The inner policy only ever sees selectable paths.
@@ -547,7 +553,7 @@ mod tests {
         step(&mut h, 400, snap(10, 300, 0.0));
         step(&mut h, 700, snap(10, 600, 0.0)); // Down
         step(&mut h, 1_700, snap(10, 1_600, 0.0)); // Probing
-        // First fresh delivery: not yet readmitted (hysteresis = 2).
+                                                   // First fresh delivery: not yet readmitted (hysteresis = 2).
         assert_eq!(step(&mut h, 1_750, snap(11, 0, 0.0)), vec![]);
         assert_eq!(h.state(), HealthState::Probing);
         let t = step(&mut h, 1_800, snap(12, 0, 0.0));
@@ -561,7 +567,7 @@ mod tests {
         step(&mut h, 700, snap(10, 600, 0.0)); // Down #1: backoff 1000
         assert_eq!(h.backoff_ns, 1_000);
         step(&mut h, 1_700, snap(10, 1_600, 0.0)); // Probing
-        // Attempt window (suspect_after = 200) elapses without progress.
+                                                   // Attempt window (suspect_after = 200) elapses without progress.
         let t = step(&mut h, 1_950, snap(10, 1_850, 0.0));
         assert_eq!(t, vec![(HealthState::Probing, HealthState::Down)]);
         assert_eq!(h.backoff_ns, 2_000, "second attempt doubles");
@@ -620,13 +626,20 @@ mod tests {
         assert!((lo..=hi).contains(&a), "jittered {a} outside ±10 %");
         let mut c2 = c;
         c2.jitter_seed = 8;
-        assert_ne!(h.jittered_backoff(&c2), a, "different seed ⇒ different jitter");
+        assert_ne!(
+            h.jittered_backoff(&c2),
+            a,
+            "different seed ⇒ different jitter"
+        );
     }
 
     // ---- HealthGated -------------------------------------------------
 
     fn paths(entries: &[(u16, u64, u64)]) -> BTreeMap<u16, PathSnapshot> {
-        entries.iter().map(|&(id, samples, silence)| (id, snap(samples, silence, 0.0))).collect()
+        entries
+            .iter()
+            .map(|&(id, samples, silence)| (id, snap(samples, silence, 0.0)))
+            .collect()
     }
 
     #[test]
@@ -636,11 +649,19 @@ mod tests {
         // Path 1 is the fastest but goes dark; path 0 keeps delivering.
         let mut m = paths(&[(0, 100, 0), (1, 100, 0)]);
         m.get_mut(&1).unwrap().owd_ewma_ns = Some(20e6);
-        assert_eq!(g.decide(100, &m), Selection::Single(1), "fastest wins while up");
+        assert_eq!(
+            g.decide(100, &m),
+            Selection::Single(1),
+            "fastest wins while up"
+        );
         let mut dark = m.clone();
         dark.get_mut(&1).unwrap().silence_ns = Some(700);
         dark.get_mut(&0).unwrap().samples = 200;
-        assert_eq!(g.decide(800, &dark), Selection::Single(0), "dead path excluded");
+        assert_eq!(
+            g.decide(800, &dark),
+            Selection::Single(0),
+            "dead path excluded"
+        );
         assert_eq!(g.state(1), HealthState::Down);
         let tl = g.timeline();
         let recorded = tl.lock().clone();
@@ -665,7 +686,10 @@ mod tests {
     #[test]
     fn gated_scrubs_weighted_selections() {
         let mut g = HealthGated::new(
-            Box::new(StaticPolicy::weighted(vec![(0, 1), (1, 1), (2, 1)], "spray")),
+            Box::new(StaticPolicy::weighted(
+                vec![(0, 1), (1, 1), (2, 1)],
+                "spray",
+            )),
             cfg(),
         );
         let m = paths(&[(0, 100, 0), (1, 100, 0), (2, 100, 0)]);
@@ -699,8 +723,7 @@ mod tests {
         assert_eq!(g.state(0), HealthState::Down);
         assert_eq!(g.state(1), HealthState::Down);
         // And with a custom fallback.
-        let mut g2 = HealthGated::new(Box::new(LowestOwdPolicy::new(0.0)), cfg())
-            .with_fallback(3);
+        let mut g2 = HealthGated::new(Box::new(LowestOwdPolicy::new(0.0)), cfg()).with_fallback(3);
         g2.decide(100, &m);
         assert_eq!(g2.decide(800, &dark), Selection::Single(3));
     }

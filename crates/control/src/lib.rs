@@ -30,5 +30,7 @@ pub mod policy;
 
 pub use config::{provision, ProvisionError, ProvisionedPairing, SideConfig};
 pub use discovery::{discover_paths, DiscoveredPath, DiscoveryError};
-pub use health::{HealthConfig, HealthGated, HealthState, HealthTimeline, HealthTransition, PathHealth};
+pub use health::{
+    HealthConfig, HealthGated, HealthState, HealthTimeline, HealthTransition, PathHealth,
+};
 pub use policy::{JitterAwarePolicy, LossAwarePolicy, LowestOwdPolicy, WeightedSplitPolicy};

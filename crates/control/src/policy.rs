@@ -42,7 +42,11 @@ pub struct LowestOwdPolicy {
 impl LowestOwdPolicy {
     /// With the given hysteresis.
     pub fn new(hysteresis_ns: f64) -> Self {
-        LowestOwdPolicy { hysteresis_ns, min_samples: 5, current: None }
+        LowestOwdPolicy {
+            hysteresis_ns,
+            min_samples: 5,
+            current: None,
+        }
     }
 }
 
@@ -61,8 +65,7 @@ fn best_by<F: Fn(&PathSnapshot) -> Option<f64>>(
 
 impl PathPolicy for LowestOwdPolicy {
     fn decide(&mut self, _now: u64, paths: &BTreeMap<u16, PathSnapshot>) -> Selection {
-        let Some((best, best_score)) = best_by(paths, self.min_samples, |s| s.owd_ewma_ns)
-        else {
+        let Some((best, best_score)) = best_by(paths, self.min_samples, |s| s.owd_ewma_ns) else {
             // Nothing measured yet: stay where we are (or path 0).
             return Selection::Single(self.current.unwrap_or(0));
         };
@@ -107,7 +110,12 @@ pub struct JitterAwarePolicy {
 impl JitterAwarePolicy {
     /// With the given jitter weight and hysteresis.
     pub fn new(jitter_weight: f64, hysteresis_ns: f64) -> Self {
-        JitterAwarePolicy { jitter_weight, hysteresis_ns, min_samples: 5, current: None }
+        JitterAwarePolicy {
+            jitter_weight,
+            hysteresis_ns,
+            min_samples: 5,
+            current: None,
+        }
     }
 
     fn score(&self, s: &PathSnapshot) -> Option<f64> {
@@ -160,7 +168,12 @@ pub struct LossAwarePolicy {
 impl LossAwarePolicy {
     /// With the given loss ceiling.
     pub fn new(max_loss: f64, hysteresis_ns: f64) -> Self {
-        LossAwarePolicy { max_loss, hysteresis_ns, min_samples: 5, current: None }
+        LossAwarePolicy {
+            max_loss,
+            hysteresis_ns,
+            min_samples: 5,
+            current: None,
+        }
     }
 }
 
@@ -213,7 +226,10 @@ impl WeightedSplitPolicy {
     /// With the given cutoff factor (e.g. 1.5 = drop paths 50 % slower
     /// than the best).
     pub fn new(cutoff_factor: f64) -> Self {
-        WeightedSplitPolicy { cutoff_factor, min_samples: 5 }
+        WeightedSplitPolicy {
+            cutoff_factor,
+            min_samples: 5,
+        }
     }
 }
 
@@ -306,7 +322,11 @@ mod tests {
         assert_eq!(p.decide(0, &paths), Selection::Single(2));
         // GTT degrades by only 0.3 ms past Telia: hysteresis holds.
         paths.insert(2, snap(33.8, 0.01, 0.0));
-        assert_eq!(p.decide(1, &paths), Selection::Single(2), "hold within hysteresis");
+        assert_eq!(
+            p.decide(1, &paths),
+            Selection::Single(2),
+            "hold within hysteresis"
+        );
         // The +5 ms step (28.2 → 33.2+ → 36) clears the 1 ms hysteresis.
         paths.insert(2, snap(36.0, 0.01, 0.0));
         assert_eq!(p.decide(2, &paths), Selection::Single(1), "move to Telia");
@@ -353,7 +373,11 @@ mod tests {
         let mut paths = BTreeMap::new();
         paths.insert(0, snap(36.5, 0.0, 0.5));
         paths.insert(1, snap(33.5, 0.0, 0.9));
-        assert_eq!(p.decide(0, &paths), Selection::Single(1), "least-delay among lossy");
+        assert_eq!(
+            p.decide(0, &paths),
+            Selection::Single(1),
+            "least-delay among lossy"
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@ use tango_dataplane::{
     stats::shared_sink, FeedbackMode, PathPolicy, SharedStats, StaticPolicy, SwitchConfig,
     TangoSwitch,
 };
-use tango_net::SipKey;
 use tango_measure::TimeSeries;
+use tango_net::SipKey;
 use tango_net::{Ipv6Packet, Ipv6Repr};
 use tango_sim::{FaultInjector, NetworkSim, NodeClock, Packet, RouterAgent, SimConfig, SimTime};
 use tango_topology::{AsId, Topology, WideAreaEvent};
@@ -221,9 +221,16 @@ impl TangoPairing {
         let mut pending_resets = Vec::new();
         for ev in &options.wide_area_events {
             for link_ev in ev.lower(path_links) {
-                topology.add_event(link_ev).expect("wide-area event targets existing links");
+                topology
+                    .add_event(link_ev)
+                    .expect("wide-area event targets existing links");
             }
-            if let WideAreaEvent::SessionReset { path, at_ns, hold_ns } = *ev {
+            if let WideAreaEvent::SessionReset {
+                path,
+                at_ns,
+                hold_ns,
+            } = *ev
+            {
                 pending_resets.push(PendingReset {
                     at: SimTime(at_ns),
                     path,
@@ -242,16 +249,20 @@ impl TangoPairing {
         // into the switches, keeping a handle on each timeline.
         let mut health_timeline_a = None;
         if let Some(cfg) = options.health_a {
-            let inner =
-                std::mem::replace(&mut options.policy_a, Box::new(StaticPolicy::single(0, "x")));
+            let inner = std::mem::replace(
+                &mut options.policy_a,
+                Box::new(StaticPolicy::single(0, "x")),
+            );
             let gated = HealthGated::new(inner, cfg);
             health_timeline_a = Some(gated.timeline());
             options.policy_a = Box::new(gated);
         }
         let mut health_timeline_b = None;
         if let Some(cfg) = options.health_b {
-            let inner =
-                std::mem::replace(&mut options.policy_b, Box::new(StaticPolicy::single(0, "x")));
+            let inner = std::mem::replace(
+                &mut options.policy_b,
+                Box::new(StaticPolicy::single(0, "x")),
+            );
             let gated = HealthGated::new(inner, cfg);
             health_timeline_b = Some(gated.timeline());
             options.policy_b = Box::new(gated);
@@ -276,7 +287,10 @@ impl TangoPairing {
             let table = bgp.forwarding_table(id)?;
             sim.set_agent(id, Box::new(RouterAgent::new(id, table)));
         }
-        sim.set_clock(side_b.tenant, NodeClock::with_offset_ns(options.clock_offset_b_ns));
+        sim.set_clock(
+            side_b.tenant,
+            NodeClock::with_offset_ns(options.clock_offset_b_ns),
+        );
 
         let a_stats = shared_sink();
         let b_stats = shared_sink();
@@ -308,7 +322,10 @@ impl TangoPairing {
                     .map(|t| (t.id, t.label.clone()))
                     .collect(),
             },
-            std::mem::replace(&mut options.policy_a, Box::new(StaticPolicy::single(0, "x"))),
+            std::mem::replace(
+                &mut options.policy_a,
+                Box::new(StaticPolicy::single(0, "x")),
+            ),
             Arc::clone(&a_stats),
             Arc::clone(&b_stats),
         );
@@ -331,7 +348,10 @@ impl TangoPairing {
                     .map(|t| (t.id, t.label.clone()))
                     .collect(),
             },
-            std::mem::replace(&mut options.policy_b, Box::new(StaticPolicy::single(0, "x"))),
+            std::mem::replace(
+                &mut options.policy_b,
+                Box::new(StaticPolicy::single(0, "x")),
+            ),
             Arc::clone(&b_stats),
             Arc::clone(&a_stats),
         );
@@ -400,15 +420,25 @@ impl TangoPairing {
         // targets the prefix *B* announced (pinned for A→B traffic), and
         // vice versa.
         let mut targets = Vec::new();
-        if let (Some(tun), Some(disc)) =
-            (self.provisioned.a_tunnels.get(p), self.provisioned.paths_a_to_b.get(p))
-        {
-            targets.push((self.side_b.tenant, tun.remote_endpoint, disc.pin_communities.clone()));
+        if let (Some(tun), Some(disc)) = (
+            self.provisioned.a_tunnels.get(p),
+            self.provisioned.paths_a_to_b.get(p),
+        ) {
+            targets.push((
+                self.side_b.tenant,
+                tun.remote_endpoint,
+                disc.pin_communities.clone(),
+            ));
         }
-        if let (Some(tun), Some(disc)) =
-            (self.provisioned.b_tunnels.get(p), self.provisioned.paths_b_to_a.get(p))
-        {
-            targets.push((self.side_a.tenant, tun.remote_endpoint, disc.pin_communities.clone()));
+        if let (Some(tun), Some(disc)) = (
+            self.provisioned.b_tunnels.get(p),
+            self.provisioned.paths_b_to_a.get(p),
+        ) {
+            targets.push((
+                self.side_a.tenant,
+                tun.remote_endpoint,
+                disc.pin_communities.clone(),
+            ));
         }
         for (origin, endpoint, comms) in targets {
             let prefix = tango_net::IpCidr::V6(
@@ -420,7 +450,9 @@ impl TangoPairing {
             };
             applied.expect("session-reset origin exists");
         }
-        self.bgp.converge().expect("re-convergence after session reset");
+        self.bgp
+            .converge()
+            .expect("re-convergence after session reset");
         let tenants = [self.side_a.tenant, self.side_b.tenant];
         let routers: Vec<AsId> = self
             .bgp
@@ -431,7 +463,8 @@ impl TangoPairing {
             .collect();
         for id in routers {
             let table = self.bgp.forwarding_table(id).expect("converged table");
-            self.sim.set_agent(id, Box::new(RouterAgent::new(id, table)));
+            self.sim
+                .set_agent(id, Box::new(RouterAgent::new(id, table)));
         }
     }
 
@@ -471,7 +504,11 @@ impl TangoPairing {
 
     /// Mean one-way delay in milliseconds for a path into `side`.
     pub fn mean_owd_ms(&self, side: Side, path: u16) -> Option<f64> {
-        self.stats(side).lock().path(path).and_then(|p| p.owd.mean()).map(|v| v / 1e6)
+        self.stats(side)
+            .lock()
+            .path(path)
+            .and_then(|p| p.owd.mean())
+            .map(|v| v / 1e6)
     }
 
     /// Schedule an application packet from `side`'s host toward the
@@ -490,8 +527,16 @@ impl TangoPairing {
         traffic_class: u8,
     ) {
         let (tenant, src_prefix, dst_prefix) = match from {
-            Side::A => (self.side_a.tenant, self.side_a.host_prefix, self.side_b.host_prefix),
-            Side::B => (self.side_b.tenant, self.side_b.host_prefix, self.side_a.host_prefix),
+            Side::A => (
+                self.side_a.tenant,
+                self.side_a.host_prefix,
+                self.side_b.host_prefix,
+            ),
+            Side::B => (
+                self.side_b.tenant,
+                self.side_b.host_prefix,
+                self.side_a.host_prefix,
+            ),
         };
         let addr_in = |p: tango_net::IpCidr, host: u128| match p {
             tango_net::IpCidr::V6(c) => c.host(host).expect("host prefix wide enough"),

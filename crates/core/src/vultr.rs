@@ -46,9 +46,17 @@ pub fn vultr_pairing_with_events(
     let scenario = vultr_scenario();
     let mut topology = scenario.topology.clone();
     for ev in events {
-        topology.add_event(ev).expect("events target scenario links");
+        topology
+            .add_event(ev)
+            .expect("events target scenario links");
     }
-    TangoPairing::build(topology, scenario.neighbor_pref, la_side(), ny_side(), options)
+    TangoPairing::build(
+        topology,
+        scenario.neighbor_pref,
+        la_side(),
+        ny_side(),
+        options,
+    )
 }
 
 #[cfg(test)]

@@ -14,8 +14,8 @@
 use crate::tunnel::Tunnel;
 use tango_net::siphash::{siphash24, tags_equal, SipKey};
 use tango_net::{
-    Ipv6Packet, Ipv6Repr, TangoFlags, TangoPacket, TangoRepr, UdpPacket, UdpRepr,
-    TANGO_HEADER_LEN, TANGO_UDP_PORT,
+    Ipv6Packet, Ipv6Repr, TangoFlags, TangoPacket, TangoRepr, UdpPacket, UdpRepr, TANGO_HEADER_LEN,
+    TANGO_UDP_PORT,
 };
 use tango_sim::Packet;
 
@@ -71,8 +71,8 @@ impl std::error::Error for CodecError {}
 /// Inner-protocol codes in the Tango header.
 fn inner_proto_of(inner: &[u8]) -> u16 {
     match inner.first().map(|b| b >> 4) {
-        Some(4) => 4,   // IPv4-in-Tango
-        Some(6) => 41,  // IPv6-in-Tango
+        Some(4) => 4,  // IPv4-in-Tango
+        Some(6) => 41, // IPv6-in-Tango
         _ => 0,
     }
 }
@@ -80,13 +80,29 @@ fn inner_proto_of(inner: &[u8]) -> u16 {
 /// Sender-side program: timestamp + encapsulate an inner IP packet onto a
 /// tunnel. `timestamp_ns` is the *sender's node-local clock*.
 pub fn encapsulate(tunnel: &Tunnel, inner: &[u8], sequence: u32, timestamp_ns: u64) -> Vec<u8> {
-    build(tunnel, inner, None, sequence, timestamp_ns, TangoFlags::measured(), None)
+    build(
+        tunnel,
+        inner,
+        None,
+        sequence,
+        timestamp_ns,
+        TangoFlags::measured(),
+        None,
+    )
 }
 
 /// A bare measurement probe (no inner packet) — the paper generates
 /// probe traffic along each path every 10 ms (§5).
 pub fn probe_packet(tunnel: &Tunnel, sequence: u32, timestamp_ns: u64) -> Vec<u8> {
-    build(tunnel, &[], None, sequence, timestamp_ns, TangoFlags::probe(), None)
+    build(
+        tunnel,
+        &[],
+        None,
+        sequence,
+        timestamp_ns,
+        TangoFlags::probe(),
+        None,
+    )
 }
 
 /// [`encapsulate`] with an authentication trailer (§6).
@@ -97,7 +113,15 @@ pub fn encapsulate_auth(
     timestamp_ns: u64,
     key: &SipKey,
 ) -> Vec<u8> {
-    build(tunnel, inner, None, sequence, timestamp_ns, TangoFlags::measured(), Some(key))
+    build(
+        tunnel,
+        inner,
+        None,
+        sequence,
+        timestamp_ns,
+        TangoFlags::measured(),
+        Some(key),
+    )
 }
 
 /// [`probe_packet`] with an authentication trailer (§6).
@@ -107,7 +131,15 @@ pub fn probe_packet_auth(
     timestamp_ns: u64,
     key: &SipKey,
 ) -> Vec<u8> {
-    build(tunnel, &[], None, sequence, timestamp_ns, TangoFlags::probe(), Some(key))
+    build(
+        tunnel,
+        &[],
+        None,
+        sequence,
+        timestamp_ns,
+        TangoFlags::probe(),
+        Some(key),
+    )
 }
 
 /// An in-band measurement report packet: the cooperation feedback
@@ -130,6 +162,7 @@ pub fn report_packet(
     )
 }
 
+// tango-lint: allow(hot-path-panic) payload and buf are allocated exactly sized right above every emit and slice
 fn build(
     tunnel: &Tunnel,
     inner: &[u8],
@@ -139,7 +172,11 @@ fn build(
     flags: TangoFlags,
     key: Option<&SipKey>,
 ) -> Vec<u8> {
-    let flags = if key.is_some() { flags.with_auth() } else { flags };
+    let flags = if key.is_some() {
+        flags.with_auth()
+    } else {
+        flags
+    };
     let tango = TangoRepr {
         flags,
         path_id: tunnel.id,
@@ -201,7 +238,15 @@ pub fn encapsulate_in_place(
     timestamp_ns: u64,
     key: Option<&SipKey>,
 ) {
-    build_in_place(tunnel, pkt, None, sequence, timestamp_ns, TangoFlags::measured(), key);
+    build_in_place(
+        tunnel,
+        pkt,
+        None,
+        sequence,
+        timestamp_ns,
+        TangoFlags::measured(),
+        key,
+    );
 }
 
 /// [`probe_packet`]/[`probe_packet_auth`] in place: `pkt` must be empty
@@ -214,7 +259,15 @@ pub fn probe_packet_in_place(
     key: Option<&SipKey>,
 ) {
     debug_assert!(pkt.is_empty(), "probes carry no inner packet");
-    build_in_place(tunnel, pkt, None, sequence, timestamp_ns, TangoFlags::probe(), key);
+    build_in_place(
+        tunnel,
+        pkt,
+        None,
+        sequence,
+        timestamp_ns,
+        TangoFlags::probe(),
+        key,
+    );
 }
 
 /// [`report_packet`] in place: the packet's bytes are the encoded
@@ -237,6 +290,7 @@ pub fn report_packet_in_place(
     );
 }
 
+// tango-lint: allow(hot-path-panic) headroom is checked on entry; emits write into exactly-sized sub-slices of it
 fn build_in_place(
     tunnel: &Tunnel,
     pkt: &mut Packet,
@@ -259,7 +313,11 @@ fn build_in_place(
         ));
         return;
     }
-    let flags = if key.is_some() { flags.with_auth() } else { flags };
+    let flags = if key.is_some() {
+        flags.with_auth()
+    } else {
+        flags
+    };
     let inner_len = pkt.len();
     let tango = TangoRepr {
         flags,
@@ -276,7 +334,12 @@ fn build_in_place(
         let mut tango_pkt =
             TangoPacket::new_unchecked(&mut bytes[TANGO_OFF..TANGO_OFF + TANGO_HEADER_LEN]);
         tango.emit(&mut tango_pkt).expect("sized buffer");
-        key.map(|k| siphash24(k, &bytes[TANGO_OFF..TANGO_OFF + TANGO_HEADER_LEN + inner_len]))
+        key.map(|k| {
+            siphash24(
+                k,
+                &bytes[TANGO_OFF..TANGO_OFF + TANGO_HEADER_LEN + inner_len],
+            )
+        })
     };
     if let Some(tag) = tag {
         pkt.append(&tag.to_be_bytes());
@@ -344,7 +407,13 @@ pub fn decapsulate_with(
     require_auth: bool,
 ) -> Result<Decapsulated, CodecError> {
     let (tango, outer_src, outer_dst, inner) = parse_outer(bytes, key, require_auth)?;
-    Ok(Decapsulated { tango, inner: bytes[inner].to_vec(), outer_src, outer_dst })
+    // tango-lint: allow(hot-path-panic) parse_outer validated the range against bytes.len()
+    Ok(Decapsulated {
+        tango,
+        inner: bytes[inner].to_vec(),
+        outer_src,
+        outer_dst,
+    })
 }
 
 /// What [`decapsulate_in_place`] returns: everything [`Decapsulated`]
@@ -374,7 +443,11 @@ pub fn decapsulate_in_place(
     let (tango, outer_src, outer_dst, inner) = parse_outer(pkt.bytes(), key, require_auth)?;
     pkt.truncate(inner.end);
     pkt.strip_front(inner.start);
-    Ok(DecapInfo { tango, outer_src, outer_dst })
+    Ok(DecapInfo {
+        tango,
+        outer_src,
+        outer_dst,
+    })
 }
 
 /// The shared validation path: parse and verify the outer headers, the
@@ -385,8 +458,15 @@ fn parse_outer(
     bytes: &[u8],
     key: Option<&SipKey>,
     require_auth: bool,
-) -> Result<(TangoRepr, std::net::Ipv6Addr, std::net::Ipv6Addr, core::ops::Range<usize>), CodecError>
-{
+) -> Result<
+    (
+        TangoRepr,
+        std::net::Ipv6Addr,
+        std::net::Ipv6Addr,
+        core::ops::Range<usize>,
+    ),
+    CodecError,
+> {
     let ip = Ipv6Packet::new_checked(bytes).map_err(|_| CodecError::OuterIp)?;
     if ip.next_header() != 17 {
         return Err(CodecError::NotTangoUdp);
@@ -400,8 +480,7 @@ fn parse_outer(
     if !udp.verify_checksum_v6(src, dst) {
         return Err(CodecError::Checksum);
     }
-    let tango_pkt =
-        TangoPacket::new_checked(udp.payload()).map_err(|_| CodecError::TangoHeader)?;
+    let tango_pkt = TangoPacket::new_checked(udp.payload()).map_err(|_| CodecError::TangoHeader)?;
     let tango = TangoRepr::parse(&tango_pkt).map_err(|_| CodecError::TangoHeader)?;
     if require_auth && !tango.flags.has_auth() {
         return Err(CodecError::Auth);
@@ -411,14 +490,16 @@ fn parse_outer(
         if payload.len() < TANGO_HEADER_LEN + TANGO_AUTH_TAG_LEN {
             return Err(CodecError::Auth);
         }
+        // Both slice bounds are safe: the length check above guarantees
+        // payload.len() >= TANGO_HEADER_LEN + TANGO_AUTH_TAG_LEN.
+        // tango-lint: allow(hot-path-panic) guarded by the payload.len() check above
         let covered = &payload[..payload.len() - TANGO_AUTH_TAG_LEN];
         if let Some(key) = key {
-            let got = u64::from_be_bytes(
-                payload[payload.len() - TANGO_AUTH_TAG_LEN..]
-                    .try_into()
-                    .expect("8 bytes"),
-            );
-            if !tags_equal(siphash24(key, covered), got) {
+            // tango-lint: allow(hot-path-panic) guarded by the payload.len() check above
+            let tag_bytes: [u8; TANGO_AUTH_TAG_LEN] = payload[payload.len() - TANGO_AUTH_TAG_LEN..]
+                .try_into()
+                .map_err(|_| CodecError::Auth)?;
+            if !tags_equal(siphash24(key, covered), u64::from_be_bytes(tag_bytes)) {
                 return Err(CodecError::Auth);
             }
         }
@@ -426,6 +507,7 @@ fn parse_outer(
     } else {
         payload.len()
     };
+    // tango-lint: allow(hot-path-panic) TangoPacket::new_checked proved TANGO_HEADER_LEN bytes; inner_end <= payload.len()
     let inner = &payload[TANGO_HEADER_LEN..inner_end];
     match tango.inner_proto {
         0 => {
@@ -453,7 +535,12 @@ fn parse_outer(
     // No IPv6 extension headers on the outer header, so the UDP payload
     // sits at the fixed wire offset TANGO_OFF and udp-payload-relative
     // bounds translate by that constant.
-    Ok((tango, src, dst, TANGO_OFF + TANGO_HEADER_LEN..TANGO_OFF + inner_end))
+    Ok((
+        tango,
+        src,
+        dst,
+        TANGO_OFF + TANGO_HEADER_LEN..TANGO_OFF + inner_end,
+    ))
 }
 
 /// Is this packet addressed to a Tango tunnel endpoint (fast classifier —
@@ -653,7 +740,10 @@ mod tests {
         assert_eq!(d.inner, inner);
         // Wrong key: rejected.
         let bad = SipKey::from_words(0x1111, 0x2223);
-        assert_eq!(decapsulate_with(&wire, Some(&bad), true), Err(CodecError::Auth));
+        assert_eq!(
+            decapsulate_with(&wire, Some(&bad), true),
+            Err(CodecError::Auth)
+        );
         // Non-verifying receiver still strips the tag correctly.
         let d = decapsulate(&wire).unwrap();
         assert_eq!(d.inner, inner);
@@ -664,7 +754,10 @@ mod tests {
         let t = tunnel();
         let key = SipKey::from_words(1, 2);
         let plain = encapsulate(&t, &inner_v6(), 1, 1);
-        assert_eq!(decapsulate_with(&plain, Some(&key), true), Err(CodecError::Auth));
+        assert_eq!(
+            decapsulate_with(&plain, Some(&key), true),
+            Err(CodecError::Auth)
+        );
         // ...but is fine when auth is optional.
         assert!(decapsulate_with(&plain, Some(&key), false).is_ok());
     }
@@ -682,7 +775,10 @@ mod tests {
         let mut udp = UdpPacket::new_unchecked(ip.payload_mut());
         udp.fill_checksum_v6(src, dst);
         // Checksum now verifies — but the SipHash tag does not.
-        assert_eq!(decapsulate_with(&wire, Some(&key), true), Err(CodecError::Auth));
+        assert_eq!(
+            decapsulate_with(&wire, Some(&key), true),
+            Err(CodecError::Auth)
+        );
     }
 
     #[test]
@@ -697,7 +793,10 @@ mod tests {
         let mut ip = Ipv6Packet::new_unchecked(&mut wire[..]);
         let mut udp = UdpPacket::new_unchecked(ip.payload_mut());
         udp.fill_checksum_v6(src, dst);
-        assert_eq!(decapsulate_with(&wire, Some(&key), true), Err(CodecError::Auth));
+        assert_eq!(
+            decapsulate_with(&wire, Some(&key), true),
+            Err(CodecError::Auth)
+        );
     }
 
     #[test]
@@ -714,7 +813,10 @@ mod tests {
         let mut ip = Ipv6Packet::new_unchecked(&mut forged[..]);
         let mut udp = UdpPacket::new_unchecked(ip.payload_mut());
         udp.fill_checksum_v6(src, dst);
-        assert_eq!(decapsulate_with(&forged, Some(&key), true), Err(CodecError::Auth));
+        assert_eq!(
+            decapsulate_with(&forged, Some(&key), true),
+            Err(CodecError::Auth)
+        );
         let _ = wire;
     }
 
@@ -744,7 +846,13 @@ mod tests {
         let five_tuple = |w: &[u8]| {
             let ip = Ipv6Packet::new_checked(w).unwrap();
             let udp = UdpPacket::new_checked(ip.payload()).unwrap();
-            (ip.src_addr(), ip.dst_addr(), ip.next_header(), udp.src_port(), udp.dst_port())
+            (
+                ip.src_addr(),
+                ip.dst_addr(),
+                ip.next_header(),
+                udp.src_port(),
+                udp.dst_port(),
+            )
         };
         assert_eq!(five_tuple(&w1), five_tuple(&w2));
     }

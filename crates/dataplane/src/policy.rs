@@ -75,7 +75,10 @@ impl SelectionState {
             Selection::Single(_) => 0,
             Selection::Weighted(w) => w.len(),
         };
-        SelectionState { selection, current: vec![0; n] }
+        SelectionState {
+            selection,
+            current: vec![0; n],
+        }
     }
 
     /// Replace the selection (from a control tick). WRR state resets.
@@ -147,12 +150,18 @@ pub struct StaticPolicy {
 impl StaticPolicy {
     /// Always use one path.
     pub fn single(path: u16, name: impl Into<String>) -> Self {
-        StaticPolicy { selection: Selection::Single(path), name: name.into() }
+        StaticPolicy {
+            selection: Selection::Single(path),
+            name: name.into(),
+        }
     }
 
     /// A fixed weighted split.
     pub fn weighted(weights: Vec<(u16, u32)>, name: impl Into<String>) -> Self {
-        StaticPolicy { selection: Selection::Weighted(weights), name: name.into() }
+        StaticPolicy {
+            selection: Selection::Weighted(weights),
+            name: name.into(),
+        }
     }
 }
 
@@ -228,6 +237,9 @@ mod tests {
     #[test]
     fn selection_paths() {
         assert_eq!(Selection::Single(4).paths(), vec![4]);
-        assert_eq!(Selection::Weighted(vec![(1, 1), (2, 9)]).paths(), vec![1, 2]);
+        assert_eq!(
+            Selection::Weighted(vec![(1, 1), (2, 9)]).paths(),
+            vec![1, 2]
+        );
     }
 }

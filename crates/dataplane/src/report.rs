@@ -51,9 +51,17 @@ impl PathRecord {
     /// Convert to the policy-facing snapshot.
     pub fn to_snapshot(self) -> PathSnapshot {
         PathSnapshot {
-            owd_ewma_ns: if self.samples > 0 { Some(self.owd_ewma_ns as f64) } else { None },
+            owd_ewma_ns: if self.samples > 0 {
+                Some(self.owd_ewma_ns as f64)
+            } else {
+                None
+            },
             last_owd_ns: None, // not carried: the EWMA is the feedback signal
-            jitter_ns: if self.samples > 0 { Some(self.jitter_ns as f64) } else { None },
+            jitter_ns: if self.samples > 0 {
+                Some(self.jitter_ns as f64)
+            } else {
+                None
+            },
             loss_rate: f64::from(self.loss_ppm) / 1e6,
             samples: self.samples,
             staleness_ns: if self.staleness_ns == STALENESS_NONE {
@@ -147,14 +155,19 @@ impl MeasurementReport {
 
     /// The snapshots a controller consumes.
     pub fn to_snapshots(&self) -> BTreeMap<u16, PathSnapshot> {
-        self.records.iter().map(|r| (r.path_id, r.to_snapshot())).collect()
+        self.records
+            .iter()
+            .map(|r| (r.path_id, r.to_snapshot()))
+            .collect()
     }
 }
 
 /// Build a report from a stats sink (receiver side).
 pub fn report_from_sink(sink: &crate::stats::StatsSink) -> MeasurementReport {
-    let freshest: Option<u64> =
-        sink.paths().filter_map(|(_, p)| p.owd.times_ns().last().copied()).max();
+    let freshest: Option<u64> = sink
+        .paths()
+        .filter_map(|(_, p)| p.owd.times_ns().last().copied())
+        .max();
     let records = sink
         .paths()
         .map(|(id, p)| {
@@ -272,16 +285,22 @@ mod tests {
         sink.register_path(0, "NTT");
         sink.register_path(1, "GTT");
         for i in 0..50u32 {
-            sink.path_mut(0).record_owd(u64::from(i) * 10_000_000, 36_500_000.0, i, true);
+            sink.path_mut(0)
+                .record_owd(u64::from(i) * 10_000_000, 36_500_000.0, i, true);
         }
         for i in 0..40u32 {
-            sink.path_mut(1).record_owd(u64::from(i) * 10_000_000, 28_150_000.0, i, true);
+            sink.path_mut(1)
+                .record_owd(u64::from(i) * 10_000_000, 28_150_000.0, i, true);
         }
         let report = report_from_sink(&sink);
         assert_eq!(report.records.len(), 2);
         let snaps = report.to_snapshots();
         assert_eq!(snaps[&0].staleness_ns, Some(0), "freshest path");
-        assert_eq!(snaps[&1].staleness_ns, Some(100_000_000), "10 samples behind");
+        assert_eq!(
+            snaps[&1].staleness_ns,
+            Some(100_000_000),
+            "10 samples behind"
+        );
         assert!((snaps[&0].owd_ewma_ns.unwrap() - 36_500_000.0).abs() < 2.0);
     }
 }

@@ -72,7 +72,8 @@ impl PathStats {
     /// Time since the last accepted packet, given the receiver's current
     /// local clock reading. `None` = nothing ever arrived.
     pub fn silence_ns(&self, now_local_ns: u64) -> Option<u64> {
-        self.last_rx_local_ns.map(|l| now_local_ns.saturating_sub(l))
+        self.last_rx_local_ns
+            .map(|l| now_local_ns.saturating_sub(l))
     }
 }
 
@@ -120,12 +121,16 @@ impl StatsSink {
 
     /// Pre-register a path so its label is known before traffic flows.
     pub fn register_path(&mut self, id: u16, label: impl Into<String>) {
-        self.paths.entry(id).or_insert_with(|| PathStats::new(label.into()));
+        self.paths
+            .entry(id)
+            .or_insert_with(|| PathStats::new(label.into()));
     }
 
     /// Get-or-create a path entry.
     pub fn path_mut(&mut self, id: u16) -> &mut PathStats {
-        self.paths.entry(id).or_insert_with(|| PathStats::new(format!("path-{id}")))
+        self.paths
+            .entry(id)
+            .or_insert_with(|| PathStats::new(format!("path-{id}")))
     }
 
     /// Read a path's stats.
@@ -165,7 +170,8 @@ mod tests {
         let mut s = StatsSink::new();
         s.register_path(0, "NTT");
         for i in 0..10u32 {
-            s.path_mut(0).record_owd(u64::from(i) * 1_000_000, 36_500_000.0, i, true);
+            s.path_mut(0)
+                .record_owd(u64::from(i) * 1_000_000, 36_500_000.0, i, true);
         }
         let p = s.path(0).unwrap();
         assert_eq!(p.label, "NTT");

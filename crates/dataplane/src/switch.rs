@@ -238,7 +238,12 @@ impl TangoSwitch {
         let seq = self.next_seq(path);
         let ts = ctx.local_ns();
         let key = self.auth_key.as_ref();
-        let tunnel = &self.tunnels[&path];
+        let Some(tunnel) = self.tunnels.get(&path) else {
+            // Unreachable: guarded by the contains_key check above (kept
+            // separate because next_seq also borrows self mutably).
+            ctx.recycle(pkt);
+            return;
+        };
         match kind {
             TxKind::Probe => codec::probe_packet_in_place(tunnel, &mut pkt, seq, ts, key),
             TxKind::App => codec::encapsulate_in_place(tunnel, &mut pkt, seq, ts, key),
@@ -262,9 +267,11 @@ impl TangoSwitch {
             ctx.transmit(self.border, pkt);
             return;
         }
-        let next = pkt
-            .dst_addr()
-            .and_then(|d| self.wan_table.as_ref().and_then(|t| t.longest_match(d).map(|(_, n)| *n)));
+        let next = pkt.dst_addr().and_then(|d| {
+            self.wan_table
+                .as_ref()
+                .and_then(|t| t.longest_match(d).map(|(_, n)| *n))
+        });
         match next {
             Some(n) if n != self.id => ctx.transmit(n, pkt),
             _ => {
@@ -311,7 +318,10 @@ impl TangoSwitch {
         // signal is immune to clock offset and works identically in
         // Shared and InBand feedback modes.
         for (id, snap) in &mut out {
-            let entry = self.progress.entry(*id).or_insert((snap.samples, now_local_ns));
+            let entry = self
+                .progress
+                .entry(*id)
+                .or_insert((snap.samples, now_local_ns));
             if snap.samples > entry.0 {
                 *entry = (snap.samples, now_local_ns);
             }
@@ -325,8 +335,12 @@ impl TangoSwitch {
 /// IPv6 traffic class), if parseable.
 fn traffic_class_of(bytes: &[u8]) -> Option<u8> {
     match bytes.first().map(|b| b >> 4)? {
-        4 => tango_net::Ipv4Packet::new_checked(bytes).ok().map(|p| p.dscp_ecn()),
-        6 => tango_net::Ipv6Packet::new_checked(bytes).ok().map(|p| p.traffic_class()),
+        4 => tango_net::Ipv4Packet::new_checked(bytes)
+            .ok()
+            .map(|p| p.dscp_ecn()),
+        6 => tango_net::Ipv6Packet::new_checked(bytes)
+            .ok()
+            .map(|p| p.traffic_class()),
         _ => None,
     }
 }

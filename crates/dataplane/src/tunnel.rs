@@ -45,7 +45,7 @@ impl Tunnel {
             remote_endpoint: remote_prefix.host(1).expect("prefix narrower than /128"),
             // Distinct, stable, and outside well-known ranges.
             src_port: 49_152 + id,
-            }
+        }
     }
 }
 
@@ -65,8 +65,14 @@ mod tests {
             cidr("2001:db8:102::/48"),
             cidr("2001:db8:202::/48"),
         );
-        assert_eq!(t.local_endpoint, "2001:db8:102::1".parse::<Ipv6Addr>().unwrap());
-        assert_eq!(t.remote_endpoint, "2001:db8:202::1".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(
+            t.local_endpoint,
+            "2001:db8:102::1".parse::<Ipv6Addr>().unwrap()
+        );
+        assert_eq!(
+            t.remote_endpoint,
+            "2001:db8:202::1".parse::<Ipv6Addr>().unwrap()
+        );
         assert_eq!(t.src_port, 49_154);
         assert_eq!(t.label, "GTT");
     }

@@ -29,14 +29,16 @@ fn arb_key() -> impl Strategy<Value = Option<SipKey>> {
 /// an IPv4/IPv6 version nibble. (Anything else is rejected at decap as
 /// inconsistent with the advertised inner protocol.)
 fn arb_valid_inner() -> impl Strategy<Value = Vec<u8>> {
-    (proptest::collection::vec(any::<u8>(), 0..1400), prop_oneof![Just(4u8), Just(6u8)]).prop_map(
-        |(mut bytes, version)| {
+    (
+        proptest::collection::vec(any::<u8>(), 0..1400),
+        prop_oneof![Just(4u8), Just(6u8)],
+    )
+        .prop_map(|(mut bytes, version)| {
             if let Some(first) = bytes.first_mut() {
                 *first = (version << 4) | (*first & 0x0f);
             }
             bytes
-        },
-    )
+        })
 }
 
 proptest! {

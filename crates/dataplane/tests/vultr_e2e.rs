@@ -5,9 +5,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use tango_bgp::{BgpEngine, Community};
-use tango_dataplane::{
-    stats::shared_sink, SharedStats, SwitchConfig, TangoSwitch, Tunnel,
-};
+use tango_dataplane::{stats::shared_sink, SharedStats, SwitchConfig, TangoSwitch, Tunnel};
 use tango_net::{IpCidr, Ipv6Cidr};
 use tango_sim::{NetworkSim, NodeClock, RouterAgent, SimConfig, SimTime};
 use tango_topology::vultr::{
@@ -57,7 +55,8 @@ fn build(seed: u64, ny_clock_offset_ns: i64) -> Setup {
     for border in [VULTR_LA, VULTR_NY] {
         bgp.set_strip_private(border, true).unwrap();
         bgp.set_honor_actions(border, true).unwrap();
-        bgp.set_neighbor_pref(border, scenario.neighbor_pref[&border].clone()).unwrap();
+        bgp.set_neighbor_pref(border, scenario.neighbor_pref[&border].clone())
+            .unwrap();
     }
     for (p, suppress, _) in la_tunnel_prefixes() {
         let comms: BTreeSet<Community> =
@@ -69,11 +68,19 @@ fn build(seed: u64, ny_clock_offset_ns: i64) -> Setup {
             suppress.iter().map(|&a| Community::NoExportTo(a)).collect();
         bgp.announce(TENANT_NY, IpCidr::V6(p), comms).unwrap();
     }
-    bgp.announce(TENANT_LA, LA_HOSTS.parse().unwrap(), BTreeSet::new()).unwrap();
-    bgp.announce(TENANT_NY, NY_HOSTS.parse().unwrap(), BTreeSet::new()).unwrap();
+    bgp.announce(TENANT_LA, LA_HOSTS.parse().unwrap(), BTreeSet::new())
+        .unwrap();
+    bgp.announce(TENANT_NY, NY_HOSTS.parse().unwrap(), BTreeSet::new())
+        .unwrap();
     bgp.converge().unwrap();
 
-    let mut sim = NetworkSim::new(scenario.topology.clone(), SimConfig { seed, ..Default::default() });
+    let mut sim = NetworkSim::new(
+        scenario.topology.clone(),
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     for transit in [NTT, TELIA, GTT, COGENT, LEVEL3, VULTR_LA, VULTR_NY] {
         let table = bgp.forwarding_table(transit).unwrap();
         sim.set_agent(transit, Box::new(RouterAgent::new(transit, table)));
@@ -88,18 +95,14 @@ fn build(seed: u64, ny_clock_offset_ns: i64) -> Setup {
         .iter()
         .zip(ny_tunnel_prefixes().iter())
         .enumerate()
-        .map(|(i, ((lp, _, _), (np, _, label)))| {
-            Tunnel::from_prefixes(i as u16, *label, *lp, *np)
-        })
+        .map(|(i, ((lp, _, _), (np, _, label)))| Tunnel::from_prefixes(i as u16, *label, *lp, *np))
         .collect();
     // ...and from NY (sending toward LA prefixes).
     let ny_tunnels: Vec<Tunnel> = ny_tunnel_prefixes()
         .iter()
         .zip(la_tunnel_prefixes().iter())
         .enumerate()
-        .map(|(i, ((np, _, _), (lp, _, label)))| {
-            Tunnel::from_prefixes(i as u16, *label, *np, *lp)
-        })
+        .map(|(i, ((np, _, _), (lp, _, label)))| Tunnel::from_prefixes(i as u16, *label, *np, *lp))
         .collect();
 
     let la_switch = TangoSwitch::with_static_path(
@@ -140,9 +143,29 @@ fn build(seed: u64, ny_clock_offset_ns: i64) -> Setup {
     );
     sim.set_agent(TENANT_LA, Box::new(la_switch));
     sim.set_agent(TENANT_NY, Box::new(ny_switch));
-    TangoSwitch::arm_timers(&mut sim, TENANT_LA, true, false, false, 4, SimTime::from_ms(1));
-    TangoSwitch::arm_timers(&mut sim, TENANT_NY, true, false, false, 4, SimTime::from_ms(1));
-    Setup { sim, la_stats, ny_stats }
+    TangoSwitch::arm_timers(
+        &mut sim,
+        TENANT_LA,
+        true,
+        false,
+        false,
+        4,
+        SimTime::from_ms(1),
+    );
+    TangoSwitch::arm_timers(
+        &mut sim,
+        TENANT_NY,
+        true,
+        false,
+        false,
+        4,
+        SimTime::from_ms(1),
+    );
+    Setup {
+        sim,
+        la_stats,
+        ny_stats,
+    }
 }
 
 fn mean_owd_ms(stats: &SharedStats, path: u16) -> f64 {
@@ -152,7 +175,9 @@ fn mean_owd_ms(stats: &SharedStats, path: u16) -> f64 {
 
 #[test]
 fn probes_measure_calibrated_floors_ny_to_la() {
-    let Setup { mut sim, la_stats, .. } = build(11, 0);
+    let Setup {
+        mut sim, la_stats, ..
+    } = build(11, 0);
     sim.run_until(SimTime::from_secs(30));
 
     // ~3000 probes per path; all four paths measured at LA.
@@ -170,14 +195,20 @@ fn probes_measure_calibrated_floors_ny_to_la() {
     let level3 = mean_owd_ms(&la_stats, 3);
     // Floor plus whichever ECMP lane (0..=180 µs) the tunnel pinned.
     assert!((28.10..28.40).contains(&gtt), "gtt {gtt}");
-    assert!((ntt / gtt - 1.295).abs() < 0.03, "default 30% worse: {}", ntt / gtt);
+    assert!(
+        (ntt / gtt - 1.295).abs() < 0.03,
+        "default 30% worse: {}",
+        ntt / gtt
+    );
     assert!(telia > gtt && telia < ntt, "telia {telia}");
     assert!(level3 > ntt, "level3 {level3}");
 }
 
 #[test]
 fn probes_measure_calibrated_floors_la_to_ny() {
-    let Setup { mut sim, ny_stats, .. } = build(12, 0);
+    let Setup {
+        mut sim, ny_stats, ..
+    } = build(12, 0);
     sim.run_until(SimTime::from_secs(30));
     let ntt = mean_owd_ms(&ny_stats, 0);
     let gtt = mean_owd_ms(&ny_stats, 2);
@@ -192,19 +223,26 @@ fn clock_offset_shifts_absolute_owd_but_not_relative() {
     // The §4.2 claim, end to end: give NY a +2 s clock offset. Absolute
     // OWDs measured at NY (LA→NY direction) shift by +2 s; the *gaps*
     // between paths do not.
-    let Setup { mut sim, ny_stats, .. } = build(13, 0);
+    let Setup {
+        mut sim, ny_stats, ..
+    } = build(13, 0);
     sim.run_until(SimTime::from_secs(20));
     let base_ntt = mean_owd_ms(&ny_stats, 0);
     let base_gtt = mean_owd_ms(&ny_stats, 2);
 
     let offset_ns = 2_000_000_000i64;
-    let Setup { mut sim, ny_stats, .. } = build(13, offset_ns);
+    let Setup {
+        mut sim, ny_stats, ..
+    } = build(13, offset_ns);
     sim.run_until(SimTime::from_secs(20));
     let off_ntt = mean_owd_ms(&ny_stats, 0);
     let off_gtt = mean_owd_ms(&ny_stats, 2);
 
     // Absolute values are distorted by ~2000 ms...
-    assert!((off_gtt - base_gtt - 2000.0).abs() < 1.0, "{off_gtt} vs {base_gtt}");
+    assert!(
+        (off_gtt - base_gtt - 2000.0).abs() < 1.0,
+        "{off_gtt} vs {base_gtt}"
+    );
     // ...the relative comparison is preserved to within jitter noise.
     let base_gap = base_ntt - base_gtt;
     let off_gap = off_ntt - off_gtt;
@@ -218,7 +256,11 @@ fn clock_offset_shifts_absolute_owd_but_not_relative() {
 #[test]
 fn app_traffic_rides_selected_tunnel_and_is_measured() {
     use tango_net::{Ipv6Packet, Ipv6Repr};
-    let Setup { mut sim, la_stats, ny_stats } = build(14, 0);
+    let Setup {
+        mut sim,
+        la_stats,
+        ny_stats,
+    } = build(14, 0);
     // Host packets from NY host → LA host prefix.
     for i in 0..100u64 {
         let repr = Ipv6Repr {
@@ -262,13 +304,27 @@ fn corrupted_tunnel_packets_are_rejected_not_measured() {
         bgp.set_strip_private(border, true).unwrap();
         bgp.set_honor_actions(border, true).unwrap();
     }
-    bgp.announce(TENANT_LA, IpCidr::V6(v6("2001:db8:100::/48")), BTreeSet::new()).unwrap();
-    bgp.announce(TENANT_NY, IpCidr::V6(v6("2001:db8:200::/48")), BTreeSet::new()).unwrap();
+    bgp.announce(
+        TENANT_LA,
+        IpCidr::V6(v6("2001:db8:100::/48")),
+        BTreeSet::new(),
+    )
+    .unwrap();
+    bgp.announce(
+        TENANT_NY,
+        IpCidr::V6(v6("2001:db8:200::/48")),
+        BTreeSet::new(),
+    )
+    .unwrap();
     bgp.converge().unwrap();
 
     let mut sim = NetworkSim::new(
         scenario.topology.clone(),
-        SimConfig { seed: 5, fault: Some(FaultInjector::new(0.0, 0.3)), ..Default::default() },
+        SimConfig {
+            seed: 5,
+            fault: Some(FaultInjector::new(0.0, 0.3)),
+            ..Default::default()
+        },
     );
     for transit in [NTT, TELIA, GTT, COGENT, LEVEL3, VULTR_LA, VULTR_NY] {
         let table = bgp.forwarding_table(transit).unwrap();
@@ -315,15 +371,22 @@ fn corrupted_tunnel_packets_are_rejected_not_measured() {
         Arc::clone(&la_stats),
     );
     sim.set_agent(TENANT_NY, Box::new(ny_switch));
-    TangoSwitch::arm_timers(&mut sim, TENANT_LA, true, false, false, 1, SimTime::from_ms(1));
+    TangoSwitch::arm_timers(
+        &mut sim,
+        TENANT_LA,
+        true,
+        false,
+        false,
+        1,
+        SimTime::from_ms(1),
+    );
     sim.run_until(SimTime::from_secs(20));
 
     let sink = ny_stats.lock();
     // Each probe crosses 4 links at 30% corrupt chance each: most probes
     // arrive corrupted. They must land in `rejected`/unattributed, and
     // every accepted measurement must still be a sane OWD.
-    let rejects = sink.unattributed_rejects
-        + sink.paths().map(|(_, p)| p.rejected).sum::<u64>();
+    let rejects = sink.unattributed_rejects + sink.paths().map(|(_, p)| p.rejected).sum::<u64>();
     assert!(rejects > 500, "expected many rejects, got {rejects}");
     if let Some(p) = sink.path(0) {
         for (_, owd) in p.owd.iter() {

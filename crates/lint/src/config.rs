@@ -1,0 +1,63 @@
+//! Which rules apply where. Paths are repo-relative with `/` separators.
+//!
+//! The scoping here is the policy half of the lint: the rules themselves
+//! are generic token matchers, and this module decides which crates and
+//! modules they guard. Keep it in sync with DESIGN.md's "Determinism
+//! invariants" section.
+
+/// Crates whose behaviour must be bit-identical across runs and worker
+/// counts: everything that feeds an experiment artifact. `tango-net` is
+/// pure codec/parsing (no iteration-order hazards) and `tango-bench` is
+/// the measurement harness, so both stay out.
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "sim",
+    "dataplane",
+    "control",
+    "measure",
+    "bgp",
+    "topology",
+    "core",
+];
+
+/// Crates allowed to read the wall clock (the bench harness times real
+/// executions; nothing else may).
+pub const WALL_CLOCK_EXEMPT_CRATES: &[&str] = &["bench"];
+
+/// Wire-format modules where a silent `as` truncation corrupts bytes on
+/// the wire instead of producing a type error.
+pub const WIRE_FORMAT_MODULES: &[&str] =
+    &["crates/dataplane/src/codec.rs", "crates/bgp/src/wire.rs"];
+
+/// Hot-path modules where a panic aborts a whole simulation run:
+/// the per-event engine loop and the per-packet dataplane transforms.
+pub const HOT_PATH_MODULES: &[&str] = &[
+    "crates/sim/src/engine.rs",
+    "crates/dataplane/src/codec.rs",
+    "crates/dataplane/src/switch.rs",
+];
+
+/// The crate name (`sim`, `bgp`, …) of a repo-relative path under
+/// `crates/`, or `None` for files outside `crates/`.
+pub fn crate_of(path: &str) -> Option<&str> {
+    path.strip_prefix("crates/")?.split('/').next()
+}
+
+/// Is `path` inside one of the deterministic crates?
+pub fn in_deterministic_crate(path: &str) -> bool {
+    crate_of(path).is_some_and(|c| DETERMINISTIC_CRATES.contains(&c))
+}
+
+/// Is `path` inside a crate allowed to read the wall clock?
+pub fn wall_clock_exempt(path: &str) -> bool {
+    crate_of(path).is_some_and(|c| WALL_CLOCK_EXEMPT_CRATES.contains(&c))
+}
+
+/// Is `path` one of the wire-format modules?
+pub fn is_wire_format_module(path: &str) -> bool {
+    WIRE_FORMAT_MODULES.contains(&path)
+}
+
+/// Is `path` one of the designated hot-path modules?
+pub fn is_hot_path_module(path: &str) -> bool {
+    HOT_PATH_MODULES.contains(&path)
+}

@@ -1,0 +1,53 @@
+//! Rustc-style diagnostics: what a violation looks like to a human.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the lint run (nonzero exit).
+    Error,
+    /// Reported, but does not fail the run.
+    Warning,
+}
+
+/// One finding: a rule violation (or suppression problem) at a position.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The rule that fired (e.g. `unordered-collections`).
+    pub rule: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub column: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix or suppress it.
+    pub help: Option<String>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let level = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        writeln!(f, "{level}[{}]: {}", self.rule, self.message)?;
+        writeln!(f, "  --> {}:{}:{}", self.file, self.line, self.column)?;
+        if let Some(help) = &self.help {
+            writeln!(f, "   = help: {help}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Diagnostic {
+    /// Sort key giving stable, reader-friendly output order.
+    pub fn sort_key(&self) -> (String, u32, u32, &'static str) {
+        (self.file.clone(), self.line, self.column, self.rule)
+    }
+}

@@ -1,0 +1,70 @@
+//! CLI: `tango-lint check [--root <dir>]` lints the workspace and exits
+//! nonzero on violations; `tango-lint rules` lists the rule registry.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            for rule in tango_lint::registry::all_rules() {
+                println!("{:<24} {}", rule.name(), rule.description());
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: tango-lint <check [--root <dir>] | rules>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        tango_lint::find_workspace_root(&cwd)
+    });
+    let Some(root) = root else {
+        eprintln!("tango-lint: no workspace root found (pass --root)");
+        return ExitCode::from(2);
+    };
+    let report = match tango_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tango-lint: i/o error walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for diag in &report.diagnostics {
+        print!("{diag}");
+    }
+    let (errors, warnings) = (report.error_count(), report.warning_count());
+    println!(
+        "tango-lint: {} file(s) checked, {errors} error(s), {warnings} warning(s)",
+        report.files_checked
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

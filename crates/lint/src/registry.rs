@@ -1,0 +1,43 @@
+//! The rule registry: every rule, its severity, and where it applies.
+
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::rules;
+use crate::scan::FileScan;
+
+/// A single lint rule: a token-pattern matcher plus its scoping policy.
+pub trait Rule {
+    /// Kebab-case rule name (what suppressions and diagnostics use).
+    fn name(&self) -> &'static str;
+    /// One-line description for `tango-lint rules`.
+    fn description(&self) -> &'static str;
+    /// Error (fails the run) or warning.
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    /// Does the rule guard this repo-relative path at all?
+    fn applies(&self, path: &str) -> bool;
+    /// Does the rule also fire inside `#[cfg(test)]` / `#[test]` code?
+    fn include_test_code(&self) -> bool;
+    /// Scan one file, pushing diagnostics.
+    fn check(&self, path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>);
+}
+
+/// All registered rules, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(rules::unordered_collections::UnorderedCollections),
+        Box::new(rules::wall_clock::WallClock),
+        Box::new(rules::unseeded_rng::UnseededRng),
+        Box::new(rules::lossy_cast::LossyCast),
+        Box::new(rules::hot_path_panic::HotPathPanic),
+    ]
+}
+
+/// Every name a suppression may reference: the five rules plus the two
+/// meta-rules the framework itself emits.
+pub fn rule_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = all_rules().iter().map(|r| r.name()).collect();
+    names.push("malformed-suppression");
+    names.push("unused-suppression");
+    names
+}

@@ -1,0 +1,34 @@
+//! The individual lint rules. Each is a token-pattern matcher over a
+//! [`crate::scan::FileScan`]; scoping policy lives in [`crate::config`].
+
+pub mod hot_path_panic;
+pub mod lossy_cast;
+pub mod unordered_collections;
+pub mod unseeded_rng;
+pub mod wall_clock;
+
+use crate::scan::{FlatToken, TokKind};
+
+/// Is token `i` the `name` segment of a `recv :: name` path? Checks the
+/// two preceding tokens for `::` and (optionally) the receiver ident.
+pub(crate) fn is_path_segment(tokens: &[FlatToken], i: usize, receiver: Option<&str>) -> bool {
+    if i < 2 {
+        return false;
+    }
+    let colons = matches!(tokens[i - 1].kind, TokKind::Punct(':'))
+        && matches!(tokens[i - 2].kind, TokKind::Punct(':'));
+    if !colons {
+        return false;
+    }
+    match receiver {
+        None => true,
+        Some(want) => {
+            i >= 3 && matches!(&tokens[i - 3].kind, TokKind::Ident if tokens[i - 3].text == want)
+        }
+    }
+}
+
+/// Is token `i` a method-call name, i.e. preceded by `.`?
+pub(crate) fn is_method_call(tokens: &[FlatToken], i: usize) -> bool {
+    i >= 1 && matches!(tokens[i - 1].kind, TokKind::Punct('.'))
+}

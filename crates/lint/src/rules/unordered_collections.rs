@@ -1,0 +1,64 @@
+//! `unordered-collections`: no `HashMap`/`HashSet` in deterministic
+//! crates. Their iteration order varies across runs (SipHash keys) and
+//! across platforms, which is exactly the silent-divergence failure mode
+//! the bit-identical-artifacts guarantee exists to prevent.
+
+use crate::config;
+use crate::diagnostics::Diagnostic;
+use crate::registry::Rule;
+use crate::scan::{FileScan, TokKind};
+
+/// See the module docs.
+pub struct UnorderedCollections;
+
+impl Rule for UnorderedCollections {
+    fn name(&self) -> &'static str {
+        "unordered-collections"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid HashMap/HashSet in deterministic crates (iteration order is nondeterministic)"
+    }
+
+    fn applies(&self, path: &str) -> bool {
+        config::in_deterministic_crate(path)
+    }
+
+    // Test code is included: a test asserting over HashMap iteration
+    // order is flaky in the same way production code would be.
+    fn include_test_code(&self) -> bool {
+        true
+    }
+
+    fn check(&self, path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
+        for tok in &scan.tokens {
+            if !matches!(tok.kind, TokKind::Ident) {
+                continue;
+            }
+            if tok.text == "HashMap" || tok.text == "HashSet" {
+                let ordered = if tok.text == "HashMap" {
+                    "BTreeMap"
+                } else {
+                    "BTreeSet"
+                };
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    severity: self.severity(),
+                    file: path.to_string(),
+                    line: tok.line,
+                    column: tok.column,
+                    message: format!(
+                        "`{}` has nondeterministic iteration order — forbidden in \
+                         deterministic crates",
+                        tok.text
+                    ),
+                    help: Some(format!(
+                        "use `{ordered}` (ordered, deterministic), or suppress with \
+                         `tango-lint: allow({}) <reason>`",
+                        self.name()
+                    )),
+                });
+            }
+        }
+    }
+}

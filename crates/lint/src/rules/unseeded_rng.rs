@@ -1,0 +1,63 @@
+//! `unseeded-rng`: all randomness must flow from an explicit seed —
+//! everywhere, including the bench harness. `thread_rng`, OS-entropy
+//! constructors, and `rand::random` each smuggle nondeterminism into a
+//! run that must be reproducible from its `SimConfig::seed`.
+
+use crate::diagnostics::Diagnostic;
+use crate::registry::Rule;
+use crate::rules::is_path_segment;
+use crate::scan::{FileScan, TokKind};
+
+/// Identifiers that always mean OS-entropy randomness.
+const FORBIDDEN_IDENTS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+/// See the module docs.
+pub struct UnseededRng;
+
+impl Rule for UnseededRng {
+    fn name(&self) -> &'static str {
+        "unseeded-rng"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid thread_rng/OS-entropy RNG constructors everywhere (seed explicitly)"
+    }
+
+    fn applies(&self, _path: &str) -> bool {
+        true
+    }
+
+    fn include_test_code(&self) -> bool {
+        true
+    }
+
+    fn check(&self, path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
+        let toks = &scan.tokens;
+        for (i, tok) in toks.iter().enumerate() {
+            if !matches!(tok.kind, TokKind::Ident) {
+                continue;
+            }
+            let hit = FORBIDDEN_IDENTS.contains(&tok.text.as_str())
+                || (tok.text == "random" && is_path_segment(toks, i, Some("rand")));
+            if hit {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    severity: self.severity(),
+                    file: path.to_string(),
+                    line: tok.line,
+                    column: tok.column,
+                    message: format!(
+                        "`{}` draws OS entropy — all randomness must derive from an \
+                         explicit seed",
+                        tok.text
+                    ),
+                    help: Some(format!(
+                        "use `StdRng::seed_from_u64(seed)` (or derive from `Ctx::rng()`), \
+                         or suppress with `tango-lint: allow({}) <reason>`",
+                        self.name()
+                    )),
+                });
+            }
+        }
+    }
+}

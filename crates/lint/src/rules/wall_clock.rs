@@ -1,0 +1,77 @@
+//! `wall-clock`: no `Instant::now` / `SystemTime` outside `tango-bench`.
+//! Simulated time comes from the event queue and node clocks; a wall
+//! clock read anywhere else makes results vary run to run. The §4.2
+//! one-way-delay comparison is only sound because clock offsets are
+//! *constant by construction* — true in simulation only if nothing
+//! consults the host clock.
+
+use crate::config;
+use crate::diagnostics::Diagnostic;
+use crate::registry::Rule;
+use crate::scan::{FileScan, TokKind};
+
+/// See the module docs.
+pub struct WallClock;
+
+impl Rule for WallClock {
+    fn name(&self) -> &'static str {
+        "wall-clock"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid Instant::now/SystemTime outside tango-bench (simulated time only)"
+    }
+
+    fn applies(&self, path: &str) -> bool {
+        !config::wall_clock_exempt(path)
+    }
+
+    fn include_test_code(&self) -> bool {
+        true
+    }
+
+    fn check(&self, path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
+        let toks = &scan.tokens;
+        for (i, tok) in toks.iter().enumerate() {
+            if !matches!(tok.kind, TokKind::Ident) {
+                continue;
+            }
+            let hit = match tok.text.as_str() {
+                // `Instant` alone is fine (e.g. stored by the bench
+                // harness behind an API); reading it is not.
+                "Instant" => {
+                    matches!(toks.get(i + 1), Some(t) if matches!(t.kind, TokKind::Punct(':')))
+                        && matches!(toks.get(i + 2), Some(t) if matches!(t.kind, TokKind::Punct(':')))
+                        && matches!(toks.get(i + 3), Some(t) if t.text == "now")
+                }
+                // Any use of SystemTime (including UNIX_EPOCH math) is a
+                // wall-clock dependency.
+                "SystemTime" => true,
+                _ => false,
+            };
+            if hit {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    severity: self.severity(),
+                    file: path.to_string(),
+                    line: tok.line,
+                    column: tok.column,
+                    message: format!(
+                        "`{}` reads the host wall clock — simulated components must use \
+                         `Ctx::now()`/`Ctx::local_ns()`",
+                        if tok.text == "Instant" {
+                            "Instant::now"
+                        } else {
+                            "SystemTime"
+                        }
+                    ),
+                    help: Some(format!(
+                        "thread time through the simulator clock, or suppress with \
+                         `tango-lint: allow({}) <reason>`",
+                        self.name()
+                    )),
+                });
+            }
+        }
+    }
+}

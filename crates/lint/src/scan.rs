@@ -1,0 +1,212 @@
+//! Per-file scan state shared by every rule: the file's token trees
+//! flattened into a linear sequence (delimiters become explicit
+//! open/close markers), with each token tagged by source position and
+//! whether it sits inside test-only code.
+//!
+//! Rules are token-pattern matchers over this sequence — `Instant :: now`
+//! is three adjacent tokens, indexing is an open-bracket whose previous
+//! token is a value — so a linear view with spans is exactly the level of
+//! structure they need.
+
+use proc_macro2::{Comment, Delimiter, TokenTree};
+
+/// What kind of token a [`FlatToken`] is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword; the text is in [`FlatToken::text`].
+    Ident,
+    /// A single punctuation character.
+    Punct(char),
+    /// A literal (string/char/number); raw text in [`FlatToken::text`].
+    Literal,
+    /// An opening delimiter.
+    Open(Delimiter),
+    /// A closing delimiter.
+    Close(Delimiter),
+}
+
+/// One token in the flattened sequence.
+#[derive(Debug, Clone)]
+pub struct FlatToken {
+    /// The token's kind.
+    pub kind: TokKind,
+    /// Ident/literal text (empty for puncts and delimiters).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub column: u32,
+    /// Inside `#[cfg(test)]`-gated or `#[test]`-attributed code.
+    pub in_test: bool,
+}
+
+/// The scanned form of one source file.
+#[derive(Debug)]
+pub struct FileScan {
+    /// All tokens in source order, delimiters explicit.
+    pub tokens: Vec<FlatToken>,
+    /// Every comment, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Parse and flatten one file.
+pub fn scan_source(src: &str) -> Result<FileScan, syn::Error> {
+    let file = syn::parse_file(src)?;
+    let mut tokens = Vec::new();
+    flatten(file.tokens.iter().as_slice(), false, &mut tokens);
+    Ok(FileScan {
+        tokens,
+        comments: file.comments,
+    })
+}
+
+impl FileScan {
+    /// Index of the previous token before `i`, if any.
+    pub fn prev(&self, i: usize) -> Option<&FlatToken> {
+        i.checked_sub(1).map(|p| &self.tokens[p])
+    }
+
+    /// The token `n` positions after `i`, if any.
+    pub fn at(&self, i: usize) -> Option<&FlatToken> {
+        self.tokens.get(i)
+    }
+
+    /// Does any code token sit on `line`? (Distinguishes a trailing
+    /// comment from a comment on its own line.)
+    pub fn line_has_code(&self, line: u32) -> bool {
+        self.tokens.iter().any(|t| t.line == line)
+    }
+
+    /// The last source line a suppression comment on `line` covers: the
+    /// end of the item/statement starting on the first code line after
+    /// it (through a brace body, to a `;`/`,`, or to the enclosing
+    /// close), per DESIGN.md "Determinism invariants".
+    pub fn suppression_end(&self, line: u32) -> u32 {
+        let Some(start) = self.tokens.iter().position(|t| t.line > line) else {
+            return line;
+        };
+        let mut depth = 0usize;
+        let mut last_line = self.tokens[start].line;
+        for tok in &self.tokens[start..] {
+            match &tok.kind {
+                TokKind::Open(Delimiter::Brace) if depth == 0 => {
+                    depth += 1;
+                    last_line = tok.line;
+                    // The brace body is the item's body: covered through
+                    // its matching close (the depth-tracking below exits
+                    // when it returns to zero).
+                }
+                TokKind::Open(_) => depth += 1,
+                TokKind::Close(_) => {
+                    if depth == 0 {
+                        // The enclosing scope closed: the item ended on
+                        // the previous token's line.
+                        return last_line;
+                    }
+                    depth -= 1;
+                    last_line = tok.line;
+                    if depth == 0 && matches!(tok.kind, TokKind::Close(Delimiter::Brace)) {
+                        return tok.line;
+                    }
+                }
+                TokKind::Punct(';') | TokKind::Punct(',') if depth == 0 => {
+                    return tok.line;
+                }
+                _ => last_line = tok.line,
+            }
+        }
+        last_line
+    }
+}
+
+/// Flatten `trees` into `out`, propagating and detecting test scope.
+///
+/// Test scope is recognized syntactically from the exact attribute forms
+/// the workspace uses: `#[cfg(test)]` and `#[test]`. Conditional forms
+/// like `#[cfg(all(test, …))]` are deliberately *not* recognized — code
+/// under them stays subject to the rules (stricter, never looser).
+fn flatten(trees: &[TokenTree], in_test: bool, out: &mut Vec<FlatToken>) {
+    let mut pending_test = false;
+    for (i, tree) in trees.iter().enumerate() {
+        match tree {
+            TokenTree::Ident(id) => {
+                out.push(tok(TokKind::Ident, id.to_string(), tree, in_test));
+            }
+            TokenTree::Punct(p) => {
+                if p.as_char() == '#' {
+                    if let Some(TokenTree::Group(g)) = trees.get(i + 1) {
+                        if g.delimiter() == Delimiter::Bracket && is_test_attr(g.stream()) {
+                            pending_test = true;
+                        }
+                    }
+                }
+                if p.as_char() == ';' {
+                    // `#[cfg(test)] use …;` — the attribute's item ended
+                    // without a body.
+                    pending_test = false;
+                }
+                out.push(tok(
+                    TokKind::Punct(p.as_char()),
+                    String::new(),
+                    tree,
+                    in_test,
+                ));
+            }
+            TokenTree::Literal(l) => {
+                out.push(tok(TokKind::Literal, l.as_str().to_string(), tree, in_test));
+            }
+            TokenTree::Group(g) => {
+                let body_is_test = in_test || (pending_test && g.delimiter() == Delimiter::Brace);
+                if g.delimiter() == Delimiter::Brace {
+                    pending_test = false;
+                }
+                let open = g.span_open().start();
+                out.push(FlatToken {
+                    kind: TokKind::Open(g.delimiter()),
+                    text: String::new(),
+                    line: open.line as u32,
+                    column: open.column as u32,
+                    in_test: body_is_test,
+                });
+                flatten(g.stream().iter().as_slice(), body_is_test, out);
+                let close = g.span_close().start();
+                out.push(FlatToken {
+                    kind: TokKind::Close(g.delimiter()),
+                    text: String::new(),
+                    line: close.line as u32,
+                    column: close.column as u32,
+                    in_test: body_is_test,
+                });
+            }
+        }
+    }
+}
+
+fn tok(kind: TokKind, text: String, tree: &TokenTree, in_test: bool) -> FlatToken {
+    let at = tree.span().start();
+    FlatToken {
+        kind,
+        text,
+        line: at.line as u32,
+        column: at.column as u32,
+        in_test,
+    }
+}
+
+/// Is this attribute body (the tokens inside `#[...]`) exactly
+/// `cfg(test)` or `test`?
+fn is_test_attr(stream: &proc_macro2::TokenStream) -> bool {
+    let trees: Vec<&TokenTree> = stream.iter().collect();
+    match trees.as_slice() {
+        [TokenTree::Ident(i)] => i.as_str() == "test",
+        [TokenTree::Ident(i), TokenTree::Group(g)] => {
+            i.as_str() == "cfg"
+                && g.delimiter() == Delimiter::Parenthesis
+                && matches!(
+                    g.stream().iter().collect::<Vec<_>>().as_slice(),
+                    [TokenTree::Ident(t)] if t.as_str() == "test"
+                )
+        }
+        _ => false,
+    }
+}

@@ -1,0 +1,160 @@
+//! Inline suppressions: `tango-lint: allow(<rule>, …) <reason>` inside a
+//! `//` or `/* */` comment.
+//!
+//! A suppression *requires* a reason — an allow without one is itself a
+//! violation (`malformed-suppression`), as is an unknown rule name (a
+//! typo would otherwise silently suppress nothing). Scope: a trailing
+//! comment covers its own line; a comment on its own line covers the
+//! item or statement beginning on the next code line (through its brace
+//! body or up to the terminating `;`).
+
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::registry;
+use crate::scan::FileScan;
+use proc_macro2::Comment;
+
+/// A parsed, well-formed suppression.
+#[derive(Debug)]
+pub struct Suppression {
+    /// Rule names this suppression covers.
+    pub rules: Vec<String>,
+    /// The mandatory justification.
+    pub reason: String,
+    /// First covered line.
+    pub from_line: u32,
+    /// Last covered line (inclusive).
+    pub to_line: u32,
+    /// Did any diagnostic actually get suppressed?
+    pub used: bool,
+}
+
+const DIRECTIVE: &str = "tango-lint:";
+
+/// Extract suppressions from a file's comments. Malformed directives
+/// come back as diagnostics in `out`.
+pub fn collect(
+    path: &str,
+    scan: &FileScan,
+    comments: &[Comment],
+    out: &mut Vec<Diagnostic>,
+) -> Vec<Suppression> {
+    let mut found = Vec::new();
+    for comment in comments {
+        let text = comment.text.trim();
+        // Doc comments (`///` / `//!`) keep their marker as the first
+        // character, so a directive can only start a plain comment.
+        let Some(rest) = text.strip_prefix(DIRECTIVE) else {
+            continue;
+        };
+        let line = comment.span.start().line as u32;
+        let column = comment.span.start().column as u32;
+        let malformed = |message: String| Diagnostic {
+            rule: "malformed-suppression",
+            severity: Severity::Error,
+            file: path.to_string(),
+            line,
+            column,
+            message,
+            help: Some(
+                "write `tango-lint: allow(<rule>) <reason>` — the reason is mandatory".to_string(),
+            ),
+        };
+        let rest = rest.trim_start();
+        let Some(args) = rest.strip_prefix("allow") else {
+            out.push(malformed(format!(
+                "unknown tango-lint directive `{}`",
+                rest.split_whitespace().next().unwrap_or("")
+            )));
+            continue;
+        };
+        let args = args.trim_start();
+        let Some(after_paren) = args.strip_prefix('(') else {
+            out.push(malformed("expected `(` after `allow`".to_string()));
+            continue;
+        };
+        let Some(close) = after_paren.find(')') else {
+            out.push(malformed("unclosed `(` in allow directive".to_string()));
+            continue;
+        };
+        let rules: Vec<String> = after_paren[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            out.push(malformed("allow() names no rules".to_string()));
+            continue;
+        }
+        let mut bad_rule = false;
+        for rule in &rules {
+            if !registry::rule_names().contains(&rule.as_str()) {
+                out.push(malformed(format!(
+                    "unknown rule `{rule}` (known: {})",
+                    registry::rule_names().join(", ")
+                )));
+                bad_rule = true;
+            }
+        }
+        if bad_rule {
+            continue;
+        }
+        let reason = after_paren[close + 1..].trim();
+        if reason.is_empty() {
+            out.push(malformed(
+                "suppression without a reason — say why the violation is acceptable".to_string(),
+            ));
+            continue;
+        }
+        let to_line = if scan.line_has_code(line) {
+            line
+        } else {
+            scan.suppression_end(line)
+        };
+        found.push(Suppression {
+            rules,
+            reason: reason.to_string(),
+            from_line: line,
+            to_line,
+            used: false,
+        });
+    }
+    found
+}
+
+/// Drop diagnostics covered by a suppression; flag suppressions that
+/// cover nothing.
+pub fn apply(
+    path: &str,
+    mut suppressions: Vec<Suppression>,
+    diagnostics: Vec<Diagnostic>,
+) -> Vec<Diagnostic> {
+    let mut kept = Vec::new();
+    for diag in diagnostics {
+        let covered = suppressions.iter_mut().find(|s| {
+            s.rules.iter().any(|r| r == diag.rule) && (s.from_line..=s.to_line).contains(&diag.line)
+        });
+        match covered {
+            Some(s) => s.used = true,
+            None => kept.push(diag),
+        }
+    }
+    for s in &suppressions {
+        if !s.used {
+            kept.push(Diagnostic {
+                rule: "unused-suppression",
+                severity: Severity::Warning,
+                file: path.to_string(),
+                line: s.from_line,
+                column: 1,
+                message: format!(
+                    "suppression of `{}` matches no diagnostic on lines {}–{}",
+                    s.rules.join(", "),
+                    s.from_line,
+                    s.to_line
+                ),
+                help: Some("delete the stale allow".to_string()),
+            });
+        }
+    }
+    kept
+}

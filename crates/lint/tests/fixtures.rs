@@ -1,0 +1,266 @@
+//! Fixture-based rule tests: each rule has a `fail.rs` snippet that must
+//! trigger it and a `pass.rs` snippet that must stay clean, linted under
+//! a pretend path that puts the snippet in the rule's scope. A second
+//! pretend path outside the scope must silence the scoped rules.
+
+use tango_lint::diagnostics::Severity;
+use tango_lint::lint_source;
+
+fn fixture(rel: &str) -> String {
+    let path = format!("{}/tests/fixtures/{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn rules_fired(path: &str, src: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = lint_source(path, src)
+        .expect("fixture lexes")
+        .iter()
+        .map(|d| d.rule)
+        .collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn unordered_collections_fail_fires_in_deterministic_crate() {
+    let diags = lint_source(
+        "crates/sim/src/lib.rs",
+        &fixture("unordered_collections/fail.rs"),
+    )
+    .unwrap();
+    let hits: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "unordered-collections")
+        .collect();
+    // Two HashMap mentions, two HashSet mentions outside tests, one
+    // HashSet inside a test (test code is in scope for this rule).
+    assert!(hits.len() >= 5, "expected >= 5 hits, got {diags:?}");
+    assert!(hits.iter().all(|d| d.severity == Severity::Error));
+    assert!(hits.iter().any(|d| d.message.contains("HashMap")));
+    assert!(hits.iter().any(|d| d.message.contains("HashSet")));
+}
+
+#[test]
+fn unordered_collections_pass_is_clean() {
+    assert_eq!(
+        rules_fired(
+            "crates/sim/src/lib.rs",
+            &fixture("unordered_collections/pass.rs")
+        ),
+        Vec::<&str>::new()
+    );
+}
+
+#[test]
+fn unordered_collections_out_of_scope_crate_is_exempt() {
+    // tango-lint itself is not a deterministic crate; HashMap is allowed.
+    assert_eq!(
+        rules_fired(
+            "crates/lint/src/lib.rs",
+            &fixture("unordered_collections/fail.rs")
+        ),
+        Vec::<&str>::new()
+    );
+}
+
+#[test]
+fn wall_clock_fail_fires_outside_bench() {
+    let diags = lint_source(
+        "crates/control/src/health.rs",
+        &fixture("wall_clock/fail.rs"),
+    )
+    .unwrap();
+    let hits: Vec<_> = diags.iter().filter(|d| d.rule == "wall-clock").collect();
+    assert!(
+        hits.iter().any(|d| d.message.contains("Instant::now")),
+        "{diags:?}"
+    );
+    assert!(
+        hits.iter().any(|d| d.message.contains("SystemTime")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn wall_clock_pass_is_clean() {
+    assert_eq!(
+        rules_fired(
+            "crates/control/src/health.rs",
+            &fixture("wall_clock/pass.rs")
+        ),
+        Vec::<&str>::new()
+    );
+}
+
+#[test]
+fn wall_clock_exempt_in_bench_crate() {
+    assert_eq!(
+        rules_fired(
+            "crates/bench/src/throughput.rs",
+            &fixture("wall_clock/fail.rs")
+        ),
+        Vec::<&str>::new()
+    );
+}
+
+#[test]
+fn unseeded_rng_fail_fires_everywhere() {
+    // Even tango-bench gets no exemption: benches must be replayable too.
+    for path in ["crates/sim/src/lib.rs", "crates/bench/src/util.rs"] {
+        let diags = lint_source(path, &fixture("unseeded_rng/fail.rs")).unwrap();
+        let hits: Vec<_> = diags.iter().filter(|d| d.rule == "unseeded-rng").collect();
+        assert!(
+            hits.iter().any(|d| d.message.contains("thread_rng")),
+            "{path}: {diags:?}"
+        );
+        assert!(
+            hits.iter().any(|d| d.message.contains("`random`")),
+            "{path}: {diags:?}"
+        );
+        assert!(
+            hits.iter().any(|d| d.message.contains("from_entropy")),
+            "{path}: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn unseeded_rng_pass_is_clean() {
+    assert_eq!(
+        rules_fired("crates/sim/src/lib.rs", &fixture("unseeded_rng/pass.rs")),
+        Vec::<&str>::new()
+    );
+}
+
+#[test]
+fn lossy_cast_fail_fires_in_wire_module() {
+    let diags = lint_source("crates/bgp/src/wire.rs", &fixture("lossy_cast/fail.rs")).unwrap();
+    let hits: Vec<_> = diags.iter().filter(|d| d.rule == "lossy-cast").collect();
+    assert_eq!(hits.len(), 3, "{diags:?}");
+    assert!(hits
+        .iter()
+        .all(|d| d.help.as_deref().is_some_and(|h| h.contains("try_from"))));
+}
+
+#[test]
+fn lossy_cast_pass_is_clean() {
+    assert_eq!(
+        rules_fired("crates/bgp/src/wire.rs", &fixture("lossy_cast/pass.rs")),
+        Vec::<&str>::new()
+    );
+}
+
+#[test]
+fn lossy_cast_out_of_scope_module_is_exempt() {
+    assert_eq!(
+        rules_fired("crates/bgp/src/session.rs", &fixture("lossy_cast/fail.rs")),
+        Vec::<&str>::new()
+    );
+}
+
+#[test]
+fn hot_path_panic_fail_fires_in_hot_module() {
+    let diags = lint_source(
+        "crates/sim/src/engine.rs",
+        &fixture("hot_path_panic/fail.rs"),
+    )
+    .unwrap();
+    let hits: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "hot-path-panic")
+        .collect();
+    assert!(
+        hits.iter().any(|d| d.message.contains("unwrap")),
+        "{diags:?}"
+    );
+    assert!(
+        hits.iter().any(|d| d.message.contains("expect")),
+        "{diags:?}"
+    );
+    assert!(
+        hits.iter().any(|d| d.message.contains("index")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn hot_path_panic_pass_is_clean() {
+    // Includes a #[cfg(test)] module full of unwraps and indexing: test
+    // code is exempt for this rule.
+    assert_eq!(
+        rules_fired(
+            "crates/sim/src/engine.rs",
+            &fixture("hot_path_panic/pass.rs")
+        ),
+        Vec::<&str>::new()
+    );
+}
+
+#[test]
+fn hot_path_panic_out_of_scope_module_is_exempt() {
+    assert_eq!(
+        rules_fired(
+            "crates/sim/src/agent.rs",
+            &fixture("hot_path_panic/fail.rs")
+        ),
+        Vec::<&str>::new()
+    );
+}
+
+#[test]
+fn reasoned_suppressions_silence_their_violations() {
+    // engine.rs scope: wall-clock and hot-path-panic both apply, and both
+    // violations carry a reasoned allow — nothing may survive, including
+    // unused-suppression warnings.
+    assert_eq!(
+        rules_fired(
+            "crates/sim/src/engine.rs",
+            &fixture("suppression/reasoned.rs")
+        ),
+        Vec::<&str>::new()
+    );
+}
+
+#[test]
+fn bare_suppression_is_itself_a_violation() {
+    let diags = lint_source("crates/sim/src/engine.rs", &fixture("suppression/bare.rs")).unwrap();
+    let malformed: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "malformed-suppression")
+        .collect();
+    assert_eq!(malformed.len(), 2, "{diags:?}");
+    assert!(malformed.iter().all(|d| d.severity == Severity::Error));
+    assert!(malformed.iter().all(|d| d.message.contains("reason")));
+    // A reasonless allow also fails to suppress the underlying violation.
+    assert!(diags.iter().any(|d| d.rule == "wall-clock"), "{diags:?}");
+    assert!(
+        diags.iter().any(|d| d.rule == "hot-path-panic"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn unknown_rule_in_allow_is_a_violation() {
+    let src = "// tango-lint: allow(no-such-rule) some reason\nfn f() {}\n";
+    let diags = lint_source("crates/sim/src/lib.rs", src).unwrap();
+    assert!(
+        diags.iter().any(|d| d.rule == "malformed-suppression"
+            && d.severity == Severity::Error
+            && d.message.contains("no-such-rule")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn unused_suppression_warns() {
+    let src =
+        "// tango-lint: allow(wall-clock) defensive but nothing here reads a clock\nfn f() {}\n";
+    let diags = lint_source("crates/sim/src/lib.rs", src).unwrap();
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "unused-suppression" && d.severity == Severity::Warning),
+        "{diags:?}"
+    );
+}

@@ -1,0 +1,15 @@
+//! Fixture: panic paths in a hot-path module.
+
+pub fn first_word(bytes: &[u8]) -> u16 {
+    let hi = bytes[0];
+    let lo = bytes[1];
+    u16::from(hi) << 8 | u16::from(lo)
+}
+
+pub fn parse(input: &str) -> u32 {
+    input.parse().unwrap()
+}
+
+pub fn tail(bytes: &[u8]) -> &[u8] {
+    bytes.get(4..).expect("at least four bytes")
+}

@@ -1,0 +1,27 @@
+//! Fixture: fallible hot-path code — no violations expected.
+
+pub fn first_word(bytes: &[u8]) -> Option<u16> {
+    let hi = *bytes.first()?;
+    let lo = *bytes.get(1)?;
+    Some(u16::from(hi) << 8 | u16::from(lo))
+}
+
+pub fn parse(input: &str) -> Result<u32, core::num::ParseIntError> {
+    input.parse()
+}
+
+pub fn tail(bytes: &[u8]) -> Option<&[u8]> {
+    bytes.get(4..)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code IS exempt for hot-path-panic: unwrap in a test is the
+    // idiomatic assertion style.
+    #[test]
+    fn parses() {
+        assert_eq!(super::parse("7").unwrap(), 7);
+        let v = vec![1u8, 2, 3, 4, 5];
+        assert_eq!(v[0], 1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: lossy `as` casts in a wire-format module.
+
+pub fn encode_len(payload: &[u8], out: &mut Vec<u8>) {
+    out.push(payload.len() as u8);
+    out.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+}
+
+pub fn narrow(seq: u64) -> u32 {
+    seq as u32
+}

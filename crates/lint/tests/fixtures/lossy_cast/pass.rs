@@ -1,0 +1,13 @@
+//! Fixture: checked conversions in a wire-format module — no
+//! violations expected.
+
+pub fn encode_len(payload: &[u8], out: &mut Vec<u8>) -> Result<(), &'static str> {
+    let len = u16::try_from(payload.len()).map_err(|_| "payload too long")?;
+    out.push(u8::try_from(payload.len() & 0xff).unwrap_or(0));
+    out.extend_from_slice(&len.to_be_bytes());
+    Ok(())
+}
+
+pub fn widen(seq: u32) -> u64 {
+    u64::from(seq)
+}

@@ -1,0 +1,10 @@
+//! Fixture: suppressions missing a reason — each is itself a violation.
+
+// tango-lint: allow(wall-clock)
+pub fn now_ns() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}
+
+pub fn head(bytes: &[u8]) -> u8 {
+    bytes[0] // tango-lint: allow(hot-path-panic)
+}

@@ -1,0 +1,12 @@
+//! Fixture: correctly reasoned suppressions — no violations expected.
+
+use std::time::Instant;
+
+// tango-lint: allow(wall-clock) profiling hook is compiled out of experiment builds
+pub fn profile_hook() -> Instant {
+    Instant::now()
+}
+
+pub fn lookup(table: &[u32], idx: usize) -> u32 {
+    table[idx] // tango-lint: allow(hot-path-panic) idx is produced by the modulo above the call site
+}

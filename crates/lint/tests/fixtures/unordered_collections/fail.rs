@@ -1,0 +1,24 @@
+//! Fixture: unordered collections in a deterministic crate.
+
+use std::collections::HashMap;
+
+pub fn routes() -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    m.insert(1, 2);
+    m
+}
+
+pub fn members() -> std::collections::HashSet<u64> {
+    std::collections::HashSet::new()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is NOT exempt for this rule: a HashMap-iterating test
+    // can flake under a new hasher seed.
+    #[test]
+    fn uses_hash_set() {
+        let s: std::collections::HashSet<u8> = Default::default();
+        assert!(s.is_empty());
+    }
+}

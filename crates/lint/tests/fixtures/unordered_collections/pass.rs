@@ -1,0 +1,17 @@
+//! Fixture: ordered collections only — no violations expected.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+pub fn routes() -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    m.insert(1, 2);
+    m
+}
+
+pub fn members() -> BTreeSet<u64> {
+    BTreeSet::new()
+}
+
+pub fn queue() -> VecDeque<u8> {
+    VecDeque::new()
+}

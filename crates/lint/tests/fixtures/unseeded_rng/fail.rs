@@ -1,0 +1,15 @@
+//! Fixture: OS-entropy randomness.
+
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..100)
+}
+
+pub fn coin() -> bool {
+    rand::random()
+}
+
+pub fn fresh() -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::from_entropy()
+}

@@ -1,0 +1,12 @@
+//! Fixture: explicitly seeded randomness — no violations expected.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn rng_for_trial(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+pub fn derived(seed: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ stream.rotate_left(17))
+}

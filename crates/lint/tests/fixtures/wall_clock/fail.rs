@@ -1,0 +1,15 @@
+//! Fixture: wall-clock reads outside tango-bench.
+
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_ns() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}
+
+pub fn unix_seconds() -> u64 {
+    match SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: virtual time only — no violations expected.
+
+pub struct Clock {
+    now_ns: u64,
+}
+
+impl Clock {
+    pub fn now(&self) -> u64 {
+        self.now_ns
+    }
+
+    pub fn advance(&mut self, delta_ns: u64) {
+        self.now_ns += delta_ns;
+    }
+}
+
+pub fn duration_ns(start: u64, end: u64) -> u64 {
+    end.saturating_sub(start)
+}

@@ -1,0 +1,30 @@
+//! Self-check: the real workspace must lint clean. This is the same
+//! invariant CI's `lint-determinism` job enforces via the binary; having
+//! it as a test keeps `cargo test` sufficient locally.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = root.canonicalize().expect("workspace root resolves");
+    let report = tango_lint::lint_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        report.files_checked > 50,
+        "suspiciously few files: {}",
+        report.files_checked
+    );
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert_eq!(
+        report.error_count(),
+        0,
+        "workspace has lint errors:\n{}",
+        rendered.join("\n")
+    );
+    assert_eq!(
+        report.warning_count(),
+        0,
+        "workspace has lint warnings (stale allows?):\n{}",
+        rendered.join("\n")
+    );
+}

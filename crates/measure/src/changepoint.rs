@@ -39,7 +39,13 @@ impl CusumDetector {
     /// exceeds `threshold`.
     pub fn new(reference_alpha: f64, slack: f64, threshold: f64) -> Self {
         assert!(slack >= 0.0 && threshold > 0.0);
-        CusumDetector { reference: Ewma::new(reference_alpha), slack, threshold, pos: 0.0, neg: 0.0 }
+        CusumDetector {
+            reference: Ewma::new(reference_alpha),
+            slack,
+            threshold,
+            pos: 0.0,
+            neg: 0.0,
+        }
     }
 
     /// Feed a sample; returns a detection (and resets) when the

@@ -13,7 +13,10 @@ pub struct Ewma {
 impl Ewma {
     /// A new EWMA; `alpha` must be in (0, 1].
     pub fn new(alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1], got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0,1], got {alpha}"
+        );
         Ewma { alpha, value: None }
     }
 

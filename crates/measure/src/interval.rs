@@ -22,7 +22,13 @@ impl IntervalAverager {
     /// An averager with the given bin width (e.g. 10 ms).
     pub fn new(width_ns: u64) -> Self {
         assert!(width_ns > 0, "bin width must be positive");
-        IntervalAverager { width_ns, current_bin: None, sum: 0.0, count: 0, out: TimeSeries::new() }
+        IntervalAverager {
+            width_ns,
+            current_bin: None,
+            sum: 0.0,
+            count: 0,
+            out: TimeSeries::new(),
+        }
     }
 
     fn bin_of(&self, t_ns: u64) -> u64 {
@@ -55,7 +61,8 @@ impl IntervalAverager {
     fn flush_current(&mut self) {
         if let Some(b) = self.current_bin {
             if self.count > 0 {
-                self.out.push(b * self.width_ns, self.sum / self.count as f64);
+                self.out
+                    .push(b * self.width_ns, self.sum / self.count as f64);
             }
         }
         self.sum = 0.0;

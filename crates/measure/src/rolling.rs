@@ -27,7 +27,13 @@ impl RollingWindow {
     /// A window of the given duration.
     pub fn new(window_ns: u64) -> Self {
         assert!(window_ns > 0, "window must be positive");
-        RollingWindow { window_ns, samples: VecDeque::new(), offset: 0.0, sum: 0.0, sum_sq: 0.0 }
+        RollingWindow {
+            window_ns,
+            samples: VecDeque::new(),
+            offset: 0.0,
+            sum: 0.0,
+            sum_sq: 0.0,
+        }
     }
 
     /// Add a sample and evict everything older than `t - window`

@@ -19,13 +19,19 @@ impl TimeSeries {
     /// With pre-allocated capacity (an 8-day / 10 ms series is ~69 M
     /// samples; experiments pre-size).
     pub fn with_capacity(n: usize) -> Self {
-        TimeSeries { times_ns: Vec::with_capacity(n), values: Vec::with_capacity(n) }
+        TimeSeries {
+            times_ns: Vec::with_capacity(n),
+            values: Vec::with_capacity(n),
+        }
     }
 
     /// Append a sample. Panics if time goes backwards (a harness bug).
     pub fn push(&mut self, t_ns: u64, value: f64) {
         if let Some(&last) = self.times_ns.last() {
-            assert!(t_ns >= last, "time series must be monotonic: {t_ns} < {last}");
+            assert!(
+                t_ns >= last,
+                "time series must be monotonic: {t_ns} < {last}"
+            );
         }
         self.times_ns.push(t_ns);
         self.values.push(value);
@@ -43,7 +49,10 @@ impl TimeSeries {
 
     /// Iterate over (t_ns, value).
     pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
-        self.times_ns.iter().copied().zip(self.values.iter().copied())
+        self.times_ns
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// The timestamps.

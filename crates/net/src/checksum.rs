@@ -143,10 +143,14 @@ mod tests {
         let payload = b"hi";
         let udp_len = 8 + payload.len() as u16;
         let mut udp = vec![
-            0x03, 0xe8, // src port 1000
-            0x07, 0xd0, // dst port 2000
-            0x00, udp_len as u8, // length
-            0x00, 0x00, // checksum placeholder
+            0x03,
+            0xe8, // src port 1000
+            0x07,
+            0xd0, // dst port 2000
+            0x00,
+            udp_len as u8, // length
+            0x00,
+            0x00, // checksum placeholder
         ];
         udp.extend_from_slice(payload);
         let mut c = pseudo_header_v4(src, dst, 17, udp_len);

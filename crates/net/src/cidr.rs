@@ -309,7 +309,8 @@ mod serde_impls {
             impl<'de> Deserialize<'de> for $ty {
                 fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
                     let s = String::deserialize(d)?;
-                    s.parse().map_err(|e| de::Error::custom(format!("{e}: {s}")))
+                    s.parse()
+                        .map_err(|e| de::Error::custom(format!("{e}: {s}")))
                 }
             }
         };
@@ -369,7 +370,10 @@ mod tests {
 
     #[test]
     fn v4_invalid_prefix_len() {
-        assert_eq!(Ipv4Cidr::new(Ipv4Addr::UNSPECIFIED, 33), Err(Error::PrefixLen));
+        assert_eq!(
+            Ipv4Cidr::new(Ipv4Addr::UNSPECIFIED, 33),
+            Err(Error::PrefixLen)
+        );
         assert!("10.0.0.0/33".parse::<Ipv4Cidr>().is_err());
         assert!("10.0.0.0".parse::<Ipv4Cidr>().is_err());
         assert!("10.0.0/8".parse::<Ipv4Cidr>().is_err());

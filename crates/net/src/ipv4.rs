@@ -330,7 +330,10 @@ mod tests {
         let mut p = Ipv4Packet::new_unchecked(&mut buf);
         repr.emit(&mut p).unwrap();
         buf[0] = 0x65; // version 6
-        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
     }
 
     #[test]
@@ -340,7 +343,10 @@ mod tests {
         let mut p = Ipv4Packet::new_unchecked(&mut buf);
         repr.emit(&mut p).unwrap();
         buf[0] = 0x46; // IHL = 6 (one option word)
-        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Unsupported);
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Unsupported
+        );
     }
 
     #[test]
@@ -350,10 +356,16 @@ mod tests {
         let mut p = Ipv4Packet::new_unchecked(&mut buf);
         repr.emit(&mut p).unwrap();
         buf[6] = 0x20; // MF set
-        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Unsupported);
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Unsupported
+        );
         buf[6] = 0x00;
         buf[7] = 0x08; // nonzero offset
-        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Unsupported);
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Unsupported
+        );
     }
 
     #[test]
@@ -364,10 +376,16 @@ mod tests {
         repr.emit(&mut p).unwrap();
         // total_len larger than buffer
         buf[2..4].copy_from_slice(&(repr.total_len() as u16 + 8).to_be_bytes());
-        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Truncated
+        );
         // total_len smaller than header
         buf[2..4].copy_from_slice(&10u16.to_be_bytes());
-        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
     }
 
     #[test]

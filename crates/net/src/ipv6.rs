@@ -118,9 +118,8 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv6Packet<T> {
     /// Set version, traffic class and flow label in one go.
     pub fn set_ver_tc_fl(&mut self, traffic_class: u8, flow_label: u32) {
         let d = self.buffer.as_mut();
-        let word: u32 = (6u32 << 28)
-            | (u32::from(traffic_class) << 20)
-            | (flow_label & 0x000f_ffff);
+        let word: u32 =
+            (6u32 << 28) | (u32::from(traffic_class) << 20) | (flow_label & 0x000f_ffff);
         d[field::VER_TC_FL].copy_from_slice(&word.to_be_bytes());
     }
 
@@ -268,7 +267,10 @@ mod tests {
         let mut p = Ipv6Packet::new_unchecked(&mut buf);
         repr.emit(&mut p).unwrap();
         buf[0] = 0x45;
-        assert_eq!(Ipv6Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            Ipv6Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
     }
 
     #[test]
@@ -283,7 +285,10 @@ mod tests {
         );
         // payload_len lying beyond the buffer
         buf[4..6].copy_from_slice(&100u16.to_be_bytes());
-        assert_eq!(Ipv6Packet::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Ipv6Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Truncated
+        );
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub use error::{Error, Result};
 pub use ipv4::{Ipv4Packet, Ipv4Repr};
 pub use ipv6::{Ipv6Packet, Ipv6Repr};
 pub use siphash::{siphash24, SipKey};
-pub use tango_hdr::{TangoFlags, TangoPacket, TangoRepr, TANGO_HEADER_LEN, TANGO_MAGIC, TANGO_UDP_PORT};
+pub use tango_hdr::{
+    TangoFlags, TangoPacket, TangoRepr, TANGO_HEADER_LEN, TANGO_MAGIC, TANGO_UDP_PORT,
+};
 pub use trie::PrefixTrie;
 pub use udp::{UdpPacket, UdpRepr};
 

@@ -337,10 +337,16 @@ mod tests {
         let mut p = TangoPacket::new_unchecked(&mut buf);
         repr.emit(&mut p).unwrap();
         buf[0] = 0x00;
-        assert_eq!(TangoPacket::new_checked(&buf[..]).unwrap_err(), Error::NotTango);
+        assert_eq!(
+            TangoPacket::new_checked(&buf[..]).unwrap_err(),
+            Error::NotTango
+        );
         buf[0] = 0x7a;
         buf[2] = 99;
-        assert_eq!(TangoPacket::new_checked(&buf[..]).unwrap_err(), Error::NotTango);
+        assert_eq!(
+            TangoPacket::new_checked(&buf[..]).unwrap_err(),
+            Error::NotTango
+        );
     }
 
     #[test]

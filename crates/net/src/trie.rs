@@ -23,7 +23,10 @@ struct Node<V> {
 
 impl<V> Default for Node<V> {
     fn default() -> Self {
-        Node { value: None, children: [None, None] }
+        Node {
+            value: None,
+            children: [None, None],
+        }
     }
 }
 
@@ -35,7 +38,10 @@ struct BitTrie<V> {
 
 impl<V> Default for BitTrie<V> {
     fn default() -> Self {
-        BitTrie { root: Node::default(), len: 0 }
+        BitTrie {
+            root: Node::default(),
+            len: 0,
+        }
     }
 }
 
@@ -141,7 +147,10 @@ fn v6_bits(addr: Ipv6Addr) -> u128 {
 impl<V> PrefixTrie<V> {
     /// An empty table.
     pub fn new() -> Self {
-        PrefixTrie { v4: BitTrie::default(), v6: BitTrie::default() }
+        PrefixTrie {
+            v4: BitTrie::default(),
+            v6: BitTrie::default(),
+        }
     }
 
     /// Number of prefixes stored.
@@ -289,7 +298,10 @@ mod tests {
             t.insert(c, *name);
         }
         assert_eq!(*t.longest_match(addr("2001:db8:102::42")).unwrap().1, "gtt");
-        assert_eq!(*t.longest_match(addr("2001:db8:103:ffff::1")).unwrap().1, "cogent");
+        assert_eq!(
+            *t.longest_match(addr("2001:db8:103:ffff::1")).unwrap().1,
+            "cogent"
+        );
         assert!(t.longest_match(addr("2001:db8:104::1")).is_none());
     }
 

@@ -230,7 +230,11 @@ mod tests {
     #[test]
     fn roundtrip_v4_checksum() {
         let (src, dst) = v4_pair();
-        let repr = UdpRepr { src_port: 4000, dst_port: 31328, payload_len: 11 };
+        let repr = UdpRepr {
+            src_port: 4000,
+            dst_port: 31328,
+            payload_len: 11,
+        };
         let mut buf = vec![0u8; repr.total_len()];
         let mut p = UdpPacket::new_unchecked(&mut buf);
         repr.emit(&mut p).unwrap();
@@ -245,7 +249,11 @@ mod tests {
     #[test]
     fn roundtrip_v6_checksum() {
         let (src, dst) = v6_pair();
-        let repr = UdpRepr { src_port: 1, dst_port: 2, payload_len: 4 };
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+            payload_len: 4,
+        };
         let mut buf = vec![0u8; repr.total_len()];
         let mut p = UdpPacket::new_unchecked(&mut buf);
         repr.emit(&mut p).unwrap();
@@ -258,7 +266,11 @@ mod tests {
     #[test]
     fn corrupt_payload_fails_verification() {
         let (src, dst) = v6_pair();
-        let repr = UdpRepr { src_port: 1, dst_port: 2, payload_len: 4 };
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+            payload_len: 4,
+        };
         let mut buf = vec![0u8; repr.total_len()];
         let mut p = UdpPacket::new_unchecked(&mut buf);
         repr.emit(&mut p).unwrap();
@@ -273,7 +285,11 @@ mod tests {
     fn zero_checksum_v4_accepted_v6_rejected() {
         let (s4, d4) = v4_pair();
         let (s6, d6) = v6_pair();
-        let repr = UdpRepr { src_port: 9, dst_port: 9, payload_len: 0 };
+        let repr = UdpRepr {
+            src_port: 9,
+            dst_port: 9,
+            payload_len: 0,
+        };
         let mut buf = vec![0u8; repr.total_len()];
         let mut p = UdpPacket::new_unchecked(&mut buf);
         repr.emit(&mut p).unwrap(); // checksum left at zero
@@ -286,10 +302,19 @@ mod tests {
     fn length_field_validation() {
         let mut buf = [0u8; 8];
         buf[4..6].copy_from_slice(&7u16.to_be_bytes()); // < header
-        assert_eq!(UdpPacket::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            UdpPacket::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
         buf[4..6].copy_from_slice(&9u16.to_be_bytes()); // > buffer
-        assert_eq!(UdpPacket::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
-        assert_eq!(UdpPacket::new_checked(&buf[..4]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            UdpPacket::new_checked(&buf[..]).unwrap_err(),
+            Error::Truncated
+        );
+        assert_eq!(
+            UdpPacket::new_checked(&buf[..4]).unwrap_err(),
+            Error::Truncated
+        );
     }
 
     #[test]
@@ -298,7 +323,11 @@ mod tests {
         // (complement = 0) and confirm we transmit 0xffff instead of 0.
         let src = Ipv4Addr::new(0, 0, 0, 0);
         let dst = Ipv4Addr::new(0, 0, 0, 0);
-        let repr = UdpRepr { src_port: 0, dst_port: 0, payload_len: 2 };
+        let repr = UdpRepr {
+            src_port: 0,
+            dst_port: 0,
+            payload_len: 2,
+        };
         let mut buf = vec![0u8; repr.total_len()];
         let mut p = UdpPacket::new_unchecked(&mut buf);
         repr.emit(&mut p).unwrap();

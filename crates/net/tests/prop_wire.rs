@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 use tango_net::{
-    Ipv4Cidr, Ipv4Packet, Ipv4Repr, Ipv6Cidr, Ipv6Packet, Ipv6Repr, IpCidr, PrefixTrie,
-    TangoFlags, TangoPacket, TangoRepr, UdpPacket, UdpRepr, TANGO_HEADER_LEN,
+    IpCidr, Ipv4Cidr, Ipv4Packet, Ipv4Repr, Ipv6Cidr, Ipv6Packet, Ipv6Repr, PrefixTrie, TangoFlags,
+    TangoPacket, TangoRepr, UdpPacket, UdpRepr, TANGO_HEADER_LEN,
 };
 
 fn arb_ipv4() -> impl Strategy<Value = Ipv4Addr> {

@@ -22,7 +22,10 @@ pub struct NodeClock {
 
 impl Default for NodeClock {
     fn default() -> Self {
-        NodeClock { offset_ns: 0, drift_ppm: 0.0 }
+        NodeClock {
+            offset_ns: 0,
+            drift_ppm: 0.0,
+        }
     }
 }
 
@@ -34,12 +37,18 @@ impl NodeClock {
 
     /// A clock with a constant offset (the paper's model).
     pub fn with_offset_ns(offset_ns: i64) -> Self {
-        NodeClock { offset_ns, drift_ppm: 0.0 }
+        NodeClock {
+            offset_ns,
+            drift_ppm: 0.0,
+        }
     }
 
     /// A clock with offset and drift.
     pub fn with_offset_and_drift(offset_ns: i64, drift_ppm: f64) -> Self {
-        NodeClock { offset_ns, drift_ppm }
+        NodeClock {
+            offset_ns,
+            drift_ppm,
+        }
     }
 
     /// The node-local reading at simulated instant `t`, in nanoseconds.
@@ -78,7 +87,7 @@ mod tests {
     #[test]
     fn drift_accumulates_linearly() {
         let c = NodeClock::with_offset_and_drift(0, 100.0); // 100 ppm fast
-        // After 1 s, a 100 ppm clock has gained 100 µs.
+                                                            // After 1 s, a 100 ppm clock has gained 100 µs.
         assert_eq!(c.local_ns(SimTime::from_secs(1)), 1_000_000_000 + 100_000);
     }
 

@@ -67,7 +67,10 @@ pub struct HypervisorNoise {
 
 impl Default for HypervisorNoise {
     fn default() -> Self {
-        HypervisorNoise { mean_ns: 300_000, cap_ns: 10_000_000 }
+        HypervisorNoise {
+            mean_ns: 300_000,
+            cap_ns: 10_000_000,
+        }
     }
 }
 
@@ -104,7 +107,11 @@ mod tests {
 
     #[test]
     fn wireless_contention_bounded() {
-        let w = WirelessNoise { burst_prob: 0.0, contention_max_ns: 500_000, ..Default::default() };
+        let w = WirelessNoise {
+            burst_prob: 0.0,
+            contention_max_ns: 500_000,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..200 {
             assert!(w.sample(&mut rng) <= 500_000);
@@ -124,7 +131,10 @@ mod tests {
 
     #[test]
     fn hypervisor_mean_and_cap() {
-        let h = HypervisorNoise { mean_ns: 300_000, cap_ns: 10_000_000 };
+        let h = HypervisorNoise {
+            mean_ns: 300_000,
+            cap_ns: 10_000_000,
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let samples: Vec<u64> = (0..50_000).map(|_| h.sample(&mut rng)).collect();
         assert!(samples.iter().all(|&s| s <= 10_000_000));
@@ -139,6 +149,9 @@ mod tests {
         let w = WirelessNoise::default();
         let mut rng = StdRng::seed_from_u64(5);
         let mean = (0..20_000).map(|_| w.sample(&mut rng)).sum::<u64>() as f64 / 20_000.0;
-        assert!(mean > 100_000.0, "wireless noise mean {mean} should be ≫ 10 µs");
+        assert!(
+            mean > 100_000.0,
+            "wireless noise mean {mean} should be ≫ 10 µs"
+        );
     }
 }

@@ -73,7 +73,11 @@ impl Eq for Packet {}
 impl Packet {
     /// Wrap raw bytes (no headroom).
     pub fn new(bytes: Vec<u8>) -> Self {
-        Packet { buf: bytes, start: 0, dst: Cell::new(DstCache::Unparsed) }
+        Packet {
+            buf: bytes,
+            start: 0,
+            dst: Cell::new(DstCache::Unparsed),
+        }
     }
 
     /// Copy `bytes` into a fresh buffer with `headroom` writable bytes in
@@ -82,7 +86,11 @@ impl Packet {
         let mut buf = Vec::with_capacity(headroom + bytes.len());
         buf.resize(headroom, 0);
         buf.extend_from_slice(bytes);
-        Packet { buf, start: headroom, dst: Cell::new(DstCache::Unparsed) }
+        Packet {
+            buf,
+            start: headroom,
+            dst: Cell::new(DstCache::Unparsed),
+        }
     }
 
     /// A zero-filled packet of `len` visible bytes behind `headroom` —
@@ -100,16 +108,22 @@ impl Packet {
     pub fn from_recycled(mut buf: Vec<u8>, headroom: usize) -> Self {
         buf.clear();
         buf.resize(headroom, 0);
-        Packet { buf, start: headroom, dst: Cell::new(DstCache::Unparsed) }
+        Packet {
+            buf,
+            start: headroom,
+            dst: Cell::new(DstCache::Unparsed),
+        }
     }
 
     /// The visible packet bytes.
+    // tango-lint: allow(hot-path-panic) start <= buf.len() is a Packet invariant upheld by every constructor
     pub fn bytes(&self) -> &[u8] {
         &self.buf[self.start..]
     }
 
     /// Mutable access to the packet bytes. Invalidates the cached
     /// destination (the caller may rewrite anything).
+    // tango-lint: allow(hot-path-panic) start <= buf.len() is a Packet invariant upheld by every constructor
     pub fn bytes_mut(&mut self) -> &mut [u8] {
         self.dst.set(DstCache::Unparsed);
         &mut self.buf[self.start..]
@@ -133,6 +147,7 @@ impl Packet {
     /// Grow the packet `n` bytes at the front (into headroom), returning
     /// the new front. Panics if the headroom is insufficient — callers
     /// must check [`Packet::headroom`] and fall back to a copying path.
+    // tango-lint: allow(hot-path-panic) the assert above this slice enforces the documented headroom contract
     pub fn prepend(&mut self, n: usize) -> &mut [u8] {
         assert!(self.start >= n, "prepend past headroom");
         self.start -= n;
@@ -175,8 +190,12 @@ impl Packet {
             DstCache::Unparsed => {}
         }
         let parsed = match self.bytes().first().map(|b| b >> 4) {
-            Some(4) => Ipv4Packet::new_checked(self.bytes()).ok().map(|p| IpAddr::V4(p.dst_addr())),
-            Some(6) => Ipv6Packet::new_checked(self.bytes()).ok().map(|p| IpAddr::V6(p.dst_addr())),
+            Some(4) => Ipv4Packet::new_checked(self.bytes())
+                .ok()
+                .map(|p| IpAddr::V4(p.dst_addr())),
+            Some(6) => Ipv6Packet::new_checked(self.bytes())
+                .ok()
+                .map(|p| IpAddr::V6(p.dst_addr())),
             _ => None,
         };
         self.dst.set(match parsed {
@@ -190,6 +209,7 @@ impl Packet {
     /// checksum). Returns false if the hop limit is exhausted or the
     /// packet is not IP. Leaves the cached destination intact — this
     /// mutation cannot change the addresses.
+    // tango-lint: allow(hot-path-panic) every header offset is guarded by the explicit bytes.len() check on its match arm
     pub fn decrement_hop_limit(&mut self) -> bool {
         let bytes = &mut self.buf[self.start..];
         match bytes.first().map(|b| b >> 4) {
@@ -337,7 +357,11 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { seed: 1, trace_capacity: 0, fault: None }
+        SimConfig {
+            seed: 1,
+            trace_capacity: 0,
+            fault: None,
+        }
     }
 }
 
@@ -352,7 +376,9 @@ struct NodeTable {
 
 impl NodeTable {
     fn build(topology: &Topology) -> Self {
-        NodeTable { ids: topology.nodes().map(|n| n.id).collect() }
+        NodeTable {
+            ids: topology.nodes().map(|n| n.id).collect(),
+        }
     }
 
     #[inline]
@@ -362,7 +388,7 @@ impl NodeTable {
 
     #[inline]
     fn id(&self, idx: u32) -> AsId {
-        self.ids[idx as usize]
+        self.ids[idx as usize] // tango-lint: allow(hot-path-panic) idx is a dense index interned by NodeTable
     }
 
     fn len(&self) -> usize {
@@ -390,9 +416,12 @@ impl LinkTable {
         let mut events = Vec::new();
         for (from_idx, &from) in nodes.ids.iter().enumerate() {
             for &to in topology.neighbors(from) {
+                // tango-lint: allow(hot-path-panic) build-time, not per-packet: neighbors come from the same topology
                 let to_idx = nodes.idx(to).expect("neighbor is a topology node");
-                let profile =
-                    topology.direction_profile(from, to).expect("adjacency implies a link");
+                // tango-lint: allow(hot-path-panic) build-time: adjacency implies the profile exists
+                let profile = topology
+                    .direction_profile(from, to)
+                    .expect("adjacency implies a link");
                 let link_id = profiles.len() as u32;
                 profiles.push(profile.clone());
                 events.push(
@@ -403,19 +432,25 @@ impl LinkTable {
                         .cloned()
                         .collect(),
                 );
-                adj[from_idx].push((to_idx, link_id));
+                adj[from_idx].push((to_idx, link_id)); // tango-lint: allow(hot-path-panic) from_idx enumerates adj's own indices
             }
         }
         for list in &mut adj {
             list.sort_unstable_by_key(|&(to, _)| to);
         }
-        LinkTable { adj, profiles, events }
+        LinkTable {
+            adj,
+            profiles,
+            events,
+        }
     }
 
     #[inline]
     fn lookup(&self, from_idx: u32, to_idx: u32) -> Option<u32> {
-        let list = &self.adj[from_idx as usize];
-        list.binary_search_by_key(&to_idx, |&(to, _)| to).ok().map(|i| list[i].1)
+        let list = &self.adj[from_idx as usize]; // tango-lint: allow(hot-path-panic) from_idx is a dense interned node index
+        list.binary_search_by_key(&to_idx, |&(to, _)| to)
+            .ok()
+            .map(|i| list[i].1) // tango-lint: allow(hot-path-panic) i returned by binary_search on list itself
     }
 }
 
@@ -487,7 +522,11 @@ impl<'a> Ctx<'a> {
     }
 
     fn trace(&mut self, kind: TraceKind) {
-        self.tracer.record(TraceEvent { time: self.now, node: self.node, kind });
+        self.tracer.record(TraceEvent {
+            time: self.now,
+            node: self.node,
+            kind,
+        });
     }
 
     /// Transmit a packet to an adjacent node. Samples loss, event
@@ -504,7 +543,7 @@ impl<'a> Ctx<'a> {
             self.pool.put(pkt.into_buffer());
             return;
         };
-        let profile = &links.profiles[link_id as usize];
+        let profile = &links.profiles[link_id as usize]; // tango-lint: allow(hot-path-panic) link_id is a dense id minted by LinkTable::build
         self.stats.transmissions += 1;
         self.trace(TraceKind::Tx { to });
         if profile.sample_loss(self.rng) {
@@ -515,7 +554,7 @@ impl<'a> Ctx<'a> {
         }
         // Active wide-area events on this directed hop.
         let now_ns = self.now.as_ns();
-        let link_events = &links.events[link_id as usize];
+        let link_events = &links.events[link_id as usize]; // tango-lint: allow(hot-path-panic) link_id is a dense id minted by LinkTable::build
         let mut shift: i64 = 0;
         for ev in link_events.iter().filter(|e| e.window.contains(now_ns)) {
             match ev.sample_effect(now_ns, self.rng) {
@@ -548,7 +587,7 @@ impl<'a> Ctx<'a> {
         let mut queue_delay = 0u64;
         if profile.capacity_bps.is_some() {
             let tx = profile.tx_time_ns(pkt.len());
-            let busy = &mut self.link_busy[link_id as usize];
+            let busy = &mut self.link_busy[link_id as usize]; // tango-lint: allow(hot-path-panic) link_busy is sized to the link table at construction
             let start = (*busy).max(now_ns);
             let wait = start - now_ns;
             if wait > profile.max_queue_ns {
@@ -568,9 +607,9 @@ impl<'a> Ctx<'a> {
         // outage window on this hop, the packet never makes it off the
         // wire.
         let arrival_ns = time.as_ns();
-        let arrives_in_outage = link_events.iter().any(|ev| {
-            matches!(ev.kind, TopoEventKind::Outage) && ev.window.contains(arrival_ns)
-        });
+        let arrives_in_outage = link_events
+            .iter()
+            .any(|ev| matches!(ev.kind, TopoEventKind::Outage) && ev.window.contains(arrival_ns));
         if arrives_in_outage {
             self.stats.lost_outage += 1;
             self.trace(TraceKind::LossOutage);
@@ -591,7 +630,10 @@ impl<'a> Ctx<'a> {
         self.out.push(QueuedEvent {
             time: self.now + delay,
             seq: *self.seq,
-            kind: EventKind::Timer { node: self.node_idx, tag },
+            kind: EventKind::Timer {
+                node: self.node_idx,
+                tag,
+            },
         });
     }
 
@@ -666,6 +708,7 @@ impl NetworkSim {
 
     /// Set a node's clock (default: synchronized). The node must exist in
     /// the topology.
+    // tango-lint: allow(hot-path-panic) setup-time API with a documented must-exist contract; clocks is sized to the node table
     pub fn set_clock(&mut self, node: AsId, clock: NodeClock) {
         let idx = self.nodes.idx(node).expect("clock node is in the topology");
         self.clocks[idx as usize] = clock;
@@ -673,6 +716,7 @@ impl NetworkSim {
 
     /// Install a node's agent (replacing any previous one). The node must
     /// exist in the topology.
+    // tango-lint: allow(hot-path-panic) setup-time API with a documented must-exist contract; agents is sized to the node table
     pub fn set_agent(&mut self, node: AsId, agent: Box<dyn Agent>) {
         let idx = self.nodes.idx(node).expect("agent node is in the topology");
         self.agents[idx as usize] = Some(agent);
@@ -683,7 +727,10 @@ impl NetworkSim {
     /// stragglers go to the heap. The pop-side merge preserves the exact
     /// global (time, seq) order either way.
     fn enqueue_external(&mut self, ev: QueuedEvent) {
-        let in_order = self.staged.back().map_or(true, |b| (b.time, b.seq) <= (ev.time, ev.seq));
+        let in_order = self
+            .staged
+            .back()
+            .map_or(true, |b| (b.time, b.seq) <= (ev.time, ev.seq));
         if in_order {
             self.staged.push_back(ev);
         } else {
@@ -695,7 +742,11 @@ impl NetworkSim {
     pub fn schedule_host_packet(&mut self, time: SimTime, node: AsId, pkt: Packet) {
         self.seq += 1;
         let to = self.idx_or_sentinel(node);
-        let ev = QueuedEvent { time, seq: self.seq, kind: EventKind::HostInject { to, pkt } };
+        let ev = QueuedEvent {
+            time,
+            seq: self.seq,
+            kind: EventKind::HostInject { to, pkt },
+        };
         self.enqueue_external(ev);
     }
 
@@ -704,7 +755,11 @@ impl NetworkSim {
     pub fn schedule_timer_at(&mut self, time: SimTime, node: AsId, tag: u64) {
         self.seq += 1;
         let node = self.idx_or_sentinel(node);
-        let ev = QueuedEvent { time, seq: self.seq, kind: EventKind::Timer { node, tag } };
+        let ev = QueuedEvent {
+            time,
+            seq: self.seq,
+            kind: EventKind::Timer { node, tag },
+        };
         self.enqueue_external(ev);
     }
 
@@ -743,20 +798,33 @@ impl NetworkSim {
             // heap would produce.
             let heap_key = self.queue.peek().map(|Reverse(e)| (e.time, e.seq));
             let staged_key = self.staged.front().map(|e| (e.time, e.seq));
-            let take_staged = match (heap_key, staged_key) {
+            let (time, take_staged) = match (heap_key, staged_key) {
                 (None, None) => break,
-                (Some(_), None) => false,
-                (None, Some(_)) => true,
-                (Some(h), Some(s)) => s < h,
+                (Some(h), None) => (h.0, false),
+                (None, Some(s)) => (s.0, true),
+                (Some(h), Some(s)) => {
+                    if s < h {
+                        (s.0, true)
+                    } else {
+                        (h.0, false)
+                    }
+                }
             };
-            let time = if take_staged { staged_key.unwrap().0 } else { heap_key.unwrap().0 };
             if time > until {
                 break;
             }
+            // The peeks above guarantee the chosen queue is non-empty;
+            // break (never panic) if that ever stops holding.
             let event = if take_staged {
-                self.staged.pop_front().expect("peeked")
+                match self.staged.pop_front() {
+                    Some(e) => e,
+                    None => break,
+                }
             } else {
-                self.queue.pop().expect("peeked").0
+                match self.queue.pop() {
+                    Some(Reverse(e)) => e,
+                    None => break,
+                }
             };
             debug_assert!(event.time >= self.now, "time must be monotonic");
             self.now = event.time;
@@ -781,8 +849,10 @@ impl NetworkSim {
             EventKind::HostInject { to, .. } => *to,
             EventKind::Timer { node, .. } => *node,
         };
-        let Some(mut agent) =
-            self.agents.get_mut(node_idx as usize).and_then(|slot| slot.take())
+        let Some(mut agent) = self
+            .agents
+            .get_mut(node_idx as usize)
+            .and_then(|slot| slot.take())
         else {
             // No agent: the packet/timer evaporates (counted as no_route —
             // a node without behaviour cannot forward). The dead packet's
@@ -797,7 +867,7 @@ impl NetworkSim {
             return;
         };
         let node = self.nodes.id(node_idx);
-        let clock = self.clocks[node_idx as usize];
+        let clock = self.clocks[node_idx as usize]; // tango-lint: allow(hot-path-panic) node_idx was validated by the agents lookup above
         {
             let mut ctx = Ctx {
                 node,
@@ -835,7 +905,7 @@ impl NetworkSim {
         for ev in self.out_scratch.drain(..) {
             self.queue.push(Reverse(ev));
         }
-        self.agents[node_idx as usize] = Some(agent);
+        self.agents[node_idx as usize] = Some(agent); // tango-lint: allow(hot-path-panic) node_idx was validated by the same-slot take above
     }
 }
 
@@ -893,8 +963,8 @@ mod tests {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
     use tango_net::{IpCidr, Ipv6Packet, Ipv6Repr};
-    use tango_topology::{AsKind, AsNode, DirectionProfile, LinkProfile};
     use tango_topology::Topology;
+    use tango_topology::{AsKind, AsNode, DirectionProfile, LinkProfile};
 
     fn ipv6_packet(dst: &str, hop_limit: u8) -> Packet {
         let repr = Ipv6Repr {
@@ -916,7 +986,8 @@ mod tests {
     fn line() -> Topology {
         let mut t = Topology::new();
         for id in 1..=3u32 {
-            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}"))).unwrap();
+            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}")))
+                .unwrap();
         }
         let lp = || LinkProfile::symmetric(DirectionProfile::constant(1_000_000));
         t.add_peering(AsId(1), AsId(2), lp()).unwrap();
@@ -945,20 +1016,35 @@ mod tests {
     }
 
     fn build_line_sim() -> (NetworkSim, Arc<AtomicU64>, Arc<AtomicU64>) {
-        let mut sim = NetworkSim::new(line(), SimConfig { trace_capacity: 64, ..Default::default() });
+        let mut sim = NetworkSim::new(
+            line(),
+            SimConfig {
+                trace_capacity: 64,
+                ..Default::default()
+            },
+        );
         sim.set_agent(
             AsId(1),
-            Box::new(RouterAgent::new(AsId(1), router_table(&[("2001:db8:3::/48", 2)]))),
+            Box::new(RouterAgent::new(
+                AsId(1),
+                router_table(&[("2001:db8:3::/48", 2)]),
+            )),
         );
         sim.set_agent(
             AsId(2),
-            Box::new(RouterAgent::new(AsId(2), router_table(&[("2001:db8:3::/48", 3)]))),
+            Box::new(RouterAgent::new(
+                AsId(2),
+                router_table(&[("2001:db8:3::/48", 3)]),
+            )),
         );
         let received = Arc::new(AtomicU64::new(0));
         let local = Arc::new(AtomicU64::new(0));
         sim.set_agent(
             AsId(3),
-            Box::new(SinkAgent { received: received.clone(), last_local_ns: local.clone() }),
+            Box::new(SinkAgent {
+                received: received.clone(),
+                last_local_ns: local.clone(),
+            }),
         );
         (sim, received, local)
     }
@@ -1016,11 +1102,17 @@ mod tests {
         let mut sim = NetworkSim::new(line(), SimConfig::default());
         sim.set_agent(
             AsId(1),
-            Box::new(RouterAgent::new(AsId(1), router_table(&[("2001:db8:3::/48", 2)]))),
+            Box::new(RouterAgent::new(
+                AsId(1),
+                router_table(&[("2001:db8:3::/48", 2)]),
+            )),
         );
         sim.set_agent(
             AsId(2),
-            Box::new(RouterAgent::new(AsId(2), router_table(&[("2001:db8:3::/48", 1)]))),
+            Box::new(RouterAgent::new(
+                AsId(2),
+                router_table(&[("2001:db8:3::/48", 1)]),
+            )),
         );
         sim.schedule_host_packet(SimTime::ZERO, AsId(1), ipv6_packet("2001:db8:3::1", 16));
         sim.run_until(SimTime::from_secs(10));
@@ -1037,30 +1129,46 @@ mod tests {
             t = {
                 let mut t2 = Topology::new();
                 for id in 1..=3u32 {
-                    t2.add_node(AsNode::new(id, AsKind::Transit, format!("{id}"))).unwrap();
+                    t2.add_node(AsNode::new(id, AsKind::Transit, format!("{id}")))
+                        .unwrap();
                 }
-                let lp = || {
-                    LinkProfile::symmetric(
-                        DirectionProfile::constant(1_000_000).with_jitter(
+                let lp =
+                    || {
+                        LinkProfile::symmetric(DirectionProfile::constant(1_000_000).with_jitter(
                             tango_topology::JitterModel::Gaussian { sigma_ns: 100_000 },
-                        ),
-                    )
-                };
+                        ))
+                    };
                 t2.add_peering(AsId(1), AsId(2), lp()).unwrap();
                 t2.add_peering(AsId(2), AsId(3), lp()).unwrap();
                 let _ = t;
                 t2
             };
-            let mut sim = NetworkSim::new(t, SimConfig { seed, trace_capacity: 256, ..Default::default() });
+            let mut sim = NetworkSim::new(
+                t,
+                SimConfig {
+                    seed,
+                    trace_capacity: 256,
+                    ..Default::default()
+                },
+            );
             sim.set_agent(
                 AsId(1),
-                Box::new(RouterAgent::new(AsId(1), router_table(&[("2001:db8:3::/48", 2)]))),
+                Box::new(RouterAgent::new(
+                    AsId(1),
+                    router_table(&[("2001:db8:3::/48", 2)]),
+                )),
             );
             sim.set_agent(
                 AsId(2),
-                Box::new(RouterAgent::new(AsId(2), router_table(&[("2001:db8:3::/48", 3)]))),
+                Box::new(RouterAgent::new(
+                    AsId(2),
+                    router_table(&[("2001:db8:3::/48", 3)]),
+                )),
             );
-            sim.set_agent(AsId(3), Box::new(RouterAgent::new(AsId(3), PrefixTrie::new())));
+            sim.set_agent(
+                AsId(3),
+                Box::new(RouterAgent::new(AsId(3), PrefixTrie::new())),
+            );
             for i in 0..50 {
                 sim.schedule_host_packet(
                     SimTime::from_ms(i),
@@ -1079,7 +1187,8 @@ mod tests {
     fn link_loss_is_counted() {
         let mut t = Topology::new();
         for id in 1..=2u32 {
-            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}"))).unwrap();
+            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}")))
+                .unwrap();
         }
         t.add_peering(
             AsId(1),
@@ -1102,7 +1211,10 @@ mod tests {
     fn fault_injector_drop_all() {
         let mut sim = NetworkSim::new(
             line(),
-            SimConfig { fault: Some(FaultInjector::new(1.0, 0.0)), ..Default::default() },
+            SimConfig {
+                fault: Some(FaultInjector::new(1.0, 0.0)),
+                ..Default::default()
+            },
         );
         sim.set_agent(
             AsId(1),
@@ -1131,7 +1243,12 @@ mod tests {
         }
         let fired = Arc::new(AtomicU64::new(0));
         let mut sim = NetworkSim::new(line(), SimConfig::default());
-        sim.set_agent(AsId(1), Box::new(TimerAgent { fired: fired.clone() }));
+        sim.set_agent(
+            AsId(1),
+            Box::new(TimerAgent {
+                fired: fired.clone(),
+            }),
+        );
         sim.schedule_timer_at(SimTime::from_ms(1), AsId(1), 1);
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(fired.load(Ordering::SeqCst), 5);
@@ -1152,7 +1269,8 @@ mod tests {
         // packets injected at the same instant arrive 100 µs apart.
         let mut t = Topology::new();
         for id in 1..=2u32 {
-            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}"))).unwrap();
+            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}")))
+                .unwrap();
         }
         t.add_peering(
             AsId(1),
@@ -1162,12 +1280,21 @@ mod tests {
             ),
         )
         .unwrap();
-        let mut sim = NetworkSim::new(t, SimConfig { trace_capacity: 64, ..Default::default() });
+        let mut sim = NetworkSim::new(
+            t,
+            SimConfig {
+                trace_capacity: 64,
+                ..Default::default()
+            },
+        );
         sim.set_agent(
             AsId(1),
             Box::new(RouterAgent::new(AsId(1), router_table(&[("::/0", 2)]))),
         );
-        sim.set_agent(AsId(2), Box::new(RouterAgent::new(AsId(2), PrefixTrie::new())));
+        sim.set_agent(
+            AsId(2),
+            Box::new(RouterAgent::new(AsId(2), PrefixTrie::new())),
+        );
         // Build a 1250-byte packet (payload pads the 40 B header).
         let repr = Ipv6Repr {
             src_addr: "2001:db8:aaaa::1".parse().unwrap(),
@@ -1203,7 +1330,8 @@ mod tests {
     fn queue_tail_drop_kicks_in() {
         let mut t = Topology::new();
         for id in 1..=2u32 {
-            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}"))).unwrap();
+            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}")))
+                .unwrap();
         }
         // Queue cap of 150 µs: the 3rd simultaneous packet (wait 200 µs)
         // is dropped.
@@ -1220,7 +1348,10 @@ mod tests {
             AsId(1),
             Box::new(RouterAgent::new(AsId(1), router_table(&[("::/0", 2)]))),
         );
-        sim.set_agent(AsId(2), Box::new(RouterAgent::new(AsId(2), PrefixTrie::new())));
+        sim.set_agent(
+            AsId(2),
+            Box::new(RouterAgent::new(AsId(2), PrefixTrie::new())),
+        );
         let repr = Ipv6Repr {
             src_addr: "2001:db8:aaaa::1".parse().unwrap(),
             dst_addr: "2001:db8:3::1".parse().unwrap(),
@@ -1275,7 +1406,10 @@ mod tests {
             AsId(1),
             Box::new(RouterAgent::new(AsId(1), router_table(&[("::/0", 2)]))),
         );
-        sim.set_agent(AsId(2), Box::new(RouterAgent::new(AsId(2), PrefixTrie::new())));
+        sim.set_agent(
+            AsId(2),
+            Box::new(RouterAgent::new(AsId(2), PrefixTrie::new())),
+        );
         sim.schedule_host_packet(SimTime::ZERO, AsId(1), ipv6_packet("2001:db8:3::1", 64));
         sim.schedule_host_packet(
             SimTime(10_500_000),
@@ -1283,7 +1417,11 @@ mod tests {
             ipv6_packet("2001:db8:3::1", 64),
         );
         sim.run_until(SimTime::from_secs(1));
-        assert_eq!(sim.stats().lost_outage, 1, "in-flight packet dies with the link");
+        assert_eq!(
+            sim.stats().lost_outage,
+            1,
+            "in-flight packet dies with the link"
+        );
         assert_eq!(sim.stats().deliveries, 1, "post-recovery arrival survives");
     }
 
@@ -1303,10 +1441,21 @@ mod tests {
             AsId(1),
             Box::new(RouterAgent::new(AsId(1), router_table(&[("::/0", 2)]))),
         );
-        sim.set_agent(AsId(2), Box::new(RouterAgent::new(AsId(2), PrefixTrie::new())));
+        sim.set_agent(
+            AsId(2),
+            Box::new(RouterAgent::new(AsId(2), PrefixTrie::new())),
+        );
         // One packet inside the outage window, one after.
-        sim.schedule_host_packet(SimTime::from_ms(5), AsId(1), ipv6_packet("2001:db8:3::1", 64));
-        sim.schedule_host_packet(SimTime::from_ms(15), AsId(1), ipv6_packet("2001:db8:3::1", 64));
+        sim.schedule_host_packet(
+            SimTime::from_ms(5),
+            AsId(1),
+            ipv6_packet("2001:db8:3::1", 64),
+        );
+        sim.schedule_host_packet(
+            SimTime::from_ms(15),
+            AsId(1),
+            ipv6_packet("2001:db8:3::1", 64),
+        );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(sim.stats().lost_outage, 1);
         assert_eq!(sim.stats().deliveries, 1);
@@ -1348,7 +1497,10 @@ mod tests {
             let mut v = Ipv6Packet::new_unchecked(bytes);
             v.set_dst_addr("2001:db8:3::2".parse().unwrap());
         }
-        assert_eq!(pkt.dst_addr(), Some("2001:db8:3::2".parse::<IpAddr>().unwrap()));
+        assert_eq!(
+            pkt.dst_addr(),
+            Some("2001:db8:3::2".parse::<IpAddr>().unwrap())
+        );
     }
 
     #[test]

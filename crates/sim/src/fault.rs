@@ -85,11 +85,7 @@ mod tests {
         let orig = [0xaau8; 16];
         let mut b = orig;
         assert_eq!(f.apply(&mut rng, &mut b), FaultDecision::Corrupted);
-        let flipped: u32 = orig
-            .iter()
-            .zip(&b)
-            .map(|(a, c)| (a ^ c).count_ones())
-            .sum();
+        let flipped: u32 = orig.iter().zip(&b).map(|(a, c)| (a ^ c).count_ones()).sum();
         assert_eq!(flipped, 1);
     }
 
@@ -126,6 +122,9 @@ mod tests {
         // Corruption applies only to survivors: expected 0.15 * 0.85.
         let corrupt_rate = f64::from(corrupts) / f64::from(n);
         assert!((drop_rate - 0.15).abs() < 0.01, "drop {drop_rate}");
-        assert!((corrupt_rate - 0.1275).abs() < 0.01, "corrupt {corrupt_rate}");
+        assert!(
+            (corrupt_rate - 0.1275).abs() < 0.01,
+            "corrupt {corrupt_rate}"
+        );
     }
 }

@@ -69,7 +69,11 @@ mod tests {
     use tango_net::{Ipv6Repr, UdpRepr};
 
     fn udp6(src_port: u16, dst_port: u16, dst_last: u16) -> Vec<u8> {
-        let udp = UdpRepr { src_port, dst_port, payload_len: 4 };
+        let udp = UdpRepr {
+            src_port,
+            dst_port,
+            payload_len: 4,
+        };
         let ip = Ipv6Repr {
             src_addr: "2001:db8:100::1".parse().unwrap(),
             dst_addr: format!("2001:db8:200::{dst_last:x}").parse().unwrap(),
@@ -89,15 +93,30 @@ mod tests {
 
     #[test]
     fn same_five_tuple_same_hash() {
-        assert_eq!(flow_hash(&udp6(1000, 2000, 1)), flow_hash(&udp6(1000, 2000, 1)));
+        assert_eq!(
+            flow_hash(&udp6(1000, 2000, 1)),
+            flow_hash(&udp6(1000, 2000, 1))
+        );
     }
 
     #[test]
     fn hash_depends_on_ports_and_addrs() {
         let base = flow_hash(&udp6(1000, 2000, 1));
-        assert_ne!(base, flow_hash(&udp6(1001, 2000, 1)), "src port must matter");
-        assert_ne!(base, flow_hash(&udp6(1000, 2001, 1)), "dst port must matter");
-        assert_ne!(base, flow_hash(&udp6(1000, 2000, 2)), "dst addr must matter");
+        assert_ne!(
+            base,
+            flow_hash(&udp6(1001, 2000, 1)),
+            "src port must matter"
+        );
+        assert_ne!(
+            base,
+            flow_hash(&udp6(1000, 2001, 1)),
+            "dst port must matter"
+        );
+        assert_ne!(
+            base,
+            flow_hash(&udp6(1000, 2000, 2)),
+            "dst addr must matter"
+        );
     }
 
     #[test]

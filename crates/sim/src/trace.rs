@@ -63,7 +63,12 @@ pub struct Tracer {
 impl Tracer {
     /// A tracer keeping at most `capacity` most-recent events.
     pub fn new(capacity: usize) -> Self {
-        Tracer { capacity, events: Vec::new(), head: 0, total: 0 }
+        Tracer {
+            capacity,
+            events: Vec::new(),
+            head: 0,
+            total: 0,
+        }
     }
 
     /// Record an event (no-op when capacity is 0).
@@ -104,7 +109,11 @@ mod tests {
     use super::*;
 
     fn ev(t: u64) -> TraceEvent {
-        TraceEvent { time: SimTime(t), node: AsId(1), kind: TraceKind::Rx }
+        TraceEvent {
+            time: SimTime(t),
+            node: AsId(1),
+            kind: TraceKind::Rx,
+        }
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub struct CbrSchedule {
 impl CbrSchedule {
     /// An unbounded CBR schedule.
     pub fn every(period: SimTime) -> Self {
-        CbrSchedule { period, until: None }
+        CbrSchedule {
+            period,
+            until: None,
+        }
     }
 
     /// Bound the schedule.
@@ -61,7 +64,10 @@ impl PoissonSchedule {
     /// Poisson process with the given mean gap.
     pub fn with_mean_gap(mean_gap: SimTime) -> Self {
         assert!(mean_gap.as_ns() > 0, "mean gap must be positive");
-        PoissonSchedule { mean_gap, until: None }
+        PoissonSchedule {
+            mean_gap,
+            until: None,
+        }
     }
 
     /// Bound the schedule.
@@ -104,8 +110,14 @@ mod tests {
     fn cbr_stops_at_bound() {
         let mut s = CbrSchedule::every(SimTime::from_ms(10)).until(SimTime::from_ms(25));
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(s.next_after(SimTime::ZERO, &mut rng), Some(SimTime::from_ms(10)));
-        assert_eq!(s.next_after(SimTime::from_ms(10), &mut rng), Some(SimTime::from_ms(20)));
+        assert_eq!(
+            s.next_after(SimTime::ZERO, &mut rng),
+            Some(SimTime::from_ms(10))
+        );
+        assert_eq!(
+            s.next_after(SimTime::from_ms(10), &mut rng),
+            Some(SimTime::from_ms(20))
+        );
         assert_eq!(s.next_after(SimTime::from_ms(20), &mut rng), None);
     }
 

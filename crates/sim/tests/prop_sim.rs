@@ -7,7 +7,11 @@ use tango_sim::hash::flow_hash;
 use tango_sim::{NodeClock, SimTime};
 
 fn udp6(src: u128, dst: u128, sport: u16, dport: u16, payload: &[u8]) -> Vec<u8> {
-    let udp = UdpRepr { src_port: sport, dst_port: dport, payload_len: payload.len() };
+    let udp = UdpRepr {
+        src_port: sport,
+        dst_port: dport,
+        payload_len: payload.len(),
+    };
     let ip = Ipv6Repr {
         src_addr: src.into(),
         dst_addr: dst.into(),

@@ -62,7 +62,11 @@ pub struct AsNode {
 impl AsNode {
     /// Construct a node.
     pub fn new(id: impl Into<AsId>, kind: AsKind, name: impl Into<String>) -> Self {
-        AsNode { id: id.into(), kind, name: name.into() }
+        AsNode {
+            id: id.into(),
+            kind,
+            name: name.into(),
+        }
     }
 }
 

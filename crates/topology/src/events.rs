@@ -105,7 +105,11 @@ impl LinkEvent {
     /// Returns `None` if the packet is dropped (outage).
     pub fn sample_effect<R: Rng + ?Sized>(&self, t_ns: u64, rng: &mut R) -> Option<i64> {
         match self.kind {
-            EventKind::DelayShift { delta_ns, onset_ns, onset_sigma_ns } => {
+            EventKind::DelayShift {
+                delta_ns,
+                onset_ns,
+                onset_sigma_ns,
+            } => {
                 let mut d = delta_ns;
                 if t_ns < self.window.start_ns.saturating_add(onset_ns) && onset_sigma_ns > 0 {
                     let noise = JitterModel::SpikeMixture {
@@ -118,9 +122,18 @@ impl LinkEvent {
                 }
                 Some(d)
             }
-            EventKind::Instability { spike_prob, spike_mean_ns, spike_cap_ns, extra_sigma_ns } => {
+            EventKind::Instability {
+                spike_prob,
+                spike_mean_ns,
+                spike_cap_ns,
+                extra_sigma_ns,
+            } => {
                 // One-sided: congestion turbulence only adds delay.
-                let body = JitterModel::Gaussian { sigma_ns: extra_sigma_ns }.sample(rng).abs();
+                let body = JitterModel::Gaussian {
+                    sigma_ns: extra_sigma_ns,
+                }
+                .sample(rng)
+                .abs();
                 let mut d = body;
                 if rng.gen_bool(spike_prob.clamp(0.0, 1.0)) {
                     let exp: f64 = -(1.0 - rng.gen::<f64>()).ln();
@@ -187,12 +200,14 @@ impl WideAreaEvent {
     /// The window during which the fault is active.
     pub fn window(&self) -> TimeWindow {
         match *self {
-            WideAreaEvent::LinkFlap { down_at_ns, duration_ns, .. } => {
-                TimeWindow::new(down_at_ns, down_at_ns.saturating_add(duration_ns))
-            }
-            WideAreaEvent::Blackhole { at_ns, duration_ns, .. } => {
-                TimeWindow::new(at_ns, at_ns.saturating_add(duration_ns))
-            }
+            WideAreaEvent::LinkFlap {
+                down_at_ns,
+                duration_ns,
+                ..
+            } => TimeWindow::new(down_at_ns, down_at_ns.saturating_add(duration_ns)),
+            WideAreaEvent::Blackhole {
+                at_ns, duration_ns, ..
+            } => TimeWindow::new(at_ns, at_ns.saturating_add(duration_ns)),
             WideAreaEvent::SessionReset { at_ns, hold_ns, .. } => {
                 TimeWindow::new(at_ns, at_ns.saturating_add(hold_ns))
             }
@@ -208,12 +223,27 @@ impl WideAreaEvent {
         let window = self.window();
         match *self {
             WideAreaEvent::LinkFlap { from, to, .. } => vec![
-                LinkEvent { from, to, window, kind: EventKind::Outage },
-                LinkEvent { from: to, to: from, window, kind: EventKind::Outage },
+                LinkEvent {
+                    from,
+                    to,
+                    window,
+                    kind: EventKind::Outage,
+                },
+                LinkEvent {
+                    from: to,
+                    to: from,
+                    window,
+                    kind: EventKind::Outage,
+                },
             ],
             WideAreaEvent::Blackhole { path, .. } => path_links(path)
                 .into_iter()
-                .map(|(from, to)| LinkEvent { from, to, window, kind: EventKind::Outage })
+                .map(|(from, to)| LinkEvent {
+                    from,
+                    to,
+                    window,
+                    kind: EventKind::Outage,
+                })
                 .collect(),
             WideAreaEvent::SessionReset { .. } => Vec::new(),
         }
@@ -265,7 +295,11 @@ mod tests {
             from: AsId(1),
             to: AsId(2),
             window: TimeWindow::new(1_000_000, 10_000_000),
-            kind: EventKind::DelayShift { delta_ns: 5_000_000, onset_ns: 100, onset_sigma_ns: 1_000 },
+            kind: EventKind::DelayShift {
+                delta_ns: 5_000_000,
+                onset_ns: 100,
+                onset_sigma_ns: 1_000,
+            },
         };
         let mut r = rng();
         // Past onset: deterministic +5 ms.
@@ -285,8 +319,10 @@ mod tests {
             },
         };
         let mut r = rng();
-        let samples: Vec<i64> = (0..200).map(|_| e.sample_effect(10, &mut r).unwrap()).collect();
-        let distinct: std::collections::HashSet<i64> = samples.iter().copied().collect();
+        let samples: Vec<i64> = (0..200)
+            .map(|_| e.sample_effect(10, &mut r).unwrap())
+            .collect();
+        let distinct: std::collections::BTreeSet<i64> = samples.iter().copied().collect();
         assert!(distinct.len() > 100, "onset should be noisy");
     }
 
@@ -326,13 +362,21 @@ mod tests {
             assert_eq!(ev.kind, EventKind::Outage);
             assert_eq!(ev.window, TimeWindow::new(1_000, 1_500));
         }
-        assert!(lowered.iter().any(|e| e.from == AsId(3257) && e.to == AsId(64602)));
-        assert!(lowered.iter().any(|e| e.from == AsId(64602) && e.to == AsId(3257)));
+        assert!(lowered
+            .iter()
+            .any(|e| e.from == AsId(3257) && e.to == AsId(64602)));
+        assert!(lowered
+            .iter()
+            .any(|e| e.from == AsId(64602) && e.to == AsId(3257)));
     }
 
     #[test]
     fn blackhole_lowers_via_path_resolver() {
-        let bh = WideAreaEvent::Blackhole { path: 2, at_ns: 10, duration_ns: 90 };
+        let bh = WideAreaEvent::Blackhole {
+            path: 2,
+            at_ns: 10,
+            duration_ns: 90,
+        };
         let lowered = bh.lower(|p| {
             assert_eq!(p, 2);
             vec![(AsId(1), AsId(2)), (AsId(3), AsId(4))]
@@ -346,7 +390,11 @@ mod tests {
 
     #[test]
     fn session_reset_is_control_plane_only() {
-        let reset = WideAreaEvent::SessionReset { path: 1, at_ns: 5, hold_ns: 10 };
+        let reset = WideAreaEvent::SessionReset {
+            path: 1,
+            at_ns: 5,
+            hold_ns: 10,
+        };
         assert!(reset.lower(|_| vec![(AsId(1), AsId(2))]).is_empty());
         assert_eq!(reset.window(), TimeWindow::new(5, 15));
     }

@@ -109,13 +109,15 @@ pub fn generate(params: &GenParams) -> Generated {
         .map(|i| AsId(TIER1_BASE + i as u32))
         .collect();
     for (i, &id) in tier1.iter().enumerate() {
-        t.add_node(AsNode::new(id, AsKind::Transit, format!("T1-{i}"))).expect("unique");
+        t.add_node(AsNode::new(id, AsKind::Transit, format!("T1-{i}")))
+            .expect("unique");
     }
     // Full tier-1 peer mesh.
     for i in 0..tier1.len() {
         for j in (i + 1)..tier1.len() {
             let p = core_link(&mut rng);
-            t.add_peering(tier1[i], tier1[j], p).expect("mesh edge is new");
+            t.add_peering(tier1[i], tier1[j], p)
+                .expect("mesh edge is new");
         }
     }
 
@@ -123,7 +125,8 @@ pub fn generate(params: &GenParams) -> Generated {
         .map(|i| AsId(TRANSIT_BASE + i as u32))
         .collect();
     for (i, &id) in tier2.iter().enumerate() {
-        t.add_node(AsNode::new(id, AsKind::Transit, format!("T2-{i}"))).expect("unique");
+        t.add_node(AsNode::new(id, AsKind::Transit, format!("T2-{i}")))
+            .expect("unique");
         // Customer of one or two tier-1s.
         let n = rng.gen_range(1..=2usize.min(tier1.len()));
         let mut pool = tier1.clone();
@@ -138,7 +141,8 @@ pub fn generate(params: &GenParams) -> Generated {
         for j in (i + 1)..tier2.len() {
             if rng.gen_bool(params.transit_peering_prob.clamp(0.0, 1.0)) {
                 let p = core_link(&mut rng);
-                t.add_peering(tier2[i], tier2[j], p).expect("checked absent");
+                t.add_peering(tier2[i], tier2[j], p)
+                    .expect("checked absent");
             }
         }
     }
@@ -150,7 +154,8 @@ pub fn generate(params: &GenParams) -> Generated {
         .map(|i| AsId(EDGE_BASE + i as u32))
         .collect();
     for (i, &id) in edge_sites.iter().enumerate() {
-        t.add_node(AsNode::new(id, AsKind::CloudEdge, format!("E{i}"))).expect("unique");
+        t.add_node(AsNode::new(id, AsKind::CloudEdge, format!("E{i}")))
+            .expect("unique");
         let n = rng
             .gen_range(params.providers_per_edge.0..=params.providers_per_edge.1)
             .min(all_transits.len());
@@ -165,11 +170,17 @@ pub fn generate(params: &GenParams) -> Generated {
                 DirectionProfile::constant(cross)
                     .with_jitter(JitterModel::Gaussian { sigma_ns: sigma }),
             );
-            t.add_provider(id, provider, profile).expect("new edge link");
+            t.add_provider(id, provider, profile)
+                .expect("new edge link");
         }
     }
 
-    Generated { topology: t, edge_sites, transits: all_transits, tier1 }
+    Generated {
+        topology: t,
+        edge_sites,
+        transits: all_transits,
+        tier1,
+    }
 }
 
 #[cfg(test)]
@@ -193,7 +204,10 @@ mod tests {
     #[test]
     fn different_seed_differs() {
         let a = generate(&GenParams::default());
-        let b = generate(&GenParams { seed: 2, ..GenParams::default() });
+        let b = generate(&GenParams {
+            seed: 2,
+            ..GenParams::default()
+        });
         let adj_diff = a
             .topology
             .nodes()
@@ -203,7 +217,10 @@ mod tests {
 
     #[test]
     fn tier1_is_full_peer_mesh() {
-        let g = generate(&GenParams { tier1: 4, ..GenParams::default() });
+        let g = generate(&GenParams {
+            tier1: 4,
+            ..GenParams::default()
+        });
         for i in 0..g.tier1.len() {
             for j in (i + 1)..g.tier1.len() {
                 assert_eq!(
@@ -216,7 +233,10 @@ mod tests {
 
     #[test]
     fn every_tier2_has_a_tier1_provider() {
-        let g = generate(&GenParams { transits: 10, ..GenParams::default() });
+        let g = generate(&GenParams {
+            transits: 10,
+            ..GenParams::default()
+        });
         for &t2 in g.transits.iter().filter(|t| !g.tier1.contains(t)) {
             let ups = g.topology.providers(t2);
             assert!(!ups.is_empty(), "{t2} has no provider");
@@ -226,7 +246,10 @@ mod tests {
 
     #[test]
     fn every_edge_site_has_a_provider() {
-        let g = generate(&GenParams { edges: 10, ..GenParams::default() });
+        let g = generate(&GenParams {
+            edges: 10,
+            ..GenParams::default()
+        });
         for &e in &g.edge_sites {
             assert!(!g.topology.providers(e).is_empty(), "{e} has no provider");
         }
@@ -262,7 +285,10 @@ mod tests {
                     }
                     frontier = next;
                 }
-                assert!(reached_tier1, "edge {e} cannot climb to tier-1 (seed {seed})");
+                assert!(
+                    reached_tier1,
+                    "edge {e} cannot climb to tier-1 (seed {seed})"
+                );
             }
         }
     }

@@ -216,7 +216,10 @@ impl Topology {
 
     /// Events active on the directed hop `from → to` at time `t`.
     pub fn active_events(&self, from: AsId, to: AsId, t_ns: u64) -> Vec<&LinkEvent> {
-        self.events.iter().filter(|e| e.applies(from, to, t_ns)).collect()
+        self.events
+            .iter()
+            .filter(|e| e.applies(from, to, t_ns))
+            .collect()
     }
 
     /// All scheduled events.
@@ -293,7 +296,10 @@ mod tests {
     fn duplicate_node_rejected() {
         let mut t = Topology::new();
         t.add_node(node(1)).unwrap();
-        assert_eq!(t.add_node(node(1)), Err(TopologyError::DuplicateNode(AsId(1))));
+        assert_eq!(
+            t.add_node(node(1)),
+            Err(TopologyError::DuplicateNode(AsId(1)))
+        );
     }
 
     #[test]
@@ -321,8 +327,14 @@ mod tests {
     #[test]
     fn relationship_views() {
         let t = tiny();
-        assert_eq!(t.relationship(AsId(1), AsId(2)), Some(Relationship::CustomerOf));
-        assert_eq!(t.relationship(AsId(2), AsId(1)), Some(Relationship::ProviderOf));
+        assert_eq!(
+            t.relationship(AsId(1), AsId(2)),
+            Some(Relationship::CustomerOf)
+        );
+        assert_eq!(
+            t.relationship(AsId(2), AsId(1)),
+            Some(Relationship::ProviderOf)
+        );
         assert_eq!(t.relationship(AsId(2), AsId(3)), Some(Relationship::PeerOf));
         assert_eq!(t.relationship(AsId(3), AsId(2)), Some(Relationship::PeerOf));
         assert_eq!(t.relationship(AsId(1), AsId(3)), None);
@@ -331,9 +343,18 @@ mod tests {
     #[test]
     fn direction_profiles_follow_orientation() {
         let t = tiny();
-        assert_eq!(t.direction_profile(AsId(1), AsId(2)).unwrap().base_delay_ns, 10);
-        assert_eq!(t.direction_profile(AsId(2), AsId(1)).unwrap().base_delay_ns, 20);
-        assert_eq!(t.direction_profile(AsId(3), AsId(2)).unwrap().base_delay_ns, 40);
+        assert_eq!(
+            t.direction_profile(AsId(1), AsId(2)).unwrap().base_delay_ns,
+            10
+        );
+        assert_eq!(
+            t.direction_profile(AsId(2), AsId(1)).unwrap().base_delay_ns,
+            20
+        );
+        assert_eq!(
+            t.direction_profile(AsId(3), AsId(2)).unwrap().base_delay_ns,
+            40
+        );
         assert!(t.direction_profile(AsId(1), AsId(3)).is_none());
     }
 
@@ -366,7 +387,11 @@ mod tests {
         };
         t.add_event(ev.clone()).unwrap();
         assert_eq!(
-            t.add_event(LinkEvent { from: AsId(1), to: AsId(3), ..ev.clone() }),
+            t.add_event(LinkEvent {
+                from: AsId(1),
+                to: AsId(3),
+                ..ev.clone()
+            }),
             Err(TopologyError::NoSuchLink(AsId(1), AsId(3)))
         );
         assert_eq!(t.active_events(AsId(1), AsId(2), 150).len(), 1);

@@ -28,7 +28,10 @@ pub use asys::{AsId, AsKind, AsNode};
 pub use events::{EventKind, LinkEvent, TimeWindow, WideAreaEvent};
 pub use graph::{Relationship, Topology, TopologyError};
 pub use link::{DirectionProfile, JitterModel, LinkProfile};
-pub use vultr::{vultr_scenario, vultr_scenario_custom, vultr_scenario_with_capacity, VultrOverrides, VultrScenario};
+pub use vultr::{
+    vultr_scenario, vultr_scenario_custom, vultr_scenario_with_capacity, VultrOverrides,
+    VultrScenario,
+};
 
 /// Nanoseconds per millisecond, for readable calibration constants.
 pub const MS: u64 = 1_000_000;

@@ -47,9 +47,7 @@ impl JitterModel {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
         match *self {
             JitterModel::None => 0,
-            JitterModel::Gaussian { sigma_ns } => {
-                (gaussian(rng) * sigma_ns as f64) as i64
-            }
+            JitterModel::Gaussian { sigma_ns } => (gaussian(rng) * sigma_ns as f64) as i64,
             JitterModel::Uniform { range_ns } => {
                 if range_ns == 0 {
                     0
@@ -57,7 +55,12 @@ impl JitterModel {
                     rng.gen_range(0..=range_ns) as i64
                 }
             }
-            JitterModel::SpikeMixture { sigma_ns, spike_prob, spike_mean_ns, spike_cap_ns } => {
+            JitterModel::SpikeMixture {
+                sigma_ns,
+                spike_prob,
+                spike_mean_ns,
+                spike_cap_ns,
+            } => {
                 let mut j = (gaussian(rng) * sigma_ns as f64) as i64;
                 if rng.gen_bool(spike_prob.clamp(0.0, 1.0)) {
                     let exp: f64 = -(1.0 - rng.gen::<f64>()).ln();
@@ -202,7 +205,10 @@ pub struct LinkProfile {
 impl LinkProfile {
     /// A symmetric link with the same profile both ways.
     pub fn symmetric(profile: DirectionProfile) -> Self {
-        LinkProfile { forward: profile.clone(), reverse: profile }
+        LinkProfile {
+            forward: profile.clone(),
+            reverse: profile,
+        }
     }
 
     /// An asymmetric link.
@@ -238,18 +244,23 @@ mod tests {
             .with_jitter(JitterModel::Gaussian { sigma_ns: sigma });
         let mut r = rng();
         let n = 20_000;
-        let samples: Vec<f64> = (0..n).map(|_| p.sample_delay(&mut r, 0, 0) as f64).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| p.sample_delay(&mut r, 0, 0) as f64)
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
         let std = var.sqrt();
         assert!((mean - 10_000_000.0).abs() < 3_000.0, "mean {mean}");
-        assert!((std - sigma as f64).abs() < sigma as f64 * 0.05, "std {std}");
+        assert!(
+            (std - sigma as f64).abs() < sigma as f64 * 0.05,
+            "std {std}"
+        );
     }
 
     #[test]
     fn uniform_jitter_bounds() {
-        let p = DirectionProfile::constant(1_000)
-            .with_jitter(JitterModel::Uniform { range_ns: 500 });
+        let p =
+            DirectionProfile::constant(1_000).with_jitter(JitterModel::Uniform { range_ns: 500 });
         let mut r = rng();
         for _ in 0..1_000 {
             let d = p.sample_delay(&mut r, 0, 0);
@@ -270,7 +281,10 @@ mod tests {
         let max = *samples.iter().max().unwrap();
         // Cap: base + sigma tail + 50ms spike cap.
         assert!(max <= 28_000_000 + 50_000_000 + 100_000, "max {max}");
-        assert!(max > 50_000_000, "expected spikes above 50 ms total, max {max}");
+        assert!(
+            max > 50_000_000,
+            "expected spikes above 50 ms total, max {max}"
+        );
         let spiked = samples.iter().filter(|&&s| s > 30_000_000).count();
         assert!(spiked > 1_000, "expected ~30% spikes, got {spiked}");
     }
@@ -291,8 +305,7 @@ mod tests {
 
     #[test]
     fn ecmp_lane_selection_is_hash_stable() {
-        let p = DirectionProfile::constant(10_000_000)
-            .with_ecmp_lanes(vec![0, 250_000, 500_000]);
+        let p = DirectionProfile::constant(10_000_000).with_ecmp_lanes(vec![0, 250_000, 500_000]);
         assert_eq!(p.lane_count(), 3);
         let mut r = rng();
         // Same hash -> same lane -> identical delay for a constant profile.
@@ -300,7 +313,7 @@ mod tests {
         let d2 = p.sample_delay(&mut r, 42, 0);
         assert_eq!(d1, d2);
         // Different hashes cover different lanes.
-        let lanes: std::collections::HashSet<u64> =
+        let lanes: std::collections::BTreeSet<u64> =
             (0..30).map(|h| p.sample_delay(&mut r, h, 0)).collect();
         assert_eq!(lanes.len(), 3);
     }

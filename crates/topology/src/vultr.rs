@@ -142,7 +142,10 @@ pub fn vultr_scenario() -> VultrScenario {
 /// load-balancing experiments, where a single path cannot carry the
 /// offered load.
 pub fn vultr_scenario_with_capacity(crossing_capacity: Option<(u64, u64)>) -> VultrScenario {
-    vultr_scenario_custom(&VultrOverrides { crossing_capacity, ..Default::default() })
+    vultr_scenario_custom(&VultrOverrides {
+        crossing_capacity,
+        ..Default::default()
+    })
 }
 
 /// [`vultr_scenario`] with arbitrary experiment overrides.
@@ -164,8 +167,10 @@ pub fn vultr_scenario_custom(overrides: &VultrOverrides) -> VultrScenario {
     }
 
     let intra_dc = LinkProfile::symmetric(DirectionProfile::constant(50 * US));
-    t.add_provider(TENANT_LA, VULTR_LA, intra_dc.clone()).expect("nodes exist");
-    t.add_provider(TENANT_NY, VULTR_NY, intra_dc).expect("nodes exist");
+    t.add_provider(TENANT_LA, VULTR_LA, intra_dc.clone())
+        .expect("nodes exist");
+    t.add_provider(TENANT_NY, VULTR_NY, intra_dc)
+        .expect("nodes exist");
 
     // Border ↔ transit links. Forward direction is border→transit (the
     // short access handoff); the reverse direction — transit delivering
@@ -215,8 +220,10 @@ pub fn vultr_scenario_custom(overrides: &VultrOverrides) -> VultrScenario {
                 .with_jitter(JitterModel::Gaussian { sigma_ns: 30 * US }),
         )
     };
-    t.add_peering(NTT, COGENT, peer_link()).expect("nodes exist");
-    t.add_peering(NTT, LEVEL3, peer_link()).expect("nodes exist");
+    t.add_peering(NTT, COGENT, peer_link())
+        .expect("nodes exist");
+    t.add_peering(NTT, LEVEL3, peer_link())
+        .expect("nodes exist");
 
     // Vultr's route preference: NTT > Telia > GTT > (Cogent | Level3).
     let mut neighbor_pref = BTreeMap::new();
@@ -230,7 +237,10 @@ pub fn vultr_scenario_custom(overrides: &VultrOverrides) -> VultrScenario {
         neighbor_pref.insert(border, prefs);
     }
 
-    VultrScenario { topology: t, neighbor_pref }
+    VultrScenario {
+        topology: t,
+        neighbor_pref,
+    }
 }
 
 /// The Fig. 4 (middle) event: an internal route change in GTT's network in
@@ -277,8 +287,14 @@ mod tests {
         assert_eq!(s.topology.node_count(), 9);
         // 2 intra-DC + 4 LA transits + 4 NY transits + 2 peerings
         assert_eq!(s.topology.link_count(), 12);
-        assert_eq!(s.topology.providers(VULTR_LA), vec![NTT, TELIA, GTT, LEVEL3]);
-        assert_eq!(s.topology.providers(VULTR_NY), vec![NTT, TELIA, GTT, COGENT]);
+        assert_eq!(
+            s.topology.providers(VULTR_LA),
+            vec![NTT, TELIA, GTT, LEVEL3]
+        );
+        assert_eq!(
+            s.topology.providers(VULTR_NY),
+            vec![NTT, TELIA, GTT, COGENT]
+        );
         assert_eq!(s.topology.peers(NTT), vec![COGENT, LEVEL3]);
         assert_eq!(s.topology.customers(VULTR_LA), vec![TENANT_LA]);
     }
@@ -316,10 +332,11 @@ mod tests {
     fn jitter_ordering_matches_paper() {
         // §5: least noisy path GTT (rolling std 0.01 ms) vs Telia 0.33 ms.
         let s = vultr_scenario();
-        let sigma = |from: AsId, to: AsId| match s.topology.direction_profile(from, to).unwrap().jitter {
-            JitterModel::Gaussian { sigma_ns } => sigma_ns,
-            _ => panic!("expected gaussian"),
-        };
+        let sigma =
+            |from: AsId, to: AsId| match s.topology.direction_profile(from, to).unwrap().jitter {
+                JitterModel::Gaussian { sigma_ns } => sigma_ns,
+                _ => panic!("expected gaussian"),
+            };
         assert_eq!(sigma(GTT, VULTR_NY), 10 * US);
         assert_eq!(sigma(TELIA, VULTR_NY), 330 * US);
         assert!(sigma(NTT, VULTR_LA) > sigma(GTT, VULTR_LA));

@@ -20,7 +20,10 @@ fn main() {
             gtt_route_change_event(route_change_at.as_ns()),
             gtt_instability_event(instability_at.as_ns()),
         ],
-        PairingOptions { seed: 22, ..PairingOptions::default() },
+        PairingOptions {
+            seed: 22,
+            ..PairingOptions::default()
+        },
     )
     .expect("provisioning succeeds");
 

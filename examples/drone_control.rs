@@ -64,11 +64,20 @@ fn fly(policy: Box<dyn PathPolicy>, label: &str) -> Summary {
 
 fn main() {
     println!("drone control across the instability of Fig. 4 (right):\n");
-    let default = fly(Box::new(StaticPolicy::single(0, "bgp-default")), "BGP default (NTT)");
-    let pinned_best = fly(Box::new(StaticPolicy::single(2, "pin-gtt")), "pinned to GTT");
+    let default = fly(
+        Box::new(StaticPolicy::single(0, "bgp-default")),
+        "BGP default (NTT)",
+    );
+    let pinned_best = fly(
+        Box::new(StaticPolicy::single(2, "pin-gtt")),
+        "pinned to GTT",
+    );
     // Drone control is latency- *and* jitter-sensitive: evacuate a path
     // whose rolling variance explodes even if its mean barely moves.
-    let adaptive = fly(Box::new(JitterAwarePolicy::new(5.0, 500_000.0)), "Tango jitter-aware");
+    let adaptive = fly(
+        Box::new(JitterAwarePolicy::new(5.0, 500_000.0)),
+        "Tango jitter-aware",
+    );
 
     println!("\nWhat happened:");
     println!(
@@ -85,6 +94,12 @@ fn main() {
          event: mean {:.1} ms, p99 {:.1} ms.",
         adaptive.mean, adaptive.p99
     );
-    assert!(adaptive.p99 < pinned_best.p99, "adaptive must beat the pinned tail");
-    assert!(adaptive.mean < default.mean, "adaptive must beat the default mean");
+    assert!(
+        adaptive.p99 < pinned_best.p99,
+        "adaptive must beat the pinned tail"
+    );
+    assert!(
+        adaptive.mean < default.mean,
+        "adaptive must beat the default mean"
+    );
 }

@@ -26,13 +26,16 @@ fn main() {
         ("NY -> LA", &pairing.provisioned.paths_b_to_a),
     ] {
         for (i, p) in paths.iter().enumerate() {
-            let transits: Vec<String> =
-                p.transit_path.iter().map(|a| a.to_string()).collect();
+            let transits: Vec<String> = p.transit_path.iter().map(|a| a.to_string()).collect();
             println!(
                 "  {dir} path {i}: [{}]  pinned by {} communit{}",
                 transits.join(" "),
                 p.pin_communities.len(),
-                if p.pin_communities.len() == 1 { "y" } else { "ies" },
+                if p.pin_communities.len() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
             );
         }
     }

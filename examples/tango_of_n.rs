@@ -9,8 +9,8 @@
 
 use tango::prelude::*;
 use tango_control::SideConfig;
-use tango_topology::gen::{generate, GenParams};
 use tango_net::Ipv6Cidr;
+use tango_topology::gen::{generate, GenParams};
 
 fn block_for(site: usize, role: usize) -> Ipv6Cidr {
     // Two /44s per site (one per pairing role) out of 2001:db8::/32.
@@ -71,7 +71,10 @@ fn main() {
                 std::iter::empty(),
                 side(a, i, 0),
                 side(b, j, 1),
-                PairingOptions { seed: seed ^ (i as u64) << 8 ^ j as u64, ..Default::default() },
+                PairingOptions {
+                    seed: seed ^ (i as u64) << 8 ^ j as u64,
+                    ..Default::default()
+                },
             );
             let mut pairing = match result {
                 Ok(p) => p,

@@ -128,7 +128,11 @@ fn weighted_split_spreads_load_inverse_to_delay() {
     let total: u64 = delivered.iter().map(|(_, d)| d).sum();
     assert_eq!(total, 4000);
     let share = |id: u16| {
-        delivered.iter().find(|(p, _)| *p == id).map(|(_, d)| *d).unwrap_or(0) as f64
+        delivered
+            .iter()
+            .find(|(p, _)| *p == id)
+            .map(|(_, d)| *d)
+            .unwrap_or(0) as f64
             / total as f64
     };
     // GTT (fastest) carries the most; Level3 (41 ms > 28.2×1.5 = 42.3...
@@ -155,14 +159,16 @@ fn loss_aware_evacuates_outage() {
         ),
         kind: EventKind::Outage,
     };
-    let mut p = pairing_with(vec![outage], Box::new(LossAwarePolicy::new(0.02, 200_000.0)), 35);
+    let mut p = pairing_with(
+        vec![outage],
+        Box::new(LossAwarePolicy::new(0.02, 200_000.0)),
+        35,
+    );
     p.run_until(SimTime::from_mins(4));
     let history = selected_paths_over_time(&p);
     let during: Vec<u16> = history
         .iter()
-        .filter(|(t, _)| {
-            *t > SimTime::from_secs(45).as_ns() && *t < SimTime::from_secs(85).as_ns()
-        })
+        .filter(|(t, _)| *t > SimTime::from_secs(45).as_ns() && *t < SimTime::from_secs(85).as_ns())
         .map(|(_, sel)| sel[0])
         .collect();
     assert!(!during.is_empty());

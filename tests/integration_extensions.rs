@@ -8,7 +8,9 @@ fn in_band_options(policy_b: Box<dyn PathPolicy>, seed: u64) -> PairingOptions {
         seed,
         probe_period: Some(SimTime::from_ms(10)),
         control_period: Some(SimTime::from_ms(100)),
-        feedback: FeedbackMode::InBand { period: SimTime::from_ms(200) },
+        feedback: FeedbackMode::InBand {
+            period: SimTime::from_ms(200),
+        },
         policy_b,
         ..PairingOptions::default()
     }
@@ -26,12 +28,20 @@ fn in_band_feedback_drives_policy_to_best_path() {
     let a = p.a_stats.lock();
     let b = p.b_stats.lock();
     assert!(a.reports_sent > 50, "A sent {} reports", a.reports_sent);
-    assert!(b.reports_received > 50, "B received {} reports", b.reports_received);
+    assert!(
+        b.reports_received > 50,
+        "B received {} reports",
+        b.reports_received
+    );
     assert_eq!(a.reports_rejected, 0);
     drop((a, b));
     // And the policy at B settled on GTT using only in-band knowledge.
     let history = p.b_stats.lock().selection_history.clone();
-    assert_eq!(history.last().expect("control ran").1, vec![2u16], "settled on GTT");
+    assert_eq!(
+        history.last().expect("control ran").1,
+        vec![2u16],
+        "settled on GTT"
+    );
 }
 
 #[test]
@@ -51,7 +61,11 @@ fn in_band_feedback_pays_real_latency() {
     // ~2 ms, well before any report (sent at ~2 ms, arriving ≥ 30 ms
     // later) could have landed.
     let first = history.first().expect("control ran");
-    assert_eq!(first.1, vec![0u16], "first decision must predate any feedback");
+    assert_eq!(
+        first.1,
+        vec![0u16],
+        "first decision must predate any feedback"
+    );
     // Eventually it still converges.
     assert_eq!(history.last().unwrap().1, vec![2u16]);
 }
@@ -71,7 +85,10 @@ fn in_band_reports_are_sequenced_and_measured_like_probes() {
     for (id, path) in sink.paths() {
         assert_eq!(path.seq.lost(), 0, "path {id}");
         assert_eq!(path.seq.duplicates(), 0, "path {id}");
-        assert_eq!(path.app_delivered, 0, "reports must not count as app traffic");
+        assert_eq!(
+            path.app_delivered, 0,
+            "reports must not count as app traffic"
+        );
     }
     let p0 = sink.path(0).unwrap().owd.len();
     let p1 = sink.path(1).unwrap().owd.len();
@@ -92,7 +109,11 @@ fn authenticated_pairing_runs_clean() {
         let sink = stats.lock();
         assert_eq!(sink.auth_rejects, 0, "honest peers never fail verification");
         for (id, path) in sink.paths() {
-            assert!(path.owd.len() > 1800, "path {id}: {} samples", path.owd.len());
+            assert!(
+                path.owd.len() > 1800,
+                "path {id}: {} samples",
+                path.owd.len()
+            );
             assert_eq!(path.seq.lost(), 0);
         }
     }
@@ -195,7 +216,9 @@ fn auth_and_in_band_feedback_compose() {
     let mut p = tango::vultr_pairing(PairingOptions {
         seed: 56,
         control_period: Some(SimTime::from_ms(100)),
-        feedback: FeedbackMode::InBand { period: SimTime::from_ms(200) },
+        feedback: FeedbackMode::InBand {
+            period: SimTime::from_ms(200),
+        },
         policy_b: Box::new(LowestOwdPolicy::new(500_000.0)),
         auth_key: Some(key),
         ..PairingOptions::default()

@@ -5,8 +5,11 @@
 use tango::prelude::*;
 
 fn default_pairing(seed: u64) -> TangoPairing {
-    tango::vultr_pairing(PairingOptions { seed, ..PairingOptions::default() })
-        .expect("vultr scenario provisions")
+    tango::vultr_pairing(PairingOptions {
+        seed,
+        ..PairingOptions::default()
+    })
+    .expect("vultr scenario provisions")
 }
 
 #[test]
@@ -46,7 +49,10 @@ fn headline_default_path_30_percent_worse() {
             .map(|p| pairing.mean_owd_ms(side, p).unwrap())
             .fold(f64::INFINITY, f64::min);
         let pct = (default / best - 1.0) * 100.0;
-        assert!((25.0..35.0).contains(&pct), "{side:?}: default {pct:.1}% worse");
+        assert!(
+            (25.0..35.0).contains(&pct),
+            "{side:?}: default {pct:.1}% worse"
+        );
         // And the best path is GTT (index 2), as in Fig. 4.
         assert_eq!(pairing.mean_owd_ms(side, 2).unwrap(), best);
     }
@@ -65,7 +71,11 @@ fn jitter_ordering_gtt_vs_telia() {
     let telia = jitter_ms(1);
     assert!((0.005..0.02).contains(&gtt), "GTT jitter {gtt:.4} ms");
     assert!((0.25..0.40).contains(&telia), "Telia jitter {telia:.3} ms");
-    assert!(telia / gtt > 15.0, "paper reports ~33×; got {:.0}×", telia / gtt);
+    assert!(
+        telia / gtt > 15.0,
+        "paper reports ~33×; got {:.0}×",
+        telia / gtt
+    );
 }
 
 #[test]
@@ -123,7 +133,10 @@ fn unsynchronized_clocks_preserve_relative_comparison() {
     // clock at zero for the first seconds of the run — see `NodeClock` —
     // which is a modeling artifact, not a Tango property.)
     let skewed = gaps(3_000_000_000);
-    assert!((sync.0 - skewed.0).abs() < 0.05, "NTT−GTT gap: {sync:?} vs {skewed:?}");
+    assert!(
+        (sync.0 - skewed.0).abs() < 0.05,
+        "NTT−GTT gap: {sync:?} vs {skewed:?}"
+    );
     assert!((sync.1 - skewed.1).abs() < 0.1, "Telia−GTT gap");
     assert!((sync.2 - skewed.2).abs() < 0.1, "4th−GTT gap");
 }
@@ -137,10 +150,18 @@ fn app_traffic_and_probes_coexist() {
     }
     pairing.run_until(SimTime::from_secs(30));
     let b = pairing.b_stats.lock();
-    assert_eq!(b.paths().map(|(_, p)| p.app_delivered).sum::<u64>(), 500, "A→B apps");
+    assert_eq!(
+        b.paths().map(|(_, p)| p.app_delivered).sum::<u64>(),
+        500,
+        "A→B apps"
+    );
     drop(b);
     let a = pairing.a_stats.lock();
-    assert_eq!(a.paths().map(|(_, p)| p.app_delivered).sum::<u64>(), 500, "B→A apps");
+    assert_eq!(
+        a.paths().map(|(_, p)| p.app_delivered).sum::<u64>(),
+        500,
+        "B→A apps"
+    );
     // App OWDs match the default path's floor.
     let app = a.path(0).unwrap();
     let mean = app.app_owd.mean().unwrap() / 1e6;
@@ -154,9 +175,8 @@ fn bgp_view_agrees_with_dataplane_trace() {
     let pairing = default_pairing(9);
     let bgp = &pairing.bgp;
     for (i, t) in pairing.provisioned.b_tunnels.iter().enumerate() {
-        let prefix = tango_net::IpCidr::V6(
-            tango_net::Ipv6Cidr::new(t.remote_endpoint, 48).unwrap(),
-        );
+        let prefix =
+            tango_net::IpCidr::V6(tango_net::Ipv6Cidr::new(t.remote_endpoint, 48).unwrap());
         let trace = bgp
             .trace_path(tango_topology::vultr::TENANT_NY, prefix)
             .unwrap_or_else(|| panic!("tunnel {i} unroutable"));

@@ -24,9 +24,11 @@ fn corruption_storm_rejects_nearly_everything_bad() {
     .unwrap();
     p.run_until(SimTime::from_secs(20));
     let sink = p.a_stats.lock();
-    let rejects =
-        sink.unattributed_rejects + sink.paths().map(|(_, s)| s.rejected).sum::<u64>();
-    assert!(rejects > 1000, "20% corruption per hop must reject plenty, got {rejects}");
+    let rejects = sink.unattributed_rejects + sink.paths().map(|(_, s)| s.rejected).sum::<u64>();
+    assert!(
+        rejects > 1000,
+        "20% corruption per hop must reject plenty, got {rejects}"
+    );
     let mut accepted = 0u64;
     let mut insane = 0u64;
     for (_, path) in sink.paths() {
@@ -69,8 +71,11 @@ fn random_drops_show_up_as_loss_not_crashes() {
 fn withdrawal_and_reconvergence_reroutes_tunnel_prefix() {
     // Withdraw the GTT-pinned NY prefix mid-run, re-announce with a
     // different pin, re-converge, and verify the control-plane view.
-    let mut p = tango::vultr_pairing(PairingOptions { seed: 43, ..PairingOptions::default() })
-        .unwrap();
+    let mut p = tango::vultr_pairing(PairingOptions {
+        seed: 43,
+        ..PairingOptions::default()
+    })
+    .unwrap();
     p.run_until(SimTime::from_secs(5));
     let gtt_prefix = tango_net::IpCidr::V6(
         tango_net::Ipv6Cidr::new(p.provisioned.a_tunnels[2].remote_endpoint, 48).unwrap(),
@@ -81,7 +86,10 @@ fn withdrawal_and_reconvergence_reroutes_tunnel_prefix() {
     // Withdraw at NY, re-announce pinned away from everything but NTT.
     p.bgp.withdraw(TENANT_NY, gtt_prefix).unwrap();
     p.bgp.converge().unwrap();
-    assert!(p.bgp.trace_path(TENANT_LA, gtt_prefix).is_none(), "withdrawn ⇒ unreachable");
+    assert!(
+        p.bgp.trace_path(TENANT_LA, gtt_prefix).is_none(),
+        "withdrawn ⇒ unreachable"
+    );
     let mut comms = BTreeSet::new();
     comms.insert(Community::NoExportTo(tango_topology::vultr::TELIA));
     comms.insert(Community::NoExportTo(GTT));
@@ -97,7 +105,12 @@ fn total_outage_on_every_path_starves_but_recovers() {
     use tango_topology::{EventKind, LinkEvent, TimeWindow};
     // Outage windows on all four NY→LA deliveries for 10 s.
     let mut events = Vec::new();
-    for transit in [NTT, tango_topology::vultr::TELIA, GTT, tango_topology::vultr::LEVEL3] {
+    for transit in [
+        NTT,
+        tango_topology::vultr::TELIA,
+        GTT,
+        tango_topology::vultr::LEVEL3,
+    ] {
         events.push(LinkEvent {
             from: transit,
             to: VULTR_LA,
@@ -110,7 +123,10 @@ fn total_outage_on_every_path_starves_but_recovers() {
     }
     let mut p = tango::vultr_pairing_with_events(
         events,
-        PairingOptions { seed: 44, ..PairingOptions::default() },
+        PairingOptions {
+            seed: 44,
+            ..PairingOptions::default()
+        },
     )
     .unwrap();
     p.run_until(SimTime::from_secs(30));
@@ -121,14 +137,25 @@ fn total_outage_on_every_path_starves_but_recovers() {
             SimTime::from_secs(11).as_ns(),
             SimTime::from_secs(20).as_ns(),
         );
-        assert!(during.is_empty(), "path {id}: {} samples during blackout", during.len());
+        assert!(
+            during.is_empty(),
+            "path {id}: {} samples during blackout",
+            during.len()
+        );
         // ...and probing resumed afterwards.
         let after = path.owd.slice(
             SimTime::from_secs(21).as_ns(),
             SimTime::from_secs(30).as_ns(),
         );
-        assert!(after.len() > 800, "path {id}: only {} samples after recovery", after.len());
-        assert!(path.seq.lost() > 900, "path {id}: loss must reflect the outage");
+        assert!(
+            after.len() > 800,
+            "path {id}: only {} samples after recovery",
+            after.len()
+        );
+        assert!(
+            path.seq.lost() > 900,
+            "path {id}: loss must reflect the outage"
+        );
     }
 }
 
@@ -139,12 +166,19 @@ fn mid_run_reconvergence_rewires_the_data_plane() {
     // routers' forwarding tables are reinstalled mid-run (what a real
     // deployment's RIB→FIB push does); the LA→NY GTT tunnel goes dark
     // while all other tunnels keep flowing.
-    let mut p = tango::vultr_pairing(PairingOptions { seed: 45, ..PairingOptions::default() })
-        .unwrap();
+    let mut p = tango::vultr_pairing(PairingOptions {
+        seed: 45,
+        ..PairingOptions::default()
+    })
+    .unwrap();
     p.run_until(SimTime::from_secs(5));
-    let before: Vec<usize> =
-        (0..4).map(|i| p.stats(Side::B).lock().path(i).unwrap().owd.len()).collect();
-    assert!(before.iter().all(|&n| n > 400), "all paths healthy first: {before:?}");
+    let before: Vec<usize> = (0..4)
+        .map(|i| p.stats(Side::B).lock().path(i).unwrap().owd.len())
+        .collect();
+    assert!(
+        before.iter().all(|&n| n > 400),
+        "all paths healthy first: {before:?}"
+    );
 
     // Withdraw the prefix the LA→NY GTT tunnel targets.
     let gtt_prefix = tango_net::IpCidr::V6(
@@ -162,21 +196,30 @@ fn mid_run_reconvergence_rewires_the_data_plane() {
         .collect();
     for id in routers {
         let table = p.bgp.forwarding_table(id).unwrap();
-        p.sim.set_agent(id, Box::new(tango_sim::RouterAgent::new(id, table)));
+        p.sim
+            .set_agent(id, Box::new(tango_sim::RouterAgent::new(id, table)));
     }
 
     p.run_until(SimTime::from_secs(15));
-    let after: Vec<usize> =
-        (0..4).map(|i| p.stats(Side::B).lock().path(i).unwrap().owd.len()).collect();
+    let after: Vec<usize> = (0..4)
+        .map(|i| p.stats(Side::B).lock().path(i).unwrap().owd.len())
+        .collect();
     // GTT tunnel (2) stopped exactly; others roughly tripled.
     let gtt_new = after[2] - before[2];
-    assert!(gtt_new < 20, "GTT tunnel must starve after withdrawal, got {gtt_new} more");
+    assert!(
+        gtt_new < 20,
+        "GTT tunnel must starve after withdrawal, got {gtt_new} more"
+    );
     for i in [0usize, 1, 3] {
         let grew = after[i] - before[i];
         assert!(grew > 900, "path {i} must keep flowing, grew {grew}");
     }
     // The dead tunnel's packets died as routing misses, not silently.
-    assert!(p.sim.stats().no_route > 900, "no_route {}", p.sim.stats().no_route);
+    assert!(
+        p.sim.stats().no_route > 900,
+        "no_route {}",
+        p.sim.stats().no_route
+    );
 }
 
 #[test]
@@ -206,7 +249,11 @@ fn duplicate_suppression_under_pathological_replay() {
     }
     let guard = sink.lock();
     let path = guard.path(0).unwrap();
-    assert_eq!(path.seq.duplicates(), 1, "replay must be counted as duplicate");
+    assert_eq!(
+        path.seq.duplicates(),
+        1,
+        "replay must be counted as duplicate"
+    );
     assert_eq!(path.seq.received(), 1);
 }
 
@@ -228,7 +275,10 @@ fn telemetry_tamper_modeled_as_corruption_is_rejected() {
     // lower delay, without fixing the checksum.
     let mut tampered = wire.clone();
     tampered[40 + 8 + 12..40 + 8 + 20].copy_from_slice(&0u64.to_be_bytes());
-    assert_eq!(codec::decapsulate(&tampered), Err(codec::CodecError::Checksum));
+    assert_eq!(
+        codec::decapsulate(&tampered),
+        Err(codec::CodecError::Checksum)
+    );
     // (An attacker who fixes the checksum succeeds — documented gap,
     // matching the paper's call for trustworthy telemetry.)
 }
@@ -273,12 +323,17 @@ fn scripted_blackhole_triggers_failover_and_readmission() {
     // While Down, no installed selection may include the dead path.
     let history = p.b_stats.lock().selection_history.clone();
     assert!(
-        history.iter().any(|(at, paths)| *at < 5_000_000_000 && paths.contains(&2)),
+        history
+            .iter()
+            .any(|(at, paths)| *at < 5_000_000_000 && paths.contains(&2)),
         "GTT is the best path and must be selected before the outage"
     );
     for (at, paths) in &history {
         if (down.at_ns..15_000_000_000).contains(at) {
-            assert!(!paths.contains(&2), "dead path selected at {at} ns: {paths:?}");
+            assert!(
+                !paths.contains(&2),
+                "dead path selected at {at} ns: {paths:?}"
+            );
         }
     }
 
@@ -288,7 +343,11 @@ fn scripted_blackhole_triggers_failover_and_readmission() {
         .iter()
         .find(|t| t.path == 2 && t.to == HealthState::Up && t.at_ns > down.at_ns)
         .expect("path must be re-admitted after the outage");
-    assert!(up.at_ns >= 15_000_000_000, "re-admitted at {} ns, during the outage", up.at_ns);
+    assert!(
+        up.at_ns >= 15_000_000_000,
+        "re-admitted at {} ns, during the outage",
+        up.at_ns
+    );
 
     // The other paths kept carrying probes throughout.
     let sink = p.a_stats.lock();
@@ -324,13 +383,13 @@ fn all_paths_blackholed_degrades_to_bgp_default_without_panic() {
     let tl = p.health_timeline(Side::B).expect("health enabled");
     for path in 0..4u16 {
         assert!(
-            tl.iter().any(|t| t.path == path && t.to == HealthState::Down),
+            tl.iter()
+                .any(|t| t.path == path && t.to == HealthState::Down),
             "path {path} must go Down"
         );
         assert!(
-            tl.iter().any(|t| {
-                t.path == path && t.to == HealthState::Up && t.at_ns > 10_000_000_000
-            }),
+            tl.iter()
+                .any(|t| { t.path == path && t.to == HealthState::Up && t.at_ns > 10_000_000_000 }),
             "path {path} must recover after the outage"
         );
     }
@@ -340,9 +399,16 @@ fn all_paths_blackholed_degrades_to_bgp_default_without_panic() {
         .iter()
         .filter(|(at, _)| (7_000_000_000..10_000_000_000).contains(at))
         .collect();
-    assert!(!mid_outage.is_empty(), "control loop must keep running through the outage");
+    assert!(
+        !mid_outage.is_empty(),
+        "control loop must keep running through the outage"
+    );
     for (at, paths) in mid_outage {
-        assert_eq!(paths, &vec![0u16], "all-down must degrade to the default at {at} ns");
+        assert_eq!(
+            paths,
+            &vec![0u16],
+            "all-down must degrade to the default at {at} ns"
+        );
     }
 }
 
@@ -399,11 +465,18 @@ fn session_reset_withdraws_and_reannounces_mid_run() {
         "tunnel must starve while withdrawn, grew {}",
         at_hold_end - at_reset
     );
-    assert!(p.sim.stats().no_route > 400, "withdrawn packets die as routing misses");
+    assert!(
+        p.sim.stats().no_route > 400,
+        "withdrawn packets die as routing misses"
+    );
 
     p.run_until(SimTime::from_secs(16));
     let after = p.a_stats.lock().path(2).unwrap().owd.len();
-    assert!(after - at_hold_end > 400, "tunnel must resume after re-announce, grew {}", after - at_hold_end);
+    assert!(
+        after - at_hold_end > 400,
+        "tunnel must resume after re-announce, grew {}",
+        after - at_hold_end
+    );
     // Other paths never blinked.
     for id in [0u16, 1, 3] {
         let n = p.a_stats.lock().path(id).unwrap().owd.len();

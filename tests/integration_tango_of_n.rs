@@ -35,7 +35,10 @@ fn every_pair_in_a_generated_topology_is_pairable() {
                 std::iter::empty(),
                 side(g.edge_sites[i], i, 0),
                 side(g.edge_sites[j], j, 1),
-                PairingOptions { seed: 100 + (i * 10 + j) as u64, ..Default::default() },
+                PairingOptions {
+                    seed: 100 + (i * 10 + j) as u64,
+                    ..Default::default()
+                },
             )
             .unwrap_or_else(|e| panic!("pair {i}-{j}: {e}"));
             // Multihomed sites expose at least as many paths as providers.
@@ -81,7 +84,11 @@ fn diversity_grows_with_multihoming_degree() {
     .unwrap();
     // With one provider each and a meshed core there can still be only
     // one exit — the suppression loop ends after 1 path.
-    assert_eq!(p.provisioned.paths_a_to_b.len(), 1, "single-homed: one path");
+    assert_eq!(
+        p.provisioned.paths_a_to_b.len(),
+        1,
+        "single-homed: one path"
+    );
     p.run_until(SimTime::from_secs(2));
     assert!(p.mean_owd_ms(Side::A, 0).is_some());
 
@@ -143,5 +150,8 @@ fn adaptive_policy_works_on_generated_topologies_too() {
                 .unwrap()
         })
         .unwrap();
-    assert_eq!(final_choice, best, "policy settled on {final_choice}, best is {best}");
+    assert_eq!(
+        final_choice, best,
+        "policy settled on {final_choice}, best is {best}"
+    );
 }

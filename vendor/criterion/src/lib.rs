@@ -31,7 +31,10 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(name: impl Into<String>, param: impl Display) -> Self {
-        BenchmarkId { name: name.into(), param: param.to_string() }
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
     }
 }
 
@@ -51,6 +54,7 @@ impl Bencher {
     /// Time `f` repeatedly until the time budget is spent.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         black_box(f()); // warm-up, also forces lazy init
+        #[allow(clippy::disallowed_methods)] // bench harness: wall time is the measurement
         let started = Instant::now();
         let mut iters = 0u64;
         while started.elapsed() < TIME_BUDGET && iters < MAX_ITERS {
@@ -77,7 +81,10 @@ impl Bencher {
                 format!("  {:>10.1} Melem/s", n as f64 / per_iter * 1e3)
             }
             Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
-                format!("  {:>10.1} MiB/s", n as f64 / per_iter * 1e9 / (1 << 20) as f64)
+                format!(
+                    "  {:>10.1} MiB/s",
+                    n as f64 / per_iter * 1e9 / (1 << 20) as f64
+                )
             }
             _ => String::new(),
         };
@@ -111,7 +118,11 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _criterion: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 }
 

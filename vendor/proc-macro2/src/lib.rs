@@ -1,0 +1,766 @@
+//! Offline drop-in subset of the `proc-macro2` 1.x API.
+//!
+//! The build environment has no crates.io access, so — like the other
+//! `vendor/*` stubs — this crate re-implements just the slice of the real
+//! API the workspace needs: a standalone Rust *lexer* that turns source
+//! text into a [`TokenStream`] of spanned [`TokenTree`]s. It understands
+//! the full token grammar well enough to walk real workspace code
+//! (nested delimiters, line/block comments, raw strings, byte strings,
+//! char-vs-lifetime disambiguation, numeric literals with suffixes) but
+//! performs no name resolution and no macro expansion.
+//!
+//! One deliberate extension over the real crate: [`lex_with_comments`]
+//! also returns the comments the lexer skipped, with spans. `tango-lint`
+//! needs them to honour inline suppression comments.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A line/column position in the original source (1-based line, 1-based
+/// column, both in characters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineColumn {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column (characters, not bytes).
+    pub column: usize,
+}
+
+/// A region of source code. This subset tracks only the start position —
+/// enough for rustc-style `file:line:col` diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    line: u32,
+    column: u32,
+}
+
+impl Span {
+    /// A span pointing at nothing in particular (the real API's
+    /// fallback span).
+    pub fn call_site() -> Span {
+        Span { line: 0, column: 0 }
+    }
+
+    /// The start position of the span.
+    pub fn start(&self) -> LineColumn {
+        LineColumn {
+            line: self.line as usize,
+            column: self.column as usize,
+        }
+    }
+}
+
+/// Which bracket pair delimits a [`Group`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delimiter {
+    /// `( ... )`
+    Parenthesis,
+    /// `{ ... }`
+    Brace,
+    /// `[ ... ]`
+    Bracket,
+    /// An invisible delimiter (never produced by this lexer; present for
+    /// API parity).
+    None,
+}
+
+/// A single token tree: a delimited group or a leaf token.
+#[derive(Debug, Clone)]
+pub enum TokenTree {
+    /// A delimited `(...)` / `[...]` / `{...}` subtree.
+    Group(Group),
+    /// An identifier or keyword.
+    Ident(Ident),
+    /// A single punctuation character.
+    Punct(Punct),
+    /// A literal: string, char, byte, or number.
+    Literal(Literal),
+}
+
+impl TokenTree {
+    /// The span of this token (for groups, the opening delimiter).
+    pub fn span(&self) -> Span {
+        match self {
+            TokenTree::Group(g) => g.span_open(),
+            TokenTree::Ident(i) => i.span(),
+            TokenTree::Punct(p) => p.span(),
+            TokenTree::Literal(l) => l.span(),
+        }
+    }
+}
+
+/// A delimited sequence of token trees.
+#[derive(Debug, Clone)]
+pub struct Group {
+    delimiter: Delimiter,
+    stream: TokenStream,
+    span_open: Span,
+    span_close: Span,
+}
+
+impl Group {
+    /// The delimiter kind.
+    pub fn delimiter(&self) -> Delimiter {
+        self.delimiter
+    }
+
+    /// The tokens inside the delimiters.
+    pub fn stream(&self) -> &TokenStream {
+        &self.stream
+    }
+
+    /// Span of the opening delimiter.
+    pub fn span_open(&self) -> Span {
+        self.span_open
+    }
+
+    /// Span of the closing delimiter.
+    pub fn span_close(&self) -> Span {
+        self.span_close
+    }
+}
+
+/// An identifier or keyword (this lexer does not distinguish them).
+#[derive(Debug, Clone)]
+pub struct Ident {
+    sym: String,
+    span: Span,
+}
+
+impl Ident {
+    /// The identifier text.
+    pub fn as_str(&self) -> &str {
+        &self.sym
+    }
+
+    /// The identifier's source position.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.sym)
+    }
+}
+
+impl PartialEq<&str> for Ident {
+    fn eq(&self, other: &&str) -> bool {
+        self.sym == *other
+    }
+}
+
+/// Whether a punctuation character is immediately followed by another
+/// punctuation character (`Joint`, e.g. the first `:` of `::`) or not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Spacing {
+    /// Followed directly by another punct character.
+    Joint,
+    /// Followed by whitespace or a non-punct token.
+    Alone,
+}
+
+/// A single punctuation character.
+#[derive(Debug, Clone)]
+pub struct Punct {
+    ch: char,
+    spacing: Spacing,
+    span: Span,
+}
+
+impl Punct {
+    /// The punctuation character.
+    pub fn as_char(&self) -> char {
+        self.ch
+    }
+
+    /// Whether the next source character is also punctuation.
+    pub fn spacing(&self) -> Spacing {
+        self.spacing
+    }
+
+    /// The character's source position.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+/// A literal token, kept as raw source text (string, raw string, byte
+/// string, char, byte, integer, or float, including any suffix).
+#[derive(Debug, Clone)]
+pub struct Literal {
+    text: String,
+    span: Span,
+}
+
+impl Literal {
+    /// The literal exactly as it appears in the source.
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    /// The literal's source position.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+/// A comment the lexer skipped. Not part of the real proc-macro2 API —
+/// see the crate docs.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text after the `//` (line) or between `/*` and `*/`
+    /// (block). Doc comments keep their extra `/` or `!` as the first
+    /// character, so consumers can tell them apart.
+    pub text: String,
+    /// Position of the first `/` of the comment opener.
+    pub span: Span,
+    /// `true` for `/* ... */`, `false` for `// ...`.
+    pub block: bool,
+}
+
+/// An ordered sequence of token trees.
+#[derive(Debug, Clone, Default)]
+pub struct TokenStream {
+    trees: Vec<TokenTree>,
+}
+
+impl TokenStream {
+    /// An empty stream.
+    pub fn new() -> TokenStream {
+        TokenStream::default()
+    }
+
+    /// Number of top-level token trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Is the stream empty?
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Iterate over the top-level token trees.
+    pub fn iter(&self) -> std::slice::Iter<'_, TokenTree> {
+        self.trees.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a TokenStream {
+    type Item = &'a TokenTree;
+    type IntoIter = std::slice::Iter<'a, TokenTree>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.trees.iter()
+    }
+}
+
+impl IntoIterator for TokenStream {
+    type Item = TokenTree;
+    type IntoIter = std::vec::IntoIter<TokenTree>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.trees.into_iter()
+    }
+}
+
+impl FromStr for TokenStream {
+    type Err = LexError;
+    fn from_str(src: &str) -> Result<TokenStream, LexError> {
+        lex_with_comments(src).map(|(stream, _)| stream)
+    }
+}
+
+/// A lexing failure, with a message and the position it occurred at.
+#[derive(Debug, Clone)]
+pub struct LexError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Where in the source it went wrong.
+    pub span: Span,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let at = self.span.start();
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            at.line, at.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `src`, also returning every comment encountered (in source
+/// order). This is the extension entry point `tango-lint` uses; plain
+/// `TokenStream::from_str` discards the comments.
+pub fn lex_with_comments(src: &str) -> Result<(TokenStream, Vec<Comment>), LexError> {
+    let mut lexer = Lexer::new(src);
+    let trees = lexer.lex_until(None)?;
+    Ok((TokenStream { trees }, lexer.comments))
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    column: u32,
+    comments: Vec<Comment>,
+    /// Span of the most recently consumed closing delimiter (read by the
+    /// parent recursion level to close its `Group`).
+    last_close: Span,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            column: 1,
+            comments: Vec::new(),
+            last_close: Span::call_site(),
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            message: message.into(),
+            span: self.span(),
+        }
+    }
+
+    /// Lex token trees until the given closing delimiter (or EOF when
+    /// `close` is `None`). Consumes the closing delimiter and returns its
+    /// span via `last_close_span`.
+    fn lex_until(&mut self, close: Option<char>) -> Result<Vec<TokenTree>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.span();
+            let Some(c) = self.peek() else {
+                return match close {
+                    None => Ok(out),
+                    Some(c) => Err(self.error(format!("unbalanced delimiters: expected `{c}`"))),
+                };
+            };
+            match c {
+                '(' | '[' | '{' => {
+                    self.bump();
+                    let (closer, delim) = match c {
+                        '(' => (')', Delimiter::Parenthesis),
+                        '[' => (']', Delimiter::Bracket),
+                        _ => ('}', Delimiter::Brace),
+                    };
+                    let inner = self.lex_until(Some(closer))?;
+                    out.push(TokenTree::Group(Group {
+                        delimiter: delim,
+                        stream: TokenStream { trees: inner },
+                        span_open: start,
+                        span_close: self.last_close,
+                    }));
+                }
+                ')' | ']' | '}' => {
+                    if close == Some(c) {
+                        self.last_close = start;
+                        self.bump();
+                        return Ok(out);
+                    }
+                    return Err(self.error(format!("unexpected closing `{c}`")));
+                }
+                '"' => out.push(self.lex_string(start, String::new())?),
+                '\'' => out.push(self.lex_quote(start)?),
+                _ if c.is_ascii_digit() => out.push(self.lex_number(start)),
+                _ if is_ident_start(c) => out.push(self.lex_ident_or_prefixed(start)?),
+                _ => {
+                    self.bump();
+                    let spacing = match self.peek() {
+                        Some(n) if is_punct_char(n) => Spacing::Joint,
+                        _ => Spacing::Alone,
+                    };
+                    out.push(TokenTree::Punct(Punct {
+                        ch: c,
+                        spacing,
+                        span: start,
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Skip whitespace and comments, recording the comments.
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek_at(1) == Some('/') => {
+                    let span = self.span();
+                    self.bump();
+                    self.bump();
+                    let mut text = String::new();
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        text.push(c);
+                        self.bump();
+                    }
+                    self.comments.push(Comment {
+                        text,
+                        span,
+                        block: false,
+                    });
+                }
+                Some('/') if self.peek_at(1) == Some('*') => {
+                    let span = self.span();
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    let mut text = String::new();
+                    loop {
+                        match (self.peek(), self.peek_at(1)) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                                text.push_str("*/");
+                            }
+                            (Some('/'), Some('*')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                                text.push_str("/*");
+                            }
+                            (Some(c), _) => {
+                                text.push(c);
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(self.error("unterminated block comment"));
+                            }
+                        }
+                    }
+                    self.comments.push(Comment {
+                        text,
+                        span,
+                        block: true,
+                    });
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Lex a `"..."` string body; `prefix` holds any already-consumed
+    /// literal prefix (`b`, `c`). The opening quote has not been bumped.
+    fn lex_string(&mut self, start: Span, prefix: String) -> Result<TokenTree, LexError> {
+        let mut text = prefix;
+        text.push('"');
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                Some('"') => {
+                    text.push('"');
+                    break;
+                }
+                Some(c) => text.push(c),
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+        self.consume_suffix(&mut text);
+        Ok(TokenTree::Literal(Literal { text, span: start }))
+    }
+
+    /// Lex a raw string `r"…"` / `r#"…"#` body; the `r` (and any `b`)
+    /// prefix has been consumed into `prefix`.
+    fn lex_raw_string(&mut self, start: Span, prefix: String) -> Result<TokenTree, LexError> {
+        let mut text = prefix;
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        if self.peek() != Some('"') {
+            return Err(self.error("expected `\"` after raw string prefix"));
+        }
+        text.push('"');
+        self.bump();
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    // A quote ends the raw string only when followed by
+                    // the right number of hashes.
+                    let mut matched = 0usize;
+                    while matched < hashes && self.peek() == Some('#') {
+                        matched += 1;
+                        self.bump();
+                    }
+                    text.push('"');
+                    for _ in 0..matched {
+                        text.push('#');
+                    }
+                    if matched == hashes {
+                        break;
+                    }
+                }
+                Some(c) => text.push(c),
+                None => return Err(self.error("unterminated raw string literal")),
+            }
+        }
+        self.consume_suffix(&mut text);
+        Ok(TokenTree::Literal(Literal { text, span: start }))
+    }
+
+    /// Disambiguate `'a'` (char literal) from `'a` (lifetime). The `'`
+    /// has not been consumed.
+    fn lex_quote(&mut self, start: Span) -> Result<TokenTree, LexError> {
+        self.bump(); // the quote
+        match self.peek() {
+            // Escape ⇒ definitely a char literal.
+            Some('\\') => {
+                let mut text = String::from("'");
+                loop {
+                    match self.bump() {
+                        Some('\\') => {
+                            text.push('\\');
+                            if let Some(e) = self.bump() {
+                                text.push(e);
+                            }
+                        }
+                        Some('\'') => {
+                            text.push('\'');
+                            break;
+                        }
+                        Some(c) => text.push(c),
+                        None => return Err(self.error("unterminated char literal")),
+                    }
+                }
+                Ok(TokenTree::Literal(Literal { text, span: start }))
+            }
+            // Ident-start char: `'x'` is a char literal, `'x…` a lifetime.
+            Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+                if self.peek_at(1) == Some('\'') && is_ident_start(c) {
+                    self.bump();
+                    self.bump();
+                    Ok(TokenTree::Literal(Literal {
+                        text: format!("'{c}'"),
+                        span: start,
+                    }))
+                } else {
+                    let mut sym = String::from("'");
+                    while let Some(c) = self.peek() {
+                        if is_ident_continue(c) {
+                            sym.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    Ok(TokenTree::Ident(Ident { sym, span: start }))
+                }
+            }
+            // Any other single char followed by a quote: char literal.
+            Some(c) => {
+                self.bump();
+                if self.peek() == Some('\'') {
+                    self.bump();
+                    Ok(TokenTree::Literal(Literal {
+                        text: format!("'{c}'"),
+                        span: start,
+                    }))
+                } else {
+                    Err(self.error("unterminated char literal"))
+                }
+            }
+            None => Err(self.error("unterminated char literal")),
+        }
+    }
+
+    fn lex_number(&mut self, start: Span) -> TokenTree {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else if c == '.' {
+                // Consume a dot only when a digit follows — keeps range
+                // expressions (`0..n`) and method calls (`1.to_string()`)
+                // out of the number token.
+                match self.peek_at(1) {
+                    Some(d) if d.is_ascii_digit() && !text.contains('.') => {
+                        text.push('.');
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else if (c == '+' || c == '-')
+                && matches!(text.chars().last(), Some('e') | Some('E'))
+                && text.starts_with(|f: char| f.is_ascii_digit())
+                && !text.starts_with("0x")
+                && !text.starts_with("0b")
+                && !text.starts_with("0o")
+            {
+                // Float exponent sign: `1.5e-3`.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenTree::Literal(Literal { text, span: start })
+    }
+
+    /// Lex an identifier, handling string-literal prefixes (`r"`, `r#"`,
+    /// `b"`, `br"`, `c"`, `b'`) and raw identifiers (`r#ident`).
+    fn lex_ident_or_prefixed(&mut self, start: Span) -> Result<TokenTree, LexError> {
+        let c = self.peek().unwrap_or_default();
+        let next = self.peek_at(1);
+        // Raw / byte / C string prefixes.
+        let prefix2: String = [Some(c), next].iter().flatten().collect();
+        if (c == 'r' || c == 'b' || c == 'c') && next == Some('"') {
+            self.bump();
+            if c == 'r' {
+                return self.lex_raw_string(start, "r".to_string());
+            }
+            return self.lex_string(start, c.to_string());
+        }
+        if (prefix2 == "br" || prefix2 == "cr") && self.peek_at(2) == Some('"') {
+            self.bump();
+            self.bump();
+            return self.lex_raw_string(start, prefix2);
+        }
+        if prefix2 == "br" && self.peek_at(2) == Some('#') {
+            self.bump();
+            self.bump();
+            return self.lex_raw_string(start, prefix2);
+        }
+        if c == 'r' && next == Some('#') {
+            match self.peek_at(2) {
+                Some('"') => {
+                    self.bump();
+                    return self.lex_raw_string(start, "r".to_string());
+                }
+                Some(i) if is_ident_start(i) => {
+                    // Raw identifier `r#ident`: treat as the plain ident.
+                    self.bump();
+                    self.bump();
+                    return Ok(self.finish_ident(start, String::new()));
+                }
+                _ => {}
+            }
+        }
+        if c == 'b' && next == Some('\'') {
+            // Byte literal `b'x'`.
+            self.bump();
+            let inner = self.lex_quote(start)?;
+            return match inner {
+                TokenTree::Literal(l) => Ok(TokenTree::Literal(Literal {
+                    text: format!("b{}", l.text),
+                    span: start,
+                })),
+                other => Ok(other),
+            };
+        }
+        Ok(self.finish_ident(start, String::new()))
+    }
+
+    fn finish_ident(&mut self, start: Span, mut sym: String) -> TokenTree {
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                sym.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenTree::Ident(Ident { sym, span: start })
+    }
+
+    /// Consume a literal suffix (`u8`, `f64`, `_s`, …) after a string or
+    /// numeric literal body.
+    fn consume_suffix(&mut self, text: &mut String) {
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+fn is_punct_char(c: char) -> bool {
+    matches!(
+        c,
+        '~' | '!'
+            | '@'
+            | '#'
+            | '$'
+            | '%'
+            | '^'
+            | '&'
+            | '*'
+            | '-'
+            | '='
+            | '+'
+            | '|'
+            | ';'
+            | ':'
+            | ','
+            | '<'
+            | '>'
+            | '.'
+            | '?'
+            | '/'
+    )
+}

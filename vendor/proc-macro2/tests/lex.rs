@@ -1,0 +1,118 @@
+//! Lexer unit tests for the vendored `proc-macro2` subset.
+
+use proc_macro2::{lex_with_comments, Delimiter, TokenStream, TokenTree};
+
+fn flat_idents(stream: &TokenStream) -> Vec<String> {
+    let mut out = Vec::new();
+    fn walk(stream: &TokenStream, out: &mut Vec<String>) {
+        for t in stream {
+            match t {
+                TokenTree::Ident(i) => out.push(i.to_string()),
+                TokenTree::Group(g) => walk(g.stream(), out),
+                _ => {}
+            }
+        }
+    }
+    walk(stream, &mut out);
+    out
+}
+
+#[test]
+fn idents_and_groups_with_spans() {
+    let src = "fn main() {\n    let x = foo(1);\n}\n";
+    let (stream, comments) = lex_with_comments(src).unwrap();
+    assert!(comments.is_empty());
+    assert_eq!(flat_idents(&stream), ["fn", "main", "let", "x", "foo"]);
+    // `fn` at 1:1, the brace group opens at 1:11.
+    let trees: Vec<_> = stream.iter().collect();
+    assert_eq!(trees[0].span().start().line, 1);
+    assert_eq!(trees[0].span().start().column, 1);
+    let TokenTree::Group(body) = trees[3] else {
+        panic!("expected brace group")
+    };
+    assert_eq!(body.delimiter(), Delimiter::Brace);
+    assert_eq!(body.span_open().start().line, 1);
+    assert_eq!(body.span_close().start().line, 3);
+    // `x` sits on line 2.
+    let TokenTree::Ident(x) = &body.stream().iter().nth(1).unwrap() else {
+        panic!()
+    };
+    assert_eq!(x.span().start().line, 2);
+    assert_eq!(x.span().start().column, 9);
+}
+
+#[test]
+fn comments_are_captured_with_positions() {
+    let src = "// one\nlet a = 1; // two\n/* three\nspans lines */ let b;\n/// doc\nfn f() {}\n";
+    let (_, comments) = lex_with_comments(src).unwrap();
+    let texts: Vec<_> = comments.iter().map(|c| c.text.trim().to_string()).collect();
+    assert_eq!(texts, ["one", "two", "three\nspans lines", "/ doc"]);
+    assert_eq!(comments[0].span.start().line, 1);
+    assert_eq!(comments[1].span.start().line, 2);
+    assert_eq!(comments[2].span.start().line, 3);
+    assert!(comments[2].block);
+    assert!(!comments[1].block);
+}
+
+#[test]
+fn nested_block_comments() {
+    let src = "/* a /* b */ c */ fn x() {}";
+    let (stream, comments) = lex_with_comments(src).unwrap();
+    assert_eq!(comments.len(), 1);
+    assert_eq!(flat_idents(&stream), ["fn", "x"]);
+}
+
+#[test]
+fn strings_rawstrings_chars_lifetimes() {
+    let src = r##"let s = "he//llo \" world"; let r = r#"raw " str"#; let c = '{'; let e = '\n'; fn f<'a>(x: &'a str) {} let b = b"bytes";"##;
+    let (stream, comments) = lex_with_comments(src).unwrap();
+    assert!(
+        comments.is_empty(),
+        "string contents must not lex as comments"
+    );
+    let idents = flat_idents(&stream);
+    assert!(
+        idents.contains(&"'a".to_string()),
+        "lifetime lexes as ident: {idents:?}"
+    );
+    let mut lits = Vec::new();
+    fn walk(stream: &TokenStream, out: &mut Vec<String>) {
+        for t in stream {
+            match t {
+                TokenTree::Literal(l) => out.push(l.as_str().to_string()),
+                TokenTree::Group(g) => walk(g.stream(), out),
+                _ => {}
+            }
+        }
+    }
+    walk(&stream, &mut lits);
+    assert!(
+        lits.iter().any(|l| l.starts_with("r#\"")),
+        "raw string survives: {lits:?}"
+    );
+    assert!(
+        lits.contains(&"'{'".to_string()),
+        "brace char literal must not open a group"
+    );
+    assert!(lits.contains(&"b\"bytes\"".to_string()));
+}
+
+#[test]
+fn numbers_and_ranges() {
+    let src = "let a = 0..10; let b = 1.5e-3; let c = 0x1F_u32; let d = x.0;";
+    let (stream, _) = lex_with_comments(src).unwrap();
+    let mut lits = Vec::new();
+    for t in &stream {
+        if let TokenTree::Literal(l) = t {
+            lits.push(l.as_str().to_string());
+        }
+    }
+    assert_eq!(lits, ["0", "10", "1.5e-3", "0x1F_u32", "0"]);
+}
+
+#[test]
+fn unbalanced_is_an_error() {
+    assert!("fn f( {".parse::<TokenStream>().is_err());
+    assert!("fn f() }".parse::<TokenStream>().is_err());
+    assert!("let s = \"open".parse::<TokenStream>().is_err());
+}

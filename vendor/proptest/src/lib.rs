@@ -34,7 +34,9 @@ pub mod test_runner {
                 h ^= u64::from(b);
                 h = h.wrapping_mul(0x100_0000_01b3);
             }
-            TestRng(StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            TestRng(StdRng::seed_from_u64(
+                h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ))
         }
     }
 
@@ -175,14 +177,14 @@ pub mod strategy {
             }
         };
     }
-    tuple_strategy!(A/0);
-    tuple_strategy!(A/0, B/1);
-    tuple_strategy!(A/0, B/1, C/2);
-    tuple_strategy!(A/0, B/1, C/2, D/3);
-    tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
-    tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
-    tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5, G/6);
-    tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7);
+    tuple_strategy!(A / 0);
+    tuple_strategy!(A / 0, B / 1);
+    tuple_strategy!(A / 0, B / 1, C / 2);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
 
     /// Full-domain strategy behind [`any`](crate::arbitrary::any).
     pub struct StdAny<T>(pub(crate) PhantomData<T>);
@@ -214,9 +216,7 @@ pub mod arbitrary {
             }
         )*};
     }
-    std_arbitrary!(
-        u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f32, f64
-    );
+    std_arbitrary!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f32, f64);
 
     pub fn any<A: Arbitrary>() -> A::Strategy {
         A::arbitrary()
@@ -239,7 +239,10 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty collection size range");
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
@@ -261,7 +264,10 @@ pub mod collection {
     }
 
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -282,7 +288,10 @@ pub mod collection {
         S: Strategy,
         S::Value: Ord,
     {
-        BTreeSetStrategy { element, size: size.into() }
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S> Strategy for BTreeSetStrategy<S>
@@ -502,6 +511,9 @@ mod tests {
         let s = crate::collection::vec(any::<u64>(), 1..10);
         let a = s.generate(&mut TestRng::for_case("t", 0));
         let b = s.generate(&mut TestRng::for_case("t", 0));
-        assert_eq!(a, b, "determinism: same (name, case) must regenerate identically");
+        assert_eq!(
+            a, b,
+            "determinism: same (name, case) must regenerate identically"
+        );
     }
 }

@@ -1,0 +1,101 @@
+//! Offline drop-in subset of the `syn` 2.x API.
+//!
+//! Like the other `vendor/*` stubs, this re-implements only the slice of
+//! the real crate the workspace needs: [`parse_file`] turning source text
+//! into a token-tree [`File`] (via the vendored `proc-macro2` lexer), a
+//! spanned [`Error`] type, and a [`visit`] module for walking the tree.
+//! There is no typed AST — `tango-lint`'s rules are token-pattern
+//! matchers, so delimiter-nested token trees with spans are exactly the
+//! right level of abstraction, at a fraction of the real crate's size.
+//!
+//! Deviation from the real API: [`File`] also carries the comments the
+//! lexer skipped (`tango-lint` resolves suppression comments from them).
+
+use proc_macro2::{Comment, Span, TokenStream};
+use std::fmt;
+
+pub mod visit;
+
+/// A parse failure, with a message and source position.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+    span: Span,
+}
+
+impl Error {
+    /// Construct an error at a given span.
+    pub fn new(span: Span, message: impl fmt::Display) -> Error {
+        Error {
+            message: message.to_string(),
+            span,
+        }
+    }
+
+    /// The position the error points at.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<proc_macro2::LexError> for Error {
+    fn from(e: proc_macro2::LexError) -> Error {
+        Error {
+            message: e.message,
+            span: e.span,
+        }
+    }
+}
+
+/// The usual `syn` result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A parsed source file: its token trees plus the comments the lexer
+/// skipped over (in source order).
+#[derive(Debug, Clone)]
+pub struct File {
+    /// The `#!...` interpreter line, if the file begins with one.
+    pub shebang: Option<String>,
+    /// All top-level token trees.
+    pub tokens: TokenStream,
+    /// Every comment in the file, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Parse a whole `.rs` file into token trees.
+///
+/// Strips a UTF-8 BOM and a shebang line (`#!...` that is not an inner
+/// attribute `#![...]`) before lexing, like the real `syn::parse_file`.
+pub fn parse_file(mut content: &str) -> Result<File> {
+    const BOM: &str = "\u{feff}";
+    if let Some(rest) = content.strip_prefix(BOM) {
+        content = rest;
+    }
+    let mut shebang = None;
+    if content.starts_with("#!") && !content.starts_with("#![") {
+        let line_end = content.find('\n').unwrap_or(content.len());
+        shebang = Some(content[..line_end].to_string());
+        // Keep the newline so spans still count from the original line 1
+        // — the shebang simply becomes an empty first line.
+        content = &content[line_end..];
+    }
+    let (tokens, mut comments) = proc_macro2::lex_with_comments(content)?;
+    if shebang.is_some() {
+        // Comments/tokens were lexed against content that lost line 1's
+        // text but not its newline, so line numbers are already correct.
+        comments.shrink_to_fit();
+    }
+    Ok(File {
+        shebang,
+        tokens,
+        comments,
+    })
+}

@@ -1,0 +1,31 @@
+//! A minimal visitor over token trees (the subset's analogue of the real
+//! crate's `syn::visit`).
+
+use proc_macro2::{Group, Ident, Literal, Punct, TokenStream, TokenTree};
+
+/// Read-only traversal of a token tree. Override the leaf methods you
+/// care about; `visit_group` recurses by default.
+pub trait Visit {
+    /// Called for every identifier/keyword.
+    fn visit_ident(&mut self, _ident: &Ident) {}
+    /// Called for every punctuation character.
+    fn visit_punct(&mut self, _punct: &Punct) {}
+    /// Called for every literal.
+    fn visit_literal(&mut self, _literal: &Literal) {}
+    /// Called for every delimited group; the default walks its contents.
+    fn visit_group(&mut self, group: &Group) {
+        visit_stream(self, group.stream());
+    }
+}
+
+/// Walk every token tree in `stream`, dispatching to the visitor.
+pub fn visit_stream<V: Visit + ?Sized>(visitor: &mut V, stream: &TokenStream) {
+    for tree in stream {
+        match tree {
+            TokenTree::Group(g) => visitor.visit_group(g),
+            TokenTree::Ident(i) => visitor.visit_ident(i),
+            TokenTree::Punct(p) => visitor.visit_punct(p),
+            TokenTree::Literal(l) => visitor.visit_literal(l),
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Tests for the vendored `syn` subset.
+
+use proc_macro2::TokenTree;
+use syn::visit::{visit_stream, Visit};
+
+#[test]
+fn parse_file_strips_shebang_and_keeps_lines() {
+    let src = "#!/usr/bin/env rust-script\nfn main() {}\n";
+    let file = syn::parse_file(src).unwrap();
+    assert_eq!(file.shebang.as_deref(), Some("#!/usr/bin/env rust-script"));
+    let first = file.tokens.iter().next().unwrap();
+    assert_eq!(
+        first.span().start().line,
+        2,
+        "spans still count original lines"
+    );
+}
+
+#[test]
+fn inner_attribute_is_not_a_shebang() {
+    let file = syn::parse_file("#![allow(dead_code)]\nfn main() {}\n").unwrap();
+    assert!(file.shebang.is_none());
+    assert!(!file.tokens.is_empty());
+}
+
+#[test]
+fn parse_error_carries_position() {
+    let err = syn::parse_file("fn broken( {\n").unwrap_err();
+    assert!(err.span().start().line >= 1);
+    assert!(err.to_string().contains("unbalanced") || err.to_string().contains("unexpected"));
+}
+
+#[test]
+fn visitor_reaches_nested_idents() {
+    struct Count(usize);
+    impl Visit for Count {
+        fn visit_ident(&mut self, _i: &proc_macro2::Ident) {
+            self.0 += 1;
+        }
+    }
+    let file = syn::parse_file("fn f() { let x = g(h(1)); }").unwrap();
+    let mut v = Count(0);
+    visit_stream(&mut v, &file.tokens);
+    assert_eq!(v.0, 6, "fn f let x g h");
+    // Sanity: tokens nest (the fn body is a group).
+    assert!(file
+        .tokens
+        .iter()
+        .any(|t| matches!(t, TokenTree::Group(g) if !g.stream().is_empty())));
+}
