@@ -756,6 +756,7 @@ pub fn ecmp_census(flows: usize, seed: u64) -> EcmpCensusResult {
                 auth_key: None,
                 class_map: Default::default(),
                 rx_labels: Vec::new(),
+                obs: None,
             },
             Arc::clone(mine),
             Arc::clone(theirs),

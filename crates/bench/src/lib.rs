@@ -32,5 +32,6 @@ pub mod fig4;
 pub mod headline;
 pub mod jitter;
 pub mod parallel;
+pub mod telemetry;
 pub mod throughput;
 pub mod util;

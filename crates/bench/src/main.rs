@@ -6,8 +6,9 @@
 //! ```
 
 use tango::prelude::SimTime;
+use tango_bench::telemetry::TelemetryOptions;
 use tango_bench::throughput::ThroughputOptions;
-use tango_bench::{ablations, failover, fig3, fig4, headline, jitter, throughput};
+use tango_bench::{ablations, failover, fig3, fig4, headline, jitter, telemetry, throughput};
 
 const USAGE: &str = "\
 experiments — regenerate the paper's figures and tables (see EXPERIMENTS.md)
@@ -31,6 +32,10 @@ COMMANDS
   ablation-failover     A8: blackhole detection, failover, and re-admission
   throughput            fast-path microbench: pkts/sec + ns/packet over a
                         parallel multi-seed sweep → results/BENCH_throughput.json
+  telemetry             deterministic observability export: full tango-obs
+                        metric tree through a scripted blackhole →
+                        results/TELEMETRY_vultr-blackhole.json (byte-identical
+                        across runs and --workers settings)
   all                   run everything (with default durations)
 
 OPTIONS
@@ -45,6 +50,11 @@ THROUGHPUT OPTIONS
   --workers <W>   worker threads (default: machine parallelism; the
                   TANGO_BENCH_THREADS env var also overrides)
   --floor <P>     exit nonzero if aggregate pkts/sec < P (CI smoke gate)
+
+TELEMETRY OPTIONS
+  --seeds <list>  comma-separated seeds (default 1,7 — the golden seeds)
+  --workers <W>   worker threads (default: machine parallelism; the
+                  artifact's bytes are identical either way)
 ";
 
 struct Args {
@@ -124,6 +134,38 @@ fn parse_throughput_args(rest: &[String]) -> Result<ThroughputOptions, String> {
     Ok(options)
 }
 
+fn parse_telemetry_args(rest: &[String]) -> Result<TelemetryOptions, String> {
+    let mut options = TelemetryOptions::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut take = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => {
+                options.seeds = take()?
+                    .split(',')
+                    .map(|s| s.trim().parse::<u64>().map_err(|e| format!("--seeds: {e}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if options.seeds.is_empty() {
+                    return Err("--seeds must name at least one seed".into());
+                }
+            }
+            "--workers" => {
+                let w: usize = take()?.parse().map_err(|e| format!("--workers: {e}"))?;
+                if w == 0 {
+                    return Err("--workers must be positive".into());
+                }
+                options.workers = Some(w);
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(options)
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first() else {
@@ -133,6 +175,16 @@ fn main() {
     if command == "throughput" {
         match parse_throughput_args(&argv[1..]) {
             Ok(options) => std::process::exit(throughput::report(&options)),
+            Err(e) => {
+                eprintln!("error: {e}\n");
+                eprint!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if command == "telemetry" {
+        match parse_telemetry_args(&argv[1..]) {
+            Ok(options) => std::process::exit(telemetry::report(&options)),
             Err(e) => {
                 eprintln!("error: {e}\n");
                 eprint!("{USAGE}");

@@ -1,0 +1,240 @@
+//! `experiments telemetry` — the deterministic observability artifact.
+//!
+//! Runs the Vultr NY↔LA pairing through a scripted path-2 blackhole with
+//! the full `tango-obs` stack attached (simulator, both switches, BGP,
+//! health gates) and exports every metric as one canonical JSON document:
+//! `results/TELEMETRY_vultr-blackhole.json`.
+//!
+//! Determinism is the point: each seed is an independent simulation
+//! driven entirely by virtual time, and the exporter sorts keys and
+//! formats integers only — so the artifact is **byte-identical** across
+//! runs *and* across `--workers` settings (seeds fan out over threads,
+//! results aggregate in seed order). CI runs this twice with different
+//! worker counts and diffs the bytes; the golden-trace suite pins two
+//! seeds' documents under `tests/golden/`.
+
+use crate::parallel::{run_seeds, worker_count};
+use crate::util::{print_table, results_dir};
+use std::collections::BTreeMap;
+use tango::prelude::*;
+use tango_obs::{Registry, Snapshot, Value};
+
+/// When the path-2 blackhole opens (both directions, no BGP withdrawal).
+const OUTAGE_START: SimTime = SimTime(5_000_000_000);
+/// How long it lasts.
+const OUTAGE_LEN: SimTime = SimTime(8_000_000_000);
+/// App-packet spacing (each direction).
+const APP_PERIOD: SimTime = SimTime(5_000_000);
+/// App payload bytes.
+const PAYLOAD_BYTES: usize = 64;
+/// Simulated horizon.
+const HORIZON: SimTime = SimTime(20_000_000_000);
+
+/// Scenario id: names the artifact and the golden files.
+pub const SCENARIO: &str = "vultr-blackhole";
+
+/// Options for a telemetry run.
+pub struct TelemetryOptions {
+    /// Seeds to sweep (each an independent simulation → one JSON section).
+    pub seeds: Vec<u64>,
+    /// Force the worker count (`None` = machine parallelism, capped by
+    /// the seed count; `TANGO_BENCH_THREADS` also overrides).
+    pub workers: Option<usize>,
+}
+
+impl Default for TelemetryOptions {
+    fn default() -> Self {
+        TelemetryOptions {
+            seeds: vec![1, 7],
+            workers: None,
+        }
+    }
+}
+
+/// Run the scenario for one seed and return the full metric snapshot.
+///
+/// Health-gated lowest-OWD on both sides, 10 ms probes, 100 ms control
+/// ticks, bidirectional app traffic from 2 s; path 2 blackholes at 5 s
+/// for 8 s, so the export contains tx-without-rx on path 2, health
+/// transitions on both gates, and the failover in the selection layer.
+pub fn collect_seed(seed: u64) -> Snapshot {
+    let registry = Registry::default();
+    let mut pairing = tango::vultr_pairing(PairingOptions {
+        seed,
+        probe_period: Some(SimTime::from_ms(10)),
+        control_period: Some(SimTime::from_ms(100)),
+        policy_a: Box::new(LowestOwdPolicy::new(500_000.0)),
+        policy_b: Box::new(LowestOwdPolicy::new(500_000.0)),
+        health_a: Some(HealthConfig::default()),
+        health_b: Some(HealthConfig::default()),
+        wide_area_events: vec![WideAreaEvent::Blackhole {
+            path: 2,
+            at_ns: OUTAGE_START.as_ns(),
+            duration_ns: OUTAGE_LEN.as_ns(),
+        }],
+        obs: Some(registry.clone()),
+        ..PairingOptions::default()
+    })
+    .expect("vultr scenario provisions");
+    let mut t = SimTime::from_secs(2);
+    while t < SimTime::from_secs(18) {
+        pairing.send_app_packet(t, Side::B, PAYLOAD_BYTES);
+        pairing.send_app_packet(t, Side::A, PAYLOAD_BYTES);
+        t += APP_PERIOD;
+    }
+    pairing.run_until(HORIZON);
+    registry.snapshot()
+}
+
+/// Assemble the artifact: a canonical JSON document with one section per
+/// seed. Canonical formatting (sorted keys, integers only, fixed
+/// indentation) comes from [`tango_obs::Value`], so equal metric trees
+/// produce equal bytes.
+pub fn to_json(sections: &[(u64, Snapshot)]) -> String {
+    let mut seeds = BTreeMap::new();
+    for (seed, snap) in sections {
+        seeds.insert(seed.to_string(), snap.to_value());
+    }
+    let mut root = BTreeMap::new();
+    root.insert(
+        "schema".to_string(),
+        Value::Str("tango-bench/telemetry/v1".to_string()),
+    );
+    root.insert("scenario".to_string(), Value::Str(SCENARIO.to_string()));
+    root.insert("seeds".to_string(), Value::Obj(seeds));
+    Value::Obj(root).to_json()
+}
+
+/// Run the sweep (no printing): per-seed snapshots in seed order,
+/// independent of worker scheduling.
+pub fn sweep(options: &TelemetryOptions) -> Vec<(u64, Snapshot)> {
+    let workers = options
+        .workers
+        .unwrap_or_else(|| worker_count(options.seeds.len()));
+    let snaps = run_seeds(&options.seeds, workers, collect_seed);
+    options.seeds.iter().copied().zip(snaps).collect()
+}
+
+fn counter(snap: &Snapshot, name: &str) -> u64 {
+    snap.counters.get(name).copied().unwrap_or(0)
+}
+
+/// The `experiments telemetry` entry point. Returns the process exit
+/// code.
+pub fn report(options: &TelemetryOptions) -> i32 {
+    if cfg!(not(feature = "obs")) {
+        eprintln!("error: `experiments telemetry` needs the `obs` feature (on by default)");
+        return 2;
+    }
+    println!(
+        "telemetry — {SCENARIO}: path 2 dies at {} s for {} s; health-gated \
+         lowest-OWD both sides, app packet each way every {} ms; seeds {:?}\n",
+        OUTAGE_START.as_ns() / 1_000_000_000,
+        OUTAGE_LEN.as_ns() / 1_000_000_000,
+        APP_PERIOD.as_ns() / 1_000_000,
+        options.seeds
+    );
+    let sections = sweep(options);
+    let mut rows = Vec::new();
+    for (seed, snap) in &sections {
+        let series = snap.counters.len() + snap.gauges.len() + snap.histograms.len();
+        let downs: u64 = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("health.") && k.ends_with("_down"))
+            .map(|(_, v)| v)
+            .sum();
+        rows.push(vec![
+            seed.to_string(),
+            series.to_string(),
+            counter(snap, "sim.events.deliver").to_string(),
+            counter(snap, "dataplane.64702.tx.app").to_string(),
+            counter(snap, "dataplane.64701.rx.decap").to_string(),
+            snap.gauges
+                .get("dataplane.64701.path.2.lost")
+                .copied()
+                .unwrap_or(0)
+                .to_string(),
+            downs.to_string(),
+            counter(snap, "bgp.updates_processed").to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "seed",
+            "series",
+            "deliveries",
+            "NY tx.app",
+            "LA rx.decap",
+            "LA p2 lost",
+            "downs",
+            "bgp updates",
+        ],
+        &rows,
+    );
+    let path = results_dir().join(format!("TELEMETRY_{SCENARIO}.json"));
+    std::fs::write(&path, to_json(&sections)).expect("write TELEMETRY json");
+    println!("\nwritten to {}", path.display());
+    0
+}
+
+#[cfg(all(test, feature = "obs"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_is_bit_identical_and_parallel_invariant() {
+        let a = collect_seed(3);
+        let b = collect_seed(3);
+        assert_eq!(a.to_json(), b.to_json(), "same seed ⇒ same bytes");
+        let serial = sweep(&TelemetryOptions {
+            seeds: vec![3, 5],
+            workers: Some(1),
+        });
+        let parallel = sweep(&TelemetryOptions {
+            seeds: vec![3, 5],
+            workers: Some(2),
+        });
+        assert_eq!(
+            to_json(&serial),
+            to_json(&parallel),
+            "worker count must not leak into the artifact"
+        );
+    }
+
+    #[test]
+    fn blackhole_shows_up_in_the_export() {
+        let snap = collect_seed(1);
+        // The NY side kept transmitting on path 2 while LA's receive
+        // counter stalled: tx > rx across the outage.
+        let tx = snap
+            .counters
+            .get("dataplane.64702.path.2.tx")
+            .copied()
+            .unwrap_or(0);
+        let rx = snap
+            .counters
+            .get("dataplane.64701.path.2.rx")
+            .copied()
+            .unwrap_or(0);
+        assert!(tx > rx, "blackhole means tx {tx} > rx {rx} on path 2");
+        // Both health gates saw the path go down at least once.
+        for side in ["64701", "64702"] {
+            let downs: u64 = snap
+                .counters
+                .iter()
+                .filter(|(k, _)| k.starts_with(&format!("health.{side}.")) && k.ends_with("_down"))
+                .map(|(_, v)| v)
+                .sum();
+            assert!(downs >= 1, "side {side} recorded no Down transition");
+        }
+        // And the sim layer agrees something was lost to the outage.
+        assert!(
+            snap.gauges
+                .get("sim.stats.lost_outage")
+                .copied()
+                .unwrap_or(0)
+                >= 1
+        );
+    }
+}

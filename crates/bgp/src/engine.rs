@@ -15,6 +15,7 @@ use crate::rib::{Route, RouteSource};
 use crate::speaker::{BgpSpeaker, SpeakerConfig};
 use std::collections::{BTreeMap, BTreeSet};
 use tango_net::{IpCidr, PrefixTrie};
+use tango_obs::{Counter, Histogram, Registry};
 use tango_topology::{AsId, Topology};
 
 /// Errors from the propagation engine.
@@ -43,12 +44,30 @@ impl core::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// Metric handles for the control plane (see `tango-obs`).
+///
+/// Convergence runs as synchronous rounds outside simulated time, so
+/// the "convergence span" is measured in *rounds* — the quantity that
+/// actually bounds re-convergence disruption — rather than in virtual
+/// nanoseconds (which do not advance inside a convergence call).
+#[derive(Debug, Clone)]
+struct BgpObs {
+    /// Route updates (announcements and withdrawals) that changed a
+    /// receiver's Adj-RIB-In.
+    updates_processed: Counter,
+    /// Completed [`BgpEngine::converge`] calls.
+    converges: Counter,
+    /// Rounds each convergence took to reach the fixpoint.
+    rounds: Histogram,
+}
+
 /// The BGP propagation engine over an AS-level topology.
 #[derive(Debug, Clone)]
 pub struct BgpEngine {
     topology: Topology,
     speakers: BTreeMap<AsId, BgpSpeaker>,
     round_cap: usize,
+    obs: Option<BgpObs>,
 }
 
 impl BgpEngine {
@@ -62,7 +81,17 @@ impl BgpEngine {
             topology,
             speakers,
             round_cap: 200,
+            obs: None,
         }
+    }
+
+    /// Publish control-plane telemetry (`bgp.*`) into `registry`.
+    pub fn set_obs(&mut self, registry: &Registry) {
+        self.obs = Some(BgpObs {
+            updates_processed: registry.counter("bgp.updates_processed"),
+            converges: registry.counter("bgp.converges"),
+            rounds: registry.histogram("bgp.convergence.rounds"),
+        });
     }
 
     /// The underlying topology.
@@ -161,6 +190,7 @@ impl BgpEngine {
     /// rounds taken (0 means the network was already converged).
     pub fn converge(&mut self) -> Result<usize, EngineError> {
         let ids: Vec<AsId> = self.speakers.keys().copied().collect();
+        let mut updates_applied = 0u64;
         // Phase 0: everyone recomputes from current RIBs (picks up any
         // origination changes made since the last convergence).
         for id in &ids {
@@ -183,6 +213,7 @@ impl BgpEngine {
                             let recv = self.speakers.get_mut(&n).expect("adjacent");
                             if recv.receive(&self.topology, id, *prefix, None) {
                                 any_change = true;
+                                updates_applied += 1;
                             }
                         }
                     }
@@ -192,6 +223,7 @@ impl BgpEngine {
                             let recv = self.speakers.get_mut(&n).expect("adjacent");
                             if recv.receive(&self.topology, id, *prefix, Some(route.clone())) {
                                 any_change = true;
+                                updates_applied += 1;
                             }
                         }
                     }
@@ -208,6 +240,11 @@ impl BgpEngine {
                 }
             }
             if !any_change {
+                if let Some(obs) = &self.obs {
+                    obs.updates_processed.add(updates_applied);
+                    obs.converges.inc();
+                    obs.rounds.record((round - 1) as u64);
+                }
                 return Ok(round - 1);
             }
         }

@@ -31,6 +31,7 @@ use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use tango_dataplane::{PathPolicy, PathSnapshot, Selection};
+use tango_obs::{Counter, Histogram, Registry};
 
 /// Liveness verdict for one tunnel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -292,6 +293,70 @@ impl PathHealth {
     }
 }
 
+/// Telemetry handles for one gate's health machines. Transitions become
+/// `health.<scope>.transition.<from>_<to>` counters; on every transition
+/// the time spent in the state being left is recorded into a
+/// `health.<scope>.time_in.<state>_ns` histogram (controller-local ns,
+/// so the figures are deterministic across runs).
+struct HealthObs {
+    registry: Registry,
+    prefix: String,
+    transitions: BTreeMap<(u8, u8), Counter>,
+    time_in: BTreeMap<u8, Histogram>,
+    /// Last known (state, since_ns) per path — the baseline for the
+    /// time-in-state figure. A path enters at `Up` on first observation.
+    last: BTreeMap<u16, (HealthState, u64)>,
+}
+
+/// Stable small index for metric-map keys (`HealthState` is not `Ord`).
+fn state_idx(s: HealthState) -> u8 {
+    match s {
+        HealthState::Up => 0,
+        HealthState::Suspect => 1,
+        HealthState::Down => 2,
+        HealthState::Probing => 3,
+    }
+}
+
+impl HealthObs {
+    fn new(registry: &Registry, scope: &str) -> Self {
+        HealthObs {
+            registry: registry.clone(),
+            prefix: format!("health.{scope}"),
+            transitions: BTreeMap::new(),
+            time_in: BTreeMap::new(),
+            last: BTreeMap::new(),
+        }
+    }
+
+    /// Start the time-in-state clock for a path first seen at `now_ns`.
+    fn ensure(&mut self, path: u16, now_ns: u64) {
+        self.last.entry(path).or_insert((HealthState::Up, now_ns));
+    }
+
+    fn on_transitions(&mut self, events: &[HealthTransition]) {
+        for t in events {
+            let key = (state_idx(t.from), state_idx(t.to));
+            let (registry, prefix) = (&self.registry, &self.prefix);
+            self.transitions
+                .entry(key)
+                .or_insert_with(|| {
+                    registry.counter(&format!("{prefix}.transition.{}_{}", t.from, t.to))
+                })
+                .inc();
+            if let Some((_, since)) = self.last.get(&t.path).copied() {
+                self.time_in
+                    .entry(state_idx(t.from))
+                    .or_insert_with(|| {
+                        registry.histogram(&format!("{prefix}.time_in.{}_ns", t.from))
+                    })
+                    .record(t.at_ns.saturating_sub(since));
+            }
+            self.last.insert(t.path, (t.to, t.at_ns));
+        }
+    }
+}
+
 /// Wrap any [`PathPolicy`] with liveness gating: non-`Up`/`Suspect`
 /// paths are hidden from the inner policy *and* scrubbed from whatever
 /// it returns, so a blackholed path is never selected. When every path
@@ -306,6 +371,7 @@ pub struct HealthGated {
     name: String,
     /// The tunnel to fall back to when everything is down.
     fallback: u16,
+    obs: Option<HealthObs>,
 }
 
 impl HealthGated {
@@ -319,12 +385,21 @@ impl HealthGated {
             timeline: Arc::new(Mutex::new(Vec::new())),
             name,
             fallback: 0,
+            obs: None,
         }
     }
 
     /// Use a different all-down fallback than path 0.
     pub fn with_fallback(mut self, path: u16) -> Self {
         self.fallback = path;
+        self
+    }
+
+    /// Export health telemetry into `registry` under `health.<scope>.…`
+    /// (scope is typically the local AS number). Transition counters and
+    /// time-in-state histograms; free when the `obs` feature is off.
+    pub fn with_obs(mut self, registry: &Registry, scope: &str) -> Self {
+        self.obs = Some(HealthObs::new(registry, scope));
         self
     }
 
@@ -352,6 +427,9 @@ impl PathPolicy for HealthGated {
         // 1. Advance every path's health machine.
         let mut events = Vec::new();
         for (id, snap) in paths {
+            if let Some(obs) = &mut self.obs {
+                obs.ensure(*id, now_local_ns);
+            }
             let h = self
                 .paths
                 .entry(*id)
@@ -395,6 +473,9 @@ impl PathPolicy for HealthGated {
             }
         };
         if !events.is_empty() {
+            if let Some(obs) = &mut self.obs {
+                obs.on_transitions(&events);
+            }
             self.timeline.lock().extend(events);
         }
         decision
@@ -411,6 +492,9 @@ impl PathPolicy for HealthGated {
         let mut events = Vec::new();
         let allowed = h.allow_probe(now_local_ns, &mut events);
         if !events.is_empty() {
+            if let Some(obs) = &mut self.obs {
+                obs.on_transitions(&events);
+            }
             self.timeline.lock().extend(events);
         }
         allowed
@@ -746,6 +830,43 @@ mod tests {
         // Backoff (1000) expires → Probing, probes flow again.
         assert!(g.allow_probe(2_000, 1));
         assert_eq!(g.state(1), HealthState::Probing);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn obs_counts_transitions_and_time_in_state() {
+        use crate::policy::LowestOwdPolicy;
+        let registry = Registry::default();
+        let mut g = HealthGated::new(Box::new(LowestOwdPolicy::new(0.0)), cfg())
+            .with_obs(&registry, "65001");
+        let m = paths(&[(0, 100, 0), (1, 100, 0)]);
+        g.decide(100, &m);
+        let mut dark = m.clone();
+        dark.get_mut(&1).unwrap().silence_ns = Some(700);
+        dark.get_mut(&0).unwrap().samples = 200;
+        g.decide(800, &dark); // coarse tick: path 1 goes Up → Suspect → Down
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counters
+                .get("health.65001.transition.up_suspect")
+                .copied(),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counters
+                .get("health.65001.transition.suspect_down")
+                .copied(),
+            Some(1)
+        );
+        let up = snap.histograms.get("health.65001.time_in.up_ns").unwrap();
+        assert_eq!(up.count, 1);
+        assert_eq!(up.sum, 700, "entered Up at 100, left at 800");
+        let suspect = snap
+            .histograms
+            .get("health.65001.time_in.suspect_ns")
+            .unwrap();
+        assert_eq!(suspect.count, 1);
+        assert_eq!(suspect.sum, 0, "both hops of the coarse tick land at 800");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use tango_dataplane::{
 use tango_measure::TimeSeries;
 use tango_net::SipKey;
 use tango_net::{Ipv6Packet, Ipv6Repr};
+use tango_obs::Registry;
 use tango_sim::{FaultInjector, NetworkSim, NodeClock, Packet, RouterAgent, SimConfig, SimTime};
 use tango_topology::{AsId, Topology, WideAreaEvent};
 
@@ -113,6 +114,11 @@ pub struct PairingOptions {
     pub health_a: Option<HealthConfig>,
     /// Same for side B's policy.
     pub health_b: Option<HealthConfig>,
+    /// Telemetry registry: when set, the simulator, both switches, the
+    /// BGP engine, and any health gates export metrics into it
+    /// (`sim.…`, `dataplane.<as>.…`, `bgp.…`, `health.<as>.…`). The same
+    /// handle is exposed after the build via [`TangoPairing::obs`].
+    pub obs: Option<Registry>,
 }
 
 impl Default for PairingOptions {
@@ -134,6 +140,7 @@ impl Default for PairingOptions {
             wide_area_events: Vec::new(),
             health_a: None,
             health_b: None,
+            obs: None,
         }
     }
 }
@@ -178,6 +185,8 @@ pub struct TangoPairing {
     health_timeline_b: Option<HealthTimeline>,
     /// Scheduled SessionReset steps, soonest first.
     pending_resets: Vec<PendingReset>,
+    /// The telemetry registry every layer exports into (if enabled).
+    obs: Option<Registry>,
 }
 
 impl TangoPairing {
@@ -193,6 +202,11 @@ impl TangoPairing {
         mut options: PairingOptions,
     ) -> Result<Self, PairingError> {
         let mut bgp = BgpEngine::new(topology.clone());
+        if let Some(registry) = &options.obs {
+            // Attach before provisioning so discovery's convergences are
+            // already counted.
+            bgp.set_obs(registry);
+        }
         for (node, prefs) in neighbor_pref {
             bgp.set_neighbor_pref(node, prefs)?;
         }
@@ -253,7 +267,10 @@ impl TangoPairing {
                 &mut options.policy_a,
                 Box::new(StaticPolicy::single(0, "x")),
             );
-            let gated = HealthGated::new(inner, cfg);
+            let mut gated = HealthGated::new(inner, cfg);
+            if let Some(registry) = &options.obs {
+                gated = gated.with_obs(registry, &side_a.tenant.0.to_string());
+            }
             health_timeline_a = Some(gated.timeline());
             options.policy_a = Box::new(gated);
         }
@@ -263,7 +280,10 @@ impl TangoPairing {
                 &mut options.policy_b,
                 Box::new(StaticPolicy::single(0, "x")),
             );
-            let gated = HealthGated::new(inner, cfg);
+            let mut gated = HealthGated::new(inner, cfg);
+            if let Some(registry) = &options.obs {
+                gated = gated.with_obs(registry, &side_b.tenant.0.to_string());
+            }
             health_timeline_b = Some(gated.timeline());
             options.policy_b = Box::new(gated);
         }
@@ -274,6 +294,7 @@ impl TangoPairing {
                 seed: options.seed,
                 trace_capacity: options.trace_capacity,
                 fault: options.fault,
+                obs: options.obs.clone(),
             },
         );
         // Every non-tenant node routes by its converged BGP table.
@@ -321,6 +342,7 @@ impl TangoPairing {
                     .iter()
                     .map(|t| (t.id, t.label.clone()))
                     .collect(),
+                obs: options.obs.clone(),
             },
             std::mem::replace(
                 &mut options.policy_a,
@@ -347,6 +369,7 @@ impl TangoPairing {
                     .iter()
                     .map(|t| (t.id, t.label.clone()))
                     .collect(),
+                obs: options.obs.clone(),
             },
             std::mem::replace(
                 &mut options.policy_b,
@@ -390,7 +413,16 @@ impl TangoPairing {
             health_timeline_a,
             health_timeline_b,
             pending_resets,
+            obs: options.obs,
         })
+    }
+
+    /// The telemetry registry supplied via [`PairingOptions::obs`]
+    /// (`None` when the run was built without one). Snapshot it after
+    /// `run_until` to export the full `sim.…` / `dataplane.…` / `bgp.…` /
+    /// `health.…` metric tree.
+    pub fn obs(&self) -> Option<&Registry> {
+        self.obs.as_ref()
     }
 
     /// Advance simulated time, executing any scheduled

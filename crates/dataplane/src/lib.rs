@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+mod obs;
 pub mod policy;
 pub mod report;
 pub mod stats;
@@ -38,8 +39,8 @@ pub mod switch;
 pub mod tunnel;
 
 pub use codec::{
-    decapsulate, decapsulate_with, encapsulate, encapsulate_auth, probe_packet,
-    probe_packet_auth, report_packet, CodecError, Decapsulated,
+    decapsulate, decapsulate_with, encapsulate, encapsulate_auth, probe_packet, probe_packet_auth,
+    report_packet, CodecError, Decapsulated,
 };
 pub use policy::{PathPolicy, PathSnapshot, Selection, StaticPolicy};
 pub use report::{MeasurementReport, PathRecord, ReportError};

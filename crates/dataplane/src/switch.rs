@@ -19,12 +19,14 @@
 //!   cooperation feedback) and installs a fresh selection.
 
 use crate::codec::{self, CodecError};
+use crate::obs::SwitchObs;
 use crate::policy::{PathPolicy, PathSnapshot, SelectionState, StaticPolicy};
 use crate::report::{report_from_sink, MeasurementReport};
 use crate::stats::SharedStats;
 use crate::tunnel::Tunnel;
 use std::collections::BTreeMap;
 use tango_net::{IpCidr, PrefixTrie, SipKey};
+use tango_obs::Registry;
 use tango_sim::{Agent, Ctx, Packet, SimTime};
 use tango_topology::AsId;
 
@@ -98,6 +100,10 @@ pub struct SwitchConfig {
     /// convention but may differ in name (LA's tunnel 3 is "Cogent",
     /// NY's is "Level3"). Used to pre-register the stats sink.
     pub rx_labels: Vec<(u16, String)>,
+    /// Optional metric registry: per-tunnel tx/rx/loss/reorder, encap
+    /// byte histogram, reject counters, published under
+    /// `dataplane.<id>.…` (see `tango-obs`). `None` disables.
+    pub obs: Option<Registry>,
 }
 
 /// The Tango switch agent.
@@ -128,6 +134,8 @@ pub struct TangoSwitch {
     /// tick). Kept in *this* switch's clock so the derived `silence_ns`
     /// never crosses clock domains.
     progress: BTreeMap<u16, (u64, u64)>,
+    /// Metric handles (`None` when the config carried no registry).
+    obs: Option<SwitchObs>,
 }
 
 impl TangoSwitch {
@@ -145,6 +153,16 @@ impl TangoSwitch {
         }
         let tunnels: BTreeMap<u16, Tunnel> =
             config.tunnels.into_iter().map(|t| (t.id, t)).collect();
+        let obs = config.obs.as_ref().map(|registry| {
+            // Pre-register both directions: our outgoing tunnels and the
+            // paths we receive on, so the export schema is complete even
+            // before any traffic flows.
+            let mut path_ids: Vec<u16> = tunnels.keys().copied().collect();
+            path_ids.extend(config.rx_labels.iter().map(|&(id, _)| id));
+            path_ids.sort_unstable();
+            path_ids.dedup();
+            SwitchObs::new(registry, config.id, &path_ids)
+        });
         {
             // The sink records *incoming* measurements, so its labels are
             // the peer's path names (rx_labels), not our outgoing ones.
@@ -162,6 +180,7 @@ impl TangoSwitch {
             class_map: config.class_map,
             peer_view: BTreeMap::new(),
             progress: BTreeMap::new(),
+            obs,
             tunnels,
             remote_hosts,
             seq: BTreeMap::new(),
@@ -256,6 +275,14 @@ impl TangoSwitch {
                 TxKind::App => sink.tx_encapsulated += 1,
                 TxKind::Report => sink.reports_sent += 1,
             }
+        }
+        if let Some(obs) = &mut self.obs {
+            obs.on_tx(
+                path,
+                matches!(kind, TxKind::Probe),
+                matches!(kind, TxKind::Report),
+                pkt.len(),
+            );
         }
         self.transmit_wan(ctx, pkt);
     }
@@ -381,12 +408,14 @@ impl Agent for TangoSwitch {
                     let owd = rx_local as i64 - d.tango.timestamp_ns as i64;
                     // Reports and probes are infrastructure, not app data.
                     let infra = d.tango.flags.is_probe() || d.tango.flags.is_report();
-                    self.my_stats.lock().path_mut(d.tango.path_id).record_owd(
-                        rx_local,
-                        owd as f64,
-                        d.tango.sequence,
-                        infra,
-                    );
+                    {
+                        let mut sink = self.my_stats.lock();
+                        let path = sink.path_mut(d.tango.path_id);
+                        path.record_owd(rx_local, owd as f64, d.tango.sequence, infra);
+                        if let Some(obs) = &mut self.obs {
+                            obs.on_rx(d.tango.path_id, path);
+                        }
+                    }
                     if d.tango.flags.is_report() {
                         // pkt is now the stripped inner = the encoded report.
                         match MeasurementReport::decode(pkt.bytes()) {
@@ -404,14 +433,23 @@ impl Agent for TangoSwitch {
                 }
                 Err(CodecError::Auth) => {
                     self.my_stats.lock().auth_rejects += 1;
+                    if let Some(obs) = &self.obs {
+                        obs.on_auth_reject();
+                    }
                 }
                 Err(_) => {
                     self.my_stats.lock().record_reject(None);
+                    if let Some(obs) = &self.obs {
+                        obs.on_reject();
+                    }
                 }
             }
         } else {
             // Plain (un-tunneled) packet for our hosts.
             self.my_stats.lock().plain_rx += 1;
+            if let Some(obs) = &self.obs {
+                obs.on_plain_rx();
+            }
         }
         // Every network-side arrival ends its life here: recycle the
         // buffer for the next allocation.

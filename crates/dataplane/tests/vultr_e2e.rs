@@ -119,6 +119,7 @@ fn build(seed: u64, ny_clock_offset_ns: i64) -> Setup {
             auth_key: None,
             class_map: Default::default(),
             rx_labels: Vec::new(),
+            obs: None,
         },
         Arc::clone(&la_stats),
         Arc::clone(&ny_stats),
@@ -137,6 +138,7 @@ fn build(seed: u64, ny_clock_offset_ns: i64) -> Setup {
             auth_key: None,
             class_map: Default::default(),
             rx_labels: Vec::new(),
+            obs: None,
         },
         Arc::clone(&ny_stats),
         Arc::clone(&la_stats),
@@ -347,6 +349,7 @@ fn corrupted_tunnel_packets_are_rejected_not_measured() {
             auth_key: Some(tango_net::SipKey::from_words(0x7461, 0x6e67)),
             class_map: Default::default(),
             rx_labels: Vec::new(),
+            obs: None,
         },
         Arc::clone(&la_stats),
         Arc::clone(&ny_stats),
@@ -366,6 +369,7 @@ fn corrupted_tunnel_packets_are_rejected_not_measured() {
             auth_key: Some(tango_net::SipKey::from_words(0x7461, 0x6e67)),
             class_map: Default::default(),
             rx_labels: Vec::new(),
+            obs: None,
         },
         Arc::clone(&ny_stats),
         Arc::clone(&la_stats),

@@ -17,6 +17,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "bgp",
     "topology",
     "core",
+    "obs",
 ];
 
 /// Crates allowed to read the wall clock (the bench harness times real

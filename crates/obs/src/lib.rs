@@ -1,0 +1,118 @@
+//! # tango-obs — deterministic observability for the Tango stack
+//!
+//! A zero-dependency metrics and span-profiling subsystem built for a
+//! *deterministic* simulator: every number it produces is a pure
+//! function of the simulation inputs, never of the host machine.
+//!
+//! * [`Registry`] — a shareable handle to a named set of [`Counter`]s,
+//!   [`Gauge`]s, and fixed-bucket [`Histogram`]s. Handles are cheap
+//!   clones (an `Arc` around atomics); the hot path touches no lock and
+//!   allocates nothing.
+//! * [`Span`] — a scope timer driven by the **sim's virtual clock**: the
+//!   caller supplies the start and end instants (node-local or global
+//!   simulated nanoseconds). Wall clocks are banned repo-wide by
+//!   `tango-lint`; this crate never reads one.
+//! * [`Snapshot`] — a point-in-time export of a registry with **sorted
+//!   keys** and integer-only values, rendering to byte-stable JSON
+//!   ([`Snapshot::to_json`]) so artifacts diff bit-for-bit across runs
+//!   and worker counts. [`Snapshot::parse`] reads the same format back.
+//!
+//! ## Determinism rules
+//!
+//! 1. All values are `u64`. No floats anywhere — float formatting and
+//!    accumulation order are both portability hazards.
+//! 2. Histograms use fixed power-of-two bucket boundaries covering the
+//!    whole `u64` range (see [`bucket_index`]); recording never casts
+//!    lossily and never loses a sample.
+//! 3. Export iterates `BTreeMap`s, so key order is total and stable.
+//! 4. Time comes from the caller (the sim's virtual clock), never from
+//!    `Instant`/`SystemTime`.
+//!
+//! ## Feature gate
+//!
+//! With the `enabled` feature (default) metrics are live. Without it
+//! every type is a zero-sized no-op and [`Registry::snapshot`] returns
+//! an empty snapshot — instrumented code compiles unchanged and the hot
+//! path carries no atomics. Downstream crates expose this as their own
+//! `obs` feature (`obs = ["tango-obs/enabled"]`, on by default).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(feature = "enabled")]
+mod metrics;
+#[cfg(feature = "enabled")]
+mod registry;
+
+#[cfg(not(feature = "enabled"))]
+mod noop;
+
+pub mod snapshot;
+
+#[cfg(feature = "enabled")]
+pub use metrics::{Counter, Gauge, Histogram, Span};
+#[cfg(feature = "enabled")]
+pub use registry::Registry;
+
+#[cfg(not(feature = "enabled"))]
+pub use noop::{Counter, Gauge, Histogram, Registry, Span};
+
+pub use snapshot::{HistSnapshot, Snapshot, Value};
+
+/// Number of histogram buckets: bucket 0 holds the value 0, bucket `i`
+/// (1 ..= 64) holds values `v` with `2^(i-1) <= v < 2^i`; bucket 64's
+/// upper edge is `u64::MAX`. Together they cover every `u64` exactly
+/// once, with no casts.
+pub const HIST_BUCKETS: usize = 65;
+
+/// The bucket a value falls into (see [`HIST_BUCKETS`]).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    // 64 - leading_zeros is the bit length: 0 for 0, 64 for 2^63..=MAX.
+    (64 - value.leading_zeros()) as usize
+}
+
+/// The inclusive `[lo, hi]` range of values bucket `index` covers.
+/// Panics if `index >= HIST_BUCKETS` (a caller bug, not a data path).
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < HIST_BUCKETS, "bucket index out of range");
+    match index {
+        0 => (0, 0),
+        64 => (1u64 << 63, u64::MAX),
+        i => {
+            let lo = 1u64 << (i - 1);
+            (lo, (lo << 1) - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1u64 << 63), 64);
+        assert_eq!(bucket_index((1u64 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_domain() {
+        let (lo, hi) = bucket_bounds(0);
+        assert_eq!((lo, hi), (0, 0));
+        let mut expected_lo = 1u64;
+        for i in 1..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "bucket {i} starts where {} ended", i - 1);
+            assert!(hi >= lo);
+            expected_lo = hi.wrapping_add(1);
+        }
+        assert_eq!(expected_lo, 0, "last bucket ends at u64::MAX");
+    }
+}

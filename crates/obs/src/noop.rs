@@ -1,0 +1,101 @@
+//! Zero-sized no-op mirrors of every handle type, compiled when the
+//! `enabled` feature is off. Instrumented call sites build and run
+//! unchanged; the optimiser deletes them entirely (every method is an
+//! empty `#[inline]` body over a ZST), so the hot path carries no
+//! atomics and no branches.
+
+use crate::snapshot::Snapshot;
+
+/// No-op counter (see the live version under the `enabled` feature).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// Does nothing.
+    #[inline]
+    pub fn inc(&self) {}
+    /// Does nothing.
+    #[inline]
+    pub fn add(&self, _n: u64) {}
+    /// Always 0.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op gauge.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gauge;
+
+impl Gauge {
+    /// Does nothing.
+    #[inline]
+    pub fn set(&self, _v: u64) {}
+    /// Does nothing.
+    #[inline]
+    pub fn record_max(&self, _v: u64) {}
+    /// Always 0.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op histogram.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// Does nothing.
+    #[inline]
+    pub fn record(&self, _value: u64) {}
+    /// Always 0.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        0
+    }
+    /// Returns a no-op span.
+    #[inline]
+    pub fn span(&self, _start_ns: u64) -> Span {
+        Span
+    }
+}
+
+/// No-op span.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a span records nothing until `end(now_ns)` is called"]
+pub struct Span;
+
+impl Span {
+    /// Does nothing.
+    #[inline]
+    pub fn end(self, _end_ns: u64) {}
+}
+
+/// No-op registry: hands out ZST handles and snapshots to empty.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Registry;
+
+impl Registry {
+    /// Create a (stateless) registry.
+    pub fn new() -> Self {
+        Registry
+    }
+    /// Returns a no-op counter.
+    pub fn counter(&self, _name: &str) -> Counter {
+        Counter
+    }
+    /// Returns a no-op gauge.
+    pub fn gauge(&self, _name: &str) -> Gauge {
+        Gauge
+    }
+    /// Returns a no-op histogram.
+    pub fn histogram(&self, _name: &str) -> Histogram {
+        Histogram
+    }
+    /// Always empty.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::default()
+    }
+}

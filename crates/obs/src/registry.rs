@@ -1,0 +1,140 @@
+//! The metric registry: name → handle maps behind a registration-time
+//! mutex. Handles are registered once (usually at component setup) and
+//! then used lock-free; `snapshot()` walks the maps in `BTreeMap` order
+//! so export is deterministic by construction.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::snapshot::Snapshot;
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// A shareable set of named metrics. Cloning is cheap (one `Arc`);
+/// clones all view the same metrics.
+///
+/// Registration (`counter`/`gauge`/`histogram`) takes a short mutex and
+/// is idempotent: asking for an existing name returns a handle to the
+/// same metric. Keep registration out of per-packet paths — grab
+/// handles once at setup and clone them into the hot loop.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+/// A poisoned registry mutex means a panic mid-registration; the map
+/// itself is still a valid BTreeMap, so recover the guard rather than
+/// cascading panics through instrumentation code.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = lock(&self.inner.counters);
+        match map.get(name) {
+            Some(c) => c.clone(),
+            None => {
+                let c = Counter::default();
+                map.insert(name.to_string(), c.clone());
+                c
+            }
+        }
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = lock(&self.inner.gauges);
+        match map.get(name) {
+            Some(g) => g.clone(),
+            None => {
+                let g = Gauge::default();
+                map.insert(name.to_string(), g.clone());
+                g
+            }
+        }
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = lock(&self.inner.histograms);
+        match map.get(name) {
+            Some(h) => h.clone(),
+            None => {
+                let h = Histogram::default();
+                map.insert(name.to_string(), h.clone());
+                h
+            }
+        }
+    }
+
+    /// Export every registered metric. Keys come out in sorted order
+    /// (the maps are `BTreeMap`s), so two registries holding the same
+    /// values snapshot to identical structures regardless of
+    /// registration order.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = lock(&self.inner.counters)
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect();
+        let gauges = lock(&self.inner.gauges)
+            .iter()
+            .map(|(k, g)| (k.clone(), g.get()))
+            .collect();
+        let histograms = lock(&self.inner.histograms)
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snap()))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let reg = Registry::new();
+        let a = reg.counter("pkts");
+        let b = reg.counter("pkts");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("pkts").get(), 3);
+
+        let clone = reg.clone();
+        clone.counter("pkts").inc();
+        assert_eq!(a.get(), 4);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = Registry::new();
+        reg.counter("z.last").add(1);
+        reg.counter("a.first").add(2);
+        reg.gauge("depth").set(5);
+        reg.histogram("lat").record(100);
+
+        let snap = reg.snapshot();
+        let keys: Vec<&str> = snap.counters.keys().map(String::as_str).collect();
+        assert_eq!(keys, ["a.first", "z.last"]);
+        assert_eq!(snap.gauges["depth"], 5);
+        assert_eq!(snap.histograms["lat"].count, 1);
+    }
+}

@@ -29,6 +29,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::net::IpAddr;
 use tango_net::{Ipv4Packet, Ipv6Packet, PrefixTrie};
+use tango_obs::{Counter, Gauge, Histogram, Registry};
 use tango_topology::{AsId, DirectionProfile, EventKind as TopoEventKind, LinkEvent, Topology};
 
 /// Sentinel node index for events scheduled against an id that is not in
@@ -353,6 +354,10 @@ pub struct SimConfig {
     pub trace_capacity: usize,
     /// Optional global fault injection on every link.
     pub fault: Option<FaultInjector>,
+    /// Optional metric registry to publish telemetry into (event
+    /// counts, queue depths, per-link busy time; see `tango-obs`).
+    /// `None` keeps the event loop entirely instrumentation-free.
+    pub obs: Option<Registry>,
 }
 
 impl Default for SimConfig {
@@ -361,6 +366,90 @@ impl Default for SimConfig {
             seed: 1,
             trace_capacity: 0,
             fault: None,
+            obs: None,
+        }
+    }
+}
+
+/// Pre-registered metric handles for the simulator's own telemetry.
+/// Built once at construction; the event loop tracks plain `u64` locals
+/// and flushes them here at the end of each [`NetworkSim::run_until`],
+/// so instrumentation adds no atomics to the per-event path.
+#[derive(Debug)]
+struct SimObs {
+    ev_deliver: Counter,
+    ev_host_inject: Counter,
+    ev_timer: Counter,
+    heap_max: Gauge,
+    staged_max: Gauge,
+    pool_buffers: Gauge,
+    run_until_ns: Histogram,
+    /// Dense link id → cumulative wire-busy-time gauge.
+    link_busy: Vec<Gauge>,
+    link_busy_total: Gauge,
+    stats: [Gauge; 11],
+}
+
+impl SimObs {
+    fn new(registry: &Registry, nodes: &NodeTable, links: &LinkTable) -> Self {
+        // Recover (from, to) per dense link id from the adjacency index
+        // so the gauge names carry the directed hop's AS numbers.
+        let mut named: Vec<(u32, String)> = Vec::with_capacity(links.profiles.len());
+        for (from_idx, list) in links.adj.iter().enumerate() {
+            let from = nodes.id(from_idx as u32);
+            for &(to_idx, link_id) in list {
+                let to = nodes.id(to_idx);
+                named.push((link_id, format!("sim.link.busy_ns.{}-{}", from.0, to.0)));
+            }
+        }
+        named.sort_unstable_by_key(|&(id, _)| id);
+        SimObs {
+            ev_deliver: registry.counter("sim.events.deliver"),
+            ev_host_inject: registry.counter("sim.events.host_inject"),
+            ev_timer: registry.counter("sim.events.timer"),
+            heap_max: registry.gauge("sim.queue.heap_max"),
+            staged_max: registry.gauge("sim.queue.staged_max"),
+            pool_buffers: registry.gauge("sim.pool.buffers"),
+            run_until_ns: registry.histogram("sim.span.run_until_ns"),
+            link_busy: named
+                .into_iter()
+                .map(|(_, name)| registry.gauge(&name))
+                .collect(),
+            link_busy_total: registry.gauge("sim.link.busy_ns.total"),
+            stats: [
+                registry.gauge("sim.stats.transmissions"),
+                registry.gauge("sim.stats.deliveries"),
+                registry.gauge("sim.stats.lost_link"),
+                registry.gauge("sim.stats.lost_outage"),
+                registry.gauge("sim.stats.lost_fault"),
+                registry.gauge("sim.stats.corrupted"),
+                registry.gauge("sim.stats.no_link"),
+                registry.gauge("sim.stats.lost_queue"),
+                registry.gauge("sim.stats.no_route"),
+                registry.gauge("sim.stats.ttl_expired"),
+                registry.gauge("sim.stats.timers"),
+            ],
+        }
+    }
+
+    /// Mirror the authoritative [`SimStats`] counters into gauges (they
+    /// are cumulative totals, so `set` is the right verb).
+    fn publish_stats(&self, s: &SimStats) {
+        let fields = [
+            s.transmissions,
+            s.deliveries,
+            s.lost_link,
+            s.lost_outage,
+            s.lost_fault,
+            s.corrupted,
+            s.no_link,
+            s.lost_queue,
+            s.no_route,
+            s.ttl_expired,
+            s.timers,
+        ];
+        for (gauge, v) in self.stats.iter().zip(fields) {
+            gauge.set(v);
         }
     }
 }
@@ -476,6 +565,9 @@ pub struct Ctx<'a> {
     /// links, indexed by dense link id: packets serialize behind the
     /// previous departure.
     link_busy: &'a mut [u64],
+    /// Per-directed-link cumulative wire-occupancy time (ns), published
+    /// as telemetry gauges at the end of each `run_until`.
+    busy_accum: &'a mut [u64],
     pool: &'a mut BufferPool,
 }
 
@@ -598,6 +690,9 @@ impl<'a> Ctx<'a> {
             }
             *busy = start + tx;
             queue_delay = wait + tx;
+            if let Some(acc) = self.busy_accum.get_mut(link_id as usize) {
+                *acc = acc.saturating_add(tx);
+            }
         }
         let hash = flow_hash(pkt.bytes());
         let delay = profile.sample_delay(self.rng, hash, shift) + queue_delay;
@@ -671,8 +766,10 @@ pub struct NetworkSim {
     stats: SimStats,
     tracer: Tracer,
     link_busy: Vec<u64>,
+    busy_accum: Vec<u64>,
     pool: BufferPool,
     out_scratch: Vec<QueuedEvent>,
+    obs: Option<SimObs>,
 }
 
 impl NetworkSim {
@@ -682,6 +779,7 @@ impl NetworkSim {
         let links = LinkTable::build(&topology, &nodes);
         let n = nodes.len();
         let n_links = links.profiles.len();
+        let obs = config.obs.as_ref().map(|r| SimObs::new(r, &nodes, &links));
         NetworkSim {
             topology,
             nodes,
@@ -697,8 +795,10 @@ impl NetworkSim {
             stats: SimStats::default(),
             tracer: Tracer::new(config.trace_capacity),
             link_busy: vec![0; n_links],
+            busy_accum: vec![0; n_links],
             pool: BufferPool::default(),
             out_scratch: Vec::new(),
+            obs,
         }
     }
 
@@ -792,6 +892,12 @@ impl NetworkSim {
     /// Returns the number of events processed.
     pub fn run_until(&mut self, until: SimTime) -> u64 {
         let mut processed = 0;
+        // Telemetry is tracked in locals and flushed once at the end, so
+        // the per-event cost is a handful of register ops whether or not
+        // a registry is attached.
+        let span_start = self.now.as_ns();
+        let (mut n_deliver, mut n_host, mut n_timer) = (0u64, 0u64, 0u64);
+        let (mut heap_max, mut staged_max) = (0usize, 0usize);
         loop {
             // The next event is the smaller of the heap head and the
             // staged front — the same total (time, seq) order a single
@@ -813,6 +919,8 @@ impl NetworkSim {
             if time > until {
                 break;
             }
+            heap_max = heap_max.max(self.queue.len());
+            staged_max = staged_max.max(self.staged.len());
             // The peeks above guarantee the chosen queue is non-empty;
             // break (never panic) if that ever stops holding.
             let event = if take_staged {
@@ -828,12 +936,34 @@ impl NetworkSim {
             };
             debug_assert!(event.time >= self.now, "time must be monotonic");
             self.now = event.time;
+            match &event.kind {
+                EventKind::Deliver { .. } => n_deliver += 1,
+                EventKind::HostInject { .. } => n_host += 1,
+                EventKind::Timer { .. } => n_timer += 1,
+            }
             self.dispatch(event.kind);
             processed += 1;
         }
         // Advance the clock to the horizon even if the queue went quiet.
         if self.now < until {
             self.now = until;
+        }
+        if let Some(obs) = &self.obs {
+            obs.ev_deliver.add(n_deliver);
+            obs.ev_host_inject.add(n_host);
+            obs.ev_timer.add(n_timer);
+            obs.heap_max.record_max(heap_max as u64);
+            obs.staged_max.record_max(staged_max as u64);
+            obs.pool_buffers.set(self.pool.len() as u64);
+            obs.run_until_ns
+                .record(self.now.as_ns().saturating_sub(span_start));
+            let mut total = 0u64;
+            for (gauge, &ns) in obs.link_busy.iter().zip(&self.busy_accum) {
+                gauge.set(ns);
+                total = total.saturating_add(ns);
+            }
+            obs.link_busy_total.set(total);
+            obs.publish_stats(&self.stats);
         }
         processed
     }
@@ -884,6 +1014,7 @@ impl NetworkSim {
                 out: &mut self.out_scratch,
                 seq: &mut self.seq,
                 link_busy: &mut self.link_busy,
+                busy_accum: &mut self.busy_accum,
                 pool: &mut self.pool,
             };
             match kind {
@@ -1535,6 +1666,116 @@ mod tests {
         sim.schedule_host_packet(SimTime::ZERO, AsId(1), ipv6_packet("2001:db8:99::1", 64));
         sim.run_until(SimTime::from_secs(1));
         assert!(sim.pooled_buffers() > 0);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn obs_registry_mirrors_sim_counters() {
+        let reg = Registry::new();
+        let mut sim = NetworkSim::new(
+            line(),
+            SimConfig {
+                obs: Some(reg.clone()),
+                ..Default::default()
+            },
+        );
+        sim.set_agent(
+            AsId(1),
+            Box::new(RouterAgent::new(
+                AsId(1),
+                router_table(&[("2001:db8:3::/48", 2)]),
+            )),
+        );
+        sim.set_agent(
+            AsId(2),
+            Box::new(RouterAgent::new(
+                AsId(2),
+                router_table(&[("2001:db8:3::/48", 3)]),
+            )),
+        );
+        sim.set_agent(
+            AsId(3),
+            Box::new(RouterAgent::new(AsId(3), PrefixTrie::new())),
+        );
+        for i in 0..10 {
+            sim.schedule_host_packet(
+                SimTime::from_ms(i),
+                AsId(1),
+                ipv6_packet("2001:db8:3::1", 64),
+            );
+        }
+        sim.run_until(SimTime::from_secs(1));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["sim.events.host_inject"], 10);
+        assert_eq!(
+            snap.counters["sim.events.deliver"],
+            sim.stats().deliveries,
+            "per-kind event counter tracks the authoritative stat"
+        );
+        assert_eq!(
+            snap.gauges["sim.stats.transmissions"],
+            sim.stats().transmissions
+        );
+        assert_eq!(snap.gauges["sim.stats.no_route"], sim.stats().no_route);
+        assert_eq!(snap.histograms["sim.span.run_until_ns"].count, 1);
+        // The line topology has no capacity-limited links: busy time is
+        // published (per hop and total) and reads zero.
+        assert_eq!(snap.gauges["sim.link.busy_ns.total"], 0);
+        assert!(snap.gauges.contains_key("sim.link.busy_ns.1-2"));
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn obs_link_busy_accumulates_on_capacity_links() {
+        // 100 Mbit/s: a 1250 B packet occupies the wire for 100 µs.
+        let mut t = Topology::new();
+        for id in 1..=2u32 {
+            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}")))
+                .unwrap();
+        }
+        t.add_peering(
+            AsId(1),
+            AsId(2),
+            LinkProfile::symmetric(
+                DirectionProfile::constant(1_000_000).with_capacity(100_000_000, u64::MAX),
+            ),
+        )
+        .unwrap();
+        let reg = Registry::new();
+        let mut sim = NetworkSim::new(
+            t,
+            SimConfig {
+                obs: Some(reg.clone()),
+                ..Default::default()
+            },
+        );
+        sim.set_agent(
+            AsId(1),
+            Box::new(RouterAgent::new(AsId(1), router_table(&[("::/0", 2)]))),
+        );
+        sim.set_agent(
+            AsId(2),
+            Box::new(RouterAgent::new(AsId(2), PrefixTrie::new())),
+        );
+        let repr = Ipv6Repr {
+            src_addr: "2001:db8:aaaa::1".parse().unwrap(),
+            dst_addr: "2001:db8:3::1".parse().unwrap(),
+            next_header: 17,
+            payload_len: 1210,
+            hop_limit: 64,
+            traffic_class: 0,
+            flow_label: 0,
+        };
+        let mut pkt = vec![0u8; repr.total_len()];
+        let mut view = Ipv6Packet::new_unchecked(&mut pkt[..]);
+        repr.emit(&mut view).unwrap();
+        for _ in 0..3 {
+            sim.schedule_host_packet(SimTime::ZERO, AsId(1), Packet::new(pkt.clone()));
+        }
+        sim.run_until(SimTime::from_secs(1));
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauges["sim.link.busy_ns.1-2"], 300_000);
+        assert_eq!(snap.gauges["sim.link.busy_ns.total"], 300_000);
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Golden-trace regression suite: the telemetry artifact is pinned
+//! byte-for-byte.
+//!
+//! `experiments telemetry` promises a canonical export — sorted keys,
+//! integers only, virtual time only — so the right regression test is
+//! the strongest one: a byte-level diff against a checked-in snapshot
+//! per golden seed. Any behaviour change that moves a counter (an event
+//! reordered, a probe skipped, a health transition shifted by one
+//! control tick) fails loudly here with the exact metric lines that
+//! moved.
+//!
+//! When a change is *intentional*, refresh the snapshots and review the
+//! diff like code:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_trace
+//! git diff tests/golden/
+//! ```
+
+use tango_bench::telemetry;
+
+/// The seeds with checked-in snapshots (keep in sync with the files
+/// under `tests/golden/`).
+const GOLDEN_SEEDS: [u64; 2] = [1, 7];
+
+fn golden_path(seed: u64) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(format!("TELEMETRY_{}_seed{seed}.json", telemetry::SCENARIO))
+}
+
+fn check_seed(seed: u64) {
+    let actual = telemetry::collect_seed(seed).to_json();
+    let path = golden_path(seed);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create tests/golden");
+        std::fs::write(&path, &actual).expect("write golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             UPDATE_GOLDEN=1 cargo test --test golden_trace",
+            path.display()
+        )
+    });
+    if actual != expected {
+        // Byte-equality is the contract; on failure, report the first
+        // diverging lines so the moved metrics are readable in CI logs.
+        let mismatches: Vec<String> = expected
+            .lines()
+            .zip(actual.lines())
+            .enumerate()
+            .filter(|(_, (e, a))| e != a)
+            .take(10)
+            .map(|(i, (e, a))| format!("  line {}: golden `{e}` vs actual `{a}`", i + 1))
+            .collect();
+        panic!(
+            "telemetry for seed {seed} drifted from {} \
+             ({} vs {} lines):\n{}\n(refresh intentionally with \
+             UPDATE_GOLDEN=1 cargo test --test golden_trace)",
+            path.display(),
+            expected.lines().count(),
+            actual.lines().count(),
+            mismatches.join("\n")
+        );
+    }
+}
+
+#[test]
+fn golden_seed_1_matches_byte_for_byte() {
+    check_seed(GOLDEN_SEEDS[0]);
+}
+
+#[test]
+fn golden_seed_7_matches_byte_for_byte() {
+    check_seed(GOLDEN_SEEDS[1]);
+}
+
+/// The golden files themselves must be canonical: parsing and
+/// re-serializing a snapshot is the identity on bytes.
+#[test]
+fn golden_files_are_canonical_json() {
+    for seed in GOLDEN_SEEDS {
+        let path = golden_path(seed);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue; // first run before UPDATE_GOLDEN seeds the files
+        };
+        let parsed = tango_obs::Snapshot::parse(&text)
+            .unwrap_or_else(|e| panic!("golden {} unparsable: {e}", path.display()));
+        assert_eq!(
+            parsed.to_json(),
+            text,
+            "golden {} is not in canonical form",
+            path.display()
+        );
+    }
+}
