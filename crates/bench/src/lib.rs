@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod chaos;
 pub mod failover;
 pub mod fig3;
 pub mod fig4;

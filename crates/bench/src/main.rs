@@ -6,9 +6,12 @@
 //! ```
 
 use tango::prelude::SimTime;
+use tango_bench::chaos::ChaosOptions;
 use tango_bench::telemetry::TelemetryOptions;
 use tango_bench::throughput::ThroughputOptions;
-use tango_bench::{ablations, failover, fig3, fig4, headline, jitter, telemetry, throughput};
+use tango_bench::{
+    ablations, chaos, failover, fig3, fig4, headline, jitter, telemetry, throughput,
+};
 
 const USAGE: &str = "\
 experiments — regenerate the paper's figures and tables (see EXPERIMENTS.md)
@@ -36,6 +39,12 @@ COMMANDS
                         metric tree through a scripted blackhole →
                         results/TELEMETRY_vultr-blackhole.json (byte-identical
                         across runs and --workers settings)
+  chaos                 A9/A10: seeded chaos storms (Byzantine + honest
+                        faults, defenses on, invariant-checked) and the
+                        spoofed-telemetry auth ablation →
+                        results/CHAOS_storms.json + CHAOS_byzantine.json
+                        (byte-identical across runs and --workers); exits
+                        nonzero on any invariant violation or missing A9 gap
   all                   run everything (with default durations)
 
 OPTIONS
@@ -55,6 +64,12 @@ TELEMETRY OPTIONS
   --seeds <list>  comma-separated seeds (default 1,7 — the golden seeds)
   --workers <W>   worker threads (default: machine parallelism; the
                   artifact's bytes are identical either way)
+
+CHAOS OPTIONS
+  --seeds <list>  comma-separated storm seeds (default 1,2,3,4,5,6 —
+                  the six storms CI gates on)
+  --workers <W>   worker threads (default: machine parallelism; the
+                  artifacts' bytes are identical either way)
 ";
 
 struct Args {
@@ -166,6 +181,38 @@ fn parse_telemetry_args(rest: &[String]) -> Result<TelemetryOptions, String> {
     Ok(options)
 }
 
+fn parse_chaos_args(rest: &[String]) -> Result<ChaosOptions, String> {
+    let mut options = ChaosOptions::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut take = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => {
+                options.seeds = take()?
+                    .split(',')
+                    .map(|s| s.trim().parse::<u64>().map_err(|e| format!("--seeds: {e}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if options.seeds.is_empty() {
+                    return Err("--seeds must name at least one seed".into());
+                }
+            }
+            "--workers" => {
+                let w: usize = take()?.parse().map_err(|e| format!("--workers: {e}"))?;
+                if w == 0 {
+                    return Err("--workers must be positive".into());
+                }
+                options.workers = Some(w);
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(options)
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first() else {
@@ -185,6 +232,16 @@ fn main() {
     if command == "telemetry" {
         match parse_telemetry_args(&argv[1..]) {
             Ok(options) => std::process::exit(telemetry::report(&options)),
+            Err(e) => {
+                eprintln!("error: {e}\n");
+                eprint!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if command == "chaos" {
+        match parse_chaos_args(&argv[1..]) {
+            Ok(options) => std::process::exit(chaos::report(&options)),
             Err(e) => {
                 eprintln!("error: {e}\n");
                 eprint!("{USAGE}");
@@ -249,6 +306,8 @@ fn main() {
             ablations::report_loss_table(args.seed);
             hr("A8 — blackhole failover");
             failover::report(args.seed);
+            hr("A9/A10 — chaos storms & Byzantine telemetry");
+            chaos::report(&ChaosOptions::default());
         }
         "--help" | "-h" | "help" => print!("{USAGE}"),
         other => {

@@ -371,6 +371,9 @@ pub struct HealthGated {
     name: String,
     /// The tunnel to fall back to when everything is down.
     fallback: u16,
+    /// Monitor-only: health machines advance and the timeline records
+    /// transitions, but the inner decision passes through unfiltered.
+    monitor_only: bool,
     obs: Option<HealthObs>,
 }
 
@@ -385,6 +388,7 @@ impl HealthGated {
             timeline: Arc::new(Mutex::new(Vec::new())),
             name,
             fallback: 0,
+            monitor_only: false,
             obs: None,
         }
     }
@@ -400,6 +404,20 @@ impl HealthGated {
     /// time-in-state histograms; free when the `obs` feature is off.
     pub fn with_obs(mut self, registry: &Registry, scope: &str) -> Self {
         self.obs = Some(HealthObs::new(registry, scope));
+        self
+    }
+
+    /// Disable enforcement: health machines still run and the timeline
+    /// still records transitions, but the inner policy sees every path
+    /// and its decision is installed verbatim — even onto a dead path.
+    ///
+    /// This exists for exactly one purpose: *testing the invariant
+    /// checker*. A checker asserting "`HealthGated` never forwards onto
+    /// a known-dead path" is vacuous unless a deliberately broken
+    /// configuration can demonstrate the violation being caught. Do not
+    /// use in experiments measuring Tango itself.
+    pub fn monitor_only(mut self) -> Self {
+        self.monitor_only = true;
         self
     }
 
@@ -436,13 +454,16 @@ impl PathPolicy for HealthGated {
                 .or_insert_with(|| PathHealth::new(*id));
             h.observe(now_local_ns, snap, &self.cfg, &mut events);
         }
-        // 2. The inner policy only ever sees selectable paths.
+        // 2. The inner policy only ever sees selectable paths (all of
+        // them in monitor-only mode, where enforcement is disabled).
         let visible: BTreeMap<u16, PathSnapshot> = paths
             .iter()
-            .filter(|(id, _)| Self::selectable(self.state(**id)))
+            .filter(|(id, _)| self.monitor_only || Self::selectable(self.state(**id)))
             .map(|(id, s)| (*id, *s))
             .collect();
-        let decision = if visible.is_empty() {
+        let decision = if self.monitor_only {
+            self.inner.decide(now_local_ns, &visible)
+        } else if visible.is_empty() {
             // Everything is down: degrade to the BGP default rather than
             // steering into a known blackhole — and never panic.
             Selection::Single(self.fallback)
@@ -765,6 +786,31 @@ mod tests {
         dark.get_mut(&1).unwrap().silence_ns = Some(700);
         dark.get_mut(&0).unwrap().samples = 200;
         assert_eq!(g.decide(800, &dark), Selection::Single(0), "pin overridden");
+    }
+
+    #[test]
+    fn monitor_only_lets_broken_pin_through() {
+        // The invariant-checker fixture: with enforcement disabled the
+        // pinned policy forwards into the dead path — while the timeline
+        // still records the path going Down (the checker's evidence).
+        let mut g =
+            HealthGated::new(Box::new(StaticPolicy::single(1, "pin-1")), cfg()).monitor_only();
+        let timeline = g.timeline();
+        let m = paths(&[(0, 100, 0), (1, 100, 0)]);
+        assert_eq!(g.decide(100, &m), Selection::Single(1));
+        let mut dark = m.clone();
+        dark.get_mut(&1).unwrap().silence_ns = Some(700);
+        dark.get_mut(&0).unwrap().samples = 200;
+        assert_eq!(
+            g.decide(800, &dark),
+            Selection::Single(1),
+            "monitor-only must NOT scrub the dead pin"
+        );
+        assert_eq!(g.state(1), HealthState::Down);
+        assert!(timeline
+            .lock()
+            .iter()
+            .any(|t| t.path == 1 && t.to == HealthState::Down));
     }
 
     #[test]

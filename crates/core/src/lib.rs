@@ -42,14 +42,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod invariant;
 pub mod pairing;
 pub mod vultr;
 
+pub use chaos::{
+    run_byzantine_ablation, run_chaos, run_chaos_with_obs, AblationOutcome, ChaosOutcome,
+    ChaosRunOptions,
+};
+pub use invariant::{check, check_pairing, InvariantReport, SideEvidence, Violation};
 pub use pairing::{PairingError, PairingOptions, Side, TangoPairing};
 pub use vultr::{vultr_pairing, vultr_pairing_with_events};
 
 /// The convenient imports for examples and experiments.
 pub mod prelude {
+    pub use crate::chaos::{
+        run_byzantine_ablation, run_chaos, run_chaos_with_obs, AblationOutcome, ChaosOutcome,
+        ChaosRunOptions,
+    };
+    pub use crate::invariant::{check_pairing, InvariantReport, SideEvidence};
     pub use crate::pairing::{PairingError, PairingOptions, Side, TangoPairing};
     pub use crate::vultr::{vultr_pairing, vultr_pairing_with_events};
     pub use tango_control::{

@@ -14,7 +14,10 @@ use tango_measure::TimeSeries;
 use tango_net::SipKey;
 use tango_net::{Ipv6Packet, Ipv6Repr};
 use tango_obs::Registry;
-use tango_sim::{FaultInjector, NetworkSim, NodeClock, Packet, RouterAgent, SimConfig, SimTime};
+use tango_sim::{
+    shared_adversary_stats, AdversaryAgent, AdversaryBehavior, Agent, FaultInjector, NetworkSim,
+    NodeClock, Packet, RouterAgent, SharedAdversaryStats, SimConfig, SimTime, TAG_ADV_SPOOF,
+};
 use tango_topology::{AsId, Topology, WideAreaEvent};
 
 /// Which edge of the pairing.
@@ -114,6 +117,12 @@ pub struct PairingOptions {
     pub health_a: Option<HealthConfig>,
     /// Same for side B's policy.
     pub health_b: Option<HealthConfig>,
+    /// Build the health gates in monitor-only mode: machines and
+    /// timelines run, but enforcement is off and the inner decision is
+    /// installed verbatim. Exists solely so the invariant checker's
+    /// self-test can demonstrate a caught violation; never enable in
+    /// experiments measuring Tango itself.
+    pub monitor_only_health: bool,
     /// Telemetry registry: when set, the simulator, both switches, the
     /// BGP engine, and any health gates export metrics into it
     /// (`sim.…`, `dataplane.<as>.…`, `bgp.…`, `health.<as>.…`). The same
@@ -140,27 +149,40 @@ impl Default for PairingOptions {
             wide_area_events: Vec::new(),
             health_a: None,
             health_b: None,
+            monitor_only_health: false,
             obs: None,
         }
     }
 }
 
-/// What a pending [`WideAreaEvent::SessionReset`] step does when its
-/// simulated time arrives.
+/// What a pending control-plane step does when its simulated time
+/// arrives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ResetStep {
-    /// Withdraw both sides' tunnel prefixes for the path.
+enum ControlStep {
+    /// SessionReset: withdraw both sides' tunnel prefixes for the path.
     Withdraw,
-    /// Re-announce them with their original pin communities.
+    /// SessionReset: re-announce them with their original pin
+    /// communities.
     Reannounce,
+    /// Sub-prefix hijack: `attacker` announces a /56 more-specific of
+    /// each tunnel endpoint on the path, attracting its traffic.
+    HijackStart {
+        /// The announcing (Byzantine) AS.
+        attacker: AsId,
+    },
+    /// The hijacker withdraws its more-specifics.
+    HijackEnd {
+        /// The announcing (Byzantine) AS.
+        attacker: AsId,
+    },
 }
 
 /// A scheduled control-plane action, executed by `run_until`.
 #[derive(Debug, Clone, Copy)]
-struct PendingReset {
+struct PendingControl {
     at: SimTime,
     path: u16,
-    step: ResetStep,
+    step: ControlStep,
 }
 
 /// A fully wired Tango deployment between two edges, ready to run.
@@ -183,8 +205,13 @@ pub struct TangoPairing {
     health_timeline_a: Option<HealthTimeline>,
     /// Same for side B.
     health_timeline_b: Option<HealthTimeline>,
-    /// Scheduled SessionReset steps, soonest first.
-    pending_resets: Vec<PendingReset>,
+    /// Scheduled control-plane steps (session resets, hijacks), soonest
+    /// first.
+    pending_controls: Vec<PendingControl>,
+    /// Byzantine nodes: behaviors + counter handles, so control-plane
+    /// re-convergence reinstalls the adversary wrapper instead of
+    /// silently reverting the node to an honest router.
+    adversaries: std::collections::BTreeMap<AsId, (Vec<AdversaryBehavior>, SharedAdversaryStats)>,
     /// The telemetry registry every layer exports into (if enabled).
     obs: Option<Registry>,
 }
@@ -232,7 +259,7 @@ impl TangoPairing {
             }
             hops
         };
-        let mut pending_resets = Vec::new();
+        let mut pending_controls = Vec::new();
         for ev in &options.wide_area_events {
             for link_ev in ev.lower(path_links) {
                 topology
@@ -245,19 +272,19 @@ impl TangoPairing {
                 hold_ns,
             } = *ev
             {
-                pending_resets.push(PendingReset {
+                pending_controls.push(PendingControl {
                     at: SimTime(at_ns),
                     path,
-                    step: ResetStep::Withdraw,
+                    step: ControlStep::Withdraw,
                 });
-                pending_resets.push(PendingReset {
+                pending_controls.push(PendingControl {
                     at: SimTime(at_ns.saturating_add(hold_ns)),
                     path,
-                    step: ResetStep::Reannounce,
+                    step: ControlStep::Reannounce,
                 });
             }
         }
-        pending_resets.sort_by_key(|r| r.at);
+        pending_controls.sort_by_key(|r| r.at);
 
         // Liveness gating: wrap the configured policies before they move
         // into the switches, keeping a handle on each timeline.
@@ -268,6 +295,9 @@ impl TangoPairing {
                 Box::new(StaticPolicy::single(0, "x")),
             );
             let mut gated = HealthGated::new(inner, cfg);
+            if options.monitor_only_health {
+                gated = gated.monitor_only();
+            }
             if let Some(registry) = &options.obs {
                 gated = gated.with_obs(registry, &side_a.tenant.0.to_string());
             }
@@ -281,6 +311,9 @@ impl TangoPairing {
                 Box::new(StaticPolicy::single(0, "x")),
             );
             let mut gated = HealthGated::new(inner, cfg);
+            if options.monitor_only_health {
+                gated = gated.monitor_only();
+            }
             if let Some(registry) = &options.obs {
                 gated = gated.with_obs(registry, &side_b.tenant.0.to_string());
             }
@@ -412,7 +445,8 @@ impl TangoPairing {
             side_b,
             health_timeline_a,
             health_timeline_b,
-            pending_resets,
+            pending_controls,
+            adversaries: std::collections::BTreeMap::new(),
             obs: options.obs,
         })
     }
@@ -425,66 +459,164 @@ impl TangoPairing {
         self.obs.as_ref()
     }
 
-    /// Advance simulated time, executing any scheduled
-    /// [`WideAreaEvent::SessionReset`] steps whose time falls inside the
-    /// window: the simulator runs up to the boundary, the prefixes are
-    /// withdrawn (or re-announced), BGP re-converges, and the routers'
+    /// Advance simulated time, executing any scheduled control-plane
+    /// steps ([`WideAreaEvent::SessionReset`] and hijacks) whose time
+    /// falls inside the window: the simulator runs up to the boundary,
+    /// the announcements change, BGP re-converges, and the routers'
     /// forwarding tables are reinstalled (the RIB→FIB push) before
     /// simulated time continues.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(next) = self.pending_resets.first().copied() {
+        while let Some(next) = self.pending_controls.first().copied() {
             if next.at > t {
                 break;
             }
             self.sim.run_until(next.at);
-            self.pending_resets.remove(0);
-            self.apply_reset(next.path, next.step);
+            self.pending_controls.remove(0);
+            self.apply_control(next.path, next.step);
         }
         self.sim.run_until(t);
     }
 
-    /// Execute one SessionReset step: withdraw (or re-announce with the
-    /// original pin communities) both sides' /48 tunnel prefixes for
-    /// `path`, re-converge, and reinstall every non-tenant router.
-    fn apply_reset(&mut self, path: u16, step: ResetStep) {
+    /// Install a Byzantine agent at `node`: the node keeps forwarding by
+    /// its converged BGP table, but misbehaves per `behaviors` (see
+    /// [`AdversaryBehavior`]). Returns the attacker's counter handle.
+    ///
+    /// Call before running past any behavior window. Control-plane
+    /// re-convergence (session resets, hijacks) re-wraps the node, which
+    /// resets any in-flight replay stash — windows spanning a reset lose
+    /// the captures made before it.
+    pub fn install_adversary(
+        &mut self,
+        node: AsId,
+        behaviors: Vec<AdversaryBehavior>,
+    ) -> Result<SharedAdversaryStats, PairingError> {
+        assert!(
+            node != self.side_a.tenant && node != self.side_b.tenant,
+            "adversaries are on-path transit nodes, not the tenants themselves"
+        );
+        let stats = shared_adversary_stats();
+        // Arm the spoof timer at the earliest spoof window (it keeps
+        // ticking until the window opens, then injects on its period).
+        let spoof_start = behaviors
+            .iter()
+            .filter_map(|b| match b {
+                AdversaryBehavior::SpoofPackets { window, .. } => Some(window.from),
+                _ => None,
+            })
+            .min();
+        self.adversaries
+            .insert(node, (behaviors, Arc::clone(&stats)));
+        self.reinstall_router(node)?;
+        if let Some(at) = spoof_start {
+            self.sim.schedule_timer_at(at, node, TAG_ADV_SPOOF);
+        }
+        Ok(stats)
+    }
+
+    /// The counter handle of an installed adversary (a snapshot copy).
+    pub fn adversary_stats(&self, node: AsId) -> Option<tango_sim::AdversaryStats> {
+        self.adversaries.get(&node).map(|(_, s)| *s.lock())
+    }
+
+    /// Schedule a sub-prefix hijack: at `at_ns`, `attacker` announces a
+    /// /56 more-specific of each tunnel endpoint on `path` (both
+    /// directions), stealing its traffic by longest-prefix match; the
+    /// announcements are withdrawn `duration_ns` later. Call before
+    /// `run_until` passes `at_ns`.
+    pub fn schedule_hijack(&mut self, attacker: AsId, path: u16, at_ns: u64, duration_ns: u64) {
+        self.pending_controls.push(PendingControl {
+            at: SimTime(at_ns),
+            path,
+            step: ControlStep::HijackStart { attacker },
+        });
+        self.pending_controls.push(PendingControl {
+            at: SimTime(at_ns.saturating_add(duration_ns)),
+            path,
+            step: ControlStep::HijackEnd { attacker },
+        });
+        self.pending_controls.sort_by_key(|r| r.at);
+    }
+
+    /// The /56 more-specifics a hijacker announces for `path` (one per
+    /// direction's tunnel endpoint).
+    fn hijack_prefixes(&self, path: u16) -> Vec<tango_net::IpCidr> {
         let p = usize::from(path);
-        // (origin, prefix endpoint, pin communities). Side A's tunnel p
-        // targets the prefix *B* announced (pinned for A→B traffic), and
-        // vice versa.
-        let mut targets = Vec::new();
-        if let (Some(tun), Some(disc)) = (
+        [
             self.provisioned.a_tunnels.get(p),
-            self.provisioned.paths_a_to_b.get(p),
-        ) {
-            targets.push((
-                self.side_b.tenant,
-                tun.remote_endpoint,
-                disc.pin_communities.clone(),
-            ));
-        }
-        if let (Some(tun), Some(disc)) = (
             self.provisioned.b_tunnels.get(p),
-            self.provisioned.paths_b_to_a.get(p),
-        ) {
-            targets.push((
-                self.side_a.tenant,
-                tun.remote_endpoint,
-                disc.pin_communities.clone(),
-            ));
-        }
-        for (origin, endpoint, comms) in targets {
-            let prefix = tango_net::IpCidr::V6(
-                tango_net::Ipv6Cidr::new(endpoint, 48).expect("tunnel endpoints are /48-aligned"),
-            );
-            let applied = match step {
-                ResetStep::Withdraw => self.bgp.withdraw(origin, prefix).map(|_| ()),
-                ResetStep::Reannounce => self.bgp.announce(origin, prefix, comms),
-            };
-            applied.expect("session-reset origin exists");
+        ]
+        .iter()
+        .flatten()
+        .map(|tun| {
+            tango_net::IpCidr::V6(
+                tango_net::Ipv6Cidr::new(tun.remote_endpoint, 56)
+                    .expect("/56 of a tunnel endpoint"),
+            )
+        })
+        .collect()
+    }
+
+    /// Execute one control-plane step (session-reset withdraw or
+    /// re-announce, hijack start or end), re-converge, and reinstall
+    /// every non-tenant router.
+    fn apply_control(&mut self, path: u16, step: ControlStep) {
+        match step {
+            ControlStep::Withdraw | ControlStep::Reannounce => {
+                let p = usize::from(path);
+                // (origin, prefix endpoint, pin communities). Side A's
+                // tunnel p targets the prefix *B* announced (pinned for
+                // A→B traffic), and vice versa.
+                let mut targets = Vec::new();
+                if let (Some(tun), Some(disc)) = (
+                    self.provisioned.a_tunnels.get(p),
+                    self.provisioned.paths_a_to_b.get(p),
+                ) {
+                    targets.push((
+                        self.side_b.tenant,
+                        tun.remote_endpoint,
+                        disc.pin_communities.clone(),
+                    ));
+                }
+                if let (Some(tun), Some(disc)) = (
+                    self.provisioned.b_tunnels.get(p),
+                    self.provisioned.paths_b_to_a.get(p),
+                ) {
+                    targets.push((
+                        self.side_a.tenant,
+                        tun.remote_endpoint,
+                        disc.pin_communities.clone(),
+                    ));
+                }
+                for (origin, endpoint, comms) in targets {
+                    let prefix = tango_net::IpCidr::V6(
+                        tango_net::Ipv6Cidr::new(endpoint, 48)
+                            .expect("tunnel endpoints are /48-aligned"),
+                    );
+                    let applied = match step {
+                        ControlStep::Withdraw => self.bgp.withdraw(origin, prefix).map(|_| ()),
+                        _ => self.bgp.announce(origin, prefix, comms),
+                    };
+                    applied.expect("session-reset origin exists");
+                }
+            }
+            ControlStep::HijackStart { attacker } => {
+                for prefix in self.hijack_prefixes(path) {
+                    self.bgp
+                        .announce(attacker, prefix, std::collections::BTreeSet::new())
+                        .expect("hijacker exists in the topology");
+                }
+            }
+            ControlStep::HijackEnd { attacker } => {
+                for prefix in self.hijack_prefixes(path) {
+                    self.bgp
+                        .withdraw(attacker, prefix)
+                        .expect("hijacker exists in the topology");
+                }
+            }
         }
         self.bgp
             .converge()
-            .expect("re-convergence after session reset");
+            .expect("re-convergence after control-plane step");
         let tenants = [self.side_a.tenant, self.side_b.tenant];
         let routers: Vec<AsId> = self
             .bgp
@@ -494,10 +626,25 @@ impl TangoPairing {
             .filter(|id| !tenants.contains(id))
             .collect();
         for id in routers {
-            let table = self.bgp.forwarding_table(id).expect("converged table");
-            self.sim
-                .set_agent(id, Box::new(RouterAgent::new(id, table)));
+            self.reinstall_router(id).expect("converged table");
         }
+    }
+
+    /// (Re)install one non-tenant node from its converged BGP table,
+    /// preserving any adversary wrapper registered for it.
+    fn reinstall_router(&mut self, id: AsId) -> Result<(), PairingError> {
+        let table = self.bgp.forwarding_table(id)?;
+        let base: Box<dyn Agent> = Box::new(RouterAgent::new(id, table));
+        let agent: Box<dyn Agent> = match self.adversaries.get(&id) {
+            Some((behaviors, stats)) => Box::new(AdversaryAgent::new(
+                base,
+                behaviors.clone(),
+                Arc::clone(stats),
+            )),
+            None => base,
+        };
+        self.sim.set_agent(id, agent);
+        Ok(())
     }
 
     /// The health-transition timeline recorded by `side`'s

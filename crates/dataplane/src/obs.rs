@@ -45,6 +45,8 @@ pub(crate) struct SwitchObs {
     rx_decap: Counter,
     rx_rejected: Counter,
     rx_auth_rejects: Counter,
+    rx_replay_rejects: Counter,
+    rx_implausible: Counter,
     rx_plain: Counter,
     paths: BTreeMap<u16, PathObs>,
 }
@@ -65,6 +67,8 @@ impl SwitchObs {
             rx_decap: registry.counter(&format!("{prefix}.rx.decap")),
             rx_rejected: registry.counter(&format!("{prefix}.rx.rejected")),
             rx_auth_rejects: registry.counter(&format!("{prefix}.rx.auth_rejects")),
+            rx_replay_rejects: registry.counter(&format!("{prefix}.rx.replay_rejects")),
+            rx_implausible: registry.counter(&format!("{prefix}.rx.implausible_owd")),
             rx_plain: registry.counter(&format!("{prefix}.rx.plain")),
             paths: BTreeMap::new(),
             prefix,
@@ -126,6 +130,16 @@ impl SwitchObs {
     /// A tunnel packet failed §6 authentication.
     pub(crate) fn on_auth_reject(&self) {
         self.rx_auth_rejects.inc();
+    }
+
+    /// An authenticated tunnel packet was rejected as a replay.
+    pub(crate) fn on_replay_reject(&self) {
+        self.rx_replay_rejects.inc();
+    }
+
+    /// An OWD sample was quarantined by the plausibility gate.
+    pub(crate) fn on_implausible(&self) {
+        self.rx_implausible.inc();
     }
 
     /// A plain (un-tunneled) packet arrived for local hosts.

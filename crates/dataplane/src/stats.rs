@@ -11,7 +11,7 @@
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use tango_measure::{Ewma, RollingWindow, SeqTracker, TimeSeries};
+use tango_measure::{Ewma, PlausibilityGate, ReplayWindow, RollingWindow, SeqTracker, TimeSeries};
 
 /// Live statistics for one path (tunnel).
 #[derive(Debug)]
@@ -39,6 +39,16 @@ pub struct PathStats {
     /// app), ns. `None` until the first arrival. The raw ingredient of
     /// the per-tunnel "silence" signal the health machinery consumes.
     pub last_rx_local_ns: Option<u64>,
+    /// Anti-replay window over tunnel sequence numbers (consulted only
+    /// when the pairing authenticates, since without a key an attacker
+    /// can forge arbitrary fresh sequence numbers anyway).
+    pub replay: ReplayWindow,
+    /// Plausibility gate over the OWD series: quarantines samples too
+    /// far from the smoothed reference before they reach the EWMA the
+    /// policies rank by.
+    pub gate: PlausibilityGate,
+    /// OWD samples the gate quarantined on this path.
+    pub implausible_owd: u64,
 }
 
 impl PathStats {
@@ -53,6 +63,9 @@ impl PathStats {
             app_delivered: 0,
             app_owd: TimeSeries::new(),
             last_rx_local_ns: None,
+            replay: ReplayWindow::new(),
+            gate: PlausibilityGate::default(),
+            implausible_owd: 0,
         }
     }
 
@@ -67,6 +80,34 @@ impl PathStats {
             self.app_delivered += 1;
             self.app_owd.push(rx_local_ns, owd_ns);
         }
+    }
+
+    /// Record a measurement through the plausibility gate. Returns
+    /// whether the OWD value was admitted into the delay views.
+    ///
+    /// A quarantined sample still proves the packet *arrived*: sequence
+    /// tracking, the silence signal, and app delivery counts advance
+    /// regardless, so a poisoned timestamp cannot masquerade as path
+    /// death. Only the delay views (`owd`, EWMA, rolling window,
+    /// `app_owd`) are withheld.
+    pub fn record_owd_gated(
+        &mut self,
+        rx_local_ns: u64,
+        owd_ns: f64,
+        sequence: u32,
+        probe: bool,
+    ) -> bool {
+        if self.gate.admit(owd_ns) {
+            self.record_owd(rx_local_ns, owd_ns, sequence, probe);
+            return true;
+        }
+        self.implausible_owd += 1;
+        self.seq.record(sequence);
+        self.last_rx_local_ns = Some(rx_local_ns);
+        if !probe {
+            self.app_delivered += 1;
+        }
+        false
     }
 
     /// Time since the last accepted packet, given the receiver's current
@@ -111,6 +152,11 @@ pub struct StatsSink {
     pub reports_rejected: u64,
     /// Packets rejected by telemetry authentication (§6 mode).
     pub auth_rejects: u64,
+    /// Authenticated packets rejected as replays (valid tag, stale or
+    /// already-seen sequence number).
+    pub replay_rejects: u64,
+    /// OWD samples quarantined by plausibility gating, all paths.
+    pub implausible_owd: u64,
 }
 
 impl StatsSink {
@@ -216,6 +262,33 @@ mod tests {
         s.register_path(0, "renamed");
         assert_eq!(s.path(0).unwrap().label, "NTT");
         assert_eq!(s.path(0).unwrap().owd.len(), 1);
+    }
+
+    #[test]
+    fn gated_record_quarantines_poison_but_keeps_liveness() {
+        let mut s = StatsSink::new();
+        s.register_path(0, "GTT");
+        // Establish an honest 28 ms reference.
+        for i in 0..10u32 {
+            assert!(s.path_mut(0).record_owd_gated(
+                u64::from(i) * 1_000_000,
+                27_900_000.0,
+                i,
+                true
+            ));
+        }
+        // Poisoned sample claiming a 10 s delay.
+        let admitted = s.path_mut(0).record_owd_gated(10_000_000, 10e9, 10, false);
+        assert!(!admitted);
+        let p = s.path(0).unwrap();
+        assert_eq!(p.implausible_owd, 1);
+        // Delay views untouched by the poison...
+        assert_eq!(p.owd.len(), 10);
+        assert!((p.owd_ewma.get().unwrap() - 27_900_000.0).abs() < 1.0);
+        // ...but liveness signals advanced: the packet DID arrive.
+        assert_eq!(p.seq.received(), 11);
+        assert_eq!(p.last_rx_local_ns, Some(10_000_000));
+        assert_eq!(p.app_delivered, 1);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::report::{report_from_sink, MeasurementReport};
 use crate::stats::SharedStats;
 use crate::tunnel::Tunnel;
 use std::collections::BTreeMap;
+use tango_measure::saturating_owd_ns;
 use tango_net::{IpCidr, PrefixTrie, SipKey};
 use tango_obs::Registry;
 use tango_sim::{Agent, Ctx, Packet, SimTime};
@@ -404,16 +405,46 @@ impl Agent for TangoSwitch {
             match codec::decapsulate_in_place(&mut pkt, self.auth_key.as_ref(), require_auth) {
                 Ok(d) => {
                     let rx_local = ctx.local_ns();
-                    // Signed: clock offsets can legally make this negative.
-                    let owd = rx_local as i64 - d.tango.timestamp_ns as i64;
+                    // Anti-replay, only once the tag proves the packet is
+                    // the peer's: a recorded-and-retransmitted packet has
+                    // a valid tag but a stale sequence number. (Without a
+                    // key an attacker forges fresh sequences trivially, so
+                    // the window would add cost without security.)
+                    if self.auth_key.is_some() {
+                        let mut sink = self.my_stats.lock();
+                        let fresh = sink
+                            .path_mut(d.tango.path_id)
+                            .replay
+                            .observe(d.tango.sequence);
+                        if !fresh {
+                            sink.replay_rejects += 1;
+                            drop(sink);
+                            if let Some(obs) = &self.obs {
+                                obs.on_replay_reject();
+                            }
+                            ctx.recycle(pkt);
+                            return;
+                        }
+                    }
+                    // Signed and saturating: clock offsets can legally make
+                    // this negative, and adversarial far-future timestamps
+                    // must clamp rather than wrap.
+                    let owd = saturating_owd_ns(rx_local, d.tango.timestamp_ns);
                     // Reports and probes are infrastructure, not app data.
                     let infra = d.tango.flags.is_probe() || d.tango.flags.is_report();
                     {
                         let mut sink = self.my_stats.lock();
                         let path = sink.path_mut(d.tango.path_id);
-                        path.record_owd(rx_local, owd as f64, d.tango.sequence, infra);
+                        let admitted =
+                            path.record_owd_gated(rx_local, owd as f64, d.tango.sequence, infra);
                         if let Some(obs) = &mut self.obs {
                             obs.on_rx(d.tango.path_id, path);
+                        }
+                        if !admitted {
+                            sink.implausible_owd += 1;
+                            if let Some(obs) = &self.obs {
+                                obs.on_implausible();
+                            }
                         }
                     }
                     if d.tango.flags.is_report() {

@@ -21,7 +21,13 @@ impl Ewma {
     }
 
     /// Feed a sample; returns the updated estimate.
+    ///
+    /// Non-finite samples (NaN/∞ from adversarially skewed inputs) are
+    /// ignored — one would otherwise stick the estimate at NaN forever.
     pub fn update(&mut self, sample: f64) -> f64 {
+        if !sample.is_finite() {
+            return self.value.unwrap_or(sample);
+        }
         let v = match self.value {
             None => sample,
             Some(prev) => prev + self.alpha * (sample - prev),
@@ -85,6 +91,20 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn rejects_zero_alpha() {
         Ewma::new(0.0);
+    }
+
+    #[test]
+    fn non_finite_samples_ignored() {
+        let mut e = Ewma::new(0.5);
+        e.update(4.0);
+        assert_eq!(e.update(f64::NAN), 4.0);
+        assert_eq!(e.update(f64::INFINITY), 4.0);
+        assert_eq!(e.get(), Some(4.0));
+        // Before any finite sample: estimate stays unset.
+        let mut fresh = Ewma::new(0.5);
+        assert!(fresh.update(f64::NAN).is_nan());
+        assert_eq!(fresh.get(), None);
+        assert_eq!(fresh.update(2.0), 2.0);
     }
 
     #[test]

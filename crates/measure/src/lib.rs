@@ -27,7 +27,9 @@ pub mod ewma;
 pub mod export;
 pub mod interval;
 pub mod loss;
+pub mod owd;
 pub mod percentile;
+pub mod replay;
 pub mod rolling;
 pub mod series;
 
@@ -35,6 +37,8 @@ pub use changepoint::{ChangeDirection, CusumDetector};
 pub use ewma::Ewma;
 pub use interval::IntervalAverager;
 pub use loss::{SeqEvent, SeqTracker};
+pub use owd::{saturating_owd_ns, PlausibilityConfig, PlausibilityGate};
 pub use percentile::{percentile, Summary};
+pub use replay::ReplayWindow;
 pub use rolling::{mean_rolling_std, RollingWindow};
 pub use series::TimeSeries;

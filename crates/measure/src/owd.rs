@@ -1,0 +1,253 @@
+//! Adversary-safe one-way-delay arithmetic and plausibility gating.
+//!
+//! §6 of the paper: *"an attacker might try to inject, drop or modify
+//! some of the packets used for measurements."* The receive-side OWD is
+//! `rx_local − tx_timestamp` where the timestamp comes straight off the
+//! wire — an on-path attacker who rewrites it controls the subtraction's
+//! operands. Two defenses live here:
+//!
+//! * [`saturating_owd_ns`] — the subtraction itself is computed in
+//!   128-bit space and clamped to `i64`, so a far-future timestamp
+//!   (e.g. `u64::MAX`) can never wrap into a plausible-looking small
+//!   delay or panic in a debug build.
+//! * [`PlausibilityGate`] — an online sanity filter over the resulting
+//!   series: samples that jump implausibly far from the smoothed
+//!   reference are quarantined instead of fed to the EWMA the routing
+//!   policies rank paths by. A *persistent* level shift (a genuine route
+//!   change) is eventually adopted, so the gate delays — not forbids —
+//!   large honest changes, while a burst of lies cannot instantly flip a
+//!   path ranking.
+
+/// One-way delay `rx_local_ns − tx_timestamp_ns` as a saturating `i64`.
+///
+/// Clock offsets make genuinely negative OWDs legal (§4.2: only the
+/// relative comparison matters), so the result is signed. Adversarial
+/// timestamps beyond `i64` range clamp to the nearest representable
+/// value instead of wrapping.
+pub fn saturating_owd_ns(rx_local_ns: u64, tx_timestamp_ns: u64) -> i64 {
+    let diff = i128::from(rx_local_ns) - i128::from(tx_timestamp_ns);
+    if diff > i128::from(i64::MAX) {
+        i64::MAX
+    } else if diff < i128::from(i64::MIN) {
+        i64::MIN
+    } else {
+        diff as i64
+    }
+}
+
+/// Tuning knobs for a [`PlausibilityGate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlausibilityConfig {
+    /// Maximum credible distance from the smoothed reference before a
+    /// sample is quarantined, ns. The default (250 ms) is an order of
+    /// magnitude above the paper's worst honest excursion (a 78 ms spike
+    /// against a 28 ms floor) and an order below the skews an attacker
+    /// needs to reorder path rankings instantly.
+    pub max_step_ns: f64,
+    /// After this many *consecutive* quarantined samples the gate adopts
+    /// the new level (a persistent shift is a route change, not a lie).
+    pub promote_after: u32,
+}
+
+impl Default for PlausibilityConfig {
+    fn default() -> Self {
+        PlausibilityConfig {
+            max_step_ns: 250e6,
+            promote_after: 8,
+        }
+    }
+}
+
+/// Online plausibility filter for an OWD series (one per path).
+///
+/// The reference tracks admitted samples with a gentle EWMA; the first
+/// sample is always admitted (there is nothing to compare against — and
+/// a wrong bootstrap self-corrects through promotion).
+#[derive(Debug, Clone)]
+pub struct PlausibilityGate {
+    cfg: PlausibilityConfig,
+    reference: Option<f64>,
+    quarantined_streak: u32,
+    rejected: u64,
+    promoted: u64,
+}
+
+impl Default for PlausibilityGate {
+    fn default() -> Self {
+        Self::new(PlausibilityConfig::default())
+    }
+}
+
+impl PlausibilityGate {
+    /// Reference smoothing factor (deliberately faster than the 0.05 the
+    /// stats pipeline uses, so the gate follows honest drift closely).
+    const ALPHA: f64 = 0.2;
+
+    /// A gate with the given thresholds.
+    pub fn new(cfg: PlausibilityConfig) -> Self {
+        PlausibilityGate {
+            cfg,
+            reference: None,
+            quarantined_streak: 0,
+            rejected: 0,
+            promoted: 0,
+        }
+    }
+
+    /// Judge one sample. `true` = admit into the stats pipeline,
+    /// `false` = quarantine (count it, drop the value).
+    ///
+    /// Non-finite samples (NaN/∞ from upstream arithmetic) are always
+    /// rejected — they would otherwise poison every running sum they
+    /// touch.
+    pub fn admit(&mut self, owd_ns: f64) -> bool {
+        if !owd_ns.is_finite() {
+            self.rejected += 1;
+            // A non-finite value is never a credible new level: it does
+            // not advance the promotion streak.
+            return false;
+        }
+        let Some(r) = self.reference else {
+            self.reference = Some(owd_ns);
+            return true;
+        };
+        if (owd_ns - r).abs() <= self.cfg.max_step_ns {
+            self.reference = Some(r + Self::ALPHA * (owd_ns - r));
+            self.quarantined_streak = 0;
+            return true;
+        }
+        self.quarantined_streak += 1;
+        if self.quarantined_streak >= self.cfg.promote_after {
+            // Persistent: adopt the new level and start admitting.
+            self.reference = Some(owd_ns);
+            self.quarantined_streak = 0;
+            self.promoted += 1;
+            return true;
+        }
+        self.rejected += 1;
+        false
+    }
+
+    /// Samples quarantined so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Level promotions (persistent shifts adopted) so far.
+    pub fn promoted(&self) -> u64 {
+        self.promoted
+    }
+
+    /// The current smoothed reference (None before the first admit).
+    pub fn reference_ns(&self) -> Option<f64> {
+        self.reference
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturating_owd_basics() {
+        assert_eq!(saturating_owd_ns(100, 60), 40);
+        assert_eq!(saturating_owd_ns(60, 100), -40);
+        assert_eq!(saturating_owd_ns(0, 0), 0);
+    }
+
+    #[test]
+    fn far_future_timestamp_clamps_not_wraps() {
+        // The naive `rx as i64 - ts as i64` would wrap u64::MAX to -1 and
+        // yield a tiny positive delay; the saturating form pins the floor.
+        assert_eq!(saturating_owd_ns(30_000_000, u64::MAX), i64::MIN);
+        assert_eq!(saturating_owd_ns(u64::MAX, 0), i64::MAX);
+        // Timestamp 2^63 at rx 0: exactly representable as i64::MIN.
+        assert_eq!(saturating_owd_ns(0, i64::MAX as u64 + 1), i64::MIN);
+        // One further is not, and clamps.
+        assert_eq!(saturating_owd_ns(0, i64::MAX as u64 + 2), i64::MIN);
+    }
+
+    #[test]
+    fn exact_when_in_range() {
+        assert_eq!(
+            saturating_owd_ns(i64::MAX as u64, 0),
+            i64::MAX,
+            "largest exact difference"
+        );
+        assert_eq!(saturating_owd_ns(0, i64::MAX as u64), -i64::MAX);
+    }
+
+    #[test]
+    fn gate_admits_honest_noise() {
+        let mut g = PlausibilityGate::default();
+        // Honest Vultr-scale series: 28 ms floor, spikes to 78 ms.
+        assert!(g.admit(28.2e6));
+        for i in 0..1000 {
+            let v = if i % 50 == 0 { 78.0e6 } else { 28.2e6 };
+            assert!(g.admit(v), "honest sample {i} rejected");
+        }
+        assert_eq!(g.rejected(), 0);
+    }
+
+    #[test]
+    fn gate_quarantines_poison_burst() {
+        let mut g = PlausibilityGate::default();
+        g.admit(28.2e6);
+        // A poisoned burst claiming 10 s delays: quarantined up to the
+        // promotion threshold.
+        for _ in 0..7 {
+            assert!(!g.admit(10e9));
+        }
+        assert_eq!(g.rejected(), 7);
+        // An honest sample in between resets the streak.
+        assert!(g.admit(28.3e6));
+        assert!(!g.admit(10e9));
+    }
+
+    #[test]
+    fn persistent_shift_is_promoted() {
+        let mut g = PlausibilityGate::default();
+        g.admit(28.2e6);
+        let mut admitted_at = None;
+        for i in 0..20 {
+            if g.admit(400e6) {
+                admitted_at = Some(i);
+                break;
+            }
+        }
+        // The 8th consecutive out-of-band sample (index 7) is adopted.
+        assert_eq!(admitted_at, Some(7));
+        assert_eq!(g.promoted(), 1);
+        // After promotion the new level is the reference.
+        assert!(g.admit(401e6));
+        assert!(!g.admit(28.2e6), "old level is now the outlier");
+    }
+
+    #[test]
+    fn non_finite_rejected_and_never_promoted() {
+        let mut g = PlausibilityGate::default();
+        g.admit(28.2e6);
+        for _ in 0..100 {
+            assert!(!g.admit(f64::NAN));
+            assert!(!g.admit(f64::INFINITY));
+        }
+        assert_eq!(g.promoted(), 0);
+        assert!(g.admit(28.2e6), "gate still healthy after NaN storm");
+    }
+
+    #[test]
+    fn first_sample_always_admitted() {
+        let mut g = PlausibilityGate::default();
+        assert!(g.admit(10e9), "no reference to compare against");
+        assert_eq!(g.reference_ns(), Some(10e9));
+    }
+
+    #[test]
+    fn negative_owds_are_fine() {
+        // Clock offsets legally produce negative OWDs.
+        let mut g = PlausibilityGate::default();
+        assert!(g.admit(-5e6));
+        assert!(g.admit(-5.1e6));
+        assert!(!g.admit(5e9));
+    }
+}

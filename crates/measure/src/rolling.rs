@@ -38,7 +38,13 @@ impl RollingWindow {
 
     /// Add a sample and evict everything older than `t - window`
     /// (keeping the half-open interval `(t - window, t]`).
+    ///
+    /// Non-finite values are ignored: a single NaN in the running sums
+    /// would poison mean/std for the rest of the window.
     pub fn push(&mut self, t_ns: u64, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
         if self.samples.is_empty() {
             self.offset = value;
             self.sum = 0.0;
@@ -211,6 +217,18 @@ mod tests {
         assert_eq!(w.mean(), None);
         assert_eq!(w.std(), None);
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn non_finite_samples_ignored() {
+        let mut w = RollingWindow::new(100);
+        w.push(0, 1.0);
+        w.push(10, f64::NAN);
+        w.push(20, f64::NEG_INFINITY);
+        w.push(30, 3.0);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.mean(), Some(2.0));
+        assert!(w.std().unwrap().is_finite());
     }
 
     #[test]

@@ -30,6 +30,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
+pub mod chaos;
 pub mod clock;
 pub mod edge_noise;
 pub mod engine;
@@ -39,9 +41,14 @@ pub mod time;
 pub mod trace;
 pub mod traffic;
 
+pub use adversary::{
+    shared_adversary_stats, ActiveWindow, AdversaryAgent, AdversaryBehavior, AdversaryStats,
+    SharedAdversaryStats, TAG_ADV_REPLAY, TAG_ADV_SPOOF,
+};
+pub use chaos::{ChaosConfig, ChaosEvent, ChaosKind, ChaosSchedule};
 pub use clock::NodeClock;
 pub use engine::{Agent, BufferPool, Ctx, NetworkSim, Packet, RouterAgent, SimConfig, SimStats};
-pub use fault::{FaultDecision, FaultInjector};
+pub use fault::{FaultDecision, FaultInjector, OutageSchedule};
 pub use time::SimTime;
 pub use trace::{TraceEvent, TraceKind, Tracer};
 pub use traffic::{CbrSchedule, PoissonSchedule, Schedule};

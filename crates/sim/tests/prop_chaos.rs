@@ -1,0 +1,96 @@
+//! Property-based tests for the chaos machinery: outage-window
+//! normalization in `sim::fault` and `ChaosSchedule` determinism.
+
+use proptest::prelude::*;
+use tango_sim::{ChaosConfig, ChaosSchedule, OutageSchedule};
+
+proptest! {
+    /// However windows overlap or abut, the normalized form is sorted,
+    /// disjoint, and non-adjacent, and membership matches the naive
+    /// union of the raw windows.
+    #[test]
+    fn outage_normalization_preserves_membership(
+        raw in proptest::collection::vec((0u64..500, 1u64..100), 0..24),
+        probes in proptest::collection::vec(0u64..700, 32),
+    ) {
+        let mut o = OutageSchedule::new();
+        for &(from, len) in &raw {
+            o.add(0, from, from + len);
+        }
+        // Normal form: sorted, disjoint, with a real gap between
+        // neighbors (adjacent windows must have merged).
+        let w = o.windows(0);
+        for pair in w.windows(2) {
+            prop_assert!(pair[0].1 < pair[1].0,
+                "windows {:?} not disjoint/non-adjacent", pair);
+        }
+        for &(a, b) in w {
+            prop_assert!(a < b);
+        }
+        // Membership agrees with the naive union of raw windows.
+        for &t in &probes {
+            let naive = raw.iter().any(|&(from, len)| t >= from && t < from + len);
+            prop_assert_eq!(o.active(0, t), naive, "t = {}", t);
+        }
+        // all_clear is the max end (or 0 when empty).
+        let naive_clear = raw.iter().map(|&(f, l)| f + l).max().unwrap_or(0);
+        if raw.is_empty() {
+            prop_assert_eq!(o.all_clear_ns(), 0);
+        } else {
+            prop_assert_eq!(o.all_clear_ns(), naive_clear);
+        }
+    }
+
+    /// Insertion order never matters.
+    #[test]
+    fn outage_insertion_order_irrelevant(
+        raw in proptest::collection::vec((0u64..500, 1u64..100), 1..16),
+    ) {
+        let mut fwd = OutageSchedule::new();
+        let mut rev = OutageSchedule::new();
+        for &(f, l) in &raw {
+            fwd.add(3, f, f + l);
+        }
+        for &(f, l) in raw.iter().rev() {
+            rev.add(3, f, f + l);
+        }
+        prop_assert_eq!(fwd, rev);
+    }
+
+    /// Same seed ⇒ identical schedule, different seed ⇒ (almost
+    /// always) different — and the schedule always respects its bounds.
+    #[test]
+    fn chaos_schedule_is_pure_and_bounded(
+        seed in any::<u64>(),
+        events in 1usize..32,
+        n_paths in 1u16..8,
+        byzantine in any::<bool>(),
+    ) {
+        let cfg = ChaosConfig {
+            seed,
+            start_ns: 1_000_000_000,
+            storm_ns: 60_000_000_000,
+            n_paths,
+            events,
+            byzantine,
+        };
+        let a = ChaosSchedule::generate(cfg);
+        let b = ChaosSchedule::generate(cfg);
+        prop_assert_eq!(&a, &b, "same config must reproduce exactly");
+        prop_assert_eq!(a.events.len(), events);
+        let mut last = 0u64;
+        for e in &a.events {
+            prop_assert!(e.at.0 >= last, "events must be time-sorted");
+            last = e.at.0;
+            prop_assert!(e.kind.path() < n_paths);
+            prop_assert!(e.at.0 >= cfg.start_ns);
+            prop_assert!(
+                e.at.0 + e.kind.duration_ns() <= cfg.start_ns + cfg.storm_ns,
+                "event must end inside the storm"
+            );
+            if !byzantine {
+                prop_assert!(!e.kind.is_byzantine());
+            }
+        }
+    }
+}
