@@ -37,6 +37,9 @@ pub struct ChaosOptions {
     /// Force the worker count (`None` = machine parallelism, capped by
     /// the seed count; `TANGO_BENCH_THREADS` also overrides).
     pub workers: Option<usize>,
+    /// Simulator shards per storm. The artifacts are bit-identical for
+    /// every value — CI runs `--shards 1` vs `--shards 8` and diffs.
+    pub shards: usize,
 }
 
 impl Default for ChaosOptions {
@@ -44,17 +47,19 @@ impl Default for ChaosOptions {
         ChaosOptions {
             seeds: vec![1, 2, 3, 4, 5, 6],
             workers: None,
+            shards: 1,
         }
     }
 }
 
 /// Run one seeded storm (defenses on, Byzantine faults included).
-pub fn storm_seed(seed: u64) -> ChaosOutcome {
+pub fn storm_seed(seed: u64, shards: usize) -> ChaosOutcome {
     tango::run_chaos(ChaosRunOptions {
         seed,
         events: STORM_EVENTS,
         byzantine: true,
         auth: true,
+        shards,
     })
     .expect("vultr scenario provisions")
 }
@@ -161,7 +166,8 @@ pub fn sweep(options: &ChaosOptions) -> Vec<(u64, ChaosOutcome)> {
     let workers = options
         .workers
         .unwrap_or_else(|| worker_count(options.seeds.len()));
-    let outcomes = run_seeds(&options.seeds, workers, storm_seed);
+    let shards = options.shards;
+    let outcomes = run_seeds(&options.seeds, workers, |seed| storm_seed(seed, shards));
     options.seeds.iter().copied().zip(outcomes).collect()
 }
 
@@ -346,10 +352,12 @@ mod tests {
         let serial = sweep(&ChaosOptions {
             seeds: vec![2, 5],
             workers: Some(1),
+            shards: 1,
         });
         let parallel = sweep(&ChaosOptions {
             seeds: vec![2, 5],
             workers: Some(2),
+            shards: 3,
         });
         assert_eq!(
             storms_to_json(&serial),
@@ -363,6 +371,7 @@ mod tests {
         let sections = sweep(&ChaosOptions {
             seeds: vec![1, 4],
             workers: Some(2),
+            shards: 1,
         });
         for (seed, o) in &sections {
             assert!(

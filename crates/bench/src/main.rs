@@ -7,11 +7,13 @@
 
 use tango::prelude::SimTime;
 use tango_bench::chaos::ChaosOptions;
+use tango_bench::sharded::ShardedOptions;
 use tango_bench::telemetry::TelemetryOptions;
 use tango_bench::throughput::ThroughputOptions;
 use tango_bench::{
-    ablations, chaos, failover, fig3, fig4, headline, jitter, telemetry, throughput,
+    ablations, chaos, failover, fig3, fig4, headline, jitter, sharded, telemetry, throughput,
 };
+use tango_sim::ShardMode;
 
 const USAGE: &str = "\
 experiments — regenerate the paper's figures and tables (see EXPERIMENTS.md)
@@ -45,6 +47,12 @@ COMMANDS
                         results/CHAOS_storms.json + CHAOS_byzantine.json
                         (byte-identical across runs and --workers); exits
                         nonzero on any invariant violation or missing A9 gap
+  sharded               B3: shard-scaling sweep — one K-replica Vultr mesh
+                        run under several --shards values; digests and event
+                        totals must be bit-identical for every value →
+                        results/BENCH_sharded.json (deterministic fields
+                        only; wall-clock goes to stdout); exits nonzero if
+                        any shard count diverges
   all                   run everything (with default durations)
 
 OPTIONS
@@ -59,17 +67,35 @@ THROUGHPUT OPTIONS
   --workers <W>   worker threads (default: machine parallelism; the
                   TANGO_BENCH_THREADS env var also overrides)
   --floor <P>     exit nonzero if aggregate pkts/sec < P (CI smoke gate)
+  --baseline <F>  exit nonzero if aggregate pkts/sec drops below 50% of
+                  the aggregate_pkts_per_sec recorded in the committed
+                  artifact F (usually results/BENCH_throughput.json)
+  --shards <N>    simulator shards per seed (default 1; results are
+                  bit-identical for every value)
 
 TELEMETRY OPTIONS
   --seeds <list>  comma-separated seeds (default 1,7 — the golden seeds)
   --workers <W>   worker threads (default: machine parallelism; the
                   artifact's bytes are identical either way)
+  --shards <N>    simulator shards per seed (default 1; the artifact's
+                  bytes are identical for every value)
 
 CHAOS OPTIONS
   --seeds <list>  comma-separated storm seeds (default 1,2,3,4,5,6 —
                   the six storms CI gates on)
   --workers <W>   worker threads (default: machine parallelism; the
                   artifacts' bytes are identical either way)
+  --shards <N>    simulator shards per storm (default 1; the artifacts'
+                  bytes are identical for every value)
+
+SHARDED OPTIONS
+  --replicas <K>  Vultr-deployment replicas in the mesh (default 8)
+  --packets <N>   app packets injected across the mesh (default 20000)
+  --shards <list> comma-separated shard counts to sweep (default 1,2,4,8;
+                  the first is the reference)
+  --seed <S>      simulation seed (default 1)
+  --mode <M>      execution mode for multi-shard runs: auto | serial |
+                  threaded (default auto — threads when cores allow)
 ";
 
 struct Args {
@@ -143,10 +169,24 @@ fn parse_throughput_args(rest: &[String]) -> Result<ThroughputOptions, String> {
                 options.floor_pkts_per_sec =
                     Some(take()?.parse().map_err(|e| format!("--floor: {e}"))?);
             }
+            "--baseline" => {
+                options.baseline = Some(std::path::PathBuf::from(take()?));
+            }
+            "--shards" => {
+                options.shards = parse_shards(&take()?)?;
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
     Ok(options)
+}
+
+fn parse_shards(value: &str) -> Result<usize, String> {
+    let shards: usize = value.parse().map_err(|e| format!("--shards: {e}"))?;
+    if shards == 0 {
+        return Err("--shards must be positive".into());
+    }
+    Ok(shards)
 }
 
 fn parse_telemetry_args(rest: &[String]) -> Result<TelemetryOptions, String> {
@@ -174,6 +214,9 @@ fn parse_telemetry_args(rest: &[String]) -> Result<TelemetryOptions, String> {
                     return Err("--workers must be positive".into());
                 }
                 options.workers = Some(w);
+            }
+            "--shards" => {
+                options.shards = parse_shards(&take()?)?;
             }
             other => return Err(format!("unknown option {other}")),
         }
@@ -206,6 +249,61 @@ fn parse_chaos_args(rest: &[String]) -> Result<ChaosOptions, String> {
                     return Err("--workers must be positive".into());
                 }
                 options.workers = Some(w);
+            }
+            "--shards" => {
+                options.shards = parse_shards(&take()?)?;
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(options)
+}
+
+fn parse_sharded_args(rest: &[String]) -> Result<ShardedOptions, String> {
+    let mut options = ShardedOptions::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut take = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--replicas" => {
+                options.replicas = take()?.parse().map_err(|e| format!("--replicas: {e}"))?;
+                if options.replicas == 0 {
+                    return Err("--replicas must be positive".into());
+                }
+            }
+            "--packets" => {
+                options.packets = take()?.parse().map_err(|e| format!("--packets: {e}"))?;
+                if options.packets == 0 {
+                    return Err("--packets must be positive".into());
+                }
+            }
+            "--shards" => {
+                options.shard_counts = take()?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("--shards: {e}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if options.shard_counts.is_empty() || options.shard_counts.contains(&0) {
+                    return Err("--shards must name positive shard counts".into());
+                }
+            }
+            "--seed" => {
+                options.seed = take()?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--mode" => {
+                options.mode = match take()?.as_str() {
+                    "auto" => ShardMode::Auto,
+                    "serial" => ShardMode::Serial,
+                    "threaded" => ShardMode::Threaded,
+                    other => return Err(format!("--mode: unknown mode {other}")),
+                };
             }
             other => return Err(format!("unknown option {other}")),
         }
@@ -242,6 +340,16 @@ fn main() {
     if command == "chaos" {
         match parse_chaos_args(&argv[1..]) {
             Ok(options) => std::process::exit(chaos::report(&options)),
+            Err(e) => {
+                eprintln!("error: {e}\n");
+                eprint!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if command == "sharded" {
+        match parse_sharded_args(&argv[1..]) {
+            Ok(options) => std::process::exit(sharded::report(&options)),
             Err(e) => {
                 eprintln!("error: {e}\n");
                 eprint!("{USAGE}");

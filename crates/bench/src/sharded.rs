@@ -1,0 +1,250 @@
+//! `experiments sharded` — the shard-scaling sweep over the replica
+//! mesh (EXPERIMENTS.md B3).
+//!
+//! Runs **one** scenario — `tango::mesh::vultr_replica_mesh`, K offset
+//! copies of the Vultr deployment inside a single simulator — under a
+//! list of shard counts and verifies the runs are bit-identical:
+//! identical [`MeshSim::digest`](tango::mesh::MeshSim::digest) (merged
+//! stats + canonical trace hash)
+//! and identical event totals for every shard count. The committed
+//! artifact `results/BENCH_sharded.json` contains **only deterministic
+//! content** (digests, event counts, the identical verdict), so CI can
+//! byte-diff it across machines and `--shards` settings; wall-clock
+//! times and speedups go to stdout only, because they are a property of
+//! the machine, not of the simulation.
+//!
+//! Exits nonzero if any shard count disagrees with the single-shard
+//! reference — that is the determinism gate the suite exists for.
+
+use crate::util::{fmt, print_table, results_dir};
+use std::time::Instant;
+use tango::mesh::{vultr_replica_mesh, MeshOptions};
+use tango::prelude::SimTime;
+use tango_sim::ShardMode;
+
+/// App-packet spacing of the injected mesh load, simulated time.
+const PACKET_GAP_NS: u64 = 50_000;
+
+/// Trace ring capacity per run (the digest hashes the canonical trace,
+/// so the ring must be big enough to never wrap during the horizon).
+const TRACE_CAPACITY: usize = 1 << 20;
+
+/// Options for the shard-scaling sweep.
+pub struct ShardedOptions {
+    /// Replicas in the mesh (AS count = 9 × replicas).
+    pub replicas: usize,
+    /// App packets injected across the mesh (round-robin over replicas,
+    /// alternating direction).
+    pub packets: u64,
+    /// Shard counts to sweep; the first is the reference.
+    pub shard_counts: Vec<usize>,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Execution mode for multi-shard runs (`Auto` threads when the
+    /// machine has cores to spare; `Serial`/`Threaded` force it).
+    pub mode: ShardMode,
+}
+
+impl Default for ShardedOptions {
+    fn default() -> Self {
+        ShardedOptions {
+            replicas: 8,
+            packets: 20_000,
+            shard_counts: vec![1, 2, 4, 8],
+            seed: 1,
+            mode: ShardMode::Auto,
+        }
+    }
+}
+
+/// One shard count's completed run.
+pub struct ShardRun {
+    /// Shards requested.
+    pub shards: usize,
+    /// Shards the partition actually produced (clamped to node count).
+    pub effective_shards: usize,
+    /// Wall-clock nanoseconds for the simulation (excludes build).
+    pub wall_ns: u64,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Deterministic fingerprint (stats + trace hash).
+    pub digest: String,
+}
+
+/// Build the mesh, inject the load, run to the horizon, fingerprint.
+pub fn run_one(options: &ShardedOptions, shards: usize) -> ShardRun {
+    let mut mesh = vultr_replica_mesh(&MeshOptions {
+        replicas: options.replicas,
+        seed: options.seed,
+        shards,
+        shard_mode: options.mode,
+        trace_capacity: TRACE_CAPACITY,
+    })
+    .expect("mesh provisions");
+    let mut t = SimTime::from_ms(1);
+    for i in 0..options.packets {
+        let replica = (i as usize) % options.replicas;
+        mesh.send_app_packet(t, replica, i % 2 == 0, (i % 4096) as u16);
+        t += SimTime(PACKET_GAP_NS);
+    }
+    let horizon = t + SimTime::from_ms(100);
+    #[allow(clippy::disallowed_methods)] // bench wall-clock: timing is the product here
+    let started = Instant::now();
+    let events = mesh.sim.run_until(horizon);
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    ShardRun {
+        shards,
+        effective_shards: mesh.sim.shard_count(),
+        wall_ns,
+        events,
+        digest: mesh.digest(),
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(!s.contains(['"', '\\']));
+    s
+}
+
+/// Render the sweep as the `BENCH_sharded.json` document. Deliberately
+/// excludes wall-clock numbers: every field is a pure function of
+/// (scenario, seed), so the artifact is byte-identical across machines,
+/// shard counts, and execution modes.
+pub fn to_json(options: &ShardedOptions, runs: &[ShardRun], identical: bool) -> String {
+    let mut entries = String::new();
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"shards\": {}, \"effective_shards\": {}, \"events\": {}, \
+             \"digest\": \"{}\"}}",
+            r.shards,
+            r.effective_shards,
+            r.events,
+            json_escape_free(&r.digest)
+        ));
+    }
+    format!(
+        "{{\n  \"schema\": \"tango-bench/sharded/v1\",\n  \"scenario\": \"{}\",\n  \
+         \"replicas\": {},\n  \"packets\": {},\n  \"seed\": {},\n  \
+         \"identical\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        json_escape_free("vultr-replica-mesh"),
+        options.replicas,
+        options.packets,
+        options.seed,
+        identical,
+        entries
+    )
+}
+
+/// The `experiments sharded` entry point. Returns the process exit code
+/// (nonzero when any shard count's results diverge from the reference).
+pub fn report(options: &ShardedOptions) -> i32 {
+    println!(
+        "sharded — one {}-replica Vultr mesh ({} ASes), {} app packets, seed {}, \
+         shard counts {:?}\n",
+        options.replicas,
+        options.replicas * 9,
+        options.packets,
+        options.seed,
+        options.shard_counts
+    );
+    let runs: Vec<ShardRun> = options
+        .shard_counts
+        .iter()
+        .map(|&s| run_one(options, s))
+        .collect();
+    let reference = &runs[0];
+    let identical = runs
+        .iter()
+        .all(|r| r.digest == reference.digest && r.events == reference.events);
+    let mut rows = Vec::new();
+    for r in &runs {
+        rows.push(vec![
+            r.shards.to_string(),
+            r.effective_shards.to_string(),
+            r.events.to_string(),
+            fmt(r.wall_ns as f64 / 1e6, 1),
+            fmt(options.packets as f64 / (r.wall_ns as f64 / 1e9), 0),
+            fmt(reference.wall_ns as f64 / r.wall_ns as f64, 2),
+            if r.digest == reference.digest {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "shards",
+            "effective",
+            "sim events",
+            "wall ms",
+            "pkts/sec",
+            "speedup",
+            "identical",
+        ],
+        &rows,
+    );
+    println!(
+        "\n(wall-clock columns depend on this machine's free cores and are NOT part \
+         of the artifact; the committed JSON holds only the deterministic fields)"
+    );
+    let path = results_dir().join("BENCH_sharded.json");
+    std::fs::write(&path, to_json(options, &runs, identical)).expect("write BENCH_sharded json");
+    println!("written to {}", path.display());
+    if !identical {
+        eprintln!(
+            "FAIL: shard counts disagree — digests/events must be bit-identical \
+             for every --shards value"
+        );
+        return 1;
+    }
+    println!(
+        "determinism gate passed: {} shard counts produced identical digests and \
+         event totals",
+        runs.len()
+    );
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ShardedOptions {
+        ShardedOptions {
+            replicas: 2,
+            packets: 64,
+            shard_counts: vec![1, 2],
+            seed: 5,
+            mode: ShardMode::Auto,
+        }
+    }
+
+    #[test]
+    fn sweep_is_identical_across_shard_counts() {
+        let options = tiny();
+        let runs: Vec<ShardRun> = options
+            .shard_counts
+            .iter()
+            .map(|&s| run_one(&options, s))
+            .collect();
+        assert_eq!(runs[0].digest, runs[1].digest);
+        assert_eq!(runs[0].events, runs[1].events);
+    }
+
+    #[test]
+    fn artifact_has_no_wall_clock_fields() {
+        let options = tiny();
+        let runs = vec![run_one(&options, 1)];
+        let json = to_json(&options, &runs, true);
+        assert!(
+            !json.contains("wall"),
+            "artifact must stay machine-independent"
+        );
+        assert!(json.contains("\"identical\": true"));
+    }
+}

@@ -40,6 +40,9 @@ pub struct TelemetryOptions {
     /// Force the worker count (`None` = machine parallelism, capped by
     /// the seed count; `TANGO_BENCH_THREADS` also overrides).
     pub workers: Option<usize>,
+    /// Simulator shards per seed. The artifact is bit-identical for
+    /// every value — CI runs `--shards 1` vs `--shards 8` and diffs.
+    pub shards: usize,
 }
 
 impl Default for TelemetryOptions {
@@ -47,6 +50,7 @@ impl Default for TelemetryOptions {
         TelemetryOptions {
             seeds: vec![1, 7],
             workers: None,
+            shards: 1,
         }
     }
 }
@@ -58,9 +62,17 @@ impl Default for TelemetryOptions {
 /// for 8 s, so the export contains tx-without-rx on path 2, health
 /// transitions on both gates, and the failover in the selection layer.
 pub fn collect_seed(seed: u64) -> Snapshot {
+    collect_seed_sharded(seed, 1)
+}
+
+/// [`collect_seed`] with an explicit shard count. The snapshot is
+/// bit-identical for every value — the golden-trace suite exploits this
+/// by checking the pinned seeds under several shard counts.
+pub fn collect_seed_sharded(seed: u64, shards: usize) -> Snapshot {
     let registry = Registry::default();
     let mut pairing = tango::vultr_pairing(PairingOptions {
         seed,
+        shards,
         probe_period: Some(SimTime::from_ms(10)),
         control_period: Some(SimTime::from_ms(100)),
         policy_a: Box::new(LowestOwdPolicy::new(500_000.0)),
@@ -111,7 +123,10 @@ pub fn sweep(options: &TelemetryOptions) -> Vec<(u64, Snapshot)> {
     let workers = options
         .workers
         .unwrap_or_else(|| worker_count(options.seeds.len()));
-    let snaps = run_seeds(&options.seeds, workers, collect_seed);
+    let shards = options.shards;
+    let snaps = run_seeds(&options.seeds, workers, |seed| {
+        collect_seed_sharded(seed, shards)
+    });
     options.seeds.iter().copied().zip(snaps).collect()
 }
 
@@ -190,16 +205,25 @@ mod tests {
         let serial = sweep(&TelemetryOptions {
             seeds: vec![3, 5],
             workers: Some(1),
+            shards: 1,
         });
         let parallel = sweep(&TelemetryOptions {
             seeds: vec![3, 5],
             workers: Some(2),
+            shards: 1,
         });
         assert_eq!(
             to_json(&serial),
             to_json(&parallel),
             "worker count must not leak into the artifact"
         );
+    }
+
+    #[test]
+    fn shard_count_does_not_leak_into_the_artifact() {
+        let one = collect_seed_sharded(3, 1);
+        let four = collect_seed_sharded(3, 4);
+        assert_eq!(one.to_json(), four.to_json(), "shards must be invisible");
     }
 
     #[test]

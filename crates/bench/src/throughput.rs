@@ -34,6 +34,12 @@ pub struct ThroughputOptions {
     pub workers: Option<usize>,
     /// Fail (exit nonzero) if aggregate pkts/sec lands below this floor.
     pub floor_pkts_per_sec: Option<f64>,
+    /// Compare against a committed `BENCH_throughput.json` baseline:
+    /// fail if aggregate pkts/sec drops below [`BASELINE_FRACTION`] of
+    /// the artifact's `aggregate_pkts_per_sec`.
+    pub baseline: Option<std::path::PathBuf>,
+    /// Simulator shards per seed (bit-identical results for any value).
+    pub shards: usize,
 }
 
 impl Default for ThroughputOptions {
@@ -43,9 +49,17 @@ impl Default for ThroughputOptions {
             seeds: vec![1, 2, 3, 4],
             workers: None,
             floor_pkts_per_sec: None,
+            baseline: None,
+            shards: 1,
         }
     }
 }
+
+/// Fraction of the committed baseline's aggregate pkts/sec that a run
+/// must reach for `--baseline` to pass. Generous on purpose: CI machines
+/// vary widely, and the gate exists to catch order-of-magnitude
+/// regressions (accidental debug builds, quadratic slips), not noise.
+pub const BASELINE_FRACTION: f64 = 0.5;
 
 /// One seed's completed run.
 pub struct SeedRun {
@@ -77,10 +91,11 @@ impl SeedRun {
 
 /// Run one seed: build the pairing, inject `packets` app packets A→B and
 /// B→A alternately, run to completion, fingerprint the results.
-pub fn run_one(seed: u64, packets: u64) -> SeedRun {
+pub fn run_one(seed: u64, packets: u64, shards: usize) -> SeedRun {
     let mut pairing = tango::vultr_pairing(PairingOptions {
         seed,
         probe_period: Some(SimTime::from_ms(10)),
+        shards,
         ..PairingOptions::default()
     })
     .expect("vultr scenario provisions");
@@ -171,9 +186,12 @@ pub fn sweep(options: &ThroughputOptions) -> Sweep {
         .workers
         .unwrap_or_else(|| worker_count(options.seeds.len()));
     let packets = options.packets;
+    let shards = options.shards;
     #[allow(clippy::disallowed_methods)] // bench wall-clock: timing is the product here
     let started = Instant::now();
-    let runs = run_seeds(&options.seeds, workers, |seed| run_one(seed, packets));
+    let runs = run_seeds(&options.seeds, workers, |seed| {
+        run_one(seed, packets, shards)
+    });
     let wall_ns = started.elapsed().as_nanos() as u64;
     Sweep {
         runs,
@@ -228,6 +246,13 @@ pub fn report(options: &ThroughputOptions) -> i32 {
         "throughput — {} app packets/seed through the 2-edge Vultr pairing, seeds {:?}\n",
         options.packets, options.seeds
     );
+    // Read the committed baseline up front: this run's artifact lands at
+    // the same default path, and reading after the write would compare
+    // the run against itself.
+    let baseline_ref = options
+        .baseline
+        .as_ref()
+        .map(|path| (path.clone(), read_baseline_pkts_per_sec(path)));
     let sweep = sweep(options);
     let mut rows = Vec::new();
     for r in &sweep.runs {
@@ -267,5 +292,50 @@ pub fn report(options: &ThroughputOptions) -> i32 {
             floor
         );
     }
+    if let Some((baseline, read)) = baseline_ref {
+        let reference = match read {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("FAIL: cannot read baseline {}: {e}", baseline.display());
+                return 1;
+            }
+        };
+        let floor = reference * BASELINE_FRACTION;
+        if sweep.pkts_per_sec() < floor {
+            eprintln!(
+                "FAIL: aggregate {:.0} pkts/sec is below {:.0} ({}% of the committed \
+                 baseline's {:.0})",
+                sweep.pkts_per_sec(),
+                floor,
+                (BASELINE_FRACTION * 100.0) as u32,
+                reference
+            );
+            return 1;
+        }
+        println!(
+            "baseline check passed: {:.0} >= {:.0} pkts/sec ({}% of committed {:.0})",
+            sweep.pkts_per_sec(),
+            floor,
+            (BASELINE_FRACTION * 100.0) as u32,
+            reference
+        );
+    }
     0
+}
+
+/// Pull `aggregate_pkts_per_sec` out of a committed throughput artifact.
+/// Deliberately a tiny scanner, not a JSON parser: the artifact is
+/// produced by [`to_json`] above, so the key appears exactly once.
+pub fn read_baseline_pkts_per_sec(path: &std::path::Path) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let key = "\"aggregate_pkts_per_sec\":";
+    let at = text.find(key).ok_or_else(|| format!("no {key} field"))?;
+    let rest = &text[at + key.len()..];
+    let end = rest
+        .find([',', '\n', '}'])
+        .ok_or_else(|| "unterminated value".to_string())?;
+    rest[..end]
+        .trim()
+        .parse::<f64>()
+        .map_err(|e| format!("bad value: {e}"))
 }

@@ -12,10 +12,12 @@ const SEEDS: [u64; 4] = [11, 7, 42, 7];
 fn parallel_runner_matches_serial_run() {
     let serial: Vec<throughput::SeedRun> = SEEDS
         .iter()
-        .map(|&s| throughput::run_one(s, PACKETS))
+        .map(|&s| throughput::run_one(s, PACKETS, 1))
         .collect();
+    // The parallel arm also shards each simulation: neither the worker
+    // fan-out nor the shard partition may leak into the results.
     let parallel: Vec<throughput::SeedRun> =
-        parallel::run_seeds(&SEEDS, 4, |seed| throughput::run_one(seed, PACKETS));
+        parallel::run_seeds(&SEEDS, 4, |seed| throughput::run_one(seed, PACKETS, 4));
 
     assert_eq!(serial.len(), parallel.len());
     for (s, p) in serial.iter().zip(&parallel) {
@@ -39,7 +41,7 @@ fn sweep_is_worker_count_invariant() {
         packets: PACKETS,
         seeds: vec![1, 2, 3],
         workers: Some(workers),
-        floor_pkts_per_sec: None,
+        ..throughput::ThroughputOptions::default()
     };
     let one = throughput::sweep(&opts(1));
     let many = throughput::sweep(&opts(3));

@@ -58,6 +58,9 @@ pub struct ChaosRunOptions {
     /// Provision the SipHash key (auth + anti-replay on). The chaos
     /// suite runs with `true`; `false` exists for the A9 ablation.
     pub auth: bool,
+    /// Simulator shards (bit-identical for every value; see
+    /// `tango_sim::shard`).
+    pub shards: usize,
 }
 
 impl Default for ChaosRunOptions {
@@ -67,6 +70,7 @@ impl Default for ChaosRunOptions {
             events: 8,
             byzantine: true,
             auth: true,
+            shards: 1,
         }
     }
 }
@@ -220,6 +224,7 @@ pub fn run_chaos_with_obs(
         auth_key: options.auth.then(|| SipKey::from_bytes(&CHAOS_KEY)),
         wide_area_events,
         obs,
+        shards: options.shards,
         ..PairingOptions::default()
     })?;
 
@@ -478,6 +483,7 @@ mod tests {
             events: 6,
             byzantine: true,
             auth: true,
+            shards: 1,
         })
         .unwrap();
         assert!(

@@ -44,6 +44,7 @@
 
 pub mod chaos;
 pub mod invariant;
+pub mod mesh;
 pub mod pairing;
 pub mod vultr;
 
@@ -52,6 +53,7 @@ pub use chaos::{
     ChaosRunOptions,
 };
 pub use invariant::{check, check_pairing, InvariantReport, SideEvidence, Violation};
+pub use mesh::{vultr_replica_mesh, MeshOptions, MeshSim};
 pub use pairing::{PairingError, PairingOptions, Side, TangoPairing};
 pub use vultr::{vultr_pairing, vultr_pairing_with_events};
 

@@ -16,7 +16,8 @@ use tango_net::{Ipv6Packet, Ipv6Repr};
 use tango_obs::Registry;
 use tango_sim::{
     shared_adversary_stats, AdversaryAgent, AdversaryBehavior, Agent, FaultInjector, NetworkSim,
-    NodeClock, Packet, RouterAgent, SharedAdversaryStats, SimConfig, SimTime, TAG_ADV_SPOOF,
+    NodeClock, Packet, RouterAgent, ShardMode, SharedAdversaryStats, SimConfig, SimTime,
+    TAG_ADV_SPOOF,
 };
 use tango_topology::{AsId, Topology, WideAreaEvent};
 
@@ -128,6 +129,13 @@ pub struct PairingOptions {
     /// (`sim.…`, `dataplane.<as>.…`, `bgp.…`, `health.<as>.…`). The same
     /// handle is exposed after the build via [`TangoPairing::obs`].
     pub obs: Option<Registry>,
+    /// Number of simulator shards (see `tango_sim::shard`). Any value
+    /// yields bit-identical results; >1 lets independent regions of the
+    /// topology run on separate cores.
+    pub shards: usize,
+    /// How multi-shard runs execute (serial reference vs. worker
+    /// threads); identical output either way.
+    pub shard_mode: ShardMode,
 }
 
 impl Default for PairingOptions {
@@ -151,6 +159,8 @@ impl Default for PairingOptions {
             health_b: None,
             monitor_only_health: false,
             obs: None,
+            shards: 1,
+            shard_mode: ShardMode::Auto,
         }
     }
 }
@@ -328,6 +338,8 @@ impl TangoPairing {
                 trace_capacity: options.trace_capacity,
                 fault: options.fault,
                 obs: options.obs.clone(),
+                shards: options.shards,
+                shard_mode: options.shard_mode,
             },
         );
         // Every non-tenant node routes by its converged BGP table.

@@ -29,6 +29,13 @@ pub const WALL_CLOCK_EXEMPT_CRATES: &[&str] = &["bench"];
 pub const WIRE_FORMAT_MODULES: &[&str] =
     &["crates/dataplane/src/codec.rs", "crates/bgp/src/wire.rs"];
 
+/// The approved home of thread creation inside the deterministic
+/// crates: the conservative shard runner, whose cross-thread protocol
+/// is proven equivalent to serial execution. Named in the
+/// `thread-spawn` rule's help text; the runner itself still carries a
+/// mandatory-reason suppression rather than a blanket exemption.
+pub const SHARD_RUNNER_MODULES: &[&str] = &["crates/sim/src/shard.rs"];
+
 /// Hot-path modules where a panic aborts a whole simulation run:
 /// the per-event engine loop and the per-packet dataplane transforms.
 pub const HOT_PATH_MODULES: &[&str] = &[

@@ -30,11 +30,12 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(rules::unseeded_rng::UnseededRng),
         Box::new(rules::lossy_cast::LossyCast),
         Box::new(rules::hot_path_panic::HotPathPanic),
+        Box::new(rules::thread_spawn::ThreadSpawn),
     ]
 }
 
-/// Every name a suppression may reference: the five rules plus the two
-/// meta-rules the framework itself emits.
+/// Every name a suppression may reference: the registered rules plus
+/// the two meta-rules the framework itself emits.
 pub fn rule_names() -> Vec<&'static str> {
     let mut names: Vec<&'static str> = all_rules().iter().map(|r| r.name()).collect();
     names.push("malformed-suppression");

@@ -1,0 +1,87 @@
+//! `thread-spawn`: no thread creation inside the deterministic crates,
+//! except the approved shard runner. The sharded engine's determinism
+//! proof (DESIGN.md §11) holds because *all* cross-thread communication
+//! flows through the barrier-ordered mailbox protocol in
+//! `crates/sim/src/shard.rs`; an ad-hoc `thread::spawn`, scoped worker,
+//! or rayon pool anywhere else reintroduces scheduling-dependent
+//! ordering that no canonical merge repairs. Even the approved runner
+//! carries a mandatory-reason suppression rather than a scope
+//! exemption, so the justification lives next to the code.
+
+use crate::config;
+use crate::diagnostics::Diagnostic;
+use crate::registry::Rule;
+use crate::rules::{is_method_call, is_path_segment};
+use crate::scan::{FileScan, TokKind};
+use proc_macro2::Delimiter;
+
+/// See the module docs.
+pub struct ThreadSpawn;
+
+impl Rule for ThreadSpawn {
+    fn name(&self) -> &'static str {
+        "thread-spawn"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid thread creation (thread::spawn/scope, .spawn, rayon) in deterministic \
+         crates outside the approved shard runner"
+    }
+
+    fn applies(&self, path: &str) -> bool {
+        config::in_deterministic_crate(path)
+    }
+
+    fn include_test_code(&self) -> bool {
+        true
+    }
+
+    fn check(&self, path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
+        let toks = &scan.tokens;
+        for (i, tok) in toks.iter().enumerate() {
+            if !matches!(tok.kind, TokKind::Ident) {
+                continue;
+            }
+            let what = match tok.text.as_str() {
+                // `thread::spawn` / `thread::scope` path calls (matches
+                // `std::thread::…` too — the receiver check only looks
+                // one segment back).
+                "spawn" | "scope" if is_path_segment(toks, i, Some("thread")) => {
+                    format!("thread::{}", tok.text)
+                }
+                // `.spawn(…)` method calls: scoped-thread and pool
+                // handles spawn this way.
+                "spawn"
+                    if is_method_call(toks, i)
+                        && matches!(
+                            toks.get(i + 1),
+                            Some(t) if matches!(t.kind, TokKind::Open(Delimiter::Parenthesis))
+                        ) =>
+                {
+                    ".spawn(…)".to_string()
+                }
+                // Any rayon use (par_iter, join, pools) hands scheduling
+                // to a work-stealing runtime.
+                "rayon" => "rayon".to_string(),
+                _ => continue,
+            };
+            out.push(Diagnostic {
+                rule: self.name(),
+                severity: self.severity(),
+                file: path.to_string(),
+                line: tok.line,
+                column: tok.column,
+                message: format!(
+                    "`{what}` creates threads in a deterministic crate — results would \
+                     depend on the scheduler, not the seed"
+                ),
+                help: Some(format!(
+                    "parallelism belongs in the shard runner ({}); if this *is* runner \
+                     machinery, suppress with `tango-lint: allow({}) <reason>`",
+                    config::SHARD_RUNNER_MODULES.join(", "),
+                    self.name()
+                )),
+            });
+        }
+    }
+}

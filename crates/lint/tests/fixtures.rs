@@ -264,3 +264,73 @@ fn unused_suppression_warns() {
         "{diags:?}"
     );
 }
+
+#[test]
+fn thread_spawn_fail_fires_in_deterministic_crate() {
+    let diags = lint_source("crates/sim/src/engine.rs", &fixture("thread_spawn/fail.rs")).unwrap();
+    let hits: Vec<_> = diags.iter().filter(|d| d.rule == "thread-spawn").collect();
+    assert!(
+        hits.iter().any(|d| d.message.contains("thread::spawn")),
+        "{diags:?}"
+    );
+    assert!(
+        hits.iter().any(|d| d.message.contains("thread::scope")),
+        "{diags:?}"
+    );
+    assert!(
+        hits.iter().any(|d| d.message.contains(".spawn(")),
+        "{diags:?}"
+    );
+    assert!(
+        hits.iter().any(|d| d.message.contains("rayon")),
+        "{diags:?}"
+    );
+    // Test code is in scope too: the in-test spawn is one of the hits.
+    assert!(hits.len() >= 5, "expected >= 5 hits, got {diags:?}");
+    // The help text points at the approved runner module.
+    assert!(hits.iter().all(|d| d
+        .help
+        .as_deref()
+        .is_some_and(|h| h.contains("crates/sim/src/shard.rs"))));
+}
+
+#[test]
+fn thread_spawn_pass_is_clean() {
+    assert_eq!(
+        rules_fired("crates/sim/src/engine.rs", &fixture("thread_spawn/pass.rs")),
+        Vec::<&str>::new()
+    );
+}
+
+#[test]
+fn thread_spawn_out_of_scope_crate_is_exempt() {
+    // tango-bench fans seeds out over workers by design; the rule only
+    // guards the deterministic crates.
+    assert_eq!(
+        rules_fired(
+            "crates/bench/src/parallel.rs",
+            &fixture("thread_spawn/fail.rs")
+        ),
+        Vec::<&str>::new()
+    );
+}
+
+#[test]
+fn thread_spawn_suppression_with_reason_is_honored() {
+    // The shard runner's own pattern: a reasoned allow on the statement
+    // that creates the scoped workers.
+    let src = "\
+pub fn run(shards: &mut [u64]) {
+    // tango-lint: allow(thread-spawn) approved shard runner: determinism proven against run_serial
+    std::thread::scope(|scope| {
+        for s in shards.iter_mut() {
+            scope.spawn(move || *s += 1);
+        }
+    });
+}
+";
+    assert_eq!(
+        rules_fired("crates/sim/src/shard.rs", src),
+        Vec::<&str>::new()
+    );
+}

@@ -1,0 +1,28 @@
+//! Fixture: thread creation inside a deterministic crate.
+
+pub fn ad_hoc_worker() {
+    let handle = std::thread::spawn(|| 42);
+    let _ = handle.join();
+}
+
+pub fn scoped_workers(items: &mut [u64]) {
+    std::thread::scope(|scope| {
+        for item in items.iter_mut() {
+            scope.spawn(move || *item += 1);
+        }
+    });
+}
+
+pub fn work_stealing(values: &[u64]) -> u64 {
+    use rayon::prelude::*;
+    values.par_iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn threads_in_tests_count_too() {
+        let h = std::thread::spawn(|| ());
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: no thread creation — plain sequential code, plus the names
+//! the rule must not false-positive on.
+
+pub struct Spawner {
+    pub spawn_count: u64,
+}
+
+impl Spawner {
+    /// `spawn` as a field/ident (no call, no `thread::` path) is fine.
+    pub fn record(&mut self) {
+        self.spawn_count += 1;
+    }
+}
+
+/// A lexical `scope` that has nothing to do with threads.
+pub fn scope(depth: usize) -> usize {
+    depth + 1
+}
+
+pub fn checked_parallelism_probe() -> usize {
+    // Reading the machine's parallelism is allowed — only *creating*
+    // threads is gated.
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}

@@ -16,10 +16,24 @@
 //!   prepend/strip encapsulation in place, and dead packets' buffers are
 //!   recycled through a freelist ([`Ctx::recycle`]) instead of hitting
 //!   the allocator per packet.
+//!
+//! ## Sharding
+//!
+//! The node table is partitioned into contiguous shards (see
+//! `crate::shard`), each owning its nodes, their outgoing links, a private
+//! heap+staged event queue, per-node RNG streams, and per-shard stats and
+//! trace rings. Shards advance in lockstep conservative windows whose
+//! width is the minimum cross-shard link latency; cross-shard deliveries
+//! travel through per-shard outboxes exchanged at window barriers. Every
+//! event carries a canonical `EventKey` `(time, origin, seq)` that is a
+//! function of stable identities only, so any shard count — and serial
+//! vs. threaded execution — produces bit-identical stats, traces, and
+//! telemetry. The determinism argument is written out in DESIGN.md §11.
 
 use crate::clock::NodeClock;
 use crate::fault::{FaultDecision, FaultInjector};
-use crate::hash::flow_hash;
+use crate::hash::{flow_hash, mix64};
+use crate::shard::{self, Partition, ShardMode};
 use crate::time::SimTime;
 use crate::trace::{TraceEvent, TraceKind, Tracer};
 use rand::rngs::StdRng;
@@ -35,6 +49,13 @@ use tango_topology::{AsId, DirectionProfile, EventKind as TopoEventKind, LinkEve
 /// Sentinel node index for events scheduled against an id that is not in
 /// the topology (they dispatch to "no agent", like the seed behaviour).
 const NO_NODE: u32 = u32::MAX;
+
+/// Origin id of the external scheduler (`schedule_host_packet`,
+/// `schedule_timer_at`). Node `idx` emits with origin `idx + 1`, so
+/// external events sort first among same-instant ties — matching the
+/// pre-sharding behaviour where pre-scheduled events drew earlier global
+/// sequence numbers than anything emitted during the run.
+const EXT_ORIGIN: u32 = 0;
 
 /// Cached destination-address parse state of a [`Packet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -275,7 +296,10 @@ impl BufferPool {
 
 /// Node behaviour: packets from the network, packets from the local host
 /// side, and timers.
-pub trait Agent {
+///
+/// `Send` because a shard — and every agent on it — may be handed to a
+/// worker thread for the duration of a synchronization window.
+pub trait Agent: Send {
     /// A packet arrived from the network.
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet);
 
@@ -316,21 +340,62 @@ pub struct SimStats {
     pub timers: u64,
 }
 
-enum EventKind {
+impl SimStats {
+    /// Add another stats block field-by-field (merging per-shard counts
+    /// into the run total — pure sums, so the merge is order-free).
+    pub fn accumulate(&mut self, other: &SimStats) {
+        self.transmissions += other.transmissions;
+        self.deliveries += other.deliveries;
+        self.lost_link += other.lost_link;
+        self.lost_outage += other.lost_outage;
+        self.lost_fault += other.lost_fault;
+        self.corrupted += other.corrupted;
+        self.no_link += other.no_link;
+        self.lost_queue += other.lost_queue;
+        self.no_route += other.no_route;
+        self.ttl_expired += other.ttl_expired;
+        self.timers += other.timers;
+    }
+}
+
+pub(crate) enum EventKind {
     Deliver { to: u32, pkt: Packet },
     HostInject { to: u32, pkt: Packet },
     Timer { node: u32, tag: u64 },
 }
 
-struct QueuedEvent {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
+impl EventKind {
+    /// The node index this event dispatches to.
+    fn dest(&self) -> u32 {
+        match self {
+            EventKind::Deliver { to, .. } => *to,
+            EventKind::HostInject { to, .. } => *to,
+            EventKind::Timer { node, .. } => *node,
+        }
+    }
+}
+
+/// The canonical, globally unique ordering key of an event: virtual time,
+/// emitting origin (0 = external scheduler, node idx + 1 otherwise), and
+/// the origin's private emission sequence number. A pure function of
+/// stable identities — independent of shard layout and of the realized
+/// execution interleaving — which is the whole determinism argument:
+/// sorting any distribution of events by key reproduces one total order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct EventKey {
+    pub(crate) time: SimTime,
+    pub(crate) origin: u32,
+    pub(crate) seq: u64,
+}
+
+pub(crate) struct QueuedEvent {
+    pub(crate) key: EventKey,
+    pub(crate) kind: EventKind,
 }
 
 impl PartialEq for QueuedEvent {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl Eq for QueuedEvent {}
@@ -341,7 +406,7 @@ impl PartialOrd for QueuedEvent {
 }
 impl Ord for QueuedEvent {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+        self.key.cmp(&other.key)
     }
 }
 
@@ -355,9 +420,17 @@ pub struct SimConfig {
     /// Optional global fault injection on every link.
     pub fault: Option<FaultInjector>,
     /// Optional metric registry to publish telemetry into (event
-    /// counts, queue depths, per-link busy time; see `tango-obs`).
-    /// `None` keeps the event loop entirely instrumentation-free.
+    /// counts, per-link busy time; see `tango-obs`). `None` keeps the
+    /// event loop entirely instrumentation-free.
     pub obs: Option<Registry>,
+    /// Number of shards to partition the node table into (clamped to
+    /// `[1, nodes]`; forced to 1 when a cross-shard link would have zero
+    /// lookahead). Results are bit-identical for every value.
+    pub shards: usize,
+    /// How multi-shard runs execute (serial reference or worker
+    /// threads); single-shard runs ignore this. Either way produces the
+    /// same bytes — the mode only trades wall-clock for cores.
+    pub shard_mode: ShardMode,
 }
 
 impl Default for SimConfig {
@@ -367,6 +440,8 @@ impl Default for SimConfig {
             trace_capacity: 0,
             fault: None,
             obs: None,
+            shards: 1,
+            shard_mode: ShardMode::Auto,
         }
     }
 }
@@ -380,9 +455,6 @@ struct SimObs {
     ev_deliver: Counter,
     ev_host_inject: Counter,
     ev_timer: Counter,
-    heap_max: Gauge,
-    staged_max: Gauge,
-    pool_buffers: Gauge,
     run_until_ns: Histogram,
     /// Dense link id → cumulative wire-busy-time gauge.
     link_busy: Vec<Gauge>,
@@ -407,9 +479,6 @@ impl SimObs {
             ev_deliver: registry.counter("sim.events.deliver"),
             ev_host_inject: registry.counter("sim.events.host_inject"),
             ev_timer: registry.counter("sim.events.timer"),
-            heap_max: registry.gauge("sim.queue.heap_max"),
-            staged_max: registry.gauge("sim.queue.staged_max"),
-            pool_buffers: registry.gauge("sim.pool.buffers"),
             run_until_ns: registry.histogram("sim.span.run_until_ns"),
             link_busy: named
                 .into_iter()
@@ -458,13 +527,13 @@ impl SimObs {
 /// Ids are sorted, so the index order matches `BTreeMap` iteration order
 /// and results are bit-identical to the tree-keyed seed implementation.
 #[derive(Debug)]
-struct NodeTable {
+pub(crate) struct NodeTable {
     /// idx → id, ascending.
-    ids: Vec<AsId>,
+    pub(crate) ids: Vec<AsId>,
 }
 
 impl NodeTable {
-    fn build(topology: &Topology) -> Self {
+    pub(crate) fn build(topology: &Topology) -> Self {
         NodeTable {
             ids: topology.nodes().map(|n| n.id).collect(),
         }
@@ -480,26 +549,28 @@ impl NodeTable {
         self.ids[idx as usize] // tango-lint: allow(hot-path-panic) idx is a dense index interned by NodeTable
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.ids.len()
     }
 }
 
 /// Dense directed-link tables: per-link delay profile and scheduled
 /// events, plus a per-node adjacency index for O(log degree) resolution
-/// of `(from, to)` to a link id.
+/// of `(from, to)` to a link id. Link ids are minted in from-node index
+/// order, so a contiguous node range owns a contiguous link-id range —
+/// which is what lets each shard carry dense local busy/accum tables.
 #[derive(Debug)]
-struct LinkTable {
+pub(crate) struct LinkTable {
     /// from_idx → sorted [(to_idx, link_id)].
-    adj: Vec<Vec<(u32, u32)>>,
+    pub(crate) adj: Vec<Vec<(u32, u32)>>,
     /// link_id → the directed hop's profile (copied out of the topology).
-    profiles: Vec<DirectionProfile>,
+    pub(crate) profiles: Vec<DirectionProfile>,
     /// link_id → events scheduled on the directed hop, topology order.
     events: Vec<Vec<LinkEvent>>,
 }
 
 impl LinkTable {
-    fn build(topology: &Topology, nodes: &NodeTable) -> Self {
+    pub(crate) fn build(topology: &Topology, nodes: &NodeTable) -> Self {
         let mut adj = vec![Vec::new(); nodes.len()];
         let mut profiles = Vec::new();
         let mut events = Vec::new();
@@ -543,6 +614,16 @@ impl LinkTable {
     }
 }
 
+/// The topology-derived state every shard reads and none mutates: safe to
+/// share by reference across worker threads for the duration of a window.
+pub(crate) struct SimShared {
+    pub(crate) topology: Topology,
+    pub(crate) nodes: NodeTable,
+    pub(crate) links: LinkTable,
+    pub(crate) fault: Option<FaultInjector>,
+    pub(crate) part: Partition,
+}
+
 /// The execution context handed to agents. All side effects an agent can
 /// have on the world go through here, which keeps event ordering and
 /// randomness deterministic.
@@ -550,6 +631,9 @@ pub struct Ctx<'a> {
     /// The node this agent runs on.
     pub node: AsId,
     node_idx: u32,
+    /// This node's emission origin (`node_idx + 1`): every event it
+    /// schedules is keyed by it, giving location-based determinism.
+    origin: u32,
     now: SimTime,
     clock: NodeClock,
     topology: &'a Topology,
@@ -562,12 +646,14 @@ pub struct Ctx<'a> {
     out: &'a mut Vec<QueuedEvent>,
     seq: &'a mut u64,
     /// Per-directed-link "busy until" instants (ns) for capacity-limited
-    /// links, indexed by dense link id: packets serialize behind the
-    /// previous departure.
+    /// links owned by this shard, indexed by `link_id - link_base`:
+    /// packets serialize behind the previous departure.
     link_busy: &'a mut [u64],
     /// Per-directed-link cumulative wire-occupancy time (ns), published
     /// as telemetry gauges at the end of each `run_until`.
     busy_accum: &'a mut [u64],
+    /// First dense link id owned by the dispatching shard.
+    link_base: usize,
     pool: &'a mut BufferPool,
 }
 
@@ -584,7 +670,10 @@ impl<'a> Ctx<'a> {
         self.clock.local_ns(self.now)
     }
 
-    /// Deterministic randomness for agent-level decisions.
+    /// Deterministic randomness for agent-level decisions. Every node
+    /// draws from its own stream (seeded from the run seed and the AS
+    /// number), so the sequence a node sees is independent of how other
+    /// nodes — possibly on other shards — interleave with it.
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
@@ -619,6 +708,16 @@ impl<'a> Ctx<'a> {
             node: self.node,
             kind,
         });
+    }
+
+    /// The canonical key of this node's next emission.
+    fn next_key(&mut self, time: SimTime) -> EventKey {
+        *self.seq += 1;
+        EventKey {
+            time,
+            origin: self.origin,
+            seq: *self.seq,
+        }
     }
 
     /// Transmit a packet to an adjacent node. Samples loss, event
@@ -676,10 +775,13 @@ impl<'a> Ctx<'a> {
         }
         // Capacity model: packets serialize on finite-capacity links,
         // waiting behind earlier departures; overlong waits tail-drop.
+        // The dispatching node owns every link it transmits on, so the
+        // shard-local busy table (offset by link_base) always covers it.
         let mut queue_delay = 0u64;
         if profile.capacity_bps.is_some() {
             let tx = profile.tx_time_ns(pkt.len());
-            let busy = &mut self.link_busy[link_id as usize]; // tango-lint: allow(hot-path-panic) link_busy is sized to the link table at construction
+            let local_link = (link_id as usize).wrapping_sub(self.link_base);
+            let busy = &mut self.link_busy[local_link]; // tango-lint: allow(hot-path-panic) the from-node owns this link, so link_id sits in this shard's contiguous link range
             let start = (*busy).max(now_ns);
             let wait = start - now_ns;
             if wait > profile.max_queue_ns {
@@ -690,7 +792,7 @@ impl<'a> Ctx<'a> {
             }
             *busy = start + tx;
             queue_delay = wait + tx;
-            if let Some(acc) = self.busy_accum.get_mut(link_id as usize) {
+            if let Some(acc) = self.busy_accum.get_mut(local_link) {
                 *acc = acc.saturating_add(tx);
             }
         }
@@ -711,20 +813,18 @@ impl<'a> Ctx<'a> {
             self.pool.put(pkt.into_buffer());
             return;
         }
-        *self.seq += 1;
+        let key = self.next_key(time);
         self.out.push(QueuedEvent {
-            time,
-            seq: *self.seq,
+            key,
             kind: EventKind::Deliver { to: to_idx, pkt },
         });
     }
 
     /// Schedule a timer on this node after `delay`.
     pub fn schedule_timer(&mut self, delay: SimTime, tag: u64) {
-        *self.seq += 1;
+        let key = self.next_key(self.now + delay);
         self.out.push(QueuedEvent {
-            time: self.now + delay,
-            seq: *self.seq,
+            key,
             kind: EventKind::Timer {
                 node: self.node_idx,
                 tag,
@@ -745,92 +845,102 @@ impl<'a> Ctx<'a> {
     }
 }
 
-/// The deterministic discrete-event network simulator.
-pub struct NetworkSim {
-    topology: Topology,
-    nodes: NodeTable,
-    links: LinkTable,
-    clocks: Vec<NodeClock>,
-    agents: Vec<Option<Box<dyn Agent>>>,
-    queue: BinaryHeap<Reverse<QueuedEvent>>,
-    /// Externally scheduled events whose (time, seq) keys arrived in
-    /// non-decreasing order — the common case for pre-scheduled traffic
-    /// (a bench injecting N packets, a schedule expanded up front). Kept
-    /// out of the heap and merged lazily at pop time, so pre-loading 100k
-    /// packets does not inflate every heap operation to log(100k).
-    staged: VecDeque<QueuedEvent>,
-    now: SimTime,
-    seq: u64,
-    rng: StdRng,
-    fault: Option<FaultInjector>,
-    stats: SimStats,
-    tracer: Tracer,
-    link_busy: Vec<u64>,
-    busy_accum: Vec<u64>,
-    pool: BufferPool,
-    out_scratch: Vec<QueuedEvent>,
-    obs: Option<SimObs>,
+/// Per-event-kind counts a shard accumulates during one `run_until`
+/// (named fields, not an array, so the hot loop needs no indexing).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct EvCounts {
+    pub(crate) deliver: u64,
+    pub(crate) host_inject: u64,
+    pub(crate) timer: u64,
 }
 
-impl NetworkSim {
-    /// Build a simulator over a topology.
-    pub fn new(topology: Topology, config: SimConfig) -> Self {
-        let nodes = NodeTable::build(&topology);
-        let links = LinkTable::build(&topology, &nodes);
-        let n = nodes.len();
-        let n_links = links.profiles.len();
-        let obs = config.obs.as_ref().map(|r| SimObs::new(r, &nodes, &links));
-        NetworkSim {
-            topology,
-            nodes,
-            links,
-            clocks: vec![NodeClock::default(); n],
+/// One shard: a contiguous slice of the node table with its own event
+/// queues, agents, clocks, RNG streams, stats, trace ring, and outgoing
+/// link state. A shard never touches another shard's state — cross-shard
+/// deliveries go through `outbox` and are exchanged at window barriers.
+pub(crate) struct ShardState {
+    pub(crate) index: usize,
+    node_base: u32,
+    node_end: u32,
+    pub(crate) link_base: usize,
+    agents: Vec<Option<Box<dyn Agent>>>,
+    clocks: Vec<NodeClock>,
+    /// Per-node RNG streams, seeded from `mix64(run seed, AS number)` —
+    /// a node's draws depend only on its own event history, never on how
+    /// other nodes interleave, so any partition sees identical streams.
+    rngs: Vec<StdRng>,
+    /// Per-node emission sequence counters (the `seq` of [`EventKey`]).
+    node_seq: Vec<u64>,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    /// Externally scheduled events whose keys arrived in non-decreasing
+    /// order — the common case for pre-scheduled traffic. Kept out of
+    /// the heap and merged lazily at pop time, so pre-loading 100k
+    /// packets does not inflate every heap operation to log(100k).
+    staged: VecDeque<QueuedEvent>,
+    /// Scratch for same-timestamp batch drains (allocation reused).
+    batch: Vec<QueuedEvent>,
+    pub(crate) now: SimTime,
+    pub(crate) stats: SimStats,
+    pub(crate) tracer: Tracer,
+    link_busy: Vec<u64>,
+    pub(crate) busy_accum: Vec<u64>,
+    pool: BufferPool,
+    out_scratch: Vec<QueuedEvent>,
+    /// Cross-shard deliveries staged for each destination shard, drained
+    /// at the next window barrier.
+    outbox: Vec<Vec<QueuedEvent>>,
+    pub(crate) ev_counts: EvCounts,
+}
+
+impl ShardState {
+    fn new(index: usize, part: &Partition, nodes: &NodeTable, config: &SimConfig) -> Self {
+        let (node_base, node_end) = part.node_range(index);
+        let (link_base, link_end) = part.link_range(index);
+        let n = (node_end - node_base) as usize;
+        let n_links = link_end - link_base;
+        let rngs = nodes
+            .ids
+            .iter()
+            .skip(node_base as usize)
+            .take(n)
+            .map(|id| StdRng::seed_from_u64(mix64(config.seed ^ mix64(u64::from(id.0)))))
+            .collect();
+        ShardState {
+            index,
+            node_base,
+            node_end,
+            link_base,
             agents: (0..n).map(|_| None).collect(),
+            clocks: vec![NodeClock::default(); n],
+            rngs,
+            node_seq: vec![0; n],
             queue: BinaryHeap::new(),
             staged: VecDeque::new(),
+            batch: Vec::new(),
             now: SimTime::ZERO,
-            seq: 0,
-            rng: StdRng::seed_from_u64(config.seed),
-            fault: config.fault,
             stats: SimStats::default(),
             tracer: Tracer::new(config.trace_capacity),
             link_busy: vec![0; n_links],
             busy_accum: vec![0; n_links],
             pool: BufferPool::default(),
             out_scratch: Vec::new(),
-            obs,
+            outbox: (0..part.len()).map(|_| Vec::new()).collect(),
+            ev_counts: EvCounts::default(),
         }
     }
 
-    fn idx_or_sentinel(&self, node: AsId) -> u32 {
-        self.nodes.idx(node).unwrap_or(NO_NODE)
-    }
-
-    /// Set a node's clock (default: synchronized). The node must exist in
-    /// the topology.
-    // tango-lint: allow(hot-path-panic) setup-time API with a documented must-exist contract; clocks is sized to the node table
-    pub fn set_clock(&mut self, node: AsId, clock: NodeClock) {
-        let idx = self.nodes.idx(node).expect("clock node is in the topology");
-        self.clocks[idx as usize] = clock;
-    }
-
-    /// Install a node's agent (replacing any previous one). The node must
-    /// exist in the topology.
-    // tango-lint: allow(hot-path-panic) setup-time API with a documented must-exist contract; agents is sized to the node table
-    pub fn set_agent(&mut self, node: AsId, agent: Box<dyn Agent>) {
-        let idx = self.nodes.idx(node).expect("agent node is in the topology");
-        self.agents[idx as usize] = Some(agent);
+    /// Is `idx` one of this shard's nodes?
+    #[inline]
+    fn owns(&self, idx: u32) -> bool {
+        idx >= self.node_base && idx < self.node_end
     }
 
     /// Stage or heap-push an externally scheduled event: events arriving
-    /// in time order append to the staged queue in O(1); out-of-order
+    /// in key order append to the staged queue in O(1); out-of-order
     /// stragglers go to the heap. The pop-side merge preserves the exact
-    /// global (time, seq) order either way.
+    /// global key order either way.
     fn enqueue_external(&mut self, ev: QueuedEvent) {
-        let in_order = self
-            .staged
-            .back()
-            .map_or(true, |b| (b.time, b.seq) <= (ev.time, ev.seq));
+        let in_order = self.staged.back().map_or(true, |b| b.key <= ev.key);
         if in_order {
             self.staged.push_back(ev);
         } else {
@@ -838,152 +948,129 @@ impl NetworkSim {
         }
     }
 
-    /// Schedule a packet to enter `node` from its host side at `time`.
-    pub fn schedule_host_packet(&mut self, time: SimTime, node: AsId, pkt: Packet) {
-        self.seq += 1;
-        let to = self.idx_or_sentinel(node);
-        let ev = QueuedEvent {
-            time,
-            seq: self.seq,
-            kind: EventKind::HostInject { to, pkt },
-        };
-        self.enqueue_external(ev);
+    /// The key of the earliest pending event, if any.
+    fn peek_key(&self) -> Option<EventKey> {
+        let heap = self.queue.peek().map(|Reverse(e)| e.key);
+        let staged = self.staged.front().map(|e| e.key);
+        match (heap, staged) {
+            (None, s) => s,
+            (h, None) => h,
+            (Some(h), Some(s)) => Some(h.min(s)),
+        }
     }
 
-    /// Schedule a timer for `node` at absolute `time` (e.g. the initial
-    /// kick of a probe generator).
-    pub fn schedule_timer_at(&mut self, time: SimTime, node: AsId, tag: u64) {
-        self.seq += 1;
-        let node = self.idx_or_sentinel(node);
-        let ev = QueuedEvent {
-            time,
-            seq: self.seq,
-            kind: EventKind::Timer { node, tag },
-        };
-        self.enqueue_external(ev);
+    /// The timestamp of the earliest pending event, if any (the shard's
+    /// vote for the next global window opening).
+    pub(crate) fn next_time(&self) -> Option<SimTime> {
+        self.peek_key().map(|k| k.time)
     }
 
-    /// Current simulated time.
-    pub fn now(&self) -> SimTime {
-        self.now
+    /// True if this shard has nothing pending.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.staged.is_empty() && self.batch.is_empty()
     }
 
-    /// Simulation counters.
-    pub fn stats(&self) -> &SimStats {
-        &self.stats
-    }
-
-    /// The trace ring.
-    pub fn tracer(&self) -> &Tracer {
-        &self.tracer
-    }
-
-    /// The topology.
-    pub fn topology(&self) -> &Topology {
-        &self.topology
-    }
-
-    /// Buffers parked in the packet-buffer freelist (observability).
-    pub fn pooled_buffers(&self) -> usize {
-        self.pool.len()
-    }
-
-    /// Run until the queue is empty or simulated time exceeds `until`.
-    /// Returns the number of events processed.
-    pub fn run_until(&mut self, until: SimTime) -> u64 {
-        let mut processed = 0;
-        // Telemetry is tracked in locals and flushed once at the end, so
-        // the per-event cost is a handful of register ops whether or not
-        // a registry is attached.
-        let span_start = self.now.as_ns();
-        let (mut n_deliver, mut n_host, mut n_timer) = (0u64, 0u64, 0u64);
-        let (mut heap_max, mut staged_max) = (0usize, 0usize);
+    /// Pop every pending event whose time equals `t` — from the merged
+    /// heap+staged queues, in canonical key order — into `out` in one
+    /// pass (the same-timestamp batch drain; new events emitted *by*
+    /// the batch land at later keys or form the next batch).
+    fn drain_batch_at(&mut self, t: SimTime, out: &mut Vec<QueuedEvent>) {
         loop {
-            // The next event is the smaller of the heap head and the
-            // staged front — the same total (time, seq) order a single
-            // heap would produce.
-            let heap_key = self.queue.peek().map(|Reverse(e)| (e.time, e.seq));
-            let staged_key = self.staged.front().map(|e| (e.time, e.seq));
-            let (time, take_staged) = match (heap_key, staged_key) {
+            let heap_key = self
+                .queue
+                .peek()
+                .map(|Reverse(e)| e.key)
+                .filter(|k| k.time == t);
+            let staged_key = self.staged.front().map(|e| e.key).filter(|k| k.time == t);
+            let take_staged = match (heap_key, staged_key) {
                 (None, None) => break,
-                (Some(h), None) => (h.0, false),
-                (None, Some(s)) => (s.0, true),
-                (Some(h), Some(s)) => {
-                    if s < h {
-                        (s.0, true)
-                    } else {
-                        (h.0, false)
-                    }
-                }
+                (Some(_), None) => false,
+                (None, Some(_)) => true,
+                (Some(h), Some(s)) => s < h,
             };
-            if time > until {
-                break;
-            }
-            heap_max = heap_max.max(self.queue.len());
-            staged_max = staged_max.max(self.staged.len());
             // The peeks above guarantee the chosen queue is non-empty;
             // break (never panic) if that ever stops holding.
-            let event = if take_staged {
-                match self.staged.pop_front() {
-                    Some(e) => e,
-                    None => break,
-                }
+            let ev = if take_staged {
+                self.staged.pop_front()
             } else {
-                match self.queue.pop() {
-                    Some(Reverse(e)) => e,
-                    None => break,
-                }
+                self.queue.pop().map(|Reverse(e)| e)
             };
-            debug_assert!(event.time >= self.now, "time must be monotonic");
-            self.now = event.time;
-            match &event.kind {
-                EventKind::Deliver { .. } => n_deliver += 1,
-                EventKind::HostInject { .. } => n_host += 1,
-                EventKind::Timer { .. } => n_timer += 1,
+            match ev {
+                Some(e) => out.push(e),
+                None => break,
             }
-            self.dispatch(event.kind);
-            processed += 1;
         }
-        // Advance the clock to the horizon even if the queue went quiet.
-        if self.now < until {
-            self.now = until;
-        }
-        if let Some(obs) = &self.obs {
-            obs.ev_deliver.add(n_deliver);
-            obs.ev_host_inject.add(n_host);
-            obs.ev_timer.add(n_timer);
-            obs.heap_max.record_max(heap_max as u64);
-            obs.staged_max.record_max(staged_max as u64);
-            obs.pool_buffers.set(self.pool.len() as u64);
-            obs.run_until_ns
-                .record(self.now.as_ns().saturating_sub(span_start));
-            let mut total = 0u64;
-            for (gauge, &ns) in obs.link_busy.iter().zip(&self.busy_accum) {
-                gauge.set(ns);
-                total = total.saturating_add(ns);
+    }
+
+    /// Process every pending event with `time <= horizon` (inclusive),
+    /// batching same-timestamp runs. Returns events processed. The
+    /// horizon is the conservative window bound: the callers guarantee no
+    /// cross-shard event at or before it can still arrive.
+    pub(crate) fn run_window(&mut self, shared: &SimShared, horizon: SimTime) -> u64 {
+        let mut processed = 0u64;
+        let mut batch = std::mem::take(&mut self.batch);
+        while let Some(t) = self.next_time() {
+            if t > horizon {
+                break;
             }
-            obs.link_busy_total.set(total);
-            obs.publish_stats(&self.stats);
+            self.drain_batch_at(t, &mut batch);
+            for ev in batch.drain(..) {
+                debug_assert!(ev.key.time >= self.now, "time must be monotonic");
+                self.now = ev.key.time;
+                match &ev.kind {
+                    EventKind::Deliver { .. } => self.ev_counts.deliver += 1,
+                    EventKind::HostInject { .. } => self.ev_counts.host_inject += 1,
+                    EventKind::Timer { .. } => self.ev_counts.timer += 1,
+                }
+                self.dispatch(shared, ev.key, ev.kind);
+                processed += 1;
+            }
         }
+        self.batch = batch;
         processed
     }
 
-    /// True if no events are pending.
-    pub fn idle(&self) -> bool {
-        self.queue.is_empty() && self.staged.is_empty()
+    /// Move this shard's staged deliveries for shard `dst` out (window
+    /// barrier exchange).
+    pub(crate) fn take_outbox(&mut self, dst: usize) -> Vec<QueuedEvent> {
+        match self.outbox.get_mut(dst) {
+            Some(v) => std::mem::take(v),
+            None => Vec::new(),
+        }
     }
 
-    fn dispatch(&mut self, kind: EventKind) {
-        let node_idx = match &kind {
-            EventKind::Deliver { to, .. } => *to,
-            EventKind::HostInject { to, .. } => *to,
-            EventKind::Timer { node, .. } => *node,
+    /// Is the outbox for shard `dst` empty?
+    pub(crate) fn outbox_is_empty(&self, dst: usize) -> bool {
+        self.outbox.get(dst).map_or(true, Vec::is_empty)
+    }
+
+    /// Accept cross-shard deliveries (heap-pushed: they arrive beyond the
+    /// closed window, in no particular order, but keys restore the total
+    /// order at pop time).
+    pub(crate) fn receive(&mut self, events: Vec<QueuedEvent>) {
+        for ev in events {
+            self.queue.push(Reverse(ev));
+        }
+    }
+
+    /// Drain-variant of [`ShardState::receive`] for reusable inboxes.
+    pub(crate) fn receive_drain(&mut self, events: &mut Vec<QueuedEvent>) {
+        for ev in events.drain(..) {
+            self.queue.push(Reverse(ev));
+        }
+    }
+
+    fn dispatch(&mut self, shared: &SimShared, key: EventKey, kind: EventKind) {
+        let node_idx = kind.dest();
+        let local = node_idx.wrapping_sub(self.node_base) as usize;
+        let slot = if self.owns(node_idx) {
+            self.agents.get_mut(local)
+        } else {
+            // Out-of-range sentinel (NO_NODE routes to shard 0): treated
+            // exactly like a node without an agent.
+            None
         };
-        let Some(mut agent) = self
-            .agents
-            .get_mut(node_idx as usize)
-            .and_then(|slot| slot.take())
-        else {
+        let Some(mut agent) = slot.and_then(|slot| slot.take()) else {
             // No agent: the packet/timer evaporates (counted as no_route —
             // a node without behaviour cannot forward). The dead packet's
             // buffer still feeds the pool.
@@ -996,25 +1083,30 @@ impl NetworkSim {
             }
             return;
         };
-        let node = self.nodes.id(node_idx);
-        let clock = self.clocks[node_idx as usize]; // tango-lint: allow(hot-path-panic) node_idx was validated by the agents lookup above
+        let node = shared.nodes.id(node_idx);
+        let clock = self.clocks[local]; // tango-lint: allow(hot-path-panic) node_idx was validated by the agents lookup above
+        self.tracer
+            .begin_dispatch(key.time.as_ns(), key.origin, key.seq);
         {
+            // tango-lint: allow(hot-path-panic) local was validated by the agents lookup above; rngs/node_seq are sized to the same node range
             let mut ctx = Ctx {
                 node,
                 node_idx,
+                origin: node_idx + 1,
                 now: self.now,
                 clock,
-                topology: &self.topology,
-                nodes: &self.nodes,
-                links: &self.links,
-                rng: &mut self.rng,
-                fault: self.fault,
+                topology: &shared.topology,
+                nodes: &shared.nodes,
+                links: &shared.links,
+                rng: &mut self.rngs[local],
+                fault: shared.fault,
                 stats: &mut self.stats,
                 tracer: &mut self.tracer,
                 out: &mut self.out_scratch,
-                seq: &mut self.seq,
+                seq: &mut self.node_seq[local],
                 link_busy: &mut self.link_busy,
                 busy_accum: &mut self.busy_accum,
+                link_base: self.link_base,
                 pool: &mut self.pool,
             };
             match kind {
@@ -1033,10 +1125,260 @@ impl NetworkSim {
                 }
             }
         }
+        // Route emissions: own-shard events go straight to the local
+        // queue; cross-shard deliveries wait in the outbox for the next
+        // window barrier. Their arrival times exceed the current window's
+        // horizon by the lookahead guarantee, so staging them is safe.
+        // tango-lint: allow(hot-path-panic) shard_of is total (sentinels map to shard 0) and outbox is sized to the shard count
         for ev in self.out_scratch.drain(..) {
-            self.queue.push(Reverse(ev));
+            let dest = ev.kind.dest();
+            if dest >= self.node_base && dest < self.node_end {
+                self.queue.push(Reverse(ev));
+            } else {
+                let dst = shared.part.shard_of(dest);
+                if dst == self.index {
+                    self.queue.push(Reverse(ev));
+                } else {
+                    self.outbox[dst].push(ev);
+                }
+            }
         }
-        self.agents[node_idx as usize] = Some(agent); // tango-lint: allow(hot-path-panic) node_idx was validated by the same-slot take above
+        self.agents[local] = Some(agent); // tango-lint: allow(hot-path-panic) node_idx was validated by the same-slot take above
+    }
+
+    fn set_agent_local(&mut self, idx: u32, agent: Box<dyn Agent>) {
+        let local = idx.wrapping_sub(self.node_base) as usize;
+        if let Some(slot) = self.agents.get_mut(local) {
+            *slot = Some(agent);
+        }
+    }
+
+    fn set_clock_local(&mut self, idx: u32, clock: NodeClock) {
+        let local = idx.wrapping_sub(self.node_base) as usize;
+        if let Some(slot) = self.clocks.get_mut(local) {
+            *slot = clock;
+        }
+    }
+}
+
+/// The deterministic discrete-event network simulator.
+pub struct NetworkSim {
+    shared: SimShared,
+    shards: Vec<ShardState>,
+    now: SimTime,
+    /// External-scheduler sequence counter (origin 0 of [`EventKey`]).
+    ext_seq: u64,
+    /// Merged run totals (authoritative after each `run_until`).
+    stats: SimStats,
+    obs: Option<SimObs>,
+    /// Resolved execution mode for multi-shard runs.
+    threaded: bool,
+}
+
+impl NetworkSim {
+    /// Build a simulator over a topology.
+    pub fn new(topology: Topology, config: SimConfig) -> Self {
+        let nodes = NodeTable::build(&topology);
+        let links = LinkTable::build(&topology, &nodes);
+        let part = Partition::build(&nodes, &links, config.shards.max(1));
+        let obs = config.obs.as_ref().map(|r| SimObs::new(r, &nodes, &links));
+        let shards: Vec<ShardState> = (0..part.len())
+            .map(|s| ShardState::new(s, &part, &nodes, &config))
+            .collect();
+        let threaded = match config.shard_mode {
+            ShardMode::Serial => false,
+            ShardMode::Threaded => true,
+            ShardMode::Auto => {
+                part.len() > 1 && std::thread::available_parallelism().is_ok_and(|p| p.get() > 1)
+            }
+        };
+        NetworkSim {
+            shared: SimShared {
+                topology,
+                nodes,
+                links,
+                fault: config.fault,
+                part,
+            },
+            shards,
+            now: SimTime::ZERO,
+            ext_seq: 0,
+            stats: SimStats::default(),
+            obs,
+            threaded,
+        }
+    }
+
+    fn idx_or_sentinel(&self, node: AsId) -> u32 {
+        self.shared.nodes.idx(node).unwrap_or(NO_NODE)
+    }
+
+    /// The number of shards the node table was partitioned into (may be
+    /// smaller than requested: clamped to the node count, and forced to 1
+    /// when a cross-shard link would have zero lookahead).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative-synchronization lookahead, ns: the minimum
+    /// cross-shard link latency (`u64::MAX` when no link crosses shards,
+    /// i.e. windows open to the full horizon).
+    pub fn shard_lookahead_ns(&self) -> u64 {
+        self.shared.part.lookahead_ns()
+    }
+
+    /// Set a node's clock (default: synchronized). The node must exist in
+    /// the topology.
+    // tango-lint: allow(hot-path-panic) setup-time API with a documented must-exist contract; shard_of is total over interned indices
+    pub fn set_clock(&mut self, node: AsId, clock: NodeClock) {
+        let idx = self
+            .shared
+            .nodes
+            .idx(node)
+            .expect("clock node is in the topology");
+        let shard = self.shared.part.shard_of(idx);
+        self.shards[shard].set_clock_local(idx, clock);
+    }
+
+    /// Install a node's agent (replacing any previous one). The node must
+    /// exist in the topology.
+    // tango-lint: allow(hot-path-panic) setup-time API with a documented must-exist contract; shard_of is total over interned indices
+    pub fn set_agent(&mut self, node: AsId, agent: Box<dyn Agent>) {
+        let idx = self
+            .shared
+            .nodes
+            .idx(node)
+            .expect("agent node is in the topology");
+        let shard = self.shared.part.shard_of(idx);
+        self.shards[shard].set_agent_local(idx, agent);
+    }
+
+    /// Schedule a packet to enter `node` from its host side at `time`.
+    // tango-lint: allow(hot-path-panic) shard_of is total (sentinels map to shard 0), so the shard index is always in range
+    pub fn schedule_host_packet(&mut self, time: SimTime, node: AsId, pkt: Packet) {
+        self.ext_seq += 1;
+        let to = self.idx_or_sentinel(node);
+        let ev = QueuedEvent {
+            key: EventKey {
+                time,
+                origin: EXT_ORIGIN,
+                seq: self.ext_seq,
+            },
+            kind: EventKind::HostInject { to, pkt },
+        };
+        let shard = self.shared.part.shard_of(to);
+        self.shards[shard].enqueue_external(ev);
+    }
+
+    /// Schedule a timer for `node` at absolute `time` (e.g. the initial
+    /// kick of a probe generator).
+    // tango-lint: allow(hot-path-panic) shard_of is total (sentinels map to shard 0), so the shard index is always in range
+    pub fn schedule_timer_at(&mut self, time: SimTime, node: AsId, tag: u64) {
+        self.ext_seq += 1;
+        let node = self.idx_or_sentinel(node);
+        let ev = QueuedEvent {
+            key: EventKey {
+                time,
+                origin: EXT_ORIGIN,
+                seq: self.ext_seq,
+            },
+            kind: EventKind::Timer { node, tag },
+        };
+        let shard = self.shared.part.shard_of(node);
+        self.shards[shard].enqueue_external(ev);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Simulation counters (merged across shards; refreshed at the end of
+    /// every [`NetworkSim::run_until`]).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The trace ring, merged across shards into canonical key order.
+    pub fn tracer(&self) -> Tracer {
+        Tracer::merged(self.shards.iter().map(|s| &s.tracer))
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.shared.topology
+    }
+
+    /// Buffers parked in the packet-buffer freelists (observability).
+    pub fn pooled_buffers(&self) -> usize {
+        self.shards.iter().map(|s| s.pool.len()).sum()
+    }
+
+    /// Run until the queues are empty or simulated time exceeds `until`.
+    /// Returns the number of events processed.
+    ///
+    /// Single-shard runs take the direct path (one window to the
+    /// horizon). Multi-shard runs advance in lockstep conservative
+    /// windows — serially or on worker threads per the configured
+    /// [`ShardMode`] — with bit-identical results either way.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        let span_start = self.now.as_ns();
+        for s in &mut self.shards {
+            s.ev_counts = EvCounts::default();
+        }
+        let processed = if self.shards.len() == 1 {
+            match self.shards.first_mut() {
+                Some(s) => s.run_window(&self.shared, until),
+                None => 0,
+            }
+        } else if self.threaded {
+            shard::run_threaded(&mut self.shards, &self.shared, until)
+        } else {
+            shard::run_serial(&mut self.shards, &self.shared, until)
+        };
+        // Advance every clock to the horizon even where queues went
+        // quiet, then merge the per-shard counters into the run totals.
+        let mut merged = SimStats::default();
+        for s in &mut self.shards {
+            if s.now < until {
+                s.now = until;
+            }
+            merged.accumulate(&s.stats);
+        }
+        self.stats = merged;
+        if self.now < until {
+            self.now = until;
+        }
+        if let Some(obs) = &self.obs {
+            let mut counts = EvCounts::default();
+            for s in &self.shards {
+                counts.deliver += s.ev_counts.deliver;
+                counts.host_inject += s.ev_counts.host_inject;
+                counts.timer += s.ev_counts.timer;
+            }
+            obs.ev_deliver.add(counts.deliver);
+            obs.ev_host_inject.add(counts.host_inject);
+            obs.ev_timer.add(counts.timer);
+            obs.run_until_ns
+                .record(self.now.as_ns().saturating_sub(span_start));
+            let mut total = 0u64;
+            for s in &self.shards {
+                for (offset, &ns) in s.busy_accum.iter().enumerate() {
+                    if let Some(gauge) = obs.link_busy.get(s.link_base + offset) {
+                        gauge.set(ns);
+                    }
+                    total = total.saturating_add(ns);
+                }
+            }
+            obs.link_busy_total.set(total);
+            obs.publish_stats(&self.stats);
+        }
+        processed
+    }
+
+    /// True if no events are pending on any shard.
+    pub fn idle(&self) -> bool {
+        self.shards.iter().all(ShardState::is_idle)
     }
 }
 
@@ -1087,7 +1429,6 @@ impl Agent for RouterAgent {
         ctx.transmit(next, pkt);
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1790,5 +2131,143 @@ mod tests {
         assert!(reused.is_empty());
         assert_eq!(reused.capacity(), ptr_cap);
         assert!(pool.is_empty());
+    }
+
+    /// Jittered line topology (randomness matters) used by the sharding
+    /// equivalence tests.
+    fn jittered_line() -> Topology {
+        let mut t = Topology::new();
+        for id in 1..=3u32 {
+            t.add_node(AsNode::new(id, AsKind::Transit, format!("{id}")))
+                .unwrap();
+        }
+        let lp = || {
+            LinkProfile::symmetric(
+                DirectionProfile::constant(1_000_000)
+                    .with_jitter(tango_topology::JitterModel::Gaussian { sigma_ns: 100_000 }),
+            )
+        };
+        t.add_peering(AsId(1), AsId(2), lp()).unwrap();
+        t.add_peering(AsId(2), AsId(3), lp()).unwrap();
+        t
+    }
+
+    #[test]
+    fn same_timestamp_batch_preserves_key_order() {
+        // Externally scheduled timers on one node, deliberately arriving
+        // out of time order so some land in the staged queue and some in
+        // the heap. The same-timestamp batch drain must still fire them
+        // in canonical key order — and identically for any shard count.
+        use std::sync::Mutex;
+        struct OrderAgent {
+            fired: Arc<Mutex<Vec<u64>>>,
+        }
+        impl Agent for OrderAgent {
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, tag: u64) {
+                self.fired.lock().unwrap().push(tag);
+            }
+        }
+        let run = |shards: usize| {
+            let fired = Arc::new(Mutex::new(Vec::new()));
+            let mut sim = NetworkSim::new(
+                line(),
+                SimConfig {
+                    shards,
+                    shard_mode: ShardMode::Serial,
+                    ..Default::default()
+                },
+            );
+            sim.set_agent(
+                AsId(1),
+                Box::new(OrderAgent {
+                    fired: fired.clone(),
+                }),
+            );
+            // Scheduling order: (2ms, 100), (1ms, 1), (1ms, 2), (2ms, 101).
+            // The 1 ms timers arrive after a later-timed one and go to the
+            // heap; the 2 ms timers stage in order. The merged drain must
+            // fire [1, 2, 100, 101].
+            sim.schedule_timer_at(SimTime::from_ms(2), AsId(1), 100);
+            sim.schedule_timer_at(SimTime::from_ms(1), AsId(1), 1);
+            sim.schedule_timer_at(SimTime::from_ms(1), AsId(1), 2);
+            sim.schedule_timer_at(SimTime::from_ms(2), AsId(1), 101);
+            sim.run_until(SimTime::from_secs(1));
+            assert_eq!(sim.stats().timers, 4);
+            let order = fired.lock().unwrap().clone();
+            order
+        };
+        assert_eq!(run(1), vec![1, 2, 100, 101]);
+        assert_eq!(run(2), vec![1, 2, 100, 101]);
+        assert_eq!(run(3), vec![1, 2, 100, 101]);
+    }
+
+    #[test]
+    fn sharded_run_matches_single_shard() {
+        // The tentpole invariant in miniature: stats and traces must be
+        // bit-identical across shard counts and execution modes.
+        let run = |shards: usize, mode: ShardMode| {
+            let mut sim = NetworkSim::new(
+                jittered_line(),
+                SimConfig {
+                    seed: 42,
+                    trace_capacity: 4096,
+                    shards,
+                    shard_mode: mode,
+                    ..Default::default()
+                },
+            );
+            sim.set_agent(
+                AsId(1),
+                Box::new(RouterAgent::new(
+                    AsId(1),
+                    router_table(&[("2001:db8:3::/48", 2)]),
+                )),
+            );
+            sim.set_agent(
+                AsId(2),
+                Box::new(RouterAgent::new(
+                    AsId(2),
+                    router_table(&[("2001:db8:3::/48", 3)]),
+                )),
+            );
+            sim.set_agent(
+                AsId(3),
+                Box::new(RouterAgent::new(AsId(3), PrefixTrie::new())),
+            );
+            for i in 0..50 {
+                sim.schedule_host_packet(
+                    SimTime::from_ms(i),
+                    AsId(1),
+                    ipv6_packet("2001:db8:3::1", 64),
+                );
+            }
+            let processed = sim.run_until(SimTime::from_secs(2));
+            (*sim.stats(), sim.tracer().events(), processed)
+        };
+        let baseline = run(1, ShardMode::Serial);
+        assert!(baseline.2 > 0, "baseline must process events");
+        for shards in [2usize, 3] {
+            for mode in [ShardMode::Serial, ShardMode::Threaded] {
+                let got = run(shards, mode);
+                assert_eq!(
+                    got, baseline,
+                    "shards={shards} mode={mode:?} diverged from single-shard"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_forced_serial_when_requested_shards_exceed_nodes() {
+        let sim = NetworkSim::new(
+            line(),
+            SimConfig {
+                shards: 64,
+                ..Default::default()
+            },
+        );
+        assert!(sim.shard_count() <= 3);
+        assert!(sim.shard_lookahead_ns() >= 500_000);
     }
 }

@@ -37,6 +37,7 @@ pub mod edge_noise;
 pub mod engine;
 pub mod fault;
 pub mod hash;
+pub mod shard;
 pub mod time;
 pub mod trace;
 pub mod traffic;
@@ -49,6 +50,7 @@ pub use chaos::{ChaosConfig, ChaosEvent, ChaosKind, ChaosSchedule};
 pub use clock::NodeClock;
 pub use engine::{Agent, BufferPool, Ctx, NetworkSim, Packet, RouterAgent, SimConfig, SimStats};
 pub use fault::{FaultDecision, FaultInjector, OutageSchedule};
+pub use shard::ShardMode;
 pub use time::SimTime;
 pub use trace::{TraceEvent, TraceKind, Tracer};
 pub use traffic::{CbrSchedule, PoissonSchedule, Schedule};

@@ -73,6 +73,26 @@ impl SimTime {
     pub fn checked_add(self, other: SimTime) -> Option<SimTime> {
         self.0.checked_add(other.0).map(SimTime)
     }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(other.0))
+    }
+
+    /// End of a conservative synchronization window that opens at `self`:
+    /// the last instant a shard may safely process given that no
+    /// cross-shard event sent at or after `self` can arrive earlier than
+    /// `self + lookahead_ns` (so everything at or before the returned
+    /// instant is immune to other shards), clipped to the run horizon
+    /// `until`. `lookahead_ns == u64::MAX` means "no cross-shard links at
+    /// all" and opens the window to the full horizon.
+    pub fn conservative_window_end(self, lookahead_ns: u64, until: SimTime) -> SimTime {
+        if lookahead_ns == u64::MAX {
+            return until;
+        }
+        debug_assert!(lookahead_ns > 0, "zero lookahead cannot open a window");
+        until.min(self.saturating_add(SimTime(lookahead_ns.saturating_sub(1))))
+    }
 }
 
 impl Add for SimTime {
@@ -134,6 +154,29 @@ mod tests {
         c += b;
         assert_eq!(c, SimTime::from_ms(13));
         assert_eq!(SimTime(u64::MAX).checked_add(SimTime(1)), None);
+    }
+
+    #[test]
+    fn conservative_window() {
+        let g = SimTime::from_ms(10);
+        let until = SimTime::from_secs(1);
+        // Lookahead 25 µs: the window is inclusive of g + 24_999 ns.
+        assert_eq!(
+            g.conservative_window_end(25_000, until),
+            SimTime(10_000_000 + 24_999)
+        );
+        // Clipped to the run horizon.
+        assert_eq!(
+            g.conservative_window_end(25_000, SimTime::from_ms(10)),
+            SimTime::from_ms(10)
+        );
+        // No cross-shard links: the whole horizon at once.
+        assert_eq!(g.conservative_window_end(u64::MAX, until), until);
+        // Near-overflow opening times never wrap.
+        assert_eq!(
+            SimTime(u64::MAX - 1).conservative_window_end(25_000, SimTime(u64::MAX)),
+            SimTime(u64::MAX)
+        );
     }
 
     #[test]

@@ -3,6 +3,13 @@
 //! Inspired by smoltcp's `--pcap` facility: every packet-level incident
 //! can be recorded, bounded by a ring capacity so an 8-day run cannot
 //! exhaust memory. Disabled (capacity 0) by default.
+//!
+//! Every record carries a [`TraceTag`] — the canonical dispatch key of
+//! the event that produced it plus an intra-dispatch index. The tag is a
+//! function of stable identities only (virtual time, emitting origin,
+//! per-origin sequence), never of shard layout or realized execution
+//! interleaving, so per-shard rings [`Tracer::merged`] into the same
+//! canonical order a single-queue run records.
 
 use crate::time::SimTime;
 use tango_topology::AsId;
@@ -51,13 +58,32 @@ pub struct TraceEvent {
     pub kind: TraceKind,
 }
 
+/// Canonical ordering key of a trace record: the dispatch key of the
+/// event being processed when it was recorded, plus the record's index
+/// within that dispatch. Globally unique (origins never share sequence
+/// numbers) and shard-count independent, so sorting any union of
+/// per-shard rings by tag reproduces the single-shard order exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct TraceTag {
+    /// Event time, ns.
+    pub time_ns: u64,
+    /// Emitting origin: 0 for the external scheduler, node index + 1 for
+    /// events emitted by a node's agent.
+    pub origin: u32,
+    /// Per-origin emission sequence number.
+    pub seq: u64,
+    /// Index of this record within its dispatch.
+    pub intra: u32,
+}
+
 /// A bounded ring of trace events.
 #[derive(Debug, Default)]
 pub struct Tracer {
     capacity: usize,
-    events: Vec<TraceEvent>,
+    entries: Vec<(TraceTag, TraceEvent)>,
     head: usize,
     total: u64,
+    current: TraceTag,
 }
 
 impl Tracer {
@@ -65,32 +91,80 @@ impl Tracer {
     pub fn new(capacity: usize) -> Self {
         Tracer {
             capacity,
-            events: Vec::new(),
+            entries: Vec::new(),
             head: 0,
             total: 0,
+            current: TraceTag::default(),
         }
+    }
+
+    /// Mark the start of a dispatch: records up to the next call carry
+    /// this key, with an incrementing intra-dispatch index.
+    pub fn begin_dispatch(&mut self, time_ns: u64, origin: u32, seq: u64) {
+        self.current = TraceTag {
+            time_ns,
+            origin,
+            seq,
+            intra: 0,
+        };
     }
 
     /// Record an event (no-op when capacity is 0).
     pub fn record(&mut self, event: TraceEvent) {
         self.total += 1;
+        let tag = self.current;
+        self.current.intra += 1;
         if self.capacity == 0 {
             return;
         }
-        if self.events.len() < self.capacity {
-            self.events.push(event);
+        if self.entries.len() < self.capacity {
+            self.entries.push((tag, event));
         } else {
-            self.events[self.head] = event;
+            self.entries[self.head] = (tag, event);
             self.head = (self.head + 1) % self.capacity;
         }
     }
 
-    /// Events in chronological order (oldest retained first).
+    /// Retained events in canonical (tag) order.
+    ///
+    /// Within one run this coincides with chronological recording order
+    /// except inside a same-timestamp cluster, where the canonical key
+    /// order — not the realized dispatch interleaving — defines the
+    /// output. That is exactly what makes the result shard-invariant.
     pub fn events(&self) -> Vec<TraceEvent> {
-        let mut out = Vec::with_capacity(self.events.len());
-        out.extend_from_slice(&self.events[self.head..]);
-        out.extend_from_slice(&self.events[..self.head]);
-        out
+        let mut sorted: Vec<(TraceTag, TraceEvent)> = self.entries.clone();
+        sorted.sort_unstable_by_key(|&(tag, _)| tag);
+        sorted.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// Merge per-shard rings into one canonical tracer: union the
+    /// retained entries, sort by tag, keep the most-recent `capacity`.
+    ///
+    /// When the union exceeds the capacity the eviction boundary can
+    /// differ from a single-shard run's within one wrapping
+    /// same-timestamp cluster (each ring evicts by its own realized
+    /// order); runs whose rings never wrap merge exactly.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a Tracer>) -> Tracer {
+        let mut capacity = 0usize;
+        let mut total = 0u64;
+        let mut entries: Vec<(TraceTag, TraceEvent)> = Vec::new();
+        for part in parts {
+            capacity = capacity.max(part.capacity);
+            total += part.total;
+            entries.extend_from_slice(&part.entries);
+        }
+        entries.sort_unstable_by_key(|&(tag, _)| tag);
+        if entries.len() > capacity {
+            let excess = entries.len() - capacity;
+            entries.drain(..excess);
+        }
+        Tracer {
+            capacity,
+            entries,
+            head: 0,
+            total,
+            current: TraceTag::default(),
+        }
     }
 
     /// Total events ever recorded (including evicted ones).
@@ -100,7 +174,7 @@ impl Tracer {
 
     /// Count retained events matching a predicate.
     pub fn count(&self, f: impl Fn(&TraceEvent) -> bool) -> usize {
-        self.events.iter().filter(|e| f(e)).count()
+        self.entries.iter().filter(|(_, e)| f(e)).count()
     }
 }
 
@@ -143,5 +217,65 @@ mod tests {
         t.record(ev(2));
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.count(|e| e.time.0 == 1), 1);
+    }
+
+    #[test]
+    fn events_sort_by_tag_not_arrival() {
+        // Two dispatches recorded out of canonical order (as happens when
+        // a same-timestamp cluster realizes in non-key order): events()
+        // must present them in tag order.
+        let mut t = Tracer::new(10);
+        t.begin_dispatch(5, 3, 1);
+        t.record(ev(5));
+        t.begin_dispatch(5, 1, 9);
+        t.record(ev(5));
+        t.record(ev(5));
+        let tags: Vec<TraceTag> = {
+            let mut sorted = t.entries.clone();
+            sorted.sort_unstable_by_key(|&(tag, _)| tag);
+            sorted.into_iter().map(|(tag, _)| tag).collect()
+        };
+        assert_eq!(
+            tags,
+            vec![
+                TraceTag {
+                    time_ns: 5,
+                    origin: 1,
+                    seq: 9,
+                    intra: 0
+                },
+                TraceTag {
+                    time_ns: 5,
+                    origin: 1,
+                    seq: 9,
+                    intra: 1
+                },
+                TraceTag {
+                    time_ns: 5,
+                    origin: 3,
+                    seq: 1,
+                    intra: 0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn merged_reproduces_single_ring_order() {
+        // Interleave tagged records across two rings; the merge must equal
+        // one ring receiving everything in tag order.
+        let mut single = Tracer::new(8);
+        let mut a = Tracer::new(8);
+        let mut b = Tracer::new(8);
+        for (time, origin, seq) in [(1u64, 1u32, 1u64), (1, 2, 1), (2, 1, 2), (3, 2, 2)] {
+            single.begin_dispatch(time, origin, seq);
+            single.record(ev(time));
+            let part = if origin == 1 { &mut a } else { &mut b };
+            part.begin_dispatch(time, origin, seq);
+            part.record(ev(time));
+        }
+        let merged = Tracer::merged([&a, &b]);
+        assert_eq!(merged.events(), single.events());
+        assert_eq!(merged.total_recorded(), single.total_recorded());
     }
 }

@@ -184,6 +184,17 @@ impl DirectionProfile {
         d.max(base / 2) as u64
     }
 
+    /// A hard lower bound on [`DirectionProfile::sample_delay`]: the
+    /// `base/2` clamp floor (lane offsets and jitter can be negative, but
+    /// the clamp wins; queueing on capacity links only *adds* delay).
+    ///
+    /// The sharded simulator uses the minimum of this bound over all
+    /// cross-shard links as its conservative-synchronization lookahead, so
+    /// it must never exceed what `sample_delay` can actually return.
+    pub fn min_delay_ns(&self) -> u64 {
+        (self.base_delay_ns as i64 / 2) as u64
+    }
+
     /// Decide whether this packet is lost on this hop.
     pub fn sample_loss<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
         self.loss_rate > 0.0 && rng.gen_bool(self.loss_rate.clamp(0.0, 1.0))
@@ -316,6 +327,20 @@ mod tests {
         let lanes: std::collections::BTreeSet<u64> =
             (0..30).map(|h| p.sample_delay(&mut r, h, 0)).collect();
         assert_eq!(lanes.len(), 3);
+    }
+
+    #[test]
+    fn min_delay_bounds_every_sample() {
+        // Aggressive negative lanes + jitter: samples still respect the
+        // documented floor, so the sharding lookahead is genuinely safe.
+        let p = DirectionProfile::constant(1_000_000)
+            .with_ecmp_lanes(vec![-900_000, 0, 900_000])
+            .with_jitter(JitterModel::Gaussian { sigma_ns: 500_000 });
+        assert_eq!(p.min_delay_ns(), 500_000);
+        let mut r = rng();
+        for h in 0..5_000u64 {
+            assert!(p.sample_delay(&mut r, h, -300_000) >= p.min_delay_ns());
+        }
     }
 
     #[test]

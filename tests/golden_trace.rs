@@ -78,6 +78,31 @@ fn golden_seed_7_matches_byte_for_byte() {
     check_seed(GOLDEN_SEEDS[1]);
 }
 
+/// Sharding the simulator must be invisible to the pinned artifacts:
+/// the same golden bytes come out whether the engine runs one shard or
+/// eight. This is the end-to-end check of the shard determinism
+/// contract (DESIGN.md §11) — every counter, gauge, and histogram in
+/// the export survives partitioning, conservative windowing, and the
+/// barrier merge byte-for-byte.
+#[test]
+fn golden_seeds_are_shard_invariant() {
+    for seed in GOLDEN_SEEDS {
+        let path = golden_path(seed);
+        let Ok(expected) = std::fs::read_to_string(&path) else {
+            continue; // first run before UPDATE_GOLDEN seeds the files
+        };
+        for shards in [2, 8] {
+            let actual = telemetry::collect_seed_sharded(seed, shards).to_json();
+            assert_eq!(
+                actual,
+                expected,
+                "seed {seed} with {shards} shards drifted from {}",
+                path.display()
+            );
+        }
+    }
+}
+
 /// The golden files themselves must be canonical: parsing and
 /// re-serializing a snapshot is the identity on bytes.
 #[test]
