@@ -20,7 +20,7 @@
 //! fails to materialize — so CI can gate on it.
 
 use crate::parallel::{run_seeds, worker_count};
-use crate::util::{print_table, results_dir};
+use crate::util::{out_dir, print_table};
 use std::collections::BTreeMap;
 use tango::prelude::*;
 use tango_obs::Value;
@@ -40,6 +40,8 @@ pub struct ChaosOptions {
     /// Simulator shards per storm. The artifacts are bit-identical for
     /// every value — CI runs `--shards 1` vs `--shards 8` and diffs.
     pub shards: usize,
+    /// Artifact directory override (`--out`); `None` = `results/`.
+    pub out: Option<std::path::PathBuf>,
 }
 
 impl Default for ChaosOptions {
@@ -48,6 +50,7 @@ impl Default for ChaosOptions {
             seeds: vec![1, 2, 3, 4, 5, 6],
             workers: None,
             shards: 1,
+            out: None,
         }
     }
 }
@@ -137,6 +140,13 @@ fn outcome_value(outcome: &ChaosOutcome) -> Value {
         "adversary_spoofed".to_string(),
         Value::Num(outcome.adversary.spoofed),
     );
+    // The flight recorder: digest + span count of the control-plane ring
+    // dumped by the invariant check (the full dump is reproducible from
+    // the seed; the digest pins it byte-for-byte in CI diffs).
+    let mut flight = BTreeMap::new();
+    flight.insert("digest".to_string(), Value::Num(outcome.flight.digest));
+    flight.insert("spans".to_string(), Value::Num(outcome.flight.span_count));
+    root.insert("flight".to_string(), Value::Obj(flight));
     Value::Obj(root)
 }
 
@@ -275,7 +285,7 @@ pub fn report(options: &ChaosOptions) -> i32 {
         ],
         &rows,
     );
-    let storms_path = results_dir().join("CHAOS_storms.json");
+    let storms_path = out_dir(&options.out).join("CHAOS_storms.json");
     std::fs::write(&storms_path, storms_to_json(&sections)).expect("write CHAOS_storms json");
     println!("\nwritten to {}", storms_path.display());
 
@@ -309,7 +319,7 @@ pub fn report(options: &ChaosOptions) -> i32 {
         ],
         &rows,
     );
-    let byz_path = results_dir().join("CHAOS_byzantine.json");
+    let byz_path = out_dir(&options.out).join("CHAOS_byzantine.json");
     std::fs::write(&byz_path, ablation_to_json(seed, &arms)).expect("write CHAOS_byzantine json");
     println!("\nwritten to {}", byz_path.display());
 
@@ -352,12 +362,13 @@ mod tests {
         let serial = sweep(&ChaosOptions {
             seeds: vec![2, 5],
             workers: Some(1),
-            shards: 1,
+            ..ChaosOptions::default()
         });
         let parallel = sweep(&ChaosOptions {
             seeds: vec![2, 5],
             workers: Some(2),
             shards: 3,
+            ..ChaosOptions::default()
         });
         assert_eq!(
             storms_to_json(&serial),
@@ -371,7 +382,7 @@ mod tests {
         let sections = sweep(&ChaosOptions {
             seeds: vec![1, 4],
             workers: Some(2),
-            shards: 1,
+            ..ChaosOptions::default()
         });
         for (seed, o) in &sections {
             assert!(

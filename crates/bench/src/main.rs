@@ -10,8 +10,9 @@ use tango_bench::chaos::ChaosOptions;
 use tango_bench::sharded::ShardedOptions;
 use tango_bench::telemetry::TelemetryOptions;
 use tango_bench::throughput::ThroughputOptions;
+use tango_bench::trace::TraceOptions;
 use tango_bench::{
-    ablations, chaos, failover, fig3, fig4, headline, jitter, sharded, telemetry, throughput,
+    ablations, chaos, failover, fig3, fig4, headline, jitter, sharded, telemetry, throughput, trace,
 };
 use tango_sim::ShardMode;
 
@@ -51,8 +52,16 @@ COMMANDS
                         run under several --shards values; digests and event
                         totals must be bit-identical for every value →
                         results/BENCH_sharded.json (deterministic fields
-                        only; wall-clock goes to stdout); exits nonzero if
+                        plus the engine self-profiler's per-shard load;
+                        wall-clock goes to stdout); exits nonzero if
                         any shard count diverges
+  trace                 B4: causal flight-recorder export — the blackhole
+                        scenario with span recording armed →
+                        results/TRACE_vultr-blackhole_seed<S>.json
+                        (canonical span dump) + .chrome.json (open in
+                        Perfetto); byte-identical across runs, --workers,
+                        and --shards; --query answers causal questions
+                        instead of writing artifacts
   all                   run everything (with default durations)
 
 OPTIONS
@@ -79,6 +88,7 @@ TELEMETRY OPTIONS
                   artifact's bytes are identical either way)
   --shards <N>    simulator shards per seed (default 1; the artifact's
                   bytes are identical for every value)
+  --out <DIR>     write artifacts into DIR instead of results/
 
 CHAOS OPTIONS
   --seeds <list>  comma-separated storm seeds (default 1,2,3,4,5,6 —
@@ -87,6 +97,7 @@ CHAOS OPTIONS
                   artifacts' bytes are identical either way)
   --shards <N>    simulator shards per storm (default 1; the artifacts'
                   bytes are identical for every value)
+  --out <DIR>     write artifacts into DIR instead of results/
 
 SHARDED OPTIONS
   --replicas <K>  Vultr-deployment replicas in the mesh (default 8)
@@ -96,6 +107,19 @@ SHARDED OPTIONS
   --seed <S>      simulation seed (default 1)
   --mode <M>      execution mode for multi-shard runs: auto | serial |
                   threaded (default auto — threads when cores allow)
+  --out <DIR>     write artifacts into DIR instead of results/
+
+TRACE OPTIONS
+  --seeds <list>  comma-separated seeds (default 1 — the golden seed)
+  --workers <W>   worker threads (default: machine parallelism; the
+                  artifacts' bytes are identical either way)
+  --shards <N>    simulator shards per seed (default 1; the artifacts'
+                  bytes are identical for every value)
+  --query <Q>     answer a causal query instead of writing artifacts:
+                    ancestry:<time_ns>:<origin>:<seq>[:<intra>]
+                    node:<as>:<t0_ns>:<t1_ns>
+                    kinds
+  --out <DIR>     write artifacts into DIR instead of results/
 ";
 
 struct Args {
@@ -218,6 +242,9 @@ fn parse_telemetry_args(rest: &[String]) -> Result<TelemetryOptions, String> {
             "--shards" => {
                 options.shards = parse_shards(&take()?)?;
             }
+            "--out" => {
+                options.out = Some(std::path::PathBuf::from(take()?));
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -252,6 +279,9 @@ fn parse_chaos_args(rest: &[String]) -> Result<ChaosOptions, String> {
             }
             "--shards" => {
                 options.shards = parse_shards(&take()?)?;
+            }
+            "--out" => {
+                options.out = Some(std::path::PathBuf::from(take()?));
             }
             other => return Err(format!("unknown option {other}")),
         }
@@ -305,6 +335,50 @@ fn parse_sharded_args(rest: &[String]) -> Result<ShardedOptions, String> {
                     other => return Err(format!("--mode: unknown mode {other}")),
                 };
             }
+            "--out" => {
+                options.out = Some(std::path::PathBuf::from(take()?));
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(options)
+}
+
+fn parse_trace_args(rest: &[String]) -> Result<TraceOptions, String> {
+    let mut options = TraceOptions::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut take = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => {
+                options.seeds = take()?
+                    .split(',')
+                    .map(|s| s.trim().parse::<u64>().map_err(|e| format!("--seeds: {e}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if options.seeds.is_empty() {
+                    return Err("--seeds must name at least one seed".into());
+                }
+            }
+            "--workers" => {
+                let w: usize = take()?.parse().map_err(|e| format!("--workers: {e}"))?;
+                if w == 0 {
+                    return Err("--workers must be positive".into());
+                }
+                options.workers = Some(w);
+            }
+            "--shards" => {
+                options.shards = parse_shards(&take()?)?;
+            }
+            "--query" => {
+                options.query = Some(take()?);
+            }
+            "--out" => {
+                options.out = Some(std::path::PathBuf::from(take()?));
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -350,6 +424,16 @@ fn main() {
     if command == "sharded" {
         match parse_sharded_args(&argv[1..]) {
             Ok(options) => std::process::exit(sharded::report(&options)),
+            Err(e) => {
+                eprintln!("error: {e}\n");
+                eprint!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if command == "trace" {
+        match parse_trace_args(&argv[1..]) {
+            Ok(options) => std::process::exit(trace::report(&options)),
             Err(e) => {
                 eprintln!("error: {e}\n");
                 eprint!("{USAGE}");

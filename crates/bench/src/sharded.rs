@@ -16,11 +16,13 @@
 //! Exits nonzero if any shard count disagrees with the single-shard
 //! reference — that is the determinism gate the suite exists for.
 
-use crate::util::{fmt, print_table, results_dir};
+use crate::util::{fmt, out_dir, print_table};
+use std::path::PathBuf;
 use std::time::Instant;
 use tango::mesh::{vultr_replica_mesh, MeshOptions};
 use tango::prelude::SimTime;
-use tango_sim::ShardMode;
+use tango_obs::Registry;
+use tango_sim::{ShardLoad, ShardMode};
 
 /// App-packet spacing of the injected mesh load, simulated time.
 const PACKET_GAP_NS: u64 = 50_000;
@@ -43,6 +45,8 @@ pub struct ShardedOptions {
     /// Execution mode for multi-shard runs (`Auto` threads when the
     /// machine has cores to spare; `Serial`/`Threaded` force it).
     pub mode: ShardMode,
+    /// Artifact directory override (`--out`); `None` = `results/`.
+    pub out: Option<PathBuf>,
 }
 
 impl Default for ShardedOptions {
@@ -53,6 +57,7 @@ impl Default for ShardedOptions {
             shard_counts: vec![1, 2, 4, 8],
             seed: 1,
             mode: ShardMode::Auto,
+            out: None,
         }
     }
 }
@@ -69,6 +74,10 @@ pub struct ShardRun {
     pub events: u64,
     /// Deterministic fingerprint (stats + trace hash).
     pub digest: String,
+    /// The engine self-profiler: per-shard window/event/queue/outbox
+    /// accounting (deterministic — identical for serial and threaded
+    /// runners, so it lives in the byte-diffed artifact).
+    pub load: Vec<ShardLoad>,
 }
 
 /// Build the mesh, inject the load, run to the horizon, fingerprint.
@@ -98,6 +107,33 @@ pub fn run_one(options: &ShardedOptions, shards: usize) -> ShardRun {
         wall_ns,
         events,
         digest: mesh.digest(),
+        load: mesh.sim.shard_load(),
+    }
+}
+
+/// Export every run's [`ShardLoad`] into a `tango-obs` registry
+/// (counters named `sharded.s<requested>.shard.<i>.<field>`), so the
+/// self-profiler flows through the same snapshot/export machinery as the
+/// rest of the metric tree. Callers pass a **private** registry: the
+/// series are keyed by shard count, so they must never enter the shared
+/// scenario registry that the shard-invariant TELEMETRY artifact
+/// snapshots.
+pub fn publish_load(registry: &Registry, runs: &[ShardRun]) {
+    for r in runs {
+        for l in &r.load {
+            let base = format!("sharded.s{}.shard.{}", r.shards, l.shard);
+            registry.counter(&format!("{base}.windows")).add(l.windows);
+            registry
+                .counter(&format!("{base}.idle_windows"))
+                .add(l.idle_windows);
+            registry.counter(&format!("{base}.events")).add(l.events);
+            registry
+                .counter(&format!("{base}.outbox_events"))
+                .add(l.outbox_events);
+            registry
+                .gauge(&format!("{base}.queue_peak"))
+                .set(l.queue_peak);
+        }
     }
 }
 
@@ -116,13 +152,25 @@ pub fn to_json(options: &ShardedOptions, runs: &[ShardRun], identical: bool) -> 
         if i > 0 {
             entries.push_str(",\n");
         }
+        let mut load = String::new();
+        for (j, l) in r.load.iter().enumerate() {
+            if j > 0 {
+                load.push_str(",\n");
+            }
+            load.push_str(&format!(
+                "      {{\"shard\": {}, \"windows\": {}, \"idle_windows\": {}, \
+                 \"events\": {}, \"queue_peak\": {}, \"outbox_events\": {}}}",
+                l.shard, l.windows, l.idle_windows, l.events, l.queue_peak, l.outbox_events
+            ));
+        }
         entries.push_str(&format!(
             "    {{\"shards\": {}, \"effective_shards\": {}, \"events\": {}, \
-             \"digest\": \"{}\"}}",
+             \"digest\": \"{}\", \"load\": [\n{}\n    ]}}",
             r.shards,
             r.effective_shards,
             r.events,
-            json_escape_free(&r.digest)
+            json_escape_free(&r.digest),
+            load
         ));
     }
     format!(
@@ -192,7 +240,68 @@ pub fn report(options: &ShardedOptions) -> i32 {
         "\n(wall-clock columns depend on this machine's free cores and are NOT part \
          of the artifact; the committed JSON holds only the deterministic fields)"
     );
-    let path = results_dir().join("BENCH_sharded.json");
+
+    // The engine self-profiler: per-shard load for the widest partition
+    // of the sweep (single-shard runs have nothing to imbalance). All
+    // virtual-time counters, so the table is deterministic and the same
+    // rows land in the artifact for every run.
+    if let Some(widest) = runs.iter().max_by_key(|r| r.effective_shards) {
+        if widest.effective_shards > 1 {
+            println!(
+                "\nper-shard load at --shards {} (idle% = barrier-wait share: windows \
+                 drained with zero events):",
+                widest.shards
+            );
+            let total_events: u64 = widest.load.iter().map(|l| l.events).sum();
+            let mut rows = Vec::new();
+            for l in &widest.load {
+                rows.push(vec![
+                    l.shard.to_string(),
+                    l.events.to_string(),
+                    fmt(100.0 * l.events as f64 / total_events.max(1) as f64, 1),
+                    l.windows.to_string(),
+                    fmt(100.0 * l.idle_windows as f64 / l.windows.max(1) as f64, 1),
+                    l.queue_peak.to_string(),
+                    l.outbox_events.to_string(),
+                ]);
+            }
+            print_table(
+                &[
+                    "shard",
+                    "events",
+                    "share%",
+                    "windows",
+                    "idle%",
+                    "queue peak",
+                    "outbox",
+                ],
+                &rows,
+            );
+            let max_share = widest
+                .load
+                .iter()
+                .map(|l| l.events as f64 / total_events.max(1) as f64)
+                .fold(0.0f64, f64::max);
+            println!(
+                "load imbalance: busiest shard carries {}% of the events \
+                 (perfect balance would be {}%)",
+                fmt(100.0 * max_share, 1),
+                fmt(100.0 / widest.effective_shards as f64, 1)
+            );
+        }
+    }
+    // Export the profiler through tango-obs (a private registry — these
+    // series are keyed by shard count, so they stay out of the shared
+    // scenario registry that shard-invariant artifacts snapshot).
+    let profiler = Registry::new();
+    publish_load(&profiler, &runs);
+    let snap = profiler.snapshot();
+    println!(
+        "self-profiler exported through tango-obs: {} series",
+        snap.counters.len() + snap.gauges.len()
+    );
+
+    let path = out_dir(&options.out).join("BENCH_sharded.json");
     std::fs::write(&path, to_json(options, &runs, identical)).expect("write BENCH_sharded json");
     println!("written to {}", path.display());
     if !identical {
@@ -221,6 +330,7 @@ mod tests {
             shard_counts: vec![1, 2],
             seed: 5,
             mode: ShardMode::Auto,
+            out: None,
         }
     }
 
@@ -234,6 +344,49 @@ mod tests {
             .collect();
         assert_eq!(runs[0].digest, runs[1].digest);
         assert_eq!(runs[0].events, runs[1].events);
+        // The self-profiler accounts for every dispatched event, and its
+        // rows are a pure function of (scenario, seed, shard count) —
+        // the same partition must report the same loads in any mode.
+        for r in &runs {
+            assert_eq!(r.load.len(), r.effective_shards);
+            assert_eq!(r.load.iter().map(|l| l.events).sum::<u64>(), r.events);
+        }
+        let serial = run_one(
+            &ShardedOptions {
+                mode: ShardMode::Serial,
+                ..tiny()
+            },
+            2,
+        );
+        let threaded = run_one(
+            &ShardedOptions {
+                mode: ShardMode::Threaded,
+                ..tiny()
+            },
+            2,
+        );
+        assert_eq!(
+            serial.load, threaded.load,
+            "profiler must be mode-invariant"
+        );
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn profiler_flows_through_a_tango_obs_registry() {
+        let options = tiny();
+        let runs = vec![run_one(&options, 2)];
+        let registry = Registry::new();
+        publish_load(&registry, &runs);
+        let snap = registry.snapshot();
+        let total: u64 = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("sharded.s2.shard.") && k.ends_with(".events"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(total, runs[0].events);
+        assert!(snap.gauges.contains_key("sharded.s2.shard.0.queue_peak"));
     }
 
     #[test]

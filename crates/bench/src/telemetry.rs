@@ -14,7 +14,7 @@
 //! seeds' documents under `tests/golden/`.
 
 use crate::parallel::{run_seeds, worker_count};
-use crate::util::{print_table, results_dir};
+use crate::util::{out_dir, print_table};
 use std::collections::BTreeMap;
 use tango::prelude::*;
 use tango_obs::{Registry, Snapshot, Value};
@@ -43,6 +43,8 @@ pub struct TelemetryOptions {
     /// Simulator shards per seed. The artifact is bit-identical for
     /// every value — CI runs `--shards 1` vs `--shards 8` and diffs.
     pub shards: usize,
+    /// Artifact directory override (`--out`); `None` = `results/`.
+    pub out: Option<std::path::PathBuf>,
 }
 
 impl Default for TelemetryOptions {
@@ -51,6 +53,7 @@ impl Default for TelemetryOptions {
             seeds: vec![1, 7],
             workers: None,
             shards: 1,
+            out: None,
         }
     }
 }
@@ -187,7 +190,7 @@ pub fn report(options: &TelemetryOptions) -> i32 {
         ],
         &rows,
     );
-    let path = results_dir().join(format!("TELEMETRY_{SCENARIO}.json"));
+    let path = out_dir(&options.out).join(format!("TELEMETRY_{SCENARIO}.json"));
     std::fs::write(&path, to_json(&sections)).expect("write TELEMETRY json");
     println!("\nwritten to {}", path.display());
     0
@@ -205,12 +208,12 @@ mod tests {
         let serial = sweep(&TelemetryOptions {
             seeds: vec![3, 5],
             workers: Some(1),
-            shards: 1,
+            ..TelemetryOptions::default()
         });
         let parallel = sweep(&TelemetryOptions {
             seeds: vec![3, 5],
             workers: Some(2),
-            shards: 1,
+            ..TelemetryOptions::default()
         });
         assert_eq!(
             to_json(&serial),

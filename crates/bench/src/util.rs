@@ -11,6 +11,20 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
+/// The artifact directory for a subcommand run: the `--out` override when
+/// given (created on demand), else [`results_dir`]. Subcommands that
+/// write more than one artifact (chaos) keep their fixed file names
+/// inside whichever directory this returns.
+pub fn out_dir(out: &Option<PathBuf>) -> PathBuf {
+    match out {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).expect("create --out dir");
+            dir.clone()
+        }
+        None => results_dir(),
+    }
+}
+
 /// Print a fixed-width table: header row then data rows.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

@@ -29,8 +29,8 @@ use tango_sim::{
 };
 use tango_topology::{AsId, WideAreaEvent};
 
-use crate::invariant::{check_pairing, InvariantReport};
-use crate::pairing::{PairingError, PairingOptions, Side, TangoPairing};
+use crate::invariant::{check_pairing_flight, InvariantReport};
+use crate::pairing::{FlightDump, PairingError, PairingOptions, Side, TangoPairing};
 use crate::vultr::vultr_pairing;
 
 /// When the storm opens (probing/selection are warm by then).
@@ -97,6 +97,12 @@ pub struct ChaosOutcome {
     pub downs: u64,
     /// Aggregated attacker-side counters (zero when `byzantine` off).
     pub adversary: AdversaryStats,
+    /// The flight recorder's post-verdict dump: every chaos control
+    /// step, BGP update, health transition, reroute, and (if any)
+    /// invariant violation, with resolvable ancestry. Its digest is
+    /// embedded in the chaos artifact and byte-diffs across worker and
+    /// shard counts.
+    pub flight: FlightDump,
 }
 
 impl ChaosOutcome {
@@ -304,7 +310,7 @@ pub fn run_chaos_with_obs(
     }
     pairing.run_until(horizon);
 
-    let invariants = check_pairing(&pairing);
+    let (invariants, flight) = check_pairing_flight(&mut pairing);
     let mut app_delivered = 0;
     let mut auth_rejects = 0;
     let mut replay_rejects = 0;
@@ -344,6 +350,7 @@ pub fn run_chaos_with_obs(
         implausible_owd,
         downs,
         adversary,
+        flight,
     })
 }
 
@@ -474,6 +481,9 @@ mod tests {
             a.invariants.checked_decisions,
             b.invariants.checked_decisions
         );
+        assert_eq!(a.flight.digest, b.flight.digest);
+        assert_eq!(a.flight.json, b.flight.json);
+        assert!(a.flight.span_count > 0, "chaos faults must leave spans");
     }
 
     #[test]

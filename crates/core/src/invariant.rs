@@ -26,7 +26,7 @@
 
 use tango_control::{HealthState, HealthTransition};
 
-use crate::pairing::{Side, TangoPairing};
+use crate::pairing::{health_code, FlightDump, Side, TangoPairing};
 
 /// Everything the checker needs about one side of the pairing.
 #[derive(Debug, Clone)]
@@ -179,6 +179,21 @@ pub fn check_pairing(pairing: &TangoPairing) -> InvariantReport {
         .filter_map(|s| SideEvidence::collect(pairing, s))
         .collect();
     check(&sides, pairing.sim.stats().ttl_expired)
+}
+
+/// [`check_pairing`], then flush the flight recorder: every violation
+/// is appended as an `InvariantViolation` span (parented to the health
+/// transition that put the path in the offending state, so the dump's
+/// ancestry chain resolves chaos event → BGP update → health transition
+/// → violation), and the control recorder is dumped in canonical form.
+pub fn check_pairing_flight(pairing: &mut TangoPairing) -> (InvariantReport, FlightDump) {
+    let report = check_pairing(pairing);
+    for v in &report.violations {
+        let side = if v.side == "B" { Side::B } else { Side::A };
+        pairing.record_violation(side, v.at_ns, v.path, health_code(v.state));
+    }
+    let dump = pairing.flight_dump();
+    (report, dump)
 }
 
 #[cfg(test)]

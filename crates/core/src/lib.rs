@@ -52,9 +52,11 @@ pub use chaos::{
     run_byzantine_ablation, run_chaos, run_chaos_with_obs, AblationOutcome, ChaosOutcome,
     ChaosRunOptions,
 };
-pub use invariant::{check, check_pairing, InvariantReport, SideEvidence, Violation};
+pub use invariant::{
+    check, check_pairing, check_pairing_flight, InvariantReport, SideEvidence, Violation,
+};
 pub use mesh::{vultr_replica_mesh, MeshOptions, MeshSim};
-pub use pairing::{PairingError, PairingOptions, Side, TangoPairing};
+pub use pairing::{health_code, FlightDump, PairingError, PairingOptions, Side, TangoPairing};
 pub use vultr::{vultr_pairing, vultr_pairing_with_events};
 
 /// The convenient imports for examples and experiments.
@@ -63,8 +65,10 @@ pub mod prelude {
         run_byzantine_ablation, run_chaos, run_chaos_with_obs, AblationOutcome, ChaosOutcome,
         ChaosRunOptions,
     };
-    pub use crate::invariant::{check_pairing, InvariantReport, SideEvidence};
-    pub use crate::pairing::{PairingError, PairingOptions, Side, TangoPairing};
+    pub use crate::invariant::{
+        check_pairing, check_pairing_flight, InvariantReport, SideEvidence,
+    };
+    pub use crate::pairing::{FlightDump, PairingError, PairingOptions, Side, TangoPairing};
     pub use crate::vultr::{vultr_pairing, vultr_pairing_with_events};
     pub use tango_control::{
         HealthConfig, HealthGated, HealthState, HealthTransition, JitterAwarePolicy,

@@ -3,8 +3,8 @@
 use std::sync::Arc;
 use tango_bgp::{BgpEngine, EngineError};
 use tango_control::{
-    provision, HealthConfig, HealthGated, HealthTimeline, HealthTransition, ProvisionError,
-    ProvisionedPairing, SideConfig,
+    provision, HealthConfig, HealthGated, HealthState, HealthTimeline, HealthTransition,
+    ProvisionError, ProvisionedPairing, SideConfig,
 };
 use tango_dataplane::{
     stats::shared_sink, FeedbackMode, PathPolicy, SharedStats, StaticPolicy, SwitchConfig,
@@ -16,10 +16,43 @@ use tango_net::{Ipv6Packet, Ipv6Repr};
 use tango_obs::Registry;
 use tango_sim::{
     shared_adversary_stats, AdversaryAgent, AdversaryBehavior, Agent, FaultInjector, NetworkSim,
-    NodeClock, Packet, RouterAgent, ShardMode, SharedAdversaryStats, SimConfig, SimTime,
-    TAG_ADV_SPOOF,
+    NodeClock, Packet, RouterAgent, ShardMode, SharedAdversaryStats, SimConfig, SimTime, SpanKey,
+    SpanKind, SpanRing, TAG_ADV_SPOOF,
 };
 use tango_topology::{AsId, Topology, WideAreaEvent};
+
+/// Capacity of the pairing-level control-plane span recorder. Control
+/// spans are rare (one per control step, health transition, or
+/// violation), so this never wraps in practice — which keeps the flight
+/// dump exact and shard-invariant.
+const CONTROL_SPAN_CAPACITY: usize = 1 << 14;
+
+/// The stable integer code of a health state, as carried by
+/// [`SpanKind::HealthTransition`] and [`SpanKind::InvariantViolation`]
+/// span payloads (spans carry integers, never strings).
+pub fn health_code(state: HealthState) -> u8 {
+    match state {
+        HealthState::Up => 0,
+        HealthState::Suspect => 1,
+        HealthState::Down => 2,
+        HealthState::Probing => 3,
+    }
+}
+
+/// One flight-recorder dump: the control-plane recorder's retained
+/// spans rendered in the canonical `tango-trace/spans/v1` form, plus
+/// the digest experiments embed in their artifacts. A pure function of
+/// the run, so the same scenario yields the same digest across worker
+/// and shard counts.
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// Canonical span-dump JSON (sorted keys, fixed indentation).
+    pub json: String,
+    /// FNV-1a fingerprint of `json`.
+    pub digest: u64,
+    /// Number of spans in the dump.
+    pub span_count: u64,
+}
 
 /// Which edge of the pairing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +130,10 @@ pub struct PairingOptions {
     pub initial_path: u16,
     /// Trace ring capacity (0 = disabled).
     pub trace_capacity: usize,
+    /// Causal span ring capacity per shard (0 = disabled). Armed runs
+    /// record the [`tango_sim::Span`] stream the flight recorder and
+    /// `experiments trace` export; see DESIGN.md §12.
+    pub span_capacity: usize,
     /// Cooperation feedback channel: zero-delay shared view (default,
     /// the DESIGN.md §5 idealization) or in-band report packets that pay
     /// real wide-area latency and loss.
@@ -151,6 +188,7 @@ impl Default for PairingOptions {
             fault: None,
             initial_path: 0,
             trace_capacity: 0,
+            span_capacity: 0,
             feedback: FeedbackMode::Shared,
             auth_key: None,
             class_map: std::collections::BTreeMap::new(),
@@ -224,6 +262,24 @@ pub struct TangoPairing {
     adversaries: std::collections::BTreeMap<AsId, (Vec<AdversaryBehavior>, SharedAdversaryStats)>,
     /// The telemetry registry every layer exports into (if enabled).
     obs: Option<Registry>,
+    /// The pairing-level causal recorder: control-plane steps, BGP
+    /// updates, health transitions, invariant violations. Keys use
+    /// [`SpanKey::CONTROL_ORIGIN`] with `control_seq`, so the stream
+    /// merges cleanly with the engine's per-shard rings.
+    control_spans: SpanRing,
+    /// Next per-origin sequence number for control spans.
+    control_seq: u64,
+    /// `(time_ns, cause key)` of every applied control step — the key a
+    /// later effect (health transition) is parented to. The cause is the
+    /// step's last recorded span (its final `BgpUpdate` when the step
+    /// touched BGP, else the `Control` root), so ancestry walks
+    /// chaos event → BGP update → health transition → reroute.
+    control_roots: Vec<(u64, SpanKey)>,
+    /// How many timeline entries per side are already mirrored as spans.
+    synced_health: [usize; 2],
+    /// `(time_ns, path, span key)` of every emitted health-transition
+    /// span — the parent pool for invariant-violation spans.
+    health_spans: Vec<(u64, u16, SpanKey)>,
 }
 
 impl TangoPairing {
@@ -270,7 +326,16 @@ impl TangoPairing {
             hops
         };
         let mut pending_controls = Vec::new();
+        let mut blackholes: Vec<(u16, u64, u64)> = Vec::new();
         for ev in &options.wide_area_events {
+            if let WideAreaEvent::Blackhole {
+                path,
+                at_ns,
+                duration_ns,
+            } = *ev
+            {
+                blackholes.push((path, at_ns, at_ns.saturating_add(duration_ns)));
+            }
             for link_ev in ev.lower(path_links) {
                 topology
                     .add_event(link_ev)
@@ -336,6 +401,7 @@ impl TangoPairing {
             SimConfig {
                 seed: options.seed,
                 trace_capacity: options.trace_capacity,
+                span_capacity: options.span_capacity,
                 fault: options.fault,
                 obs: options.obs.clone(),
                 shards: options.shards,
@@ -447,7 +513,7 @@ impl TangoPairing {
             SimTime::from_ms(2),
         );
 
-        Ok(TangoPairing {
+        let mut pairing = TangoPairing {
             sim,
             bgp,
             provisioned,
@@ -460,7 +526,138 @@ impl TangoPairing {
             pending_controls,
             adversaries: std::collections::BTreeMap::new(),
             obs: options.obs,
-        })
+            control_spans: SpanRing::new(CONTROL_SPAN_CAPACITY),
+            control_seq: 0,
+            control_roots: Vec::new(),
+            synced_health: [0, 0],
+            health_spans: Vec::new(),
+        };
+        // Blackholes were lowered onto the topology above and never pass
+        // `apply_control`, so their flight-recorder spans (step 4 start,
+        // step 5 end) are emitted here, at build time.
+        for (path, at, end) in blackholes {
+            pairing.record_control(at, 0, 4, path);
+            pairing.record_control(end, 0, 5, path);
+        }
+        Ok(pairing)
+    }
+
+    /// Record a control-plane root span (`SpanKind::Control`) keyed at
+    /// `time_ns` on the control recorder, registering it as the latest
+    /// cause at that time. Returns its key.
+    fn record_control(&mut self, time_ns: u64, node: u32, step: u8, path: u16) -> SpanKey {
+        let seq = self.control_seq;
+        self.control_seq += 1;
+        self.control_spans
+            .begin_dispatch(time_ns, SpanKey::CONTROL_ORIGIN, seq);
+        self.control_spans
+            .record_dispatch(node, SpanKey::NONE, SpanKind::Control { step, path });
+        let key = self.control_spans.dispatch_key();
+        self.control_roots.push((time_ns, key));
+        key
+    }
+
+    /// The key of the most recent control cause at or before `t_ns`
+    /// ([`SpanKey::NONE`] when nothing happened yet) — what effect spans
+    /// (health transitions) are parented to.
+    fn control_cause_at(&self, t_ns: u64) -> SpanKey {
+        self.control_roots
+            .iter()
+            .filter(|(at, _)| *at <= t_ns)
+            .max_by_key(|(at, _)| *at)
+            .map(|&(_, k)| k)
+            .unwrap_or(SpanKey::NONE)
+    }
+
+    /// Mirror freshly appended health-timeline entries as
+    /// `HealthTransition` spans (parented to the most recent control
+    /// cause), with a `Reroute` child whenever a transition enters or
+    /// leaves `Down` (selection moves off / back onto the path). Spans
+    /// are keyed by controller-local time — the timeline's clock domain.
+    fn sync_health_spans(&mut self) {
+        for (i, side) in [Side::A, Side::B].into_iter().enumerate() {
+            let Some(timeline) = self.health_timeline(side) else {
+                continue;
+            };
+            let node = self.side_config(side).tenant.0;
+            for tr in timeline.iter().skip(self.synced_health[i]) {
+                let parent = self.control_cause_at(tr.at_ns);
+                let seq = self.control_seq;
+                self.control_seq += 1;
+                self.control_spans
+                    .begin_dispatch(tr.at_ns, SpanKey::CONTROL_ORIGIN, seq);
+                self.control_spans.record_dispatch(
+                    node,
+                    parent,
+                    SpanKind::HealthTransition {
+                        path: tr.path,
+                        from: health_code(tr.from),
+                        to: health_code(tr.to),
+                    },
+                );
+                self.health_spans
+                    .push((tr.at_ns, tr.path, self.control_spans.dispatch_key()));
+                if tr.to == HealthState::Down || tr.from == HealthState::Down {
+                    self.control_spans
+                        .record(node, SpanKind::Reroute { path: tr.path });
+                }
+            }
+            self.synced_health[i] = timeline.len();
+        }
+    }
+
+    /// Append an invariant-violation span (the flight-recorder trigger):
+    /// parented to the latest health-transition span of the offending
+    /// path, so the dump's ancestry chain resolves from the violation all
+    /// the way back to the chaos event that caused it.
+    pub fn record_violation(&mut self, side: Side, at_ns: u64, path: u16, state: u8) {
+        self.sync_health_spans();
+        let node = self.side_config(side).tenant.0;
+        let parent = self
+            .health_spans
+            .iter()
+            .filter(|(t, p, _)| *p == path && *t <= at_ns)
+            .max_by_key(|(t, _, _)| *t)
+            .map(|&(_, _, k)| k)
+            .unwrap_or_else(|| self.control_cause_at(at_ns));
+        let seq = self.control_seq;
+        self.control_seq += 1;
+        self.control_spans
+            .begin_dispatch(at_ns, SpanKey::CONTROL_ORIGIN, seq);
+        self.control_spans.record_dispatch(
+            node,
+            parent,
+            SpanKind::InvariantViolation { path, state },
+        );
+    }
+
+    /// The run's full causal span stream: the engine's per-shard rings
+    /// merged with the control-plane recorder, in canonical key order.
+    /// Empty unless the run was built with a nonzero
+    /// [`PairingOptions::span_capacity`] (engine spans) — control spans
+    /// are always recorded when the `trace` feature is on.
+    pub fn spans(&mut self) -> SpanRing {
+        self.sync_health_spans();
+        let engine = self.sim.spans();
+        SpanRing::merged([&engine, &self.control_spans])
+    }
+
+    /// Flush the flight recorder: the control recorder's spans (control
+    /// steps, BGP updates, health transitions, reroutes, violations) in
+    /// canonical form, plus the digest chaos artifacts embed.
+    pub fn flight_dump(&mut self) -> FlightDump {
+        self.sync_health_spans();
+        let spans = self.control_spans.spans();
+        let json = tango_trace::export::spans_to_json(
+            &spans,
+            self.control_spans.total_recorded(),
+            self.control_spans.capacity() as u64,
+        );
+        FlightDump {
+            digest: tango_trace::export::digest64(json.as_bytes()),
+            span_count: spans.len() as u64,
+            json,
+        }
     }
 
     /// The telemetry registry supplied via [`PairingOptions::obs`]
@@ -484,7 +681,7 @@ impl TangoPairing {
             }
             self.sim.run_until(next.at);
             self.pending_controls.remove(0);
-            self.apply_control(next.path, next.step);
+            self.apply_control(next.at, next.path, next.step);
         }
         self.sim.run_until(t);
     }
@@ -570,8 +767,17 @@ impl TangoPairing {
 
     /// Execute one control-plane step (session-reset withdraw or
     /// re-announce, hijack start or end), re-converge, and reinstall
-    /// every non-tenant router.
-    fn apply_control(&mut self, path: u16, step: ControlStep) {
+    /// every non-tenant router. Records the step and each BGP update it
+    /// drove on the flight recorder.
+    fn apply_control(&mut self, at: SimTime, path: u16, step: ControlStep) {
+        let step_code = match step {
+            ControlStep::Withdraw => 0,
+            ControlStep::Reannounce => 1,
+            ControlStep::HijackStart { .. } => 2,
+            ControlStep::HijackEnd { .. } => 3,
+        };
+        let root = self.record_control(at.as_ns(), 0, step_code, path);
+        let mut cause = root;
         match step {
             ControlStep::Withdraw | ControlStep::Reannounce => {
                 let p = usize::from(path);
@@ -604,11 +810,21 @@ impl TangoPairing {
                         tango_net::Ipv6Cidr::new(endpoint, 48)
                             .expect("tunnel endpoints are /48-aligned"),
                     );
-                    let applied = match step {
-                        ControlStep::Withdraw => self.bgp.withdraw(origin, prefix).map(|_| ()),
-                        _ => self.bgp.announce(origin, prefix, comms),
+                    let announce = match step {
+                        ControlStep::Withdraw => {
+                            self.bgp.withdraw(origin, prefix).expect("origin exists");
+                            0
+                        }
+                        _ => {
+                            self.bgp
+                                .announce(origin, prefix, comms)
+                                .expect("origin exists");
+                            1
+                        }
                     };
-                    applied.expect("session-reset origin exists");
+                    cause = self
+                        .control_spans
+                        .record(origin.0, SpanKind::BgpUpdate { path, announce });
                 }
             }
             ControlStep::HijackStart { attacker } => {
@@ -616,6 +832,9 @@ impl TangoPairing {
                     self.bgp
                         .announce(attacker, prefix, std::collections::BTreeSet::new())
                         .expect("hijacker exists in the topology");
+                    cause = self
+                        .control_spans
+                        .record(attacker.0, SpanKind::BgpUpdate { path, announce: 1 });
                 }
             }
             ControlStep::HijackEnd { attacker } => {
@@ -623,8 +842,16 @@ impl TangoPairing {
                     self.bgp
                         .withdraw(attacker, prefix)
                         .expect("hijacker exists in the topology");
+                    cause = self
+                        .control_spans
+                        .record(attacker.0, SpanKind::BgpUpdate { path, announce: 0 });
                 }
             }
+        }
+        // Later effects (health transitions) are parented to the step's
+        // last BGP update — the edge routing actually changed on.
+        if let Some(last) = self.control_roots.last_mut() {
+            last.1 = cause;
         }
         self.bgp
             .converge()

@@ -28,7 +28,7 @@ use std::collections::BTreeMap;
 use tango_measure::saturating_owd_ns;
 use tango_net::{IpCidr, PrefixTrie, SipKey};
 use tango_obs::Registry;
-use tango_sim::{Agent, Ctx, Packet, SimTime};
+use tango_sim::{Agent, Ctx, Packet, SimTime, SpanKind};
 use tango_topology::AsId;
 
 /// Timer tag for the control loop.
@@ -269,6 +269,14 @@ impl TangoSwitch {
             TxKind::App => codec::encapsulate_in_place(tunnel, &mut pkt, seq, ts, key),
             TxKind::Report => codec::report_packet_in_place(tunnel, &mut pkt, seq, ts, key),
         }
+        ctx.span(SpanKind::Encap {
+            path,
+            payload: match kind {
+                TxKind::App => 0,
+                TxKind::Probe => 1,
+                TxKind::Report => 2,
+            },
+        });
         {
             let mut sink = self.my_stats.lock();
             match kind {
@@ -422,10 +430,14 @@ impl Agent for TangoSwitch {
                             if let Some(obs) = &self.obs {
                                 obs.on_replay_reject();
                             }
+                            ctx.span(SpanKind::RxReject { reason: 1 });
                             ctx.recycle(pkt);
                             return;
                         }
                     }
+                    ctx.span(SpanKind::Decap {
+                        path: d.tango.path_id,
+                    });
                     // Signed and saturating: clock offsets can legally make
                     // this negative, and adversarial far-future timestamps
                     // must clamp rather than wrap.
@@ -467,6 +479,7 @@ impl Agent for TangoSwitch {
                     if let Some(obs) = &self.obs {
                         obs.on_auth_reject();
                     }
+                    ctx.span(SpanKind::RxReject { reason: 0 });
                 }
                 Err(_) => {
                     self.my_stats.lock().record_reject(None);

@@ -18,6 +18,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "topology",
     "core",
     "obs",
+    "trace",
 ];
 
 /// Crates allowed to read the wall clock (the bench harness times real
@@ -35,6 +36,14 @@ pub const WIRE_FORMAT_MODULES: &[&str] =
 /// `thread-spawn` rule's help text; the runner itself still carries a
 /// mandatory-reason suppression rather than a blanket exemption.
 pub const SHARD_RUNNER_MODULES: &[&str] = &["crates/sim/src/shard.rs"];
+
+/// Span-emission modules, where every recorded label must be a
+/// `&'static str`: recording runs per simulation event whenever tracing
+/// is compiled in, so `String`/`format!` allocation is banned there.
+/// The exporters (`export.rs`, `query.rs`) run once per dump and may
+/// build text freely.
+pub const SPAN_EMISSION_MODULES: &[&str] =
+    &["crates/trace/src/span.rs", "crates/trace/src/ring.rs"];
 
 /// Hot-path modules where a panic aborts a whole simulation run:
 /// the per-event engine loop and the per-packet dataplane transforms.
@@ -68,4 +77,9 @@ pub fn is_wire_format_module(path: &str) -> bool {
 /// Is `path` one of the designated hot-path modules?
 pub fn is_hot_path_module(path: &str) -> bool {
     HOT_PATH_MODULES.contains(&path)
+}
+
+/// Is `path` one of the span-emission modules?
+pub fn is_span_emission_module(path: &str) -> bool {
+    SPAN_EMISSION_MODULES.contains(&path)
 }

@@ -3,7 +3,7 @@
 //! Tango's evaluation rests on bit-identical experiment artifacts across
 //! runs and worker counts. That guarantee was previously protected only
 //! by convention; this crate turns the conventions into machine-checked
-//! invariants. Five rules (see [`registry::all_rules`] and DESIGN.md's
+//! invariants. The rules (see [`registry::all_rules`] and DESIGN.md's
 //! "Determinism invariants"):
 //!
 //! | rule | guards against |
@@ -13,6 +13,8 @@
 //! | `unseeded-rng` | `thread_rng`/OS-entropy constructors anywhere |
 //! | `lossy-cast` | silent `as` truncation in wire-format modules |
 //! | `hot-path-panic` | `unwrap`/`expect`/indexing in per-packet code |
+//! | `thread-spawn` | ad-hoc threading outside the approved shard runner |
+//! | `span-alloc` | `String`/`format!` allocation in span-emission paths |
 //!
 //! Violations are suppressed inline with
 //! `tango-lint: allow(<rule>) <reason>` in a comment — the reason is

@@ -31,6 +31,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(rules::lossy_cast::LossyCast),
         Box::new(rules::hot_path_panic::HotPathPanic),
         Box::new(rules::thread_spawn::ThreadSpawn),
+        Box::new(rules::span_alloc::SpanAlloc),
     ]
 }
 

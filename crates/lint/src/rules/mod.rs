@@ -3,6 +3,7 @@
 
 pub mod hot_path_panic;
 pub mod lossy_cast;
+pub mod span_alloc;
 pub mod thread_spawn;
 pub mod unordered_collections;
 pub mod unseeded_rng;

@@ -209,6 +209,54 @@ fn hot_path_panic_out_of_scope_module_is_exempt() {
 }
 
 #[test]
+fn span_alloc_fail_fires_in_emission_module() {
+    for path in ["crates/trace/src/span.rs", "crates/trace/src/ring.rs"] {
+        let diags = lint_source(path, &fixture("span_alloc/fail.rs")).unwrap();
+        let hits: Vec<_> = diags.iter().filter(|d| d.rule == "span-alloc").collect();
+        assert!(
+            hits.iter().any(|d| d.message.contains("`String` type")),
+            "{path}: {diags:?}"
+        );
+        assert!(
+            hits.iter().any(|d| d.message.contains("format!")),
+            "{path}: {diags:?}"
+        );
+        assert!(
+            hits.iter().any(|d| d.message.contains("to_string")),
+            "{path}: {diags:?}"
+        );
+        assert!(
+            hits.iter().any(|d| d.message.contains("to_owned")),
+            "{path}: {diags:?}"
+        );
+        assert!(
+            hits.iter().any(|d| d.message.contains("push_str")),
+            "{path}: {diags:?}"
+        );
+        assert!(hits.iter().all(|d| d.severity == Severity::Error));
+    }
+}
+
+#[test]
+fn span_alloc_pass_is_clean() {
+    // Includes a #[cfg(test)] module that formats strings: test code is
+    // exempt for this rule.
+    assert_eq!(
+        rules_fired("crates/trace/src/span.rs", &fixture("span_alloc/pass.rs")),
+        Vec::<&str>::new()
+    );
+}
+
+#[test]
+fn span_alloc_exporters_are_out_of_scope() {
+    // export.rs builds the JSON dumps once per run; String is fine there.
+    assert_eq!(
+        rules_fired("crates/trace/src/export.rs", &fixture("span_alloc/fail.rs")),
+        Vec::<&str>::new()
+    );
+}
+
+#[test]
 fn reasoned_suppressions_silence_their_violations() {
     // engine.rs scope: wall-clock and hot-path-panic both apply, and both
     // violations carry a reasoned allow — nothing may survive, including

@@ -1,0 +1,15 @@
+//! Fixture: heap-allocated label construction in a span-emission module.
+
+pub fn label(kind: u32) -> String {
+    format!("kind-{kind}")
+}
+
+pub fn owned(name: &str) -> String {
+    let mut s = name.to_string();
+    s.push_str("-span");
+    s
+}
+
+pub fn borrowed(name: &str) -> String {
+    name.to_owned()
+}

@@ -88,8 +88,25 @@ impl Snapshot {
     }
 
     /// Convert to the generic JSON [`Value`] tree.
+    ///
+    /// Besides the three metric maps, the root carries a `"buckets"`
+    /// schema field: the lower edge of each of the
+    /// [`crate::HIST_BUCKETS`] histogram buckets, so external tooling
+    /// can decode `(bucket_index, count)` pairs without hardcoding the
+    /// power-of-two edges. Bucket `i` covers `[buckets[i],
+    /// buckets[i+1])`; the last bucket is closed by `u64::MAX`. The
+    /// field is a constant of the format, so [`Snapshot::from_value`]
+    /// ignores it and round-tripping stays byte-identical.
     pub fn to_value(&self) -> Value {
         let mut root = BTreeMap::new();
+        root.insert(
+            "buckets".to_string(),
+            Value::Arr(
+                (0..crate::HIST_BUCKETS)
+                    .map(|i| Value::Num(crate::bucket_bounds(i).0))
+                    .collect(),
+            ),
+        );
         root.insert(
             "counters".to_string(),
             Value::Obj(
@@ -508,6 +525,22 @@ mod tests {
         let back = Snapshot::parse(&text).expect("parse");
         assert!(back.is_empty());
         assert!(text.contains("\"counters\": {}"));
+    }
+
+    #[test]
+    fn bucket_schema_is_emitted_once_per_snapshot() {
+        let text = sample().to_json();
+        // One root-level "buckets" key plus one per histogram.
+        assert_eq!(text.matches("\"buckets\"").count(), 2);
+        let edges: Vec<String> = (0..crate::HIST_BUCKETS)
+            .map(|i| crate::bucket_bounds(i).0.to_string())
+            .collect();
+        let rendered = format!("\"buckets\": [{}]", edges.join(", "));
+        assert!(text.contains(&rendered), "schema lists all 65 lower edges");
+        assert!(
+            Snapshot::default().to_json().contains(&rendered),
+            "empty snapshots carry the schema too"
+        );
     }
 
     #[test]

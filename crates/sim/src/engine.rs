@@ -45,6 +45,7 @@ use std::net::IpAddr;
 use tango_net::{Ipv4Packet, Ipv6Packet, PrefixTrie};
 use tango_obs::{Counter, Gauge, Histogram, Registry};
 use tango_topology::{AsId, DirectionProfile, EventKind as TopoEventKind, LinkEvent, Topology};
+use tango_trace::{DropReason, SpanKey, SpanKind, SpanRing};
 
 /// Sentinel node index for events scheduled against an id that is not in
 /// the topology (they dispatch to "no agent", like the seed behaviour).
@@ -390,6 +391,11 @@ pub(crate) struct EventKey {
 
 pub(crate) struct QueuedEvent {
     pub(crate) key: EventKey,
+    /// The span key of the dispatch that scheduled this event
+    /// ([`SpanKey::NONE`] for externally scheduled roots). Plain data —
+    /// it rides along even with the `trace` feature off, so the causal
+    /// link survives shard outbox handoffs unconditionally.
+    pub(crate) parent: SpanKey,
     pub(crate) kind: EventKind,
 }
 
@@ -417,6 +423,11 @@ pub struct SimConfig {
     pub seed: u64,
     /// Trace ring capacity (0 disables tracing).
     pub trace_capacity: usize,
+    /// Causal span ring capacity per shard (0 disables span recording).
+    /// Sized generously (never wrapping) the merged stream is exactly
+    /// the single-shard stream; wrapped it degrades into a flight
+    /// recorder of the last-capacity spans.
+    pub span_capacity: usize,
     /// Optional global fault injection on every link.
     pub fault: Option<FaultInjector>,
     /// Optional metric registry to publish telemetry into (event
@@ -438,6 +449,7 @@ impl Default for SimConfig {
         SimConfig {
             seed: 1,
             trace_capacity: 0,
+            span_capacity: 0,
             fault: None,
             obs: None,
             shards: 1,
@@ -643,6 +655,11 @@ pub struct Ctx<'a> {
     fault: Option<FaultInjector>,
     stats: &'a mut SimStats,
     tracer: &'a mut Tracer,
+    spans: &'a mut SpanRing,
+    /// The span key of the dispatch currently executing: the parent
+    /// carried by every event this dispatch schedules, and of every
+    /// child span it records.
+    dispatch_span: SpanKey,
     out: &'a mut Vec<QueuedEvent>,
     seq: &'a mut u64,
     /// Per-directed-link "busy until" instants (ns) for capacity-limited
@@ -710,6 +727,26 @@ impl<'a> Ctx<'a> {
         });
     }
 
+    /// Record a causal span on this node, parented to the current
+    /// dispatch's span. Returns its key ([`SpanKey::NONE`] when span
+    /// recording is disarmed). The Tango data plane uses this for
+    /// encap/decap/reject spans; the engine itself records tx/drop.
+    #[inline]
+    pub fn span(&mut self, kind: SpanKind) -> SpanKey {
+        self.spans.record(self.node.0, kind)
+    }
+
+    /// The span key of the dispatch currently executing (what [`Ctx::span`]
+    /// children and scheduled events are parented to).
+    pub fn dispatch_span(&self) -> SpanKey {
+        self.dispatch_span
+    }
+
+    #[inline]
+    fn span_drop(&mut self, reason: DropReason) {
+        self.spans.record(self.node.0, SpanKind::Drop { reason });
+    }
+
     /// The canonical key of this node's next emission.
     fn next_key(&mut self, time: SimTime) -> EventKey {
         *self.seq += 1;
@@ -731,15 +768,18 @@ impl<'a> Ctx<'a> {
         let Some((to_idx, link_id)) = link_id else {
             self.stats.no_link += 1;
             self.trace(TraceKind::NoLink);
+            self.span_drop(DropReason::NoLink);
             self.pool.put(pkt.into_buffer());
             return;
         };
         let profile = &links.profiles[link_id as usize]; // tango-lint: allow(hot-path-panic) link_id is a dense id minted by LinkTable::build
         self.stats.transmissions += 1;
         self.trace(TraceKind::Tx { to });
+        self.spans.record(self.node.0, SpanKind::Tx { to: to.0 });
         if profile.sample_loss(self.rng) {
             self.stats.lost_link += 1;
             self.trace(TraceKind::LossLink);
+            self.span_drop(DropReason::LossLink);
             self.pool.put(pkt.into_buffer());
             return;
         }
@@ -753,6 +793,7 @@ impl<'a> Ctx<'a> {
                 None => {
                     self.stats.lost_outage += 1;
                     self.trace(TraceKind::LossOutage);
+                    self.span_drop(DropReason::LossOutage);
                     self.pool.put(pkt.into_buffer());
                     return;
                 }
@@ -763,6 +804,7 @@ impl<'a> Ctx<'a> {
                 FaultDecision::Drop => {
                     self.stats.lost_fault += 1;
                     self.trace(TraceKind::LossFault);
+                    self.span_drop(DropReason::LossFault);
                     self.pool.put(pkt.into_buffer());
                     return;
                 }
@@ -787,6 +829,7 @@ impl<'a> Ctx<'a> {
             if wait > profile.max_queue_ns {
                 self.stats.lost_queue += 1;
                 self.trace(TraceKind::LossQueue);
+                self.span_drop(DropReason::LossQueue);
                 self.pool.put(pkt.into_buffer());
                 return;
             }
@@ -810,12 +853,14 @@ impl<'a> Ctx<'a> {
         if arrives_in_outage {
             self.stats.lost_outage += 1;
             self.trace(TraceKind::LossOutage);
+            self.span_drop(DropReason::LossOutage);
             self.pool.put(pkt.into_buffer());
             return;
         }
         let key = self.next_key(time);
         self.out.push(QueuedEvent {
             key,
+            parent: self.dispatch_span,
             kind: EventKind::Deliver { to: to_idx, pkt },
         });
     }
@@ -825,6 +870,7 @@ impl<'a> Ctx<'a> {
         let key = self.next_key(self.now + delay);
         self.out.push(QueuedEvent {
             key,
+            parent: self.dispatch_span,
             kind: EventKind::Timer {
                 node: self.node_idx,
                 tag,
@@ -836,12 +882,14 @@ impl<'a> Ctx<'a> {
     pub fn count_no_route(&mut self) {
         self.stats.no_route += 1;
         self.trace(TraceKind::NoRoute);
+        self.span_drop(DropReason::NoRoute);
     }
 
     /// Count a hop-limit expiry (used by router agents).
     pub fn count_ttl_expired(&mut self) {
         self.stats.ttl_expired += 1;
         self.trace(TraceKind::TtlExpired);
+        self.span_drop(DropReason::TtlExpired);
     }
 }
 
@@ -852,6 +900,35 @@ pub(crate) struct EvCounts {
     pub(crate) deliver: u64,
     pub(crate) host_inject: u64,
     pub(crate) timer: u64,
+}
+
+/// Per-shard execution accounting (the engine self-profiler): plain
+/// virtual-time counters updated once per window and once per outbox
+/// push, cumulative over the simulation's lifetime. Every field is a
+/// pure function of (scenario, seed, shard count) — identical between
+/// serial and threaded runners, so the numbers are safe to embed in
+/// byte-diffed artifacts. `idle_windows / windows` is the deterministic
+/// proxy for barrier-wait share: an idle window is a round the shard
+/// spent waiting on the others with nothing to drain (wall clocks are
+/// banned in deterministic crates, so wait *time* is not measurable —
+/// or portable — here).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Shard index.
+    pub shard: u64,
+    /// Synchronization windows entered (single-shard runs count one
+    /// window per `run_until` segment).
+    pub windows: u64,
+    /// Windows that drained zero events (lockstep rounds this shard
+    /// only waited at the barrier).
+    pub idle_windows: u64,
+    /// Events dispatched.
+    pub events: u64,
+    /// High-water mark of the pending-event queue, sampled at window
+    /// entry.
+    pub queue_peak: u64,
+    /// Events handed to other shards through the outbox.
+    pub outbox_events: u64,
 }
 
 /// One shard: a contiguous slice of the node table with its own event
@@ -882,6 +959,8 @@ pub(crate) struct ShardState {
     pub(crate) now: SimTime,
     pub(crate) stats: SimStats,
     pub(crate) tracer: Tracer,
+    pub(crate) spans: SpanRing,
+    pub(crate) load: ShardLoad,
     link_busy: Vec<u64>,
     pub(crate) busy_accum: Vec<u64>,
     pool: BufferPool,
@@ -920,6 +999,11 @@ impl ShardState {
             now: SimTime::ZERO,
             stats: SimStats::default(),
             tracer: Tracer::new(config.trace_capacity),
+            spans: SpanRing::new(config.span_capacity),
+            load: ShardLoad {
+                shard: index as u64,
+                ..ShardLoad::default()
+            },
             link_busy: vec![0; n_links],
             busy_accum: vec![0; n_links],
             pool: BufferPool::default(),
@@ -1007,6 +1091,9 @@ impl ShardState {
     /// horizon is the conservative window bound: the callers guarantee no
     /// cross-shard event at or before it can still arrive.
     pub(crate) fn run_window(&mut self, shared: &SimShared, horizon: SimTime) -> u64 {
+        self.load.windows += 1;
+        let depth = (self.queue.len() + self.staged.len()) as u64;
+        self.load.queue_peak = self.load.queue_peak.max(depth);
         let mut processed = 0u64;
         let mut batch = std::mem::take(&mut self.batch);
         while let Some(t) = self.next_time() {
@@ -1022,11 +1109,15 @@ impl ShardState {
                     EventKind::HostInject { .. } => self.ev_counts.host_inject += 1,
                     EventKind::Timer { .. } => self.ev_counts.timer += 1,
                 }
-                self.dispatch(shared, ev.key, ev.kind);
+                self.dispatch(shared, ev.key, ev.parent, ev.kind);
                 processed += 1;
             }
         }
         self.batch = batch;
+        self.load.events += processed;
+        if processed == 0 {
+            self.load.idle_windows += 1;
+        }
         processed
     }
 
@@ -1060,7 +1151,7 @@ impl ShardState {
         }
     }
 
-    fn dispatch(&mut self, shared: &SimShared, key: EventKey, kind: EventKind) {
+    fn dispatch(&mut self, shared: &SimShared, key: EventKey, parent: SpanKey, kind: EventKind) {
         let node_idx = kind.dest();
         let local = node_idx.wrapping_sub(self.node_base) as usize;
         let slot = if self.owns(node_idx) {
@@ -1087,6 +1178,17 @@ impl ShardState {
         let clock = self.clocks[local]; // tango-lint: allow(hot-path-panic) node_idx was validated by the agents lookup above
         self.tracer
             .begin_dispatch(key.time.as_ns(), key.origin, key.seq);
+        self.spans
+            .begin_dispatch(key.time.as_ns(), key.origin, key.seq);
+        // The dispatch's own span key: derived from the canonical event
+        // key alone, so it exists (and is identical) whether or not span
+        // recording is armed — scheduled events always carry it.
+        let dispatch_span = SpanKey {
+            time_ns: key.time.as_ns(),
+            origin: key.origin,
+            seq: key.seq,
+            intra: 0,
+        };
         {
             // tango-lint: allow(hot-path-panic) local was validated by the agents lookup above; rngs/node_seq are sized to the same node range
             let mut ctx = Ctx {
@@ -1102,6 +1204,8 @@ impl ShardState {
                 fault: shared.fault,
                 stats: &mut self.stats,
                 tracer: &mut self.tracer,
+                spans: &mut self.spans,
+                dispatch_span,
                 out: &mut self.out_scratch,
                 seq: &mut self.node_seq[local],
                 link_busy: &mut self.link_busy,
@@ -1113,14 +1217,21 @@ impl ShardState {
                 EventKind::Deliver { pkt, .. } => {
                     ctx.stats.deliveries += 1;
                     ctx.trace(TraceKind::Rx);
+                    ctx.spans.record_dispatch(node.0, parent, SpanKind::Deliver);
                     agent.on_packet(&mut ctx, pkt);
                 }
                 EventKind::HostInject { pkt, .. } => {
+                    ctx.spans
+                        .record_dispatch(node.0, parent, SpanKind::HostInject);
                     agent.on_host_packet(&mut ctx, pkt);
                 }
                 EventKind::Timer { tag, .. } => {
                     ctx.stats.timers += 1;
                     ctx.trace(TraceKind::Timer { tag });
+                    // Lazy: recorded only if the handler emits a child
+                    // span, so idle probe/control ticks stay off the ring.
+                    ctx.spans
+                        .stage_dispatch(node.0, parent, SpanKind::Timer { tag });
                     agent.on_timer(&mut ctx, tag);
                 }
             }
@@ -1140,6 +1251,7 @@ impl ShardState {
                     self.queue.push(Reverse(ev));
                 } else {
                     self.outbox[dst].push(ev);
+                    self.load.outbox_events += 1;
                 }
             }
         }
@@ -1264,6 +1376,7 @@ impl NetworkSim {
                 origin: EXT_ORIGIN,
                 seq: self.ext_seq,
             },
+            parent: SpanKey::NONE,
             kind: EventKind::HostInject { to, pkt },
         };
         let shard = self.shared.part.shard_of(to);
@@ -1282,6 +1395,7 @@ impl NetworkSim {
                 origin: EXT_ORIGIN,
                 seq: self.ext_seq,
             },
+            parent: SpanKey::NONE,
             kind: EventKind::Timer { node, tag },
         };
         let shard = self.shared.part.shard_of(node);
@@ -1302,6 +1416,22 @@ impl NetworkSim {
     /// The trace ring, merged across shards into canonical key order.
     pub fn tracer(&self) -> Tracer {
         Tracer::merged(self.shards.iter().map(|s| &s.tracer))
+    }
+
+    /// The causal span ring, merged across shards into canonical key
+    /// order (the flight-recorder view; empty unless
+    /// [`SimConfig::span_capacity`] armed it and the `trace` feature is
+    /// on).
+    pub fn spans(&self) -> SpanRing {
+        SpanRing::merged(self.shards.iter().map(|s| &s.spans))
+    }
+
+    /// The engine self-profiler: per-shard window/event/queue/outbox
+    /// accounting, cumulative since construction. Deterministic —
+    /// identical across serial and threaded runners — so callers may
+    /// embed it in byte-diffed artifacts (keyed by shard count).
+    pub fn shard_load(&self) -> Vec<ShardLoad> {
+        self.shards.iter().map(|s| s.load).collect()
     }
 
     /// The topology.

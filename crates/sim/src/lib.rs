@@ -48,9 +48,12 @@ pub use adversary::{
 };
 pub use chaos::{ChaosConfig, ChaosEvent, ChaosKind, ChaosSchedule};
 pub use clock::NodeClock;
-pub use engine::{Agent, BufferPool, Ctx, NetworkSim, Packet, RouterAgent, SimConfig, SimStats};
+pub use engine::{
+    Agent, BufferPool, Ctx, NetworkSim, Packet, RouterAgent, ShardLoad, SimConfig, SimStats,
+};
 pub use fault::{FaultDecision, FaultInjector, OutageSchedule};
 pub use shard::ShardMode;
+pub use tango_trace::{DropReason, Span, SpanKey, SpanKind, SpanRing};
 pub use time::SimTime;
 pub use trace::{TraceEvent, TraceKind, Tracer};
 pub use traffic::{CbrSchedule, PoissonSchedule, Schedule};

@@ -1,0 +1,295 @@
+//! Span-stream exporters: canonical JSON and Chrome `trace_event`.
+//!
+//! Both render a key-sorted span slice (from [`crate::SpanRing::spans`]
+//! or a merge) deterministically: iteration order is canonical key
+//! order, object keys are sorted (the canonical form reuses
+//! `tango-obs`'s [`Value`] writer), and no float ever enters the output
+//! — timestamps are fixed-point microsecond strings. Artifacts therefore
+//! byte-diff across runs, worker counts, and shard counts.
+//!
+//! This module is offline (runs once per export, never per event), so
+//! ordinary string building is fine here — the `span-alloc` lint scope
+//! covers only the emission path (`span.rs`, `ring.rs`).
+
+use crate::span::{Span, SpanKey, SpanKind};
+use std::collections::BTreeMap;
+use tango_obs::Value;
+
+/// Schema tag of the canonical span dump.
+pub const SPANS_SCHEMA: &str = "tango-trace/spans/v1";
+
+fn key_value(k: &SpanKey) -> Value {
+    Value::Arr(vec![
+        Value::Num(k.time_ns),
+        Value::Num(u64::from(k.origin)),
+        Value::Num(k.seq),
+        Value::Num(u64::from(k.intra)),
+    ])
+}
+
+fn kind_value(kind: &SpanKind) -> Value {
+    let mut obj = BTreeMap::new();
+    obj.insert("name".to_string(), Value::Str(kind.name().to_string()));
+    let num = |map: &mut BTreeMap<String, Value>, key: &str, v: u64| {
+        map.insert(key.to_string(), Value::Num(v));
+    };
+    match *kind {
+        SpanKind::Deliver | SpanKind::HostInject => {}
+        SpanKind::Timer { tag } => num(&mut obj, "tag", tag),
+        SpanKind::Tx { to } => num(&mut obj, "to", u64::from(to)),
+        SpanKind::Drop { reason } => {
+            obj.insert("reason".to_string(), Value::Str(reason.name().to_string()));
+        }
+        SpanKind::Encap { path, payload } => {
+            num(&mut obj, "path", u64::from(path));
+            num(&mut obj, "payload", u64::from(payload));
+        }
+        SpanKind::Decap { path } => num(&mut obj, "path", u64::from(path)),
+        SpanKind::RxReject { reason } => num(&mut obj, "reason", u64::from(reason)),
+        SpanKind::BgpUpdate { path, announce } => {
+            num(&mut obj, "path", u64::from(path));
+            num(&mut obj, "announce", u64::from(announce));
+        }
+        SpanKind::HealthTransition { path, from, to } => {
+            num(&mut obj, "path", u64::from(path));
+            num(&mut obj, "from", u64::from(from));
+            num(&mut obj, "to", u64::from(to));
+        }
+        SpanKind::Reroute { path } => num(&mut obj, "path", u64::from(path)),
+        SpanKind::Control { step, path } => {
+            num(&mut obj, "step", u64::from(step));
+            num(&mut obj, "path", u64::from(path));
+        }
+        SpanKind::InvariantViolation { path, state } => {
+            num(&mut obj, "path", u64::from(path));
+            num(&mut obj, "state", u64::from(state));
+        }
+    }
+    Value::Obj(obj)
+}
+
+fn span_value(s: &Span) -> Value {
+    let mut obj = BTreeMap::new();
+    obj.insert("key".to_string(), key_value(&s.key));
+    if !s.parent.is_none() {
+        obj.insert("parent".to_string(), key_value(&s.parent));
+    }
+    obj.insert("node".to_string(), Value::Num(u64::from(s.node)));
+    obj.insert("kind".to_string(), kind_value(&s.kind));
+    Value::Obj(obj)
+}
+
+/// The canonical span dump as a [`Value`] tree.
+///
+/// `total_recorded` and `capacity` describe the ring the spans came from
+/// (so a dump self-reports whether it wrapped: `total_recorded >
+/// spans.len()` means older spans were evicted).
+pub fn spans_to_value(spans: &[Span], total_recorded: u64, capacity: u64) -> Value {
+    let mut root = BTreeMap::new();
+    root.insert("schema".to_string(), Value::Str(SPANS_SCHEMA.to_string()));
+    root.insert("capacity".to_string(), Value::Num(capacity));
+    root.insert("total_recorded".to_string(), Value::Num(total_recorded));
+    root.insert(
+        "spans".to_string(),
+        Value::Arr(spans.iter().map(span_value).collect()),
+    );
+    Value::Obj(root)
+}
+
+/// The canonical span dump as byte-stable JSON (sorted keys, 2-space
+/// indent, trailing newline — `tango-obs`'s canonical form).
+pub fn spans_to_json(spans: &[Span], total_recorded: u64, capacity: u64) -> String {
+    spans_to_value(spans, total_recorded, capacity).to_json()
+}
+
+/// Fixed-point microseconds with nanosecond precision ("12.345") — the
+/// Chrome `ts`/`dur` unit, without ever formatting a float.
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn key_arg(k: &SpanKey) -> String {
+    format!("{}/{}/{}/{}", k.time_ns, k.origin, k.seq, k.intra)
+}
+
+/// FNV-1a over bytes — the flow-event id hash and the flight-recorder
+/// dump digest.
+pub fn digest64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+fn key_id(k: &SpanKey) -> u64 {
+    let mut bytes = [0u8; 24];
+    bytes[..8].copy_from_slice(&k.time_ns.to_le_bytes());
+    bytes[8..12].copy_from_slice(&k.origin.to_le_bytes());
+    bytes[12..20].copy_from_slice(&k.seq.to_le_bytes());
+    bytes[20..24].copy_from_slice(&k.intra.to_le_bytes());
+    digest64(&bytes)
+}
+
+fn chrome_args(s: &Span) -> String {
+    let mut args = format!("{{\"key\":\"{}\"", key_arg(&s.key));
+    if !s.parent.is_none() {
+        args.push_str(&format!(",\"parent\":\"{}\"", key_arg(&s.parent)));
+    }
+    match s.kind {
+        SpanKind::Deliver | SpanKind::HostInject => {}
+        SpanKind::Timer { tag } => args.push_str(&format!(",\"tag\":{tag}")),
+        SpanKind::Tx { to } => args.push_str(&format!(",\"to\":{to}")),
+        SpanKind::Drop { reason } => args.push_str(&format!(",\"reason\":\"{}\"", reason.name())),
+        SpanKind::Encap { path, payload } => {
+            args.push_str(&format!(",\"path\":{path},\"payload\":{payload}"))
+        }
+        SpanKind::Decap { path } => args.push_str(&format!(",\"path\":{path}")),
+        SpanKind::RxReject { reason } => args.push_str(&format!(",\"reason\":{reason}")),
+        SpanKind::BgpUpdate { path, announce } => {
+            args.push_str(&format!(",\"path\":{path},\"announce\":{announce}"))
+        }
+        SpanKind::HealthTransition { path, from, to } => {
+            args.push_str(&format!(",\"path\":{path},\"from\":{from},\"to\":{to}"))
+        }
+        SpanKind::Reroute { path } => args.push_str(&format!(",\"path\":{path}")),
+        SpanKind::Control { step, path } => {
+            args.push_str(&format!(",\"step\":{step},\"path\":{path}"))
+        }
+        SpanKind::InvariantViolation { path, state } => {
+            args.push_str(&format!(",\"path\":{path},\"state\":{state}"))
+        }
+    }
+    args.push('}');
+    args
+}
+
+/// Render the span stream in Chrome `trace_event` JSON (the array-of-
+/// events form Perfetto and `chrome://tracing` open directly).
+///
+/// Each span becomes a `ph:"X"` complete event on track `tid = node`
+/// (process 0), and each resolvable parent link becomes a flow-event
+/// pair (`ph:"s"` at the cause, `ph:"f"` at the effect) so the causal
+/// chain renders as arrows. Timestamps are virtual-time microseconds
+/// (fixed-point strings), so output is byte-identical across runs.
+pub fn chrome_trace(spans: &[Span]) -> String {
+    let by_key: BTreeMap<SpanKey, &Span> = spans.iter().map(|s| (s.key, s)).collect();
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, line: String| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&line);
+    };
+    for s in spans {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"tango\",\"pid\":0,\"tid\":{},\
+                 \"ts\":{},\"dur\":0.001,\"args\":{}}}",
+                s.kind.name(),
+                s.node,
+                ts_us(s.key.time_ns),
+                chrome_args(s)
+            ),
+        );
+        if let Some(parent) = by_key.get(&s.parent) {
+            let id = key_id(&s.key);
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"s\",\"name\":\"cause\",\"cat\":\"tango\",\"pid\":0,\
+                     \"tid\":{},\"ts\":{},\"id\":{}}}",
+                    parent.node,
+                    ts_us(parent.key.time_ns),
+                    id
+                ),
+            );
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"cause\",\"cat\":\"tango\",\
+                     \"pid\":0,\"tid\":{},\"ts\":{},\"id\":{}}}",
+                    s.node,
+                    ts_us(s.key.time_ns),
+                    id
+                ),
+            );
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::DropReason;
+
+    fn spans() -> Vec<Span> {
+        let root = SpanKey {
+            time_ns: 1_000,
+            origin: 0,
+            seq: 1,
+            intra: 0,
+        };
+        let hop = SpanKey {
+            time_ns: 2_500,
+            origin: 3,
+            seq: 1,
+            intra: 0,
+        };
+        vec![
+            Span {
+                key: root,
+                parent: SpanKey::NONE,
+                node: 7,
+                kind: SpanKind::HostInject,
+            },
+            Span {
+                key: hop,
+                parent: root,
+                node: 8,
+                kind: SpanKind::Deliver,
+            },
+            Span {
+                key: SpanKey { intra: 1, ..hop },
+                parent: hop,
+                node: 8,
+                kind: SpanKind::Drop {
+                    reason: DropReason::TtlExpired,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn canonical_json_round_trips_through_value_parser() {
+        let json = spans_to_json(&spans(), 3, 64);
+        let parsed = Value::parse(&json).expect("canonical JSON parses");
+        assert_eq!(parsed.to_json(), json, "canonical form is a fixpoint");
+        assert!(json.contains("\"schema\": \"tango-trace/spans/v1\""));
+        assert!(!json.contains("\"parent\": [18446744073709551615"));
+    }
+
+    #[test]
+    fn chrome_trace_has_flow_pairs_for_resolvable_parents() {
+        let chrome = chrome_trace(&spans());
+        assert_eq!(chrome.matches("\"ph\":\"X\"").count(), 3);
+        assert_eq!(chrome.matches("\"ph\":\"s\"").count(), 2);
+        assert_eq!(chrome.matches("\"ph\":\"f\"").count(), 2);
+        assert!(chrome.contains("\"ts\":2.500"));
+    }
+
+    #[test]
+    fn digest_is_stable() {
+        assert_eq!(digest64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(digest64(b"a"), digest64(b"b"));
+    }
+}

@@ -1,0 +1,52 @@
+//! # tango-trace — deterministic causal span tracing for the Tango stack
+//!
+//! `tango-obs` (DESIGN.md §9) answers *how many*; this crate answers
+//! *why and in what order*. Every simulator dispatch, packet hop,
+//! encap/decap, BGP update, health transition, and chaos action can
+//! record a [`Span`] keyed by the engine's canonical event key
+//! (`EventKey{time, origin, seq}` plus an intra-dispatch index), with a
+//! `parent` key linking cause to effect — across shard boundaries too,
+//! because the parent key travels with the event through the outbox
+//! handoff.
+//!
+//! ## Determinism
+//!
+//! A [`SpanKey`] is a pure function of stable identities (virtual time,
+//! emitting origin, per-origin sequence, intra-dispatch index) — never of
+//! shard layout, worker count, or realized execution interleaving. Every
+//! shard records into its own [`SpanRing`]; [`SpanRing::merged`] unions
+//! the rings and sorts by key, reproducing the exact stream a
+//! single-shard run records (rings that never wrap merge exactly, like
+//! `tango-sim`'s trace ring). The exporters ([`export`]) render that
+//! stream as canonical JSON and as Chrome `trace_event` JSON, so trace
+//! artifacts byte-diff across runs, `--workers`, and `--shards`.
+//!
+//! ## Flight recording
+//!
+//! The ring is fixed-capacity: with tracing armed for a long run it
+//! degrades into a *flight recorder* holding the last-N spans, which
+//! invariant violations and chaos faults dump for post-mortem causal
+//! analysis (see `tango::pairing`).
+//!
+//! ## Feature gate
+//!
+//! With the `enabled` feature (default) recording is live. Without it
+//! [`SpanRing`] is a zero-sized no-op — instrumented code compiles
+//! unchanged and the hot path carries nothing. The data types and the
+//! exporters are available either way.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod query;
+mod span;
+
+#[cfg(feature = "enabled")]
+mod ring;
+#[cfg(not(feature = "enabled"))]
+#[path = "ring_noop.rs"]
+mod ring;
+
+pub use ring::SpanRing;
+pub use span::{DropReason, Span, SpanKey, SpanKind};

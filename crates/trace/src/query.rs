@@ -1,0 +1,182 @@
+//! Queries over a key-sorted span stream: causal ancestry, AS/time
+//! filtering, and per-kind latency histograms.
+//!
+//! All functions take the slice produced by [`crate::SpanRing::spans`]
+//! (or a merge) — sorted by key — and are pure, so query output is as
+//! deterministic as the stream itself.
+
+use crate::span::{Span, SpanKey};
+use std::collections::BTreeMap;
+use tango_obs::{bucket_index, HIST_BUCKETS};
+
+/// Upper bound on ancestry walks (a causal chain longer than this is a
+/// recording bug, not a lineage).
+const MAX_ANCESTRY: usize = 4_096;
+
+/// Binary-search a key-sorted span slice.
+pub fn find(spans: &[Span], key: SpanKey) -> Option<&Span> {
+    spans
+        .binary_search_by_key(&key, |s| s.key)
+        .ok()
+        .and_then(|i| spans.get(i))
+}
+
+/// The causal ancestry of `key`, oldest cause first, ending with the
+/// span itself. Falls back to the key's dispatch span (intra 0) when the
+/// exact key is not retained; returns empty when neither is. Parents
+/// evicted from the ring truncate the walk (the chain starts at the
+/// oldest *retained* ancestor).
+pub fn ancestry(spans: &[Span], key: SpanKey) -> Vec<Span> {
+    let mut chain = Vec::new();
+    let mut cur = match find(spans, key).or_else(|| find(spans, key.dispatch())) {
+        Some(s) => *s,
+        None => return chain,
+    };
+    loop {
+        chain.push(cur);
+        if chain.len() >= MAX_ANCESTRY || cur.parent.is_none() {
+            break;
+        }
+        match find(spans, cur.parent) {
+            Some(p) => cur = *p,
+            None => break,
+        }
+    }
+    chain.reverse();
+    chain
+}
+
+/// Every span on AS `node` with `t0_ns <= time < t1_ns`, in key order.
+pub fn touching(spans: &[Span], node: u32, t0_ns: u64, t1_ns: u64) -> Vec<Span> {
+    spans
+        .iter()
+        .filter(|s| s.node == node && s.key.time_ns >= t0_ns && s.key.time_ns < t1_ns)
+        .copied()
+        .collect()
+}
+
+/// Per-kind causal-latency statistics: for every span with a retained
+/// parent, the delta `span.time - parent.time` (how long the effect
+/// trailed its cause — per-hop latency for `deliver`, detection lag for
+/// `health_transition`, …) bucketed into `tango-obs`'s 65 power-of-two
+/// histogram buckets.
+#[derive(Debug, Clone)]
+pub struct KindHist {
+    /// Span-kind name (see `SpanKind::name`).
+    pub name: &'static str,
+    /// Spans of this kind with a retained parent.
+    pub count: u64,
+    /// Sum of deltas, ns.
+    pub total_ns: u64,
+    /// Largest delta, ns.
+    pub max_ns: u64,
+    /// Power-of-two buckets (see `tango_obs::bucket_bounds`).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+/// Compute [`KindHist`]s over the stream, sorted by kind name.
+pub fn kind_histograms(spans: &[Span]) -> Vec<KindHist> {
+    let mut by_name: BTreeMap<&'static str, KindHist> = BTreeMap::new();
+    for s in spans {
+        let Some(parent) = find(spans, s.parent) else {
+            continue;
+        };
+        let delta = s.key.time_ns.saturating_sub(parent.key.time_ns);
+        let h = by_name.entry(s.kind.name()).or_insert_with(|| KindHist {
+            name: s.kind.name(),
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+            buckets: [0; HIST_BUCKETS],
+        });
+        h.count += 1;
+        h.total_ns = h.total_ns.saturating_add(delta);
+        h.max_ns = h.max_ns.max(delta);
+        h.buckets[bucket_index(delta)] += 1;
+    }
+    by_name.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanKind;
+
+    fn key(time_ns: u64, origin: u32, seq: u64, intra: u32) -> SpanKey {
+        SpanKey {
+            time_ns,
+            origin,
+            seq,
+            intra,
+        }
+    }
+
+    /// inject@1000 → deliver@2000 → deliver@3500 → drop child.
+    fn chain() -> Vec<Span> {
+        let k0 = key(1_000, 0, 1, 0);
+        let k1 = key(2_000, 2, 1, 0);
+        let k2 = key(3_500, 3, 1, 0);
+        vec![
+            Span {
+                key: k0,
+                parent: SpanKey::NONE,
+                node: 1,
+                kind: SpanKind::HostInject,
+            },
+            Span {
+                key: k1,
+                parent: k0,
+                node: 2,
+                kind: SpanKind::Deliver,
+            },
+            Span {
+                key: k2,
+                parent: k1,
+                node: 3,
+                kind: SpanKind::Deliver,
+            },
+            Span {
+                key: key(3_500, 3, 1, 1),
+                parent: k2,
+                node: 3,
+                kind: SpanKind::Tx { to: 4 },
+            },
+        ]
+    }
+
+    #[test]
+    fn ancestry_walks_to_the_root() {
+        let spans = chain();
+        let lineage = ancestry(&spans, key(3_500, 3, 1, 1));
+        let kinds: Vec<&str> = lineage.iter().map(|s| s.kind.name()).collect();
+        assert_eq!(kinds, ["host_inject", "deliver", "deliver", "tx"]);
+    }
+
+    #[test]
+    fn ancestry_falls_back_to_the_dispatch_span() {
+        let spans = chain();
+        let lineage = ancestry(&spans, key(3_500, 3, 1, 9));
+        assert_eq!(lineage.len(), 3, "unknown intra resolves to dispatch");
+    }
+
+    #[test]
+    fn touching_filters_node_and_window() {
+        let spans = chain();
+        assert_eq!(touching(&spans, 3, 0, 10_000).len(), 2);
+        assert_eq!(touching(&spans, 3, 0, 3_500).len(), 0);
+        assert_eq!(touching(&spans, 9, 0, 10_000).len(), 0);
+    }
+
+    #[test]
+    fn kind_histograms_bucket_cause_to_effect_deltas() {
+        let spans = chain();
+        let hists = kind_histograms(&spans);
+        let deliver = hists.iter().find(|h| h.name == "deliver").unwrap();
+        assert_eq!(deliver.count, 2);
+        assert_eq!(deliver.total_ns, 1_000 + 1_500);
+        assert_eq!(deliver.max_ns, 1_500);
+        assert_eq!(deliver.buckets[bucket_index(1_000)], 1);
+        let tx = hists.iter().find(|h| h.name == "tx").unwrap();
+        assert_eq!((tx.count, tx.total_ns), (1, 0));
+    }
+}

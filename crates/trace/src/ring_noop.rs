@@ -1,0 +1,69 @@
+//! Zero-sized no-op span ring (`enabled` feature off): span-emission
+//! call sites compile unchanged and record nothing.
+
+use crate::span::{Span, SpanKey, SpanKind};
+
+/// No-op stand-in for the live `SpanRing` (see the `enabled` feature).
+#[derive(Debug, Default)]
+pub struct SpanRing;
+
+impl SpanRing {
+    /// No-op; `capacity` is ignored.
+    pub fn new(_capacity: usize) -> Self {
+        SpanRing
+    }
+
+    /// Always false.
+    #[inline]
+    pub fn armed(&self) -> bool {
+        false
+    }
+
+    /// Always 0.
+    pub fn capacity(&self) -> usize {
+        0
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn begin_dispatch(&mut self, _time_ns: u64, _origin: u32, _seq: u64) {}
+
+    /// Always [`SpanKey::NONE`].
+    #[inline]
+    pub fn dispatch_key(&self) -> SpanKey {
+        SpanKey::NONE
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn record_dispatch(&mut self, _node: u32, _parent: SpanKey, _kind: SpanKind) {}
+
+    /// No-op.
+    #[inline]
+    pub fn stage_dispatch(&mut self, _node: u32, _parent: SpanKey, _kind: SpanKind) {}
+
+    /// No-op; always returns [`SpanKey::NONE`].
+    #[inline]
+    pub fn record(&mut self, _node: u32, _kind: SpanKind) -> SpanKey {
+        SpanKey::NONE
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn push_raw(&mut self, _span: Span) {}
+
+    /// Always empty.
+    pub fn spans(&self) -> Vec<Span> {
+        Vec::new()
+    }
+
+    /// Merges to another no-op.
+    pub fn merged<'a>(_parts: impl IntoIterator<Item = &'a SpanRing>) -> SpanRing {
+        SpanRing
+    }
+
+    /// Always 0.
+    pub fn total_recorded(&self) -> u64 {
+        0
+    }
+}
