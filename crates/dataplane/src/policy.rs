@@ -104,17 +104,21 @@ impl SelectionState {
                 // Smooth weighted round-robin (nginx algorithm).
                 let total: i64 = w.iter().map(|(_, wt)| i64::from(*wt)).sum();
                 if total == 0 {
-                    return Some(w[0].0);
+                    return w.first().map(|&(path, _)| path);
                 }
                 let mut best = 0usize;
-                for (i, (_, wt)) in w.iter().enumerate() {
-                    self.current[i] += i64::from(*wt);
-                    if self.current[i] > self.current[best] {
+                let mut best_current = i64::MIN;
+                for (i, ((_, wt), cur)) in w.iter().zip(self.current.iter_mut()).enumerate() {
+                    *cur += i64::from(*wt);
+                    if *cur > best_current {
+                        best_current = *cur;
                         best = i;
                     }
                 }
-                self.current[best] -= total;
-                Some(w[best].0)
+                if let Some(cur) = self.current.get_mut(best) {
+                    *cur -= total;
+                }
+                w.get(best).map(|&(path, _)| path)
             }
         }
     }

@@ -121,33 +121,36 @@ impl MeasurementReport {
         out
     }
 
-    /// Decode from bytes.
+    /// Decode from bytes. Every read is bounds-checked, so a truncated
+    /// or corrupted report yields `Err`, never a panic.
     pub fn decode(data: &[u8]) -> Result<Self, ReportError> {
-        if data.len() < 2 {
-            return Err(ReportError::Truncated);
+        fn take<'a, const N: usize>(data: &mut &'a [u8]) -> Result<&'a [u8; N], ReportError> {
+            if data.len() < N {
+                return Err(ReportError::Truncated);
+            }
+            let (head, rest) = data.split_at(N);
+            *data = rest;
+            // Infallible after the length check above.
+            head.try_into().map_err(|_| ReportError::Truncated)
         }
-        if data[0] != REPORT_VERSION {
+        let mut cursor = data;
+        let [version, count] = *take(&mut cursor)?;
+        if version != REPORT_VERSION {
             return Err(ReportError::Version);
         }
-        let n = usize::from(data[1]);
+        let n = usize::from(count);
         if data.len() < 2 + n * RECORD_LEN {
             return Err(ReportError::Truncated);
         }
         let mut records = Vec::with_capacity(n);
-        let mut p = 2;
-        let mut take = |len: usize| {
-            let s = &data[p..p + len];
-            p += len;
-            s
-        };
         for _ in 0..n {
             records.push(PathRecord {
-                path_id: u16::from_be_bytes(take(2).try_into().expect("2")),
-                samples: u64::from_be_bytes(take(8).try_into().expect("8")),
-                owd_ewma_ns: i64::from_be_bytes(take(8).try_into().expect("8")),
-                jitter_ns: u64::from_be_bytes(take(8).try_into().expect("8")),
-                loss_ppm: u32::from_be_bytes(take(4).try_into().expect("4")),
-                staleness_ns: u64::from_be_bytes(take(8).try_into().expect("8")),
+                path_id: u16::from_be_bytes(*take(&mut cursor)?),
+                samples: u64::from_be_bytes(*take(&mut cursor)?),
+                owd_ewma_ns: i64::from_be_bytes(*take(&mut cursor)?),
+                jitter_ns: u64::from_be_bytes(*take(&mut cursor)?),
+                loss_ppm: u32::from_be_bytes(*take(&mut cursor)?),
+                staleness_ns: u64::from_be_bytes(*take(&mut cursor)?),
             });
         }
         Ok(MeasurementReport { records })

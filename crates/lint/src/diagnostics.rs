@@ -11,6 +11,29 @@ pub enum Severity {
     Warning,
 }
 
+impl Severity {
+    /// Lowercase label used in both output formats.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One hop of an interprocedural call chain attached to a diagnostic,
+/// from the entry point (first hop) down to the function containing the
+/// reported token (last hop).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainHop {
+    /// Qualified function name, e.g. `sim::engine::ShardState::dispatch`.
+    pub function: String,
+    /// Repo-relative path of the defining file.
+    pub file: String,
+    /// 1-based line of the function definition.
+    pub line: u32,
+}
+
 /// One finding: a rule violation (or suppression problem) at a position.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
@@ -28,16 +51,30 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix or suppress it.
     pub help: Option<String>,
+    /// For interprocedural findings: the call chain from the entry point
+    /// to the function containing the reported token. Empty for local
+    /// (single-function) findings.
+    pub chain: Vec<ChainHop>,
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let level = match self.severity {
-            Severity::Error => "error",
-            Severity::Warning => "warning",
-        };
-        writeln!(f, "{level}[{}]: {}", self.rule, self.message)?;
+        writeln!(
+            f,
+            "{}[{}]: {}",
+            self.severity.label(),
+            self.rule,
+            self.message
+        )?;
         writeln!(f, "  --> {}:{}:{}", self.file, self.line, self.column)?;
+        for (i, hop) in self.chain.iter().enumerate() {
+            let marker = if i == 0 { "chain:" } else { "     →" };
+            writeln!(
+                f,
+                "   = {marker} {} ({}:{})",
+                hop.function, hop.file, hop.line
+            )?;
+        }
         if let Some(help) = &self.help {
             writeln!(f, "   = help: {help}")?;
         }
@@ -46,7 +83,8 @@ impl fmt::Display for Diagnostic {
 }
 
 impl Diagnostic {
-    /// Sort key giving stable, reader-friendly output order.
+    /// Sort key giving stable, reader-friendly output order
+    /// (file, line, column, rule).
     pub fn sort_key(&self) -> (String, u32, u32, &'static str) {
         (self.file.clone(), self.line, self.column, self.rule)
     }

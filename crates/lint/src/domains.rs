@@ -1,0 +1,447 @@
+//! `clock-domain`: time-unit and clock-source flow typing.
+//!
+//! Tango carries four time representations: **virtual nanoseconds** (the
+//! simulator clock — `*_ns`), **wall nanoseconds** (host measurements in
+//! the bench harness — `wall_*`/`host_*`/`real_*` + ns), **fixed-point
+//! microseconds** (`*_us`, the Chrome trace-export unit), and
+//! **milliseconds** (`*_ms`, config knobs). Mixing them compiles fine —
+//! they are all `u64` — and silently corrupts every derived measurement
+//! (the `saturating_owd_ns` / trace-export µs boundary is the motivating
+//! case). This pass infers a domain for every value-bearing identifier
+//! from its name, propagates domains through `let` bindings and function
+//! return types (a call to `foo_ns()` is ns-domain), and flags
+//! cross-domain arithmetic, comparison, assignment, and `return` flow.
+//!
+//! Conversions are recognised syntactically: a statement containing a
+//! `* / 1_000`-style scale factor, an `as_nanos`/`as_micros`/`as_millis`
+//! accessor, or a `*_to_*` converter call is treated as a deliberate
+//! boundary crossing and exempted. Everything else needs a fix or a
+//! `tango-lint: allow(clock-domain) <reason>`.
+//!
+//! Scope: function bodies in deterministic crates (the bench harness
+//! legitimately mixes wall and virtual time when reporting) — test code
+//! excluded.
+
+use crate::callgraph::CallGraph;
+use crate::config;
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::scan::{FileScan, FlatToken, TokKind};
+use proc_macro2::Delimiter;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// The clock-domain lattice point of a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Virtual-time nanoseconds (simulator clock).
+    VirtNs,
+    /// Wall-clock nanoseconds (host measurement).
+    WallNs,
+    /// Fixed-point microseconds (trace-export unit).
+    FixedUs,
+    /// Milliseconds (config knobs).
+    Ms,
+}
+
+impl Domain {
+    fn describe(self) -> &'static str {
+        match self {
+            Domain::VirtNs => "virtual-ns",
+            Domain::WallNs => "wall-ns",
+            Domain::FixedUs => "fixed-point-µs",
+            Domain::Ms => "ms",
+        }
+    }
+}
+
+/// Infer a domain from an identifier or function name, or `None` for
+/// unitless names.
+pub fn domain_of(name: &str) -> Option<Domain> {
+    let wall = name.contains("wall") || name.starts_with("host_") || name.starts_with("real_");
+    if name.ends_with("_ns") || name.ends_with("_nanos") || name == "ns" || name == "as_nanos" {
+        return Some(if wall { Domain::WallNs } else { Domain::VirtNs });
+    }
+    if name.ends_with("_us") || name.ends_with("_micros") || name == "us" || name == "as_micros" {
+        return Some(Domain::FixedUs);
+    }
+    if name.ends_with("_ms") || name.ends_with("_millis") || name == "ms" || name == "as_millis" {
+        return Some(Domain::Ms);
+    }
+    None
+}
+
+/// Scale factors whose presence marks a statement as a deliberate unit
+/// conversion.
+fn is_scale_literal(text: &str) -> bool {
+    let digits: String = text.chars().filter(|c| c.is_ascii_digit()).collect();
+    matches!(digits.as_str(), "1000" | "1000000" | "1000000000")
+}
+
+/// Converter call names that mark a statement as a deliberate boundary
+/// crossing.
+fn is_converter(name: &str) -> bool {
+    name.contains("_to_")
+        || matches!(name, "as_nanos" | "as_micros" | "as_millis" | "as_secs")
+        || name.starts_with("ts_")
+        || name.starts_with("from_")
+}
+
+/// Comparison / additive operator characters the pass checks. (`*` and
+/// `/` are conversions, not mixing.)
+fn is_checked_op(c: char) -> bool {
+    matches!(c, '+' | '-' | '<' | '>' | '=')
+}
+
+/// Methods whose receiver and first argument must share a domain.
+const SAME_DOMAIN_METHODS: &[&str] = &[
+    "min",
+    "max",
+    "saturating_sub",
+    "saturating_add",
+    "wrapping_sub",
+    "wrapping_add",
+    "checked_sub",
+    "checked_add",
+    "abs_diff",
+];
+
+/// Run the clock-domain pass over every function in the graph.
+pub fn check(graph: &CallGraph, scans: &[(String, &FileScan)], out: &mut Vec<Diagnostic>) {
+    for f in &graph.fns {
+        if !config::in_deterministic_crate(&f.path) {
+            continue;
+        }
+        let scan = scans[f.file].1;
+        check_fn(&f.path, scan, f.body.clone(), &f.name, out);
+    }
+}
+
+/// Analyse one function body.
+pub fn check_fn(
+    path: &str,
+    scan: &FileScan,
+    body: Range<usize>,
+    fn_name: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &scan.tokens;
+    // Environment of let-bound locals whose rhs had an unambiguous
+    // domain (single forward pass — Rust code reads top to bottom).
+    let mut env: BTreeMap<String, Domain> = BTreeMap::new();
+    let fn_domain = domain_of(fn_name);
+    // Statement windows: token runs between `;`, `{`, `}` at any depth.
+    let mut stmt_start = body.start;
+    let mut i = body.start;
+    while i <= body.end {
+        let boundary = i == body.end
+            || matches!(toks[i].kind, TokKind::Punct(';'))
+            || matches!(toks[i].kind, TokKind::Open(Delimiter::Brace))
+            || matches!(toks[i].kind, TokKind::Close(Delimiter::Brace));
+        if !boundary {
+            i += 1;
+            continue;
+        }
+        let window = stmt_start..i;
+        stmt_start = i + 1;
+        i += 1;
+        if window.is_empty() {
+            continue;
+        }
+        let converted = window.clone().any(|k| match &toks[k].kind {
+            TokKind::Literal => is_scale_literal(&toks[k].text),
+            TokKind::Ident => is_converter(&toks[k].text),
+            _ => false,
+        });
+        // `let` binding propagation runs even through conversions — the
+        // *binding* takes the lhs name's domain; only mixing checks are
+        // exempted.
+        let let_info = parse_let(toks, window.clone());
+        if let Some((lhs, eq_idx)) = &let_info {
+            if domain_of(lhs).is_none() && !converted {
+                if let Some(d) = unique_domain(toks, *eq_idx + 1..window.end, &env) {
+                    env.insert(lhs.clone(), d);
+                }
+            }
+        }
+        if converted {
+            continue;
+        }
+        // 1. Assignment mixing: `let x_us = … y_ns …` / `x_us = … y_ns …`.
+        if let Some((lhs, eq_idx)) = &let_info {
+            if let Some(d_lhs) = domain_of(lhs).or_else(|| env.get(lhs).copied()) {
+                if let Some((d_rhs, tok_idx)) =
+                    first_conflicting(toks, *eq_idx + 1..window.end, &env, d_lhs)
+                {
+                    push(out, path, &toks[tok_idx], d_lhs, d_rhs, "assignment");
+                }
+            }
+        }
+        // 2. Return mixing: `return expr` vs the fn name's domain.
+        if let Some(d_fn) = fn_domain {
+            if let Some(ret_at) = window
+                .clone()
+                .find(|&k| matches!(&toks[k].kind, TokKind::Ident if toks[k].text == "return"))
+            {
+                if let Some((d_rhs, tok_idx)) =
+                    first_conflicting(toks, ret_at + 1..window.end, &env, d_fn)
+                {
+                    push(out, path, &toks[tok_idx], d_fn, d_rhs, "return");
+                }
+            }
+        }
+        // 3. Binary-operator mixing inside the window.
+        for k in window.clone() {
+            let TokKind::Punct(c) = toks[k].kind else {
+                // 4. Same-domain methods: `a_ns.min(b_us)`.
+                if let TokKind::Ident = toks[k].kind {
+                    if SAME_DOMAIN_METHODS.contains(&toks[k].text.as_str())
+                        && k >= 2
+                        && matches!(toks[k - 1].kind, TokKind::Punct('.'))
+                    {
+                        let recv = operand_domain_before(toks, k - 1, &env);
+                        let arg = (k + 1 < window.end
+                            && matches!(toks[k + 1].kind, TokKind::Open(Delimiter::Parenthesis)))
+                        .then(|| operand_domain_after(toks, k + 2, window.end, &env))
+                        .flatten();
+                        if let (Some(a), Some(b)) = (recv, arg) {
+                            if a != b {
+                                push(out, path, &toks[k], a, b, "argument");
+                            }
+                        }
+                    }
+                }
+                continue;
+            };
+            if !is_checked_op(c) {
+                continue;
+            }
+            // Skip operator glyphs that are really arrows, paths,
+            // patterns, or generics punctuation: `->`, `=>`, `::<`,
+            // `<T>`; also `==`'s second char and compound-assign's `=`.
+            let prev_punct = k >= 1 && matches!(toks[k - 1].kind, TokKind::Punct(_));
+            if prev_punct {
+                continue; // handled at the first char of the operator
+            }
+            // A bare `=` is an assignment — check 1 already covers it;
+            // only `==` participates here.
+            if c == '=' && !matches!(toks.get(k + 1).map(|t| &t.kind), Some(TokKind::Punct('='))) {
+                continue;
+            }
+            // `<` / `>` adjacent to type-ish context (turbofish, generic
+            // args) have unitless operands anyway, so no filtering
+            // needed beyond domain lookup.
+            let mut rhs_at = k + 1;
+            // Step over the `=` of `<=`, `>=`, `==`, `+=`, `-=` and the
+            // second `<`/`>` of shifts.
+            while rhs_at < window.end
+                && matches!(
+                    toks[rhs_at].kind,
+                    TokKind::Punct('=') | TokKind::Punct('<') | TokKind::Punct('>')
+                )
+            {
+                rhs_at += 1;
+            }
+            let lhs = operand_domain_before(toks, k, &env);
+            let rhs = operand_domain_after(toks, rhs_at, window.end, &env);
+            if let (Some(a), Some(b)) = (lhs, rhs) {
+                if a != b {
+                    push(out, path, &toks[k], a, b, "arithmetic/comparison");
+                }
+            }
+        }
+    }
+}
+
+fn push(out: &mut Vec<Diagnostic>, path: &str, at: &FlatToken, a: Domain, b: Domain, what: &str) {
+    out.push(Diagnostic {
+        rule: "clock-domain",
+        severity: Severity::Error,
+        file: path.to_string(),
+        line: at.line,
+        column: at.column,
+        chain: Vec::new(),
+        message: format!(
+            "{} mixes clock domains: {} vs {} — these units/sources must not meet without \
+             an explicit conversion",
+            what,
+            a.describe(),
+            b.describe()
+        ),
+        help: Some(
+            "convert explicitly (`* 1_000`, `as_micros`, a `*_to_*` helper) or suppress with \
+             `tango-lint: allow(clock-domain) <reason>`"
+                .to_string(),
+        ),
+    });
+}
+
+/// `let [mut] NAME [: ty] = …` → `(NAME, index of '=')`. Also plain
+/// `NAME = …` re-assignments.
+fn parse_let(toks: &[FlatToken], window: Range<usize>) -> Option<(String, usize)> {
+    let mut k = window.start;
+    // Skip leading attribute-ish / visibility tokens conservatively: the
+    // window starts right after a boundary, so a binding starts with
+    // `let` or the name itself.
+    let is_let = matches!(&toks.get(k)?.kind, TokKind::Ident if toks[k].text == "let");
+    if is_let {
+        k += 1;
+        if matches!(&toks.get(k)?.kind, TokKind::Ident if toks[k].text == "mut") {
+            k += 1;
+        }
+    }
+    let TokKind::Ident = toks.get(k)?.kind else {
+        return None;
+    };
+    let name = toks[k].text.clone();
+    if !is_let {
+        // Plain re-assignment: require `NAME = `.
+        let eq = k + 1;
+        if eq < window.end
+            && matches!(toks[eq].kind, TokKind::Punct('='))
+            && !matches!(toks.get(eq + 1).map(|t| &t.kind), Some(TokKind::Punct('=')))
+        {
+            return Some((name, eq));
+        }
+        return None;
+    }
+    // Find the `=` at the binding level (skip a `: Type<…>` annotation).
+    let mut angle = 0i32;
+    for j in k + 1..window.end {
+        match &toks[j].kind {
+            TokKind::Punct('<') => angle += 1,
+            // `->` and `=>` are not closing angle brackets.
+            TokKind::Punct('>')
+                if !matches!(toks[j - 1].kind, TokKind::Punct('-') | TokKind::Punct('=')) =>
+            {
+                angle -= 1;
+            }
+            TokKind::Punct('=') if angle == 0 => {
+                if matches!(toks.get(j + 1).map(|t| &t.kind), Some(TokKind::Punct('='))) {
+                    return None; // `==` — not a binding
+                }
+                return Some((name, j));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The single domain present in `range`, if exactly one distinct domain
+/// appears.
+fn unique_domain(
+    toks: &[FlatToken],
+    range: Range<usize>,
+    env: &BTreeMap<String, Domain>,
+) -> Option<Domain> {
+    let mut found: Option<Domain> = None;
+    for k in range {
+        if let Some(d) = token_domain(toks, k, env) {
+            match found {
+                None => found = Some(d),
+                Some(prev) if prev != d => return None,
+                _ => {}
+            }
+        }
+    }
+    found
+}
+
+/// The first token in `range` whose domain conflicts with `against`.
+fn first_conflicting(
+    toks: &[FlatToken],
+    range: Range<usize>,
+    env: &BTreeMap<String, Domain>,
+    against: Domain,
+) -> Option<(Domain, usize)> {
+    for k in range {
+        if let Some(d) = token_domain(toks, k, env) {
+            if d != against {
+                return Some((d, k));
+            }
+        }
+    }
+    None
+}
+
+/// Domain of the identifier token at `k`, if it is a value-bearing ident
+/// (not a converter name, not a field-access *label* of something we
+/// already counted — field labels carry units just like locals, so they
+/// do count).
+fn token_domain(toks: &[FlatToken], k: usize, env: &BTreeMap<String, Domain>) -> Option<Domain> {
+    let TokKind::Ident = toks[k].kind else {
+        return None;
+    };
+    let name = toks[k].text.as_str();
+    if is_converter(name) {
+        return None;
+    }
+    domain_of(name).or_else(|| env.get(name).copied())
+}
+
+/// Domain of the operand ending just before token `op_at` (an ident,
+/// field access tail, or call's closing paren).
+fn operand_domain_before(
+    toks: &[FlatToken],
+    op_at: usize,
+    env: &BTreeMap<String, Domain>,
+) -> Option<Domain> {
+    let prev = op_at.checked_sub(1)?;
+    match &toks[prev].kind {
+        TokKind::Ident => token_domain(toks, prev, env),
+        TokKind::Close(Delimiter::Parenthesis) => {
+            // Call result: scan back to the matching open and take the
+            // callee name before it.
+            let mut depth = 0i32;
+            let mut j = prev;
+            loop {
+                match &toks[j].kind {
+                    TokKind::Close(Delimiter::Parenthesis) => depth += 1,
+                    TokKind::Open(Delimiter::Parenthesis) => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j = j.checked_sub(1)?;
+            }
+            let callee = j.checked_sub(1)?;
+            if matches!(toks[callee].kind, TokKind::Ident) {
+                token_domain(toks, callee, env)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Domain of the operand starting at token `at` (first domain-bearing
+/// ident of the operand expression, stopping at the next operator or
+/// separator).
+fn operand_domain_after(
+    toks: &[FlatToken],
+    at: usize,
+    end: usize,
+    env: &BTreeMap<String, Domain>,
+) -> Option<Domain> {
+    let mut k = at;
+    while k < end {
+        match &toks[k].kind {
+            TokKind::Ident => {
+                if let Some(d) = token_domain(toks, k, env) {
+                    return Some(d);
+                }
+                k += 1;
+            }
+            // Stop at the next operator/separator: the operand ended.
+            TokKind::Punct(c) if is_checked_op(*c) || *c == ',' || *c == ';' => return None,
+            TokKind::Punct(_) => k += 1,
+            TokKind::Literal => return None,
+            TokKind::Open(_) | TokKind::Close(_) => return None,
+        }
+    }
+    None
+}

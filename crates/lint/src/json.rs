@@ -1,0 +1,80 @@
+//! Stable machine-readable diagnostics: `tango-lint/diagnostics/v1`.
+//!
+//! Hand-rolled canonical JSON, matching the workspace convention
+//! (`tango-obs` snapshots): fixed key order, no floats, one diagnostic
+//! per line, `\n` line endings, trailing newline. CI diffs this output
+//! byte-for-byte against the committed empty baseline
+//! (`results/LINT_baseline.json`), so *any* new diagnostic — error or
+//! warning — fails the build, and two consecutive runs over the same
+//! tree must serialize identically.
+
+use crate::diagnostics::Diagnostic;
+use std::fmt::Write;
+
+/// Schema identifier embedded in every document.
+pub const SCHEMA: &str = "tango-lint/diagnostics/v1";
+
+/// Serialize a sorted diagnostics slice as the v1 JSON document.
+pub fn render(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    if diagnostics.is_empty() {
+        out.push_str("  \"diagnostics\": []\n");
+    } else {
+        out.push_str("  \"diagnostics\": [\n");
+        for (i, d) in diagnostics.iter().enumerate() {
+            let comma = if i + 1 == diagnostics.len() { "" } else { "," };
+            let _ = write!(
+                out,
+                "    {{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \
+                 \"column\": {}, \"message\": {}, \"help\": {}, \"chain\": [",
+                escape(d.rule),
+                escape(d.severity.label()),
+                escape(&d.file),
+                d.line,
+                d.column,
+                escape(&d.message),
+                match &d.help {
+                    Some(h) => escape(h),
+                    None => "null".to_string(),
+                },
+            );
+            for (j, hop) in d.chain.iter().enumerate() {
+                let hop_comma = if j + 1 == d.chain.len() { "" } else { ", " };
+                let _ = write!(
+                    out,
+                    "{{\"function\": {}, \"file\": {}, \"line\": {}}}{hop_comma}",
+                    escape(&hop.function),
+                    escape(&hop.file),
+                    hop.line,
+                );
+            }
+            let _ = writeln!(out, "]}}{comma}");
+        }
+        out.push_str("  ]\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// JSON string escaping (control chars, quotes, backslashes).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

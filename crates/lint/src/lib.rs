@@ -22,12 +22,17 @@
 //!
 //! Run it over the workspace with `cargo run -p tango-lint -- check`.
 
+pub mod callgraph;
 pub mod config;
 pub mod diagnostics;
+pub mod domains;
+pub mod json;
+pub mod reach;
 pub mod registry;
 pub mod rules;
 pub mod scan;
 pub mod suppress;
+pub mod taint;
 
 use diagnostics::{Diagnostic, Severity};
 use std::path::{Path, PathBuf};
@@ -62,36 +67,95 @@ impl Report {
 /// Lint a single file's source under its repo-relative `path` (which
 /// determines rule scoping). Returns surviving diagnostics.
 ///
+/// The interprocedural passes run over the one-file "workspace", so a
+/// self-contained source can exercise them; cross-file chains need
+/// [`lint_files`].
+///
 /// Errors if the file does not lex — a file rustc rejects is reported as
 /// a diagnostic by [`lint_workspace`], so the pass never silently skips
 /// code it cannot see.
 pub fn lint_source(path: &str, src: &str) -> Result<Vec<Diagnostic>, syn::Error> {
-    let scan = scan::scan_source(src)?;
-    let mut raw = Vec::new();
-    for rule in registry::all_rules() {
-        if !rule.applies(path) {
-            continue;
+    // Surface the lex error directly (lint_files would fold it into a
+    // parse-failure diagnostic).
+    scan::scan_source(src)?;
+    let report = lint_files(&[(path.to_string(), src.to_string())]);
+    Ok(report.diagnostics)
+}
+
+/// Lint a set of files as one workspace: per-file token rules, then the
+/// interprocedural passes (call-graph taint, clock domains, hot-path and
+/// span-alloc reachability) over all of them together, then suppression
+/// filtering per file. This is the real entry point — [`lint_workspace`]
+/// reads the tree and calls it.
+pub fn lint_files(files: &[(String, String)]) -> Report {
+    let mut report = Report::default();
+    // 1. Scan every file; unlexable files become diagnostics.
+    let mut scans: Vec<(String, scan::FileScan)> = Vec::new();
+    for (path, src) in files {
+        report.files_checked += 1;
+        match scan::scan_source(src) {
+            Ok(s) => scans.push((path.clone(), s)),
+            Err(e) => report.diagnostics.push(Diagnostic {
+                rule: "parse-failure",
+                severity: Severity::Error,
+                file: path.clone(),
+                line: e.span().start().line as u32,
+                column: e.span().start().column as u32,
+                chain: Vec::new(),
+                message: format!("tango-lint cannot tokenize this file: {e}"),
+                help: Some("if rustc accepts this file, the vendored lexer needs a fix".into()),
+            }),
         }
-        let mut found = Vec::new();
-        rule.check(path, &scan, &mut found);
-        if !rule.include_test_code() {
-            found.retain(|d| {
-                // A diagnostic is in test code if the token that fired it
-                // is; match by position.
-                !scan
-                    .tokens
-                    .iter()
-                    .any(|t| t.line == d.line && t.column == d.column && t.in_test)
-            });
-        }
-        raw.extend(found);
     }
-    let mut meta = Vec::new();
-    let suppressions = suppress::collect(path, &scan, &scan.comments, &mut meta);
-    let mut kept = suppress::apply(path, suppressions, raw);
-    kept.extend(meta);
-    kept.sort_by_key(|d| d.sort_key());
-    Ok(kept)
+    // 2. Token-local rules per file.
+    let mut raw: Vec<Vec<Diagnostic>> = vec![Vec::new(); scans.len()];
+    for (idx, (path, scan)) in scans.iter().enumerate() {
+        for rule in registry::all_rules() {
+            if !rule.applies(path) {
+                continue;
+            }
+            let mut found = Vec::new();
+            rule.check(path, scan, &mut found);
+            if !rule.include_test_code() {
+                found.retain(|d| {
+                    // A diagnostic is in test code if the token that
+                    // fired it is; match by position.
+                    !scan
+                        .tokens
+                        .iter()
+                        .any(|t| t.line == d.line && t.column == d.column && t.in_test)
+                });
+            }
+            raw[idx].extend(found);
+        }
+    }
+    // 3. Interprocedural passes over the whole set.
+    let scan_refs: Vec<(String, &scan::FileScan)> =
+        scans.iter().map(|(p, s)| (p.clone(), s)).collect();
+    let graph = callgraph::build(&scan_refs);
+    let mut interproc = Vec::new();
+    taint::check(&graph, &scan_refs, &mut interproc);
+    domains::check(&graph, &scan_refs, &mut interproc);
+    reach::check(&graph, &scan_refs, &mut interproc);
+    for d in interproc {
+        if let Some(idx) = scans.iter().position(|(p, _)| *p == d.file) {
+            raw[idx].push(d);
+        } else {
+            report.diagnostics.push(d);
+        }
+    }
+    // 4. Suppressions per file (interprocedural findings anchor at their
+    //    source/violation token, so a reasoned allow on that line covers
+    //    them like any local finding).
+    for (idx, (path, scan)) in scans.iter().enumerate() {
+        let mut meta = Vec::new();
+        let suppressions = suppress::collect(path, scan, &scan.comments, &mut meta);
+        let mut kept = suppress::apply(path, suppressions, std::mem::take(&mut raw[idx]));
+        kept.extend(meta);
+        report.diagnostics.extend(kept);
+    }
+    report.diagnostics.sort_by_key(|d| d.sort_key());
+    report
 }
 
 /// Lint every workspace source file under `root`. Unlexable files become
@@ -105,7 +169,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
         }
     }
     files.sort();
-    let mut report = Report::default();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for file in &files {
         let rel = file
             .strip_prefix(root)
@@ -118,23 +182,9 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
             // Fixture snippets contain violations on purpose.
             continue;
         }
-        let src = std::fs::read_to_string(file)?;
-        report.files_checked += 1;
-        match lint_source(&rel, &src) {
-            Ok(diags) => report.diagnostics.extend(diags),
-            Err(e) => report.diagnostics.push(Diagnostic {
-                rule: "parse-failure",
-                severity: Severity::Error,
-                file: rel,
-                line: e.span().start().line as u32,
-                column: e.span().start().column as u32,
-                message: format!("tango-lint cannot tokenize this file: {e}"),
-                help: Some("if rustc accepts this file, the vendored lexer needs a fix".into()),
-            }),
-        }
+        sources.push((rel, std::fs::read_to_string(file)?));
     }
-    report.diagnostics.sort_by_key(|d| d.sort_key());
-    Ok(report)
+    Ok(lint_files(&sources))
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

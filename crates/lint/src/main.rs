@@ -1,5 +1,8 @@
-//! CLI: `tango-lint check [--root <dir>]` lints the workspace and exits
-//! nonzero on violations; `tango-lint rules` lists the rule registry.
+//! CLI: `tango-lint check [--root <dir>] [--format human|json]` lints
+//! the workspace and exits nonzero on violations; `tango-lint rules`
+//! lists the rule registry. JSON mode emits the stable
+//! `tango-lint/diagnostics/v1` document on stdout (and nothing else),
+//! so CI can diff it byte-for-byte against the committed baseline.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -12,10 +15,13 @@ fn main() -> ExitCode {
             for rule in tango_lint::registry::all_rules() {
                 println!("{:<24} {}", rule.name(), rule.description());
             }
+            for &(name, description) in tango_lint::registry::INTERPROC_PASSES {
+                println!("{name:<24} {description}");
+            }
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: tango-lint <check [--root <dir>] | rules>");
+            eprintln!("usage: tango-lint <check [--root <dir>] [--format human|json] | rules>");
             ExitCode::from(2)
         }
     }
@@ -23,6 +29,7 @@ fn main() -> ExitCode {
 
 fn check(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -30,6 +37,14 @@ fn check(args: &[String]) -> ExitCode {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("--root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => json = false,
+                Some("json") => json = true,
+                _ => {
+                    eprintln!("--format requires `human` or `json`");
                     return ExitCode::from(2);
                 }
             },
@@ -54,15 +69,20 @@ fn check(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    for diag in &report.diagnostics {
-        print!("{diag}");
+    if json {
+        print!("{}", tango_lint::json::render(&report.diagnostics));
+    } else {
+        for diag in &report.diagnostics {
+            print!("{diag}");
+        }
+        println!(
+            "tango-lint: {} file(s) checked, {} error(s), {} warning(s)",
+            report.files_checked,
+            report.error_count(),
+            report.warning_count()
+        );
     }
-    let (errors, warnings) = (report.error_count(), report.warning_count());
-    println!(
-        "tango-lint: {} file(s) checked, {errors} error(s), {warnings} warning(s)",
-        report.files_checked
-    );
-    if errors > 0 {
+    if report.error_count() > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

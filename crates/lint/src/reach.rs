@@ -1,0 +1,117 @@
+//! Reachability-based restriction inheritance.
+//!
+//! The `hot-path-panic` and `span-alloc` rules used to guard an
+//! annotated list of files. That misses the obvious leak: a helper in
+//! `sim::fault` called from `sim::engine::dispatch` runs exactly as
+//! per-event as the engine loop itself. This pass computes the forward
+//! closure of the call graph from two root sets — every function defined
+//! in a [`crate::config::HOT_PATH_MODULES`] file, and every function
+//! defined in a [`crate::config::SPAN_EMISSION_MODULES`] file — and
+//! applies the corresponding body restriction to every reached function
+//! in a deterministic crate, attaching the call chain that pulled it in.
+//!
+//! Functions *inside* the annotated modules are skipped here (the
+//! module-scoped rules already report them); so are functions reached
+//! only through edges the name-based resolver over-approximated — the
+//! price of no type information is that an unlucky shared method name
+//! inherits the restriction, in which case the fix is a reasoned
+//! suppression at the violation site.
+
+use crate::callgraph::CallGraph;
+use crate::config;
+use crate::diagnostics::{ChainHop, Diagnostic, Severity};
+use crate::rules::{hot_path_panic, span_alloc};
+use crate::scan::FileScan;
+
+/// Run both reachability passes.
+pub fn check(graph: &CallGraph, scans: &[(String, &FileScan)], out: &mut Vec<Diagnostic>) {
+    run_one(
+        graph,
+        scans,
+        &|path| config::is_hot_path_module(path),
+        "hot-path-panic",
+        out,
+    );
+    run_one(
+        graph,
+        scans,
+        &|path| config::is_span_emission_module(path),
+        "span-alloc",
+        out,
+    );
+}
+
+fn run_one(
+    graph: &CallGraph,
+    scans: &[(String, &FileScan)],
+    in_root_module: &dyn Fn(&str) -> bool,
+    rule: &'static str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let roots: Vec<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| in_root_module(&f.path))
+        .map(|(i, _)| i)
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    let reached = graph.reach_forward(&roots);
+    for (&f_idx, first_edge) in &reached {
+        let f = &graph.fns[f_idx];
+        // Roots are already covered by the module-scoped rule; so is any
+        // function that happens to live in a root module.
+        if first_edge.is_none() || in_root_module(&f.path) {
+            continue;
+        }
+        if !config::in_deterministic_crate(&f.path) {
+            continue;
+        }
+        let scan = scans[f.file].1;
+        let sites = match rule {
+            "hot-path-panic" => hot_path_panic::find_panic_sites(scan, f.body.clone()),
+            _ => span_alloc::find_alloc_sites(scan, f.body.clone()),
+        };
+        if sites.is_empty() {
+            continue;
+        }
+        let chain_fns = graph.chain_to(&reached, f_idx);
+        let chain: Vec<ChainHop> = chain_fns
+            .iter()
+            .map(|&c| {
+                let def = &graph.fns[c];
+                ChainHop {
+                    function: def.qname(),
+                    file: def.path.clone(),
+                    line: def.line,
+                }
+            })
+            .collect();
+        let root_def = &graph.fns[chain_fns[0]];
+        let context = match rule {
+            "hot-path-panic" => "a panic here aborts the whole run mid-experiment",
+            _ => "allocation here runs on the per-event span path",
+        };
+        for (line, column, what, fix) in sites {
+            out.push(Diagnostic {
+                rule,
+                severity: Severity::Error,
+                file: f.path.clone(),
+                line,
+                column,
+                chain: chain.clone(),
+                message: format!(
+                    "{what} in `{}`, which is reachable from `{}` — {context}",
+                    f.qname(),
+                    root_def.qname(),
+                ),
+                help: Some(format!(
+                    "{fix}, or suppress with `tango-lint: allow({rule}) <reason stating the \
+                     invariant>`"
+                )),
+            });
+        }
+    }
+}

@@ -35,10 +35,25 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
     ]
 }
 
-/// Every name a suppression may reference: the registered rules plus
-/// the two meta-rules the framework itself emits.
+/// Interprocedural passes that are not `Rule` objects (they need the
+/// whole workspace, not one file) but emit diagnostics and accept
+/// suppressions like any rule: name plus one-line description.
+pub const INTERPROC_PASSES: &[(&str, &str)] = &[
+    (
+        "determinism-taint",
+        "trace nondeterminism sources along the call graph into deterministic crates",
+    ),
+    (
+        "clock-domain",
+        "flag arithmetic/assignment mixing virtual-ns, wall-ns, and fixed-point-µs values",
+    ),
+];
+
+/// Every name a suppression may reference: the registered rules, the
+/// interprocedural passes, and the meta-rules the framework itself emits.
 pub fn rule_names() -> Vec<&'static str> {
     let mut names: Vec<&'static str> = all_rules().iter().map(|r| r.name()).collect();
+    names.extend(INTERPROC_PASSES.iter().map(|&(n, _)| n));
     names.push("malformed-suppression");
     names.push("unused-suppression");
     names

@@ -59,6 +59,7 @@ impl Rule for LossyCast {
                 file: path.to_string(),
                 line: tok.line,
                 column: tok.column,
+                chain: Vec::new(),
                 message: format!(
                     "`as {}` can truncate silently — wire-format code must fail loudly",
                     target.text

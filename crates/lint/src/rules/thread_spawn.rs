@@ -71,6 +71,7 @@ impl Rule for ThreadSpawn {
                 file: path.to_string(),
                 line: tok.line,
                 column: tok.column,
+                chain: Vec::new(),
                 message: format!(
                     "`{what}` creates threads in a deterministic crate — results would \
                      depend on the scheduler, not the seed"

@@ -47,6 +47,7 @@ impl Rule for UnorderedCollections {
                     file: path.to_string(),
                     line: tok.line,
                     column: tok.column,
+                    chain: Vec::new(),
                     message: format!(
                         "`{}` has nondeterministic iteration order — forbidden in \
                          deterministic crates",

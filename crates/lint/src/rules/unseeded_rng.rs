@@ -46,6 +46,7 @@ impl Rule for UnseededRng {
                     file: path.to_string(),
                     line: tok.line,
                     column: tok.column,
+                    chain: Vec::new(),
                     message: format!(
                         "`{}` draws OS entropy — all randomness must derive from an \
                          explicit seed",

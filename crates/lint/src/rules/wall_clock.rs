@@ -56,6 +56,7 @@ impl Rule for WallClock {
                     file: path.to_string(),
                     line: tok.line,
                     column: tok.column,
+                    chain: Vec::new(),
                     message: format!(
                         "`{}` reads the host wall clock — simulated components must use \
                          `Ctx::now()`/`Ctx::local_ns()`",

@@ -38,6 +38,9 @@ pub struct FlatToken {
     pub column: u32,
     /// Inside `#[cfg(test)]`-gated or `#[test]`-attributed code.
     pub in_test: bool,
+    /// Delimiter nesting depth (0 = file level; a group's `Open`/`Close`
+    /// markers carry the depth *outside* the group).
+    pub depth: u32,
 }
 
 /// The scanned form of one source file.
@@ -53,7 +56,7 @@ pub struct FileScan {
 pub fn scan_source(src: &str) -> Result<FileScan, syn::Error> {
     let file = syn::parse_file(src)?;
     let mut tokens = Vec::new();
-    flatten(file.tokens.iter().as_slice(), false, &mut tokens);
+    flatten(file.tokens.iter().as_slice(), false, 0, &mut tokens);
     Ok(FileScan {
         tokens,
         comments: file.comments,
@@ -125,12 +128,12 @@ impl FileScan {
 /// the workspace uses: `#[cfg(test)]` and `#[test]`. Conditional forms
 /// like `#[cfg(all(test, …))]` are deliberately *not* recognized — code
 /// under them stays subject to the rules (stricter, never looser).
-fn flatten(trees: &[TokenTree], in_test: bool, out: &mut Vec<FlatToken>) {
+fn flatten(trees: &[TokenTree], in_test: bool, depth: u32, out: &mut Vec<FlatToken>) {
     let mut pending_test = false;
     for (i, tree) in trees.iter().enumerate() {
         match tree {
             TokenTree::Ident(id) => {
-                out.push(tok(TokKind::Ident, id.to_string(), tree, in_test));
+                out.push(tok(TokKind::Ident, id.to_string(), tree, in_test, depth));
             }
             TokenTree::Punct(p) => {
                 if p.as_char() == '#' {
@@ -150,10 +153,17 @@ fn flatten(trees: &[TokenTree], in_test: bool, out: &mut Vec<FlatToken>) {
                     String::new(),
                     tree,
                     in_test,
+                    depth,
                 ));
             }
             TokenTree::Literal(l) => {
-                out.push(tok(TokKind::Literal, l.as_str().to_string(), tree, in_test));
+                out.push(tok(
+                    TokKind::Literal,
+                    l.as_str().to_string(),
+                    tree,
+                    in_test,
+                    depth,
+                ));
             }
             TokenTree::Group(g) => {
                 let body_is_test = in_test || (pending_test && g.delimiter() == Delimiter::Brace);
@@ -167,8 +177,9 @@ fn flatten(trees: &[TokenTree], in_test: bool, out: &mut Vec<FlatToken>) {
                     line: open.line as u32,
                     column: open.column as u32,
                     in_test: body_is_test,
+                    depth,
                 });
-                flatten(g.stream().iter().as_slice(), body_is_test, out);
+                flatten(g.stream().iter().as_slice(), body_is_test, depth + 1, out);
                 let close = g.span_close().start();
                 out.push(FlatToken {
                     kind: TokKind::Close(g.delimiter()),
@@ -176,13 +187,14 @@ fn flatten(trees: &[TokenTree], in_test: bool, out: &mut Vec<FlatToken>) {
                     line: close.line as u32,
                     column: close.column as u32,
                     in_test: body_is_test,
+                    depth,
                 });
             }
         }
     }
 }
 
-fn tok(kind: TokKind, text: String, tree: &TokenTree, in_test: bool) -> FlatToken {
+fn tok(kind: TokKind, text: String, tree: &TokenTree, in_test: bool, depth: u32) -> FlatToken {
     let at = tree.span().start();
     FlatToken {
         kind,
@@ -190,6 +202,7 @@ fn tok(kind: TokKind, text: String, tree: &TokenTree, in_test: bool) -> FlatToke
         line: at.line as u32,
         column: at.column as u32,
         in_test,
+        depth,
     }
 }
 

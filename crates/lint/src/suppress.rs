@@ -54,6 +54,7 @@ pub fn collect(
             file: path.to_string(),
             line,
             column,
+            chain: Vec::new(),
             message,
             help: Some(
                 "write `tango-lint: allow(<rule>) <reason>` — the reason is mandatory".to_string(),
@@ -146,6 +147,7 @@ pub fn apply(
                 file: path.to_string(),
                 line: s.from_line,
                 column: 1,
+                chain: Vec::new(),
                 message: format!(
                     "suppression of `{}` matches no diagnostic on lines {}–{}",
                     s.rules.join(", "),

@@ -1,0 +1,234 @@
+//! `determinism-taint`: interprocedural nondeterminism dataflow.
+//!
+//! A *source* is a token pattern that injects nondeterminism into
+//! whatever computation touches it: a wall-clock read, an OS-entropy RNG
+//! constructor, an environment/filesystem read, or an unordered
+//! (`HashMap`/`HashSet`) collection whose iteration order varies run to
+//! run. The pass marks every function whose body contains a source, then
+//! propagates the taint *up* the call graph: a caller of a tainted
+//! function is tainted. If any function defined in a deterministic crate
+//! (see [`crate::config::DETERMINISTIC_CRATES`]) ends up tainted, the
+//! source is reported together with the full call chain from the nearest
+//! deterministic entry point down to the source token — the bug class a
+//! token-local rule cannot see (a helper three frames below
+//! `sim::engine::dispatch` reading `Instant::now()`).
+//!
+//! Division of labour with the token-local rules: a source at a location
+//! the local rule already guards (e.g. `Instant::now` in a non-exempt
+//! crate, `HashMap` in a deterministic crate) is *not* re-reported here
+//! — the local diagnostic fires at the same token and a single
+//! suppression should silence exactly one rule. The taint pass covers
+//! the complement: sources in exempt crates (`tango-bench` reading the
+//! clock is fine *until* simulation code calls it) and source kinds with
+//! no local rule at all (env/fs reads).
+//!
+//! Suppression anchors at the **source** line: a
+//! `tango-lint: allow(determinism-taint) <reason>` on the source token's
+//! line accepts every chain that ends at it.
+
+use crate::callgraph::CallGraph;
+use crate::config;
+use crate::diagnostics::{ChainHop, Diagnostic, Severity};
+use crate::rules::{is_method_call, is_path_segment};
+use crate::scan::{FileScan, TokKind};
+use std::collections::BTreeMap;
+
+/// What kind of nondeterminism a source token injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SourceKind {
+    WallClock,
+    Rng,
+    EnvRead,
+    FsRead,
+    UnorderedIter,
+}
+
+impl SourceKind {
+    fn describe(self) -> &'static str {
+        match self {
+            SourceKind::WallClock => "reads the host wall clock",
+            SourceKind::Rng => "draws OS entropy",
+            SourceKind::EnvRead => "reads the process environment",
+            SourceKind::FsRead => "reads the filesystem",
+            SourceKind::UnorderedIter => "iterates a nondeterministically-ordered collection",
+        }
+    }
+
+    /// Is this source already guarded by a token-local rule at `path`?
+    /// (If so, the taint pass stays silent to avoid double-reporting.)
+    fn locally_guarded(self, path: &str) -> bool {
+        match self {
+            SourceKind::WallClock => !config::wall_clock_exempt(path),
+            SourceKind::Rng => true, // unseeded-rng applies everywhere
+            SourceKind::UnorderedIter => config::in_deterministic_crate(path),
+            SourceKind::EnvRead | SourceKind::FsRead => false,
+        }
+    }
+}
+
+/// A source occurrence inside some function body.
+struct Source {
+    kind: SourceKind,
+    what: String,
+    line: u32,
+    column: u32,
+}
+
+/// Find source tokens in the body range of one function.
+fn find_sources(scan: &FileScan, body: std::ops::Range<usize>) -> Vec<Source> {
+    let toks = &scan.tokens;
+    let mut out = Vec::new();
+    for i in body {
+        let tok = &toks[i];
+        if !matches!(tok.kind, TokKind::Ident) {
+            continue;
+        }
+        let hit: Option<(SourceKind, String)> = match tok.text.as_str() {
+            "Instant"
+                if matches!(toks.get(i + 1), Some(t) if matches!(t.kind, TokKind::Punct(':')))
+                    && matches!(toks.get(i + 2), Some(t) if matches!(t.kind, TokKind::Punct(':')))
+                    && matches!(toks.get(i + 3), Some(t) if t.text == "now") =>
+            {
+                Some((SourceKind::WallClock, "Instant::now".into()))
+            }
+            "SystemTime" => Some((SourceKind::WallClock, "SystemTime".into())),
+            "thread_rng" | "from_entropy" | "OsRng" | "getrandom" => {
+                Some((SourceKind::Rng, tok.text.clone()))
+            }
+            "random" if is_path_segment(toks, i, Some("rand")) => {
+                Some((SourceKind::Rng, "rand::random".into()))
+            }
+            "var" | "vars" | "var_os" | "args" if is_path_segment(toks, i, Some("env")) => {
+                Some((SourceKind::EnvRead, format!("env::{}", tok.text)))
+            }
+            "read" | "read_to_string" | "read_dir" if is_path_segment(toks, i, Some("fs")) => {
+                Some((SourceKind::FsRead, format!("fs::{}", tok.text)))
+            }
+            "open" if is_path_segment(toks, i, Some("File")) => {
+                Some((SourceKind::FsRead, "File::open".into()))
+            }
+            "stdin" => Some((SourceKind::FsRead, "stdin".into())),
+            // The collection *type* in a body is the conservative proxy
+            // for order-dependent iteration.
+            "HashMap" | "HashSet" => Some((SourceKind::UnorderedIter, tok.text.clone())),
+            _ => None,
+        };
+        // `.read(`-style method calls named like fs reads are common and
+        // unrelated; the patterns above all require a path qualifier, so
+        // a stray method call never matches — except `stdin`, which we
+        // require to be a call.
+        if let Some((kind, what)) = hit {
+            if what == "stdin" {
+                let is_free_call = matches!(
+                    toks.get(i + 1).map(|t| &t.kind),
+                    Some(TokKind::Open(proc_macro2::Delimiter::Parenthesis))
+                ) && !is_method_call(toks, i);
+                if !is_free_call {
+                    continue;
+                }
+            }
+            out.push(Source {
+                kind,
+                what,
+                line: tok.line,
+                column: tok.column,
+            });
+        }
+    }
+    out
+}
+
+/// Run the taint pass over a resolved call graph. `scans` is indexed the
+/// same way as the graph's `FnDef::file`.
+pub fn check(graph: &CallGraph, scans: &[(String, &FileScan)], out: &mut Vec<Diagnostic>) {
+    // 1. Sources per function.
+    let mut sources: Vec<(usize, Source)> = Vec::new();
+    for (f_idx, f) in graph.fns.iter().enumerate() {
+        let scan = scans[f.file].1;
+        for s in find_sources(scan, f.body.clone()) {
+            if s.kind.locally_guarded(&f.path) {
+                continue;
+            }
+            sources.push((f_idx, s));
+        }
+    }
+    if sources.is_empty() {
+        return;
+    }
+    let reverse = graph.reverse_edges();
+    // 2. For each source, BFS *up* the call graph for the nearest
+    //    function in a deterministic crate; report with the chain.
+    for (src_fn, src) in &sources {
+        let src_def = &graph.fns[*src_fn];
+        // A source directly inside a deterministic crate with no local
+        // rule (env/fs reads) is a chain of length one.
+        let mut parent: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+        parent.insert(*src_fn, None);
+        let mut queue = std::collections::VecDeque::from([*src_fn]);
+        let mut sink: Option<usize> = None;
+        if config::in_deterministic_crate(&src_def.path) {
+            sink = Some(*src_fn);
+        }
+        while sink.is_none() {
+            let Some(f) = queue.pop_front() else {
+                break;
+            };
+            for &(caller, _line) in &reverse[f] {
+                if parent.contains_key(&caller) {
+                    continue;
+                }
+                parent.insert(caller, Some(f));
+                if config::in_deterministic_crate(&graph.fns[caller].path) {
+                    sink = Some(caller);
+                    break;
+                }
+                queue.push_back(caller);
+            }
+        }
+        let Some(sink) = sink else {
+            continue; // never reaches deterministic code
+        };
+        // Chain from the deterministic entry point down to the source fn.
+        let mut chain_fns = vec![sink];
+        let mut cur = sink;
+        while let Some(Some(next)) = parent.get(&cur) {
+            chain_fns.push(*next);
+            cur = *next;
+        }
+        let chain: Vec<ChainHop> = chain_fns
+            .iter()
+            .map(|&f| {
+                let def = &graph.fns[f];
+                ChainHop {
+                    function: def.qname(),
+                    file: def.path.clone(),
+                    line: def.line,
+                }
+            })
+            .collect();
+        let sink_def = &graph.fns[sink];
+        out.push(Diagnostic {
+            rule: "determinism-taint",
+            severity: Severity::Error,
+            file: src_def.path.clone(),
+            line: src.line,
+            column: src.column,
+            chain,
+            message: format!(
+                "`{}` {} and is reachable from deterministic code: `{}` ({}) calls into \
+                 `{}` which contains it",
+                src.what,
+                src.kind.describe(),
+                sink_def.qname(),
+                sink_def.path,
+                src_def.qname(),
+            ),
+            help: Some(
+                "thread the value through the simulation (seeded RNG, virtual clock, explicit \
+                 config), or suppress at the source with `tango-lint: allow(determinism-taint) \
+                 <reason>`"
+                    .to_string(),
+            ),
+        });
+    }
+}

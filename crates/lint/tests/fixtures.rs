@@ -2,9 +2,12 @@
 //! trigger it and a `pass.rs` snippet that must stay clean, linted under
 //! a pretend path that puts the snippet in the rule's scope. A second
 //! pretend path outside the scope must silence the scoped rules.
+//!
+//! The interprocedural passes get multi-file fixtures, linted together
+//! through [`tango_lint::lint_files`] under pretend workspace paths.
 
-use tango_lint::diagnostics::Severity;
-use tango_lint::lint_source;
+use tango_lint::diagnostics::{Diagnostic, Severity};
+use tango_lint::{lint_files, lint_source};
 
 fn fixture(rel: &str) -> String {
     let path = format!("{}/tests/fixtures/{rel}", env!("CARGO_MANIFEST_DIR"));
@@ -20,6 +23,15 @@ fn rules_fired(path: &str, src: &str) -> Vec<&'static str> {
     rules.sort_unstable();
     rules.dedup();
     rules
+}
+
+/// Lint a set of `(pretend path, fixture file)` pairs as one workspace.
+fn lint_fixture_files(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|&(path, rel)| (path.to_string(), fixture(rel)))
+        .collect();
+    lint_files(&sources).diagnostics
 }
 
 #[test]
@@ -361,6 +373,291 @@ fn thread_spawn_out_of_scope_crate_is_exempt() {
         ),
         Vec::<&str>::new()
     );
+}
+
+// ---------------------------------------------------------------------
+// Interprocedural: determinism-taint
+// ---------------------------------------------------------------------
+
+#[test]
+fn taint_reports_wall_clock_two_calls_below_sim_entry_with_chain() {
+    let diags = lint_fixture_files(&[
+        (
+            "crates/bench/src/timing.rs",
+            "determinism_taint/bench_timing.rs",
+        ),
+        ("crates/sim/src/probe.rs", "determinism_taint/sim_probe.rs"),
+    ]);
+    let hits: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "determinism-taint")
+        .collect();
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    let d = hits[0];
+    assert_eq!(d.severity, Severity::Error);
+    // Anchored at the source token, in the bench crate — where the local
+    // wall-clock rule is exempt and would never fire.
+    assert_eq!(d.file, "crates/bench/src/timing.rs");
+    assert!(d.message.contains("Instant::now"), "{d:?}");
+    assert!(d.message.contains("sim::probe::schedule_probe"), "{d:?}");
+    // Full chain: deterministic entry → pub bench wrapper → private
+    // source fn (the wall-clock read sits two call levels down).
+    let fns: Vec<&str> = d.chain.iter().map(|h| h.function.as_str()).collect();
+    assert_eq!(
+        fns,
+        [
+            "sim::probe::schedule_probe",
+            "bench::timing::measure_now_ns",
+            "bench::timing::host_stamp_ns",
+        ],
+        "{d:?}"
+    );
+    assert!(d.chain[0].file == "crates/sim/src/probe.rs", "{d:?}");
+    assert!(d.chain[2].file == "crates/bench/src/timing.rs", "{d:?}");
+    // Nothing else fires on the pair.
+    assert!(
+        diags.iter().all(|d| d.rule == "determinism-taint"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn taint_chain_goes_quiet_with_reasoned_suppression_at_source() {
+    let diags = lint_fixture_files(&[
+        (
+            "crates/bench/src/timing.rs",
+            "determinism_taint/bench_timing_suppressed.rs",
+        ),
+        ("crates/sim/src/probe.rs", "determinism_taint/sim_probe.rs"),
+    ]);
+    // The allow at the source silences the chain AND counts as used — no
+    // unused-suppression warning may appear either.
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn taint_silent_without_a_deterministic_caller() {
+    // The bench-crate source alone is fine: nondeterminism that never
+    // flows into simulation code is not a finding.
+    let diags = lint_fixture_files(&[(
+        "crates/bench/src/timing.rs",
+        "determinism_taint/bench_timing.rs",
+    )]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------
+// Interprocedural: clock-domain
+// ---------------------------------------------------------------------
+
+#[test]
+fn clock_domain_fail_flags_all_three_mixes() {
+    let diags = lint_source("crates/sim/src/clock.rs", &fixture("clock_domain/fail.rs")).unwrap();
+    let hits: Vec<_> = diags.iter().filter(|d| d.rule == "clock-domain").collect();
+    assert_eq!(hits.len(), 3, "{diags:?}");
+    assert!(hits.iter().all(|d| d.severity == Severity::Error));
+    // The motivating case: virtual-ns + wall-ns addition.
+    assert!(
+        hits.iter()
+            .any(|d| d.message.contains("arithmetic/comparison")
+                && d.message.contains("virtual-ns")
+                && d.message.contains("wall-ns")),
+        "{diags:?}"
+    );
+    // let dur_us = span_end_ns; — ns value into a µs binding.
+    assert!(
+        hits.iter()
+            .any(|d| d.message.contains("assignment") && d.message.contains("fixed-point-µs")),
+        "{diags:?}"
+    );
+    // deadline_ns.min(budget_ms) — same-domain method across domains.
+    assert!(
+        hits.iter()
+            .any(|d| d.message.contains("argument") && d.message.contains("ms")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn clock_domain_pass_is_clean() {
+    assert_eq!(
+        rules_fired("crates/sim/src/clock.rs", &fixture("clock_domain/pass.rs")),
+        Vec::<&str>::new()
+    );
+}
+
+#[test]
+fn clock_domain_out_of_scope_crate_is_exempt() {
+    // tango-net is not a deterministic crate; mixing is its own problem.
+    assert_eq!(
+        rules_fired("crates/net/src/clock.rs", &fixture("clock_domain/fail.rs")),
+        Vec::<&str>::new()
+    );
+}
+
+// ---------------------------------------------------------------------
+// Interprocedural: reachability-inherited hot-path-panic
+// ---------------------------------------------------------------------
+
+#[test]
+fn hot_path_panic_reaches_helpers_outside_the_hot_module() {
+    let diags = lint_fixture_files(&[
+        ("crates/sim/src/engine.rs", "reach/engine.rs"),
+        ("crates/sim/src/helper.rs", "reach/helper.rs"),
+    ]);
+    let hits: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "hot-path-panic")
+        .collect();
+    // helper.rs is not a hot-path module, so both findings are purely
+    // interprocedural: .unwrap() in step(), table[3] in leaf().
+    assert!(hits.len() >= 2, "{diags:?}");
+    assert!(hits.iter().all(|d| d.file == "crates/sim/src/helper.rs"));
+    assert!(
+        hits.iter().any(|d| d.message.contains("unwrap")),
+        "{diags:?}"
+    );
+    assert!(
+        hits.iter().any(|d| d.message.contains("index")),
+        "{diags:?}"
+    );
+    // Every finding carries a chain rooted at the hot-path entry.
+    for d in &hits {
+        assert_eq!(
+            d.chain.first().map(|h| h.function.as_str()),
+            Some("sim::engine::dispatch_one"),
+            "{d:?}"
+        );
+        assert!(d.message.contains("dispatch_one"), "{d:?}");
+    }
+    // leaf() is two hops down: dispatch_one → step → leaf.
+    assert!(
+        hits.iter().any(|d| {
+            let fns: Vec<&str> = d.chain.iter().map(|h| h.function.as_str()).collect();
+            fns == [
+                "sim::engine::dispatch_one",
+                "sim::helper::step",
+                "sim::helper::leaf",
+            ]
+        }),
+        "{hits:?}"
+    );
+}
+
+#[test]
+fn helper_alone_is_clean_without_a_hot_path_caller() {
+    let diags = lint_fixture_files(&[("crates/sim/src/helper.rs", "reach/helper.rs")]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------
+// span-alloc: extended ban list
+// ---------------------------------------------------------------------
+
+#[test]
+fn span_alloc_extended_bans_fire() {
+    let diags = lint_source("crates/trace/src/span.rs", &fixture("span_alloc/fail.rs")).unwrap();
+    let hits: Vec<_> = diags.iter().filter(|d| d.rule == "span-alloc").collect();
+    for needle in ["to_vec", "Box::new", "vec!"] {
+        assert!(
+            hits.iter().any(|d| d.message.contains(needle)),
+            "missing {needle}: {diags:?}"
+        );
+    }
+    // `String::from(..)` is caught by the blanket `String`-type ban — the
+    // fixture's `converted` fn must produce a hit on its String mention.
+    assert!(
+        hits.iter()
+            .any(|d| d.line >= 29 && d.message.contains("`String` type")),
+        "{diags:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Suppression edge cases
+// ---------------------------------------------------------------------
+
+#[test]
+fn stale_suppression_warns_and_names_its_rule() {
+    let diags = lint_source("crates/sim/src/engine.rs", &fixture("suppression/stale.rs")).unwrap();
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "unused-suppression");
+    assert_eq!(diags[0].severity, Severity::Warning);
+    assert!(diags[0].message.contains("hot-path-panic"), "{diags:?}");
+}
+
+#[test]
+fn deleting_the_stale_suppression_restores_clean() {
+    assert_eq!(
+        rules_fired(
+            "crates/sim/src/engine.rs",
+            &fixture("suppression/stale_pass.rs")
+        ),
+        Vec::<&str>::new()
+    );
+}
+
+#[test]
+fn multiple_suppressions_stack_on_one_item() {
+    // Two standalone allows above one fn: both apply to the whole body.
+    let src = "\
+// tango-lint: allow(wall-clock) coarse host stamp for the log header only
+// tango-lint: allow(hot-path-panic) len checked by caller contract
+pub fn stamp(buf: &[u8]) -> u64 {
+    let t = std::time::Instant::now();
+    let _ = buf[0];
+    t.elapsed().as_nanos() as u64
+}
+";
+    assert_eq!(
+        rules_fired("crates/sim/src/engine.rs", src),
+        Vec::<&str>::new()
+    );
+}
+
+#[test]
+fn item_suppression_does_not_leak_to_the_next_item() {
+    // The allow covers `first` only; the same violation in `second`
+    // must still be reported.
+    let src = "\
+// tango-lint: allow(hot-path-panic) index bounded by construction
+pub fn first(buf: &[u8]) -> u8 {
+    buf[0]
+}
+
+pub fn second(buf: &[u8]) -> u8 {
+    buf[1]
+}
+";
+    let diags = lint_source("crates/sim/src/engine.rs", src).unwrap();
+    let hits: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "hot-path-panic")
+        .collect();
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    assert_eq!(hits[0].line, 7, "{diags:?}");
+}
+
+#[test]
+fn diagnostics_sort_deterministically_by_file_line_column_rule() {
+    // Feed files in reverse path order with violations on assorted
+    // lines; the report must come back sorted by (file, line, column,
+    // rule) regardless of input or discovery order.
+    let clock = fixture("clock_domain/fail.rs");
+    let alloc = fixture("span_alloc/fail.rs");
+    let files = vec![
+        ("crates/trace/src/span.rs".to_string(), alloc),
+        ("crates/sim/src/clock.rs".to_string(), clock),
+    ];
+    let diags = lint_files(&files).diagnostics;
+    assert!(diags.len() >= 4, "{diags:?}");
+    let keys: Vec<_> = diags.iter().map(|d| d.sort_key()).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+    // And the order is genuinely cross-file: sim sorts before trace.
+    assert_eq!(diags[0].file, "crates/sim/src/clock.rs");
+    assert_eq!(diags.last().unwrap().file, "crates/trace/src/span.rs");
 }
 
 #[test]

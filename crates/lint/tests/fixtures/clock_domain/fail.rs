@@ -1,0 +1,18 @@
+//! Fixture: clock-domain mixing a deterministic crate must not contain.
+
+/// Virtual-ns + wall-ns addition — the motivating case.
+pub fn skew(owd_ns: u64, wall_elapsed_ns: u64) -> u64 {
+    owd_ns + wall_elapsed_ns
+}
+
+/// Assigning a virtual-ns value to a µs-named binding without a
+/// conversion.
+pub fn export_stamp(span_end_ns: u64) -> u64 {
+    let dur_us = span_end_ns;
+    dur_us
+}
+
+/// Same-domain method with cross-domain receiver/argument.
+pub fn clamp(deadline_ns: u64, budget_ms: u64) -> u64 {
+    deadline_ns.min(budget_ms)
+}

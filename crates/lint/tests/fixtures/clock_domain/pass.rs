@@ -1,0 +1,28 @@
+//! Fixture: unit-correct time handling — no violations expected.
+
+/// Same-domain arithmetic is fine.
+pub fn total_ns(a_ns: u64, b_ns: u64) -> u64 {
+    a_ns + b_ns
+}
+
+/// An explicit scale factor marks the statement as a conversion.
+pub fn export_stamp_us(span_end_ns: u64) -> u64 {
+    let dur_us = span_end_ns / 1_000;
+    dur_us
+}
+
+/// A `*_to_*` converter call marks the crossing as deliberate.
+pub fn budget_ns(budget_ms: u64) -> u64 {
+    ms_to_ns(budget_ms)
+}
+
+fn ms_to_ns(v: u64) -> u64 {
+    v * 1_000_000
+}
+
+/// Domain flows through `let` bindings: `total` inherits ns, and
+/// ns-vs-ns comparison is clean.
+pub fn within(a_ns: u64, b_ns: u64, limit_ns: u64) -> bool {
+    let total = a_ns + b_ns;
+    total < limit_ns
+}

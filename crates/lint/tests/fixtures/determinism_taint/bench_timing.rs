@@ -1,0 +1,14 @@
+//! Fixture: a wall-clock read two call levels down inside the (clock-
+//! exempt) bench crate. Harmless on its own — the taint pass only
+//! reports it once simulation code can reach it (see `sim_probe.rs`).
+
+/// Public entry the rest of the workspace calls.
+pub fn measure_now_ns() -> u64 {
+    host_stamp_ns()
+}
+
+/// The actual source, one more level down.
+fn host_stamp_ns() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,15 @@
+//! Fixture: same as `bench_timing.rs`, but the source carries a
+//! reasoned allow — the whole chain must go quiet, and the suppression
+//! must count as used (no unused-suppression warning).
+
+/// Public entry the rest of the workspace calls.
+pub fn measure_now_ns() -> u64 {
+    host_stamp_ns()
+}
+
+/// The actual source, one more level down.
+fn host_stamp_ns() -> u64 {
+    // tango-lint: allow(determinism-taint) harness-side stamp reported out-of-band; never fed back into simulation state
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

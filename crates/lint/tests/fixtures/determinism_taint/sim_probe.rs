@@ -1,0 +1,9 @@
+//! Fixture: the deterministic entry point that (transitively) reaches
+//! the wall-clock read in `bench_timing.rs`.
+
+use tango_bench::timing;
+
+/// A sim-crate function calling into the bench helper: the taint sink.
+pub fn schedule_probe() -> u64 {
+    timing::measure_now_ns()
+}

@@ -1,0 +1,10 @@
+//! Fixture: a hot-path module whose per-event loop calls a helper in a
+//! *different* (non-hot-path) file. The helper's panics are only
+//! reportable interprocedurally.
+
+use crate::helper;
+
+pub fn dispatch_one(queue: &mut Vec<u64>) -> Option<u64> {
+    let next = queue.pop()?;
+    Some(helper::step(next))
+}

@@ -1,0 +1,14 @@
+//! Fixture: an ordinary sim module — no module-scoped rule applies, but
+//! `engine.rs` (hot path) calls it, so its body inherits the
+//! hot-path-panic restriction via reachability.
+
+pub fn step(v: u64) -> u64 {
+    let parts = [v, v + 1];
+    let first = parts.first().copied().unwrap();
+    first + leaf(v)
+}
+
+pub fn leaf(v: u64) -> u64 {
+    let table = vec![v; 4];
+    table[3]
+}

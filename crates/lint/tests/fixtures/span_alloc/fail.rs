@@ -13,3 +13,19 @@ pub fn owned(name: &str) -> String {
 pub fn borrowed(name: &str) -> String {
     name.to_owned()
 }
+
+pub fn copied(bytes: &[u8]) -> Vec<u8> {
+    bytes.to_vec()
+}
+
+pub fn boxed(kind: u32) -> Box<u32> {
+    Box::new(kind)
+}
+
+pub fn listed(kind: u32) -> Vec<u32> {
+    vec![kind, kind + 1]
+}
+
+pub fn converted(name: &str) -> String {
+    String::from(name)
+}

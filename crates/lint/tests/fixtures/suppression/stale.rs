@@ -1,0 +1,6 @@
+//! Fixture: a suppression that matches nothing — itself a diagnostic.
+
+// tango-lint: allow(hot-path-panic) defensive, but nothing below panics
+pub fn quiet(v: u64) -> u64 {
+    v + 1
+}

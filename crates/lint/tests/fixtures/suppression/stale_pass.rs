@@ -1,0 +1,6 @@
+//! Fixture: the corrected pair of `stale.rs` — the pointless allow is
+//! deleted, so nothing fires at all.
+
+pub fn quiet(v: u64) -> u64 {
+    v + 1
+}

@@ -28,3 +28,27 @@ fn workspace_lints_clean() {
         rendered.join("\n")
     );
 }
+
+#[test]
+fn json_output_is_byte_identical_across_runs_and_matches_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = root.canonicalize().expect("workspace root resolves");
+    let first = tango_lint::json::render(
+        &tango_lint::lint_workspace(&root)
+            .expect("workspace walk succeeds")
+            .diagnostics,
+    );
+    let second = tango_lint::json::render(
+        &tango_lint::lint_workspace(&root)
+            .expect("workspace walk succeeds")
+            .diagnostics,
+    );
+    assert_eq!(first, second, "JSON output is not run-to-run stable");
+    let baseline = std::fs::read_to_string(root.join("results/LINT_baseline.json"))
+        .expect("read results/LINT_baseline.json");
+    assert_eq!(
+        first, baseline,
+        "workspace JSON drifted from the committed baseline — \
+         fix the violations or regenerate the baseline deliberately"
+    );
+}

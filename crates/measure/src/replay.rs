@@ -43,11 +43,13 @@ impl ReplayWindow {
         }
     }
 
+    // tango-lint: allow(hot-path-panic) idx < WINDOW = WORDS*64 by the mod, so idx/64 < WORDS
     fn bit(&self, seq: u32) -> bool {
         let idx = (seq % Self::WINDOW) as usize;
         self.window[idx / 64] & (1 << (idx % 64)) != 0
     }
 
+    // tango-lint: allow(hot-path-panic) idx < WINDOW = WORDS*64 by the mod, so idx/64 < WORDS
     fn set_bit(&mut self, seq: u32, value: bool) {
         let idx = (seq % Self::WINDOW) as usize;
         if value {

@@ -70,7 +70,9 @@ impl RollingWindow {
             // the state is exact again (a single sample has zero variance
             // by definition).
             if self.samples.len() == 1 {
-                self.offset = self.samples[0].1;
+                if let Some(&(_, only)) = self.samples.front() {
+                    self.offset = only;
+                }
                 self.sum = 0.0;
                 self.sum_sq = 0.0;
             }

@@ -98,7 +98,11 @@ impl Histogram {
     #[inline]
     pub fn record(&self, value: u64) {
         let core = &*self.0;
-        core.buckets[bucket_index(value)].fetch_add(1, Relaxed);
+        // `bucket_index` yields 0..=64 and HIST_BUCKETS is 65, so the
+        // lookup always hits; `get` keeps the hot path panic-free.
+        if let Some(bucket) = core.buckets.get(bucket_index(value)) {
+            bucket.fetch_add(1, Relaxed);
+        }
         core.count.fetch_add(1, Relaxed);
         // Saturating: an artifact that pins at MAX beats one that wraps.
         let _ = core

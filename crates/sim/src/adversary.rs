@@ -156,6 +156,7 @@ fn is_tango_wire(bytes: &[u8]) -> bool {
 /// Rewrite timestamp/sequence in place and re-fill the UDP checksum.
 /// Returns false (leaving the packet untouched beyond parse) if the
 /// bytes are not a Tango tunnel packet.
+// tango-lint: allow(hot-path-panic) is_tango_wire verified length >= v6+udp+tango headers before any slicing
 fn poison_in_place(bytes: &mut [u8], skew_ns: i64, seq_offset: u32) -> bool {
     if !is_tango_wire(bytes) {
         return false;

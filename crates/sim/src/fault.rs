@@ -46,6 +46,7 @@ impl FaultInjector {
         if self.corrupt_chance > 0.0 && !bytes.is_empty() && rng.gen_bool(self.corrupt_chance) {
             let idx = rng.gen_range(0..bytes.len());
             let bit = rng.gen_range(0..8u32);
+            // tango-lint: allow(hot-path-panic) gen_range(0..len) is in bounds; is_empty checked above
             bytes[idx] ^= 1u8 << bit;
             return FaultDecision::Corrupted;
         }

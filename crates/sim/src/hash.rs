@@ -64,6 +64,7 @@ pub fn flow_hash(packet: &[u8]) -> u64 {
         }
         _ => {}
     }
+    // tango-lint: allow(hot-path-panic) the range end is clamped to packet.len() by the min
     fnv1a(&packet[..packet.len().min(40)])
 }
 
@@ -72,6 +73,7 @@ fn push_ports(key: &mut Vec<u8>, l4: &[u8]) {
         key.extend_from_slice(&udp.src_port().to_be_bytes());
         key.extend_from_slice(&udp.dst_port().to_be_bytes());
     } else if l4.len() >= 4 {
+        // tango-lint: allow(hot-path-panic) the l4.len() >= 4 guard bounds the slice
         key.extend_from_slice(&l4[..4]);
     }
 }

@@ -62,6 +62,7 @@ impl Partition {
     /// Clamped to `[1, nodes]`; forced to a single shard if any
     /// cross-shard link would have zero minimum latency (zero lookahead
     /// cannot open a window).
+    // tango-lint: allow(hot-path-panic) runs once at sim construction, not per event; node_starts has shards+1 entries and shard_of/link ids are bounded by the tables that minted them
     pub(crate) fn build(nodes: &NodeTable, links: &LinkTable, requested: usize) -> Partition {
         let n = nodes.len();
         // Prefix sums of out-degrees: link ids are minted in from-node
@@ -159,6 +160,7 @@ fn global_min_ns(shards: &[ShardState]) -> u64 {
 /// window executes in shard order, then outboxes are exchanged. This is
 /// the reference semantics the threaded runner must (and does) match
 /// bit-for-bit. Returns events processed.
+// tango-lint: allow(hot-path-panic) src/dst iterate 0..shards.len(), so every index is in bounds
 pub(crate) fn run_serial(shards: &mut [ShardState], shared: &SimShared, until: SimTime) -> u64 {
     let la = shared.part.lookahead_ns();
     let n = shards.len();
@@ -199,6 +201,7 @@ pub(crate) fn run_serial(shards: &mut [ShardState], shared: &SimShared, until: S
 /// Identical to [`run_serial`] by construction: the same windows execute
 /// over the same per-shard state, and nothing a shard computes depends on
 /// when — within a round — other shards run.
+// tango-lint: allow(hot-path-panic) slots has 2 entries indexed mod 2 and cells is n×n indexed by shard ids < n; the join().expect deliberately re-raises a worker panic rather than reporting a truncated run as success
 pub(crate) fn run_threaded(shards: &mut [ShardState], shared: &SimShared, until: SimTime) -> u64 {
     let n = shards.len();
     let la = shared.part.lookahead_ns();

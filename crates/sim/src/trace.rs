@@ -120,6 +120,7 @@ impl Tracer {
         if self.entries.len() < self.capacity {
             self.entries.push((tag, event));
         } else {
+            // tango-lint: allow(hot-path-panic) head < capacity == len here; silently dropping on a broken invariant would corrupt the ring, so the bounds check must stay fatal
             self.entries[self.head] = (tag, event);
             self.head = (self.head + 1) % self.capacity;
         }

@@ -159,14 +159,12 @@ impl DirectionProfile {
         self.ecmp_lane_offsets_ns.len().max(1)
     }
 
-    /// The delay offset of lane `hash % lanes`.
+    /// The delay offset of lane `hash % lanes` (0 when no lanes are
+    /// configured).
     pub fn lane_offset(&self, flow_hash: u64) -> i64 {
-        if self.ecmp_lane_offsets_ns.is_empty() {
-            0
-        } else {
-            let idx = (flow_hash % self.ecmp_lane_offsets_ns.len() as u64) as usize;
-            self.ecmp_lane_offsets_ns[idx]
-        }
+        let lanes = self.ecmp_lane_offsets_ns.len() as u64;
+        let idx = (flow_hash % lanes.max(1)) as usize;
+        self.ecmp_lane_offsets_ns.get(idx).copied().unwrap_or(0)
     }
 
     /// Sample the one-way delay for a packet with the given flow hash,

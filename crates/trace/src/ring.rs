@@ -146,6 +146,7 @@ impl SpanRing {
         if self.entries.len() < self.capacity {
             self.entries.push(span);
         } else {
+            // tango-lint: allow(hot-path-panic) head < capacity == len here; silently dropping on a broken invariant would corrupt the ring, so the bounds check must stay fatal
             self.entries[self.head] = span;
             self.head = (self.head + 1) % self.capacity;
         }
