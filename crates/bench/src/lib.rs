@@ -33,6 +33,7 @@ pub mod fig4;
 pub mod headline;
 pub mod jitter;
 pub mod parallel;
+pub mod scalability;
 pub mod sharded;
 pub mod telemetry;
 pub mod throughput;

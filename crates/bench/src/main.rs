@@ -7,12 +7,14 @@
 
 use tango::prelude::SimTime;
 use tango_bench::chaos::ChaosOptions;
+use tango_bench::scalability::ScalabilityOptions;
 use tango_bench::sharded::ShardedOptions;
 use tango_bench::telemetry::TelemetryOptions;
 use tango_bench::throughput::ThroughputOptions;
 use tango_bench::trace::TraceOptions;
 use tango_bench::{
-    ablations, chaos, failover, fig3, fig4, headline, jitter, sharded, telemetry, throughput, trace,
+    ablations, chaos, failover, fig3, fig4, headline, jitter, scalability, sharded, telemetry,
+    throughput, trace,
 };
 use tango_sim::ShardMode;
 
@@ -55,6 +57,14 @@ COMMANDS
                         plus the engine self-profiler's per-shard load;
                         wall-clock goes to stdout); exits nonzero if
                         any shard count diverges
+  scalability           B5: internet-scale Tango-of-N sweep — generated
+                        scale-free graphs (100→5000 ASes, 8→64 PoPs), every
+                        PoP pair running §4.1 discovery; each tier runs at
+                        shards 1 and --shards and the digests must be
+                        bit-identical → results/BENCH_scalability.json
+                        (deterministic fields only; wall-clock goes to
+                        stdout); exits nonzero on a digest mismatch or any
+                        valley-free violation
   trace                 B4: causal flight-recorder export — the blackhole
                         scenario with span recording armed →
                         results/TRACE_vultr-blackhole_seed<S>.json
@@ -108,6 +118,15 @@ SHARDED OPTIONS
   --mode <M>      execution mode for multi-shard runs: auto | serial |
                   threaded (default auto — threads when cores allow)
   --out <DIR>     write artifacts into DIR instead of results/
+
+SCALABILITY OPTIONS
+  --tiers <T>     small = 100/300-AS tiers only (the CI + golden set);
+                  full = small plus 1000/2000/5000 ASes (default full)
+  --seed <S>      generator + simulator seed (default 1)
+  --shards <N>    shard count of each tier's verification rerun
+                  (default 8; the run is gated on shards 1 vs N being
+                  bit-identical)
+  --out <DIR>     write the artifact into DIR instead of results/
 
 TRACE OPTIONS
   --seeds <list>  comma-separated seeds (default 1 — the golden seed)
@@ -344,6 +363,38 @@ fn parse_sharded_args(rest: &[String]) -> Result<ShardedOptions, String> {
     Ok(options)
 }
 
+fn parse_scalability_args(rest: &[String]) -> Result<ScalabilityOptions, String> {
+    let mut options = ScalabilityOptions::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut take = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--tiers" => {
+                options.full = match take()?.as_str() {
+                    "small" => false,
+                    "full" => true,
+                    other => return Err(format!("--tiers: unknown tier set {other}")),
+                };
+            }
+            "--seed" => {
+                options.seed = take()?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--shards" => {
+                options.shards = parse_shards(&take()?)?;
+            }
+            "--out" => {
+                options.out = Some(std::path::PathBuf::from(take()?));
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(options)
+}
+
 fn parse_trace_args(rest: &[String]) -> Result<TraceOptions, String> {
     let mut options = TraceOptions::default();
     let mut it = rest.iter();
@@ -424,6 +475,16 @@ fn main() {
     if command == "sharded" {
         match parse_sharded_args(&argv[1..]) {
             Ok(options) => std::process::exit(sharded::report(&options)),
+            Err(e) => {
+                eprintln!("error: {e}\n");
+                eprint!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if command == "scalability" {
+        match parse_scalability_args(&argv[1..]) {
+            Ok(options) => std::process::exit(scalability::report(&options)),
             Err(e) => {
                 eprintln!("error: {e}\n");
                 eprint!("{USAGE}");

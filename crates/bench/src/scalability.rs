@@ -1,0 +1,389 @@
+//! `experiments scalability` — the internet-scale Tango-of-N sweep
+//! (EXPERIMENTS.md B5).
+//!
+//! Runs [`tango::npop::run_npop`] over a ladder of generated scale-free
+//! graphs (100 → 5000 ASes, 8 → 64 PoPs), each tier twice — once at one
+//! shard and once at the requested shard count — and gates on the two
+//! digests being identical: the control plane (generator, incremental
+//! BGP convergence, all-pairs discovery) and the traffic phase must be
+//! bit-identical regardless of parallelism. The committed artifact
+//! `results/BENCH_scalability.json` holds **only deterministic
+//! content** (per-tier digests, RIB/FIB occupancy, convergence and
+//! discovery totals, path counts, stretch percentiles), so CI can
+//! byte-diff it across runs, machines, and `--shards` settings;
+//! wall-clock times go to stdout only.
+//!
+//! Exits nonzero when any tier's shard counts disagree, or when any
+//! discovered path violates the valley-free property — both are
+//! correctness gates, not performance ones.
+
+use crate::util::{fmt, out_dir, print_table};
+use std::path::PathBuf;
+use std::time::Instant;
+use tango::npop::{run_npop, NPopOptions, NPopOutcome};
+use tango_sim::ShardMode;
+
+/// Host packets injected per tier's traffic phase.
+const TRAFFIC_PACKETS: u32 = 256;
+
+/// Per-pair discovery bound.
+const MAX_PATHS: usize = 8;
+
+/// One `(ases, pops)` rung of the ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tier {
+    /// Total AS count of the generated graph.
+    pub ases: usize,
+    /// Edge PoPs running discovery (N).
+    pub pops: usize,
+}
+
+/// The CI-sized rungs (also the golden-pinned ones).
+pub const SMALL_TIERS: [Tier; 2] = [
+    Tier { ases: 100, pops: 8 },
+    Tier {
+        ases: 300,
+        pops: 16,
+    },
+];
+
+/// The full ladder's additional rungs, up to the 5000-AS / N=64 row.
+pub const FULL_TIERS: [Tier; 3] = [
+    Tier {
+        ases: 1000,
+        pops: 32,
+    },
+    Tier {
+        ases: 2000,
+        pops: 48,
+    },
+    Tier {
+        ases: 5000,
+        pops: 64,
+    },
+];
+
+/// Options for the scalability sweep.
+pub struct ScalabilityOptions {
+    /// Include the full ladder (1000/2000/5000 ASes) after the small
+    /// tiers; `false` = small tiers only (the CI configuration).
+    pub full: bool,
+    /// Generator + simulator seed.
+    pub seed: u64,
+    /// Shard count of each tier's second run (the first always runs at
+    /// one shard; the two digests must match).
+    pub shards: usize,
+    /// Artifact directory override (`--out`); `None` = `results/`.
+    pub out: Option<PathBuf>,
+}
+
+impl Default for ScalabilityOptions {
+    fn default() -> Self {
+        ScalabilityOptions {
+            full: true,
+            seed: 1,
+            shards: 8,
+            out: None,
+        }
+    }
+}
+
+/// One tier's completed pair of runs.
+pub struct TierRun {
+    /// The rung.
+    pub tier: Tier,
+    /// The single-shard reference outcome (the artifact's content).
+    pub outcome: NPopOutcome,
+    /// Reference digest, and whether the sharded rerun reproduced it.
+    pub digest: u64,
+    /// `true` when the `--shards` rerun's digest matched the reference.
+    pub identical: bool,
+    /// Wall-clock ns of the reference run (stdout only, never in the
+    /// artifact).
+    pub wall_ns: u64,
+}
+
+/// Run one tier at one shard and at `options.shards`, compare digests.
+pub fn run_tier(options: &ScalabilityOptions, tier: Tier) -> TierRun {
+    let base = NPopOptions {
+        ases: tier.ases,
+        pops: tier.pops,
+        seed: options.seed,
+        max_paths: MAX_PATHS,
+        shards: 1,
+        shard_mode: ShardMode::Auto,
+        traffic_packets: TRAFFIC_PACKETS,
+        trace_capacity: 0,
+    };
+    #[allow(clippy::disallowed_methods)] // bench wall-clock: timing is the product here
+    let started = Instant::now();
+    let outcome = run_npop(&base).expect("npop tier runs");
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    let digest = outcome.digest();
+    let sharded = run_npop(&NPopOptions {
+        shards: options.shards,
+        ..base
+    })
+    .expect("npop sharded rerun");
+    TierRun {
+        tier,
+        digest,
+        identical: sharded.digest() == digest,
+        outcome,
+        wall_ns,
+    }
+}
+
+/// The tier list an options struct selects.
+pub fn tiers(options: &ScalabilityOptions) -> Vec<Tier> {
+    let mut v = SMALL_TIERS.to_vec();
+    if options.full {
+        v.extend_from_slice(&FULL_TIERS);
+    }
+    v
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(!s.contains(['"', '\\']));
+    s
+}
+
+/// Render the sweep as the `BENCH_scalability.json` document. Every
+/// field is a pure function of (tiers, seed): no wall-clock content,
+/// so the artifact is byte-identical across machines, runs, and shard
+/// counts.
+pub fn to_json(options: &ScalabilityOptions, runs: &[TierRun]) -> String {
+    let mut entries = String::new();
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        let o = &r.outcome;
+        let (paths_min, paths_p50, paths_max, paths_total) = o.path_counts();
+        let (p50, p90, p99) = o.stretch_percentiles();
+        entries.push_str(&format!(
+            "    {{\"ases\": {}, \"pops\": {}, \"pairs\": {}, \"unreachable_pairs\": {}, \
+             \"reachable_routes\": {},\n     \"mesh_rounds\": {}, \"converges\": {}, \
+             \"discovery_rounds\": {}, \"updates_processed\": {},\n     \
+             \"rib_adj_in\": {}, \"rib_loc\": {}, \"rib_adj_out\": {}, \
+             \"rib_routes_peak\": {}, \"rib_bytes_est\": {}, \"fib_entries\": {},\n     \
+             \"paths_min\": {}, \"paths_p50\": {}, \"paths_max\": {}, \"paths_total\": {}, \
+             \"valley_violations\": {},\n     \"stretch_p50_x1000\": {}, \
+             \"stretch_p90_x1000\": {}, \"stretch_p99_x1000\": {},\n     \
+             \"deliveries\": {}, \"ttl_expired\": {}, \"identical\": {}, \
+             \"digest\": \"{:016x}\",\n     \"traffic_digest\": \"{}\"}}",
+            r.tier.ases,
+            r.tier.pops,
+            o.pairs.len(),
+            o.unreachable_pairs,
+            o.reachable_routes,
+            o.mesh_rounds,
+            o.converges,
+            o.convergence_rounds,
+            o.updates_processed,
+            o.rib.adj_rib_in,
+            o.rib.loc_rib,
+            o.rib.adj_rib_out,
+            o.peak_routes,
+            o.rib_bytes_est,
+            o.fib_entries,
+            paths_min,
+            paths_p50,
+            paths_max,
+            paths_total,
+            o.valley_violations(),
+            p50,
+            p90,
+            p99,
+            o.deliveries,
+            o.ttl_expired,
+            r.identical,
+            r.digest,
+            json_escape_free(&o.traffic_digest),
+        ));
+    }
+    format!(
+        "{{\n  \"schema\": \"tango-bench/scalability/v1\",\n  \"scenario\": \"{}\",\n  \
+         \"seed\": {},\n  \"traffic_packets\": {},\n  \"max_paths\": {},\n  \
+         \"tiers\": [\n{}\n  ]\n}}\n",
+        json_escape_free("internet-npop-mesh"),
+        options.seed,
+        TRAFFIC_PACKETS,
+        MAX_PATHS,
+        entries
+    )
+}
+
+/// Run the tiers an options struct selects (the testable core of
+/// [`report`]).
+pub fn build(options: &ScalabilityOptions) -> Vec<TierRun> {
+    tiers(options)
+        .into_iter()
+        .map(|t| run_tier(options, t))
+        .collect()
+}
+
+/// The `experiments scalability` entry point. Returns the process exit
+/// code (nonzero on a shard-determinism or valley-free failure).
+pub fn report(options: &ScalabilityOptions) -> i32 {
+    let ladder = tiers(options);
+    println!(
+        "scalability — internet-scale N-PoP mesh: tiers {:?}, seed {}, shards 1 vs {}\n",
+        ladder
+            .iter()
+            .map(|t| format!("{}x{}", t.ases, t.pops))
+            .collect::<Vec<_>>(),
+        options.seed,
+        options.shards
+    );
+    let mut runs = Vec::new();
+    for tier in ladder {
+        let r = run_tier(options, tier);
+        let o = &r.outcome;
+        let (_, paths_p50, _, paths_total) = o.path_counts();
+        let (p50, p90, p99) = o.stretch_percentiles();
+        println!(
+            "  {}x{}: {} pairs, {} paths (p50 {}), stretch p50/p90/p99 = \
+             {}/{}/{} x1000, peak {} routes (~{} MiB), {} converges / {} rounds, \
+             {} ms wall{}",
+            tier.ases,
+            tier.pops,
+            o.pairs.len(),
+            paths_total,
+            paths_p50,
+            p50,
+            p90,
+            p99,
+            o.peak_routes,
+            o.rib_bytes_est >> 20,
+            o.converges,
+            o.convergence_rounds,
+            r.wall_ns / 1_000_000,
+            if r.identical {
+                ""
+            } else {
+                "  [DIGEST MISMATCH]"
+            }
+        );
+        runs.push(r);
+    }
+
+    let mut rows = Vec::new();
+    for r in &runs {
+        let o = &r.outcome;
+        let (paths_min, paths_p50, paths_max, _) = o.path_counts();
+        let (p50, p90, p99) = o.stretch_percentiles();
+        rows.push(vec![
+            r.tier.ases.to_string(),
+            r.tier.pops.to_string(),
+            o.pairs.len().to_string(),
+            format!("{}/{}/{}", paths_min, paths_p50, paths_max),
+            format!("{}/{}/{}", p50, p90, p99),
+            o.peak_routes.to_string(),
+            o.fib_entries.to_string(),
+            o.converges.to_string(),
+            o.convergence_rounds.to_string(),
+            fmt(r.wall_ns as f64 / 1e6, 1),
+            if r.identical { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!();
+    print_table(
+        &[
+            "ases",
+            "pops",
+            "pairs",
+            "paths min/p50/max",
+            "stretch p50/p90/p99",
+            "rib peak",
+            "fib",
+            "converges",
+            "rounds",
+            "wall ms",
+            "identical",
+        ],
+        &rows,
+    );
+    println!(
+        "\n(wall-clock column depends on this machine and is NOT part of the \
+         artifact; the committed JSON holds only the deterministic fields)"
+    );
+
+    let path = out_dir(&options.out).join("BENCH_scalability.json");
+    std::fs::write(&path, to_json(options, &runs)).expect("write BENCH_scalability json");
+    println!("written to {}", path.display());
+
+    let identical = runs.iter().all(|r| r.identical);
+    let valley: u64 = runs.iter().map(|r| r.outcome.valley_violations()).sum();
+    if !identical {
+        eprintln!(
+            "FAIL: shard counts disagree — npop digests must be bit-identical \
+             for shards 1 vs {}",
+            options.shards
+        );
+        return 1;
+    }
+    if valley != 0 {
+        eprintln!("FAIL: {valley} discovered paths violate the valley-free property");
+        return 1;
+    }
+    println!(
+        "determinism gate passed: {} tiers bit-identical at shards 1 vs {}, \
+         0 valley-free violations",
+        runs.len(),
+        options.shards
+    );
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScalabilityOptions {
+        ScalabilityOptions {
+            full: false,
+            seed: 3,
+            shards: 4,
+            out: None,
+        }
+    }
+
+    #[test]
+    fn small_tier_is_deterministic_and_valley_free() {
+        let options = tiny();
+        let r = run_tier(&options, SMALL_TIERS[0]);
+        assert!(r.identical, "shards 1 vs 4 must agree");
+        assert_eq!(r.outcome.valley_violations(), 0);
+        assert_eq!(r.outcome.unreachable_pairs, 0);
+        let again = run_tier(&options, SMALL_TIERS[0]);
+        assert_eq!(r.digest, again.digest, "rerun must be bit-identical");
+    }
+
+    #[test]
+    fn artifact_has_no_wall_clock_fields() {
+        let options = tiny();
+        let runs = vec![run_tier(&options, SMALL_TIERS[0])];
+        let json = to_json(&options, &runs);
+        assert!(
+            !json.contains("wall"),
+            "artifact must stay machine-independent"
+        );
+        assert!(json.contains("\"schema\": \"tango-bench/scalability/v1\""));
+        assert!(json.contains("\"identical\": true"));
+        assert_eq!(
+            json,
+            to_json(&options, &runs),
+            "rendering is a pure function"
+        );
+    }
+
+    #[test]
+    fn tier_selection_honors_full_flag() {
+        assert_eq!(tiers(&tiny()).len(), SMALL_TIERS.len());
+        assert_eq!(
+            tiers(&ScalabilityOptions::default()).len(),
+            SMALL_TIERS.len() + FULL_TIERS.len()
+        );
+    }
+}

@@ -15,7 +15,7 @@ use crate::rib::{Route, RouteSource};
 use crate::speaker::{BgpSpeaker, SpeakerConfig};
 use std::collections::{BTreeMap, BTreeSet};
 use tango_net::{IpCidr, PrefixTrie};
-use tango_obs::{Counter, Histogram, Registry};
+use tango_obs::{Counter, Gauge, Histogram, Registry};
 use tango_topology::{AsId, Topology};
 
 /// Errors from the propagation engine.
@@ -61,6 +61,40 @@ struct BgpObs {
     rounds: Histogram,
 }
 
+/// Opt-in RIB occupancy telemetry — separate from [`BgpObs`] so the
+/// scalability sweep can profile memory without perturbing the metric
+/// sets pinned by the golden telemetry artifacts.
+#[derive(Debug, Clone)]
+struct RibObs {
+    /// Adj-RIB-In entries across all speakers, after each convergence.
+    adj_rib_in: Gauge,
+    /// Loc-RIB entries across all speakers.
+    loc_rib: Gauge,
+    /// Adj-RIB-Out entries across all speakers.
+    adj_rib_out: Gauge,
+    /// High-water mark of the three combined (peak route memory).
+    peak_routes: Gauge,
+}
+
+/// Total RIB occupancy across every speaker (see
+/// [`BgpEngine::rib_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RibStats {
+    /// Adj-RIB-In entries (routes as received, pre-decision).
+    pub adj_rib_in: usize,
+    /// Loc-RIB entries (chosen best routes).
+    pub loc_rib: usize,
+    /// Adj-RIB-Out entries (advertisement state toward neighbors).
+    pub adj_rib_out: usize,
+}
+
+impl RibStats {
+    /// All entries combined.
+    pub fn total(&self) -> usize {
+        self.adj_rib_in + self.loc_rib + self.adj_rib_out
+    }
+}
+
 /// The BGP propagation engine over an AS-level topology.
 #[derive(Debug, Clone)]
 pub struct BgpEngine {
@@ -68,6 +102,14 @@ pub struct BgpEngine {
     speakers: BTreeMap<AsId, BgpSpeaker>,
     round_cap: usize,
     obs: Option<BgpObs>,
+    rib_obs: Option<RibObs>,
+    /// (origin, prefix) originations edited since the last convergence —
+    /// the incremental worklist's phase-0 seed.
+    dirty_origins: BTreeSet<(AsId, IpCidr)>,
+    /// Speakers whose configuration (prefs, export knobs, arbitrary
+    /// `speaker_mut` edits) changed since the last convergence; these
+    /// get a conservative full recompute + re-export.
+    dirty_config: BTreeSet<AsId>,
 }
 
 impl BgpEngine {
@@ -82,6 +124,9 @@ impl BgpEngine {
             speakers,
             round_cap: 200,
             obs: None,
+            rib_obs: None,
+            dirty_origins: BTreeSet::new(),
+            dirty_config: BTreeSet::new(),
         }
     }
 
@@ -92,6 +137,30 @@ impl BgpEngine {
             converges: registry.counter("bgp.converges"),
             rounds: registry.histogram("bgp.convergence.rounds"),
         });
+    }
+
+    /// Publish RIB occupancy gauges (`bgp.rib.*`) into `registry`,
+    /// refreshed after every convergence. `bgp.rib.peak_routes` is the
+    /// high-water mark of total entries — the scalability sweep's "peak
+    /// RIB memory" column.
+    pub fn set_rib_obs(&mut self, registry: &Registry) {
+        self.rib_obs = Some(RibObs {
+            adj_rib_in: registry.gauge("bgp.rib.adj_rib_in"),
+            loc_rib: registry.gauge("bgp.rib.loc_rib"),
+            adj_rib_out: registry.gauge("bgp.rib.adj_rib_out"),
+            peak_routes: registry.gauge("bgp.rib.peak_routes"),
+        });
+    }
+
+    /// Current RIB occupancy summed over every speaker.
+    pub fn rib_stats(&self) -> RibStats {
+        let mut stats = RibStats::default();
+        for s in self.speakers.values() {
+            stats.adj_rib_in += s.rib_in_len();
+            stats.loc_rib += s.loc_rib_len();
+            stats.adj_rib_out += s.rib_out_len();
+        }
+        stats
     }
 
     /// The underlying topology.
@@ -106,8 +175,22 @@ impl BgpEngine {
             .ok_or(EngineError::UnknownSpeaker(id))
     }
 
-    /// Mutable access to a speaker (for configuration).
+    /// Mutable access to a speaker (for configuration). Conservatively
+    /// marks the speaker dirty: the next [`BgpEngine::converge`] fully
+    /// recomputes and re-exports it, whatever the caller changed.
     pub fn speaker_mut(&mut self, id: AsId) -> Result<&mut BgpSpeaker, EngineError> {
+        if self.speakers.contains_key(&id) {
+            self.dirty_config.insert(id);
+        }
+        self.speakers
+            .get_mut(&id)
+            .ok_or(EngineError::UnknownSpeaker(id))
+    }
+
+    /// Internal mutable access that does *not* mark the speaker
+    /// config-dirty — used by the origination methods, which track the
+    /// finer-grained `(origin, prefix)` dirty set instead.
+    fn speaker_entry(&mut self, id: AsId) -> Result<&mut BgpSpeaker, EngineError> {
         self.speakers
             .get_mut(&id)
             .ok_or(EngineError::UnknownSpeaker(id))
@@ -141,8 +224,19 @@ impl BgpEngine {
     /// `neighbor_pref` change takes effect without a withdraw/re-announce
     /// cycle. Follow with [`BgpEngine::converge`].
     pub fn refresh_import(&mut self, id: AsId) -> Result<bool, EngineError> {
-        let topo = self.topology.clone();
-        Ok(self.speaker_mut(id)?.refresh_import(&topo))
+        // Split borrow: the speaker map and the topology are disjoint
+        // fields, so the import refresh needs no topology clone.
+        let BgpEngine {
+            topology,
+            speakers,
+            dirty_config,
+            ..
+        } = self;
+        let s = speakers
+            .get_mut(&id)
+            .ok_or(EngineError::UnknownSpeaker(id))?;
+        dirty_config.insert(id);
+        Ok(s.refresh_import(topology))
     }
 
     /// Originate a prefix at a node.
@@ -152,7 +246,8 @@ impl BgpEngine {
         prefix: IpCidr,
         communities: BTreeSet<Community>,
     ) -> Result<(), EngineError> {
-        self.speaker_mut(origin)?.originate(prefix, communities);
+        self.speaker_entry(origin)?.originate(prefix, communities);
+        self.dirty_origins.insert((origin, prefix));
         Ok(())
     }
 
@@ -164,8 +259,9 @@ impl BgpEngine {
         communities: BTreeSet<Community>,
         poison: &[AsId],
     ) -> Result<(), EngineError> {
-        self.speaker_mut(origin)?
+        self.speaker_entry(origin)?
             .originate_poisoned(prefix, communities, poison);
+        self.dirty_origins.insert((origin, prefix));
         Ok(())
     }
 
@@ -176,67 +272,104 @@ impl BgpEngine {
         prefix: IpCidr,
         communities: BTreeSet<Community>,
     ) -> Result<bool, EngineError> {
-        Ok(self
-            .speaker_mut(origin)?
-            .set_origin_communities(&prefix, communities))
+        let changed = self
+            .speaker_entry(origin)?
+            .set_origin_communities(&prefix, communities);
+        if changed {
+            self.dirty_origins.insert((origin, prefix));
+        }
+        Ok(changed)
     }
 
     /// Withdraw an origination.
     pub fn withdraw(&mut self, origin: AsId, prefix: IpCidr) -> Result<bool, EngineError> {
-        Ok(self.speaker_mut(origin)?.withdraw_origin(&prefix))
+        let removed = self.speaker_entry(origin)?.withdraw_origin(&prefix);
+        if removed {
+            self.dirty_origins.insert((origin, prefix));
+        }
+        Ok(removed)
     }
 
     /// Run synchronous rounds to the fixpoint. Returns the number of
     /// rounds taken (0 means the network was already converged).
+    ///
+    /// The propagation is *incremental*: work is proportional to the
+    /// set of `(speaker, prefix)` entries actually touched since the
+    /// last convergence — the dirty originations and config edits seed a
+    /// worklist, and each round only re-exports and re-decides the
+    /// entries whose state changed. A speaker whose Loc-RIB entry for a
+    /// prefix did not change exports the same route as before, so the
+    /// diff against its Adj-RIB-Out is empty and it never enters the
+    /// round. This is what makes thousands of small discovery steps over
+    /// a 5000-AS graph tractable; the fixpoint, the per-round update
+    /// counts, and the round totals are identical to the original
+    /// everyone-recomputes synchronous sweep (the no-op work it skips
+    /// changed no state and delivered no updates).
     pub fn converge(&mut self) -> Result<usize, EngineError> {
-        let ids: Vec<AsId> = self.speakers.keys().copied().collect();
         let mut updates_applied = 0u64;
-        // Phase 0: everyone recomputes from current RIBs (picks up any
-        // origination changes made since the last convergence).
-        for id in &ids {
-            self.speakers.get_mut(id).expect("listed").recompute();
+        // Phase 0: re-decide exactly what changed since the last call.
+        // Config-dirty speakers get a conservative full recompute and
+        // full re-export (export policy itself may have changed);
+        // origin-dirty entries get a single-prefix recompute and enter
+        // the export set only if their Loc-RIB entry actually moved.
+        let mut export_set: BTreeSet<(AsId, IpCidr)> = BTreeSet::new();
+        for id in core::mem::take(&mut self.dirty_config) {
+            let s = self.speakers.get_mut(&id).expect("marked while present");
+            let prefixes = s.known_prefixes();
+            s.recompute();
+            export_set.extend(prefixes.into_iter().map(|p| (id, p)));
+        }
+        for (id, p) in core::mem::take(&mut self.dirty_origins) {
+            if export_set.contains(&(id, p)) {
+                continue; // already fully recomputed above
+            }
+            if self
+                .speakers
+                .get_mut(&id)
+                .expect("marked while present")
+                .recompute_prefix(&p)
+            {
+                export_set.insert((id, p));
+            }
         }
         for round in 1..=self.round_cap {
             let mut any_change = false;
-            // Phase 1: compute and deliver export diffs.
-            for &id in &ids {
+            let mut received: BTreeSet<(AsId, IpCidr)> = BTreeSet::new();
+            // Phase 1: deliver export diffs from the worklist.
+            for (id, p) in core::mem::take(&mut export_set) {
                 let neighbors: Vec<AsId> = self.topology.neighbors(id).to_vec();
                 for n in neighbors {
-                    let exports = {
-                        let s = self.speakers.get(&id).expect("listed");
-                        s.exports_to(&self.topology, n)
-                    };
-                    let previous = self.speakers.get(&id).expect("listed").rib_out_for(n);
-                    // Withdraw prefixes no longer exported.
-                    for prefix in previous.keys() {
-                        if !exports.contains_key(prefix) {
-                            let recv = self.speakers.get_mut(&n).expect("adjacent");
-                            if recv.receive(&self.topology, id, *prefix, None) {
-                                any_change = true;
-                                updates_applied += 1;
-                            }
-                        }
+                    let new =
+                        self.speakers
+                            .get(&id)
+                            .expect("listed")
+                            .export_for(&self.topology, n, &p);
+                    let prev = self.speakers.get(&id).expect("listed").rib_out_entry(n, &p);
+                    if new.as_ref() == prev {
+                        continue;
                     }
-                    // Send new/changed routes.
-                    for (prefix, route) in &exports {
-                        if previous.get(prefix) != Some(route) {
-                            let recv = self.speakers.get_mut(&n).expect("adjacent");
-                            if recv.receive(&self.topology, id, *prefix, Some(route.clone())) {
-                                any_change = true;
-                                updates_applied += 1;
-                            }
-                        }
+                    let recv = self.speakers.get_mut(&n).expect("adjacent");
+                    if recv.receive(&self.topology, id, p, new.clone()) {
+                        any_change = true;
+                        updates_applied += 1;
+                        received.insert((n, p));
                     }
                     self.speakers
                         .get_mut(&id)
                         .expect("listed")
-                        .set_rib_out(n, &exports);
+                        .set_rib_out_entry(n, p, new);
                 }
             }
-            // Phase 2: everyone re-decides.
-            for &id in &ids {
-                if self.speakers.get_mut(&id).expect("listed").recompute() {
+            // Phase 2: re-decide only where an update landed.
+            for (id, p) in received {
+                if self
+                    .speakers
+                    .get_mut(&id)
+                    .expect("adjacent")
+                    .recompute_prefix(&p)
+                {
                     any_change = true;
+                    export_set.insert((id, p));
                 }
             }
             if !any_change {
@@ -244,6 +377,13 @@ impl BgpEngine {
                     obs.updates_processed.add(updates_applied);
                     obs.converges.inc();
                     obs.rounds.record((round - 1) as u64);
+                }
+                if let Some(rib) = &self.rib_obs {
+                    let stats = self.rib_stats();
+                    rib.adj_rib_in.set(stats.adj_rib_in as u64);
+                    rib.loc_rib.set(stats.loc_rib as u64);
+                    rib.adj_rib_out.set(stats.adj_rib_out as u64);
+                    rib.peak_routes.record_max(stats.total() as u64);
                 }
                 return Ok(round - 1);
             }

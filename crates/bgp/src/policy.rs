@@ -89,6 +89,56 @@ pub fn communities_forbid(
     })
 }
 
+/// Is an AS-level path valley-free under the topology's Gao-Rexford
+/// labels?
+///
+/// `nodes` is read in the **traffic direction** (first element forwards
+/// toward the last): for an AS path observed at `v` for a prefix
+/// originated at `o`, pass `[v, n1, n2, …, o]`. A valley-free walk is
+/// zero or more *uphill* customer→provider hops, at most one *peering*
+/// hop, then zero or more *downhill* provider→customer hops — the shape
+/// valley-free export filters guarantee, so every path BGP actually
+/// propagates must satisfy it (the property-test harness asserts this
+/// for every path Tango discovery installs).
+///
+/// Consecutive duplicate ASes (path prepending) are collapsed first.
+/// Hops between non-adjacent ASes (e.g. poisoned ASNs planted in a
+/// path) make the walk non-verifiable and return `false`.
+pub fn path_is_valley_free(topology: &Topology, nodes: &[tango_topology::AsId]) -> bool {
+    let mut seq: Vec<tango_topology::AsId> = Vec::with_capacity(nodes.len());
+    for &n in nodes {
+        if seq.last() != Some(&n) {
+            seq.push(n);
+        }
+    }
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    enum Stage {
+        /// Climbing customer→provider links.
+        Up,
+        /// Crossed the single allowed peering link.
+        Peered,
+        /// Descending provider→customer links.
+        Down,
+    }
+    let mut stage = Stage::Up;
+    for w in seq.windows(2) {
+        let Some(rel) = topology.relationship(w[0], w[1]) else {
+            return false;
+        };
+        stage = match (stage, rel) {
+            // Still climbing toward the core.
+            (Stage::Up, Relationship::CustomerOf) => Stage::Up,
+            // The one peering crossing, only at the top of the climb.
+            (Stage::Up, Relationship::PeerOf) => Stage::Peered,
+            // Descending is legal from any stage (and is terminal).
+            (_, Relationship::ProviderOf) => Stage::Down,
+            // Climbing or peering after the apex is a valley.
+            (Stage::Peered | Stage::Down, _) => return false,
+        };
+    }
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +241,77 @@ mod tests {
         r.communities.insert(Community::NoAdvertise);
         assert!(communities_forbid(&r, AsId(2), false, false));
         assert!(communities_forbid(&r, AsId(3), true, true));
+    }
+
+    #[test]
+    fn valley_free_checker_accepts_up_peer_down() {
+        let t = topo(); // 1 →cust 2, 2 —peer— 3, 4 →cust 2
+                        // Climb 1→2, peer 2→3: valley-free.
+        assert!(path_is_valley_free(&t, &[AsId(1), AsId(2), AsId(3)]));
+        // Climb 1→2, descend 2→4: valley-free.
+        assert!(path_is_valley_free(&t, &[AsId(1), AsId(2), AsId(4)]));
+        // Descend then climb (2→1 is provider→customer, then 1 has no
+        // way back up that isn't a valley): 4→2→1 is pure downhill after
+        // a climb — 4→2 up, 2→1 down: fine.
+        assert!(path_is_valley_free(&t, &[AsId(4), AsId(2), AsId(1)]));
+        // Trivial paths.
+        assert!(path_is_valley_free(&t, &[AsId(1)]));
+        assert!(path_is_valley_free(&t, &[]));
+    }
+
+    #[test]
+    fn valley_free_checker_rejects_valleys() {
+        let mut t = topo();
+        // Add a second provider 5 for AS1 so a valley 2→1→5 is expressible.
+        t.add_node(AsNode::new(5u32, AsKind::Transit, "5")).unwrap();
+        t.add_provider(
+            AsId(1),
+            AsId(5),
+            LinkProfile::symmetric(DirectionProfile::constant(1)),
+        )
+        .unwrap();
+        // Down (2→1) then up (1→5): classic valley.
+        assert!(!path_is_valley_free(&t, &[AsId(2), AsId(1), AsId(5)]));
+        // Peer (3→2) then up — 3→2 is peer, 2→... wait 2 has no provider;
+        // peer then peer is also illegal but needs two peer links; check
+        // peer then up via 3—2 peer followed by climbing is impossible
+        // here, so check peer-after-peer style valley: up to the peering
+        // then trying to climb again: 1→2 (up), 2—3 (peer), then 3 has no
+        // onward link to climb; instead assert down-then-peer: 4→2 is up…
+        // use 2→1 (down) then nothing; simplest remaining valley: peer
+        // crossing followed by a customer→provider hop 3—2 then 2's
+        // provider does not exist, so assert the non-adjacent case below.
+        assert!(!path_is_valley_free(&t, &[AsId(3), AsId(4)])); // not adjacent
+    }
+
+    #[test]
+    fn valley_free_checker_collapses_prepends() {
+        let t = topo();
+        assert!(path_is_valley_free(
+            &t,
+            &[AsId(1), AsId(2), AsId(2), AsId(2), AsId(3)]
+        ));
+    }
+
+    #[test]
+    fn valley_free_checker_rejects_peer_after_descent() {
+        // Build 1 →cust 2, 2 →prov… need: down then peer. 4 is customer
+        // of 2; 2 peers 3. Path 3—2 (peer) → 2—1 (down) → fine; but
+        // 4→2? that's up. Construct descent-then-peer: provider 2 sends
+        // down to 4, then 4 peers with 6.
+        let mut t = topo();
+        t.add_node(AsNode::new(6u32, AsKind::Transit, "6")).unwrap();
+        t.add_peering(
+            AsId(4),
+            AsId(6),
+            LinkProfile::symmetric(DirectionProfile::constant(1)),
+        )
+        .unwrap();
+        // 2→4 is down (2 is 4's provider), then 4—6 peer: valley.
+        assert!(!path_is_valley_free(&t, &[AsId(2), AsId(4), AsId(6)]));
+        // And two peer crossings: 3—2 peer then… 2—? only one peer link
+        // at 2; use 6—4 peer then 4→2 up: peer then up is a valley too.
+        assert!(!path_is_valley_free(&t, &[AsId(6), AsId(4), AsId(2)]));
     }
 
     #[test]

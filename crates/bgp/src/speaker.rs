@@ -56,8 +56,10 @@ pub struct BgpSpeaker {
     config: SpeakerConfig,
     /// Locally originated routes.
     originated: BTreeMap<IpCidr, Route>,
-    /// Routes as received, keyed by (neighbor, prefix).
-    adj_rib_in: BTreeMap<(AsId, IpCidr), Route>,
+    /// Routes as received, keyed by (prefix, neighbor) — prefix-first so
+    /// the per-prefix decision process is a range scan, not a full-RIB
+    /// filter (the incremental engine recomputes single prefixes).
+    adj_rib_in: BTreeMap<(IpCidr, AsId), Route>,
     /// Best route per prefix after the decision process.
     loc_rib: BTreeMap<IpCidr, Route>,
     /// What we last sent each neighbor, keyed by (neighbor, prefix);
@@ -146,7 +148,7 @@ impl BgpSpeaker {
         prefix: IpCidr,
         update: Option<Route>,
     ) -> bool {
-        let key = (neighbor, prefix);
+        let key = (prefix, neighbor);
         match update {
             None => self.adj_rib_in.remove(&key).is_some(),
             Some(mut route) => {
@@ -173,29 +175,47 @@ impl BgpSpeaker {
     /// Re-run the decision process over originated + learned routes.
     /// Returns true if the Loc-RIB changed.
     pub fn recompute(&mut self) -> bool {
-        let mut prefixes: BTreeSet<IpCidr> = self.originated.keys().copied().collect();
-        prefixes.extend(self.adj_rib_in.keys().map(|(_, p)| *p));
-        let mut new_loc: BTreeMap<IpCidr, Route> = BTreeMap::new();
-        for prefix in prefixes {
-            let mut candidates: Vec<Route> = Vec::new();
-            if let Some(local) = self.originated.get(&prefix) {
-                candidates.push(local.clone());
-            }
-            candidates.extend(
-                self.adj_rib_in
-                    .iter()
-                    .filter(|((_, p), _)| *p == prefix)
-                    .map(|(_, r)| r.clone()),
-            );
-            if let Some(i) = decide(&candidates) {
-                new_loc.insert(prefix, candidates.swap_remove(i));
-            }
-        }
-        let changed = new_loc != self.loc_rib;
-        if changed {
-            self.loc_rib = new_loc;
+        let mut changed = false;
+        for prefix in self.known_prefixes() {
+            changed |= self.recompute_prefix(&prefix);
         }
         changed
+    }
+
+    /// Every prefix this speaker currently knows about: originated,
+    /// learned, or still sitting in the Loc-RIB (a just-withdrawn
+    /// origination lives only there until the next decision run).
+    pub fn known_prefixes(&self) -> BTreeSet<IpCidr> {
+        let mut prefixes: BTreeSet<IpCidr> = self.originated.keys().copied().collect();
+        prefixes.extend(self.adj_rib_in.keys().map(|(p, _)| *p));
+        prefixes.extend(self.loc_rib.keys().copied());
+        prefixes
+    }
+
+    /// Re-run the decision process for one prefix only — the incremental
+    /// engine's unit of work. Returns true if the Loc-RIB entry changed.
+    pub fn recompute_prefix(&mut self, prefix: &IpCidr) -> bool {
+        let mut candidates: Vec<Route> = Vec::new();
+        if let Some(local) = self.originated.get(prefix) {
+            candidates.push(local.clone());
+        }
+        candidates.extend(
+            self.adj_rib_in
+                .range((*prefix, AsId(0))..=(*prefix, AsId(u32::MAX)))
+                .map(|(_, r)| r.clone()),
+        );
+        match decide(&candidates) {
+            Some(i) => {
+                let best = candidates.swap_remove(i);
+                if self.loc_rib.get(prefix) != Some(&best) {
+                    self.loc_rib.insert(*prefix, best);
+                    true
+                } else {
+                    false
+                }
+            }
+            None => self.loc_rib.remove(prefix).is_some(),
+        }
     }
 
     /// The current best route for a prefix.
@@ -212,50 +232,62 @@ impl BgpSpeaker {
     /// would appear *at the neighbor* (path prepended, private ASNs
     /// stripped, prepend communities applied).
     pub fn exports_to(&self, topology: &Topology, neighbor: AsId) -> BTreeMap<IpCidr, Route> {
-        let mut out = BTreeMap::new();
-        for (prefix, route) in &self.loc_rib {
-            if !may_export(topology, self.config.asid, &route.source, neighbor) {
-                continue;
-            }
-            let learned_from_ebgp = route.source.neighbor().is_some();
-            if communities_forbid(
-                route,
-                neighbor,
-                learned_from_ebgp,
-                self.config.honor_action_communities,
-            ) {
-                continue;
-            }
-            let mut exported = route.clone();
-            let mut path: Vec<AsId> = Vec::with_capacity(route.as_path.len() + 4);
-            // Prepend self once, plus any community-driven extra prepends
-            // (action communities only fire on the honoring provider).
-            let extra: u8 = if self.config.honor_action_communities {
-                route
-                    .communities
-                    .iter()
-                    .map(|c| c.prepend_count_for(neighbor))
-                    .max()
-                    .unwrap_or(0)
-            } else {
-                0
-            };
-            for _ in 0..=(extra) {
-                path.push(self.config.asid);
-            }
-            if self.config.strip_private_asns {
-                path.extend(route.as_path.iter().copied().filter(|a| !a.is_private()));
-            } else {
-                path.extend(route.as_path.iter().copied());
-            }
-            exported.as_path = path;
-            // local_pref/tie_pref/source are receiver-local; neutralize.
-            exported.local_pref = 0;
-            exported.tie_pref = 0;
-            exported.source = RouteSource::Neighbor(self.config.asid);
-            out.insert(*prefix, exported);
+        self.loc_rib
+            .keys()
+            .filter_map(|p| self.export_for(topology, neighbor, p).map(|r| (*p, r)))
+            .collect()
+    }
+
+    /// The route this speaker would advertise to `neighbor` for one
+    /// prefix, or `None` if policy withholds it — the incremental
+    /// engine's per-prefix unit of export work.
+    pub fn export_for(
+        &self,
+        topology: &Topology,
+        neighbor: AsId,
+        prefix: &IpCidr,
+    ) -> Option<Route> {
+        let route = self.loc_rib.get(prefix)?;
+        if !may_export(topology, self.config.asid, &route.source, neighbor) {
+            return None;
         }
-        out
+        let learned_from_ebgp = route.source.neighbor().is_some();
+        if communities_forbid(
+            route,
+            neighbor,
+            learned_from_ebgp,
+            self.config.honor_action_communities,
+        ) {
+            return None;
+        }
+        let mut exported = route.clone();
+        let mut path: Vec<AsId> = Vec::with_capacity(route.as_path.len() + 4);
+        // Prepend self once, plus any community-driven extra prepends
+        // (action communities only fire on the honoring provider).
+        let extra: u8 = if self.config.honor_action_communities {
+            route
+                .communities
+                .iter()
+                .map(|c| c.prepend_count_for(neighbor))
+                .max()
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        for _ in 0..=(extra) {
+            path.push(self.config.asid);
+        }
+        if self.config.strip_private_asns {
+            path.extend(route.as_path.iter().copied().filter(|a| !a.is_private()));
+        } else {
+            path.extend(route.as_path.iter().copied());
+        }
+        exported.as_path = path;
+        // local_pref/tie_pref/source are receiver-local; neutralize.
+        exported.local_pref = 0;
+        exported.tie_pref = 0;
+        exported.source = RouteSource::Neighbor(self.config.asid);
+        Some(exported)
     }
 
     /// The last advertisement state toward one neighbor (engine bookkeeping).
@@ -275,9 +307,37 @@ impl BgpSpeaker {
         }
     }
 
+    /// The last advertisement sent to `neighbor` for one prefix.
+    pub fn rib_out_entry(&self, neighbor: AsId, prefix: &IpCidr) -> Option<&Route> {
+        self.adj_rib_out.get(&(neighbor, *prefix))
+    }
+
+    /// Record what was just sent to `neighbor` for one prefix (`None`
+    /// records a withdrawal).
+    pub fn set_rib_out_entry(&mut self, neighbor: AsId, prefix: IpCidr, route: Option<Route>) {
+        match route {
+            Some(r) => {
+                self.adj_rib_out.insert((neighbor, prefix), r);
+            }
+            None => {
+                self.adj_rib_out.remove(&(neighbor, prefix));
+            }
+        }
+    }
+
     /// Number of Adj-RIB-In entries (diagnostics).
     pub fn rib_in_len(&self) -> usize {
         self.adj_rib_in.len()
+    }
+
+    /// Number of Loc-RIB entries (diagnostics).
+    pub fn loc_rib_len(&self) -> usize {
+        self.loc_rib.len()
+    }
+
+    /// Number of Adj-RIB-Out entries (diagnostics).
+    pub fn rib_out_len(&self) -> usize {
+        self.adj_rib_out.len()
     }
 
     /// Re-run import policy (local-pref computation) over everything in
@@ -286,17 +346,17 @@ impl BgpSpeaker {
     pub fn refresh_import(&mut self, topology: &Topology) -> bool {
         let mut changed = false;
         let asid = self.config.asid;
-        let keys: Vec<(AsId, IpCidr)> = self.adj_rib_in.keys().copied().collect();
-        for (neighbor, prefix) in keys {
+        let keys: Vec<(IpCidr, AsId)> = self.adj_rib_in.keys().copied().collect();
+        for (prefix, neighbor) in keys {
             let Some(base) = local_pref_base(topology, asid, neighbor) else {
-                self.adj_rib_in.remove(&(neighbor, prefix));
+                self.adj_rib_in.remove(&(prefix, neighbor));
                 changed = true;
                 continue;
             };
             let bonus = self.config.bonus(neighbor);
             let entry = self
                 .adj_rib_in
-                .get_mut(&(neighbor, prefix))
+                .get_mut(&(prefix, neighbor))
                 .expect("listed");
             if entry.local_pref != base || entry.tie_pref != bonus {
                 entry.local_pref = base;
@@ -483,7 +543,7 @@ mod tests {
         let mut s = BgpSpeaker::new(cfg);
         s.receive(&t, AsId(1), prefix(), Some(learned(&[1])));
         // Manually fake a private ASN on the stored path.
-        let k = (AsId(1), prefix());
+        let k = (prefix(), AsId(1));
         s.adj_rib_in.get_mut(&k).unwrap().as_path = vec![AsId(64701)];
         s.recompute();
         let exports = s.exports_to(&t, AsId(3));

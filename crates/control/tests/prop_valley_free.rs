@@ -1,0 +1,169 @@
+//! Property-based tests for the routing invariants of §4.1 discovery
+//! over generated internet-scale topologies (satellite (a) of the
+//! scalability tentpole): every path the suppress-and-observe loop
+//! surfaces must be valley-free under the Gao-Rexford labels, must be a
+//! real adjacency chain with positive propagation delay, and discovery
+//! must leave no probe state behind.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use tango_bgp::policy::path_is_valley_free;
+use tango_bgp::BgpEngine;
+use tango_control::discover_paths;
+use tango_net::IpCidr;
+use tango_topology::gen::{try_generate, GenParams, Generated};
+use tango_topology::AsId;
+
+/// A small internet draw: big enough for real transit hierarchies,
+/// small enough for 64 cases of all-pairs discovery.
+fn small_internet() -> impl Strategy<Value = GenParams> {
+    (40usize..100, 3usize..5, any::<u64>())
+        .prop_map(|(ases, edges, seed)| GenParams::internet(ases, edges, seed))
+}
+
+fn probe(i: usize) -> IpCidr {
+    format!("2001:db8:{:x}::/48", 0xf00 + i)
+        .parse()
+        .expect("static prefix template")
+}
+
+/// A converged-ready engine over the generated graph: every edge site
+/// honors the action communities its own announcements will carry.
+fn engine(g: &Generated) -> BgpEngine {
+    let mut e = BgpEngine::new(g.topology.clone());
+    for &pop in &g.edge_sites {
+        e.set_honor_actions(pop, true).expect("edge exists");
+    }
+    e
+}
+
+/// Run discovery for every unordered edge-site pair, handing each
+/// discovered path (with its full observer-rooted node sequence) to
+/// `check`.
+fn for_all_pairs(
+    g: &Generated,
+    mut check: impl FnMut(AsId, AsId, usize, &[AsId]) -> Result<(), String>,
+) -> Result<(), String> {
+    let mut e = engine(g);
+    for i in 0..g.edge_sites.len() {
+        for j in (i + 1)..g.edge_sites.len() {
+            let (observer, announcer) = (g.edge_sites[i], g.edge_sites[j]);
+            let paths = discover_paths(
+                &mut e,
+                announcer,
+                observer,
+                probe(j),
+                &[announcer, observer],
+                8,
+            )
+            .expect("connected valley-free graph: every pair discovers");
+            prop_assert!(
+                paths.len() >= 2,
+                "pair {observer:?}->{announcer:?}: {} paths, multihoming guarantees >= 2",
+                paths.len()
+            );
+            for (k, p) in paths.iter().enumerate() {
+                let mut nodes = Vec::with_capacity(p.as_path.len() + 1);
+                nodes.push(observer);
+                nodes.extend_from_slice(&p.as_path);
+                check(observer, announcer, k, &nodes)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Satellite (a): every path installed by discovery is valley-free
+    /// under the generated Gao-Rexford customer/provider/peer labels —
+    /// the suppression loop can only surface routes the export policy
+    /// was willing to propagate.
+    #[test]
+    fn discovered_paths_are_valley_free(params in small_internet()) {
+        let g = try_generate(&params).expect("internet preset is valid");
+        for_all_pairs(&g, |observer, announcer, k, nodes| {
+            prop_assert!(
+                path_is_valley_free(&g.topology, nodes),
+                "pair {observer:?}->{announcer:?} path {k} has a valley: {nodes:?}"
+            );
+            Ok(())
+        })?;
+    }
+
+    /// Every discovered path is a chain of real adjacencies ending at
+    /// the announcer, with a positive total propagation delay — the
+    /// property the scalability sweep's stretch column rests on.
+    #[test]
+    fn discovered_paths_are_real_adjacency_chains(params in small_internet()) {
+        let g = try_generate(&params).expect("internet preset is valid");
+        for_all_pairs(&g, |observer, announcer, k, nodes| {
+            prop_assert!(
+                nodes.last() == Some(&announcer),
+                "pair {observer:?}->{announcer:?} path {k} does not end at the announcer"
+            );
+            let delay = g.topology.path_base_delay_ns(nodes);
+            prop_assert!(
+                delay.is_some_and(|d| d > 0),
+                "pair {observer:?}->{announcer:?} path {k} is not adjacent: {nodes:?}"
+            );
+            Ok(())
+        })?;
+    }
+
+    /// Discovery is hermetic: after the loop, no speaker anywhere in
+    /// the graph still holds the probe prefix in its Loc-RIB — probes
+    /// must never leak into later pairs or the artifact state.
+    #[test]
+    fn discovery_withdraws_all_probe_state(params in small_internet()) {
+        let g = try_generate(&params).expect("internet preset is valid");
+        let mut e = engine(&g);
+        let (observer, announcer) = (g.edge_sites[0], g.edge_sites[1]);
+        let prefix = probe(1);
+        discover_paths(&mut e, announcer, observer, prefix, &[announcer, observer], 8)
+            .expect("pair discovers");
+        for node in g.topology.nodes() {
+            prop_assert!(
+                e.best_route(node.id, prefix).is_none(),
+                "probe survived at {:?}", node.id
+            );
+        }
+    }
+
+    /// The valley-free checker itself rejects fabricated valleys on the
+    /// generated graph: a route that descends to a customer and climbs
+    /// back up must be refused, whatever the draw.
+    #[test]
+    fn checker_rejects_fabricated_valleys(params in small_internet()) {
+        let g = try_generate(&params).expect("internet preset is valid");
+        // Build provider -> transit -> provider detours: down then up.
+        let mut checked = 0usize;
+        for &t in &g.transits {
+            let providers: Vec<AsId> = g.topology.providers(t).into_iter().collect();
+            if providers.len() < 2 {
+                continue;
+            }
+            let valley = [providers[0], t, providers[1]];
+            prop_assert!(
+                !path_is_valley_free(&g.topology, &valley),
+                "valley accepted: {valley:?}"
+            );
+            checked += 1;
+            if checked >= 8 {
+                break;
+            }
+        }
+        prop_assert!(checked > 0, "draw produced no multihomed transit to test");
+    }
+}
+
+/// Non-random companion: the BTreeSet import above keeps the probe
+/// announcements explicit in the one place plain announcements appear.
+#[test]
+fn engine_announces_with_empty_communities_compile_check() {
+    let g = try_generate(&GenParams::internet(60, 3, 1)).expect("valid");
+    let mut e = engine(&g);
+    e.announce(g.edge_sites[0], probe(0), BTreeSet::new())
+        .expect("edge announces");
+    e.converge().expect("converges");
+    assert!(e.best_route(g.edge_sites[1], probe(0)).is_some());
+}

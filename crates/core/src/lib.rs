@@ -45,6 +45,7 @@
 pub mod chaos;
 pub mod invariant;
 pub mod mesh;
+pub mod npop;
 pub mod pairing;
 pub mod vultr;
 
@@ -56,6 +57,7 @@ pub use invariant::{
     check, check_pairing, check_pairing_flight, InvariantReport, SideEvidence, Violation,
 };
 pub use mesh::{vultr_replica_mesh, MeshOptions, MeshSim};
+pub use npop::{run_npop, NPopError, NPopOptions, NPopOutcome, PairOutcome};
 pub use pairing::{health_code, FlightDump, PairingError, PairingOptions, Side, TangoPairing};
 pub use vultr::{vultr_pairing, vultr_pairing_with_events};
 

@@ -1,0 +1,628 @@
+//! The internet-scale Tango-of-N mesh: N edge PoPs on a generated
+//! scale-free AS graph, every pair running §4.1 path discovery.
+//!
+//! [`crate::mesh`] scales the *simulator* by replicating the small Vultr
+//! scenario; this module scales the *control plane*: one connected
+//! Gao-Rexford topology of hundreds to thousands of ASes
+//! ([`GenParams::internet`]), N Tango-capable edge sites, and the full
+//! all-pairs discovery workload the paper's §6 sketches for "Tango
+//! networks of N participants". The run has three phases:
+//!
+//! 1. **Mesh convergence** — every PoP announces one /48 host prefix;
+//!    one BGP convergence installs all-pairs reachability.
+//! 2. **All-pairs discovery** — for each unordered PoP pair, the
+//!    suppress-and-observe loop of [`tango_control::discover_paths`]
+//!    enumerates the wide-area paths BGP can be coaxed into exposing.
+//!    Every observed path is checked against the Gao-Rexford valley-free
+//!    property ([`tango_bgp::policy::path_is_valley_free`]), and its
+//!    propagation-delay stretch vs the BGP default is recorded.
+//! 3. **Traffic** — a [`NetworkSim`] over the same graph (sharded, any
+//!    shard count bit-identical) forwards host packets between the PoPs
+//!    through per-node longest-prefix-match [`RouterAgent`]s.
+//!
+//! Everything observable is folded into a deterministic digest so the
+//! scalability sweep (`experiments scalability`) can assert bit-identity
+//! across runs and shard counts.
+
+use std::collections::BTreeSet;
+
+use tango_bgp::engine::RibStats;
+use tango_bgp::policy::path_is_valley_free;
+use tango_bgp::{BgpEngine, EngineError, Route};
+use tango_control::{discover_paths, DiscoveryError};
+use tango_net::{IpCidr, Ipv6Packet, Ipv6Repr};
+use tango_obs::Registry;
+use tango_sim::{NetworkSim, Packet, RouterAgent, ShardMode, SimConfig, SimTime};
+use tango_topology::gen::{try_generate, GenError, GenParams};
+use tango_topology::AsId;
+
+/// App payload bytes per injected packet in the traffic phase.
+const PAYLOAD_BYTES: usize = 64;
+
+/// Host prefixes live at `2001:db8:1000+i::/48`, probe prefixes at
+/// `2001:db8:2000+i::/48` — disjoint spaces, one slot per PoP index.
+const HOST_HEXTET_BASE: usize = 0x1000;
+const PROBE_HEXTET_BASE: usize = 0x2000;
+
+/// Options for [`run_npop`].
+#[derive(Debug, Clone)]
+pub struct NPopOptions {
+    /// Total AS count of the generated graph (tier-1 + transits + PoPs).
+    pub ases: usize,
+    /// Number of Tango-capable edge PoPs (N). Must be in `2..=256`.
+    pub pops: usize,
+    /// Seed for both the generator and the traffic simulator.
+    pub seed: u64,
+    /// Per-pair discovery bound (paths probed before giving up).
+    pub max_paths: usize,
+    /// Traffic-phase simulator shards (any value is bit-identical).
+    pub shards: usize,
+    /// Execution mode for multi-shard runs.
+    pub shard_mode: ShardMode,
+    /// Host packets injected in the traffic phase, spread round-robin
+    /// over the PoP pairs in alternating directions (0 skips the phase).
+    pub traffic_packets: u32,
+    /// Trace ring capacity for the traffic phase (0 disables; the
+    /// digest then covers counters only).
+    pub trace_capacity: usize,
+}
+
+impl Default for NPopOptions {
+    fn default() -> Self {
+        NPopOptions {
+            ases: 100,
+            pops: 8,
+            seed: 1,
+            max_paths: 8,
+            shards: 1,
+            shard_mode: ShardMode::Auto,
+            traffic_packets: 128,
+            trace_capacity: 0,
+        }
+    }
+}
+
+/// Failures building or running the mesh.
+#[derive(Debug)]
+pub enum NPopError {
+    /// Fewer than two PoPs, or more than the address plan's 256 slots.
+    BadPopCount(usize),
+    /// The topology generator rejected the derived parameters.
+    Gen(GenError),
+    /// The BGP engine failed (no convergence, unknown AS, ...).
+    Engine(EngineError),
+}
+
+impl From<GenError> for NPopError {
+    fn from(e: GenError) -> Self {
+        NPopError::Gen(e)
+    }
+}
+
+impl From<EngineError> for NPopError {
+    fn from(e: EngineError) -> Self {
+        NPopError::Engine(e)
+    }
+}
+
+impl core::fmt::Display for NPopError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NPopError::BadPopCount(n) => {
+                write!(f, "pop count {n} outside the supported range 2..=256")
+            }
+            NPopError::Gen(e) => write!(f, "topology generation: {e}"),
+            NPopError::Engine(e) => write!(f, "BGP engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NPopError {}
+
+/// One unordered PoP pair's discovery result (probed in the direction
+/// `a` observes `b`'s announcement, i.e. traffic `a → b`).
+#[derive(Debug, Clone)]
+pub struct PairOutcome {
+    /// Observer-side PoP.
+    pub a: AsId,
+    /// Announcer-side PoP.
+    pub b: AsId,
+    /// Discovered wide-area paths (0 when the pair was unreachable).
+    pub paths: usize,
+    /// Discovered paths that violated the valley-free property (must
+    /// be 0 — any other value is a policy bug).
+    pub valley_violations: usize,
+    /// Propagation delay of the BGP default path (discovery's first
+    /// observation), ns.
+    pub default_delay_ns: u64,
+    /// Propagation delay of the best discovered path, ns.
+    pub best_delay_ns: u64,
+    /// `default_delay / best_delay`, scaled by 1000 (1000 = the
+    /// default is already the best; 1300 = default 30 % slower).
+    pub stretch_x1000: u64,
+}
+
+/// Everything measured over one N-PoP run.
+#[derive(Debug)]
+pub struct NPopOutcome {
+    /// The PoP node ids, ascending.
+    pub pops: Vec<AsId>,
+    /// The generated graph's deterministic fingerprint.
+    pub graph_digest: u64,
+    /// Per-pair discovery results, in `(i, j)` iteration order.
+    pub pairs: Vec<PairOutcome>,
+    /// Pairs whose probe never reached the observer (expected 0 on a
+    /// connected valley-free graph).
+    pub unreachable_pairs: usize,
+    /// Ordered pairs `(a, b)` where `a` holds a route to `b`'s host
+    /// prefix after mesh convergence (expected `pops * (pops - 1)`).
+    pub reachable_routes: usize,
+    /// Rounds of the initial all-PoP mesh convergence.
+    pub mesh_rounds: usize,
+    /// Total `converge()` fixpoints over the whole run (mesh + every
+    /// discovery step): the sweep's "convergence events" column.
+    pub converges: u64,
+    /// Total convergence rounds summed over all fixpoints: the
+    /// "discovery rounds" column.
+    pub convergence_rounds: u64,
+    /// BGP update messages applied across the run.
+    pub updates_processed: u64,
+    /// RIB table sizes at the end of the run (probes withdrawn, host
+    /// prefixes still announced).
+    pub rib: RibStats,
+    /// High-water mark of total RIB routes across the run (the
+    /// `bgp.rib.peak_routes` gauge).
+    pub peak_routes: u64,
+    /// Estimated peak RIB heap bytes: exact per-route cost measured
+    /// over every Loc-RIB, scaled to the peak total entry count.
+    pub rib_bytes_est: u64,
+    /// Total FIB (longest-prefix-match trie) entries installed across
+    /// all nodes for the traffic phase.
+    pub fib_entries: u64,
+    /// Traffic-phase digest (stats + trace), `""` when the phase was
+    /// skipped. Bit-identical across shard counts and execution modes.
+    pub traffic_digest: String,
+    /// Traffic-phase deliveries.
+    pub deliveries: u64,
+    /// Traffic-phase hop-limit expiries (forwarding-loop detector;
+    /// must stay 0).
+    pub ttl_expired: u64,
+}
+
+/// PoP `i`'s host prefix.
+pub fn host_prefix(i: usize) -> IpCidr {
+    format!("2001:db8:{:x}::/48", HOST_HEXTET_BASE + i)
+        .parse()
+        .expect("static prefix template")
+}
+
+/// PoP `i`'s discovery probe prefix.
+pub fn probe_prefix(i: usize) -> IpCidr {
+    format!("2001:db8:{:x}::/48", PROBE_HEXTET_BASE + i)
+        .parse()
+        .expect("static prefix template")
+}
+
+/// Exact heap bytes of one route entry (the `Route` struct plus its
+/// owned AS path and community set).
+fn route_bytes(r: &Route) -> u64 {
+    let own = core::mem::size_of::<Route>()
+        + r.as_path.len() * core::mem::size_of::<AsId>()
+        + r.communities.len() * core::mem::size_of::<tango_bgp::Community>();
+    own as u64
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 for empty).
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+impl NPopOutcome {
+    /// Stretch percentiles `(p50, p90, p99)` in x1000 units, over the
+    /// pairs that discovered at least one path.
+    pub fn stretch_percentiles(&self) -> (u64, u64, u64) {
+        let mut v: Vec<u64> = self
+            .pairs
+            .iter()
+            .filter(|p| p.paths > 0)
+            .map(|p| p.stretch_x1000)
+            .collect();
+        v.sort_unstable();
+        (percentile(&v, 50), percentile(&v, 90), percentile(&v, 99))
+    }
+
+    /// Discovered-path-count summary `(min, p50, max, total)` across
+    /// pairs.
+    pub fn path_counts(&self) -> (u64, u64, u64, u64) {
+        let mut v: Vec<u64> = self.pairs.iter().map(|p| p.paths as u64).collect();
+        v.sort_unstable();
+        let total = v.iter().sum();
+        (
+            v.first().copied().unwrap_or(0),
+            percentile(&v, 50),
+            v.last().copied().unwrap_or(0),
+            total,
+        )
+    }
+
+    /// Total valley-free violations over every discovered path (must
+    /// be 0).
+    pub fn valley_violations(&self) -> u64 {
+        self.pairs.iter().map(|p| p.valley_violations as u64).sum()
+    }
+
+    /// Deterministic fingerprint of the whole run: graph digest,
+    /// per-pair results, control-plane counters, RIB/FIB sizes, and
+    /// the traffic digest. Bit-identical runs ⇒ identical values,
+    /// regardless of shard count or execution mode.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(self.graph_digest);
+        for p in &self.pairs {
+            mix(u64::from(p.a.0));
+            mix(u64::from(p.b.0));
+            mix(p.paths as u64);
+            mix(p.valley_violations as u64);
+            mix(p.default_delay_ns);
+            mix(p.best_delay_ns);
+            mix(p.stretch_x1000);
+        }
+        mix(self.unreachable_pairs as u64);
+        mix(self.reachable_routes as u64);
+        mix(self.mesh_rounds as u64);
+        mix(self.converges);
+        mix(self.convergence_rounds);
+        mix(self.updates_processed);
+        mix(self.rib.total() as u64);
+        mix(self.peak_routes);
+        mix(self.rib_bytes_est);
+        mix(self.fib_entries);
+        mix(self.deliveries);
+        mix(self.ttl_expired);
+        for b in self.traffic_digest.bytes() {
+            mix(u64::from(b));
+        }
+        h
+    }
+}
+
+/// Run the full N-PoP workload: generate, converge, discover all
+/// pairs, then (optionally) forward traffic. See the module docs.
+pub fn run_npop(options: &NPopOptions) -> Result<NPopOutcome, NPopError> {
+    if options.pops < 2 || options.pops > 256 {
+        return Err(NPopError::BadPopCount(options.pops));
+    }
+    let generated = try_generate(&GenParams::internet(
+        options.ases,
+        options.pops,
+        options.seed,
+    ))?;
+    let graph_digest = generated.digest();
+    let topology = generated.topology;
+    let pops = generated.edge_sites;
+
+    let registry = Registry::new();
+    let mut engine = BgpEngine::new(topology.clone());
+    engine.set_obs(&registry);
+    engine.set_rib_obs(&registry);
+    // PoPs are their own borders: they must honor the action
+    // communities their announcements carry for suppression to bite.
+    for &pop in &pops {
+        engine.set_honor_actions(pop, true)?;
+    }
+
+    // Phase 1: mesh convergence over every PoP's host prefix.
+    for (i, &pop) in pops.iter().enumerate() {
+        engine.announce(pop, host_prefix(i), BTreeSet::new())?;
+    }
+    let mesh_rounds = engine.converge()?;
+    let mut reachable_routes = 0usize;
+    for (i, &a) in pops.iter().enumerate() {
+        for (j, _) in pops.iter().enumerate() {
+            if i != j && engine.as_path(a, host_prefix(j)).is_some() {
+                reachable_routes += 1;
+            }
+        }
+    }
+
+    // Phase 2: all-pairs discovery. The engine's convergence is
+    // incremental, so each step's cost tracks the announced delta (one
+    // probe prefix), not the graph size.
+    let mut pairs = Vec::new();
+    let mut unreachable_pairs = 0usize;
+    let mut rib_peak_bytes_sampled = 0u64;
+    for i in 0..pops.len() {
+        for j in (i + 1)..pops.len() {
+            let (observer, announcer) = (pops[i], pops[j]);
+            let discovered = match discover_paths(
+                &mut engine,
+                announcer,
+                observer,
+                probe_prefix(j),
+                &[announcer, observer],
+                options.max_paths,
+            ) {
+                Ok(d) => d,
+                Err(DiscoveryError::NoPathAtAll | DiscoveryError::DegeneratePath) => {
+                    unreachable_pairs += 1;
+                    pairs.push(PairOutcome {
+                        a: observer,
+                        b: announcer,
+                        paths: 0,
+                        valley_violations: 0,
+                        default_delay_ns: 0,
+                        best_delay_ns: 0,
+                        stretch_x1000: 0,
+                    });
+                    continue;
+                }
+                Err(DiscoveryError::Engine(e)) => return Err(NPopError::Engine(e)),
+            };
+            let mut valley_violations = 0usize;
+            let mut delays = Vec::with_capacity(discovered.len());
+            for path in &discovered {
+                // Traffic direction: observer, then the AS path it
+                // observed (nearest AS first, announcer last).
+                let mut nodes = Vec::with_capacity(path.as_path.len() + 1);
+                nodes.push(observer);
+                nodes.extend_from_slice(&path.as_path);
+                if !path_is_valley_free(&topology, &nodes) {
+                    valley_violations += 1;
+                }
+                match topology.path_base_delay_ns(&nodes) {
+                    Some(d) => delays.push(d),
+                    None => valley_violations += 1, // non-adjacent hop: impossible path
+                }
+            }
+            let default_delay_ns = delays.first().copied().unwrap_or(0);
+            let best_delay_ns = delays.iter().copied().min().unwrap_or(0);
+            let stretch_x1000 = default_delay_ns
+                .saturating_mul(1000)
+                .checked_div(best_delay_ns)
+                .unwrap_or(0);
+            pairs.push(PairOutcome {
+                a: observer,
+                b: announcer,
+                paths: discovered.len(),
+                valley_violations,
+                default_delay_ns,
+                best_delay_ns,
+                stretch_x1000,
+            });
+        }
+        // Sample RIB bytes once per announcer sweep; the probe routes
+        // of the row's pairs are live mid-sweep, so this tracks peak,
+        // not post-withdrawal, occupancy.
+        if i == 0 {
+            rib_peak_bytes_sampled = loc_rib_bytes(&engine, &topology);
+        }
+    }
+
+    // Control-plane totals from the private registry.
+    let snap = registry.snapshot();
+    let converges = snap.counters.get("bgp.converges").copied().unwrap_or(0);
+    let updates_processed = snap
+        .counters
+        .get("bgp.updates_processed")
+        .copied()
+        .unwrap_or(0);
+    let convergence_rounds = snap
+        .histograms
+        .get("bgp.convergence.rounds")
+        .map(|h| h.sum)
+        .unwrap_or(0);
+    let peak_routes = snap.gauges.get("bgp.rib.peak_routes").copied().unwrap_or(0);
+    let rib = engine.rib_stats();
+    // Scale the exact measured Loc-RIB byte cost to the peak entry
+    // count: an estimate (Adj-RIB entries are the same `Route` type).
+    let loc_now = loc_rib_bytes(&engine, &topology).max(rib_peak_bytes_sampled);
+    let loc_entries = topology
+        .nodes()
+        .map(|n| {
+            engine
+                .speaker(n.id)
+                .map(|s| s.loc_rib_len() as u64)
+                .unwrap_or(0)
+        })
+        .sum::<u64>()
+        .max(1);
+    let rib_bytes_est = peak_routes.saturating_mul(loc_now / loc_entries);
+
+    // Phase 3: traffic over the converged mesh.
+    let mut fib_entries = 0u64;
+    let mut traffic_digest = String::new();
+    let mut deliveries = 0u64;
+    let mut ttl_expired = 0u64;
+    if options.traffic_packets > 0 {
+        let mut sim = NetworkSim::new(
+            topology.clone(),
+            SimConfig {
+                seed: options.seed,
+                trace_capacity: options.trace_capacity,
+                shards: options.shards,
+                shard_mode: options.shard_mode,
+                ..SimConfig::default()
+            },
+        );
+        for node in topology.nodes() {
+            let table = engine.forwarding_table(node.id)?;
+            fib_entries += table.len() as u64;
+            sim.set_agent(node.id, Box::new(RouterAgent::new(node.id, table)));
+        }
+        registry.gauge("npop.fib.entries").set(fib_entries);
+        let pair_list: Vec<(usize, usize)> = (0..pops.len())
+            .flat_map(|i| ((i + 1)..pops.len()).map(move |j| (i, j)))
+            .collect();
+        let mut t = SimTime::from_ms(1);
+        for k in 0..options.traffic_packets {
+            let (i, j) = pair_list[(k as usize) % pair_list.len()];
+            let (src, dst) = if k % 2 == 0 { (i, j) } else { (j, i) };
+            send_host_packet(&mut sim, &pops, src, dst, t, k as u16);
+            t += SimTime::from_us(250);
+        }
+        sim.run_until(SimTime::from_secs(3));
+        let stats = sim.stats();
+        deliveries = stats.deliveries;
+        ttl_expired = stats.ttl_expired;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for e in sim.tracer().events() {
+            mix(e.time.as_ns());
+            mix(u64::from(e.node.0));
+            mix(fnv_str(&format!("{:?}", e.kind)));
+        }
+        traffic_digest = format!(
+            "tx={} rx={} loss={} outage={} queue={} noroute={} ttl={} timers={} trace={:016x}",
+            stats.transmissions,
+            stats.deliveries,
+            stats.lost_link,
+            stats.lost_outage,
+            stats.lost_queue,
+            stats.no_route,
+            stats.ttl_expired,
+            stats.timers,
+            h
+        );
+    }
+
+    Ok(NPopOutcome {
+        pops,
+        graph_digest,
+        pairs,
+        unreachable_pairs,
+        reachable_routes,
+        mesh_rounds,
+        converges,
+        convergence_rounds,
+        updates_processed,
+        rib,
+        peak_routes,
+        rib_bytes_est,
+        fib_entries,
+        traffic_digest,
+        deliveries,
+        ttl_expired,
+    })
+}
+
+/// Exact heap bytes of every Loc-RIB entry across the graph.
+fn loc_rib_bytes(engine: &BgpEngine, topology: &tango_topology::Topology) -> u64 {
+    topology
+        .nodes()
+        .filter_map(|n| engine.speaker(n.id).ok())
+        .flat_map(|s| s.loc_rib().values())
+        .map(route_bytes)
+        .sum()
+}
+
+/// Inject one host packet from PoP `src` to PoP `dst`'s host prefix.
+fn send_host_packet(
+    sim: &mut NetworkSim,
+    pops: &[AsId],
+    src: usize,
+    dst: usize,
+    time: SimTime,
+    stream: u16,
+) {
+    let repr = Ipv6Repr {
+        src_addr: format!(
+            "2001:db8:{:x}::{:x}",
+            HOST_HEXTET_BASE + src,
+            u32::from(stream) + 1
+        )
+        .parse()
+        .expect("static address template"),
+        dst_addr: format!("2001:db8:{:x}::1", HOST_HEXTET_BASE + dst)
+            .parse()
+            .expect("static address template"),
+        next_header: 17,
+        payload_len: PAYLOAD_BYTES,
+        hop_limit: 64,
+        traffic_class: 0,
+        flow_label: 0,
+    };
+    let mut buf = vec![0u8; repr.total_len()];
+    let mut view = Ipv6Packet::new_unchecked(&mut buf);
+    repr.emit(&mut view).expect("buffer sized by total_len");
+    sim.schedule_host_packet(time, pops[src], Packet::new(buf));
+}
+
+fn fnv_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> NPopOptions {
+        NPopOptions {
+            ases: 60,
+            pops: 4,
+            seed: 7,
+            traffic_packets: 32,
+            trace_capacity: 1024,
+            ..NPopOptions::default()
+        }
+    }
+
+    #[test]
+    fn rejects_bad_pop_counts() {
+        for pops in [0, 1, 257] {
+            let r = run_npop(&NPopOptions { pops, ..small() });
+            assert!(matches!(r, Err(NPopError::BadPopCount(_))), "pops={pops}");
+        }
+    }
+
+    #[test]
+    fn small_mesh_discovers_everywhere() {
+        let out = run_npop(&small()).expect("mesh runs");
+        assert_eq!(out.pairs.len(), 6, "C(4,2) pairs");
+        assert_eq!(out.unreachable_pairs, 0);
+        assert_eq!(out.reachable_routes, 4 * 3, "all ordered pairs converge");
+        assert_eq!(out.valley_violations(), 0);
+        assert!(
+            out.pairs.iter().all(|p| p.paths >= 2),
+            "providers_per_edge (2,3) guarantees ≥ 2 discovered paths: {:?}",
+            out.pairs
+        );
+        assert!(out.pairs.iter().all(|p| p.stretch_x1000 >= 1000));
+        assert!(out.peak_routes > 0);
+        assert!(out.rib_bytes_est > 0);
+        assert!(out.fib_entries > 0);
+        assert!(out.deliveries > 0, "traffic phase delivered packets");
+        assert_eq!(out.ttl_expired, 0, "no forwarding loops");
+    }
+
+    #[test]
+    fn digest_is_shard_invariant_and_seed_sensitive() {
+        let base = run_npop(&small()).expect("mesh runs").digest();
+        let sharded = run_npop(&NPopOptions {
+            shards: 4,
+            shard_mode: ShardMode::Threaded,
+            ..small()
+        })
+        .expect("mesh runs")
+        .digest();
+        assert_eq!(base, sharded, "digest is shard-invariant");
+        let reseeded = run_npop(&NPopOptions { seed: 8, ..small() })
+            .expect("mesh runs")
+            .digest();
+        assert_ne!(base, reseeded, "seed matters");
+    }
+}

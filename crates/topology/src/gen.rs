@@ -1,20 +1,40 @@
-//! Seeded random topology generation.
+//! Seeded random topology generation, from Vultr-sized hierarchies to
+//! internet-scale scale-free graphs.
 //!
 //! §6 of the paper ("From Tango of 2 to Tango of N") envisions Tango
-//! pairings as building blocks of a wider overlay. The generator here
-//! produces Internet-like *hierarchies* for the Tango-of-N experiments
-//! and for scale-testing BGP propagation:
+//! pairings as building blocks of a wider overlay. The generators here
+//! produce Internet-like graphs for the Tango-of-N experiments and for
+//! scale-testing BGP propagation. Two models share one parameter struct
+//! ([`GenParams`], dispatched on [`GenModel`]):
 //!
-//! * a fully meshed **tier-1 core** (settlement-free peering);
-//! * **tier-2 transits**, each a customer of one or two tier-1s, with
-//!   occasional tier-2 peering;
-//! * multi-homed **edge sites** buying transit from random transits.
+//! * [`GenModel::Hierarchy`] — the original small generator: a fully
+//!   meshed **tier-1 core** (settlement-free peering), **tier-2
+//!   transits** each a customer of one or two tier-1s with occasional
+//!   tier-2 peering, and multi-homed **edge sites** buying transit from
+//!   random transits.
+//! * [`GenModel::ScaleFree`] — internet-scale Barabási–Albert
+//!   preferential attachment: the tier-1 clique seeds the process, each
+//!   new transit attaches its provider uplinks to existing transits with
+//!   probability proportional to degree, and peering links are drawn
+//!   degree-preferentially on both ends. The resulting transit degree
+//!   distribution is heavy-tailed, like the measured AS graph ("The
+//!   Internet's Unexploited Path Diversity" quantifies the multipath
+//!   structure such graphs expose).
 //!
-//! The hierarchy matters: under valley-free (Gao-Rexford) export, a flat
-//! peer-only core would leave non-adjacent transits unable to exchange
-//! customer routes. With a tier-1 mesh on top, any edge reaches any edge:
-//! customer routes climb to the tier-1s, cross one peering hop, and
-//! descend — so generated pairings are always provisionable.
+//! Both models label every edge with a Gao-Rexford business
+//! [`Relationship`](crate::graph::Relationship); `tango-bgp::policy`
+//! lowers those labels into valley-free export filters. The hierarchy
+//! matters: under valley-free export, a flat peer-only core would leave
+//! non-adjacent transits unable to exchange customer routes. With a
+//! tier-1 peer mesh on top and every transit's provider chain climbing
+//! into it (true by construction in both models), any edge reaches any
+//! edge: customer routes climb to the tier-1s, cross at most one peering
+//! hop, and descend — so generated pairings are always provisionable.
+//!
+//! Generation is a pure function of (parameters, seed): identical inputs
+//! produce identical topologies, byte for byte, independent of shard
+//! counts, worker threads, or host machine ([`Generated::digest`] is the
+//! canonical fingerprint).
 
 use crate::asys::{AsId, AsKind, AsNode};
 use crate::graph::Topology;
@@ -24,19 +44,43 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+/// Which wiring model [`generate`] uses for the transit core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenModel {
+    /// The original small hierarchical generator: every tier-2 transit
+    /// is a customer of one or two tier-1s, tier-2s peer pairwise with
+    /// [`GenParams::transit_peering_prob`].
+    Hierarchy,
+    /// Barabási–Albert preferential attachment over the transit core,
+    /// seeded by the tier-1 clique. Scales to thousands of ASes with a
+    /// heavy-tailed degree distribution.
+    ScaleFree {
+        /// Provider uplinks per new transit (min, max inclusive). The
+        /// count is drawn uniformly; each uplink's provider is drawn
+        /// with probability proportional to its current degree.
+        uplinks: (usize, usize),
+        /// Expected peering links per transit. The generator places
+        /// `transits * peering_per_transit / 2` peer edges, both
+        /// endpoints drawn degree-preferentially (large transits peer
+        /// more, as in the measured Internet).
+        peering_per_transit: f64,
+    },
+}
+
 /// Parameters for the random generator.
 #[derive(Debug, Clone)]
 pub struct GenParams {
-    /// Number of tier-1 (fully meshed) core ASes. Clamped to ≥ 1.
+    /// Number of tier-1 (fully meshed) core ASes. Must be ≥ 1.
     pub tier1: usize,
-    /// Number of tier-2 transit ASes.
+    /// Number of tier-2 transit ASes. Must be ≥ 1.
     pub transits: usize,
-    /// Probability that any two tier-2 transits peer directly.
+    /// Probability that any two tier-2 transits peer directly
+    /// ([`GenModel::Hierarchy`] only).
     pub transit_peering_prob: f64,
     /// Number of edge sites (cloud/enterprise borders that could run Tango).
     pub edges: usize,
     /// Providers per edge site (min, max inclusive), drawn from all
-    /// transits (tier-1 and tier-2).
+    /// transits (tier-1 and tier-2). Must satisfy `1 <= min <= max`.
     pub providers_per_edge: (usize, usize),
     /// Base one-way delay of the transit→edge delivery direction
     /// (min, max ns) — the continental-crossing share, placed as in the
@@ -46,6 +90,8 @@ pub struct GenParams {
     pub crossing_sigma_ns: (u64, u64),
     /// RNG seed: identical parameters + seed ⇒ identical topology.
     pub seed: u64,
+    /// Transit-core wiring model.
+    pub model: GenModel,
 }
 
 impl Default for GenParams {
@@ -59,6 +105,161 @@ impl Default for GenParams {
             crossing_delay_ns: (15 * MS, 60 * MS),
             crossing_sigma_ns: (10 * US, 400 * US),
             seed: 1,
+            model: GenModel::Hierarchy,
+        }
+    }
+}
+
+/// Parameter-validation failures, reported **before** any generation
+/// work starts (previously bad parameters panicked deep inside the
+/// generator).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// `tier1 == 0`: the tier-1 clique seeds both models.
+    NoTier1,
+    /// `transits == 0`: both models need at least one tier-2 transit.
+    NoTransits,
+    /// `edges == 0`: nothing to pair.
+    NoEdges,
+    /// `providers_per_edge` violates `1 <= min <= max`.
+    BadProviderRange {
+        /// The offending (min, max) pair.
+        range: (usize, usize),
+    },
+    /// A `(min, max)` delay or sigma range with `min > max`.
+    BadDelayRange {
+        /// The offending (min, max) pair, ns.
+        range_ns: (u64, u64),
+    },
+    /// [`GenModel::ScaleFree`] `uplinks` violates `1 <= min <= max`.
+    BadUplinkRange {
+        /// The offending (min, max) pair.
+        range: (usize, usize),
+    },
+    /// [`GenModel::ScaleFree`] `peering_per_transit` is negative or NaN.
+    BadPeeringRate,
+    /// The id plan cannot fit this many transits (tier-2 ids live in
+    /// `[TRANSIT_BASE, EDGE_BASE)`).
+    TooManyTransits {
+        /// Requested tier-2 transit count.
+        requested: usize,
+        /// The largest representable count.
+        max: usize,
+    },
+}
+
+impl core::fmt::Display for GenError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GenError::NoTier1 => write!(f, "tier1 must be >= 1"),
+            GenError::NoTransits => write!(f, "transits must be >= 1"),
+            GenError::NoEdges => write!(f, "edges must be >= 1"),
+            GenError::BadProviderRange { range } => {
+                write!(
+                    f,
+                    "providers_per_edge ({}, {}) must satisfy 1 <= min <= max",
+                    range.0, range.1
+                )
+            }
+            GenError::BadDelayRange { range_ns } => {
+                write!(
+                    f,
+                    "delay range ({}, {}) ns has min > max",
+                    range_ns.0, range_ns.1
+                )
+            }
+            GenError::BadUplinkRange { range } => {
+                write!(
+                    f,
+                    "scale-free uplinks ({}, {}) must satisfy 1 <= min <= max",
+                    range.0, range.1
+                )
+            }
+            GenError::BadPeeringRate => {
+                write!(f, "peering_per_transit must be finite and >= 0")
+            }
+            GenError::TooManyTransits { requested, max } => {
+                write!(f, "{requested} transits exceed the id plan's maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+impl GenParams {
+    /// Validate every field, returning the first violation. Called by
+    /// [`try_generate`]; callers constructing parameters from external
+    /// input should call it directly for early feedback.
+    pub fn validate(&self) -> Result<(), GenError> {
+        if self.tier1 == 0 {
+            return Err(GenError::NoTier1);
+        }
+        if self.transits == 0 {
+            return Err(GenError::NoTransits);
+        }
+        if self.edges == 0 {
+            return Err(GenError::NoEdges);
+        }
+        let (pmin, pmax) = self.providers_per_edge;
+        if pmin == 0 || pmin > pmax {
+            return Err(GenError::BadProviderRange {
+                range: self.providers_per_edge,
+            });
+        }
+        if self.crossing_delay_ns.0 > self.crossing_delay_ns.1 {
+            return Err(GenError::BadDelayRange {
+                range_ns: self.crossing_delay_ns,
+            });
+        }
+        if self.crossing_sigma_ns.0 > self.crossing_sigma_ns.1 {
+            return Err(GenError::BadDelayRange {
+                range_ns: self.crossing_sigma_ns,
+            });
+        }
+        let max_transits = (EDGE_BASE - TRANSIT_BASE) as usize;
+        if self.transits > max_transits {
+            return Err(GenError::TooManyTransits {
+                requested: self.transits,
+                max: max_transits,
+            });
+        }
+        if let GenModel::ScaleFree {
+            uplinks,
+            peering_per_transit,
+        } = &self.model
+        {
+            if uplinks.0 == 0 || uplinks.0 > uplinks.1 {
+                return Err(GenError::BadUplinkRange { range: *uplinks });
+            }
+            if !peering_per_transit.is_finite() || *peering_per_transit < 0.0 {
+                return Err(GenError::BadPeeringRate);
+            }
+        }
+        Ok(())
+    }
+
+    /// An internet-scale parameter preset: a scale-free graph of
+    /// `ases` total ASes with `edges` Tango-capable edge sites. The
+    /// tier-1 clique grows slowly with size (real tier-1 counts are
+    /// O(10) regardless of Internet growth); everything else is tier-2
+    /// transit mass wired by preferential attachment.
+    pub fn internet(ases: usize, edges: usize, seed: u64) -> GenParams {
+        let tier1 = (ases / 100).clamp(4, 12);
+        let transits = ases.saturating_sub(tier1 + edges).max(1);
+        GenParams {
+            tier1,
+            transits,
+            transit_peering_prob: 0.0, // unused by ScaleFree
+            edges,
+            providers_per_edge: (2, 3),
+            crossing_delay_ns: (15 * MS, 60 * MS),
+            crossing_sigma_ns: (10 * US, 400 * US),
+            seed,
+            model: GenModel::ScaleFree {
+                uplinks: (1, 2),
+                peering_per_transit: 0.6,
+            },
         }
     }
 }
@@ -76,6 +277,56 @@ pub struct Generated {
     pub tier1: Vec<AsId>,
 }
 
+impl Generated {
+    /// Canonical deterministic fingerprint of the whole generated graph:
+    /// nodes (id, kind, name), edges (endpoints, relationship, both
+    /// direction profiles), and the group lists, folded through FNV-1a
+    /// in the graph's total iteration order. Identical parameters + seed
+    /// ⇒ identical digest on every machine, shard count, and run.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for node in self.topology.nodes() {
+            h.write_u64(u64::from(node.id.0));
+            h.write_str(&format!("{:?}", node.kind));
+            h.write_str(&node.name);
+            for &peer in self.topology.neighbors(node.id) {
+                h.write_u64(u64::from(peer.0));
+                h.write_str(&format!("{:?}", self.topology.relationship(node.id, peer)));
+                if let Some(p) = self.topology.direction_profile(node.id, peer) {
+                    h.write_str(&format!("{p:?}"));
+                }
+            }
+        }
+        for group in [&self.edge_sites, &self.transits, &self.tier1] {
+            for &id in group {
+                h.write_u64(u64::from(id.0));
+            }
+        }
+        h.finish()
+    }
+}
+
+/// FNV-1a folding helper for [`Generated::digest`].
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    fn write_str(&mut self, s: &str) {
+        for b in s.bytes() {
+            self.write_u64(u64::from(b));
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Tier-1 ids start here.
 const TIER1_BASE: u32 = 10;
 /// Tier-2 transit ids start here.
@@ -90,22 +341,51 @@ fn core_link(rng: &mut StdRng) -> LinkProfile {
     )
 }
 
+fn crossing_link(rng: &mut StdRng, params: &GenParams) -> LinkProfile {
+    let cross = rng.gen_range(params.crossing_delay_ns.0..=params.crossing_delay_ns.1);
+    let sigma = rng.gen_range(params.crossing_sigma_ns.0..=params.crossing_sigma_ns.1);
+    LinkProfile::asymmetric(
+        DirectionProfile::constant(150 * US)
+            .with_jitter(JitterModel::Gaussian { sigma_ns: 3 * US }),
+        DirectionProfile::constant(cross).with_jitter(JitterModel::Gaussian { sigma_ns: sigma }),
+    )
+}
+
+/// Generate a random Internet-like topology, panicking on invalid
+/// parameters. Prefer [`try_generate`] when parameters come from
+/// anywhere but a literal.
+pub fn generate(params: &GenParams) -> Generated {
+    match try_generate(params) {
+        Ok(g) => g,
+        Err(e) => panic!("invalid GenParams: {e}"),
+    }
+}
+
 /// Generate a random Internet-like topology.
 ///
-/// Guarantees (by construction, tested below): the tier-1 core is a full
-/// peer mesh; every tier-2 transit has a tier-1 provider; every edge site
-/// has at least one provider. Under valley-free export this implies full
+/// Guarantees (by construction, tested below) for **both** models: the
+/// tier-1 core is a full peer mesh; every tier-2 transit has a provider
+/// chain that climbs to a tier-1; every edge site has at least one
+/// provider. Under valley-free (Gao-Rexford) export this implies full
 /// edge-to-edge reachability.
-pub fn generate(params: &GenParams) -> Generated {
-    assert!(
-        params.providers_per_edge.0 >= 1
-            && params.providers_per_edge.0 <= params.providers_per_edge.1,
-        "invalid providers_per_edge"
-    );
+pub fn try_generate(params: &GenParams) -> Result<Generated, GenError> {
+    params.validate()?;
+    match &params.model {
+        GenModel::Hierarchy => Ok(generate_hierarchy(params)),
+        GenModel::ScaleFree {
+            uplinks,
+            peering_per_transit,
+        } => Ok(generate_scale_free(params, *uplinks, *peering_per_transit)),
+    }
+}
+
+/// The original small hierarchical generator (RNG draw order unchanged
+/// from the pre-scale-free revisions, so seeds reproduce old graphs).
+fn generate_hierarchy(params: &GenParams) -> Generated {
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut t = Topology::new();
 
-    let tier1: Vec<AsId> = (0..params.tier1.max(1))
+    let tier1: Vec<AsId> = (0..params.tier1)
         .map(|i| AsId(TIER1_BASE + i as u32))
         .collect();
     for (i, &id) in tier1.iter().enumerate() {
@@ -162,16 +442,160 @@ pub fn generate(params: &GenParams) -> Generated {
         let mut pool = all_transits.clone();
         pool.shuffle(&mut rng);
         for &provider in pool.iter().take(n) {
-            let cross = rng.gen_range(params.crossing_delay_ns.0..=params.crossing_delay_ns.1);
-            let sigma = rng.gen_range(params.crossing_sigma_ns.0..=params.crossing_sigma_ns.1);
-            let profile = LinkProfile::asymmetric(
-                DirectionProfile::constant(150 * US)
-                    .with_jitter(JitterModel::Gaussian { sigma_ns: 3 * US }),
-                DirectionProfile::constant(cross)
-                    .with_jitter(JitterModel::Gaussian { sigma_ns: sigma }),
-            );
+            let profile = crossing_link(&mut rng, params);
             t.add_provider(id, provider, profile)
                 .expect("new edge link");
+        }
+    }
+
+    Generated {
+        topology: t,
+        edge_sites,
+        transits: all_transits,
+        tier1,
+    }
+}
+
+/// Degree-proportional endpoint sampler for Barabási–Albert growth: the
+/// classic "repeated endpoints" pool, where each node appears once per
+/// incident edge, so a uniform draw from the pool is a degree-weighted
+/// draw over nodes.
+struct AttachmentPool {
+    endpoints: Vec<AsId>,
+}
+
+impl AttachmentPool {
+    fn new() -> Self {
+        AttachmentPool {
+            endpoints: Vec::new(),
+        }
+    }
+
+    /// Record one edge: both endpoints gain a degree.
+    fn add_edge(&mut self, a: AsId, b: AsId) {
+        self.endpoints.push(a);
+        self.endpoints.push(b);
+    }
+
+    /// Draw a node with probability proportional to degree, excluding
+    /// `banned` ids. Falls back to a deterministic scan when rejection
+    /// sampling runs long (tiny pools).
+    fn draw(&self, rng: &mut StdRng, banned: &[AsId]) -> Option<AsId> {
+        if self.endpoints.is_empty() {
+            return None;
+        }
+        for _ in 0..64 {
+            let pick = self.endpoints[rng.gen_range(0..self.endpoints.len())];
+            if !banned.contains(&pick) {
+                return Some(pick);
+            }
+        }
+        self.endpoints.iter().copied().find(|p| !banned.contains(p))
+    }
+}
+
+/// Barabási–Albert growth over the transit core: tier-1 clique seeds
+/// the pool; each new tier-2 transit attaches 1..=m provider uplinks
+/// degree-preferentially; peer edges are drawn degree-preferentially on
+/// both ends. Edge sites multihome into the core exactly like the
+/// hierarchical model (also degree-preferentially, so large providers
+/// accumulate edge customers, as on the real Internet).
+fn generate_scale_free(
+    params: &GenParams,
+    uplinks: (usize, usize),
+    peering_per_transit: f64,
+) -> Generated {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut t = Topology::new();
+    let mut pool = AttachmentPool::new();
+
+    let tier1: Vec<AsId> = (0..params.tier1)
+        .map(|i| AsId(TIER1_BASE + i as u32))
+        .collect();
+    for (i, &id) in tier1.iter().enumerate() {
+        t.add_node(AsNode::new(id, AsKind::Transit, format!("T1-{i}")))
+            .expect("unique");
+    }
+    for i in 0..tier1.len() {
+        for j in (i + 1)..tier1.len() {
+            let p = core_link(&mut rng);
+            t.add_peering(tier1[i], tier1[j], p)
+                .expect("mesh edge is new");
+            pool.add_edge(tier1[i], tier1[j]);
+        }
+    }
+    // A single tier-1 forms no clique edge; seed its pool presence so
+    // preferential attachment has a root to find.
+    if tier1.len() == 1 {
+        pool.endpoints.push(tier1[0]);
+    }
+
+    // Growth phase: each new transit is a customer of 1..=m existing
+    // transits, chosen preferentially by degree.
+    let tier2: Vec<AsId> = (0..params.transits)
+        .map(|i| AsId(TRANSIT_BASE + i as u32))
+        .collect();
+    for (i, &id) in tier2.iter().enumerate() {
+        t.add_node(AsNode::new(id, AsKind::Transit, format!("T2-{i}")))
+            .expect("unique");
+        let want = rng.gen_range(uplinks.0..=uplinks.1);
+        let mut chosen: Vec<AsId> = vec![id]; // never attach to self
+        for _ in 0..want {
+            let Some(up) = pool.draw(&mut rng, &chosen) else {
+                break;
+            };
+            chosen.push(up);
+            let p = core_link(&mut rng);
+            t.add_provider(id, up, p).expect("new uplink");
+            pool.add_edge(id, up);
+        }
+    }
+
+    // Peering phase: expected `peering_per_transit` peer links per
+    // tier-2 transit, endpoints degree-preferential on both sides.
+    let peer_links = ((params.transits as f64) * peering_per_transit / 2.0) as usize;
+    for _ in 0..peer_links {
+        // Draw two distinct endpoints; skip (deterministically) if the
+        // pair is already linked — BA pools make repeats likely around
+        // the hubs, and a skipped draw is cheaper than a retry loop.
+        let Some(a) = pool.draw(&mut rng, &[]) else {
+            break;
+        };
+        let Some(b) = pool.draw(&mut rng, &[a]) else {
+            break;
+        };
+        if t.relationship(a, b).is_some() {
+            continue;
+        }
+        let p = core_link(&mut rng);
+        t.add_peering(a, b, p).expect("checked absent");
+        pool.add_edge(a, b);
+    }
+
+    let all_transits: Vec<AsId> = tier1.iter().chain(tier2.iter()).copied().collect();
+
+    // Edge sites: multi-homed customers, providers drawn preferentially.
+    let edge_sites: Vec<AsId> = (0..params.edges)
+        .map(|i| AsId(EDGE_BASE + i as u32))
+        .collect();
+    for (i, &id) in edge_sites.iter().enumerate() {
+        t.add_node(AsNode::new(id, AsKind::CloudEdge, format!("E{i}")))
+            .expect("unique");
+        let want = rng
+            .gen_range(params.providers_per_edge.0..=params.providers_per_edge.1)
+            .min(all_transits.len());
+        let mut chosen: Vec<AsId> = vec![id];
+        for _ in 0..want {
+            let Some(provider) = pool.draw(&mut rng, &chosen) else {
+                break;
+            };
+            chosen.push(provider);
+            let profile = crossing_link(&mut rng, params);
+            t.add_provider(id, provider, profile)
+                .expect("new edge link");
+            // Edge links do not enter the pool: preferential attachment
+            // runs over the transit core only (stub ASes do not attract
+            // transit customers on the real Internet either).
         }
     }
 
@@ -199,6 +623,7 @@ mod tests {
             assert_eq!(Some(n), b.topology.node(n.id));
             assert_eq!(a.topology.neighbors(n.id), b.topology.neighbors(n.id));
         }
+        assert_eq!(a.digest(), b.digest());
     }
 
     #[test]
@@ -213,6 +638,7 @@ mod tests {
             .nodes()
             .any(|n| a.topology.neighbors(n.id) != b.topology.neighbors(n.id));
         assert!(a.topology.link_count() != b.topology.link_count() || adj_diff);
+        assert_ne!(a.digest(), b.digest());
     }
 
     #[test]
@@ -320,5 +746,191 @@ mod tests {
         for &t2 in g.transits.iter().filter(|t| !g.tier1.contains(t)) {
             assert_eq!(g.topology.providers(t2), vec![g.tier1[0]]);
         }
+    }
+
+    // ------------------------------------------------ validation --
+
+    #[test]
+    fn validation_rejects_inverted_provider_range() {
+        let p = GenParams {
+            providers_per_edge: (3, 2),
+            ..GenParams::default()
+        };
+        assert_eq!(
+            p.validate(),
+            Err(GenError::BadProviderRange { range: (3, 2) })
+        );
+        assert!(try_generate(&p).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_min_providers() {
+        let p = GenParams {
+            providers_per_edge: (0, 2),
+            ..GenParams::default()
+        };
+        assert_eq!(
+            p.validate(),
+            Err(GenError::BadProviderRange { range: (0, 2) })
+        );
+    }
+
+    #[test]
+    fn validation_rejects_zero_counts() {
+        for (p, want) in [
+            (
+                GenParams {
+                    tier1: 0,
+                    ..GenParams::default()
+                },
+                GenError::NoTier1,
+            ),
+            (
+                GenParams {
+                    transits: 0,
+                    ..GenParams::default()
+                },
+                GenError::NoTransits,
+            ),
+            (
+                GenParams {
+                    edges: 0,
+                    ..GenParams::default()
+                },
+                GenError::NoEdges,
+            ),
+        ] {
+            assert_eq!(p.validate(), Err(want.clone()));
+            assert_eq!(try_generate(&p).unwrap_err(), want);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_inverted_delay_ranges() {
+        let p = GenParams {
+            crossing_delay_ns: (10, 5),
+            ..GenParams::default()
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(GenError::BadDelayRange { range_ns: (10, 5) })
+        ));
+        let p = GenParams {
+            crossing_sigma_ns: (10, 5),
+            ..GenParams::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_scale_free_knobs() {
+        let p = GenParams {
+            model: GenModel::ScaleFree {
+                uplinks: (0, 2),
+                peering_per_transit: 0.5,
+            },
+            ..GenParams::default()
+        };
+        assert_eq!(
+            p.validate(),
+            Err(GenError::BadUplinkRange { range: (0, 2) })
+        );
+        let p = GenParams {
+            model: GenModel::ScaleFree {
+                uplinks: (2, 1),
+                peering_per_transit: 0.5,
+            },
+            ..GenParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p = GenParams {
+            model: GenModel::ScaleFree {
+                uplinks: (1, 2),
+                peering_per_transit: -1.0,
+            },
+            ..GenParams::default()
+        };
+        assert_eq!(p.validate(), Err(GenError::BadPeeringRate));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid GenParams")]
+    fn generate_panics_with_clear_message_on_bad_params() {
+        generate(&GenParams {
+            providers_per_edge: (5, 1),
+            ..GenParams::default()
+        });
+    }
+
+    // ------------------------------------------------ scale-free --
+
+    fn internet(ases: usize, edges: usize, seed: u64) -> Generated {
+        generate(&GenParams::internet(ases, edges, seed))
+    }
+
+    #[test]
+    fn scale_free_counts_and_determinism() {
+        let g = internet(300, 8, 7);
+        assert_eq!(g.topology.node_count(), 300);
+        assert_eq!(g.edge_sites.len(), 8);
+        let h = internet(300, 8, 7);
+        assert_eq!(g.digest(), h.digest());
+        assert_ne!(g.digest(), internet(300, 8, 8).digest());
+    }
+
+    #[test]
+    fn scale_free_transits_climb_to_tier1() {
+        let g = internet(400, 8, 3);
+        for &t2 in g.transits.iter().filter(|t| !g.tier1.contains(t)) {
+            // Follow any provider chain: it must reach a tier-1 (chains
+            // always attach to earlier nodes, so they terminate).
+            let mut at = t2;
+            let mut hops = 0;
+            while !g.tier1.contains(&at) {
+                let ups = g.topology.providers(at);
+                assert!(!ups.is_empty(), "{at} stranded without a provider");
+                at = ups[0];
+                hops += 1;
+                assert!(hops < 1000, "provider chain does not terminate");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_free_is_connected() {
+        let g = internet(500, 12, 11);
+        let mut seen = std::collections::BTreeSet::new();
+        let first = g.topology.nodes().next().expect("nonempty").id;
+        let mut frontier = vec![first];
+        seen.insert(first);
+        while let Some(n) = frontier.pop() {
+            for &p in g.topology.neighbors(n) {
+                if seen.insert(p) {
+                    frontier.push(p);
+                }
+            }
+        }
+        assert_eq!(seen.len(), g.topology.node_count());
+    }
+
+    #[test]
+    fn scale_free_degrees_are_heavy_tailed() {
+        let g = internet(1000, 16, 5);
+        let mut degrees: Vec<usize> = g
+            .transits
+            .iter()
+            .map(|&t| g.topology.neighbors(t).len())
+            .collect();
+        degrees.sort_unstable();
+        let median = degrees[degrees.len() / 2];
+        let max = *degrees.last().expect("nonempty");
+        // Preferential attachment concentrates degree on hubs: the
+        // biggest transit must dwarf the median one. (A uniform random
+        // graph with the same edge count would have max ≈ median + a
+        // few.)
+        assert!(
+            max >= 8 * median.max(1),
+            "max degree {max} vs median {median}: not heavy-tailed"
+        );
     }
 }

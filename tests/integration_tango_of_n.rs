@@ -116,6 +116,49 @@ fn diversity_grows_with_multihoming_degree() {
 }
 
 #[test]
+fn n16_internet_mesh_converges_with_diversity_and_no_violations() {
+    // The scalability tentpole's integration check: an N=16 mesh over a
+    // 300-AS scale-free internet — all pairs must converge, discovery
+    // must expose the diversity the multihomed PoPs are wired with, and
+    // no routing invariant may break.
+    let out = tango::npop::run_npop(&tango::npop::NPopOptions {
+        ases: 300,
+        pops: 16,
+        seed: 42,
+        traffic_packets: 240, // one packet both ways for each of the 120 pairs
+        ..tango::npop::NPopOptions::default()
+    })
+    .expect("N=16 mesh runs");
+
+    // All pairs converge: every ordered pair holds a route to the other
+    // side's host prefix, and no discovery came up empty.
+    assert_eq!(out.reachable_routes, 16 * 15, "all ordered pairs converge");
+    assert_eq!(out.pairs.len(), 120, "C(16,2) unordered pairs probed");
+    assert_eq!(out.unreachable_pairs, 0);
+
+    // Known diversity: `GenParams::internet` multihomes every PoP with
+    // 2..=3 providers, so discovery must surface >= 2 paths per pair.
+    for p in &out.pairs {
+        assert!(
+            p.paths >= 2,
+            "pair {:?}->{:?}: {} paths (multihoming guarantees 2)",
+            p.a,
+            p.b,
+            p.paths
+        );
+        assert!(p.stretch_x1000 >= 1000, "stretch is default/best");
+    }
+
+    // Zero invariant violations: every discovered path valley-free, and
+    // the invariant checker (fed the traffic phase's loop detector)
+    // reports a clean run.
+    assert_eq!(out.valley_violations(), 0, "no valley-free violations");
+    let report = tango::invariant::check(&[], out.ttl_expired);
+    assert!(report.ok(), "invariants violated: {report}");
+    assert!(out.deliveries > 0, "traffic phase delivered packets");
+}
+
+#[test]
 fn adaptive_policy_works_on_generated_topologies_too() {
     let g = generate(&GenParams {
         transits: 7,
